@@ -1,0 +1,65 @@
+//! Microbenchmarks of the language front-end: text-to-SQL translation and
+//! candidate generation (the per-voice-query work before planning).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use muve_data::Dataset;
+use muve_nlq::{describe_query, translate, CandidateGenerator, SpeechChannel};
+
+fn bench_translate(c: &mut Criterion) {
+    let table = Dataset::Nyc311.generate(10_000, 1);
+    let utterance = "average resolution hours for noise complaints in brooklyn";
+    c.bench_function("translate/utterance", |b| {
+        b.iter(|| black_box(translate(black_box(utterance), &table).unwrap()))
+    });
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let table = Dataset::Nyc311.generate(10_000, 1);
+    let base =
+        muve_dbms::parse("select avg(resolution_hours) from requests where borough = 'Brooklyn'")
+            .unwrap();
+    let gen = CandidateGenerator::new(&table);
+    let mut group = c.benchmark_group("candidate_generation");
+    for &k in &[5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(gen.candidates(&base, 20, k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generator_build(c: &mut Criterion) {
+    let table = Dataset::Nyc311.generate(50_000, 2);
+    c.bench_function("candidate_generator_build/50k_rows", |b| {
+        b.iter(|| black_box(CandidateGenerator::new(&table)))
+    });
+}
+
+fn bench_speech_and_describe(c: &mut Criterion) {
+    let table = Dataset::Nyc311.generate(5_000, 3);
+    let q = muve_dbms::parse(
+        "select avg(resolution_hours) from requests where complaint_type = 'noise'",
+    )
+    .unwrap();
+    c.bench_function("describe_query", |b| b.iter(|| black_box(describe_query(&q))));
+    let vocab: Vec<String> = table
+        .column_by_name("complaint_type")
+        .unwrap()
+        .dictionary()
+        .unwrap()
+        .entries()
+        .to_vec();
+    c.bench_function("speech_channel/transmit", |b| {
+        let mut ch = SpeechChannel::new(vocab.clone(), 0.2, 7);
+        b.iter(|| black_box(ch.transmit("average resolution hours for noise complaints")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_translate,
+    bench_candidates,
+    bench_generator_build,
+    bench_speech_and_describe
+);
+criterion_main!(benches);

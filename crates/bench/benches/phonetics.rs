@@ -1,0 +1,47 @@
+//! Microbenchmarks of the phonetic substrate: Double Metaphone encoding,
+//! Jaro-Winkler scoring, and k-most-similar index lookups (the per-element
+//! operation of MUVE's candidate generation, paper §3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use muve_phonetics::{double_metaphone, jaro_winkler, phonetic_similarity, PhoneticIndex};
+
+const WORDS: &[&str] = &[
+    "Brooklyn", "Queens", "Manhattan", "Bronx", "Staten Island", "complaint", "borough",
+    "illegal parking", "heat hot water", "Schenectady", "extraordinary", "Tagliaro",
+];
+
+fn bench_double_metaphone(c: &mut Criterion) {
+    c.bench_function("double_metaphone/word", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % WORDS.len();
+            black_box(double_metaphone(WORDS[i]))
+        })
+    });
+}
+
+fn bench_jaro_winkler(c: &mut Criterion) {
+    c.bench_function("jaro_winkler/pair", |b| {
+        b.iter(|| black_box(jaro_winkler(black_box("PLKN"), black_box("PRKN"))))
+    });
+    c.bench_function("phonetic_similarity/pair", |b| {
+        b.iter(|| black_box(phonetic_similarity(black_box("brooklyn"), black_box("brook lint"))))
+    });
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phonetic_index_top20");
+    for &size in &[100usize, 1_000, 10_000] {
+        let vocab: Vec<String> = (0..size)
+            .map(|i| format!("{}{}", WORDS[i % WORDS.len()], i / WORDS.len()))
+            .collect();
+        let index = PhoneticIndex::build(vocab);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &index, |b, index| {
+            b.iter(|| black_box(index.top_k(black_box("broklyn3"), 20)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_double_metaphone, bench_jaro_winkler, bench_index);
+criterion_main!(benches);

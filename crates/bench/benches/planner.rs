@@ -1,0 +1,62 @@
+//! Microbenchmarks of the multiplot planners: greedy and ILP at the
+//! paper's default scale (20 candidates, iPhone width) and the user-model
+//! evaluation itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use muve_core::{greedy_plan, ilp_plan, Candidate, IlpConfig, ScreenConfig, UserCostModel};
+use muve_data::Dataset;
+use muve_dbms::Query;
+use muve_nlq::CandidateGenerator;
+
+fn candidates(k: usize) -> Vec<Candidate> {
+    let table = Dataset::Nyc311.generate(2_000, 1);
+    let base: Query =
+        muve_dbms::parse("select avg(resolution_hours) from requests where borough = 'Brooklyn'")
+            .unwrap();
+    CandidateGenerator::new(&table)
+        .candidates(&base, 20, k)
+        .into_iter()
+        .map(|c| Candidate::new(c.query, c.probability))
+        .collect()
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_plan");
+    for &k in &[5usize, 20, 50] {
+        let cands = candidates(k);
+        let screen = ScreenConfig::iphone(1);
+        let model = UserCostModel::default();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cands, |b, cands| {
+            b.iter(|| black_box(greedy_plan(cands, &screen, &model)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_plan");
+    group.sample_size(10);
+    for &k in &[5usize, 10] {
+        let cands = candidates(k);
+        let screen = ScreenConfig::iphone(1);
+        let model = UserCostModel::default();
+        let cfg = IlpConfig { node_budget: Some(500), warm_start: true, ..IlpConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cands, |b, cands| {
+            b.iter(|| black_box(ilp_plan(cands, &screen, &model, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cands = candidates(20);
+    let screen = ScreenConfig::iphone(1);
+    let model = UserCostModel::default();
+    let m = greedy_plan(&cands, &screen, &model);
+    c.bench_function("expected_cost/20cands", |b| {
+        b.iter(|| black_box(model.expected_cost(&m, &cands)))
+    });
+}
+
+criterion_group!(benches, bench_greedy, bench_ilp, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the LP/ILP substrate: simplex solves and
+//! branch-and-bound knapsacks of growing size (the solver class behind the
+//! paper's Gurobi usage, §5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use muve_solver::model::{Direction, Expr, Model};
+use muve_solver::simplex::{solve as lp_solve, Lp, Row, Sense};
+use muve_solver::{solve_mip, MipConfig};
+
+fn random_lp(n: usize, m: usize) -> Lp {
+    // Deterministic pseudo-random dense-ish LP.
+    let coef = |i: usize, j: usize| (((i * 31 + j * 17) % 13) as f64 - 4.0) / 3.0;
+    let rows = (0..m)
+        .map(|i| Row {
+            coeffs: (0..n).map(|j| (j, coef(i, j).abs() + 0.1)).collect(),
+            sense: Sense::Le,
+            rhs: (n as f64) * 0.8,
+        })
+        .collect();
+    Lp {
+        num_vars: n,
+        objective: (0..n).map(|j| -((j % 7) as f64 + 1.0)).collect(),
+        rows,
+        upper: vec![1.0; n],
+    }
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for &(n, m) in &[(10usize, 10usize), (40, 40), (100, 60)] {
+        let lp = random_lp(n, m);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &lp, |b, lp| {
+            b.iter(|| black_box(lp_solve(lp, 100_000)))
+        });
+    }
+    group.finish();
+}
+
+fn knapsack_model(n: usize) -> Model {
+    let mut m = Model::new();
+    let mut w = Expr::zero();
+    let mut u = Expr::zero();
+    for i in 0..n {
+        let x = m.binary(format!("x{i}"));
+        w += Expr::from(x) * (((i * 7919) % 97 + 3) as f64);
+        u += Expr::from(x) * (((i * 104729) % 89 + 1) as f64);
+    }
+    m.le(w, (n as f64) * 18.0);
+    m.set_objective(u, Direction::Maximize);
+    m
+}
+
+fn bench_branch_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_bound_knapsack");
+    group.sample_size(10);
+    for &n in &[10usize, 16, 22] {
+        let model = knapsack_model(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, model| {
+            b.iter(|| black_box(solve_mip(model, &MipConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_branch_bound);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! `expt` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! expt <experiment>... [--quick] [--json DIR] [--markdown FILE]
+//! expt all [--quick]
+//! ```
+//!
+//! Experiments: table1, fig3, fig6, fig7, fig8, fig9, fig10, fig11,
+//! fig12, fig13 (fig3 runs with table1; fig10/fig11 run with fig9).
+
+use muve_bench::experiments::{self, ResultTable, EXPERIMENTS};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = value_of(&args, "--json").map(PathBuf::from);
+    let markdown = value_of(&args, "--markdown").map(PathBuf::from);
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match a.as_str() {
+            "--quick" => {}
+            "--json" | "--markdown" => skip_next = true,
+            "all" => ids.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    // Dedup by run group (table1+fig3 together, fig9-11 together).
+    let mut groups: BTreeSet<&'static str> = BTreeSet::new();
+    for id in &ids {
+        match id.as_str() {
+            "table1" | "fig3" => {
+                groups.insert("table1");
+            }
+            "fig9" | "fig10" | "fig11" => {
+                groups.insert("fig9");
+            }
+            other if EXPERIMENTS.contains(&other) => {
+                groups.insert(EXPERIMENTS.iter().find(|e| **e == other).unwrap());
+            }
+            other => {
+                eprintln!("unknown experiment {other:?}");
+                usage();
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut all_tables: Vec<ResultTable> = Vec::new();
+    for id in groups {
+        let start = Instant::now();
+        eprintln!(">> running {id}{}", if quick { " (quick)" } else { "" });
+        let tables = experiments::run(id, quick).expect("known id");
+        eprintln!("<< {id} done in {:.1}s", start.elapsed().as_secs_f64());
+        for t in &tables {
+            println!("{}", t.to_text());
+        }
+        all_tables.extend(tables);
+    }
+
+    if let Some(dir) = json_dir {
+        fs::create_dir_all(&dir).expect("create json dir");
+        for t in &all_tables {
+            let path = dir.join(format!("{}.json", t.id));
+            fs::write(&path, serde_json::to_string_pretty(&t.to_json()).unwrap())
+                .expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    if let Some(path) = markdown {
+        let mut md = String::new();
+        for t in &all_tables {
+            md.push_str(&format!("### {} — {}\n\n{}\n", t.id, t.caption, t.to_markdown()));
+        }
+        fs::write(&path, md).expect("write markdown");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() {
+    eprintln!(
+        "usage: expt <experiment|all>... [--quick] [--json DIR] [--markdown FILE]\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+}

@@ -1,0 +1,195 @@
+//! Shared machinery for the experiment drivers: workload construction
+//! (dataset → random query → phonetic candidates) and result tables.
+
+use muve_core::Candidate;
+use muve_data::{Dataset, QueryGenerator};
+use muve_dbms::Table;
+use muve_nlq::CandidateGenerator;
+use serde_json::{json, Value};
+
+/// A rectangular result table: named columns plus rows, printable and
+/// serializable (EXPERIMENTS.md is generated from these).
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    /// Experiment identifier (e.g. `fig6`).
+    pub id: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified values).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Create an empty table.
+    pub fn new(id: &str, caption: &str, columns: &[&str]) -> ResultTable {
+        ResultTable {
+            id: id.to_owned(),
+            caption: caption.to_owned(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity");
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = format!("# {} — {}\n", self.id, self.caption);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a Markdown table (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "id": self.id,
+            "caption": self.caption,
+            "columns": self.columns,
+            "rows": self.rows,
+        })
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        "-".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// One prepared test case: a base query with its phonetic candidate set.
+/// By construction the *correct* interpretation is candidate with the
+/// highest probability of being the base query; its index is recorded.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Candidate distribution.
+    pub candidates: Vec<Candidate>,
+    /// Index of the correct interpretation within `candidates`.
+    pub correct: usize,
+}
+
+/// Build `n` test cases over `table`: random aggregation queries with up to
+/// `max_predicates` equality predicates, each expanded to `k` phonetic
+/// candidates (paper §9.2 workload).
+pub fn test_cases(
+    table: &Table,
+    n: usize,
+    max_predicates: usize,
+    k_candidates: usize,
+    seed: u64,
+) -> Vec<TestCase> {
+    let mut gen = QueryGenerator::new(table, seed);
+    let cg = CandidateGenerator::new(table);
+    (0..n)
+        .map(|_| {
+            let base = gen.query(max_predicates);
+            let cands = cg.candidates(&base, 20, k_candidates);
+            let correct = cands
+                .iter()
+                .position(|c| c.query == base)
+                .unwrap_or(0);
+            TestCase {
+                candidates: cands
+                    .into_iter()
+                    .map(|c| Candidate::new(c.query, c.probability))
+                    .collect(),
+                correct,
+            }
+        })
+        .collect()
+}
+
+/// Generate a dataset table at a given row count (seeded).
+pub fn dataset_table(dataset: Dataset, rows: usize, seed: u64) -> Table {
+    dataset.generate(rows, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering() {
+        let mut t = ResultTable::new("figX", "demo", &["a", "b"]);
+        t.push(vec!["1".into(), "long-value".into()]);
+        let text = t.to_text();
+        assert!(text.contains("figX"));
+        assert!(text.contains("long-value"));
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |"));
+        let j = t.to_json();
+        assert_eq!(j["columns"][1], "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = ResultTable::new("x", "c", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1234.5), "1234"); // ties-to-even
+        assert_eq!(fmt(12.345), "12.35");
+        assert_eq!(fmt(0.01234), "0.0123");
+        assert_eq!(fmt(f64::NAN), "-");
+    }
+
+    #[test]
+    fn test_cases_built() {
+        let t = dataset_table(Dataset::Nyc311, 2_000, 1);
+        let cases = test_cases(&t, 5, 3, 20, 9);
+        assert_eq!(cases.len(), 5);
+        for c in &cases {
+            assert!(!c.candidates.is_empty());
+            assert!(c.correct < c.candidates.len());
+            let total: f64 = c.candidates.iter().map(|x| x.probability).sum();
+            assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+}

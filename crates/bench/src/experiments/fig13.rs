@@ -1,0 +1,83 @@
+//! **Figure 13**: user ratings (latency, clarity) per presentation method
+//! on a small (311) and a large (flight delays) data set.
+//!
+//! Expected shape: the default approach's latency rating collapses on
+//! large data while approximation stays high; clarity ratings overlap,
+//! with ILP-Inc lowest (its sequence of changing plots).
+
+use super::common::{dataset_table, fmt, test_cases, ResultTable};
+use super::fig9::methods;
+use muve_core::{present, ScreenConfig, UserCostModel};
+use muve_data::Dataset;
+use muve_sim::{ci95, mean, Rater};
+
+/// Run the rating study.
+pub fn run(quick: bool) -> Vec<ResultTable> {
+    let n_raters = if quick { 4 } else { 10 };
+    let screen = ScreenConfig::iphone(1);
+    let model = UserCostModel::default();
+
+    let mut out = ResultTable::new(
+        "fig13",
+        "Average user ratings (1-10) for latency and clarity, per presentation \
+         method, on small (311) and large (flights) data (paper Fig. 13)",
+        &["dataset", "method", "latency", "latency ci", "clarity", "clarity ci"],
+    );
+
+    let datasets = [
+        ("311 (small)", dataset_table(Dataset::Nyc311, 5_000, 1)),
+        (
+            "flights (large)",
+            dataset_table(Dataset::Flights, if quick { 60_000 } else { 4_000_000 }, 2),
+        ),
+    ];
+    for (ds_label, table) in &datasets {
+        // One randomly generated query with one predicate per data set,
+        // as in the paper.
+        let case = &test_cases(table, 1, 1, 20, 77)[0];
+        for (name, pres) in methods(quick) {
+            let trace = present(table, &case.candidates, &screen, &model, &pres);
+            let first = trace
+                .events
+                .first()
+                .map(|e| e.at)
+                .unwrap_or(trace.t_time());
+            let approx_first = trace.events.first().is_some_and(|e| e.approx);
+            let changes = trace.events.len();
+            let mut lat = Vec::new();
+            let mut cla = Vec::new();
+            for r in 0..n_raters {
+                // Engine-speed calibration (see muve_sim::Rater docs).
+                let mut rater = Rater::with_scale(0xF13 + r as u64, 100.0);
+                lat.push(rater.rate_latency(first, trace.t_time()));
+                cla.push(rater.rate_clarity(changes, approx_first));
+            }
+            out.push(vec![
+                (*ds_label).into(),
+                name.into(),
+                fmt(mean(&lat)),
+                fmt(ci95(&lat)),
+                fmt(mean(&cla)),
+                fmt(ci95(&cla)),
+            ]);
+        }
+    }
+    vec![out]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratings_in_range() {
+        let tables = run(true);
+        assert!(!tables[0].rows.is_empty());
+        for row in &tables[0].rows {
+            let lat: f64 = row[2].parse().unwrap();
+            let cla: f64 = row[4].parse().unwrap();
+            assert!((1.0..=10.0).contains(&lat), "{row:?}");
+            assert!((1.0..=10.0).contains(&cla), "{row:?}");
+        }
+    }
+}

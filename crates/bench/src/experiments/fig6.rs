@@ -1,0 +1,127 @@
+//! **Figure 6**: greedy vs ILP visualization planning on the 311 data —
+//! optimization time, timeout ratio, and solution cost while varying the
+//! number of candidate queries, multiplot rows, and screen pixels.
+//!
+//! Paper defaults: one row, 20 candidates, iPhone resolution, 1 s timeout.
+//! Expected shape: greedy never times out and is orders of magnitude
+//! faster; ILP matches or beats greedy quality on small instances but its
+//! timeout ratio explodes with the row count (near 100% at 3 rows), where
+//! greedy becomes preferable.
+
+use super::common::{dataset_table, fmt, test_cases, ResultTable, TestCase};
+use muve_core::{plan, IlpConfig, Planner, ScreenConfig, UserCostModel};
+use muve_data::Dataset;
+use muve_sim::mean;
+use std::time::Duration;
+
+struct Setting {
+    label: String,
+    candidates: usize,
+    rows: usize,
+    width_px: u32,
+}
+
+fn settings(quick: bool) -> Vec<Setting> {
+    let mut out = Vec::new();
+    let cand_axis: &[usize] = if quick { &[5, 20] } else { &[5, 10, 20, 30, 50] };
+    for &c in cand_axis {
+        out.push(Setting {
+            label: format!("candidates={c}"),
+            candidates: c,
+            rows: 1,
+            width_px: 750,
+        });
+    }
+    let row_axis: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3] };
+    for &r in row_axis {
+        out.push(Setting { label: format!("rows={r}"), candidates: 20, rows: r, width_px: 750 });
+    }
+    let px_axis: &[u32] = if quick { &[750] } else { &[375, 750, 1536, 1920] };
+    for &w in px_axis {
+        out.push(Setting { label: format!("pixels={w}"), candidates: 20, rows: 1, width_px: w });
+    }
+    out
+}
+
+/// Run the solver comparison.
+pub fn run(quick: bool) -> Vec<ResultTable> {
+    let n_queries = if quick { 5 } else { 30 };
+    let timeout = Duration::from_secs(1);
+    let table = dataset_table(Dataset::Nyc311, 5_000, 311);
+    let model = UserCostModel::default();
+
+    let mut out = ResultTable::new(
+        "fig6",
+        "Greedy vs ILP planner on 311 data (paper Fig. 6; 1 s timeout; \
+         cost = expected user disambiguation ms)",
+        &[
+            "setting",
+            "greedy ms",
+            "ilp ms",
+            "ilp timeout %",
+            "greedy cost",
+            "ilp cost",
+            "ilp wins %",
+        ],
+    );
+
+    for s in settings(quick) {
+        let cases: Vec<TestCase> = test_cases(&table, n_queries, 5, s.candidates, 606 + s.candidates as u64);
+        let screen = ScreenConfig::with_width(s.width_px, s.rows);
+        let mut g_times = Vec::new();
+        let mut i_times = Vec::new();
+        let mut g_costs = Vec::new();
+        let mut i_costs = Vec::new();
+        let mut timeouts = 0usize;
+        let mut ilp_wins = 0usize;
+        for case in &cases {
+            let g = plan(&Planner::Greedy, &case.candidates, &screen, &model);
+            // The ILP runs without the greedy warm start so that, as in the
+            // paper, its timeout behaviour is the solver's own.
+            let ilp_cfg = IlpConfig {
+                time_budget: Some(timeout),
+                warm_start: false,
+                ..IlpConfig::default()
+            };
+            let i = plan(&Planner::Ilp(ilp_cfg), &case.candidates, &screen, &model);
+            g_times.push(g.planning_time.as_secs_f64() * 1000.0);
+            i_times.push(i.planning_time.as_secs_f64() * 1000.0);
+            g_costs.push(g.expected_cost);
+            i_costs.push(i.expected_cost);
+            if i.timed_out || !i.proven_optimal {
+                timeouts += 1;
+            }
+            if i.expected_cost < g.expected_cost - 1e-6 {
+                ilp_wins += 1;
+            }
+        }
+        let n = cases.len() as f64;
+        out.push(vec![
+            s.label,
+            fmt(mean(&g_times)),
+            fmt(mean(&i_times)),
+            fmt(100.0 * timeouts as f64 / n),
+            fmt(mean(&g_costs)),
+            fmt(mean(&i_costs)),
+            fmt(100.0 * ilp_wins as f64 / n),
+        ]);
+    }
+    vec![out]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].rows.len() >= 4);
+        // Greedy never slower than the 1s budget.
+        for row in &tables[0].rows {
+            let greedy_ms: f64 = row[1].parse().unwrap();
+            assert!(greedy_ms < 1_000.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! **Figure 8**: disambiguation cost versus processing cost when varying
+//! the processing-cost bound of the §8.1 ILP extension, against the
+//! processing-oblivious planners.
+//!
+//! Expected shape: tightening the bound cuts execution cost substantially
+//! (the paper reports ~35.7%) while disambiguation cost rises; the
+//! unconstrained planners sit at the high-processing/low-disambiguation
+//! corner.
+
+use super::common::{dataset_table, fmt, test_cases, ResultTable, TestCase};
+use muve_core::{
+    plan, progressive::merged_processing_cost, Candidate, IlpConfig, Planner, ProcessingConfig,
+    ProcessingGroup, ScreenConfig, UserCostModel,
+};
+use muve_data::Dataset;
+use muve_dbms::{estimate, plan_merged, CostParams, Query, Table};
+use muve_sim::mean;
+use std::time::Duration;
+
+/// Build processing groups for a candidate set: every merge group plus a
+/// singleton group per candidate, costed with the DBMS cost model.
+pub fn processing_groups(table: &Table, candidates: &[Candidate]) -> Vec<ProcessingGroup> {
+    let params = CostParams::default();
+    let queries: Vec<Query> = candidates.iter().map(|c| c.query.clone()).collect();
+    let mut groups = Vec::new();
+    for g in plan_merged(&queries) {
+        if g.members.len() > 1 {
+            groups.push(ProcessingGroup {
+                cost: estimate(table, &g.merged, &params).total,
+                queries: g.members.iter().map(|m| m.index).collect(),
+            });
+        }
+    }
+    for (i, q) in queries.iter().enumerate() {
+        groups.push(ProcessingGroup {
+            cost: estimate(table, q, &params).total,
+            queries: vec![i],
+        });
+    }
+    groups
+}
+
+/// Run the processing-cost trade-off experiment.
+pub fn run(quick: bool) -> Vec<ResultTable> {
+    let n_queries = if quick { 3 } else { 10 };
+    let table = dataset_table(Dataset::Dob, 20_000, 0xF18);
+    let cases: Vec<TestCase> = test_cases(&table, n_queries, 3, 20, 88);
+    let screen = ScreenConfig::with_width(900, 1);
+    let model = UserCostModel::default();
+    let budget = Some(Duration::from_secs(1));
+
+    let mut out = ResultTable::new(
+        "fig8",
+        "Disambiguation vs processing cost under processing-cost bounds \
+         (paper Fig. 8; 900 px; ILP(P-Cost) sweeps the bound)",
+        &["method", "disamb cost ms", "proc cost", "opt time ms"],
+    );
+
+    // Processing-oblivious references.
+    let record = |label: String, d: Vec<f64>, p: Vec<f64>, t: Vec<f64>, out: &mut ResultTable| {
+        out.push(vec![label, fmt(mean(&d)), fmt(mean(&p)), fmt(mean(&t))]);
+    };
+    let mut g_d = Vec::new();
+    let mut g_p = Vec::new();
+    let mut g_t = Vec::new();
+    let mut i_d = Vec::new();
+    let mut i_p = Vec::new();
+    let mut i_t = Vec::new();
+    for case in &cases {
+        let g = plan(&Planner::Greedy, &case.candidates, &screen, &model);
+        g_d.push(g.expected_cost);
+        g_p.push(merged_processing_cost(&table, &case.candidates, &g.multiplot, &CostParams::default()));
+        g_t.push(g.planning_time.as_secs_f64() * 1000.0);
+        let cfg = IlpConfig { time_budget: budget, warm_start: true, ..IlpConfig::default() };
+        let i = plan(&Planner::Ilp(cfg), &case.candidates, &screen, &model);
+        i_d.push(i.expected_cost);
+        i_p.push(merged_processing_cost(&table, &case.candidates, &i.multiplot, &CostParams::default()));
+        i_t.push(i.planning_time.as_secs_f64() * 1000.0);
+    }
+    record("greedy".into(), g_d, g_p, g_t, &mut out);
+    let base_proc = mean(&i_p);
+    record("ILP(D-Cost)".into(), i_d, i_p, i_t, &mut out);
+
+    // Bounded processing-cost sweep.
+    let fracs: &[f64] = if quick { &[0.5, 1.0] } else { &[0.25, 0.5, 0.75, 1.0, 1.5] };
+    for &frac in fracs {
+        let mut d = Vec::new();
+        let mut p = Vec::new();
+        let mut t = Vec::new();
+        for case in &cases {
+            let groups = processing_groups(&table, &case.candidates);
+            let proc = ProcessingConfig {
+                groups,
+                bound: Some(base_proc * frac),
+                weight: 1e-6,
+            };
+            let cfg = IlpConfig {
+                time_budget: budget,
+                warm_start: false,
+                processing: Some(proc),
+                ..IlpConfig::default()
+            };
+            let r = plan(&Planner::Ilp(cfg), &case.candidates, &screen, &model);
+            d.push(r.expected_cost);
+            p.push(merged_processing_cost(
+                &table,
+                &case.candidates,
+                &r.multiplot,
+                &CostParams::default(),
+            ));
+            t.push(r.planning_time.as_secs_f64() * 1000.0);
+        }
+        record(format!("ILP(P-Cost) bound={frac:.2}x"), d, p, t, &mut out);
+    }
+    vec![out]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_cover_all_candidates() {
+        let table = dataset_table(Dataset::Dob, 2_000, 1);
+        let cases = test_cases(&table, 1, 2, 10, 2);
+        let groups = processing_groups(&table, &cases[0].candidates);
+        for i in 0..cases[0].candidates.len() {
+            assert!(
+                groups.iter().any(|g| g.queries.contains(&i)),
+                "candidate {i} uncovered"
+            );
+        }
+        // Merged groups must be cheaper than the sum of their singletons.
+        for g in groups.iter().filter(|g| g.queries.len() > 1) {
+            let singleton_sum: f64 = g
+                .queries
+                .iter()
+                .map(|&qi| {
+                    estimate(
+                        &table,
+                        &cases[0].candidates[qi].query,
+                        &CostParams::default(),
+                    )
+                    .total
+                })
+                .sum();
+            assert!(g.cost < singleton_sum);
+        }
+    }
+}

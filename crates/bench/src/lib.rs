@@ -1,0 +1,10 @@
+//! # muve-bench
+//!
+//! The benchmark harness of the MUVE reproduction: [`experiments`] holds
+//! one driver per table/figure of the paper's evaluation (§4 and §9); the
+//! `expt` binary runs them and prints/serializes the regenerated rows, and
+//! the criterion benches under `benches/` microbenchmark the substrates.
+
+#![warn(missing_docs)]
+
+pub mod experiments;

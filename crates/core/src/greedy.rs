@@ -1,0 +1,531 @@
+//! The greedy multiplot planner (paper §6, Algorithms 1-4).
+//!
+//! Four phases, exactly as in Algorithm 1:
+//!
+//! 1. **Plot candidates** (Alg. 2): group candidate queries by template;
+//!    for each template emit plots showing every *prefix* of the
+//!    probability-sorted instantiating queries (the subset condition of
+//!    Alg. 2 line 17 admits exactly the prefixes).
+//! 2. **Coloring** (Alg. 3): for each plot, emit versions highlighting the
+//!    `k` most likely queries for every `k` — by Theorem 2 the optimum
+//!    colors a probability prefix, so nothing else needs to be tried.
+//! 3. **Plot picking** (Alg. 4): cost savings are monotone and submodular
+//!    (Theorems 1 & 3), so a density-greedy over (plot, row) items under
+//!    the per-row width knapsacks (the multi-knapsack scheme of Yu et al.)
+//!    carries the usual `O(1/(1+2r) − ε)` guarantee.
+//! 4. **Polish**: remove redundant bars (the same query result shown in
+//!    several plots) and backfill freed space with the most likely
+//!    not-yet-shown compatible queries.
+
+use crate::cost_model::UserCostModel;
+use crate::plot::{Multiplot, Plot, PlotEntry, ScreenConfig};
+use crate::query::{templates_of, Candidate};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// An uncolored plot candidate: a template plus a probability-prefix of its
+/// instantiating queries.
+#[derive(Debug, Clone)]
+pub struct UncoloredPlot {
+    /// Template title.
+    pub title: String,
+    /// Template identity (index into the grouped template list).
+    pub template: usize,
+    /// `(candidate index, x label)` in descending probability order.
+    pub entries: Vec<(usize, String)>,
+}
+
+/// A colored plot candidate: an [`UncoloredPlot`] with its `red_k` most
+/// likely entries highlighted.
+#[derive(Debug, Clone)]
+pub struct ColoredPlot {
+    /// The underlying uncolored plot.
+    pub plot: UncoloredPlot,
+    /// Number of highlighted (most likely) entries.
+    pub red_k: usize,
+}
+
+impl ColoredPlot {
+    /// Materialize into a renderable [`Plot`].
+    pub fn to_plot(&self) -> Plot {
+        Plot {
+            title: self.plot.title.clone(),
+            entries: self
+                .plot
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, (c, label))| PlotEntry {
+                    candidate: *c,
+                    label: label.clone(),
+                    highlighted: i < self.red_k,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Group candidates by template and prune dominated templates. Returns
+/// `(title, members)` pairs where members are `(candidate, label)` sorted
+/// by descending probability.
+///
+/// Dominance rule: template `A` is dropped when some template `B` can show
+/// a superset of `A`'s queries at no larger base width — any multiplot
+/// using `A` can swap in `B` without increasing cost or width, so pruning
+/// preserves optimality while shrinking both planners' search spaces
+/// (candidate sets produce many singleton templates, one per masked
+/// element).
+pub fn group_templates(candidates: &[Candidate]) -> Vec<(String, Vec<(usize, String)>)> {
+    let all = group_templates_unpruned(candidates);
+    // Representative width: title length is what drives plot_base_width
+    // for every screen configuration.
+    let width = |title: &str| title.chars().count();
+    let mut member_sets: Vec<Vec<usize>> = all
+        .iter()
+        .map(|(_, m)| {
+            let mut ids: Vec<usize> = m.iter().map(|(c, _)| *c).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    let mut keep = vec![true; all.len()];
+    for a in 0..all.len() {
+        if !keep[a] {
+            continue;
+        }
+        for b in 0..all.len() {
+            if a == b || !keep[a] || !keep[b] {
+                continue;
+            }
+            let subset = member_sets[a].iter().all(|x| member_sets[b].binary_search(x).is_ok());
+            if !subset {
+                continue;
+            }
+            let wa = width(&all[a].0);
+            let wb = width(&all[b].0);
+            let strictly_smaller = member_sets[a].len() < member_sets[b].len();
+            // Equal sets: keep the narrower (ties keep the earlier).
+            if (strictly_smaller && wb <= wa)
+                || (!strictly_smaller && (wb < wa || (wb == wa && b < a)))
+            {
+                keep[a] = false;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(all.len());
+    for (i, t) in all.into_iter().enumerate() {
+        if keep[i] {
+            out.push(t);
+        }
+    }
+    member_sets.clear();
+    out
+}
+
+/// [`group_templates`] without dominance pruning (exposed for tests and
+/// ablation benchmarks).
+pub fn group_templates_unpruned(candidates: &[Candidate]) -> Vec<(String, Vec<(usize, String)>)> {
+    let mut map: FxHashMap<String, Vec<(usize, String)>> = FxHashMap::default();
+    let mut order: Vec<String> = Vec::new();
+    for (i, c) in candidates.iter().enumerate() {
+        for t in templates_of(&c.query) {
+            let entry = map.entry(t.title.clone());
+            if let std::collections::hash_map::Entry::Vacant(_) = entry {
+                order.push(t.title.clone());
+            }
+            map.entry(t.title).or_default().push((i, t.label));
+        }
+    }
+    order
+        .into_iter()
+        .map(|title| {
+            let mut members = map.remove(&title).expect("inserted above");
+            members.sort_by(|a, b| {
+                candidates[b.0]
+                    .probability
+                    .partial_cmp(&candidates[a.0].probability)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            // A query can reach the same template through different masked
+            // elements only with identical labels; dedup by candidate.
+            let mut seen = FxHashSet::default();
+            members.retain(|(c, _)| seen.insert(*c));
+            (title, members)
+        })
+        .collect()
+}
+
+/// Algorithm 2: generate uncolored plot candidates.
+///
+/// Prefix lengths are capped by how many bars could ever fit next to the
+/// plot's title on the screen.
+pub fn plot_candidates(candidates: &[Candidate], screen: &ScreenConfig) -> Vec<UncoloredPlot> {
+    let mut out = Vec::new();
+    for (template, (title, members)) in group_templates(candidates).into_iter().enumerate() {
+        let base = screen.plot_base_width(&title);
+        let max_bars = ((screen.width_bars() - base).floor() as usize).min(members.len());
+        for len in 1..=max_bars {
+            out.push(UncoloredPlot {
+                title: title.clone(),
+                template,
+                entries: members[..len].to_vec(),
+            });
+        }
+    }
+    out
+}
+
+/// Algorithm 3: generate colored versions (highlight top-k for each k).
+pub fn add_colors(plots: Vec<UncoloredPlot>) -> Vec<ColoredPlot> {
+    let mut out = Vec::new();
+    for plot in plots {
+        for red_k in 0..=plot.entries.len() {
+            out.push(ColoredPlot { plot: plot.clone(), red_k });
+        }
+    }
+    out
+}
+
+/// Algorithm 4: pick plots by density-greedy submodular maximization under
+/// the per-row width knapsacks.
+pub fn pick_plots(
+    candidates: &[Candidate],
+    screen: &ScreenConfig,
+    model: &UserCostModel,
+    colored: &[ColoredPlot],
+) -> Multiplot {
+    let mut multiplot = Multiplot::empty(screen.rows);
+    let width = screen.width_bars();
+    let mut used_templates: FxHashSet<usize> = FxHashSet::default();
+    let mut row_used = vec![0.0f64; screen.rows];
+    let mut current_cost = model.expected_cost(&multiplot, candidates);
+    loop {
+        let mut best: Option<(usize, usize, f64, f64)> = None; // (plot idx, row, gain, width)
+        for (pi, cp) in colored.iter().enumerate() {
+            if used_templates.contains(&cp.plot.template) {
+                continue;
+            }
+            let plot = cp.to_plot();
+            let w = plot.width(screen);
+            // Identical marginal effect in every row with space; take the
+            // first row that fits (rows are interchangeable for the model).
+            let Some(row) = (0..screen.rows).find(|&r| row_used[r] + w <= width + 1e-9) else {
+                continue;
+            };
+            multiplot.rows[row].push(plot);
+            let new_cost = model.expected_cost(&multiplot, candidates);
+            multiplot.rows[row].pop();
+            let gain = current_cost - new_cost;
+            if gain <= 1e-9 {
+                continue;
+            }
+            let density = gain / w;
+            let better = match &best {
+                None => true,
+                Some((_, _, bg, bw)) => {
+                    let bd = bg / bw;
+                    density > bd + 1e-12 || (density > bd - 1e-12 && gain > *bg)
+                }
+            };
+            if better {
+                best = Some((pi, row, gain, w));
+            }
+        }
+        let Some((pi, row, gain, w)) = best else { break };
+        let cp = &colored[pi];
+        multiplot.rows[row].push(cp.to_plot());
+        row_used[row] += w;
+        used_templates.insert(cp.plot.template);
+        current_cost -= gain;
+    }
+    multiplot
+}
+
+/// Final cleanup: drop redundant query results and backfill freed space.
+pub fn polish(
+    mut multiplot: Multiplot,
+    candidates: &[Candidate],
+    screen: &ScreenConfig,
+) -> Multiplot {
+    // Pass 1: a candidate shown multiple times keeps its highlighted
+    // occurrence (or the first); others are removed.
+    let mut keep: FxHashMap<usize, (usize, usize)> = FxHashMap::default(); // cand -> (plot#, entry#)
+    let flat: Vec<(usize, usize, usize, bool)> = multiplot
+        .rows
+        .iter()
+        .flatten()
+        .enumerate()
+        .flat_map(|(p, plot)| {
+            plot.entries
+                .iter()
+                .enumerate()
+                .map(move |(e, en)| (p, e, en.candidate, en.highlighted))
+        })
+        .collect();
+    for (p, e, cand, hl) in flat {
+        match keep.get(&cand) {
+            None => {
+                keep.insert(cand, (p, e));
+            }
+            Some(_) if hl => {
+                keep.insert(cand, (p, e));
+            }
+            Some(_) => {}
+        }
+    }
+    let mut plot_no = 0usize;
+    for row in &mut multiplot.rows {
+        for plot in row.iter_mut() {
+            let mut e_no = 0usize;
+            plot.entries.retain(|en| {
+                let keep_it = keep.get(&en.candidate) == Some(&(plot_no, e_no));
+                e_no += 1;
+                keep_it
+            });
+            plot_no += 1;
+        }
+    }
+    // Pass 2: backfill with the most likely non-displayed compatible query.
+    let shown: FxHashSet<usize> = multiplot.candidates_shown().into_iter().collect();
+    let groups = group_templates(candidates);
+    let by_title: FxHashMap<&str, &Vec<(usize, String)>> =
+        groups.iter().map(|(t, m)| (t.as_str(), m)).collect();
+    let mut newly_shown: FxHashSet<usize> = FxHashSet::default();
+    for r in 0..multiplot.rows.len() {
+        loop {
+            let used: f64 = multiplot.row_width(r, screen);
+            let free = screen.width_bars() - used;
+            if free < 1.0 {
+                break;
+            }
+            // Best (probability) addition across this row's plots.
+            let mut best: Option<(usize, usize, String, f64)> = None; // (plot#, cand, label, prob)
+            for (pi, plot) in multiplot.rows[r].iter().enumerate() {
+                let Some(members) = by_title.get(plot.title.as_str()) else { continue };
+                for (cand, label) in members.iter() {
+                    if shown.contains(cand) || newly_shown.contains(cand) {
+                        continue;
+                    }
+                    let prob = candidates[*cand].probability;
+                    if best.as_ref().is_none_or(|(_, _, _, bp)| prob > *bp) {
+                        best = Some((pi, *cand, label.clone(), prob));
+                    }
+                }
+            }
+            let Some((pi, cand, label, _)) = best else { break };
+            multiplot.rows[r][pi].entries.push(PlotEntry {
+                candidate: cand,
+                label,
+                highlighted: false,
+            });
+            newly_shown.insert(cand);
+        }
+    }
+    // Drop plots that ended up empty.
+    for row in &mut multiplot.rows {
+        row.retain(|p| !p.entries.is_empty());
+    }
+    multiplot
+}
+
+/// Algorithm 1: the full greedy pipeline.
+pub fn greedy_plan(
+    candidates: &[Candidate],
+    screen: &ScreenConfig,
+    model: &UserCostModel,
+) -> Multiplot {
+    let uncolored = plot_candidates(candidates, screen);
+    let colored = add_colors(uncolored);
+    let picked = pick_plots(candidates, screen, model, &colored);
+    polish(picked, candidates, screen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_dbms::parse;
+
+    fn origin_candidates(probs: &[f64]) -> Vec<Candidate> {
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Candidate::new(
+                    parse(&format!("select avg(delay) from flights where origin = 'AP{i}'"))
+                        .unwrap(),
+                    p,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefixes_only() {
+        let cands = origin_candidates(&[0.5, 0.3, 0.2]);
+        let screen = ScreenConfig::desktop(1);
+        let plots = plot_candidates(&cands, &screen);
+        // The shared `origin = ?` template yields prefixes of length 1..3.
+        let shared: Vec<_> = plots.iter().filter(|p| p.title.contains("origin = ?")).collect();
+        assert_eq!(shared.len(), 3);
+        for p in &shared {
+            // Entries are a probability prefix.
+            for w in p.entries.windows(2) {
+                assert!(cands[w[0].0].probability >= cands[w[1].0].probability);
+            }
+            assert_eq!(p.entries[0].0, 0);
+        }
+    }
+
+    #[test]
+    fn coloring_enumerates_k() {
+        let plot = UncoloredPlot {
+            title: "t".into(),
+            template: 0,
+            entries: vec![(0, "a".into()), (1, "b".into())],
+        };
+        let colored = add_colors(vec![plot]);
+        let ks: Vec<usize> = colored.iter().map(|c| c.red_k).collect();
+        assert_eq!(ks, vec![0, 1, 2]);
+        assert_eq!(colored[1].to_plot().red_bars(), 1);
+    }
+
+    #[test]
+    fn greedy_covers_likely_candidates() {
+        let cands = origin_candidates(&[0.4, 0.3, 0.2, 0.1]);
+        let screen = ScreenConfig::desktop(1);
+        let model = UserCostModel::default();
+        let m = greedy_plan(&cands, &screen, &model);
+        assert!(m.fits(&screen));
+        // Plenty of space: all four candidates shown.
+        for i in 0..4 {
+            assert!(m.shows(i), "candidate {i} missing");
+        }
+    }
+
+    #[test]
+    fn narrow_screen_prefers_likely() {
+        let cands = origin_candidates(&[0.8, 0.1, 0.06, 0.04]);
+        let screen = ScreenConfig::with_width(360, 1);
+        let model = UserCostModel::default();
+        let m = greedy_plan(&cands, &screen, &model);
+        assert!(m.fits(&screen));
+        assert!(m.shows(0), "most likely candidate must be shown");
+    }
+
+    #[test]
+    fn greedy_cost_beats_empty() {
+        let cands = origin_candidates(&[0.5, 0.25, 0.15, 0.1]);
+        let screen = ScreenConfig::iphone(1);
+        let model = UserCostModel::default();
+        let m = greedy_plan(&cands, &screen, &model);
+        assert!(model.cost_savings(&m, &cands) > 0.0);
+    }
+
+    #[test]
+    fn polish_removes_duplicates() {
+        let cands = origin_candidates(&[0.6, 0.4]);
+        let dup = Multiplot {
+            rows: vec![vec![
+                Plot {
+                    title: "x".into(),
+                    entries: vec![PlotEntry { candidate: 0, label: "a".into(), highlighted: true }],
+                },
+                Plot {
+                    title: "y".into(),
+                    entries: vec![
+                        PlotEntry { candidate: 0, label: "a".into(), highlighted: false },
+                        PlotEntry { candidate: 1, label: "b".into(), highlighted: false },
+                    ],
+                },
+            ]],
+        };
+        let screen = ScreenConfig::with_width(220, 1);
+        let polished = polish(dup, &cands, &screen);
+        let shown: Vec<usize> = polished
+            .plots()
+            .flat_map(|p| p.entries.iter().map(|e| e.candidate))
+            .collect();
+        let zero_count = shown.iter().filter(|&&c| c == 0).count();
+        assert_eq!(zero_count, 1, "{polished:?}");
+        // The highlighted occurrence survived.
+        assert!(polished.highlights(0));
+    }
+
+    #[test]
+    fn polish_backfills_free_space() {
+        let cands = origin_candidates(&[0.5, 0.3, 0.2]);
+        // A multiplot showing only candidate 0 on a wide screen.
+        let m = Multiplot {
+            rows: vec![vec![Plot {
+                title: "avg(delay) from flights where origin = ?".into(),
+                entries: vec![PlotEntry { candidate: 0, label: "AP0".into(), highlighted: false }],
+            }]],
+        };
+        let screen = ScreenConfig::desktop(1);
+        let polished = polish(m, &cands, &screen);
+        assert!(polished.shows(1));
+        assert!(polished.shows(2));
+    }
+
+    #[test]
+    fn respects_row_count() {
+        let cands = origin_candidates(&[0.3, 0.25, 0.2, 0.15, 0.1]);
+        for rows in 1..=3 {
+            let screen = ScreenConfig::iphone(rows);
+            let m = greedy_plan(&cands, &screen, &UserCostModel::default());
+            assert!(m.rows.len() <= rows);
+            assert!(m.fits(&screen));
+        }
+    }
+
+    #[test]
+    fn more_rows_never_worse() {
+        let cands = origin_candidates(&[0.3, 0.2, 0.15, 0.12, 0.1, 0.08, 0.05]);
+        let model = UserCostModel::default();
+        let narrow = ScreenConfig::with_width(400, 1);
+        let tall = ScreenConfig::with_width(400, 3);
+        let c1 = model.expected_cost(&greedy_plan(&cands, &narrow, &model), &cands);
+        let c3 = model.expected_cost(&greedy_plan(&cands, &tall, &model), &cands);
+        assert!(c3 <= c1 + 1e-6, "1 row: {c1}, 3 rows: {c3}");
+    }
+
+    #[test]
+    fn empty_candidates_empty_plan() {
+        let screen = ScreenConfig::iphone(1);
+        let m = greedy_plan(&[], &screen, &UserCostModel::default());
+        assert_eq!(m.num_plots(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_templates() {
+        // Candidates varying the aggregation column share the `avg(?)`
+        // template; ones varying the constant share `origin = ?`.
+        let cands = vec![
+            Candidate::new(
+                parse("select avg(dep_delay) from flights where origin = 'JFK'").unwrap(),
+                0.5,
+            ),
+            Candidate::new(
+                parse("select avg(arr_delay) from flights where origin = 'JFK'").unwrap(),
+                0.3,
+            ),
+            Candidate::new(
+                parse("select avg(dep_delay) from flights where origin = 'LGA'").unwrap(),
+                0.2,
+            ),
+        ];
+        let screen = ScreenConfig::desktop(1);
+        let m = greedy_plan(&cands, &screen, &UserCostModel::default());
+        for i in 0..3 {
+            assert!(m.shows(i), "candidate {i}");
+        }
+        // No candidate appears twice after polishing.
+        let mut seen = Vec::new();
+        for p in m.plots() {
+            for e in &p.entries {
+                assert!(!seen.contains(&e.candidate), "{:?} duplicated", e.candidate);
+                seen.push(e.candidate);
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The multiplot headline (paper Figure 2b).
+//!
+//! MUVE's output outlines the query elements *common to all candidate
+//! interpretations* in a headline above the plots, so each plot title only
+//! needs to spell out what varies. This module computes that headline:
+//! the shared aggregate, shared predicates, and the table, with differing
+//! elements elided as `…`.
+
+use crate::query::Candidate;
+use muve_dbms::{Aggregate, Predicate};
+
+/// Compute the headline for a candidate set: the SQL skeleton shared by
+/// every candidate, with varying elements rendered as `…`.
+///
+/// # Examples
+/// ```
+/// use muve_core::{headline, Candidate};
+/// use muve_dbms::parse;
+/// let cands = vec![
+///     Candidate::new(parse("select avg(delay) from f where origin = 'JFK'").unwrap(), 0.6),
+///     Candidate::new(parse("select avg(delay) from f where origin = 'LGA'").unwrap(), 0.4),
+/// ];
+/// assert_eq!(headline(&cands), "avg(delay) from f where origin = …");
+/// ```
+pub fn headline(candidates: &[Candidate]) -> String {
+    let Some(first) = candidates.first() else { return String::new() };
+    let q0 = &first.query;
+
+    // Aggregate: function and column each shared or elided.
+    let agg0 = q0.aggregates.first();
+    let func_shared = candidates.iter().all(|c| {
+        c.query.aggregates.first().map(|a| a.func) == agg0.map(|a| a.func)
+    });
+    let col_shared = candidates.iter().all(|c| {
+        c.query.aggregates.first().map(|a| &a.column) == agg0.map(|a| &a.column)
+    });
+    let agg_text = match agg0 {
+        None => String::new(),
+        Some(Aggregate { func, column }) => {
+            let f = if func_shared { func.name().to_owned() } else { "…".to_owned() };
+            let c = if col_shared {
+                column.clone().unwrap_or_else(|| "*".to_owned())
+            } else {
+                "…".to_owned()
+            };
+            format!("{f}({c})")
+        }
+    };
+
+    // Table (shared by construction in practice, elided otherwise).
+    let table = if candidates.iter().all(|c| c.query.table == q0.table) {
+        q0.table.clone()
+    } else {
+        "…".to_owned()
+    };
+
+    // Predicates: align by position (candidate generation preserves the
+    // predicate list structure). A predicate column/value is shown when
+    // shared by all candidates with the same arity; extra predicates in
+    // some candidates are summarized by a trailing ellipsis.
+    let arity_shared = candidates.iter().all(|c| c.query.predicates.len() == q0.predicates.len());
+    let mut parts: Vec<String> = Vec::new();
+    if arity_shared {
+        for (i, p0) in q0.predicates.iter().enumerate() {
+            let all_same = candidates.iter().all(|c| c.query.predicates[i] == *p0);
+            if all_same {
+                parts.push(p0.to_string());
+                continue;
+            }
+            let col_same = candidates
+                .iter()
+                .all(|c| c.query.predicates[i].column.eq_ignore_ascii_case(&p0.column));
+            parts.push(render_masked(p0, col_same));
+        }
+    } else if !q0.predicates.is_empty() {
+        parts.push("…".to_owned());
+    }
+
+    let mut out = agg_text;
+    out.push_str(" from ");
+    out.push_str(&table);
+    if !parts.is_empty() {
+        out.push_str(" where ");
+        out.push_str(&parts.join(" and "));
+    }
+    out
+}
+
+/// Render a predicate whose value (and possibly column) varies.
+fn render_masked(p: &Predicate, col_shared: bool) -> String {
+    use muve_dbms::PredOp;
+    let col = if col_shared { p.column.as_str() } else { "…" };
+    match &p.op {
+        PredOp::Eq(_) => format!("{col} = …"),
+        PredOp::Cmp(..) => format!("{col} … …"),
+        PredOp::In(_) => format!("{col} in (…)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_dbms::parse;
+
+    fn cands(sqls: &[&str]) -> Vec<Candidate> {
+        let p = 1.0 / sqls.len() as f64;
+        sqls.iter().map(|s| Candidate::new(parse(s).unwrap(), p)).collect()
+    }
+
+    #[test]
+    fn constant_varies() {
+        let h = headline(&cands(&[
+            "select count(*) from t where k = 'a'",
+            "select count(*) from t where k = 'b'",
+        ]));
+        assert_eq!(h, "count(*) from t where k = …");
+    }
+
+    #[test]
+    fn column_varies() {
+        let h = headline(&cands(&[
+            "select count(*) from t where borough = 'Brooklyn'",
+            "select count(*) from t where city = 'Brooklyn'",
+        ]));
+        assert_eq!(h, "count(*) from t where … = …");
+    }
+
+    #[test]
+    fn aggregate_column_varies() {
+        let h = headline(&cands(&[
+            "select avg(dep_delay) from f where o = 'x'",
+            "select avg(arr_delay) from f where o = 'x'",
+        ]));
+        assert_eq!(h, "avg(…) from f where o = 'x'");
+    }
+
+    #[test]
+    fn aggregate_function_varies() {
+        let h = headline(&cands(&[
+            "select sum(v) from t",
+            "select avg(v) from t",
+        ]));
+        assert_eq!(h, "…(v) from t");
+    }
+
+    #[test]
+    fn everything_shared() {
+        let h = headline(&cands(&["select max(v) from t where a = 1 and b = 'x'"]));
+        assert_eq!(h, "max(v) from t where a = 1 and b = 'x'");
+    }
+
+    #[test]
+    fn mixed_shared_and_varying_predicates() {
+        let h = headline(&cands(&[
+            "select count(*) from t where a = 'x' and b = 'p'",
+            "select count(*) from t where a = 'x' and b = 'q'",
+        ]));
+        assert_eq!(h, "count(*) from t where a = 'x' and b = …");
+    }
+
+    #[test]
+    fn arity_mismatch_elided() {
+        let h = headline(&cands(&[
+            "select count(*) from t where a = 'x'",
+            "select count(*) from t where a = 'x' and b = 'y'",
+        ]));
+        assert_eq!(h, "count(*) from t where …");
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let h = headline(&cands(&[
+            "select count(*) from t where v > 15",
+            "select count(*) from t where v > 50",
+        ]));
+        assert_eq!(h, "count(*) from t where v … …");
+        let h = headline(&cands(&[
+            "select count(*) from t where v > 15",
+            "select count(*) from t where v > 15",
+        ]));
+        assert_eq!(h, "count(*) from t where v > 15");
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert_eq!(headline(&[]), "");
+    }
+}

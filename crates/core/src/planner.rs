@@ -1,0 +1,217 @@
+//! Planner facade: one entry point over the greedy and ILP planners, plus
+//! the incremental-ILP schedule of paper §5.4.
+
+use crate::cost_model::UserCostModel;
+use crate::greedy::greedy_plan;
+use crate::ilp::{ilp_plan, IlpConfig};
+use crate::plot::{Multiplot, ScreenConfig};
+use crate::query::Candidate;
+use muve_solver::MipStatus;
+use std::time::{Duration, Instant};
+
+/// Which planning algorithm to run.
+#[derive(Debug, Clone)]
+pub enum Planner {
+    /// The greedy heuristic (paper §6).
+    Greedy,
+    /// The integer-programming planner (paper §5).
+    Ilp(IlpConfig),
+}
+
+/// The exponential-timeout schedule for incremental ILP optimization
+/// (paper §5.4: the `i`-th sequence lasts `k · bⁱ`).
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalSchedule {
+    /// Initial sequence duration `k` (paper default 62.5 ms).
+    pub initial: Duration,
+    /// Growth base `b` (paper default 2).
+    pub growth: f64,
+    /// Total optimization budget across sequences.
+    pub total: Duration,
+}
+
+impl Default for IncrementalSchedule {
+    fn default() -> Self {
+        IncrementalSchedule {
+            initial: Duration::from_micros(62_500),
+            growth: 2.0,
+            total: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Result of one planning run.
+#[derive(Debug, Clone)]
+pub struct PlanResult {
+    /// The planned multiplot.
+    pub multiplot: Multiplot,
+    /// Expected user disambiguation cost under the user model.
+    pub expected_cost: f64,
+    /// Wall-clock planning time.
+    pub planning_time: Duration,
+    /// Whether the planner hit its time budget before proving optimality.
+    pub timed_out: bool,
+    /// Whether the solution is proven optimal (always false for greedy).
+    pub proven_optimal: bool,
+}
+
+/// Run one planner.
+pub fn plan(
+    planner: &Planner,
+    candidates: &[Candidate],
+    screen: &ScreenConfig,
+    model: &UserCostModel,
+) -> PlanResult {
+    let start = Instant::now();
+    match planner {
+        Planner::Greedy => {
+            let multiplot = greedy_plan(candidates, screen, model);
+            PlanResult {
+                expected_cost: model.expected_cost(&multiplot, candidates),
+                multiplot,
+                planning_time: start.elapsed(),
+                timed_out: false,
+                proven_optimal: false,
+            }
+        }
+        Planner::Ilp(cfg) => {
+            let out = ilp_plan(candidates, screen, model, cfg);
+            PlanResult {
+                expected_cost: out.expected_cost,
+                multiplot: out.multiplot,
+                planning_time: start.elapsed(),
+                timed_out: out.timed_out || out.status == MipStatus::Feasible,
+                proven_optimal: out.status == MipStatus::Optimal,
+            }
+        }
+    }
+}
+
+/// Incremental ILP optimization: restart the solver with exponentially
+/// increasing budgets, seeding each restart with the best multiplot so far,
+/// and hand every intermediate result to `on_step` (the paper shows each to
+/// the user). Returns the final result.
+pub fn plan_incremental(
+    candidates: &[Candidate],
+    screen: &ScreenConfig,
+    model: &UserCostModel,
+    base: &IlpConfig,
+    schedule: &IncrementalSchedule,
+    mut on_step: impl FnMut(&PlanResult),
+) -> PlanResult {
+    let start = Instant::now();
+    let mut best: Option<PlanResult> = None;
+    let mut seed: Option<Multiplot> = None;
+    let mut step = 0u32;
+    loop {
+        let budget = Duration::from_secs_f64(
+            schedule.initial.as_secs_f64() * schedule.growth.powi(step as i32),
+        );
+        let remaining = schedule.total.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            break;
+        }
+        let cfg = IlpConfig {
+            time_budget: Some(budget.min(remaining)),
+            seed: seed.clone(),
+            ..base.clone()
+        };
+        let out = ilp_plan(candidates, screen, model, &cfg);
+        let result = PlanResult {
+            expected_cost: out.expected_cost,
+            multiplot: out.multiplot.clone(),
+            planning_time: start.elapsed(),
+            timed_out: out.timed_out || out.status == MipStatus::Feasible,
+            proven_optimal: out.status == MipStatus::Optimal,
+        };
+        // An empty, unproven multiplot (solver found no incumbent yet) is
+        // not worth showing; keep waiting for a real one.
+        let meaningful = result.multiplot.num_plots() > 0 || result.proven_optimal;
+        let improved = meaningful
+            && best
+                .as_ref()
+                .is_none_or(|b| result.expected_cost < b.expected_cost - 1e-9);
+        if improved {
+            seed = Some(out.multiplot);
+            on_step(&result);
+            best = Some(result.clone());
+        }
+        if result.proven_optimal {
+            best = Some(result);
+            break;
+        }
+        step += 1;
+    }
+    best.unwrap_or_else(|| PlanResult {
+        multiplot: Multiplot::empty(screen.rows),
+        expected_cost: model.expected_cost(&Multiplot::empty(screen.rows), candidates),
+        planning_time: start.elapsed(),
+        timed_out: true,
+        proven_optimal: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_dbms::parse;
+
+    fn cands(probs: &[f64]) -> Vec<Candidate> {
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Candidate::new(
+                    parse(&format!("select sum(v) from t where k = 'x{i}'")).unwrap(),
+                    p,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_plan_result() {
+        let r = plan(
+            &Planner::Greedy,
+            &cands(&[0.6, 0.4]),
+            &ScreenConfig::iphone(1),
+            &UserCostModel::default(),
+        );
+        assert!(!r.timed_out);
+        assert!(!r.proven_optimal);
+        assert!(r.multiplot.num_plots() > 0);
+    }
+
+    #[test]
+    fn ilp_plan_result_optimal_on_small_input() {
+        let cfg = IlpConfig { node_budget: Some(5_000), warm_start: true, ..IlpConfig::default() };
+        let r = plan(
+            &Planner::Ilp(cfg),
+            &cands(&[0.6, 0.4]),
+            &ScreenConfig::iphone(1),
+            &UserCostModel::default(),
+        );
+        assert!(r.proven_optimal);
+        assert!(!r.timed_out);
+    }
+
+    #[test]
+    fn incremental_reports_steps() {
+        let candidates = cands(&[0.4, 0.3, 0.2, 0.1]);
+        let screen = ScreenConfig::iphone(1);
+        let model = UserCostModel::default();
+        let mut steps = 0;
+        let base = IlpConfig { warm_start: true, ..IlpConfig::default() };
+        let schedule = IncrementalSchedule {
+            initial: Duration::from_millis(20),
+            growth: 2.0,
+            total: Duration::from_millis(500),
+        };
+        let r = plan_incremental(&candidates, &screen, &model, &base, &schedule, |_| steps += 1);
+        assert!(steps >= 1);
+        assert!(r.multiplot.num_plots() > 0);
+        // Cost never above greedy (warm start guarantees it).
+        let g = plan(&Planner::Greedy, &candidates, &screen, &model);
+        assert!(r.expected_cost <= g.expected_cost + 1e-6);
+    }
+}

@@ -1,0 +1,255 @@
+//! Plots, multiplots and screen geometry (paper §2, Definitions 2-3).
+
+use serde::Serialize;
+
+/// Screen geometry and layout constants.
+///
+/// The ILP width model (paper §5.2) measures widths in *bar units*: each
+/// bar has width one, and a plot's base width `W_i` (title, axes, padding)
+/// is derived from its title length. [`ScreenConfig`] performs the
+/// pixel-to-bar-unit conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScreenConfig {
+    /// Horizontal resolution in pixels.
+    pub width_px: u32,
+    /// Number of multiplot rows.
+    pub rows: usize,
+    /// Pixels per bar (bar plus its x-axis label).
+    pub bar_px: u32,
+    /// Pixels per title character.
+    pub char_px: u32,
+    /// Fixed per-plot padding in pixels (margins, y-axis).
+    pub plot_padding_px: u32,
+}
+
+impl ScreenConfig {
+    /// iPhone-class resolution (the paper's default).
+    pub fn iphone(rows: usize) -> ScreenConfig {
+        ScreenConfig { width_px: 750, rows, ..ScreenConfig::default_geometry() }
+    }
+
+    /// Tablet-class resolution.
+    pub fn tablet(rows: usize) -> ScreenConfig {
+        ScreenConfig { width_px: 1536, rows, ..ScreenConfig::default_geometry() }
+    }
+
+    /// Desktop-class resolution.
+    pub fn desktop(rows: usize) -> ScreenConfig {
+        ScreenConfig { width_px: 1920, rows, ..ScreenConfig::default_geometry() }
+    }
+
+    /// Custom pixel width with default layout constants.
+    pub fn with_width(width_px: u32, rows: usize) -> ScreenConfig {
+        ScreenConfig { width_px, rows, ..ScreenConfig::default_geometry() }
+    }
+
+    fn default_geometry() -> ScreenConfig {
+        ScreenConfig { width_px: 750, rows: 1, bar_px: 48, char_px: 7, plot_padding_px: 24 }
+    }
+
+    /// Screen width in bar units.
+    pub fn width_bars(&self) -> f64 {
+        self.width_px as f64 / self.bar_px as f64
+    }
+
+    /// Base width `W_i` of a plot with the given title, in bar units. The
+    /// title may wrap over the plot, so only a fraction of its pixel length
+    /// is charged, but padding always is.
+    pub fn plot_base_width(&self, title: &str) -> f64 {
+        let title_px = (title.chars().count() as u32 * self.char_px) as f64 / 2.0;
+        (title_px + self.plot_padding_px as f64) / self.bar_px as f64
+    }
+}
+
+/// One bar of a plot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlotEntry {
+    /// Index of the candidate query this bar shows.
+    pub candidate: usize,
+    /// X-axis label (the template placeholder substitution).
+    pub label: String,
+    /// Whether the bar is highlighted in the markup color (red).
+    pub highlighted: bool,
+}
+
+/// A query-group plot: a template (title) plus bars for a subset of the
+/// queries instantiating it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Plot {
+    /// Plot title (the template with a `?` placeholder).
+    pub title: String,
+    /// Bars in x-axis order.
+    pub entries: Vec<PlotEntry>,
+}
+
+impl Plot {
+    /// Width of the plot in bar units under `screen`.
+    pub fn width(&self, screen: &ScreenConfig) -> f64 {
+        screen.plot_base_width(&self.title) + self.entries.len() as f64
+    }
+
+    /// Number of highlighted bars.
+    pub fn red_bars(&self) -> usize {
+        self.entries.iter().filter(|e| e.highlighted).count()
+    }
+
+    /// Whether the plot contains at least one highlighted bar.
+    pub fn has_red(&self) -> bool {
+        self.entries.iter().any(|e| e.highlighted)
+    }
+}
+
+/// A multiplot: plots arranged into rows (paper Definition 3).
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct Multiplot {
+    /// Rows of plots, top to bottom.
+    pub rows: Vec<Vec<Plot>>,
+}
+
+impl Multiplot {
+    /// An empty multiplot with `rows` empty rows.
+    pub fn empty(rows: usize) -> Multiplot {
+        Multiplot { rows: vec![Vec::new(); rows] }
+    }
+
+    /// Iterate over all plots.
+    pub fn plots(&self) -> impl Iterator<Item = &Plot> {
+        self.rows.iter().flatten()
+    }
+
+    /// Total number of plots.
+    pub fn num_plots(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of bars.
+    pub fn num_bars(&self) -> usize {
+        self.plots().map(|p| p.entries.len()).sum()
+    }
+
+    /// Total number of highlighted bars (`b_R`).
+    pub fn num_red_bars(&self) -> usize {
+        self.plots().map(Plot::red_bars).sum()
+    }
+
+    /// Number of plots containing a highlighted bar (`p_R`).
+    pub fn num_red_plots(&self) -> usize {
+        self.plots().filter(|p| p.has_red()).count()
+    }
+
+    /// Width of row `r` in bar units.
+    pub fn row_width(&self, r: usize, screen: &ScreenConfig) -> f64 {
+        self.rows[r].iter().map(|p| p.width(screen)).sum()
+    }
+
+    /// Whether the multiplot fits the screen (every row within width, row
+    /// count within the configured maximum).
+    pub fn fits(&self, screen: &ScreenConfig) -> bool {
+        self.rows.len() <= screen.rows
+            && (0..self.rows.len()).all(|r| self.row_width(r, screen) <= screen.width_bars() + 1e-9)
+    }
+
+    /// Whether candidate `i`'s result is visible.
+    pub fn shows(&self, candidate: usize) -> bool {
+        self.plots().any(|p| p.entries.iter().any(|e| e.candidate == candidate))
+    }
+
+    /// Whether candidate `i`'s result is highlighted somewhere.
+    pub fn highlights(&self, candidate: usize) -> bool {
+        self.plots()
+            .any(|p| p.entries.iter().any(|e| e.candidate == candidate && e.highlighted))
+    }
+
+    /// All distinct candidate indices on display, in reading order.
+    pub fn candidates_shown(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for p in self.plots() {
+            for e in &p.entries {
+                if !out.contains(&e.candidate) {
+                    out.push(e.candidate);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(c: usize, hl: bool) -> PlotEntry {
+        PlotEntry { candidate: c, label: format!("q{c}"), highlighted: hl }
+    }
+
+    fn sample() -> Multiplot {
+        Multiplot {
+            rows: vec![
+                vec![
+                    Plot { title: "avg(delay) where origin = ?".into(), entries: vec![entry(0, true), entry(1, false)] },
+                    Plot { title: "?(delay)".into(), entries: vec![entry(2, false)] },
+                ],
+                vec![Plot { title: "sum(x) where k = ?".into(), entries: vec![entry(3, true), entry(0, false)] }],
+            ],
+        }
+    }
+
+    #[test]
+    fn counting() {
+        let m = sample();
+        assert_eq!(m.num_plots(), 3);
+        assert_eq!(m.num_bars(), 5);
+        assert_eq!(m.num_red_bars(), 2);
+        assert_eq!(m.num_red_plots(), 2);
+    }
+
+    #[test]
+    fn membership() {
+        let m = sample();
+        assert!(m.shows(0));
+        assert!(m.shows(3));
+        assert!(!m.shows(9));
+        assert!(m.highlights(0));
+        assert!(!m.highlights(1));
+        assert_eq!(m.candidates_shown(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn geometry() {
+        let screen = ScreenConfig::iphone(2);
+        let plot = Plot { title: "short".into(), entries: vec![entry(0, false); 3] };
+        let w = plot.width(&screen);
+        assert!(w > 3.0);
+        let wide = Plot {
+            title: "a very long plot title that consumes a lot of horizontal space".into(),
+            entries: vec![entry(0, false); 3],
+        };
+        assert!(wide.width(&screen) > w);
+    }
+
+    #[test]
+    fn fits_respects_rows_and_width() {
+        let screen = ScreenConfig::with_width(200, 1);
+        let mut m = Multiplot::empty(1);
+        assert!(m.fits(&screen));
+        // 200px / 48px-per-bar ~ 4.2 bar units; a 10-bar plot cannot fit.
+        m.rows[0].push(Plot { title: "t".into(), entries: vec![entry(0, false); 10] });
+        assert!(!m.fits(&screen));
+        let two_rows = Multiplot::empty(2);
+        assert!(!two_rows.fits(&ScreenConfig::with_width(200, 1)));
+    }
+
+    #[test]
+    fn screen_presets_ordered() {
+        assert!(ScreenConfig::iphone(1).width_bars() < ScreenConfig::tablet(1).width_bars());
+        assert!(ScreenConfig::tablet(1).width_bars() < ScreenConfig::desktop(1).width_bars());
+    }
+
+    #[test]
+    fn empty_multiplot() {
+        let m = Multiplot::empty(3);
+        assert_eq!(m.num_plots(), 0);
+        assert_eq!(m.num_bars(), 0);
+        assert!(m.candidates_shown().is_empty());
+    }
+}

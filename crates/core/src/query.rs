@@ -1,0 +1,223 @@
+//! Candidate queries and query templates (paper §2, Definition 1-2).
+//!
+//! A *candidate query* is one possible interpretation of the voice input,
+//! weighted by probability. A *template* is a candidate query with exactly
+//! one element replaced by a placeholder; all queries instantiating the
+//! same template can share a plot, with the placeholder substitutions as
+//! x-axis labels. Templates are derived by masking, in turn, the aggregate
+//! function, the aggregated column, and each predicate constant.
+
+use muve_dbms::{PredOp, Predicate, Query, Value};
+
+/// A candidate interpretation of the user's voice query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The SQL interpretation.
+    pub query: Query,
+    /// Probability that this interpretation is the intended one.
+    pub probability: f64,
+}
+
+impl Candidate {
+    /// Convenience constructor.
+    pub fn new(query: Query, probability: f64) -> Candidate {
+        Candidate { query, probability }
+    }
+}
+
+/// A template instantiation: the template identity (its rendered title with
+/// a `?` placeholder) plus the x-axis label this query contributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TemplateInstance {
+    /// Template identity; doubles as the plot title.
+    pub title: String,
+    /// X-axis label: the element substituted for the placeholder.
+    pub label: String,
+}
+
+/// All templates a query instantiates (the function `T(q)` of Algorithm 2).
+///
+/// # Examples
+/// ```
+/// use muve_core::query::templates_of;
+/// use muve_dbms::parse;
+/// let q = parse("select avg(delay) from flights where origin = 'JFK'").unwrap();
+/// let ts = templates_of(&q);
+/// // Masking the aggregate function, the aggregated column, and the constant:
+/// assert_eq!(ts.len(), 3);
+/// assert!(ts.iter().any(|t| t.title.contains("?(delay)") && t.label == "avg"));
+/// assert!(ts.iter().any(|t| t.title.contains("avg(?)") && t.label == "delay"));
+/// assert!(ts.iter().any(|t| t.title.contains("origin = ?") && t.label == "JFK"));
+/// ```
+pub fn templates_of(q: &Query) -> Vec<TemplateInstance> {
+    let mut out = Vec::new();
+    let agg = match q.aggregates.first() {
+        Some(a) => a,
+        None => return out,
+    };
+    /// Which part of predicate `i` is masked.
+    enum Skip {
+        None,
+        Value(usize),
+        Operator(usize),
+    }
+    let pred_text = |skip: &Skip| -> String {
+        if q.predicates.is_empty() {
+            return String::new();
+        }
+        let masked = |i: usize, p: &Predicate| -> String {
+            match (skip, &p.op) {
+                (Skip::Value(k), PredOp::Eq(_)) if *k == i => format!("{} = ?", p.column),
+                (Skip::Value(k), PredOp::Cmp(op, _)) if *k == i => {
+                    format!("{} {} ?", p.column, op)
+                }
+                (Skip::Operator(k), PredOp::Cmp(_, v)) if *k == i => {
+                    format!("{} ? {}", p.column, v)
+                }
+                _ => p.to_string(),
+            }
+        };
+        let parts: Vec<String> =
+            q.predicates.iter().enumerate().map(|(i, p)| masked(i, p)).collect();
+        format!(" where {}", parts.join(" and "))
+    };
+    let agg_text = |func: &str, col: &str| format!("{func}({col})");
+    let col_name = agg.column.as_deref().unwrap_or("*");
+
+    // Mask the aggregation function.
+    out.push(TemplateInstance {
+        title: format!(
+            "{} from {}{}",
+            agg_text("?", col_name),
+            q.table,
+            pred_text(&Skip::None)
+        ),
+        label: agg.func.name().to_owned(),
+    });
+    // Mask the aggregated column (not applicable to count(*)).
+    if let Some(col) = &agg.column {
+        out.push(TemplateInstance {
+            title: format!(
+                "{} from {}{}",
+                agg_text(agg.func.name(), "?"),
+                q.table,
+                pred_text(&Skip::None)
+            ),
+            label: col.clone(),
+        });
+    }
+    // Mask each predicate constant, and for comparison predicates also the
+    // operator (paper §2 Definition 2: "placeholders may substitute
+    // constants in predicates but also operators or aggregation functions").
+    for (i, p) in q.predicates.iter().enumerate() {
+        match &p.op {
+            PredOp::Eq(v) | PredOp::Cmp(_, v) => {
+                out.push(TemplateInstance {
+                    title: format!(
+                        "{} from {}{}",
+                        agg_text(agg.func.name(), col_name),
+                        q.table,
+                        pred_text(&Skip::Value(i))
+                    ),
+                    label: label_of(v),
+                });
+            }
+            PredOp::In(_) => continue,
+        }
+        if let PredOp::Cmp(op, _) = &p.op {
+            out.push(TemplateInstance {
+                title: format!(
+                    "{} from {}{}",
+                    agg_text(agg.func.name(), col_name),
+                    q.table,
+                    pred_text(&Skip::Operator(i))
+                ),
+                label: op.symbol().to_owned(),
+            });
+        }
+    }
+    out
+}
+
+/// Render a constant as an x-axis label.
+pub fn label_of(v: &Value) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_dbms::parse;
+
+    #[test]
+    fn count_star_has_no_column_template() {
+        let q = parse("select count(*) from t where a = 'x'").unwrap();
+        let ts = templates_of(&q);
+        // Function mask + one predicate mask; no column mask for `*`.
+        assert_eq!(ts.len(), 2);
+        assert!(ts.iter().all(|t| !t.title.contains("count(?)")));
+    }
+
+    #[test]
+    fn shared_template_across_constants() {
+        let a = parse("select sum(v) from t where k = 'x'").unwrap();
+        let b = parse("select sum(v) from t where k = 'y'").unwrap();
+        let ta = templates_of(&a);
+        let tb = templates_of(&b);
+        let shared: Vec<_> = ta
+            .iter()
+            .filter(|t| tb.iter().any(|u| u.title == t.title))
+            .collect();
+        // The constant-masked template is shared; labels differ.
+        assert!(shared.iter().any(|t| t.title.contains("k = ?")));
+        let t_a = ta.iter().find(|t| t.title.contains("k = ?")).unwrap();
+        let t_b = tb.iter().find(|t| t.title.contains("k = ?")).unwrap();
+        assert_eq!(t_a.label, "x");
+        assert_eq!(t_b.label, "y");
+    }
+
+    #[test]
+    fn shared_template_across_functions() {
+        let a = parse("select sum(v) from t where k = 'x'").unwrap();
+        let b = parse("select avg(v) from t where k = 'x'").unwrap();
+        let ta = templates_of(&a);
+        let tb = templates_of(&b);
+        let fa = ta.iter().find(|t| t.title.contains("?(v)")).unwrap();
+        let fb = tb.iter().find(|t| t.title.contains("?(v)")).unwrap();
+        assert_eq!(fa.title, fb.title);
+        assert_ne!(fa.label, fb.label);
+    }
+
+    #[test]
+    fn multiple_predicates_each_masked() {
+        let q = parse("select avg(v) from t where a = 'x' and b = 'y'").unwrap();
+        let ts = templates_of(&q);
+        assert_eq!(ts.len(), 4); // func, column, two constants
+        assert!(ts.iter().any(|t| t.title.contains("a = ?") && t.title.contains("b = 'y'")));
+        assert!(ts.iter().any(|t| t.title.contains("b = ?") && t.title.contains("a = 'x'")));
+    }
+
+    #[test]
+    fn comparison_operator_masked_as_slot() {
+        use muve_dbms::parse;
+        let q = parse("select avg(v) from t where m > 5").unwrap();
+        let ts = templates_of(&q);
+        // Value mask, operator mask, plus function and column masks.
+        assert!(ts.iter().any(|t| t.title.contains("m > ?") && t.label == "5"));
+        assert!(ts.iter().any(|t| t.title.contains("m ? 5") && t.label == ">"));
+        // Two queries differing only in the operator share the op template.
+        let q2 = parse("select avg(v) from t where m < 5").unwrap();
+        let t2 = templates_of(&q2);
+        let shared_a = ts.iter().find(|t| t.title.contains("m ? 5")).unwrap();
+        let shared_b = t2.iter().find(|t| t.title.contains("m ? 5")).unwrap();
+        assert_eq!(shared_a.title, shared_b.title);
+        assert_ne!(shared_a.label, shared_b.label);
+    }
+
+    #[test]
+    fn numeric_constants_masked_too() {
+        let q = parse("select avg(v) from t where m = 5").unwrap();
+        let ts = templates_of(&q);
+        assert!(ts.iter().any(|t| t.title.contains("m = ?") && t.label == "5"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Multiplot rendering: terminal text and SVG output.
+//!
+//! The paper's prototype renders multiplots in the browser (Figure 2); this
+//! module provides equivalents for a Rust library: a Unicode bar-chart
+//! renderer for terminals and a self-contained SVG generator. Highlighted
+//! bars use the markup color (red), exactly one visual channel as in the
+//! paper's Definition 2.
+
+use crate::plot::{Multiplot, Plot};
+
+/// Results for the bars of a multiplot: `results[candidate]` is the scalar
+/// value of that candidate query (`None` while pending or NULL).
+pub type BarValues<'a> = &'a [Option<f64>];
+
+const BAR_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a multiplot as terminal text. Highlighted bars are wrapped in
+/// `[..]`; pending values render as `?`.
+pub fn render_text(m: &Multiplot, values: BarValues) -> String {
+    let mut out = String::new();
+    for (r, row) in m.rows.iter().enumerate() {
+        if row.is_empty() {
+            continue;
+        }
+        if r > 0 {
+            out.push('\n');
+        }
+        for plot in row {
+            render_plot_text(plot, values, &mut out);
+        }
+    }
+    out
+}
+
+fn render_plot_text(plot: &Plot, values: BarValues, out: &mut String) {
+    out.push_str("== ");
+    out.push_str(&plot.title);
+    out.push_str(" ==\n");
+    let max = plot
+        .entries
+        .iter()
+        .filter_map(|e| values.get(e.candidate).copied().flatten())
+        .fold(f64::NEG_INFINITY, f64::max);
+    for e in &plot.entries {
+        let v = values.get(e.candidate).copied().flatten();
+        let bar = match v {
+            Some(v) if max > 0.0 && v >= 0.0 => {
+                let frac = (v / max).clamp(0.0, 1.0);
+                let idx = ((frac * 7.0).round() as usize).min(7);
+                let width = 1 + (frac * 19.0).round() as usize;
+                BAR_GLYPHS[idx].to_string().repeat(width)
+            }
+            Some(_) => "▁".to_string(),
+            None => "?".to_string(),
+        };
+        let value_text = v.map_or_else(|| "?".to_string(), format_value);
+        if e.highlighted {
+            out.push_str(&format!("  [{:>12}] {:<20} {}\n", e.label, bar, value_text));
+        } else {
+            out.push_str(&format!("   {:>12}  {:<20} {}\n", e.label, bar, value_text));
+        }
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.abs() >= 1000.0 || v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render a multiplot as a standalone SVG document.
+pub fn render_svg(m: &Multiplot, values: BarValues, width_px: u32) -> String {
+    const ROW_H: u32 = 220;
+    const TITLE_H: u32 = 24;
+    const LABEL_H: u32 = 36;
+    let rows: Vec<&Vec<Plot>> = m.rows.iter().filter(|r| !r.is_empty()).collect();
+    let height = (rows.len() as u32).max(1) * ROW_H;
+    let mut svg = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height}" font-family="sans-serif">"#
+    );
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    for (ri, row) in rows.iter().enumerate() {
+        let total_bars: usize = row.iter().map(|p| p.entries.len()).sum();
+        let title_space = row.len() as u32 * 8;
+        let bar_w = if total_bars > 0 {
+            ((width_px - title_space) / total_bars as u32).clamp(12, 80)
+        } else {
+            40
+        };
+        let y0 = ri as u32 * ROW_H;
+        let chart_h = ROW_H - TITLE_H - LABEL_H;
+        let mut x = 4u32;
+        for plot in row.iter() {
+            let plot_w = bar_w * plot.entries.len() as u32;
+            svg.push_str(&format!(
+                r##"<text x="{}" y="{}" font-size="12" fill="#333">{}</text>"##,
+                x,
+                y0 + 16,
+                escape(&plot.title)
+            ));
+            let max = plot
+                .entries
+                .iter()
+                .filter_map(|e| values.get(e.candidate).copied().flatten())
+                .fold(f64::NEG_INFINITY, f64::max);
+            for (bi, e) in plot.entries.iter().enumerate() {
+                let v = values.get(e.candidate).copied().flatten();
+                let frac = match v {
+                    Some(v) if max > 0.0 => (v / max).clamp(0.0, 1.0),
+                    _ => 0.05,
+                };
+                let h = ((chart_h as f64) * frac).max(2.0) as u32;
+                let bx = x + bi as u32 * bar_w;
+                let by = y0 + TITLE_H + (chart_h - h);
+                let color = if e.highlighted { "#d62728" } else { "#4c78a8" };
+                svg.push_str(&format!(
+                    r#"<rect x="{bx}" y="{by}" width="{}" height="{h}" fill="{color}"/>"#,
+                    bar_w.saturating_sub(4)
+                ));
+                svg.push_str(&format!(
+                    r##"<text x="{}" y="{}" font-size="10" text-anchor="middle" fill="#333">{}</text>"##,
+                    bx + bar_w / 2,
+                    y0 + TITLE_H + chart_h + 14,
+                    escape(&e.label)
+                ));
+                if let Some(v) = v {
+                    svg.push_str(&format!(
+                        r##"<text x="{}" y="{}" font-size="9" text-anchor="middle" fill="#555">{}</text>"##,
+                        bx + bar_w / 2,
+                        by.saturating_sub(3),
+                        format_value(v)
+                    ));
+                }
+            }
+            x += plot_w + 8;
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plot::PlotEntry;
+
+    fn sample() -> Multiplot {
+        Multiplot {
+            rows: vec![vec![Plot {
+                title: "avg(delay) where origin = ?".into(),
+                entries: vec![
+                    PlotEntry { candidate: 0, label: "JFK".into(), highlighted: true },
+                    PlotEntry { candidate: 1, label: "LGA".into(), highlighted: false },
+                ],
+            }]],
+        }
+    }
+
+    #[test]
+    fn text_render_contains_labels_and_values() {
+        let values = vec![Some(12.5), Some(30.0)];
+        let text = render_text(&sample(), &values);
+        assert!(text.contains("JFK"));
+        assert!(text.contains("LGA"));
+        assert!(text.contains("12.50"));
+        assert!(text.contains("30"));
+        // Highlighted bar marked with brackets.
+        assert!(text.contains("[         JFK]"), "{text}");
+    }
+
+    #[test]
+    fn pending_values_render_placeholder() {
+        let values = vec![Some(10.0), None];
+        let text = render_text(&sample(), &values);
+        assert!(text.contains('?'));
+    }
+
+    #[test]
+    fn svg_well_formed_and_red_highlight() {
+        let values = vec![Some(5.0), Some(10.0)];
+        let svg = render_svg(&sample(), &values, 750);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("#d62728"));
+        assert!(svg.contains("#4c78a8"));
+        assert!(svg.matches("<rect").count() >= 3);
+    }
+
+    #[test]
+    fn svg_escapes_titles() {
+        let mut m = sample();
+        m.rows[0][0].title = "a < b & c".into();
+        let svg = render_svg(&m, &[Some(1.0), Some(2.0)], 400);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn empty_multiplot_renders() {
+        let m = Multiplot::empty(2);
+        assert_eq!(render_text(&m, &[]), "");
+        let svg = render_svg(&m, &[], 300);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn negative_or_missing_max_handled() {
+        let values = vec![Some(-5.0), Some(-1.0)];
+        let text = render_text(&sample(), &values);
+        assert!(text.contains("▁"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the planners and the cost model over random
+//! candidate distributions.
+
+use muve_core::{greedy_plan, Candidate, MultiplotCounts, ScreenConfig, UserCostModel};
+use muve_dbms::{Aggregate, AggFunc, Predicate, Query};
+use proptest::prelude::*;
+
+/// Random candidate sets sharing a handful of templates: queries vary the
+/// constant of one predicate and the aggregated column.
+fn candidates() -> impl Strategy<Value = Vec<Candidate>> {
+    prop::collection::vec((0u8..12, 0u8..3, 1u32..100), 1..24).prop_map(|specs| {
+        let total: f64 = specs.iter().map(|(_, _, w)| f64::from(*w)).sum();
+        let mut out: Vec<Candidate> = Vec::new();
+        for (val, col, w) in specs {
+            let q = Query {
+                table: "t".into(),
+                aggregates: vec![Aggregate::over(AggFunc::Avg, format!("col{col}"))],
+                predicates: vec![Predicate::eq("k", format!("v{val}"))],
+                group_by: vec![],
+            };
+            if out.iter().any(|c| c.query == q) {
+                continue;
+            }
+            out.push(Candidate::new(q, f64::from(w) / total));
+        }
+        out
+    })
+}
+
+fn screens() -> impl Strategy<Value = ScreenConfig> {
+    (300u32..2000, 1usize..4).prop_map(|(w, r)| ScreenConfig::with_width(w, r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_always_fits_the_screen(cands in candidates(), screen in screens()) {
+        let m = greedy_plan(&cands, &screen, &UserCostModel::default());
+        prop_assert!(m.fits(&screen), "{:?}", m);
+    }
+
+    #[test]
+    fn greedy_never_duplicates_results(cands in candidates(), screen in screens()) {
+        let m = greedy_plan(&cands, &screen, &UserCostModel::default());
+        let mut seen = Vec::new();
+        for p in m.plots() {
+            for e in &p.entries {
+                prop_assert!(!seen.contains(&e.candidate));
+                seen.push(e.candidate);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_highlights_form_probability_prefix(cands in candidates(), screen in screens()) {
+        // Theorem 2: within each plot, the highlighted set is the k most
+        // likely queries of that plot.
+        let m = greedy_plan(&cands, &screen, &UserCostModel::default());
+        for p in m.plots() {
+            let min_red = p
+                .entries
+                .iter()
+                .filter(|e| e.highlighted)
+                .map(|e| cands[e.candidate].probability)
+                .fold(f64::INFINITY, f64::min);
+            for e in &p.entries {
+                if !e.highlighted {
+                    prop_assert!(
+                        cands[e.candidate].probability <= min_red + 1e-12,
+                        "plain bar more likely than a red bar in the same plot"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_savings_nonnegative(cands in candidates(), screen in screens()) {
+        // Lemma 1: showing plots never hurts relative to the empty plot.
+        let model = UserCostModel::default();
+        let m = greedy_plan(&cands, &screen, &model);
+        prop_assert!(model.cost_savings(&m, &cands) >= -1e-9);
+    }
+
+    #[test]
+    fn model_case_ordering(bars in 1usize..30, red in 0usize..30, plots in 1usize..10, red_plots in 0usize..10) {
+        // D_R <= D_V <= D_M for any consistent counts (Assumption 1).
+        let red = red.min(bars);
+        let red_plots = red_plots.min(plots).min(red);
+        let c = MultiplotCounts { bars, red_bars: red, plots, red_plots };
+        let model = UserCostModel::default();
+        prop_assert!(model.d_red(c) <= model.d_visible(c) + 1e-9);
+        // The default model keeps misses dominant for on-screen sizes.
+        if bars <= 20 && plots <= 6 {
+            prop_assert!(model.d_visible(c) <= model.d_miss());
+        }
+    }
+
+    #[test]
+    fn wider_screen_rarely_much_costlier(cands in candidates()) {
+        // A wider screen admits a superset of feasible multiplots, but the
+        // greedy heuristic is not monotone in the feasible space — it may
+        // commit to a locally denser plot that a tighter budget would have
+        // forbidden. Allow a small heuristic regression; large ones would
+        // indicate a real planner bug.
+        let model = UserCostModel::default();
+        let narrow = greedy_plan(&cands, &ScreenConfig::with_width(400, 1), &model);
+        let wide = greedy_plan(&cands, &ScreenConfig::with_width(1600, 1), &model);
+        let cn = model.expected_cost(&narrow, &cands);
+        let cw = model.expected_cost(&wide, &cands);
+        prop_assert!(cw <= cn * 1.15 + 1e-6, "wide {} narrow {}", cw, cn);
+    }
+}
+
+mod pruning_losslessness {
+    use super::*;
+    use muve_core::{ilp_plan, IlpConfig};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Template dominance pruning must not change the ILP optimum.
+        #[test]
+        fn pruned_and_unpruned_ilp_agree(cands in candidates()) {
+            prop_assume!(cands.len() <= 4);
+            let screen = ScreenConfig::with_width(700, 1);
+            let model = UserCostModel::default();
+            let base = IlpConfig {
+                node_budget: Some(5_000),
+                warm_start: false,
+                ..IlpConfig::default()
+            };
+            let pruned = ilp_plan(&cands, &screen, &model, &base);
+            let unpruned = ilp_plan(
+                &cands,
+                &screen,
+                &model,
+                &IlpConfig { no_template_pruning: true, ..base.clone() },
+            );
+            if pruned.status == muve_solver::MipStatus::Optimal
+                && unpruned.status == muve_solver::MipStatus::Optimal
+            {
+                prop_assert!(
+                    (pruned.expected_cost - unpruned.expected_cost).abs() < 1e-6,
+                    "pruned {} vs unpruned {}",
+                    pruned.expected_cost,
+                    unpruned.expected_cost
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The four evaluation datasets (paper §9.1), as seeded synthetic
+//! generators with schemas modelled after the originals:
+//!
+//! 1. **ads** — advertisement contacts (industry partner data),
+//! 2. **dob** — NYC Department of Buildings job application filings,
+//! 3. **nyc311** — NYC 311 service requests,
+//! 4. **flights** — the flight-delay data set (the largest in the paper).
+//!
+//! The experiments depend on two dataset properties only: the phonetic
+//! structure of schema-element and constant names (driving candidate-query
+//! generation) and the row count (driving processing cost). Both are
+//! reproduced; actual cell values are synthetic.
+
+use crate::gen::{lognormal_int, s, zipf_pick};
+use muve_dbms::{ColumnType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier for one of the four datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Advertisement contacts.
+    Ads,
+    /// NYC Department of Buildings job filings.
+    Dob,
+    /// NYC 311 service requests.
+    Nyc311,
+    /// Flight delays.
+    Flights,
+}
+
+impl Dataset {
+    /// All datasets in paper order.
+    pub const ALL: [Dataset; 4] = [Dataset::Ads, Dataset::Dob, Dataset::Nyc311, Dataset::Flights];
+
+    /// Table name used in SQL.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            Dataset::Ads => "ads",
+            Dataset::Dob => "dob",
+            Dataset::Nyc311 => "requests",
+            Dataset::Flights => "flights",
+        }
+    }
+
+    /// Generate `rows` rows deterministically from `seed`.
+    pub fn generate(self, rows: usize, seed: u64) -> Table {
+        match self {
+            Dataset::Ads => ads(rows, seed),
+            Dataset::Dob => dob(rows, seed),
+            Dataset::Nyc311 => nyc311(rows, seed),
+            Dataset::Flights => flights(rows, seed),
+        }
+    }
+}
+
+const CHANNELS: &[&str] = &["email", "phone", "display", "search", "social", "direct mail"];
+const REGIONS: &[&str] =
+    &["northeast", "midwest", "south", "west", "pacific", "mountain", "international"];
+const INDUSTRIES: &[&str] = &[
+    "retail", "finance", "healthcare", "education", "technology", "manufacturing", "hospitality",
+    "insurance", "automotive", "media",
+];
+
+/// Advertisement contacts data set.
+pub fn ads(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new([
+        ("channel", ColumnType::Str),
+        ("region", ColumnType::Str),
+        ("industry", ColumnType::Str),
+        ("contacts", ColumnType::Int),
+        ("conversions", ColumnType::Int),
+        ("spend", ColumnType::Float),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAD5);
+    let mut b = Table::builder("ads", schema);
+    for _ in 0..rows {
+        let contacts = lognormal_int(&mut rng, 120.0, 0.9);
+        let conversions = (contacts as f64 * rng.gen_range(0.0..0.2)).round() as i64;
+        b.push_row([
+            s(zipf_pick(&mut rng, CHANNELS, 0.9)),
+            s(zipf_pick(&mut rng, REGIONS, 0.7)),
+            s(zipf_pick(&mut rng, INDUSTRIES, 1.0)),
+            Value::Int(contacts),
+            Value::Int(conversions),
+            Value::Float((contacts as f64) * rng.gen_range(0.5..4.0)),
+        ]);
+    }
+    b.build()
+}
+
+const BOROUGHS: &[&str] = &["Brooklyn", "Queens", "Manhattan", "Bronx", "Staten Island"];
+const JOB_TYPES: &[&str] = &["A1", "A2", "A3", "NB", "DM", "SG"];
+const JOB_STATUSES: &[&str] =
+    &["filed", "approved", "permit issued", "in process", "signed off", "withdrawn"];
+const BUILDING_TYPES: &[&str] = &["residential", "commercial", "mixed use", "industrial", "garage"];
+
+/// NYC Department of Buildings job filings data set.
+pub fn dob(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new([
+        ("borough", ColumnType::Str),
+        ("job_type", ColumnType::Str),
+        ("job_status", ColumnType::Str),
+        ("building_type", ColumnType::Str),
+        ("existing_stories", ColumnType::Int),
+        ("proposed_stories", ColumnType::Int),
+        ("initial_cost", ColumnType::Float),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD0B);
+    let mut b = Table::builder("dob", schema);
+    for _ in 0..rows {
+        let existing = lognormal_int(&mut rng, 4.0, 0.7).min(90);
+        let proposed = (existing + rng.gen_range(-2..5)).max(1);
+        b.push_row([
+            s(zipf_pick(&mut rng, BOROUGHS, 0.6)),
+            s(zipf_pick(&mut rng, JOB_TYPES, 1.0)),
+            s(zipf_pick(&mut rng, JOB_STATUSES, 0.8)),
+            s(zipf_pick(&mut rng, BUILDING_TYPES, 0.9)),
+            Value::Int(existing),
+            Value::Int(proposed),
+            Value::Float(lognormal_int(&mut rng, 85_000.0, 1.2) as f64),
+        ]);
+    }
+    b.build()
+}
+
+const COMPLAINT_TYPES: &[&str] = &[
+    "noise", "heat hot water", "illegal parking", "blocked driveway", "street condition",
+    "water system", "plumbing", "rodent", "graffiti", "sanitation", "homeless encampment",
+    "traffic signal",
+];
+const AGENCIES: &[&str] = &["NYPD", "HPD", "DOT", "DEP", "DSNY", "DOHMH", "DPR"];
+const STATUSES: &[&str] = &["closed", "open", "pending", "assigned", "in progress"];
+const CITIES: &[&str] = &[
+    "Brooklyn", "New York", "Bronx", "Staten Island", "Jamaica", "Flushing", "Astoria",
+    "Ridgewood", "Corona", "Elmhurst",
+];
+
+/// NYC 311 service requests data set.
+pub fn nyc311(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new([
+        ("borough", ColumnType::Str),
+        ("complaint_type", ColumnType::Str),
+        ("agency", ColumnType::Str),
+        ("status", ColumnType::Str),
+        ("city", ColumnType::Str),
+        ("resolution_hours", ColumnType::Int),
+        ("calls", ColumnType::Int),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x311);
+    let mut b = Table::builder("requests", schema);
+    for _ in 0..rows {
+        b.push_row([
+            s(zipf_pick(&mut rng, BOROUGHS, 0.5)),
+            s(zipf_pick(&mut rng, COMPLAINT_TYPES, 1.0)),
+            s(zipf_pick(&mut rng, AGENCIES, 0.9)),
+            s(zipf_pick(&mut rng, STATUSES, 1.1)),
+            s(zipf_pick(&mut rng, CITIES, 0.8)),
+            Value::Int(lognormal_int(&mut rng, 48.0, 1.0)),
+            Value::Int(1 + lognormal_int(&mut rng, 1.2, 0.8)),
+        ]);
+    }
+    b.build()
+}
+
+const ORIGINS: &[&str] = &[
+    "JFK", "LGA", "EWR", "ORD", "ATL", "LAX", "SFO", "DFW", "DEN", "SEA", "BOS", "MIA", "PHX",
+    "IAH", "MSP",
+];
+const CARRIERS: &[&str] = &["AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9"];
+
+/// Flight-delay data set (the paper's largest, 10 GB in the original).
+pub fn flights(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new([
+        ("origin", ColumnType::Str),
+        ("dest", ColumnType::Str),
+        ("carrier", ColumnType::Str),
+        ("month", ColumnType::Int),
+        ("day_of_week", ColumnType::Int),
+        ("dep_delay", ColumnType::Int),
+        ("arr_delay", ColumnType::Int),
+        ("distance", ColumnType::Int),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF11);
+    let mut b = Table::builder("flights", schema);
+    for _ in 0..rows {
+        let dep = lognormal_int(&mut rng, 8.0, 1.1) - 5;
+        let arr = dep + rng.gen_range(-10..10);
+        b.push_row([
+            s(zipf_pick(&mut rng, ORIGINS, 0.7)),
+            s(zipf_pick(&mut rng, ORIGINS, 0.7)),
+            s(zipf_pick(&mut rng, CARRIERS, 0.8)),
+            Value::Int(rng.gen_range(1..=12)),
+            Value::Int(rng.gen_range(1..=7)),
+            Value::Int(dep),
+            Value::Int(arr),
+            Value::Int(200 + lognormal_int(&mut rng, 600.0, 0.6)),
+        ]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate() {
+        for d in Dataset::ALL {
+            let t = d.generate(500, 42);
+            assert_eq!(t.num_rows(), 500, "{d:?}");
+            assert_eq!(t.name(), d.table_name());
+            assert!(t.schema().len() >= 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = flights(100, 7);
+        let b = flights(100, 7);
+        for i in 0..100 {
+            assert_eq!(a.row(i), b.row(i));
+        }
+        let c = flights(100, 8);
+        let differs = (0..100).any(|i| a.row(i) != c.row(i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn categorical_domains_covered() {
+        let t = nyc311(5_000, 1);
+        let boroughs = t.column_by_name("borough").unwrap().dictionary().unwrap();
+        assert_eq!(boroughs.len(), BOROUGHS.len());
+        let complaints = t.column_by_name("complaint_type").unwrap().dictionary().unwrap();
+        assert!(complaints.len() >= COMPLAINT_TYPES.len() - 2);
+    }
+
+    #[test]
+    fn numeric_columns_sane() {
+        let t = flights(2_000, 3);
+        let q = muve_dbms::parse("select min(distance), max(month) from flights").unwrap();
+        let r = muve_dbms::execute(&t, &q).unwrap();
+        assert!(r.rows[0][0].as_f64().unwrap() >= 200.0);
+        assert!(r.rows[0][1].as_f64().unwrap() <= 12.0);
+    }
+
+    #[test]
+    fn skew_present() {
+        let t = dob(10_000, 5);
+        let q = muve_dbms::parse("select count(*) from dob group by borough").unwrap();
+        let r = muve_dbms::execute(&t, &q).unwrap();
+        let counts: Vec<f64> = r.rows.iter().map(|row| row[1].as_f64().unwrap()).collect();
+        let max = counts.iter().cloned().fold(0.0, f64::max);
+        let min = counts.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 1.5 * min, "max {max} min {min}");
+    }
+}

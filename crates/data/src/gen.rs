@@ -1,0 +1,88 @@
+//! Common machinery for the synthetic dataset generators.
+
+use muve_dbms::Value;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draw an index in `0..n` with Zipf-like skew (rank r gets weight
+/// `1/(r+1)^s`). Categorical columns in the real datasets (boroughs,
+/// carriers, complaint types) are heavily skewed; this reproduces that
+/// property so selectivities differ across constants.
+pub fn zipf_index(rng: &mut StdRng, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-CDF over precomputable weights would allocate per call; with
+    // the small domains used here a rejection-free linear scan is fine.
+    let norm: f64 = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).sum();
+    let mut u = rng.gen::<f64>() * norm;
+    for r in 0..n {
+        let w = 1.0 / ((r + 1) as f64).powf(s);
+        if u < w {
+            return r;
+        }
+        u -= w;
+    }
+    n - 1
+}
+
+/// Draw a value from `domain` with Zipf skew `s`.
+pub fn zipf_pick<'a>(rng: &mut StdRng, domain: &'a [&'a str], s: f64) -> &'a str {
+    domain[zipf_index(rng, domain.len(), s)]
+}
+
+/// A rounded, positive, roughly log-normal quantity (costs, delays).
+pub fn lognormal_int(rng: &mut StdRng, median: f64, sigma: f64) -> i64 {
+    // Box-Muller from two uniforms; StdRng is seeded so results are stable.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (median * (sigma * z).exp()).round().max(0.0) as i64
+}
+
+/// Helper to turn a `&str` into a [`Value`].
+pub fn s(v: &str) -> Value {
+    Value::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 5, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(zipf_index(&mut rng, 1, 1.0), 0);
+    }
+
+    #[test]
+    fn lognormal_positive_and_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<i64> = (0..1000).map(|_| lognormal_int(&mut rng, 100.0, 0.8)).collect();
+        assert!(xs.iter().all(|&x| x >= 0));
+        let mean = xs.iter().sum::<i64>() as f64 / xs.len() as f64;
+        assert!(mean > 60.0 && mean < 300.0, "{mean}");
+        let max = *xs.iter().max().unwrap();
+        assert!(max > 300, "{max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(zipf_index(&mut a, 7, 1.1), zipf_index(&mut b, 7, 1.1));
+        }
+    }
+}

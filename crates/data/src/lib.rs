@@ -1,0 +1,24 @@
+//! # muve-data
+//!
+//! Seeded synthetic generators for the four datasets of the MUVE evaluation
+//! (paper §9.1): advertisement contacts, NYC DOB job filings, NYC 311
+//! service requests, and flight delays. Schemas and categorical domains
+//! follow the originals (so phonetic candidate generation behaves like in
+//! the paper); values are synthetic with realistic skew. The [`workload`]
+//! module reproduces the random query workloads of §9.2/§9.4.
+//!
+//! ```
+//! use muve_data::Dataset;
+//! let t = Dataset::Nyc311.generate(1_000, 42);
+//! assert_eq!(t.num_rows(), 1_000);
+//! assert!(t.column_by_name("complaint_type").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod gen;
+pub mod workload;
+
+pub use datasets::{ads, dob, flights, nyc311, Dataset};
+pub use workload::QueryGenerator;

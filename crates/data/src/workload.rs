@@ -1,0 +1,162 @@
+//! Random query workloads (paper §9.2 / §9.4).
+//!
+//! The evaluation generates aggregation queries by "randomly selecting
+//! aggregates and columns and values for equality predicates (with uniform
+//! distribution)". [`QueryGenerator`] reproduces that: the aggregate is
+//! drawn over the table's numeric columns, predicates over categorical
+//! (string) columns with constants sampled from actual rows, so every
+//! generated query is type-correct and selective.
+
+use muve_dbms::{AggFunc, Aggregate, ColumnType, Predicate, Query, Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates random, valid aggregation queries over one table.
+#[derive(Debug)]
+pub struct QueryGenerator<'a> {
+    table: &'a Table,
+    numeric: Vec<String>,
+    categorical: Vec<String>,
+    rng: StdRng,
+}
+
+impl<'a> QueryGenerator<'a> {
+    /// Create a generator with its own seeded RNG.
+    ///
+    /// # Panics
+    /// Panics if the table has no numeric or no categorical columns, or no
+    /// rows (constants are sampled from rows).
+    pub fn new(table: &'a Table, seed: u64) -> Self {
+        let mut numeric = Vec::new();
+        let mut categorical = Vec::new();
+        for c in table.schema().columns() {
+            match c.ty {
+                ColumnType::Int | ColumnType::Float => numeric.push(c.name.clone()),
+                ColumnType::Str => categorical.push(c.name.clone()),
+            }
+        }
+        assert!(!numeric.is_empty(), "need a numeric column to aggregate");
+        assert!(!categorical.is_empty(), "need a categorical column for predicates");
+        assert!(table.num_rows() > 0, "need rows to sample constants from");
+        QueryGenerator { table, numeric, categorical, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Numeric (aggregatable) column names.
+    pub fn numeric_columns(&self) -> &[String] {
+        &self.numeric
+    }
+
+    /// Categorical (predicate) column names.
+    pub fn categorical_columns(&self) -> &[String] {
+        &self.categorical
+    }
+
+    /// Generate one query with up to `max_predicates` equality predicates
+    /// (at least one).
+    pub fn query(&mut self, max_predicates: usize) -> Query {
+        let func = *[AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]
+            .choose(&mut self.rng)
+            .expect("non-empty");
+        let aggregate = if func == AggFunc::Count && self.rng.gen_bool(0.5) {
+            Aggregate::count_star()
+        } else {
+            let col = self.numeric.choose(&mut self.rng).expect("non-empty").clone();
+            Aggregate::over(func, col)
+        };
+        let n_preds = self.rng.gen_range(1..=max_predicates.max(1)).min(self.categorical.len());
+        let mut cols = self.categorical.clone();
+        cols.shuffle(&mut self.rng);
+        let predicates = cols[..n_preds]
+            .iter()
+            .map(|col| {
+                let value = self.sample_constant(col);
+                Predicate::eq(col.clone(), value)
+            })
+            .collect();
+        Query {
+            table: self.table.name().to_owned(),
+            aggregates: vec![aggregate],
+            predicates,
+            group_by: Vec::new(),
+        }
+    }
+
+    /// Sample a constant for `col` from a random row (uniform over rows, so
+    /// frequent values are proportionally more likely — matching how users
+    /// query real data).
+    fn sample_constant(&mut self, col: &str) -> Value {
+        let row = self.rng.gen_range(0..self.table.num_rows());
+        self.table
+            .column_by_name(col)
+            .expect("column exists")
+            .get(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+    use muve_dbms::execute;
+
+    #[test]
+    fn generated_queries_execute() {
+        let t = Dataset::Nyc311.generate(1_000, 1);
+        let mut g = QueryGenerator::new(&t, 2);
+        for _ in 0..50 {
+            let q = g.query(5);
+            let r = execute(&t, &q).expect("generated query must be valid");
+            assert_eq!(r.rows.len(), 1);
+        }
+    }
+
+    #[test]
+    fn respects_predicate_budget() {
+        let t = Dataset::Flights.generate(500, 3);
+        let mut g = QueryGenerator::new(&t, 4);
+        for _ in 0..30 {
+            let q = g.query(2);
+            assert!((1..=2).contains(&q.predicates.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = Dataset::Dob.generate(500, 9);
+        let mut a = QueryGenerator::new(&t, 5);
+        let mut b = QueryGenerator::new(&t, 5);
+        for _ in 0..10 {
+            assert_eq!(a.query(3), b.query(3));
+        }
+    }
+
+    #[test]
+    fn constants_come_from_table() {
+        let t = Dataset::Ads.generate(300, 4);
+        let mut g = QueryGenerator::new(&t, 7);
+        for _ in 0..20 {
+            let q = g.query(1);
+            // Every generated equality predicate matches at least one row.
+            let count = execute(
+                &t,
+                &Query {
+                    aggregates: vec![Aggregate::count_star()],
+                    ..q.clone()
+                },
+            )
+            .unwrap()
+            .scalar()
+            .unwrap();
+            assert!(count >= 1.0, "{}", q.to_sql());
+        }
+    }
+
+    #[test]
+    fn column_classification() {
+        let t = Dataset::Flights.generate(10, 0);
+        let g = QueryGenerator::new(&t, 0);
+        assert!(g.numeric_columns().contains(&"dep_delay".to_string()));
+        assert!(g.categorical_columns().contains(&"origin".to_string()));
+    }
+}

@@ -1,0 +1,283 @@
+//! Columnar storage.
+//!
+//! Each column is a dense vector; string columns are dictionary-encoded
+//! (a `u32` code per row plus a shared dictionary), which both shrinks
+//! memory and turns equality predicates into integer comparisons — the
+//! property the executor exploits for fast scans. NULLs are tracked in an
+//! optional validity bitmap-like vector (plain `Vec<bool>`, only allocated
+//! when a NULL is first appended).
+
+use crate::value::{ColumnType, Value};
+use rustc_hash::FxHashMap;
+
+/// Dictionary for a string column.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    entries: Vec<String>,
+    lookup: FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Intern a string, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.lookup.get(s) {
+            return c;
+        }
+        let code = u32::try_from(self.entries.len()).expect("dictionary overflow");
+        self.entries.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), code);
+        code
+    }
+
+    /// Look up a string's code without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The string for a code.
+    pub fn resolve(&self, code: u32) -> &str {
+        &self.entries[code as usize]
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All distinct entries in insertion order.
+    pub fn entries(&self) -> &[String] {
+        &self.entries
+    }
+}
+
+/// Physical storage of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Integer column.
+    Int(Vec<i64>),
+    /// Float column.
+    Float(Vec<f64>),
+    /// Dictionary-encoded string column.
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// Shared dictionary.
+        dict: Dictionary,
+    },
+}
+
+/// A column: data plus an optional NULL mask.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    /// `Some(mask)` iff any NULL exists; `mask[i]` is true when row i is NULL.
+    nulls: Option<Vec<bool>>,
+    len: usize,
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(ty: ColumnType) -> Column {
+        let data = match ty {
+            ColumnType::Int => ColumnData::Int(Vec::new()),
+            ColumnType::Float => ColumnData::Float(Vec::new()),
+            ColumnType::Str => ColumnData::Str { codes: Vec::new(), dict: Dictionary::default() },
+        };
+        Column { data, nulls: None, len: 0 }
+    }
+
+    /// The column's type.
+    pub fn ty(&self) -> ColumnType {
+        match &self.data {
+            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Float(_) => ColumnType::Float,
+            ColumnData::Str { .. } => ColumnType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a value.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch (ints are accepted into float columns).
+    pub fn push(&mut self, v: &Value) {
+        let is_null = v.is_null();
+        match (&mut self.data, v) {
+            (ColumnData::Int(xs), Value::Int(i)) => xs.push(*i),
+            (ColumnData::Int(xs), Value::Null) => xs.push(0),
+            (ColumnData::Float(xs), Value::Float(f)) => xs.push(*f),
+            (ColumnData::Float(xs), Value::Int(i)) => xs.push(*i as f64),
+            (ColumnData::Float(xs), Value::Null) => xs.push(0.0),
+            (ColumnData::Str { codes, dict }, Value::Str(s)) => codes.push(dict.intern(s)),
+            (ColumnData::Str { codes, .. }, Value::Null) => codes.push(0),
+            (data, v) => panic!("type mismatch: pushing {v:?} into {:?} column", discr(data)),
+        }
+        if is_null {
+            self.nulls
+                .get_or_insert_with(|| vec![false; self.len])
+                .push(true);
+        } else if let Some(mask) = &mut self.nulls {
+            mask.push(false);
+        }
+        self.len += 1;
+    }
+
+    /// Whether row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|m| m[i])
+    }
+
+    /// Whether any row of the column is NULL.
+    pub fn is_null_any(&self) -> bool {
+        self.nulls.is_some()
+    }
+
+    /// The NULL mask (empty when the column holds no NULLs).
+    pub fn null_slice(&self) -> &[bool] {
+        self.nulls.as_deref().unwrap_or(&[])
+    }
+
+    /// Read row `i` as a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(xs) => Value::Int(xs[i]),
+            ColumnData::Float(xs) => Value::Float(xs[i]),
+            ColumnData::Str { codes, dict } => Value::Str(dict.resolve(codes[i]).to_owned()),
+        }
+    }
+
+    /// Raw storage access.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The dictionary, for string columns.
+    pub fn dictionary(&self) -> Option<&Dictionary> {
+        match &self.data {
+            ColumnData::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Approximate number of distinct values (exact for strings via the
+    /// dictionary; sampled estimate for numerics).
+    pub fn distinct_estimate(&self) -> usize {
+        match &self.data {
+            ColumnData::Str { dict, .. } => dict.len().max(1),
+            ColumnData::Int(xs) => {
+                let mut seen: rustc_hash::FxHashSet<i64> = rustc_hash::FxHashSet::default();
+                let step = (xs.len() / 1024).max(1);
+                for v in xs.iter().step_by(step) {
+                    seen.insert(*v);
+                }
+                (seen.len() * step).min(xs.len()).max(1)
+            }
+            ColumnData::Float(xs) => (xs.len() / 2).max(1),
+        }
+    }
+}
+
+fn discr(d: &ColumnData) -> ColumnType {
+    match d {
+        ColumnData::Int(_) => ColumnType::Int,
+        ColumnData::Float(_) => ColumnType::Float,
+        ColumnData::Str { .. } => ColumnType::Str,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let mut c = Column::new(ColumnType::Int);
+        for i in 0..5 {
+            c.push(&Value::Int(i));
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.get(3), Value::Int(3));
+        assert_eq!(c.ty(), ColumnType::Int);
+    }
+
+    #[test]
+    fn string_dictionary_encoding() {
+        let mut c = Column::new(ColumnType::Str);
+        for s in ["a", "b", "a", "c", "b"] {
+            c.push(&Value::Str(s.into()));
+        }
+        let dict = c.dictionary().unwrap();
+        assert_eq!(dict.len(), 3);
+        assert_eq!(dict.code_of("a"), Some(0));
+        assert_eq!(dict.code_of("missing"), None);
+        assert_eq!(c.get(2), Value::Str("a".into()));
+        assert_eq!(c.distinct_estimate(), 3);
+    }
+
+    #[test]
+    fn int_into_float_column() {
+        let mut c = Column::new(ColumnType::Float);
+        c.push(&Value::Int(2));
+        c.push(&Value::Float(0.5));
+        assert_eq!(c.get(0), Value::Float(2.0));
+        assert_eq!(c.get(1), Value::Float(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut c = Column::new(ColumnType::Int);
+        c.push(&Value::Str("x".into()));
+    }
+
+    #[test]
+    fn nulls_tracked_lazily() {
+        let mut c = Column::new(ColumnType::Int);
+        c.push(&Value::Int(1));
+        assert!(!c.is_null(0));
+        c.push(&Value::Null);
+        c.push(&Value::Int(3));
+        assert!(c.is_null(1));
+        assert!(!c.is_null(2));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn distinct_estimate_ints() {
+        let mut c = Column::new(ColumnType::Int);
+        for i in 0..100 {
+            c.push(&Value::Int(i % 10));
+        }
+        let e = c.distinct_estimate();
+        assert!((1..=100).contains(&e));
+    }
+
+    #[test]
+    fn dictionary_entries_ordered() {
+        let mut d = Dictionary::default();
+        assert!(d.is_empty());
+        assert_eq!(d.intern("x"), 0);
+        assert_eq!(d.intern("y"), 1);
+        assert_eq!(d.intern("x"), 0);
+        assert_eq!(d.entries(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(d.resolve(1), "y");
+    }
+}

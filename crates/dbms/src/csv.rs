@@ -1,0 +1,340 @@
+//! CSV ingestion, so the engine can load the *real* evaluation datasets
+//! (NYC 311, DOB, flight delays are all published as CSV) instead of the
+//! synthetic generators. A small RFC 4180 reader — quoted fields, escaped
+//! quotes, CR/LF — plus column type inference (Int ⊂ Float ⊂ Str).
+
+use crate::schema::Schema;
+use crate::table::{Table, TableBuilder};
+use crate::value::{ColumnType, Value};
+use std::fmt;
+use std::path::Path;
+
+/// CSV loading error.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the CSV text.
+    Malformed {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// The input has no header row.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Malformed { line, message } => {
+                write!(f, "malformed csv at line {line}: {message}")
+            }
+            CsvError::Empty => write!(f, "empty csv input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse CSV text into records of fields (RFC 4180: quoted fields may
+/// contain commas, newlines and doubled quotes).
+fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                c => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CsvError::Malformed {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Consumed as part of CRLF; a stray CR is treated as EOL too.
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                line += 1;
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                line += 1;
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Malformed { line, message: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any || records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    // Drop trailing fully-empty records (files ending in blank lines).
+    while records.last().is_some_and(|r| r.iter().all(String::is_empty)) {
+        records.pop();
+    }
+    if records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(records)
+}
+
+/// Infer the narrowest type that fits every non-empty value of a column.
+fn infer_type(records: &[Vec<String>], col: usize) -> ColumnType {
+    let mut ty = ColumnType::Int;
+    for r in records {
+        let Some(v) = r.get(col) else { continue };
+        if v.is_empty() {
+            continue;
+        }
+        match ty {
+            ColumnType::Int => {
+                if v.parse::<i64>().is_err() {
+                    ty = if v.parse::<f64>().is_ok() { ColumnType::Float } else { ColumnType::Str };
+                }
+            }
+            ColumnType::Float => {
+                if v.parse::<f64>().is_err() {
+                    ty = ColumnType::Str;
+                }
+            }
+            ColumnType::Str => return ColumnType::Str,
+        }
+    }
+    ty
+}
+
+/// Load a table from CSV text. The first record is the header; column
+/// types are inferred (integers ⊂ floats ⊂ strings); empty fields load as
+/// NULL.
+///
+/// # Examples
+/// ```
+/// use muve_dbms::{table_from_csv_str, execute, parse};
+/// let csv = "borough,calls\nBrooklyn,10\nQueens,7\n";
+/// let t = table_from_csv_str("requests", csv).unwrap();
+/// let q = parse("select sum(calls) from requests").unwrap();
+/// assert_eq!(execute(&t, &q).unwrap().scalar(), Some(17.0));
+/// ```
+pub fn table_from_csv_str(name: &str, input: &str) -> Result<Table, CsvError> {
+    let records = parse_records(input)?;
+    let header = &records[0];
+    let body = &records[1..];
+    let n_cols = header.len();
+    for (i, r) in body.iter().enumerate() {
+        if r.len() != n_cols {
+            return Err(CsvError::Malformed {
+                line: i + 2,
+                message: format!("expected {n_cols} fields, found {}", r.len()),
+            });
+        }
+    }
+    let types: Vec<ColumnType> = (0..n_cols).map(|c| infer_type(body, c)).collect();
+    let schema = Schema::new(
+        header
+            .iter()
+            .map(|h| normalize_header(h))
+            .zip(types.iter().copied())
+            .collect::<Vec<(String, ColumnType)>>(),
+    );
+    let mut builder: TableBuilder = Table::builder(name, schema);
+    for r in body {
+        let row: Vec<Value> = r
+            .iter()
+            .zip(&types)
+            .map(|(v, ty)| {
+                if v.is_empty() {
+                    return Value::Null;
+                }
+                match ty {
+                    ColumnType::Int => Value::Int(v.parse().expect("inferred int")),
+                    ColumnType::Float => Value::Float(v.parse().expect("inferred float")),
+                    ColumnType::Str => Value::Str(v.clone()),
+                }
+            })
+            .collect();
+        builder.push_row(row);
+    }
+    Ok(builder.build())
+}
+
+/// Lowercase a header and replace non-alphanumerics with underscores, so
+/// "Complaint Type" becomes the queryable column `complaint_type`.
+fn normalize_header(h: &str) -> String {
+    let mut out = String::with_capacity(h.len());
+    let mut last_underscore = true;
+    for c in h.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+            last_underscore = false;
+        } else if !last_underscore {
+            out.push('_');
+            last_underscore = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    if out.is_empty() {
+        out.push_str("column");
+    }
+    out
+}
+
+/// Load a table from a CSV file.
+pub fn table_from_csv_path(name: &str, path: impl AsRef<Path>) -> Result<Table, CsvError> {
+    let data = std::fs::read_to_string(path)?;
+    table_from_csv_str(name, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::parser::parse;
+
+    #[test]
+    fn basic_load_and_query() {
+        let t = table_from_csv_str(
+            "t",
+            "city,population,area\nNYC,8000000,302.6\nIthaca,30000,5.4\n",
+        )
+        .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().column("population").unwrap().ty, ColumnType::Int);
+        assert_eq!(t.schema().column("area").unwrap().ty, ColumnType::Float);
+        assert_eq!(t.schema().column("city").unwrap().ty, ColumnType::Str);
+        let r = execute(&t, &parse("select max(population) from t").unwrap()).unwrap();
+        assert_eq!(r.scalar(), Some(8_000_000.0));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let t = table_from_csv_str(
+            "t",
+            "name,notes\n\"O'Brien, Pat\",\"said \"\"hi\"\"\"\nplain,ok\n",
+        )
+        .unwrap();
+        assert_eq!(t.row(0)[0], Value::Str("O'Brien, Pat".into()));
+        assert_eq!(t.row(0)[1], Value::Str("said \"hi\"".into()));
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let t = table_from_csv_str("t", "a,b\n\"line1\nline2\",x\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.row(0)[0], Value::Str("line1\nline2".into()));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = table_from_csv_str("t", "a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(1), vec![Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let t = table_from_csv_str("t", "a,b\n1,\n,2\n").unwrap();
+        assert_eq!(t.row(0)[1], Value::Null);
+        assert_eq!(t.row(1)[0], Value::Null);
+        // Aggregates skip the NULLs.
+        let r = execute(&t, &parse("select sum(a), count(*) from t").unwrap()).unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(1.0));
+        assert_eq!(r.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn type_widening() {
+        let t = table_from_csv_str("t", "x\n1\n2.5\n3\n").unwrap();
+        assert_eq!(t.schema().column("x").unwrap().ty, ColumnType::Float);
+        let t = table_from_csv_str("t", "x\n1\noops\n").unwrap();
+        assert_eq!(t.schema().column("x").unwrap().ty, ColumnType::Str);
+    }
+
+    #[test]
+    fn header_normalization() {
+        let t = table_from_csv_str("t", "Complaint Type,Created Date (UTC)\nnoise,2020\n").unwrap();
+        assert!(t.schema().column("complaint_type").is_some());
+        assert!(t.schema().column("created_date_utc").is_some());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(table_from_csv_str("t", ""), Err(CsvError::Empty)));
+        assert!(matches!(table_from_csv_str("t", "\n\n"), Err(CsvError::Empty)));
+        let e = table_from_csv_str("t", "a,b\n1\n");
+        assert!(matches!(e, Err(CsvError::Malformed { line: 2, .. })), "{e:?}");
+        assert!(matches!(
+            table_from_csv_str("t", "a\n\"unterminated\n"),
+            Err(CsvError::Malformed { .. })
+        ));
+        assert!(matches!(
+            table_from_csv_str("t", "a\nfoo\"bar\n"),
+            Err(CsvError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_newlines_tolerated() {
+        let t = table_from_csv_str("t", "a\n1\n\n\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("muve_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.csv");
+        std::fs::write(&path, "k,v\nx,1\ny,2\n").unwrap();
+        let t = table_from_csv_path("t", &path).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert!(table_from_csv_path("t", dir.join("missing.csv")).is_err());
+    }
+}

@@ -1,0 +1,669 @@
+//! Query executor: scan → filter → aggregate.
+//!
+//! Execution is a single pass over the table's columns. Predicates are
+//! compiled first: string constants are resolved to dictionary codes so the
+//! hot loop compares integers only, and a constant missing from the
+//! dictionary collapses the predicate to "always false" without touching a
+//! row. An optional row selection (used for approximate processing over
+//! samples, paper §8.2) restricts the scan.
+
+use crate::ast::{AggFunc, CmpOp, PredOp, Query};
+use crate::column::{Column, ColumnData};
+use crate::table::Table;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A referenced table does not exist (database-level entry points).
+    UnknownTable(String),
+    /// A type mismatch, e.g. `sum` over a string column.
+    TypeError(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            ExecError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            ExecError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Scan statistics of one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows visited by the scan.
+    pub rows_scanned: usize,
+    /// Rows satisfying all predicates.
+    pub rows_matched: usize,
+}
+
+/// A materialized result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (group-by columns first, then aggregates).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Scan statistics.
+    pub stats: ExecStats,
+}
+
+impl ResultSet {
+    /// The single scalar of a one-aggregate, non-grouped query
+    /// (`None` if the value is NULL).
+    pub fn scalar(&self) -> Option<f64> {
+        self.rows.first().and_then(|r| r.first()).and_then(Value::as_f64)
+    }
+}
+
+/// A compiled predicate over one column.
+enum Compiled<'a> {
+    IntIn { col: &'a [i64], nulls: Option<&'a [bool]>, values: Vec<i64> },
+    FloatIn { col: &'a [f64], nulls: Option<&'a [bool]>, values: Vec<f64> },
+    CodeIn { col: &'a [u32], nulls: Option<&'a [bool]>, codes: Vec<u32> },
+    IntCmp { col: &'a [i64], nulls: Option<&'a [bool]>, op: CmpOp, value: f64 },
+    FloatCmp { col: &'a [f64], nulls: Option<&'a [bool]>, op: CmpOp, value: f64 },
+    AlwaysFalse,
+}
+
+impl Compiled<'_> {
+    #[inline]
+    fn matches(&self, row: usize) -> bool {
+        match self {
+            Compiled::IntIn { col, nulls, values } => {
+                !is_null(nulls, row) && values.contains(&col[row])
+            }
+            Compiled::FloatIn { col, nulls, values } => {
+                !is_null(nulls, row) && values.iter().any(|v| *v == col[row])
+            }
+            Compiled::CodeIn { col, nulls, codes } => {
+                !is_null(nulls, row) && codes.contains(&col[row])
+            }
+            Compiled::IntCmp { col, nulls, op, value } => {
+                !is_null(nulls, row) && op.eval(col[row] as f64, *value)
+            }
+            Compiled::FloatCmp { col, nulls, op, value } => {
+                !is_null(nulls, row) && op.eval(col[row], *value)
+            }
+            Compiled::AlwaysFalse => false,
+        }
+    }
+}
+
+#[inline]
+fn is_null(nulls: &Option<&[bool]>, row: usize) -> bool {
+    nulls.is_some_and(|m| m[row])
+}
+
+fn null_mask(c: &Column) -> Option<&[bool]> {
+    // Column doesn't expose the mask directly; reconstruct via is_null over
+    // an index — instead we expose it through a small probe: columns without
+    // NULLs answer false for every row cheaply.
+    // To keep the hot loop tight we only take the slow path when NULLs exist.
+    if c.is_empty() || !c.is_null_any() {
+        None
+    } else {
+        Some(c.null_slice())
+    }
+}
+
+fn compile<'a>(table: &'a Table, query: &Query) -> Result<Vec<Compiled<'a>>, ExecError> {
+    let mut out = Vec::with_capacity(query.predicates.len());
+    for pred in &query.predicates {
+        let idx = table
+            .schema()
+            .index_of(&pred.column)
+            .ok_or_else(|| ExecError::UnknownColumn(pred.column.clone()))?;
+        let col = table.column(idx);
+        let nulls = null_mask(col);
+        // Comparison predicates compile directly (numeric columns only).
+        if let PredOp::Cmp(op, v) = &pred.op {
+            let value = v.as_f64().ok_or_else(|| {
+                ExecError::TypeError(format!(
+                    "comparison on column {} needs a numeric constant, got {v:?}",
+                    pred.column
+                ))
+            })?;
+            let compiled = match col.data() {
+                ColumnData::Int(xs) => Compiled::IntCmp { col: xs, nulls, op: *op, value },
+                ColumnData::Float(xs) => Compiled::FloatCmp { col: xs, nulls, op: *op, value },
+                ColumnData::Str { .. } => {
+                    return Err(ExecError::TypeError(format!(
+                        "comparison operator on string column {}",
+                        pred.column
+                    )))
+                }
+            };
+            out.push(compiled);
+            continue;
+        }
+        let consts: Vec<&Value> = match &pred.op {
+            PredOp::Eq(v) => vec![v],
+            PredOp::In(vs) => vs.iter().collect(),
+            PredOp::Cmp(..) => unreachable!("handled above"),
+        };
+        let compiled = match col.data() {
+            ColumnData::Int(xs) => {
+                let mut values = Vec::with_capacity(consts.len());
+                for v in consts {
+                    match v {
+                        Value::Int(i) => values.push(*i),
+                        Value::Float(f) if f.fract() == 0.0 => values.push(*f as i64),
+                        Value::Null => {}
+                        other => {
+                            return Err(ExecError::TypeError(format!(
+                                "cannot compare int column {} with {other:?}",
+                                pred.column
+                            )))
+                        }
+                    }
+                }
+                if values.is_empty() {
+                    Compiled::AlwaysFalse
+                } else {
+                    Compiled::IntIn { col: xs, nulls, values }
+                }
+            }
+            ColumnData::Float(xs) => {
+                let mut values = Vec::with_capacity(consts.len());
+                for v in consts {
+                    match v.as_f64() {
+                        Some(f) => values.push(f),
+                        None if v.is_null() => {}
+                        None => {
+                            return Err(ExecError::TypeError(format!(
+                                "cannot compare float column {} with {v:?}",
+                                pred.column
+                            )))
+                        }
+                    }
+                }
+                if values.is_empty() {
+                    Compiled::AlwaysFalse
+                } else {
+                    Compiled::FloatIn { col: xs, nulls, values }
+                }
+            }
+            ColumnData::Str { codes, dict } => {
+                let mut resolved = Vec::with_capacity(consts.len());
+                for v in consts {
+                    match v {
+                        Value::Str(s) => {
+                            if let Some(c) = dict.code_of(s) {
+                                resolved.push(c);
+                            }
+                        }
+                        Value::Null => {}
+                        other => {
+                            return Err(ExecError::TypeError(format!(
+                                "cannot compare string column {} with {other:?}",
+                                pred.column
+                            )))
+                        }
+                    }
+                }
+                if resolved.is_empty() {
+                    Compiled::AlwaysFalse
+                } else {
+                    Compiled::CodeIn { col: codes, nulls, codes: resolved }
+                }
+            }
+        };
+        out.push(compiled);
+    }
+    Ok(out)
+}
+
+/// One aggregate accumulator.
+#[derive(Debug, Clone, Copy)]
+struct Acc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Acc {
+    fn new() -> Acc {
+        Acc { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    #[inline]
+    fn feed(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum if self.count > 0 => Value::Float(self.sum),
+            AggFunc::Avg if self.count > 0 => Value::Float(self.sum / self.count as f64),
+            AggFunc::Min if self.count > 0 => Value::Float(self.min),
+            AggFunc::Max if self.count > 0 => Value::Float(self.max),
+            _ => Value::Null,
+        }
+    }
+}
+
+/// Numeric input of one aggregate (or row-count for `count(*)`).
+enum AggInput<'a> {
+    Star,
+    Int { col: &'a [i64], nulls: Option<&'a [bool]> },
+    Float { col: &'a [f64], nulls: Option<&'a [bool]> },
+}
+
+impl AggInput<'_> {
+    #[inline]
+    fn value(&self, row: usize) -> Option<f64> {
+        match self {
+            AggInput::Star => Some(1.0),
+            AggInput::Int { col, nulls } => {
+                (!is_null(nulls, row)).then(|| col[row] as f64)
+            }
+            AggInput::Float { col, nulls } => (!is_null(nulls, row)).then(|| col[row]),
+        }
+    }
+}
+
+fn agg_inputs<'a>(table: &'a Table, query: &Query) -> Result<Vec<AggInput<'a>>, ExecError> {
+    query
+        .aggregates
+        .iter()
+        .map(|agg| match &agg.column {
+            None => Ok(AggInput::Star),
+            Some(name) => {
+                let idx = table
+                    .schema()
+                    .index_of(name)
+                    .ok_or_else(|| ExecError::UnknownColumn(name.clone()))?;
+                let col = table.column(idx);
+                let nulls = null_mask(col);
+                match col.data() {
+                    ColumnData::Int(xs) => Ok(AggInput::Int { col: xs, nulls }),
+                    ColumnData::Float(xs) => Ok(AggInput::Float { col: xs, nulls }),
+                    ColumnData::Str { .. } if agg.func == AggFunc::Count => {
+                        // count(col) over strings counts non-NULLs; model as Star
+                        // (string columns have no NULLs after filtering here).
+                        Ok(AggInput::Star)
+                    }
+                    ColumnData::Str { .. } => Err(ExecError::TypeError(format!(
+                        "{}({name}) over a string column",
+                        agg.func
+                    ))),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Grouping key part per row (str code or int value; floats disallowed).
+enum GroupInput<'a> {
+    Int(&'a [i64]),
+    Code { codes: &'a [u32], dict: &'a crate::column::Dictionary },
+}
+
+/// Execute `query` against `table`. `selection` optionally restricts the
+/// scan to the given row ids (used for sampling).
+pub fn execute_with_selection(
+    table: &Table,
+    query: &Query,
+    selection: Option<&[u32]>,
+) -> Result<ResultSet, ExecError> {
+    if !query.table.eq_ignore_ascii_case(table.name()) {
+        return Err(ExecError::UnknownTable(query.table.clone()));
+    }
+    if query.aggregates.is_empty() {
+        return Err(ExecError::TypeError("query needs at least one aggregate".into()));
+    }
+    let preds = compile(table, query)?;
+    let inputs = agg_inputs(table, query)?;
+    // Group-by inputs.
+    let mut group_inputs: Vec<GroupInput> = Vec::with_capacity(query.group_by.len());
+    for g in &query.group_by {
+        let idx = table
+            .schema()
+            .index_of(g)
+            .ok_or_else(|| ExecError::UnknownColumn(g.clone()))?;
+        match table.column(idx).data() {
+            ColumnData::Int(xs) => group_inputs.push(GroupInput::Int(xs)),
+            ColumnData::Str { codes, dict } => group_inputs.push(GroupInput::Code { codes, dict }),
+            ColumnData::Float(_) => {
+                return Err(ExecError::TypeError(format!("cannot group by float column {g}")))
+            }
+        }
+    }
+
+    let mut stats = ExecStats::default();
+    let n = table.num_rows();
+    let mut scan = |f: &mut dyn FnMut(usize)| match selection {
+        Some(rows) => {
+            for &r in rows {
+                f(r as usize);
+            }
+            stats.rows_scanned = rows.len();
+        }
+        None => {
+            for r in 0..n {
+                f(r);
+            }
+            stats.rows_scanned = n;
+        }
+    };
+
+    let agg_names: Vec<String> = query.aggregates.iter().map(|a| a.to_string()).collect();
+
+    if group_inputs.is_empty() {
+        let mut accs = vec![Acc::new(); inputs.len()];
+        let mut matched = 0usize;
+        scan(&mut |row| {
+            if preds.iter().all(|p| p.matches(row)) {
+                matched += 1;
+                for (acc, input) in accs.iter_mut().zip(&inputs) {
+                    if let Some(v) = input.value(row) {
+                        acc.feed(v);
+                    }
+                }
+            }
+        });
+        stats.rows_matched = matched;
+        let row: Vec<Value> = accs
+            .iter()
+            .zip(&query.aggregates)
+            .map(|(acc, agg)| acc.finish(agg.func))
+            .collect();
+        return Ok(ResultSet { columns: agg_names, rows: vec![row], stats });
+    }
+
+    // Grouped execution.
+    let mut groups: FxHashMap<Vec<i64>, Vec<Acc>> = FxHashMap::default();
+    let mut matched = 0usize;
+    scan(&mut |row| {
+        if preds.iter().all(|p| p.matches(row)) {
+            matched += 1;
+            let key: Vec<i64> = group_inputs
+                .iter()
+                .map(|g| match g {
+                    GroupInput::Int(xs) => xs[row],
+                    GroupInput::Code { codes, .. } => codes[row] as i64,
+                })
+                .collect();
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| vec![Acc::new(); inputs.len()]);
+            for (acc, input) in accs.iter_mut().zip(&inputs) {
+                if let Some(v) = input.value(row) {
+                    acc.feed(v);
+                }
+            }
+        }
+    });
+    stats.rows_matched = matched;
+    let mut keys: Vec<&Vec<i64>> = groups.keys().collect();
+    keys.sort_unstable();
+    let mut rows = Vec::with_capacity(keys.len());
+    for key in keys {
+        let accs = &groups[key];
+        let mut row: Vec<Value> = Vec::with_capacity(key.len() + accs.len());
+        for (part, g) in key.iter().zip(&group_inputs) {
+            row.push(match g {
+                GroupInput::Int(_) => Value::Int(*part),
+                GroupInput::Code { dict, .. } => Value::Str(dict.resolve(*part as u32).to_owned()),
+            });
+        }
+        for (acc, agg) in accs.iter().zip(&query.aggregates) {
+            row.push(acc.finish(agg.func));
+        }
+        rows.push(row);
+    }
+    let mut columns = query.group_by.clone();
+    columns.extend(agg_names);
+    Ok(ResultSet { columns, rows, stats })
+}
+
+/// Execute `query` against `table` over all rows.
+pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
+    execute_with_selection(table, query, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Aggregate, Predicate};
+    use crate::parser::parse;
+    use crate::schema::Schema;
+    use crate::value::ColumnType;
+
+    fn flights() -> Table {
+        let schema = Schema::new([
+            ("origin", ColumnType::Str),
+            ("carrier", ColumnType::Str),
+            ("delay", ColumnType::Int),
+            ("dist", ColumnType::Float),
+        ]);
+        let mut b = Table::builder("flights", schema);
+        let rows: &[(&str, &str, i64, f64)] = &[
+            ("JFK", "AA", 10, 100.0),
+            ("JFK", "UA", 20, 200.0),
+            ("LGA", "AA", 30, 300.0),
+            ("JFK", "AA", 40, 400.0),
+            ("LGA", "DL", 50, 500.0),
+        ];
+        for &(o, c, d, x) in rows {
+            b.push_row([o.into(), c.into(), d.into(), x.into()]);
+        }
+        b.build()
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        execute(&flights(), &parse(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn count_star() {
+        let r = run("select count(*) from flights");
+        assert_eq!(r.rows, vec![vec![Value::Int(5)]]);
+        assert_eq!(r.stats.rows_scanned, 5);
+        assert_eq!(r.stats.rows_matched, 5);
+    }
+
+    #[test]
+    fn filtered_aggregates() {
+        let r = run("select sum(delay) from flights where origin = 'JFK'");
+        assert_eq!(r.scalar(), Some(70.0));
+        let r = run("select avg(delay) from flights where carrier = 'AA'");
+        assert!((r.scalar().unwrap() - 80.0 / 3.0).abs() < 1e-9);
+        let r = run("select min(dist), count(*) from flights where origin = 'LGA'");
+        assert_eq!(r.rows[0], vec![Value::Float(300.0), Value::Int(2)]);
+    }
+
+    #[test]
+    fn in_predicate() {
+        let r = run("select count(*) from flights where carrier in ('AA', 'DL')");
+        assert_eq!(r.scalar(), Some(4.0));
+    }
+
+    #[test]
+    fn missing_dictionary_constant_is_empty() {
+        let r = run("select count(*) from flights where origin = 'SFO'");
+        assert_eq!(r.scalar(), Some(0.0));
+        // Matched nothing, scanned nothing extra (AlwaysFalse shortcut still
+        // scans rows but matches none).
+        assert_eq!(r.stats.rows_matched, 0);
+    }
+
+    #[test]
+    fn empty_result_null_semantics() {
+        let r = run("select sum(delay), avg(delay), min(delay), max(delay), count(*) \
+                     from flights where origin = 'XXX'");
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Int(0)]
+        );
+        assert_eq!(r.scalar(), None);
+    }
+
+    #[test]
+    fn group_by_string() {
+        let r = run("select count(*), avg(delay) from flights group by origin");
+        assert_eq!(r.columns, vec!["origin", "count(*)", "avg(delay)"]);
+        assert_eq!(r.rows.len(), 2);
+        // Sorted by dictionary code: JFK interned first.
+        assert_eq!(r.rows[0][0], Value::Str("JFK".into()));
+        assert_eq!(r.rows[0][1], Value::Int(3));
+        assert_eq!(r.rows[1][0], Value::Str("LGA".into()));
+    }
+
+    #[test]
+    fn group_by_with_filter() {
+        let r = run("select sum(delay) from flights where origin = 'JFK' group by carrier");
+        assert_eq!(r.rows.len(), 2);
+        let total: f64 = r.rows.iter().map(|row| row[1].as_f64().unwrap()).sum();
+        assert_eq!(total, 70.0);
+    }
+
+    #[test]
+    fn selection_restricts_scan() {
+        let t = flights();
+        let q = parse("select count(*) from flights").unwrap();
+        let r = execute_with_selection(&t, &q, Some(&[0, 2, 4])).unwrap();
+        assert_eq!(r.scalar(), Some(3.0));
+        assert_eq!(r.stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn error_paths() {
+        let t = flights();
+        assert!(matches!(
+            execute(&t, &parse("select count(*) from other").unwrap()),
+            Err(ExecError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute(&t, &parse("select count(*) from flights where nope = 1").unwrap()),
+            Err(ExecError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            execute(&t, &parse("select sum(origin) from flights").unwrap()),
+            Err(ExecError::TypeError(_))
+        ));
+        assert!(matches!(
+            execute(&t, &parse("select count(*) from flights where delay = 'x'").unwrap()),
+            Err(ExecError::TypeError(_))
+        ));
+        assert!(matches!(
+            execute(&t, &parse("select count(*) from flights group by dist").unwrap()),
+            Err(ExecError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn int_column_predicates() {
+        let r = run("select count(*) from flights where delay = 30");
+        assert_eq!(r.scalar(), Some(1.0));
+        let r = run("select count(*) from flights where delay in (10, 50)");
+        assert_eq!(r.scalar(), Some(2.0));
+    }
+
+    #[test]
+    fn float_eq_predicate() {
+        let r = run("select count(*) from flights where dist = 200.0");
+        assert_eq!(r.scalar(), Some(1.0));
+    }
+
+    #[test]
+    fn builder_query_matches_sql() {
+        let t = flights();
+        let q = Query {
+            table: "flights".into(),
+            aggregates: vec![Aggregate::over(AggFunc::Max, "delay")],
+            predicates: vec![Predicate::eq("origin", "JFK")],
+            group_by: vec![],
+        };
+        let r = execute(&t, &q).unwrap();
+        assert_eq!(r.scalar(), Some(40.0));
+    }
+
+    #[test]
+    fn nulls_skipped_in_aggregates() {
+        let schema = Schema::new([("x", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        b.push_row([Value::Int(1)]);
+        b.push_row([Value::Null]);
+        b.push_row([Value::Int(3)]);
+        let t = b.build();
+        let r = execute(&t, &parse("select sum(x), count(*) from t").unwrap()).unwrap();
+        assert_eq!(r.rows[0], vec![Value::Float(4.0), Value::Int(3)]);
+    }
+}
+
+#[cfg(test)]
+mod cmp_tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::Schema;
+    use crate::value::ColumnType;
+
+    fn t() -> Table {
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Int), ("x", ColumnType::Float)]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..10i64 {
+            b.push_row([Value::from(format!("k{}", i % 2)), Value::Int(i), Value::Float(i as f64 / 2.0)]);
+        }
+        b.build()
+    }
+
+    fn count(sql: &str) -> f64 {
+        execute(&t(), &parse(sql).unwrap()).unwrap().scalar().unwrap()
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(count("select count(*) from t where v < 5"), 5.0);
+        assert_eq!(count("select count(*) from t where v <= 5"), 6.0);
+        assert_eq!(count("select count(*) from t where v > 7"), 2.0);
+        assert_eq!(count("select count(*) from t where v >= 7"), 3.0);
+        assert_eq!(count("select count(*) from t where v <> 3"), 9.0);
+        assert_eq!(count("select count(*) from t where v != 3"), 9.0);
+    }
+
+    #[test]
+    fn float_comparisons_and_negative_bounds() {
+        assert_eq!(count("select count(*) from t where x < 2.5"), 5.0);
+        assert_eq!(count("select count(*) from t where v > -1"), 10.0);
+    }
+
+    #[test]
+    fn combined_with_equality() {
+        assert_eq!(count("select count(*) from t where k = 'k0' and v >= 4"), 3.0);
+    }
+
+    #[test]
+    fn string_comparison_rejected() {
+        let err = execute(&t(), &parse("select count(*) from t where k > 'a'").unwrap());
+        assert!(matches!(err, Err(ExecError::TypeError(_))));
+    }
+
+    #[test]
+    fn cmp_roundtrips_through_sql() {
+        for op in ["<", "<=", ">", ">=", "<>"] {
+            let sql = format!("select count(*) from t where v {op} 5");
+            let q = parse(&sql).unwrap();
+            assert_eq!(parse(&q.to_sql()).unwrap(), q, "{sql}");
+        }
+    }
+}

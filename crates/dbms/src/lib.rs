@@ -1,0 +1,50 @@
+//! # muve-dbms
+//!
+//! The in-memory columnar SQL engine under MUVE, standing in for the
+//! Postgres instance used in the paper (Wei, Trummer, Anderson, PVLDB
+//! 2021). It supports exactly the query class MUVE targets — single-table
+//! aggregation queries with conjunctive equality / `IN` predicates plus the
+//! `GROUP BY` form that query merging rewrites into — and the two
+//! facilities the paper's processing optimizations rely on:
+//!
+//! - a Postgres-flavoured [`cost`] model (the `EXPLAIN` substitute that
+//!   gates query merging and feeds processing-cost-aware planning, §8.1),
+//! - seeded Bernoulli [`sample`]-based approximate execution (§8.2).
+//!
+//! ```
+//! use muve_dbms::{execute, parse, Schema, Table, ColumnType, Value};
+//!
+//! let schema = Schema::new([("borough", ColumnType::Str), ("count", ColumnType::Int)]);
+//! let mut b = Table::builder("complaints", schema);
+//! b.push_row([Value::from("Brooklyn"), Value::from(12i64)]);
+//! b.push_row([Value::from("Queens"), Value::from(7i64)]);
+//! let table = b.build();
+//! let q = parse("select sum(count) from complaints where borough = 'Brooklyn'").unwrap();
+//! assert_eq!(execute(&table, &q).unwrap().scalar(), Some(12.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod column;
+pub mod cost;
+pub mod csv;
+pub mod exec;
+pub mod merge;
+pub mod parser;
+pub mod sample;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use ast::{AggFunc, Aggregate, CmpOp, PredOp, Predicate, Query};
+pub use column::{Column, ColumnData, Dictionary};
+pub use cost::{estimate, explain, CostEstimate, CostParams};
+pub use csv::{table_from_csv_path, table_from_csv_str, CsvError};
+pub use exec::{execute, execute_with_selection, ExecError, ExecStats, ResultSet};
+pub use merge::{execute_merged, merge_is_beneficial, plan_merged, MergeGroup, MergeMember, MergedResults};
+pub use parser::{parse, ParseError};
+pub use sample::{bernoulli_rows, execute_approximate, scale_result, systematic_rows};
+pub use schema::{ColumnDef, Schema};
+pub use table::{Database, Table, TableBuilder};
+pub use value::{ColumnType, Value};

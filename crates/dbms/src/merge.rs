@@ -1,0 +1,575 @@
+//! Query merging (paper §8.1).
+//!
+//! MUVE processes many phonetically similar interpretations of one voice
+//! query. Executing each candidate separately re-scans the table once per
+//! candidate; merging rewrites groups of similar queries into a single
+//! grouped query — equality predicates on one column become an `IN`
+//! condition plus `GROUP BY`, and all requested aggregates become result
+//! columns — so one scan answers the whole group. The decision to merge is
+//! gated on the [`crate::cost`] model, mirroring the paper's use of the
+//! Postgres optimizer.
+
+use crate::ast::{Aggregate, PredOp, Predicate, Query};
+use crate::cost::{estimate, CostParams};
+use crate::exec::{execute, ExecError, ExecStats};
+use crate::table::Table;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+
+/// A group of original queries answered by one merged query.
+#[derive(Debug, Clone)]
+pub struct MergeGroup {
+    /// The rewritten query that answers every member in one scan.
+    pub merged: Query,
+    /// The members and how to recover their results.
+    pub members: Vec<MergeMember>,
+}
+
+/// Maps one original query into the merged result.
+#[derive(Debug, Clone)]
+pub struct MergeMember {
+    /// Index of the original query in the input slice.
+    pub index: usize,
+    /// For grouped merges, the member's value of the varying column.
+    pub key: Option<Value>,
+    /// Index of the member's aggregate within `merged.aggregates`.
+    pub agg: usize,
+}
+
+/// Partition `queries` into merge groups.
+///
+/// Queries merge when they target the same table, have predicates on the
+/// same columns, and agree on the values of all predicate columns except at
+/// most one (the *varying* column). Their aggregates may differ — the union
+/// of aggregates becomes the merged query's select list. Queries that merge
+/// with nothing become singleton groups (whose `merged` query is the
+/// original, modulo aggregate dedup).
+pub fn plan_merged(queries: &[Query]) -> Vec<MergeGroup> {
+    // Bucket by (table, sorted predicate columns).
+    let mut buckets: FxHashMap<(String, Vec<String>), Vec<usize>> = FxHashMap::default();
+    for (i, q) in queries.iter().enumerate() {
+        let mut cols: Vec<String> =
+            q.predicates.iter().map(|p| p.column.to_ascii_lowercase()).collect();
+        cols.sort_unstable();
+        buckets
+            .entry((q.table.to_ascii_lowercase(), cols))
+            .or_default()
+            .push(i);
+    }
+    let mut keys: Vec<_> = buckets.keys().cloned().collect();
+    keys.sort_unstable();
+    let mut groups = Vec::new();
+    for key in keys {
+        let members = &buckets[&key];
+        groups.extend(merge_bucket(queries, members, &key.1));
+    }
+    groups
+}
+
+/// Signature of a query's predicate values excluding column `skip`
+/// (`usize::MAX` to keep all). Predicates assumed to be single equalities;
+/// IN predicates or duplicate columns make the query unmergeable.
+fn signature(q: &Query, cols: &[String], skip: usize) -> Option<Vec<String>> {
+    let mut sig = Vec::with_capacity(cols.len());
+    for (ci, col) in cols.iter().enumerate() {
+        if ci == skip {
+            continue;
+        }
+        let pred = q
+            .predicates
+            .iter()
+            .find(|p| p.column.eq_ignore_ascii_case(col))?;
+        match &pred.op {
+            PredOp::Eq(v) => sig.push(format!("{col}\u{1}{v:?}")),
+            // Comparison predicates may be shared verbatim but never vary.
+            PredOp::Cmp(op, v) => sig.push(format!("{col}\u{1}{op}{v:?}")),
+            PredOp::In(_) => return None,
+        }
+    }
+    Some(sig)
+}
+
+fn eq_value(q: &Query, col: &str) -> Option<Value> {
+    q.predicates
+        .iter()
+        .find(|p| p.column.eq_ignore_ascii_case(col))
+        .and_then(|p| match &p.op {
+            PredOp::Eq(v) => Some(v.clone()),
+            _ => None,
+        })
+}
+
+/// The full predicate on `col` (used to carry shared non-equality
+/// predicates into the merged query).
+fn shared_pred(q: &Query, col: &str) -> Option<Predicate> {
+    q.predicates.iter().find(|p| p.column.eq_ignore_ascii_case(col)).cloned()
+}
+
+/// Sub-bucketing of mergeable queries by their fixed-predicate signature.
+type SubBuckets = FxHashMap<Vec<String>, Vec<usize>>;
+
+fn merge_bucket(queries: &[Query], members: &[usize], cols: &[String]) -> Vec<MergeGroup> {
+    if members.len() == 1 || !queries.iter().all(|q| !q.group_by.is_empty()) {
+        // fallthrough below handles everything; the condition above is
+        // evaluated per member anyway.
+    }
+    // Queries with GROUP BY, IN predicates, or several predicates on the
+    // same column (possible after phonetic rebinding) do not participate
+    // in merging: the signature scheme assumes one equality per column.
+    let has_dup_cols = cols.windows(2).any(|w| w[0] == w[1]);
+    let (mergeable, singles): (Vec<usize>, Vec<usize>) = members.iter().partition(|&&i| {
+        !has_dup_cols
+            && queries[i].group_by.is_empty()
+            && signature(&queries[i], cols, usize::MAX).is_some()
+    });
+    let mut out: Vec<MergeGroup> = singles
+        .into_iter()
+        .map(|i| singleton(queries, i))
+        .collect();
+    if mergeable.is_empty() {
+        return out;
+    }
+    // Choose the varying column minimizing the number of sub-groups. Only
+    // columns where every member carries an equality predicate are
+    // eligible (comparison predicates cannot become IN/GROUP BY);
+    // `usize::MAX` stands for "no varying column" (identical predicates,
+    // aggregates merged into one select list).
+    let mut best: Option<(usize, SubBuckets)> = None;
+    let mut choices: Vec<usize> = vec![usize::MAX];
+    for (ci, col) in cols.iter().enumerate() {
+        if mergeable.iter().all(|&i| eq_value(&queries[i], col).is_some()) {
+            choices.push(ci);
+        }
+    }
+    for skip in choices {
+        let mut sub: SubBuckets = SubBuckets::default();
+        for &i in &mergeable {
+            let sig = signature(&queries[i], cols, skip).expect("checked mergeable");
+            sub.entry(sig).or_default().push(i);
+        }
+        if best.as_ref().is_none_or(|(_, b)| sub.len() < b.len()) {
+            best = Some((skip, sub));
+        }
+    }
+    let (skip, sub) = best.expect("at least one choice");
+    let mut sigs: Vec<_> = sub.keys().cloned().collect();
+    sigs.sort_unstable();
+    for sig in sigs {
+        let group_members = &sub[&sig];
+        out.push(build_group(queries, group_members, cols, skip));
+    }
+    out
+}
+
+fn singleton(queries: &[Query], index: usize) -> MergeGroup {
+    MergeGroup {
+        merged: queries[index].clone(),
+        members: vec![MergeMember { index, key: None, agg: 0 }],
+    }
+}
+
+fn build_group(queries: &[Query], members: &[usize], cols: &[String], skip: usize) -> MergeGroup {
+    let first = &queries[members[0]];
+    // Union of aggregates, preserving first-seen order.
+    let mut aggs: Vec<Aggregate> = Vec::new();
+    let agg_of = |agg: &Aggregate, aggs: &mut Vec<Aggregate>| -> usize {
+        match aggs.iter().position(|a| a == agg) {
+            Some(i) => i,
+            None => {
+                aggs.push(agg.clone());
+                aggs.len() - 1
+            }
+        }
+    };
+    let vary_col = cols.get(skip).cloned();
+    // Distinct varying values in first-seen order.
+    let mut vary_values: Vec<Value> = Vec::new();
+    let mut out_members = Vec::with_capacity(members.len());
+    for &i in members {
+        let q = &queries[i];
+        let key = vary_col.as_deref().and_then(|c| eq_value(q, c));
+        if let Some(v) = &key {
+            if !vary_values.contains(v) {
+                vary_values.push(v.clone());
+            }
+        }
+        // Paper scope: each candidate query has one aggregate; we support
+        // several by mapping each member to its first aggregate.
+        let agg = agg_of(&q.aggregates[0], &mut aggs);
+        out_members.push(MergeMember { index: i, key, agg });
+    }
+    // Shared predicates: everything except the varying column, carried
+    // over verbatim (equality or comparison).
+    let mut predicates: Vec<Predicate> = Vec::new();
+    for (ci, col) in cols.iter().enumerate() {
+        if ci == skip {
+            continue;
+        }
+        if let Some(p) = shared_pred(first, col) {
+            predicates.push(p);
+        }
+    }
+    let (group_by, vary_pred) = match (&vary_col, vary_values.len()) {
+        (Some(c), n) if n > 1 => {
+            (vec![c.clone()], Some(Predicate::is_in(c.clone(), vary_values.clone())))
+        }
+        (Some(c), 1) => (Vec::new(), Some(Predicate::eq(c.clone(), vary_values[0].clone()))),
+        _ => (Vec::new(), None),
+    };
+    if let Some(p) = vary_pred {
+        predicates.push(p);
+    }
+    // Members of a non-grouped merge need no key.
+    let grouped = !group_by.is_empty();
+    let members = out_members
+        .into_iter()
+        .map(|mut m| {
+            if !grouped {
+                m.key = None;
+            }
+            m
+        })
+        .collect();
+    MergeGroup {
+        merged: Query { table: first.table.clone(), aggregates: aggs, predicates, group_by },
+        members,
+    }
+}
+
+/// Result of executing a merge group: per original query index, the scalar
+/// result (`None` when NULL, e.g. empty `sum`).
+#[derive(Debug, Clone)]
+pub struct MergedResults {
+    /// `(original query index, scalar result)` pairs.
+    pub results: Vec<(usize, Option<f64>)>,
+    /// Scan statistics of the single merged execution.
+    pub stats: ExecStats,
+}
+
+/// Execute one merge group against `table`.
+pub fn execute_merged(table: &Table, group: &MergeGroup) -> Result<MergedResults, ExecError> {
+    let rs = execute(table, &group.merged)?;
+    let n_group = group.merged.group_by.len();
+    let mut results = Vec::with_capacity(group.members.len());
+    for m in &group.members {
+        let agg_func = group.merged.aggregates[m.agg].func;
+        let row = match (&m.key, n_group) {
+            (Some(key), 1) => rs.rows.iter().find(|r| &r[0] == key),
+            _ => rs.rows.first(),
+        };
+        let value = row.and_then(|r| r[n_group + m.agg].as_f64());
+        // A missing group means zero matching rows: count is 0, others NULL.
+        let value = match (value, agg_func) {
+            (None, crate::ast::AggFunc::Count) => Some(0.0),
+            (v, _) => v,
+        };
+        results.push((m.index, value));
+    }
+    Ok(MergedResults { results, stats: rs.stats })
+}
+
+/// Decide via the cost model whether executing `group` merged is cheaper
+/// than executing its members separately.
+pub fn merge_is_beneficial(
+    table: &Table,
+    group: &MergeGroup,
+    originals: &[Query],
+    params: &CostParams,
+) -> bool {
+    if group.members.len() <= 1 {
+        return false;
+    }
+    let merged_cost = estimate(table, &group.merged, params).total;
+    let separate: f64 = group
+        .members
+        .iter()
+        .map(|m| estimate(table, &originals[m.index], params).total)
+        .sum();
+    merged_cost < separate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::Schema;
+    use crate::value::ColumnType;
+
+    fn flights() -> Table {
+        let schema = Schema::new([
+            ("origin", ColumnType::Str),
+            ("carrier", ColumnType::Str),
+            ("delay", ColumnType::Int),
+        ]);
+        let mut b = Table::builder("flights", schema);
+        let rows: &[(&str, &str, i64)] = &[
+            ("JFK", "AA", 10),
+            ("JFK", "UA", 20),
+            ("LGA", "AA", 30),
+            ("JFK", "AA", 40),
+            ("LGA", "DL", 50),
+            ("EWR", "AA", 60),
+        ];
+        for &(o, c, d) in rows {
+            b.push_row([o.into(), c.into(), d.into()]);
+        }
+        b.build()
+    }
+
+    fn q(sql: &str) -> Query {
+        parse(sql).unwrap()
+    }
+
+    #[test]
+    fn phonetic_candidates_merge_into_one_group() {
+        // Same template, varying constant: classic MUVE candidate set.
+        let queries = vec![
+            q("select sum(delay) from flights where origin = 'JFK'"),
+            q("select sum(delay) from flights where origin = 'LGA'"),
+            q("select sum(delay) from flights where origin = 'EWR'"),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.merged.group_by, vec!["origin".to_string()]);
+        assert_eq!(g.members.len(), 3);
+        let r = execute_merged(&flights(), g).unwrap();
+        let by_index: FxHashMap<usize, Option<f64>> = r.results.iter().cloned().collect();
+        assert_eq!(by_index[&0], Some(70.0));
+        assert_eq!(by_index[&1], Some(80.0));
+        assert_eq!(by_index[&2], Some(60.0));
+    }
+
+    #[test]
+    fn merged_matches_separate_execution() {
+        let queries = vec![
+            q("select count(*) from flights where carrier = 'AA'"),
+            q("select count(*) from flights where carrier = 'UA'"),
+            q("select count(*) from flights where carrier = 'ZZ'"),
+        ];
+        let t = flights();
+        let groups = plan_merged(&queries);
+        let mut merged_results = vec![None; queries.len()];
+        for g in &groups {
+            for (idx, v) in execute_merged(&t, g).unwrap().results {
+                merged_results[idx] = v;
+            }
+        }
+        for (i, query) in queries.iter().enumerate() {
+            let direct = execute(&t, query).unwrap().scalar();
+            assert_eq!(merged_results[i], direct.or(Some(0.0)), "query {i}");
+        }
+    }
+
+    #[test]
+    fn missing_group_count_is_zero() {
+        let queries = vec![
+            q("select count(*) from flights where origin = 'JFK'"),
+            q("select count(*) from flights where origin = 'XXX'"),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 1);
+        let r = execute_merged(&flights(), &groups[0]).unwrap();
+        let by_index: FxHashMap<usize, Option<f64>> = r.results.iter().cloned().collect();
+        assert_eq!(by_index[&1], Some(0.0));
+    }
+
+    #[test]
+    fn differing_aggregates_become_columns() {
+        let queries = vec![
+            q("select sum(delay) from flights where origin = 'JFK'"),
+            q("select avg(delay) from flights where origin = 'JFK'"),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.merged.aggregates.len(), 2);
+        assert!(g.merged.group_by.is_empty());
+        let r = execute_merged(&flights(), g).unwrap();
+        let by_index: FxHashMap<usize, Option<f64>> = r.results.iter().cloned().collect();
+        assert_eq!(by_index[&0], Some(70.0));
+        assert!((by_index[&1].unwrap() - 70.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_predicates_vary_one_column() {
+        let queries = vec![
+            q("select count(*) from flights where origin = 'JFK' and carrier = 'AA'"),
+            q("select count(*) from flights where origin = 'JFK' and carrier = 'UA'"),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.merged.group_by, vec!["carrier".to_string()]);
+        let r = execute_merged(&flights(), g).unwrap();
+        let by_index: FxHashMap<usize, Option<f64>> = r.results.iter().cloned().collect();
+        assert_eq!(by_index[&0], Some(2.0));
+        assert_eq!(by_index[&1], Some(1.0));
+    }
+
+    #[test]
+    fn unrelated_queries_stay_separate() {
+        let queries = vec![
+            q("select count(*) from flights where origin = 'JFK'"),
+            q("select count(*) from flights where delay = 10"),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn cost_model_prefers_merge() {
+        let t = flights();
+        let queries = vec![
+            q("select sum(delay) from flights where origin = 'JFK'"),
+            q("select sum(delay) from flights where origin = 'LGA'"),
+            q("select sum(delay) from flights where origin = 'EWR'"),
+        ];
+        let groups = plan_merged(&queries);
+        assert!(merge_is_beneficial(&t, &groups[0], &queries, &CostParams::default()));
+    }
+
+    #[test]
+    fn singleton_never_beneficial() {
+        let t = flights();
+        let queries = vec![q("select count(*) from flights where origin = 'JFK'")];
+        let groups = plan_merged(&queries);
+        assert!(!merge_is_beneficial(&t, &groups[0], &queries, &CostParams::default()));
+    }
+
+    #[test]
+    fn group_by_queries_not_merged() {
+        let queries = vec![
+            q("select count(*) from flights where origin = 'JFK' group by carrier"),
+            q("select count(*) from flights where origin = 'LGA' group by carrier"),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn merged_scan_count_is_single_scan() {
+        let t = flights();
+        let queries = vec![
+            q("select count(*) from flights where origin = 'JFK'"),
+            q("select count(*) from flights where origin = 'LGA'"),
+        ];
+        let groups = plan_merged(&queries);
+        let r = execute_merged(&t, &groups[0]).unwrap();
+        assert_eq!(r.stats.rows_scanned, t.num_rows());
+    }
+}
+#[cfg(test)]
+mod duplicate_column_tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::parser::parse;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use crate::value::ColumnType;
+
+    #[test]
+    fn contradictory_predicates_stay_separate_and_correct() {
+        // Phonetic rebinding can produce two equalities on one column; the
+        // merged plan must not drop either predicate.
+        let schema = Schema::new([("c", ColumnType::Str), ("v", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        for (c, v) in [("noise", 10i64), ("rodent", 20), ("noise", 30)] {
+            b.push_row([c.into(), v.into()]);
+        }
+        let t = b.build();
+        let queries = vec![
+            parse("select sum(v) from t where c = 'noise' and c = 'rodent'").unwrap(),
+            parse("select sum(v) from t where c = 'noise' and c = 'noise'").unwrap(),
+        ];
+        let groups = plan_merged(&queries);
+        let mut results = vec![None; queries.len()];
+        for g in &groups {
+            for (idx, v) in execute_merged(&t, g).unwrap().results {
+                results[idx] = v;
+            }
+        }
+        assert_eq!(results[0], execute(&t, &queries[0]).unwrap().scalar()); // NULL (no match)
+        assert_eq!(results[1], Some(40.0));
+    }
+}
+
+#[cfg(test)]
+mod cmp_merge_tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::parser::parse;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use crate::value::ColumnType;
+
+    fn t() -> Table {
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..12i64 {
+            b.push_row([Value::from(format!("k{}", i % 3)), Value::Int(i)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn shared_range_predicate_merges_on_eq_column() {
+        // Same range condition, varying equality constant: must merge with
+        // the range carried into the merged query.
+        let queries = vec![
+            parse("select count(*) from t where k = 'k0' and v > 5").unwrap(),
+            parse("select count(*) from t where k = 'k1' and v > 5").unwrap(),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].merged.group_by, vec!["k".to_string()]);
+        let table = t();
+        let mut results = [None; 2];
+        for (i, v) in execute_merged(&table, &groups[0]).unwrap().results {
+            results[i] = v;
+        }
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(results[i], execute(&table, q).unwrap().scalar(), "query {i}");
+        }
+    }
+
+    #[test]
+    fn differing_range_predicates_do_not_merge_grouped() {
+        // Range values differ: the varying column (v) carries Cmp, so it
+        // cannot become IN/GROUP BY — results must still be correct.
+        let queries = vec![
+            parse("select count(*) from t where v > 5").unwrap(),
+            parse("select count(*) from t where v > 8").unwrap(),
+        ];
+        let table = t();
+        let groups = plan_merged(&queries);
+        let mut results = [None; 2];
+        for g in &groups {
+            for (i, v) in execute_merged(&table, g).unwrap().results {
+                results[i] = v;
+            }
+        }
+        assert_eq!(results[0], Some(6.0));
+        assert_eq!(results[1], Some(3.0));
+    }
+
+    #[test]
+    fn identical_predicates_different_aggregates_merge() {
+        let queries = vec![
+            parse("select sum(v) from t where v >= 6").unwrap(),
+            parse("select avg(v) from t where v >= 6").unwrap(),
+            parse("select count(*) from t where v >= 6").unwrap(),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        assert_eq!(groups[0].merged.aggregates.len(), 3);
+        let table = t();
+        let mut results = [None; 3];
+        for (i, v) in execute_merged(&table, &groups[0]).unwrap().results {
+            results[i] = v;
+        }
+        assert_eq!(results[0], Some(51.0)); // 6+..+11
+        assert!((results[1].unwrap() - 8.5).abs() < 1e-9);
+        assert_eq!(results[2], Some(6.0));
+    }
+}

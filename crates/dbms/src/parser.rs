@@ -1,0 +1,394 @@
+//! Parser for the supported SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT agg (',' agg)* FROM ident [WHERE conj] [GROUP BY ident (',' ident)*]
+//! agg       := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | ident) ')'
+//! conj      := pred (AND pred)*
+//! pred      := ident '=' literal | ident IN '(' literal (',' literal)* ')'
+//! literal   := number | 'string'
+//! ```
+
+use crate::ast::{AggFunc, Aggregate, CmpOp, PredOp, Predicate, Query};
+use crate::value::Value;
+use std::fmt;
+
+/// Parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    EqSign,
+    Cmp(CmpOp),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::EqSign);
+                i += 1;
+            }
+            '<' => {
+                match chars.get(i + 1) {
+                    Some('=') => {
+                        out.push(Token::Cmp(CmpOp::Le));
+                        i += 2;
+                    }
+                    Some('>') => {
+                        out.push(Token::Cmp(CmpOp::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Cmp(CmpOp::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Cmp(CmpOp::Ne));
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return err("unterminated string literal"),
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                let mut is_int = true;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        is_int = false;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Integers parse exactly (f64 would lose precision past
+                // 2^53); anything else goes through f64.
+                if is_int {
+                    match text.parse::<i64>() {
+                        Ok(v) => out.push(Token::Int(v)),
+                        Err(_) => match text.parse::<f64>() {
+                            Ok(v) => out.push(Token::Float(v)),
+                            Err(_) => return err(format!("bad number {text:?}")),
+                        },
+                    }
+                } else {
+                    match text.parse::<f64>() {
+                        Ok(v) => out.push(Token::Float(v)),
+                        Err(_) => return err(format!("bad number {text:?}")),
+                    }
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => err(format!("expected {kw}, got {other:?}")),
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            other => err(format!("expected {t:?}, got {other:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Value::Int(v)),
+            Some(Token::Float(v)) => Ok(Value::Float(v)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            other => err(format!("expected literal, got {other:?}")),
+        }
+    }
+
+    fn aggregate(&mut self) -> Result<Aggregate, ParseError> {
+        let name = self.ident()?;
+        let func = match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            other => return err(format!("unknown aggregate function {other:?}")),
+        };
+        self.expect(Token::LParen)?;
+        let column = match self.peek() {
+            Some(Token::Star) => {
+                self.pos += 1;
+                if func != AggFunc::Count {
+                    return err(format!("{}(*) is not supported", func.name()));
+                }
+                None
+            }
+            _ => Some(self.ident()?),
+        };
+        self.expect(Token::RParen)?;
+        Ok(Aggregate { func, column })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let column = self.ident()?;
+        if self.accept_keyword("in") {
+            self.expect(Token::LParen)?;
+            let mut values = vec![self.literal()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                values.push(self.literal()?);
+            }
+            self.expect(Token::RParen)?;
+            Ok(Predicate { column, op: PredOp::In(values) })
+        } else if let Some(Token::Cmp(op)) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            Ok(Predicate { column, op: PredOp::Cmp(op, self.literal()?) })
+        } else {
+            self.expect(Token::EqSign)?;
+            Ok(Predicate { column, op: PredOp::Eq(self.literal()?) })
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("select")?;
+        let mut aggregates = vec![self.aggregate()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            aggregates.push(self.aggregate()?);
+        }
+        self.expect_keyword("from")?;
+        let table = self.ident()?;
+        let mut predicates = Vec::new();
+        if self.accept_keyword("where") {
+            predicates.push(self.predicate()?);
+            while self.accept_keyword("and") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.accept_keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.ident()?);
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                group_by.push(self.ident()?);
+            }
+        }
+        if let Some(t) = self.peek() {
+            return err(format!("unexpected trailing token {t:?}"));
+        }
+        Ok(Query { table, aggregates, predicates, group_by })
+    }
+}
+
+/// Parse a SQL string into a [`Query`].
+///
+/// # Examples
+/// ```
+/// use muve_dbms::parse;
+/// let q = parse("SELECT avg(delay) FROM flights WHERE origin = 'JFK'").unwrap();
+/// assert_eq!(q.table, "flights");
+/// assert_eq!(q.predicates.len(), 1);
+/// ```
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Aggregate;
+
+    #[test]
+    fn roundtrip_through_display() {
+        let sqls = [
+            "select count(*) from t",
+            "select sum(x) from t where a = 1",
+            "select avg(x), max(y) from t where a = 'v' and b = 2.5 group by c, d",
+            "select min(x) from t where a in (1, 2, 3)",
+        ];
+        for sql in sqls {
+            let q = parse(sql).unwrap();
+            let q2 = parse(&q.to_sql()).unwrap();
+            assert_eq!(q, q2, "{sql}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse("SeLeCt CoUnT(*) FrOm T WhErE A = 1 GROUP BY b").unwrap();
+        assert_eq!(q.table, "T");
+        assert_eq!(q.group_by, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let q = parse("select count(*) from t where n = 'O''Brien'").unwrap();
+        assert_eq!(q.predicates[0].op, PredOp::Eq(Value::Str("O'Brien".into())));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let q = parse("select count(*) from t where a = -5").unwrap();
+        assert_eq!(q.predicates[0].op, PredOp::Eq(Value::Int(-5)));
+        let q = parse("select count(*) from t where a = -2.5").unwrap();
+        assert_eq!(q.predicates[0].op, PredOp::Eq(Value::Float(-2.5)));
+    }
+
+    #[test]
+    fn count_star_only() {
+        assert!(parse("select sum(*) from t").is_err());
+        let q = parse("select count(*) from t").unwrap();
+        assert_eq!(q.aggregates[0], Aggregate::count_star());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("select from t").is_err());
+        assert!(parse("select count(*) t").is_err());
+        assert!(parse("select count(*) from t where").is_err());
+        assert!(parse("select count(*) from t where a = 'unterminated").is_err());
+        assert!(parse("select count(*) from t extra").is_err());
+        assert!(parse("select frobnicate(x) from t").is_err());
+        assert!(parse("select count(*) from t where a in ()").is_err());
+    }
+
+    #[test]
+    fn in_list() {
+        let q = parse("select count(*) from t where c in ('x', 'y')").unwrap();
+        match &q.predicates[0].op {
+            PredOp::In(vs) => assert_eq!(vs.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        let q = parse("select avg(dep_delay) from flight_delays where origin_city = 'NYC'").unwrap();
+        assert_eq!(q.table, "flight_delays");
+        assert_eq!(q.aggregates[0].column.as_deref(), Some("dep_delay"));
+    }
+}

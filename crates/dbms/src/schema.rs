@@ -1,0 +1,104 @@
+//! Table schemas.
+
+use crate::value::ColumnType;
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (matched case-insensitively by the parser).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+/// Schema of a table: an ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two columns share a (case-insensitive) name.
+    pub fn new<I, S>(cols: I) -> Schema
+    where
+        I: IntoIterator<Item = (S, ColumnType)>,
+        S: Into<String>,
+    {
+        let columns: Vec<ColumnDef> = cols
+            .into_iter()
+            .map(|(name, ty)| ColumnDef { name: name.into(), ty })
+            .collect();
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert!(
+                    !a.name.eq_ignore_ascii_case(&b.name),
+                    "duplicate column name {:?}",
+                    a.name
+                );
+            }
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of the column with the given (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column definition by (case-insensitive) name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let s = Schema::new([("Borough", ColumnType::Str), ("delay", ColumnType::Int)]);
+        assert_eq!(s.index_of("borough"), Some(0));
+        assert_eq!(s.index_of("BOROUGH"), Some(0));
+        assert_eq!(s.index_of("DELAY"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.column("delay").unwrap().ty, ColumnType::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicates_rejected() {
+        let _ = Schema::new([("a", ColumnType::Int), ("A", ColumnType::Str)]);
+    }
+
+    #[test]
+    fn iteration() {
+        let s = Schema::new([("a", ColumnType::Int), ("b", ColumnType::Float)]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Tables and the catalog.
+
+use crate::column::Column;
+use crate::schema::Schema;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// An immutable, in-memory columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Start building a table with the given name and schema.
+    pub fn builder(name: impl Into<String>, schema: Schema) -> TableBuilder {
+        let columns = schema.columns().iter().map(|c| Column::new(c.ty)).collect();
+        TableBuilder { name: name.into(), schema, columns, rows: 0 }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column by (case-insensitive) name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Read a full row (for tests and small results).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Rough in-memory size in bytes, used by the cost model to derive a
+    /// page count (Postgres-style).
+    pub fn approx_bytes(&self) -> usize {
+        use crate::column::ColumnData;
+        self.columns
+            .iter()
+            .map(|c| match c.data() {
+                ColumnData::Int(v) => v.len() * 8,
+                ColumnData::Float(v) => v.len() * 8,
+                ColumnData::Str { codes, dict } => {
+                    codes.len() * 4 + dict.entries().iter().map(|s| s.len() + 16).sum::<usize>()
+                }
+            })
+            .sum()
+    }
+}
+
+/// Incremental table builder.
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if the row arity does not match the schema or a value has the
+    /// wrong type.
+    pub fn push_row<I>(&mut self, row: I) -> &mut Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let mut n = 0;
+        for (v, col) in row.into_iter().zip(&mut self.columns) {
+            col.push(&v);
+            n += 1;
+        }
+        assert_eq!(n, self.schema.len(), "row arity mismatch");
+        self.rows += 1;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Table {
+        Table { name: self.name, schema: self.schema, columns: self.columns, rows: self.rows }
+    }
+}
+
+/// A named collection of tables (the database catalog).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: FxHashMap<String, Arc<Table>>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Register a table under its own name (lowercased key).
+    pub fn register(&mut self, table: Table) -> Arc<Table> {
+        let t = Arc::new(table);
+        self.tables.insert(t.name().to_ascii_lowercase(), Arc::clone(&t));
+        t
+    }
+
+    /// Fetch a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.values().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+
+    fn sample() -> Table {
+        let schema = Schema::new([("city", ColumnType::Str), ("pop", ColumnType::Int)]);
+        let mut b = Table::builder("cities", schema);
+        b.push_row([Value::from("nyc"), Value::from(8_000_000i64)]);
+        b.push_row([Value::from("ithaca"), Value::from(30_000i64)]);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_read() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.name(), "cities");
+        assert_eq!(t.row(1), vec![Value::from("ithaca"), Value::from(30_000i64)]);
+        assert_eq!(t.column_by_name("POP").unwrap().get(0), Value::Int(8_000_000));
+        assert!(t.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let schema = Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        b.push_row([Value::from(1i64)]);
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut db = Database::new();
+        db.register(sample());
+        assert!(db.table("CITIES").is_some());
+        assert!(db.table("other").is_none());
+        assert_eq!(db.table_names(), vec!["cities"]);
+    }
+
+    #[test]
+    fn approx_bytes_positive() {
+        let t = sample();
+        assert!(t.approx_bytes() > 0);
+    }
+}

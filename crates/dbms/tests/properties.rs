@@ -1,0 +1,219 @@
+//! Property-based tests of the execution engine: aggregate correctness
+//! against a naive reference, merge/separate equivalence, and sampling
+//! invariants, over randomly generated tables and queries.
+
+use muve_dbms::{
+    execute, execute_merged, plan_merged, Aggregate, AggFunc, ColumnType, Predicate, Query,
+    Schema, Table, Value,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomTable {
+    keys: Vec<u8>,
+    groups: Vec<u8>,
+    values: Vec<i32>,
+}
+
+impl RandomTable {
+    fn build(&self) -> Table {
+        let schema = Schema::new([
+            ("k", ColumnType::Str),
+            ("g", ColumnType::Str),
+            ("v", ColumnType::Int),
+        ]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..self.keys.len() {
+            b.push_row([
+                Value::from(format!("k{}", self.keys[i])),
+                Value::from(format!("g{}", self.groups[i])),
+                Value::from(i64::from(self.values[i])),
+            ]);
+        }
+        b.build()
+    }
+}
+
+fn random_table() -> impl Strategy<Value = RandomTable> {
+    (1usize..60).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..5, n),
+            prop::collection::vec(0u8..3, n),
+            prop::collection::vec(-100i32..100, n),
+        )
+            .prop_map(|(keys, groups, values)| RandomTable { keys, groups, values })
+    })
+}
+
+fn agg_query(func: AggFunc, key: u8) -> Query {
+    Query {
+        table: "t".into(),
+        aggregates: vec![Aggregate::over(func, "v")],
+        predicates: vec![Predicate::eq("k", format!("k{key}"))],
+        group_by: vec![],
+    }
+}
+
+/// Naive reference implementation.
+fn reference(rt: &RandomTable, func: AggFunc, key: u8) -> Option<f64> {
+    let vals: Vec<f64> = rt
+        .keys
+        .iter()
+        .zip(&rt.values)
+        .filter(|(k, _)| **k == key)
+        .map(|(_, v)| f64::from(*v))
+        .collect();
+    match func {
+        AggFunc::Count => Some(vals.len() as f64),
+        _ if vals.is_empty() => None,
+        AggFunc::Sum => Some(vals.iter().sum()),
+        AggFunc::Avg => Some(vals.iter().sum::<f64>() / vals.len() as f64),
+        AggFunc::Min => vals.iter().cloned().reduce(f64::min),
+        AggFunc::Max => vals.iter().cloned().reduce(f64::max),
+    }
+}
+
+fn funcs() -> impl Strategy<Value = AggFunc> {
+    prop::sample::select(vec![AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn aggregates_match_reference(rt in random_table(), func in funcs(), key in 0u8..6) {
+        let table = rt.build();
+        let q = agg_query(func, key);
+        let got = execute(&table, &q).unwrap().scalar();
+        let expected = reference(&rt, func, key);
+        match (got, expected) {
+            (Some(g), Some(e)) => prop_assert!((g - e).abs() < 1e-9, "{} vs {}", g, e),
+            (g, e) => prop_assert_eq!(g, e),
+        }
+    }
+
+    #[test]
+    fn merged_equals_separate(rt in random_table(), func in funcs(), keys in prop::collection::vec(0u8..6, 1..8)) {
+        let table = rt.build();
+        let queries: Vec<Query> = keys.iter().map(|&k| agg_query(func, k)).collect();
+        let mut merged = vec![None; queries.len()];
+        for g in plan_merged(&queries) {
+            for (idx, v) in execute_merged(&table, &g).unwrap().results {
+                merged[idx] = v;
+            }
+        }
+        for (i, q) in queries.iter().enumerate() {
+            let direct = execute(&table, q).unwrap().scalar();
+            // Counts of empty groups come back as 0 either way.
+            let direct = if q.aggregates[0].func == AggFunc::Count { direct.or(Some(0.0)) } else { direct };
+            match (merged[i], direct) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "q{}: {} vs {}", i, a, b),
+                (a, b) => prop_assert_eq!(a, b, "query {}", i),
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_partitions_count(rt in random_table()) {
+        let table = rt.build();
+        let q = muve_dbms::parse("select count(*) from t group by g").unwrap();
+        let r = execute(&table, &q).unwrap();
+        let total: f64 = r.rows.iter().map(|row| row[1].as_f64().unwrap()).sum();
+        prop_assert_eq!(total as usize, rt.keys.len());
+    }
+
+    #[test]
+    fn sampling_never_exceeds_population(rt in random_table(), fraction in 0.0f64..1.0, seed in 0u64..100) {
+        let table = rt.build();
+        let rows = muve_dbms::bernoulli_rows(table.num_rows(), fraction, seed);
+        prop_assert!(rows.len() <= table.num_rows());
+        // Strictly increasing row ids.
+        for w in rows.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn cost_estimates_monotone_in_selectivity(rt in random_table()) {
+        let table = rt.build();
+        let params = muve_dbms::CostParams::default();
+        let narrow = muve_dbms::parse("select count(*) from t where k = 'k0' and g = 'g0'").unwrap();
+        let wide = muve_dbms::parse("select count(*) from t where k = 'k0'").unwrap();
+        let en = muve_dbms::estimate(&table, &narrow, &params);
+        let ew = muve_dbms::estimate(&table, &wide, &params);
+        prop_assert!(en.est_rows <= ew.est_rows + 1e-9);
+    }
+}
+
+mod sql_roundtrip {
+    use super::*;
+    use muve_dbms::{parse, CmpOp, PredOp};
+
+    fn values() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            (-1e9f64..1e9).prop_map(|f| Value::Float((f * 100.0).round() / 100.0)),
+            "[a-zA-Z '0-9_]{0,12}".prop_map(Value::Str),
+        ]
+    }
+
+    fn idents() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_]{0,10}"
+    }
+
+    fn predicates() -> impl Strategy<Value = Predicate> {
+        (idents(), prop_oneof![
+            values().prop_map(PredOp::Eq),
+            prop::collection::vec(values(), 1..4).prop_map(PredOp::In),
+            (prop::sample::select(CmpOp::ALL.to_vec()), any::<i64>())
+                .prop_map(|(op, v)| PredOp::Cmp(op, Value::Int(v))),
+        ])
+            .prop_map(|(column, op)| Predicate { column, op })
+    }
+
+    fn queries() -> impl Strategy<Value = Query> {
+        (
+            idents(),
+            prop::collection::vec(
+                (prop::sample::select(AggFunc::ALL.to_vec()), idents()),
+                1..4,
+            ),
+            prop::collection::vec(predicates(), 0..4),
+            prop::collection::vec(idents(), 0..3),
+        )
+            .prop_map(|(table, aggs, predicates, group_by)| Query {
+                table,
+                aggregates: aggs
+                    .into_iter()
+                    .map(|(f, c)| {
+                        if f == AggFunc::Count {
+                            Aggregate::count_star()
+                        } else {
+                            Aggregate::over(f, c)
+                        }
+                    })
+                    .collect(),
+                predicates,
+                group_by,
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Any AST the builders can produce renders to SQL that parses back
+        /// to the identical AST.
+        #[test]
+        fn display_parse_roundtrip(q in queries()) {
+            let sql = q.to_sql();
+            let parsed = parse(&sql).expect(&sql);
+            prop_assert_eq!(parsed, q, "{}", sql);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_total(input in "\\PC{0,80}") {
+            let _ = parse(&input);
+        }
+    }
+}

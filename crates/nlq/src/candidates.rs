@@ -1,0 +1,567 @@
+//! "Text to multi-SQL": candidate-query generation (paper §3).
+//!
+//! Given the most likely query from text-to-SQL, MUVE accounts for noisy
+//! speech recognition by generating *variations*: every schema element and
+//! constant in the query is looked up in a phonetic index and replaced by
+//! its `k` most phonetically similar alternatives. The probability of a
+//! single replacement is the Jaro-Winkler similarity of the Double
+//! Metaphone codes, and the probability of a candidate combining several
+//! replacements is the product of its replacement probabilities; the final
+//! distribution is normalized over the emitted candidate set.
+//!
+//! Constants are indexed *together with their owning column*, so a
+//! replacement can rebind a predicate to a different column (e.g. a city
+//! name misheard as a borough name) — exactly the cross-element ambiguity
+//! the MUVE multiplot is designed to surface.
+
+use crate::numwords::confusable_numbers;
+use muve_dbms::{CmpOp, ColumnType, PredOp, Query, Table, Value};
+use muve_phonetics::phonetic_similarity;
+use muve_phonetics::PhoneticIndex;
+use rustc_hash::FxHashMap;
+
+/// A candidate interpretation of the voice input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateQuery {
+    /// The SQL interpretation.
+    pub query: Query,
+    /// Normalized probability that this is the intended query.
+    pub probability: f64,
+}
+
+/// Generates phonetic candidate queries over one table.
+#[derive(Debug)]
+pub struct CandidateGenerator {
+    /// Index over categorical constants; entry order matches `value_cols`.
+    value_index: PhoneticIndex,
+    /// Owning column of each indexed constant.
+    value_cols: Vec<String>,
+    /// Index over numeric column names (aggregation targets).
+    numeric_index: PhoneticIndex,
+}
+
+/// One replacement alternative for a query element.
+#[derive(Debug, Clone)]
+enum Alt {
+    /// Keep the element as-is.
+    Keep,
+    /// Replace predicate `pred_idx` with `column = value`.
+    Constant { pred_idx: usize, column: String, value: String },
+    /// Replace the aggregation column.
+    AggColumn(String),
+    /// Replace the comparison operator of predicate `pred_idx`.
+    Operator { pred_idx: usize, op: CmpOp },
+    /// Replace the numeric constant of predicate `pred_idx`.
+    Number { pred_idx: usize, value: i64 },
+    /// Drop predicate `pred_idx` entirely (ASR insertion hypothesis).
+    Drop { pred_idx: usize },
+    /// Replace the aggregation function.
+    AggFunc(muve_dbms::AggFunc),
+}
+
+/// Spoken name of an aggregate function (for phonetic confusion scoring).
+fn spoken_agg(f: muve_dbms::AggFunc) -> &'static str {
+    use muve_dbms::AggFunc;
+    match f {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "total",
+        AggFunc::Avg => "average",
+        AggFunc::Min => "minimum",
+        AggFunc::Max => "maximum",
+    }
+}
+
+/// Prior probability that a predicate is an ASR insertion (a corrupted
+/// word that happened to match a database constant) rather than intended.
+/// Only considered when the query has several predicates.
+const INSERTION_PRIOR: f64 = 0.3;
+
+/// Floor score for aggregation-column alternatives. The aggregated column
+/// is the part of the utterance most often lost entirely to ASR noise
+/// (translate then guesses), so every numeric column stays a candidate
+/// even when phonetically distant.
+const AGG_COLUMN_FLOOR: f64 = 0.25;
+
+/// Floor score for aggregation-function alternatives (a lost keyword
+/// makes the function itself uncertain).
+const AGG_FUNC_FLOOR: f64 = 0.15;
+
+/// Canonical spoken form of a comparison operator, used to score operator
+/// confusions phonetically (like every other replacement in §3).
+fn spoken_op(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "less than",
+        CmpOp::Le => "at most",
+        CmpOp::Gt => "more than",
+        CmpOp::Ge => "at least",
+        CmpOp::Ne => "not equal",
+    }
+}
+
+impl CandidateGenerator {
+    /// Build indexes from the table's categorical dictionaries and numeric
+    /// column names.
+    pub fn new(table: &Table) -> CandidateGenerator {
+        let mut values: Vec<String> = Vec::new();
+        let mut value_cols: Vec<String> = Vec::new();
+        let mut numeric: Vec<String> = Vec::new();
+        for (i, def) in table.schema().columns().iter().enumerate() {
+            match def.ty {
+                ColumnType::Str => {
+                    if let Some(dict) = table.column(i).dictionary() {
+                        for v in dict.entries() {
+                            values.push(v.clone());
+                            value_cols.push(def.name.clone());
+                        }
+                    }
+                }
+                ColumnType::Int | ColumnType::Float => numeric.push(def.name.clone()),
+            }
+        }
+        CandidateGenerator {
+            value_index: PhoneticIndex::build(values),
+            value_cols,
+            numeric_index: PhoneticIndex::build(numeric),
+        }
+    }
+
+    /// Generate up to `max_candidates` candidate queries for `base`, using
+    /// the `k` most phonetically similar alternatives per query element
+    /// (paper default: k = 20).
+    ///
+    /// The returned candidates are sorted by descending probability and the
+    /// probabilities sum to 1. The base query itself is always a candidate.
+    pub fn candidates(&self, base: &Query, k: usize, max_candidates: usize) -> Vec<CandidateQuery> {
+        let elements = self.element_alternatives(base, k);
+        // Beam over the cross product of per-element alternatives.
+        let beam_width = (max_candidates * 4).max(64);
+        let mut beam: Vec<(Vec<Alt>, f64)> = vec![(Vec::new(), 1.0)];
+        for alts in &elements {
+            let mut next: Vec<(Vec<Alt>, f64)> = Vec::with_capacity(beam.len() * alts.len());
+            for (combo, score) in &beam {
+                for (alt, s) in alts {
+                    let mut c = combo.clone();
+                    c.push(alt.clone());
+                    next.push((c, score * s));
+                }
+            }
+            next.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            next.truncate(beam_width);
+            beam = next;
+        }
+        // Materialize, dedup (summing probability mass), normalize.
+        let mut scored: FxHashMap<String, (Query, f64)> = FxHashMap::default();
+        for (combo, score) in beam {
+            let q = self.apply(base, &combo);
+            let key = q.to_sql();
+            scored
+                .entry(key)
+                .and_modify(|(_, p)| *p += score)
+                .or_insert((q, score));
+        }
+        let mut out: Vec<CandidateQuery> = scored
+            .into_values()
+            .map(|(query, probability)| CandidateQuery { query, probability })
+            .collect();
+        out.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.query.to_sql().cmp(&b.query.to_sql()))
+        });
+        out.truncate(max_candidates.max(1));
+        let total: f64 = out.iter().map(|c| c.probability).sum();
+        if total > 0.0 {
+            for c in &mut out {
+                c.probability /= total;
+            }
+        }
+        out
+    }
+
+    /// Per-element alternatives with scores; the original element is always
+    /// included with score 1.
+    fn element_alternatives(&self, base: &Query, k: usize) -> Vec<Vec<(Alt, f64)>> {
+        let mut elements: Vec<Vec<(Alt, f64)>> = Vec::new();
+        // Predicate constants and operators.
+        for (pred_idx, pred) in base.predicates.iter().enumerate() {
+            match &pred.op {
+                // String constants: phonetic k-NN over all categorical
+                // values (may rebind the column).
+                PredOp::Eq(Value::Str(constant)) => {
+                    let mut alts: Vec<(Alt, f64)> = vec![(Alt::Keep, 1.0)];
+                    for m in self.value_index.top_k_above(constant, k, 0.3) {
+                        let column = self.value_cols[m.entry].clone();
+                        if &m.text == constant && column.eq_ignore_ascii_case(&pred.column) {
+                            continue; // identity replacement
+                        }
+                        alts.push((
+                            Alt::Constant { pred_idx, column, value: m.text },
+                            m.similarity,
+                        ));
+                    }
+                    elements.push(alts);
+                }
+                // Integer constants: teen/ty spoken-form confusions
+                // ("fifteen" vs "fifty").
+                PredOp::Eq(Value::Int(n)) | PredOp::Cmp(_, Value::Int(n)) => {
+                    let mut alts: Vec<(Alt, f64)> = vec![(Alt::Keep, 1.0)];
+                    for (value, score) in confusable_numbers(*n).into_iter().take(k) {
+                        alts.push((Alt::Number { pred_idx, value }, score));
+                    }
+                    if alts.len() > 1 {
+                        elements.push(alts);
+                    }
+                }
+                _ => {}
+            }
+            // Insertion hypothesis: with several predicates, any one of
+            // them may be a misrecognized extra word — offer the query
+            // without it.
+            if base.predicates.len() >= 2 && matches!(pred.op, PredOp::Eq(Value::Str(_))) {
+                elements.push(vec![(Alt::Keep, 1.0), (Alt::Drop { pred_idx }, INSERTION_PRIOR)]);
+            }
+            // Comparison operators: confusions among spoken forms
+            // ("more than" vs "less than" vs "at least" ...).
+            if let PredOp::Cmp(op, _) = &pred.op {
+                let mut alts: Vec<(Alt, f64)> = vec![(Alt::Keep, 1.0)];
+                for alt_op in CmpOp::ALL {
+                    if alt_op == *op {
+                        continue;
+                    }
+                    let score = phonetic_similarity(spoken_op(*op), spoken_op(alt_op));
+                    if score > 0.3 {
+                        alts.push((Alt::Operator { pred_idx, op: alt_op }, score));
+                    }
+                }
+                if alts.len() > 1 {
+                    elements.push(alts);
+                }
+            }
+        }
+        // Aggregation column: phonetic neighbours, with a floor so every
+        // numeric column remains reachable (the column mention is the part
+        // of an utterance most often lost entirely).
+        if let Some(col) = base.aggregates.first().and_then(|a| a.column.as_deref()) {
+            let mut alts: Vec<(Alt, f64)> = vec![(Alt::Keep, 1.0)];
+            for m in self.numeric_index.top_k(col, k) {
+                if m.text.eq_ignore_ascii_case(col) {
+                    continue;
+                }
+                alts.push((Alt::AggColumn(m.text), m.similarity.max(AGG_COLUMN_FLOOR)));
+            }
+            if alts.len() > 1 {
+                elements.push(alts);
+            }
+        }
+        // Aggregation function: spoken-form confusions with a small floor
+        // (a lost keyword leaves the function uncertain).
+        if let Some(func) = base.aggregates.first().map(|a| a.func) {
+            let mut alts: Vec<(Alt, f64)> = vec![(Alt::Keep, 1.0)];
+            for alt in muve_dbms::AggFunc::ALL {
+                if alt == func {
+                    continue;
+                }
+                let score =
+                    phonetic_similarity(spoken_agg(func), spoken_agg(alt)).max(AGG_FUNC_FLOOR);
+                alts.push((Alt::AggFunc(alt), score));
+            }
+            elements.push(alts);
+        }
+        elements
+    }
+
+    /// First numeric column name, if any (fallback target when an
+    /// aggregate-function alternative needs a column).
+    fn numeric_index_first(&self) -> Option<String> {
+        (!self.numeric_index.is_empty()).then(|| self.numeric_index.text(0).to_owned())
+    }
+
+    fn apply(&self, base: &Query, combo: &[Alt]) -> Query {
+        let mut q = base.clone();
+        let mut dropped: Vec<usize> = Vec::new();
+        for alt in combo {
+            match alt {
+                Alt::Keep => {}
+                Alt::Constant { pred_idx, column, value } => {
+                    let p = &mut q.predicates[*pred_idx];
+                    p.column = column.clone();
+                    p.op = PredOp::Eq(Value::Str(value.clone()));
+                }
+                Alt::AggColumn(col) => {
+                    if let Some(a) = q.aggregates.first_mut() {
+                        a.column = Some(col.clone());
+                    }
+                }
+                Alt::Operator { pred_idx, op } => {
+                    let p = &mut q.predicates[*pred_idx];
+                    if let PredOp::Cmp(_, v) = &p.op {
+                        p.op = PredOp::Cmp(*op, v.clone());
+                    }
+                }
+                Alt::Number { pred_idx, value } => {
+                    let p = &mut q.predicates[*pred_idx];
+                    p.op = match &p.op {
+                        PredOp::Eq(_) => PredOp::Eq(Value::Int(*value)),
+                        PredOp::Cmp(op, _) => PredOp::Cmp(*op, Value::Int(*value)),
+                        other => other.clone(),
+                    };
+                }
+                Alt::Drop { pred_idx } => dropped.push(*pred_idx),
+                Alt::AggFunc(f) => {
+                    if let Some(a) = q.aggregates.first_mut() {
+                        a.func = *f;
+                        // count never carries a column; the other functions
+                        // need one — reuse the base column or the first
+                        // numeric guess already present.
+                        if *f == muve_dbms::AggFunc::Count {
+                            a.column = None;
+                        } else if a.column.is_none() {
+                            if let Some(c) = self.numeric_index_first() {
+                                a.column = Some(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !dropped.is_empty() {
+            let mut i = 0usize;
+            q.predicates.retain(|_| {
+                let keep = !dropped.contains(&i);
+                i += 1;
+                keep
+            });
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_dbms::{parse, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new([
+            ("borough", ColumnType::Str),
+            ("city", ColumnType::Str),
+            ("dep_delay", ColumnType::Int),
+            ("arr_delay", ColumnType::Int),
+        ]);
+        let mut b = Table::builder("t", schema);
+        for (bo, c, d, a) in [
+            ("Brooklyn", "New York", 5i64, 7i64),
+            ("Queens", "Flushing", 10, 12),
+            ("Bronx", "Corona", 15, 18),
+            ("Manhattan", "New York", 20, 22),
+        ] {
+            b.push_row([bo.into(), c.into(), d.into(), a.into()]);
+        }
+        b.build()
+    }
+
+    fn gen() -> CandidateGenerator {
+        CandidateGenerator::new(&table())
+    }
+
+    #[test]
+    fn base_query_is_top_candidate() {
+        let base = parse("select avg(dep_delay) from t where borough = 'Brooklyn'").unwrap();
+        let cands = gen().candidates(&base, 20, 10);
+        assert_eq!(cands[0].query, base);
+        assert!(cands[0].probability >= cands.last().unwrap().probability);
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let base = parse("select avg(dep_delay) from t where borough = 'Queens'").unwrap();
+        let cands = gen().candidates(&base, 20, 20);
+        let total: f64 = cands.iter().map(|c| c.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(cands.len() > 1);
+        for w in cands.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+        }
+    }
+
+    #[test]
+    fn aggregation_column_varies() {
+        let base = parse("select avg(dep_delay) from t").unwrap();
+        let cands = gen().candidates(&base, 20, 10);
+        // dep_delay vs arr_delay are phonetically close; both must appear.
+        let sqls: Vec<String> = cands.iter().map(|c| c.query.to_sql()).collect();
+        assert!(sqls.iter().any(|s| s.contains("avg(arr_delay)")), "{sqls:?}");
+    }
+
+    #[test]
+    fn constant_replacement_rebinds_column() {
+        // "Corona" (city) phonetic neighbours include nothing in borough;
+        // but every candidate constant carries its owning column.
+        let base = parse("select count(*) from t where city = 'Corona'").unwrap();
+        let cands = gen().candidates(&base, 20, 20);
+        for c in &cands {
+            for p in &c.query.predicates {
+                if let PredOp::Eq(Value::Str(v)) = &p.op {
+                    // Column must own the value in the table.
+                    let t = table();
+                    let col = t.column_by_name(&p.column).unwrap();
+                    assert!(
+                        col.dictionary().unwrap().code_of(v).is_some(),
+                        "{} = {v} not in column",
+                        p.column
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_candidates_respected() {
+        let base = parse("select avg(dep_delay) from t where borough = 'Brooklyn'").unwrap();
+        assert!(gen().candidates(&base, 20, 5).len() <= 5);
+        assert_eq!(gen().candidates(&base, 0, 1).len(), 1);
+    }
+
+    #[test]
+    fn no_duplicate_candidates() {
+        let base = parse("select count(*) from t where borough = 'Bronx'").unwrap();
+        let cands = gen().candidates(&base, 20, 50);
+        let mut sqls: Vec<String> = cands.iter().map(|c| c.query.to_sql()).collect();
+        let n = sqls.len();
+        sqls.sort();
+        sqls.dedup();
+        assert_eq!(sqls.len(), n);
+    }
+
+    #[test]
+    fn numeric_predicates_left_alone() {
+        let base = parse("select count(*) from t where dep_delay = 5").unwrap();
+        let cands = gen().candidates(&base, 20, 10);
+        for c in &cands {
+            assert_eq!(c.query.predicates, base.predicates);
+        }
+    }
+
+    #[test]
+    fn multi_element_products() {
+        let base =
+            parse("select avg(dep_delay) from t where borough = 'Brooklyn' and city = 'Corona'")
+                .unwrap();
+        let cands = gen().candidates(&base, 20, 40);
+        // Combined replacements exist (both agg column and a constant vary).
+        let any_double = cands.iter().any(|c| {
+            c.query.aggregates[0].column.as_deref() == Some("arr_delay")
+                && c.query != base
+        });
+        assert!(any_double);
+    }
+}
+
+#[cfg(test)]
+mod operator_and_number_tests {
+    use super::*;
+    use muve_dbms::{parse, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new([("origin", ColumnType::Str), ("delay", ColumnType::Int)]);
+        let mut b = Table::builder("flights", schema);
+        for (o, d) in [("JFK", 15i64), ("LGA", 50), ("JFK", 30)] {
+            b.push_row([o.into(), d.into()]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn comparison_operator_varies() {
+        let base = parse("select count(*) from flights where delay > 30").unwrap();
+        let cands = CandidateGenerator::new(&table()).candidates(&base, 20, 20);
+        let sqls: Vec<String> = cands.iter().map(|c| c.query.to_sql()).collect();
+        // "more than" confuses with other spoken comparisons.
+        assert!(sqls.iter().any(|s| s.contains("delay > 30")), "{sqls:?}");
+        assert!(
+            sqls.iter().any(|s| s.contains("delay < 30") || s.contains("delay >= 30")),
+            "{sqls:?}"
+        );
+        // Base stays on top.
+        assert_eq!(cands[0].query, base);
+    }
+
+    #[test]
+    fn teen_ty_constant_varies() {
+        let base = parse("select count(*) from flights where delay = 15").unwrap();
+        let cands = CandidateGenerator::new(&table()).candidates(&base, 20, 20);
+        let sqls: Vec<String> = cands.iter().map(|c| c.query.to_sql()).collect();
+        assert!(sqls.iter().any(|s| s.contains("delay = 50")), "{sqls:?}");
+    }
+
+    #[test]
+    fn unconfusable_number_untouched() {
+        let base = parse("select count(*) from flights where delay = 42").unwrap();
+        let cands = CandidateGenerator::new(&table()).candidates(&base, 20, 20);
+        for c in &cands {
+            assert!(c.query.to_sql().contains("delay = 42"), "{}", c.query.to_sql());
+        }
+    }
+
+    #[test]
+    fn combined_operator_and_number_variation() {
+        let base = parse("select count(*) from flights where delay >= 17").unwrap();
+        let cands = CandidateGenerator::new(&table()).candidates(&base, 20, 40);
+        let sqls: Vec<String> = cands.iter().map(|c| c.query.to_sql()).collect();
+        // Cross-product interpretations appear ("at least seventeen" heard
+        // as "at most seventy", etc.).
+        assert!(sqls.iter().any(|s| s.contains("delay >= 70")), "{sqls:?}");
+        assert!(sqls.iter().any(|s| s.contains("<= 17") || s.contains("<= 70")), "{sqls:?}");
+        let total: f64 = cands.iter().map(|c| c.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod insertion_tests {
+    use super::*;
+    use muve_dbms::{parse, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new([
+            ("borough", ColumnType::Str),
+            ("status", ColumnType::Str),
+            ("v", ColumnType::Int),
+        ]);
+        let mut b = Table::builder("t", schema);
+        for (bo, st) in [("Brooklyn", "open"), ("Queens", "closed")] {
+            b.push_row([bo.into(), st.into(), Value::Int(1)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn insertion_hypothesis_drops_predicates() {
+        // With two predicates, candidates include the one-predicate
+        // interpretations (an ASR word may have hallucinated either).
+        let base = parse("select count(*) from t where borough = 'Brooklyn' and status = 'open'")
+            .unwrap();
+        let cands = CandidateGenerator::new(&table()).candidates(&base, 20, 30);
+        let sqls: Vec<String> = cands.iter().map(|c| c.query.to_sql()).collect();
+        assert!(
+            sqls.contains(&"select count(*) from t where status = 'open'".to_string()),
+            "{sqls:?}"
+        );
+        assert!(
+            sqls.contains(&"select count(*) from t where borough = 'Brooklyn'".to_string()),
+            "{sqls:?}"
+        );
+        // Base stays the most likely interpretation.
+        assert_eq!(cands[0].query, base);
+    }
+
+    #[test]
+    fn single_predicate_never_dropped() {
+        let base = parse("select count(*) from t where borough = 'Brooklyn'").unwrap();
+        let cands = CandidateGenerator::new(&table()).candidates(&base, 20, 30);
+        for c in &cands {
+            assert!(!c.query.predicates.is_empty(), "{}", c.query.to_sql());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Simulated speech-recognition noise channel.
+//!
+//! The paper's front-end is the browser Web Speech API, whose
+//! misrecognitions are the very ambiguity MUVE is built to absorb. This
+//! module is the synthetic stand-in: each word of an utterance is,
+//! with a configurable error rate, replaced by a *phonetically similar*
+//! word (drawn from a confusion vocabulary via the Double Metaphone +
+//! Jaro-Winkler metric), or mutated by a small character edit. The channel
+//! is seeded and deterministic, so experiment workloads are reproducible.
+
+use muve_phonetics::PhoneticIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded, phonetically-informed ASR noise channel.
+#[derive(Debug)]
+pub struct SpeechChannel {
+    index: PhoneticIndex,
+    /// Per-word probability of corruption.
+    error_rate: f64,
+    rng: StdRng,
+}
+
+impl SpeechChannel {
+    /// Build a channel over a confusion vocabulary (typically all column
+    /// names and categorical values of the database, plus common words).
+    pub fn new<I, S>(vocabulary: I, error_rate: f64, seed: u64) -> SpeechChannel
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SpeechChannel {
+            index: PhoneticIndex::build(vocabulary),
+            error_rate: error_rate.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Transmit an utterance through the noisy channel.
+    pub fn transmit(&mut self, utterance: &str) -> String {
+        let mut out: Vec<String> = Vec::new();
+        for word in utterance.split_whitespace() {
+            if self.rng.gen::<f64>() >= self.error_rate || word.len() < 3 {
+                out.push(word.to_owned());
+                continue;
+            }
+            out.push(self.corrupt(word));
+        }
+        out.join(" ")
+    }
+
+    /// Corrupt one word: prefer a phonetic confusion from the vocabulary
+    /// that is *not* the word itself; fall back to a character edit.
+    fn corrupt(&mut self, word: &str) -> String {
+        let candidates = self.index.top_k(word, 4);
+        let confusions: Vec<&str> = candidates
+            .iter()
+            .filter(|m| !m.text.eq_ignore_ascii_case(word) && m.similarity > 0.6)
+            .map(|m| m.text.as_str())
+            .collect();
+        if !confusions.is_empty() {
+            let pick = self.rng.gen_range(0..confusions.len());
+            return confusions[pick].to_owned();
+        }
+        self.char_edit(word)
+    }
+
+    /// A small phonetically plausible character edit (vowel swap or
+    /// consonant doubling).
+    fn char_edit(&mut self, word: &str) -> String {
+        const VOWELS: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
+        let chars: Vec<char> = word.chars().collect();
+        let vowel_positions: Vec<usize> = chars
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| VOWELS.contains(&c.to_ascii_lowercase()))
+            .map(|(i, _)| i)
+            .collect();
+        let mut chars = chars;
+        if !vowel_positions.is_empty() {
+            let p = vowel_positions[self.rng.gen_range(0..vowel_positions.len())];
+            let replacement = VOWELS[self.rng.gen_range(0..VOWELS.len())];
+            chars[p] = if chars[p].is_uppercase() {
+                replacement.to_ascii_uppercase()
+            } else {
+                replacement
+            };
+        } else {
+            let p = self.rng.gen_range(0..chars.len());
+            chars.insert(p, chars[p]);
+        }
+        chars.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_phonetics::phonetic_similarity;
+
+    fn vocab() -> Vec<&'static str> {
+        vec!["Brooklyn", "Queens", "Bronx", "noise", "nose", "calls", "cause", "borough", "burro"]
+    }
+
+    #[test]
+    fn zero_error_rate_is_identity() {
+        let mut ch = SpeechChannel::new(vocab(), 0.0, 1);
+        let text = "how many noise complaints in Brooklyn";
+        assert_eq!(ch.transmit(text), text);
+    }
+
+    #[test]
+    fn full_error_rate_changes_words() {
+        let mut ch = SpeechChannel::new(vocab(), 1.0, 2);
+        let out = ch.transmit("noise complaints brooklyn");
+        assert_ne!(out, "noise complaints brooklyn");
+    }
+
+    #[test]
+    fn corruptions_stay_phonetically_close() {
+        let mut ch = SpeechChannel::new(vocab(), 1.0, 3);
+        for w in ["Brooklyn", "noise", "borough"] {
+            let out = ch.transmit(w);
+            let sim = phonetic_similarity(w, &out);
+            assert!(sim > 0.4, "{w} -> {out} (sim {sim})");
+        }
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        let mut ch = SpeechChannel::new(vocab(), 1.0, 4);
+        assert_eq!(ch.transmit("in of"), "in of");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SpeechChannel::new(vocab(), 0.5, 7);
+        let mut b = SpeechChannel::new(vocab(), 0.5, 7);
+        let text = "average calls for noise in queens borough";
+        assert_eq!(a.transmit(text), b.transmit(text));
+    }
+
+    #[test]
+    fn rate_clamped() {
+        let mut ch = SpeechChannel::new(vocab(), 7.0, 5);
+        let _ = ch.transmit("anything goes here");
+        let mut ch = SpeechChannel::new(vocab(), -1.0, 5);
+        assert_eq!(ch.transmit("unchanged text"), "unchanged text");
+    }
+
+    #[test]
+    fn char_edit_fallback_when_vocab_empty() {
+        let mut ch = SpeechChannel::new(Vec::<String>::new(), 1.0, 6);
+        let out = ch.transmit("zzz");
+        // No vocabulary: falls back to a character edit.
+        assert_ne!(out, "");
+    }
+}

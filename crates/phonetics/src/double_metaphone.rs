@@ -1,0 +1,904 @@
+//! Double Metaphone phonetic encoding (Lawrence Philips, 1999/2000).
+//!
+//! This is a from-scratch port of the classical Double Metaphone algorithm:
+//! each word is mapped to a *primary* and an *alternate* code of at most
+//! [`MAX_CODE_LEN`] characters from the alphabet
+//! `A F H J K L M N P R S T X 0` (`0` encodes the `th` sound, `X` encodes
+//! `sh`/`ch`). Words that sound alike map to equal or overlapping codes,
+//! which is exactly the property MUVE exploits to recover from speech
+//! recognition noise (paper §3): query tokens are replaced by database
+//! elements whose Double Metaphone codes are close under Jaro-Winkler.
+
+/// Maximum length of a Double Metaphone code (the classical default).
+pub const MAX_CODE_LEN: usize = 4;
+
+/// Primary and alternate Double Metaphone codes of a word.
+///
+/// For most words the alternate equals the primary; it differs for words
+/// with ethnically ambiguous pronunciations (e.g. `Wagner` ->
+/// primary `AKNR`, alternate `FKNR`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DoubleMetaphone {
+    /// The primary (most likely American English) encoding.
+    pub primary: String,
+    /// The alternate encoding; equals `primary` when unambiguous.
+    pub alternate: String,
+}
+
+impl DoubleMetaphone {
+    /// Whether either code of `self` equals either code of `other`.
+    ///
+    /// This is the classical "phonetic match" test.
+    pub fn matches(&self, other: &DoubleMetaphone) -> bool {
+        self.primary == other.primary
+            || self.primary == other.alternate
+            || self.alternate == other.primary
+            || self.alternate == other.alternate
+    }
+
+    /// Whether the word had an ambiguous pronunciation (alternate differs).
+    pub fn is_ambiguous(&self) -> bool {
+        self.primary != self.alternate
+    }
+}
+
+/// Encode `word` with Double Metaphone using the default code length.
+///
+/// # Examples
+/// ```
+/// use muve_phonetics::double_metaphone;
+/// let dm = double_metaphone("Thompson");
+/// assert_eq!(dm.primary, "TMPS");
+/// let smith = double_metaphone("Smith");
+/// let smyth = double_metaphone("Smyth");
+/// assert!(smith.matches(&smyth));
+/// ```
+pub fn double_metaphone(word: &str) -> DoubleMetaphone {
+    double_metaphone_with_len(word, MAX_CODE_LEN)
+}
+
+/// Encode `word` with a custom maximum code length.
+pub fn double_metaphone_with_len(word: &str, max_len: usize) -> DoubleMetaphone {
+    Encoder::new(word, max_len).encode()
+}
+
+struct Encoder {
+    /// Uppercased input with two space sentinels appended (the original
+    /// algorithm peeks up to two characters past the end).
+    w: Vec<char>,
+    /// Length of the real input (without sentinels).
+    len: usize,
+    pos: usize,
+    max_len: usize,
+    primary: String,
+    alternate: String,
+    slavo_germanic: bool,
+}
+
+impl Encoder {
+    fn new(word: &str, max_len: usize) -> Self {
+        let mut w: Vec<char> = word
+            .chars()
+            .filter(|c| c.is_alphabetic())
+            .flat_map(|c| c.to_uppercase())
+            .map(|c| match c {
+                'Ç' => 'S',
+                'Ñ' => 'N',
+                'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å' => 'A',
+                'È' | 'É' | 'Ê' | 'Ë' => 'E',
+                'Ì' | 'Í' | 'Î' | 'Ï' => 'I',
+                'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' => 'O',
+                'Ù' | 'Ú' | 'Û' | 'Ü' => 'U',
+                c => c,
+            })
+            .collect();
+        let len = w.len();
+        w.extend([' ', ' ', ' ', ' ', ' ']);
+        let slavo_germanic = {
+            let s: String = w[..len].iter().collect();
+            s.contains('W') || s.contains('K') || s.contains("CZ") || s.contains("WITZ")
+        };
+        Encoder {
+            w,
+            len,
+            pos: 0,
+            max_len,
+            primary: String::with_capacity(max_len),
+            alternate: String::with_capacity(max_len),
+            slavo_germanic,
+        }
+    }
+
+    fn at(&self, i: usize) -> char {
+        self.w.get(i).copied().unwrap_or(' ')
+    }
+
+    fn cur(&self) -> char {
+        self.at(self.pos)
+    }
+
+    /// True if the substring of length `n` starting at `start` equals any of
+    /// `opts`.
+    fn str_at(&self, start: usize, n: usize, opts: &[&str]) -> bool {
+        if start >= self.w.len() {
+            return false;
+        }
+        let end = (start + n).min(self.w.len());
+        let slice: String = self.w[start..end].iter().collect();
+        opts.iter().any(|o| *o == slice)
+    }
+
+    fn is_vowel(&self, i: usize) -> bool {
+        matches!(self.at(i), 'A' | 'E' | 'I' | 'O' | 'U' | 'Y')
+    }
+
+    fn add(&mut self, p: &str, a: &str) {
+        if self.primary.len() < self.max_len {
+            let room = self.max_len - self.primary.len();
+            self.primary.extend(p.chars().take(room));
+        }
+        if self.alternate.len() < self.max_len {
+            let room = self.max_len - self.alternate.len();
+            self.alternate.extend(a.chars().take(room));
+        }
+    }
+
+    fn add_both(&mut self, s: &str) {
+        self.add(s, s);
+    }
+
+    fn done(&self) -> bool {
+        self.primary.len() >= self.max_len && self.alternate.len() >= self.max_len
+    }
+
+    fn encode(mut self) -> DoubleMetaphone {
+        if self.len == 0 {
+            return DoubleMetaphone { primary: String::new(), alternate: String::new() };
+        }
+        // Skip silent initial letter pairs.
+        if self.str_at(0, 2, &["GN", "KN", "PN", "WR", "PS"]) {
+            self.pos = 1;
+        }
+        // Initial X is pronounced Z, which maps to S (e.g. Xavier).
+        if self.at(0) == 'X' {
+            self.add_both("S");
+            self.pos = 1;
+        }
+        while self.pos < self.len && !self.done() {
+            match self.cur() {
+                'A' | 'E' | 'I' | 'O' | 'U' | 'Y' => {
+                    if self.pos == 0 {
+                        // Initial vowels map to A.
+                        self.add_both("A");
+                    }
+                    self.pos += 1;
+                }
+                'B' => {
+                    // "-mb", e.g. "dumb", already skipped over via M below.
+                    self.add_both("P");
+                    self.pos += if self.at(self.pos + 1) == 'B' { 2 } else { 1 };
+                }
+                'C' => self.handle_c(),
+                'D' => self.handle_d(),
+                'F' => {
+                    self.add_both("F");
+                    self.pos += if self.at(self.pos + 1) == 'F' { 2 } else { 1 };
+                }
+                'G' => self.handle_g(),
+                'H' => self.handle_h(),
+                'J' => self.handle_j(),
+                'K' => {
+                    self.add_both("K");
+                    self.pos += if self.at(self.pos + 1) == 'K' { 2 } else { 1 };
+                }
+                'L' => self.handle_l(),
+                'M' => {
+                    let p = self.pos;
+                    let skip_b = (self.at(p.wrapping_sub(1)) == 'U'
+                        && self.at(p + 1) == 'B'
+                        && (p + 1 == self.len - 1 || self.str_at(p + 2, 2, &["ER"])))
+                        || self.at(p + 1) == 'M';
+                    self.add_both("M");
+                    self.pos += if skip_b { 2 } else { 1 };
+                }
+                'N' => {
+                    self.add_both("N");
+                    self.pos += if self.at(self.pos + 1) == 'N' { 2 } else { 1 };
+                }
+                'P' => self.handle_p(),
+                'Q' => {
+                    self.add_both("K");
+                    self.pos += if self.at(self.pos + 1) == 'Q' { 2 } else { 1 };
+                }
+                'R' => self.handle_r(),
+                'S' => self.handle_s(),
+                'T' => self.handle_t(),
+                'V' => {
+                    self.add_both("F");
+                    self.pos += if self.at(self.pos + 1) == 'V' { 2 } else { 1 };
+                }
+                'W' => self.handle_w(),
+                'X' => {
+                    // French "-eaux" is silent; otherwise X -> KS.
+                    let p = self.pos;
+                    let is_final = p == self.len - 1;
+                    let french = is_final
+                        && p >= 3
+                        && (self.str_at(p - 3, 3, &["IAU", "EAU"])
+                            || self.str_at(p - 2, 2, &["AU", "OU"]));
+                    if !french {
+                        self.add_both("KS");
+                    }
+                    self.pos += if matches!(self.at(p + 1), 'C' | 'X') { 2 } else { 1 };
+                }
+                'Z' => {
+                    let p = self.pos;
+                    if self.at(p + 1) == 'H' {
+                        // Chinese pinyin, e.g. "Zhao".
+                        self.add_both("J");
+                        self.pos += 2;
+                    } else {
+                        if self.str_at(p + 1, 2, &["ZO", "ZI", "ZA"])
+                            || (self.slavo_germanic && p > 0 && self.at(p - 1) != 'T')
+                        {
+                            self.add("S", "TS");
+                        } else {
+                            self.add_both("S");
+                        }
+                        self.pos += if self.at(p + 1) == 'Z' { 2 } else { 1 };
+                    }
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+        DoubleMetaphone { primary: self.primary, alternate: self.alternate }
+    }
+
+    fn handle_c(&mut self) {
+        let p = self.pos;
+        // Germanic "-ACH-", e.g. "Bacher", "Macher".
+        if p > 1
+            && !self.is_vowel(p - 2)
+            && self.str_at(p - 1, 3, &["ACH"])
+            && self.at(p + 2) != 'I'
+            && (self.at(p + 2) != 'E' || self.str_at(p - 2, 6, &["BACHER", "MACHER"]))
+        {
+            self.add_both("K");
+            self.pos += 2;
+            return;
+        }
+        // Special case: "Caesar".
+        if p == 0 && self.str_at(0, 6, &["CAESAR"]) {
+            self.add_both("S");
+            self.pos += 2;
+            return;
+        }
+        // Italian "chianti".
+        if self.str_at(p, 4, &["CHIA"]) {
+            self.add_both("K");
+            self.pos += 2;
+            return;
+        }
+        if self.str_at(p, 2, &["CH"]) {
+            self.handle_ch();
+            return;
+        }
+        // "Czerny": alternate X.
+        if self.str_at(p, 2, &["CZ"]) && !(p >= 2 && self.str_at(p - 2, 4, &["WICZ"])) {
+            self.add("S", "X");
+            self.pos += 2;
+            return;
+        }
+        // "focaccia".
+        if self.str_at(p + 1, 3, &["CIA"]) {
+            self.add_both("X");
+            self.pos += 3;
+            return;
+        }
+        // Double C, but not "McClellan".
+        if self.str_at(p, 2, &["CC"]) && !(p == 1 && self.at(0) == 'M') {
+            if matches!(self.at(p + 2), 'I' | 'E' | 'H') && !self.str_at(p + 2, 2, &["HU"]) {
+                // "bellocchio" vs "bacchus".
+                if (p == 1 && self.at(0) == 'A') || self.str_at(p.saturating_sub(1), 5, &["UCCEE", "UCCES"]) {
+                    // "accident", "accede", "succeed" -> KS
+                    self.add_both("KS");
+                } else {
+                    // "bacci", "bertucci" -> X
+                    self.add_both("X");
+                }
+                self.pos += 3;
+            } else {
+                // "Pierce's rule": just K.
+                self.add_both("K");
+                self.pos += 2;
+            }
+            return;
+        }
+        if self.str_at(p, 2, &["CK", "CG", "CQ"]) {
+            self.add_both("K");
+            self.pos += 2;
+            return;
+        }
+        if self.str_at(p, 2, &["CI", "CE", "CY"]) {
+            // Italian vs English.
+            if self.str_at(p, 3, &["CIO", "CIE", "CIA"]) {
+                self.add("S", "X");
+            } else {
+                self.add_both("S");
+            }
+            self.pos += 2;
+            return;
+        }
+        self.add_both("K");
+        // "mac caffrey", "mac gregor"
+        if self.str_at(p + 1, 2, &[" C", " Q", " G"]) {
+            self.pos += 3;
+        } else if matches!(self.at(p + 1), 'C' | 'K' | 'Q') && !self.str_at(p + 1, 2, &["CE", "CI"]) {
+            self.pos += 2;
+        } else {
+            self.pos += 1;
+        }
+    }
+
+    fn handle_ch(&mut self) {
+        let p = self.pos;
+        // "Michael".
+        if p > 0 && self.str_at(p, 4, &["CHAE"]) {
+            self.add("K", "X");
+            self.pos += 2;
+            return;
+        }
+        // Greek roots at word start, e.g. "chemistry", "chorus".
+        if p == 0
+            && (self.str_at(p + 1, 5, &["HARAC", "HARIS"])
+                || self.str_at(p + 1, 3, &["HOR", "HYM", "HIA", "HEM"]))
+            && !self.str_at(0, 5, &["CHORE"])
+        {
+            self.add_both("K");
+            self.pos += 2;
+            return;
+        }
+        // Germanic / Greek 'ch' -> K.
+        let germanic = self.str_at(0, 4, &["VAN ", "VON "]) || self.str_at(0, 3, &["SCH"]);
+        let greekish = self.str_at(p.saturating_sub(2), 6, &["ORCHES", "ARCHIT", "ORCHID"])
+            && p >= 2;
+        let hard_next = matches!(self.at(p + 2), 'T' | 'S');
+        let hard_prev = (p == 0 || matches!(self.at(p.wrapping_sub(1)), 'A' | 'O' | 'U' | 'E'))
+            && matches!(
+                self.at(p + 2),
+                'L' | 'R' | 'N' | 'M' | 'B' | 'H' | 'F' | 'V' | 'W' | ' '
+            );
+        if germanic || greekish || hard_next || hard_prev {
+            self.add_both("K");
+        } else if p > 0 {
+            if self.str_at(0, 2, &["MC"]) {
+                // "McHugh".
+                self.add_both("K");
+            } else {
+                self.add("X", "K");
+            }
+        } else {
+            self.add_both("X");
+        }
+        self.pos += 2;
+    }
+
+    fn handle_d(&mut self) {
+        let p = self.pos;
+        if self.str_at(p, 2, &["DG"]) {
+            if matches!(self.at(p + 2), 'I' | 'E' | 'Y') {
+                // "edge".
+                self.add_both("J");
+                self.pos += 3;
+            } else {
+                // "Edgar".
+                self.add_both("TK");
+                self.pos += 2;
+            }
+            return;
+        }
+        if self.str_at(p, 2, &["DT", "DD"]) {
+            self.add_both("T");
+            self.pos += 2;
+            return;
+        }
+        self.add_both("T");
+        self.pos += 1;
+    }
+
+    fn handle_g(&mut self) {
+        let p = self.pos;
+        if self.at(p + 1) == 'H' {
+            self.handle_gh();
+            return;
+        }
+        if self.at(p + 1) == 'N' {
+            if p == 1 && self.is_vowel(0) && !self.slavo_germanic {
+                self.add("KN", "N");
+            } else if !self.str_at(p + 2, 2, &["EY"])
+                && self.at(p + 1) != 'Y'
+                && !self.slavo_germanic
+            {
+                // Not e.g. "Cagney".
+                self.add("N", "KN");
+            } else {
+                self.add_both("KN");
+            }
+            self.pos += 2;
+            return;
+        }
+        // "Tagliaro".
+        if self.str_at(p + 1, 2, &["LI"]) && !self.slavo_germanic {
+            self.add("KL", "L");
+            self.pos += 2;
+            return;
+        }
+        // Initial "ges-", "gep-" etc. can be J or K.
+        if p == 0
+            && (self.at(p + 1) == 'Y'
+                || self.str_at(
+                    p + 1,
+                    2,
+                    &["ES", "EP", "EB", "EL", "EY", "IB", "IL", "IN", "IE", "EI", "ER"],
+                ))
+        {
+            self.add("K", "J");
+            self.pos += 2;
+            return;
+        }
+        // "-ger-", "danger".
+        if (self.str_at(p + 1, 2, &["ER"]) || self.at(p + 1) == 'Y')
+            && !self.str_at(0, 6, &["DANGER", "RANGER", "MANGER"])
+            && !(p > 0 && matches!(self.at(p - 1), 'E' | 'I'))
+            && !(p > 0 && self.str_at(p - 1, 3, &["RGY", "OGY"]))
+        {
+            self.add("K", "J");
+            self.pos += 2;
+            return;
+        }
+        // Italian "biaggi".
+        if matches!(self.at(p + 1), 'E' | 'I' | 'Y')
+            || (p > 0 && self.str_at(p - 1, 4, &["AGGI", "OGGI"]))
+        {
+            let germanic = self.str_at(0, 4, &["VAN ", "VON "]) || self.str_at(0, 3, &["SCH"]);
+            if germanic || self.str_at(p + 1, 2, &["ET"]) {
+                self.add_both("K");
+            } else if self.str_at(p + 1, 4, &["IER "]) || p + 5 >= self.len && self.str_at(p + 1, 3, &["IER"]) {
+                // Always soft if French ending.
+                self.add_both("J");
+            } else {
+                self.add("J", "K");
+            }
+            self.pos += 2;
+            return;
+        }
+        self.add_both("K");
+        self.pos += if self.at(p + 1) == 'G' { 2 } else { 1 };
+    }
+
+    fn handle_gh(&mut self) {
+        let p = self.pos;
+        if p > 0 && !self.is_vowel(p - 1) {
+            self.add_both("K");
+            self.pos += 2;
+            return;
+        }
+        if p == 0 {
+            if self.at(p + 2) == 'I' {
+                // "ghislane".
+                self.add_both("J");
+            } else {
+                // "ghoul".
+                self.add_both("K");
+            }
+            self.pos += 2;
+            return;
+        }
+        // "-ugh-" etc.: usually silent.
+        let silent = (p > 1 && matches!(self.at(p - 2), 'B' | 'H' | 'D'))
+            || (p > 2 && matches!(self.at(p - 3), 'B' | 'H' | 'D'))
+            || (p > 3 && matches!(self.at(p - 4), 'B' | 'H'));
+        if silent {
+            self.pos += 2;
+            return;
+        }
+        // "laugh", "cough": F.
+        if p > 2 && self.at(p - 1) == 'U' && matches!(self.at(p - 3), 'C' | 'G' | 'L' | 'R' | 'T') {
+            self.add_both("F");
+        } else if p > 0 && self.at(p - 1) != 'I' {
+            self.add_both("K");
+        }
+        self.pos += 2;
+    }
+
+    fn handle_h(&mut self) {
+        let p = self.pos;
+        // Only keep H between vowels or at word start before a vowel.
+        if (p == 0 || self.is_vowel(p - 1)) && self.is_vowel(p + 1) {
+            self.add_both("H");
+            self.pos += 2;
+        } else {
+            self.pos += 1;
+        }
+    }
+
+    fn handle_j(&mut self) {
+        let p = self.pos;
+        // Spanish "Jose", "San Jacinto".
+        if self.str_at(p, 4, &["JOSE"]) || self.str_at(0, 4, &["SAN "]) {
+            if (p == 0 && self.at(p + 4) == ' ') || self.str_at(0, 4, &["SAN "]) {
+                self.add_both("H");
+            } else {
+                self.add("J", "H");
+            }
+            self.pos += 1;
+            return;
+        }
+        if p == 0 {
+            // "Jankelowicz" alternate A.
+            self.add("J", "A");
+        } else if self.is_vowel(p.wrapping_sub(1))
+            && !self.slavo_germanic
+            && matches!(self.at(p + 1), 'A' | 'O')
+        {
+            // Spanish pronunciation, e.g. "bajador".
+            self.add("J", "H");
+        } else if p == self.len - 1 {
+            self.add("J", "");
+        } else if !matches!(
+            self.at(p + 1),
+            'L' | 'T' | 'K' | 'S' | 'N' | 'M' | 'B' | 'Z'
+        ) && (p == 0 || !matches!(self.at(p - 1), 'S' | 'K' | 'L'))
+        {
+            self.add_both("J");
+        }
+        self.pos += if self.at(p + 1) == 'J' { 2 } else { 1 };
+    }
+
+    fn handle_l(&mut self) {
+        let p = self.pos;
+        if self.at(p + 1) == 'L' {
+            // Spanish "-illo", "-illa": L silent in alternate.
+            let spanish = (p == self.len.saturating_sub(3)
+                && p > 0
+                && self.str_at(p - 1, 4, &["ILLO", "ILLA", "ALLE"]))
+                || ((self.str_at(self.len.saturating_sub(2), 2, &["AS", "OS"])
+                    || matches!(self.at(self.len.saturating_sub(1)), 'A' | 'O'))
+                    && p > 0
+                    && self.str_at(p - 1, 4, &["ALLE"]));
+            if spanish {
+                self.add("L", "");
+            } else {
+                self.add_both("L");
+            }
+            self.pos += 2;
+        } else {
+            self.add_both("L");
+            self.pos += 1;
+        }
+    }
+
+    fn handle_p(&mut self) {
+        let p = self.pos;
+        if self.at(p + 1) == 'H' {
+            self.add_both("F");
+            self.pos += 2;
+        } else {
+            self.add_both("P");
+            self.pos += if matches!(self.at(p + 1), 'P' | 'B') { 2 } else { 1 };
+        }
+    }
+
+    fn handle_r(&mut self) {
+        let p = self.pos;
+        // French "rogier": final R silent in primary.
+        if p == self.len - 1
+            && !self.slavo_germanic
+            && p > 1
+            && self.str_at(p - 2, 2, &["IE"])
+            && !(p >= 4 && self.str_at(p - 4, 2, &["ME", "MA"]))
+        {
+            self.add("", "R");
+        } else {
+            self.add_both("R");
+        }
+        self.pos += if self.at(p + 1) == 'R' { 2 } else { 1 };
+    }
+
+    fn handle_s(&mut self) {
+        let p = self.pos;
+        // Silent S in "isle", "island".
+        if p > 0 && self.str_at(p - 1, 3, &["ISL", "YSL"]) {
+            self.pos += 1;
+            return;
+        }
+        // "sugar".
+        if p == 0 && self.str_at(0, 5, &["SUGAR"]) {
+            self.add("X", "S");
+            self.pos += 1;
+            return;
+        }
+        if self.str_at(p, 2, &["SH"]) {
+            // Germanic "SH" -> S, e.g. "Sholz".
+            if self.str_at(p + 1, 4, &["HEIM", "HOEK", "HOLM", "HOLZ"]) {
+                self.add_both("S");
+            } else {
+                self.add_both("X");
+            }
+            self.pos += 2;
+            return;
+        }
+        // Italian & Armenian "sio", "sian".
+        if self.str_at(p, 3, &["SIO", "SIA"]) || self.str_at(p, 4, &["SIAN"]) {
+            if self.slavo_germanic {
+                self.add_both("S");
+            } else {
+                self.add("S", "X");
+            }
+            self.pos += 3;
+            return;
+        }
+        // German/Anglicization: initial S before M/N/L/W, e.g. "Smith" alt "XMT".
+        if (p == 0 && matches!(self.at(p + 1), 'M' | 'N' | 'L' | 'W'))
+            || self.at(p + 1) == 'Z'
+        {
+            self.add("S", "X");
+            self.pos += if self.at(p + 1) == 'Z' { 2 } else { 1 };
+            return;
+        }
+        if self.str_at(p, 2, &["SC"]) {
+            self.handle_sc();
+            return;
+        }
+        // French "resnais", "artois": final S silent in primary.
+        if p == self.len - 1 && p > 1 && self.str_at(p - 2, 2, &["AI", "OI"]) {
+            self.add("", "S");
+        } else {
+            self.add_both("S");
+        }
+        self.pos += if matches!(self.at(p + 1), 'S' | 'Z') { 2 } else { 1 };
+    }
+
+    fn handle_sc(&mut self) {
+        let p = self.pos;
+        if self.at(p + 2) == 'H' {
+            // Dutch "school", "Schenker" vs Germanic "Schneider".
+            if self.str_at(p + 3, 2, &["OO", "ER", "EN", "UY", "ED", "EM"]) {
+                if self.str_at(p + 3, 2, &["ER", "EN"]) {
+                    self.add("X", "SK");
+                } else {
+                    self.add_both("SK");
+                }
+            } else if p == 0 && !self.is_vowel(3) && self.at(3) != 'W' {
+                self.add("X", "S");
+            } else {
+                self.add_both("X");
+            }
+            self.pos += 3;
+            return;
+        }
+        if matches!(self.at(p + 2), 'I' | 'E' | 'Y') {
+            self.add_both("S");
+        } else {
+            self.add_both("SK");
+        }
+        self.pos += 3;
+    }
+
+    fn handle_t(&mut self) {
+        let p = self.pos;
+        if self.str_at(p, 4, &["TION"]) || self.str_at(p, 3, &["TIA", "TCH"]) {
+            self.add_both("X");
+            self.pos += 3;
+            return;
+        }
+        if self.str_at(p, 2, &["TH"]) || self.str_at(p, 3, &["TTH"]) {
+            // "Thomas", "Thames": T; Germanic contexts too.
+            if self.str_at(p + 2, 2, &["OM", "AM"])
+                || self.str_at(0, 4, &["VAN ", "VON "])
+                || self.str_at(0, 3, &["SCH"])
+            {
+                self.add_both("T");
+            } else {
+                self.add("0", "T");
+            }
+            self.pos += 2;
+            return;
+        }
+        self.add_both("T");
+        self.pos += if matches!(self.at(p + 1), 'T' | 'D') { 2 } else { 1 };
+    }
+
+    fn handle_w(&mut self) {
+        let p = self.pos;
+        // "-wr-" -> R.
+        if self.str_at(p, 2, &["WR"]) {
+            self.add_both("R");
+            self.pos += 2;
+            return;
+        }
+        if p == 0 && (self.is_vowel(p + 1) || self.str_at(p, 2, &["WH"])) {
+            if self.is_vowel(p + 1) {
+                // "Wasserman" alternate "Vasserman".
+                self.add("A", "F");
+            } else {
+                self.add_both("A");
+            }
+            self.pos += 1;
+            return;
+        }
+        // "Arnow": final -OW with vowel -> alternate F.
+        if (p == self.len - 1 && p > 0 && self.is_vowel(p - 1))
+            || (p > 0 && self.str_at(p - 1, 5, &["EWSKI", "EWSKY", "OWSKI", "OWSKY"]))
+            || self.str_at(0, 3, &["SCH"])
+        {
+            self.add("", "F");
+            self.pos += 1;
+            return;
+        }
+        // Polish "-witz", "-wicz".
+        if self.str_at(p, 4, &["WICZ", "WITZ"]) {
+            self.add("TS", "FX");
+            self.pos += 4;
+            return;
+        }
+        // Otherwise silent.
+        self.pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn primary(w: &str) -> String {
+        double_metaphone(w).primary
+    }
+
+    fn alternate(w: &str) -> String {
+        double_metaphone(w).alternate
+    }
+
+    #[test]
+    fn basic_words() {
+        assert_eq!(primary("Thompson"), "TMPS");
+        assert_eq!(primary("catherine"), "K0RN");
+        assert_eq!(alternate("catherine"), "KTRN");
+        assert_eq!(primary("Smith"), "SM0");
+        assert_eq!(alternate("Smith"), "XMT");
+    }
+
+    #[test]
+    fn homophones_match() {
+        for (a, b) in [
+            ("Smith", "Smyth"),
+            ("Katherine", "Catherine"),
+            ("Jon", "John"),
+            ("Stephen", "Steven"),
+            ("write", "right"),
+            ("Thomas", "Tomas"),
+        ] {
+            let da = double_metaphone(a);
+            let db = double_metaphone(b);
+            assert!(da.matches(&db), "{a} ({da:?}) should match {b} ({db:?})");
+        }
+    }
+
+    #[test]
+    fn non_homophones_differ() {
+        for (a, b) in [("cat", "dog"), ("table", "chair"), ("red", "blue")] {
+            let da = double_metaphone(a);
+            let db = double_metaphone(b);
+            assert!(!da.matches(&db), "{a} should not match {b}");
+        }
+    }
+
+    #[test]
+    fn silent_initial_pairs() {
+        assert_eq!(primary("knight"), primary("night"));
+        assert_eq!(primary("write"), primary("rite"));
+        assert_eq!(primary("psalm")[..1].to_string(), "S");
+        assert_eq!(primary("gnome"), "NM");
+    }
+
+    #[test]
+    fn initial_x() {
+        assert_eq!(primary("Xavier"), "SF");
+    }
+
+    #[test]
+    fn initial_vowel_maps_to_a() {
+        assert_eq!(primary("apple")[..1].to_string(), "A");
+        assert_eq!(primary("elephant")[..1].to_string(), "A");
+        assert_eq!(primary("under")[..1].to_string(), "A");
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        assert!(double_metaphone("Smith").is_ambiguous());
+        assert!(!double_metaphone("dog").is_ambiguous());
+    }
+
+    #[test]
+    fn ch_cases() {
+        // Greek 'ch' -> K.
+        assert_eq!(primary("chorus")[..1].to_string(), "K");
+        assert_eq!(primary("chemistry")[..1].to_string(), "K");
+        // Plain English 'ch' -> X.
+        assert_eq!(primary("church")[..1].to_string(), "X");
+        assert_eq!(primary("cheese")[..1].to_string(), "X");
+        // Germanic.
+        assert_eq!(primary("school"), "SKL");
+    }
+
+    #[test]
+    fn gh_cases() {
+        assert_eq!(primary("laugh"), "LF");
+        assert_eq!(primary("cough"), "KF");
+        assert_eq!(primary("ghost")[..1].to_string(), "K");
+        // Silent gh.
+        assert_eq!(primary("night"), "NT");
+    }
+
+    #[test]
+    fn tion_and_th() {
+        assert_eq!(primary("nation"), "NXN");
+        assert_eq!(primary("thin")[..1].to_string(), "0");
+        assert_eq!(alternate("thin")[..1].to_string(), "T");
+    }
+
+    #[test]
+    fn code_alphabet() {
+        // Codes only ever contain the Double Metaphone alphabet.
+        for w in [
+            "extraordinary", "jalapeno", "Wagner", "Szczecin", "focaccia", "Jose",
+            "Gough", "island", "sugar", "McHugh", "Arnow", "filipowicz",
+        ] {
+            let dm = double_metaphone(w);
+            for c in dm.primary.chars().chain(dm.alternate.chars()) {
+                assert!(
+                    "AFHJKLMNPRSTX0".contains(c),
+                    "{w}: unexpected code char {c} in {dm:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let dm = double_metaphone_with_len("supercalifragilistic", 8);
+        assert!(dm.primary.len() <= 8 && dm.alternate.len() <= 8);
+        let dm4 = double_metaphone("supercalifragilistic");
+        assert!(dm4.primary.len() <= MAX_CODE_LEN);
+    }
+
+    #[test]
+    fn empty_and_nonalpha() {
+        let dm = double_metaphone("");
+        assert_eq!(dm.primary, "");
+        let dm = double_metaphone("12345");
+        assert_eq!(dm.primary, "");
+        let dm = double_metaphone("o'brien");
+        assert_eq!(dm.primary, double_metaphone("obrien").primary);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(double_metaphone("SCHMIDT"), double_metaphone("schmidt"));
+    }
+
+    #[test]
+    fn wagner_alternate() {
+        let dm = double_metaphone("Wagner");
+        assert_eq!(dm.primary, "AKNR");
+        assert_eq!(dm.alternate, "FKNR");
+    }
+
+    #[test]
+    fn jose_spanish() {
+        let dm = double_metaphone("Jose");
+        assert_eq!(dm.primary, "HS");
+    }
+}

@@ -1,0 +1,192 @@
+//! Jaro and Jaro-Winkler string similarity.
+//!
+//! MUVE scores the phonetic closeness of two tokens by computing the
+//! Jaro-Winkler similarity of their Double Metaphone encodings (paper §3).
+//! The implementation follows the classical definition: the Jaro similarity
+//! counts matching characters within a sliding window of half the longer
+//! string and penalizes transpositions; the Winkler variant boosts scores for
+//! strings sharing a common prefix.
+
+/// Maximum common-prefix length considered by the Winkler boost.
+const WINKLER_PREFIX_CAP: usize = 4;
+
+/// Default Winkler prefix scaling factor.
+pub const DEFAULT_WINKLER_SCALING: f64 = 0.1;
+
+/// Jaro similarity between two strings in `[0, 1]`.
+///
+/// Returns `1.0` for two empty strings and `0.0` when exactly one is empty.
+///
+/// # Examples
+/// ```
+/// use muve_phonetics::jaro;
+/// assert!((jaro("MARTHA", "MARHTA") - 0.944_44).abs() < 1e-4);
+/// assert_eq!(jaro("", ""), 1.0);
+/// assert_eq!(jaro("abc", ""), 0.0);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_chars(&a, &b)
+}
+
+fn jaro_chars(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a.len() == 1 && b.len() == 1 {
+        return if a[0] == b[0] { 1.0 } else { 0.0 };
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut a_matched = vec![false; a.len()];
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions: matched characters out of relative order.
+    let mut transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        if !a_matched[i] {
+            continue;
+        }
+        while !b_matched[j] {
+            j += 1;
+        }
+        if ca != b[j] {
+            transpositions += 1;
+        }
+        j += 1;
+    }
+    let m = matches as f64;
+    let t = (transpositions / 2) as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the default scaling factor (0.1).
+///
+/// # Examples
+/// ```
+/// use muve_phonetics::jaro_winkler;
+/// assert!((jaro_winkler("MARTHA", "MARHTA") - 0.9611).abs() < 1e-4);
+/// assert_eq!(jaro_winkler("same", "same"), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_scaled(a, b, DEFAULT_WINKLER_SCALING)
+}
+
+/// Jaro-Winkler similarity with an explicit prefix scaling factor.
+///
+/// `scaling` is clamped to `[0, 0.25]` so the result stays within `[0, 1]`.
+pub fn jaro_winkler_scaled(a: &str, b: &str, scaling: f64) -> f64 {
+    let scaling = scaling.clamp(0.0, 0.25);
+    let ca: Vec<char> = a.chars().collect();
+    let cb: Vec<char> = b.chars().collect();
+    let j = jaro_chars(&ca, &cb);
+    let prefix = ca
+        .iter()
+        .zip(cb.iter())
+        .take(WINKLER_PREFIX_CAP)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + (prefix as f64) * scaling * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(x: f64, y: f64) {
+        assert!((x - y).abs() < 1e-4, "{x} != {y}");
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        close(jaro("MARTHA", "MARHTA"), 0.9444);
+        close(jaro("DIXON", "DICKSONX"), 0.7667);
+        close(jaro("JELLYFISH", "SMELLYFISH"), 0.8963);
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        close(jaro_winkler("MARTHA", "MARHTA"), 0.9611);
+        close(jaro_winkler("DIXON", "DICKSONX"), 0.8133);
+        close(jaro_winkler("DWAYNE", "DUANE"), 0.84);
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert_eq!(jaro("phonetics", "phonetics"), 1.0);
+        assert_eq!(jaro_winkler("phonetics", "phonetics"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+    }
+
+    #[test]
+    fn single_chars() {
+        assert_eq!(jaro("a", "a"), 1.0);
+        assert_eq!(jaro("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("MARTHA", "MARHTA"), ("DIXON", "DICKSONX"), ("abcd", "dcba")] {
+            close(jaro(a, b), jaro(b, a));
+            close(jaro_winkler(a, b), jaro_winkler(b, a));
+        }
+    }
+
+    #[test]
+    fn winkler_boost_only_helps_prefix_matches() {
+        // Shared 4-char prefix: Winkler strictly exceeds Jaro.
+        let j = jaro("prefixes", "prefixed");
+        let jw = jaro_winkler("prefixes", "prefixed");
+        assert!(jw > j);
+        // No shared prefix: identical to Jaro.
+        let j2 = jaro("xalpha", "yalpha");
+        let jw2 = jaro_winkler("xalpha", "yalpha");
+        close(j2, jw2);
+    }
+
+    #[test]
+    fn scaling_clamped() {
+        let hi = jaro_winkler_scaled("martha", "marhta", 5.0);
+        assert!(hi <= 1.0);
+        let lo = jaro_winkler_scaled("martha", "marhta", -1.0);
+        close(lo, jaro("martha", "marhta"));
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(jaro("héllo", "héllo"), 1.0);
+        assert!(jaro("héllo", "hello") < 1.0);
+    }
+}

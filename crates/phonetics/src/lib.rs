@@ -1,0 +1,41 @@
+//! # muve-phonetics
+//!
+//! Phonetic algorithms underpinning MUVE's robust voice querying
+//! (Wei, Trummer, Anderson: *Robust Voice Querying with MUVE*, PVLDB 2021).
+//!
+//! MUVE recovers from noisy speech recognition by replacing query fragments
+//! with *phonetically similar* database elements. The paper builds this on
+//! Apache Lucene's phonetic search, the Double Metaphone encoding, and the
+//! Jaro-Winkler distance; this crate provides from-scratch implementations
+//! of all three building blocks:
+//!
+//! - [`double_metaphone()`] — primary/alternate phonetic codes,
+//! - [`jaro_winkler`] / [`jaro()`] — string similarity on the codes,
+//! - [`soundex()`] — a simpler phonetic baseline,
+//! - [`phonetic_similarity`] — the §3 combination (Double Metaphone +
+//!   Jaro-Winkler) scoring two text fragments,
+//! - [`PhoneticIndex`] — k-most-similar lookup over a vocabulary,
+//!   standing in for the Lucene index.
+//!
+//! ```
+//! use muve_phonetics::PhoneticIndex;
+//!
+//! // A voice query misheard "Brooklyn" as "brook lint"; the index recovers
+//! // the intended schema constant.
+//! let idx = PhoneticIndex::build(["Brooklyn", "Queens", "Bronx"]);
+//! assert_eq!(idx.top_k("brook lint", 1)[0].text, "Brooklyn");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod double_metaphone;
+pub mod index;
+pub mod jaro;
+pub mod similarity;
+pub mod soundex;
+
+pub use double_metaphone::{double_metaphone, double_metaphone_with_len, DoubleMetaphone, MAX_CODE_LEN};
+pub use index::{PhoneticIndex, PhoneticMatch};
+pub use jaro::{jaro, jaro_winkler, jaro_winkler_scaled};
+pub use similarity::{key_similarity, phonetic_similarity, PhoneticKey};
+pub use soundex::soundex;

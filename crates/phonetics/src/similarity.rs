@@ -1,0 +1,129 @@
+//! Phonetic similarity between text fragments, as used by MUVE (paper §3):
+//! map both fragments to a phonetic representation with Double Metaphone,
+//! then score with Jaro-Winkler. Multi-word fragments are encoded word by
+//! word and the codes are concatenated, mirroring how Lucene's phonetic
+//! filter tokenizes fields.
+
+use crate::double_metaphone::{double_metaphone, DoubleMetaphone};
+use crate::jaro::jaro_winkler;
+
+/// Phonetic encoding of a (possibly multi-word) text fragment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PhoneticKey {
+    /// Concatenated primary codes of the fragment's words.
+    pub primary: String,
+    /// Concatenated alternate codes of the fragment's words.
+    pub alternate: String,
+}
+
+impl PhoneticKey {
+    /// Encode a fragment; non-alphabetic words contribute nothing.
+    pub fn encode(fragment: &str) -> PhoneticKey {
+        let mut primary = String::new();
+        let mut alternate = String::new();
+        for word in fragment.split(|c: char| !c.is_alphanumeric()) {
+            if word.is_empty() {
+                continue;
+            }
+            let DoubleMetaphone { primary: p, alternate: a } = double_metaphone(word);
+            primary.push_str(&p);
+            alternate.push_str(&a);
+        }
+        PhoneticKey { primary, alternate }
+    }
+}
+
+/// Phonetic similarity in `[0, 1]` between two text fragments.
+///
+/// The score is the maximum Jaro-Winkler similarity over the cross product
+/// of (primary, alternate) codes, so homophones with differing spellings
+/// score `1.0`.
+///
+/// # Examples
+/// ```
+/// use muve_phonetics::phonetic_similarity;
+/// assert_eq!(phonetic_similarity("Smith", "Smyth"), 1.0);
+/// assert!(phonetic_similarity("borough", "burro") > 0.8);
+/// assert!(phonetic_similarity("cat", "windshield") < 0.6);
+/// ```
+pub fn phonetic_similarity(a: &str, b: &str) -> f64 {
+    let ka = PhoneticKey::encode(a);
+    let kb = PhoneticKey::encode(b);
+    key_similarity(&ka, &kb)
+}
+
+/// Phonetic similarity between two pre-computed keys.
+pub fn key_similarity(a: &PhoneticKey, b: &PhoneticKey) -> f64 {
+    // Empty codes (purely numeric fragments) fall back to exactness.
+    if a.primary.is_empty() && b.primary.is_empty() {
+        return 1.0;
+    }
+    let mut best = jaro_winkler(&a.primary, &b.primary);
+    if b.alternate != b.primary {
+        best = best.max(jaro_winkler(&a.primary, &b.alternate));
+    }
+    if a.alternate != a.primary {
+        best = best.max(jaro_winkler(&a.alternate, &b.primary));
+        if b.alternate != b.primary {
+            best = best.max(jaro_winkler(&a.alternate, &b.alternate));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homophones_score_one() {
+        assert_eq!(phonetic_similarity("night", "knight"), 1.0);
+        assert_eq!(phonetic_similarity("Jon", "John"), 1.0);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        for w in ["population", "new york", "brooklyn", "complaint_type"] {
+            assert_eq!(phonetic_similarity(w, w), 1.0, "{w}");
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("borough", "burrow"), ("queens", "kings"), ("delay", "relay")] {
+            let ab = phonetic_similarity(a, b);
+            let ba = phonetic_similarity(b, a);
+            assert!((ab - ba).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiword_fragments() {
+        let s = phonetic_similarity("new york", "new yorc");
+        assert!(s > 0.9, "{s}");
+        let far = phonetic_similarity("new york", "los angeles");
+        assert!(far < s);
+    }
+
+    #[test]
+    fn snake_case_identifiers() {
+        // Schema element names use underscores; ensure they are split.
+        let s = phonetic_similarity("complaint_type", "complaint type");
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn bounded() {
+        for (a, b) in [("a", "b"), ("", ""), ("xyz", "xyz"), ("alpha", "omega")] {
+            let s = phonetic_similarity(a, b);
+            assert!((0.0..=1.0).contains(&s), "{a} vs {b}: {s}");
+        }
+    }
+
+    #[test]
+    fn alternate_code_used() {
+        // "Smith" alt = XMT matches "Schmidt" primary XMT prefix strongly.
+        let s = phonetic_similarity("Smith", "Schmidt");
+        assert!(s > 0.7, "{s}");
+    }
+}

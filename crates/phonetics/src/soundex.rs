@@ -1,0 +1,126 @@
+//! American Soundex encoding.
+//!
+//! Soundex is included as a simpler phonetic baseline next to Double
+//! Metaphone; MUVE's phonetic index can be configured to use either encoder.
+
+/// Encode a word with American Soundex, producing the classic 4-character
+/// code (letter + three digits), or `None` when the input contains no ASCII
+/// letter to anchor the code.
+///
+/// # Examples
+/// ```
+/// use muve_phonetics::soundex;
+/// assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+/// assert_eq!(soundex("123"), None);
+/// ```
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<u8> = word
+        .bytes()
+        .filter(u8::is_ascii_alphabetic)
+        .map(|b| b.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+    let mut code = String::with_capacity(4);
+    code.push(first as char);
+    // Soundex rule: consonants separated by H or W count as one; vowels reset.
+    let mut last_digit = digit(first);
+    for &b in &letters[1..] {
+        let d = digit(b);
+        match d {
+            0 => {
+                // Vowels (and Y) reset the adjacency rule.
+                last_digit = 0;
+            }
+            7 => {
+                // H and W are transparent: keep `last_digit` as-is.
+            }
+            d => {
+                if d != last_digit {
+                    code.push((b'0' + d) as char);
+                    if code.len() == 4 {
+                        return Some(code);
+                    }
+                }
+                last_digit = d;
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Soundex digit class for an uppercase ASCII letter.
+/// 0 = vowel-like (A E I O U Y), 7 = transparent (H W).
+fn digit(b: u8) -> u8 {
+    match b {
+        b'B' | b'F' | b'P' | b'V' => 1,
+        b'C' | b'G' | b'J' | b'K' | b'Q' | b'S' | b'X' | b'Z' => 2,
+        b'D' | b'T' => 3,
+        b'L' => 4,
+        b'M' | b'N' => 5,
+        b'R' => 6,
+        b'H' | b'W' => 7,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sx(w: &str) -> String {
+        soundex(w).unwrap()
+    }
+
+    #[test]
+    fn reference_codes() {
+        assert_eq!(sx("Robert"), "R163");
+        assert_eq!(sx("Rupert"), "R163");
+        assert_eq!(sx("Ashcraft"), "A261");
+        assert_eq!(sx("Ashcroft"), "A261");
+        assert_eq!(sx("Tymczak"), "T522");
+        assert_eq!(sx("Pfister"), "P236");
+        assert_eq!(sx("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn h_w_transparency() {
+        // Adjacent same-class consonants separated by H/W collapse.
+        assert_eq!(sx("Ashcraft"), sx("Ashcroft"));
+    }
+
+    #[test]
+    fn vowel_reset() {
+        // Same-class consonants separated by a vowel are both coded.
+        assert_eq!(sx("Tymczak"), "T522");
+    }
+
+    #[test]
+    fn short_words_padded() {
+        assert_eq!(sx("A"), "A000");
+        assert_eq!(sx("Lee"), "L000");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(sx("ROBERT"), sx("robert"));
+    }
+
+    #[test]
+    fn non_letters_ignored() {
+        assert_eq!(sx("O'Brien"), sx("OBrien"));
+        assert_eq!(soundex("42"), None);
+        assert_eq!(soundex(""), None);
+    }
+
+    #[test]
+    fn leading_letter_pairs_with_same_code() {
+        // First letter's own digit suppresses an immediately following
+        // same-class consonant (Pfister -> P236, not P123).
+        assert_eq!(sx("Pfister"), "P236");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the phonetic algorithms.
+
+use muve_phonetics::{
+    double_metaphone, jaro, jaro_winkler, phonetic_similarity, soundex, PhoneticIndex,
+};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-zA-Z]{0,16}"
+}
+
+proptest! {
+    #[test]
+    fn jaro_bounded_and_symmetric(a in word(), b in word()) {
+        let ab = jaro(&a, &b);
+        let ba = jaro(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in word(), b in word()) {
+        let j = jaro(&a, &b);
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!(jw >= j - 1e-12);
+        prop_assert!(jw <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn jaro_identity(a in word()) {
+        prop_assert_eq!(jaro(&a, &a), 1.0);
+        prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn double_metaphone_deterministic_and_clean(a in word()) {
+        let x = double_metaphone(&a);
+        let y = double_metaphone(&a);
+        prop_assert_eq!(&x, &y);
+        prop_assert!(x.primary.len() <= 4 && x.alternate.len() <= 4);
+        for c in x.primary.chars().chain(x.alternate.chars()) {
+            prop_assert!("AFHJKLMNPRSTX0".contains(c), "bad code char {} for {}", c, a);
+        }
+    }
+
+    #[test]
+    fn double_metaphone_case_insensitive(a in word()) {
+        prop_assert_eq!(double_metaphone(&a.to_lowercase()), double_metaphone(&a.to_uppercase()));
+    }
+
+    #[test]
+    fn soundex_shape(a in word()) {
+        if let Some(code) = soundex(&a) {
+            prop_assert_eq!(code.len(), 4);
+            let mut chars = code.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+            prop_assert!(chars.all(|c| c.is_ascii_digit()));
+        } else {
+            prop_assert!(a.chars().all(|c| !c.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn similarity_bounded_symmetric(a in word(), b in word()) {
+        let s = phonetic_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - phonetic_similarity(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_topk_sorted_and_self_first(mut vocab in prop::collection::vec("[a-zA-Z]{1,10}", 1..20), probe_idx in 0usize..20) {
+        vocab.dedup();
+        let probe_idx = probe_idx % vocab.len();
+        let probe = vocab[probe_idx].clone();
+        let idx = PhoneticIndex::build(vocab.clone());
+        let top = idx.top_k(&probe, vocab.len());
+        // Descending order.
+        for w in top.windows(2) {
+            prop_assert!(w[0].similarity >= w[1].similarity - 1e-12);
+        }
+        // The probe itself scores 1.0 at the top.
+        prop_assert!((top[0].similarity - 1.0).abs() < 1e-12);
+    }
+}

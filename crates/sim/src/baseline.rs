@@ -1,0 +1,113 @@
+//! The disambiguation baseline of the paper's first user study (§9.5):
+//! users resolve ambiguities by choosing correct columns and constants via
+//! drop-down menus showing likely alternatives, "inspired by systems such
+//! as DataTone". Each ambiguous query element costs one drop-down
+//! interaction; the answer then appears as a single result the user reads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Interaction-time parameters of the drop-down baseline (ms).
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// Locating and opening one drop-down.
+    pub open_ms: f64,
+    /// Scanning one drop-down option.
+    pub option_ms: f64,
+    /// Clicking the correct option.
+    pub click_ms: f64,
+    /// Reading the single final result.
+    pub read_result_ms: f64,
+    /// Sigma of multiplicative lognormal noise.
+    pub noise_sigma: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            open_ms: 1200.0,
+            option_ms: 350.0,
+            click_ms: 500.0,
+            read_result_ms: 1500.0,
+            noise_sigma: 0.25,
+        }
+    }
+}
+
+/// A seeded simulated baseline user.
+#[derive(Debug)]
+pub struct BaselineUser {
+    cfg: BaselineConfig,
+    rng: StdRng,
+}
+
+impl BaselineUser {
+    /// Create a baseline user.
+    pub fn new(cfg: BaselineConfig, seed: u64) -> BaselineUser {
+        BaselineUser { cfg, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Simulate resolving a query with `ambiguous_elements` drop-downs,
+    /// each listing `options_per_element` alternatives (the correct one at
+    /// a uniformly random position).
+    pub fn resolve(&mut self, ambiguous_elements: usize, options_per_element: usize) -> f64 {
+        let mut time = 0.0;
+        for _ in 0..ambiguous_elements {
+            time += self.cfg.open_ms;
+            let correct_at = self.rng.gen_range(1..=options_per_element.max(1));
+            time += correct_at as f64 * self.cfg.option_ms;
+            time += self.cfg.click_ms;
+        }
+        time += self.cfg.read_result_ms;
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        time * (self.cfg.noise_sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg(elements: usize, options: usize, n: usize) -> f64 {
+        let cfg = BaselineConfig { noise_sigma: 0.0, ..BaselineConfig::default() };
+        (0..n)
+            .map(|i| BaselineUser::new(cfg, i as u64).resolve(elements, options))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn more_elements_cost_more() {
+        assert!(avg(3, 5, 200) > avg(1, 5, 200));
+    }
+
+    #[test]
+    fn more_options_cost_more() {
+        assert!(avg(2, 20, 200) > avg(2, 3, 200));
+    }
+
+    #[test]
+    fn zero_elements_just_reads() {
+        let cfg = BaselineConfig { noise_sigma: 0.0, ..BaselineConfig::default() };
+        let t = BaselineUser::new(cfg, 1).resolve(0, 10);
+        assert_eq!(t, cfg.read_result_ms);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = BaselineConfig::default();
+        let a = BaselineUser::new(cfg, 5).resolve(2, 8);
+        let b = BaselineUser::new(cfg, 5).resolve(2, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expected_scan_is_half_the_options() {
+        let t = avg(1, 9, 4000);
+        let cfg = BaselineConfig::default();
+        let expected = cfg.open_ms + 5.0 * cfg.option_ms + cfg.click_ms + cfg.read_result_ms;
+        assert!((t - expected).abs() / expected < 0.05, "{t} vs {expected}");
+    }
+}

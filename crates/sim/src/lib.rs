@@ -1,0 +1,27 @@
+//! # muve-sim
+//!
+//! Simulated-user machinery reproducing the MUVE paper's user studies
+//! (§4 and §9.5): a stochastic [`user`] model whose ground truth is the
+//! paper's validated reading behaviour, the drop-down [`baseline`] the
+//! paper compares against (DataTone-style), the [`study`] pipelines that
+//! regenerate Table 1 / Figure 3 and the Figure 13 rating model, and the
+//! [`stats`] toolkit (Pearson correlation with exact Student-t p-values)
+//! used to analyze them.
+//!
+//! ```
+//! use muve_sim::{user_study, SimUserConfig};
+//! let out = user_study(SimUserConfig::default(), 20, 42);
+//! assert_eq!(out.issued, 520); // 26 task types x 20 workers, as in the paper
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod stats;
+pub mod study;
+pub mod user;
+
+pub use baseline::{BaselineConfig, BaselineUser};
+pub use stats::{ci95, correlation_test, mean, pearson, std_dev, Correlation};
+pub use study::{fit_cost_model, task_types, user_study, Feature, HitRecord, Rater, StudyOutcome};
+pub use user::{ReadOutcome, SimUser, SimUserConfig};

@@ -1,0 +1,275 @@
+//! Statistics for the user-study reproduction: means with confidence
+//! bounds, Pearson correlation, and exact two-sided p-values via the
+//! Student t distribution (regularized incomplete beta function).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n-1 denominator); 0 with fewer than 2 points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// 95% confidence half-width for the mean (normal approximation, as the
+/// paper's plots use symmetric confidence bounds over ≥10 samples).
+pub fn ci95(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either side has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson needs equal-length samples");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Result of a Pearson correlation analysis (one column of paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlation {
+    /// Pearson r.
+    pub r: f64,
+    /// Coefficient of determination r².
+    pub r2: f64,
+    /// Two-sided p-value under the null of zero correlation.
+    pub p: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Pearson correlation with an exact two-sided p-value
+/// (`t = r·sqrt((n−2)/(1−r²))`, `p = 2·P(T_{n−2} > |t|)`).
+pub fn correlation_test(xs: &[f64], ys: &[f64]) -> Correlation {
+    let n = xs.len();
+    let r = pearson(xs, ys);
+    if n < 3 || r.abs() >= 1.0 {
+        return Correlation { r, r2: r * r, p: if r.abs() >= 1.0 { 0.0 } else { 1.0 }, n };
+    }
+    let df = (n - 2) as f64;
+    let t = r * (df / (1.0 - r * r)).sqrt();
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Correlation { r, r2: r * r, p: p.clamp(0.0, 1.0), n }
+}
+
+/// Survival function `P(T > t)` of the Student t distribution with `df`
+/// degrees of freedom (t ≥ 0).
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    0.5 * inc_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes `betai`/`betacf`).
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn mean_and_std() {
+        close(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5, 1e-12);
+        close(std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), 2.138, 1e-3);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_reference() {
+        close(ln_gamma(1.0), 0.0, 1e-10);
+        close(ln_gamma(2.0), 0.0, 1e-10);
+        close(ln_gamma(5.0), (24.0f64).ln(), 1e-9);
+        close(ln_gamma(0.5), (std::f64::consts::PI.sqrt()).ln(), 1e-9);
+        close(ln_gamma(10.5), 13.940_625_2, 1e-6);
+    }
+
+    #[test]
+    fn inc_beta_reference() {
+        close(inc_beta(1.0, 1.0, 0.3), 0.3, 1e-10); // uniform CDF
+        close(inc_beta(2.0, 2.0, 0.5), 0.5, 1e-10); // symmetric
+        close(inc_beta(2.0, 3.0, 0.4), 0.5248, 1e-4);
+        assert_eq!(inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(inc_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn t_distribution_reference() {
+        // df=10: P(T > 1.812) ~ 0.05 (classic t-table value).
+        close(student_t_sf(1.812, 10.0), 0.05, 2e-3);
+        // df=2: P(T > 2.920) ~ 0.05.
+        close(student_t_sf(2.920, 2.0), 0.05, 2e-3);
+        // Symmetric at 0.
+        close(student_t_sf(0.0, 5.0), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn pearson_reference() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 4.0, 6.0, 8.0, 10.0];
+        close(pearson(&x, &y), 1.0, 1e-12);
+        let y_neg = [10.0, 8.0, 6.0, 4.0, 2.0];
+        close(pearson(&x, &y_neg), -1.0, 1e-12);
+        let y_flat = [3.0; 5];
+        close(pearson(&x, &y_flat), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn correlation_test_significance() {
+        // Strong linear signal: tiny p.
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + ((v * 7.0).sin())).collect();
+        let c = correlation_test(&x, &y);
+        assert!(c.p < 1e-6, "{c:?}");
+        assert!(c.r2 > 0.99);
+
+        // Pure noise (deterministic pseudo-random): insignificant.
+        let y_noise: Vec<f64> = x.iter().map(|v| ((v * 2654435761.0).sin() * 1e4).fract()).collect();
+        let c = correlation_test(&x, &y_noise);
+        assert!(c.p > 0.05, "{c:?}");
+    }
+
+    #[test]
+    fn correlation_edge_cases() {
+        let c = correlation_test(&[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(c.p, 0.0); // |r| = 1 with n < 3
+        let c = correlation_test(&[], &[]);
+        assert_eq!(c.r, 0.0);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_n() {
+        let few = vec![1.0, 2.0, 3.0, 4.0];
+        let many: Vec<f64> = (0..100).map(|i| 1.0 + (i % 4) as f64).collect();
+        assert!(ci95(&many) < ci95(&few));
+    }
+}

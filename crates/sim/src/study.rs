@@ -1,0 +1,366 @@
+//! Reproduction of the paper's user studies.
+//!
+//! - [`user_study`] re-runs the §4.1 AMT study on simulated workers:
+//!   26 task types × 20 workers (520 HITs, ~50% response rate), varying
+//!   bar position, plot position, number of red bars, and number of plots.
+//!   Its outputs regenerate **Table 1** (Pearson R²/p per feature) and
+//!   **Figure 3** (mean perception time per feature value).
+//! - [`fit_cost_model`] derives `c_B`/`c_P` from the study records, the
+//!   paper's step from §4.1 to the §4.2 model ("we infer the values for
+//!   those constants from our user study results").
+//! - [`Rater`] models the 1-10 latency/clarity ratings of the second study
+//!   (**Figure 13**).
+
+use crate::stats::{ci95, correlation_test, mean, Correlation};
+use crate::user::{SimUser, SimUserConfig};
+use muve_core::{Multiplot, Plot, PlotEntry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// The four visualization features of Table 1 / Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// Target bar position within a plot.
+    BarPosition,
+    /// Target plot position within the multiplot.
+    PlotPosition,
+    /// Number of highlighted (red) bars.
+    RedBars,
+    /// Number of plots in the multiplot.
+    NumPlots,
+}
+
+impl Feature {
+    /// Display name matching the paper's Table 1 header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::BarPosition => "Bar Pos.",
+            Feature::PlotPosition => "Plot Pos.",
+            Feature::RedBars => "Nr. Red Bars",
+            Feature::NumPlots => "Nr. Plots",
+        }
+    }
+}
+
+/// One completed HIT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitRecord {
+    /// Varied feature.
+    pub feature: Feature,
+    /// Feature value of the task type.
+    pub value: f64,
+    /// Measured (simulated) disambiguation time in ms.
+    pub time_ms: f64,
+}
+
+/// Per-feature series of `(value, mean, ci95)` triples (Figure 3 data).
+pub type FeatureSeries = Vec<(Feature, Vec<(f64, f64, f64)>)>;
+
+/// Aggregated study output.
+#[derive(Debug, Clone)]
+pub struct StudyOutcome {
+    /// All completed HITs.
+    pub records: Vec<HitRecord>,
+    /// Pearson analysis per feature (Table 1).
+    pub correlations: Vec<(Feature, Correlation)>,
+    /// Mean and 95% CI per feature value (Figure 3 series).
+    pub means: FeatureSeries,
+    /// HITs issued and completed.
+    pub issued: usize,
+    /// HITs completed within the study window.
+    pub completed: usize,
+}
+
+fn bar(c: usize, red: bool) -> PlotEntry {
+    PlotEntry { candidate: c, label: format!("v{c}"), highlighted: red }
+}
+
+/// Single plot with `n` bars, of which the first `reds` are highlighted.
+fn plot_with(n: usize, reds: usize) -> Plot {
+    Plot { title: "task".into(), entries: (0..n).map(|c| bar(c, c < reds)).collect() }
+}
+
+/// The task multiplot for one study condition.
+fn task_multiplot(feature: Feature, value: usize) -> (Multiplot, usize) {
+    match feature {
+        // 12 bars, one plot; target at position `value` (1-based). The
+        // simulated reader is position-blind, which is what the study is
+        // probing for.
+        Feature::BarPosition => {
+            let m = Multiplot { rows: vec![vec![plot_with(12, 0)]] };
+            (m, value - 1)
+        }
+        // 6 plots with two bars each, in two rows; target in plot `value`.
+        Feature::PlotPosition => {
+            let plots: Vec<Plot> = (0..6)
+                .map(|p| Plot {
+                    title: format!("plot {p}"),
+                    entries: vec![bar(2 * p, false), bar(2 * p + 1, false)],
+                })
+                .collect();
+            let mut rows = vec![Vec::new(), Vec::new()];
+            for (i, p) in plots.into_iter().enumerate() {
+                rows[i / 3].push(p);
+            }
+            (Multiplot { rows }, (value - 1) * 2)
+        }
+        // 12 bars, `value` of them red; the correct one is red.
+        Feature::RedBars => {
+            let m = Multiplot { rows: vec![vec![plot_with(12, value)]] };
+            (m, 0)
+        }
+        // 12 bars spread over `value` plots.
+        Feature::NumPlots => {
+            let per = 12 / value;
+            let plots: Vec<Plot> = (0..value)
+                .map(|p| Plot {
+                    title: format!("plot {p}"),
+                    entries: (0..per).map(|b| bar(p * per + b, false)).collect(),
+                })
+                .collect();
+            (Multiplot { rows: vec![plots] }, 5.min(12 / value * value - 1))
+        }
+    }
+}
+
+/// The 26 task types of the study.
+pub fn task_types() -> Vec<(Feature, usize)> {
+    let mut tasks = Vec::with_capacity(26);
+    for v in [1, 2, 4, 6, 8, 10, 12] {
+        tasks.push((Feature::BarPosition, v));
+    }
+    for v in 1..=6 {
+        tasks.push((Feature::PlotPosition, v));
+    }
+    for v in [1, 2, 3, 4, 6, 8, 10] {
+        tasks.push((Feature::RedBars, v));
+    }
+    for v in [1, 2, 3, 4, 6, 12] {
+        tasks.push((Feature::NumPlots, v));
+    }
+    tasks
+}
+
+/// Run the §4.1 study on simulated crowd workers.
+///
+/// `workers_per_task` defaults to the paper's 20; the ~50% response rate
+/// of the original study (262 of 520 within six hours) is simulated.
+pub fn user_study(cfg: SimUserConfig, workers_per_task: usize, seed: u64) -> StudyOutcome {
+    let tasks = task_types();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records: Vec<HitRecord> = Vec::new();
+    let mut issued = 0usize;
+    for (ti, &(feature, value)) in tasks.iter().enumerate() {
+        for w in 0..workers_per_task {
+            issued += 1;
+            // Response-rate model: each HIT completed with p = 262/520.
+            if rng.gen::<f64>() > 262.0 / 520.0 {
+                continue;
+            }
+            let (multiplot, target) = task_multiplot(feature, value);
+            let mut user = SimUser::new(cfg, seed ^ ((ti as u64) << 32) ^ w as u64);
+            let outcome = user.read(&multiplot, target);
+            records.push(HitRecord { feature, value: value as f64, time_ms: outcome.time_ms });
+        }
+    }
+    let completed = records.len();
+
+    let features = [Feature::BarPosition, Feature::PlotPosition, Feature::RedBars, Feature::NumPlots];
+    let mut correlations = Vec::with_capacity(4);
+    let mut means = Vec::with_capacity(4);
+    for f in features {
+        let xs: Vec<f64> =
+            records.iter().filter(|r| r.feature == f).map(|r| r.value).collect();
+        let ys: Vec<f64> =
+            records.iter().filter(|r| r.feature == f).map(|r| r.time_ms).collect();
+        correlations.push((f, correlation_test(&xs, &ys)));
+        let mut values: Vec<f64> = xs.clone();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.dedup();
+        let series: Vec<(f64, f64, f64)> = values
+            .into_iter()
+            .map(|v| {
+                let ts: Vec<f64> = records
+                    .iter()
+                    .filter(|r| r.feature == f && r.value == v)
+                    .map(|r| r.time_ms)
+                    .collect();
+                (v, mean(&ts), ci95(&ts))
+            })
+            .collect();
+        means.push((f, series));
+    }
+    StudyOutcome { records, correlations, means, issued, completed }
+}
+
+/// Fit `(c_B, c_P)` from study records: the red-bar slope estimates
+/// `c_B/2`, the plot-count slope estimates `c_P/2` (§4.2 inference step).
+pub fn fit_cost_model(records: &[HitRecord]) -> (f64, f64) {
+    let slope = |f: Feature| -> f64 {
+        let pts: Vec<(f64, f64)> = records
+            .iter()
+            .filter(|r| r.feature == f)
+            .map(|r| (r.value, r.time_ms))
+            .collect();
+        let n = pts.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let sxx: f64 = pts.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+        if sxx == 0.0 {
+            0.0
+        } else {
+            sxy / sxx
+        }
+    };
+    (2.0 * slope(Feature::RedBars), 2.0 * slope(Feature::NumPlots))
+}
+
+/// The 1-10 rating model for the second user study (Figure 13).
+#[derive(Debug)]
+pub struct Rater {
+    rng: StdRng,
+    /// Multiplier applied to observed durations before rating. The paper's
+    /// raters judged a Postgres-backed system; our engine is ~100x faster,
+    /// so experiments pass `with_scale(seed, 100.0)` to keep the rating
+    /// model on the human-perception scale it was designed for.
+    time_scale: f64,
+}
+
+impl Rater {
+    /// Create a seeded rater judging wall-clock durations as-is.
+    pub fn new(seed: u64) -> Rater {
+        Rater::with_scale(seed, 1.0)
+    }
+
+    /// Create a seeded rater that scales observed durations by
+    /// `time_scale` before rating (engine-speed calibration).
+    pub fn with_scale(seed: u64, time_scale: f64) -> Rater {
+        Rater { rng: StdRng::seed_from_u64(seed), time_scale }
+    }
+
+    /// Latency rating: decays with time-to-first-visualization and, more
+    /// weakly, with total time.
+    pub fn rate_latency(&mut self, first_visual: Duration, total: Duration) -> f64 {
+        let f = first_visual.as_secs_f64() * self.time_scale;
+        let t = total.as_secs_f64() * self.time_scale;
+        let score = 10.2 - 2.2 * (1.0 + f).ln() - 0.5 * (1.0 + (t - f).max(0.0)).ln()
+            + self.rng.gen_range(-0.8..0.8);
+        score.clamp(1.0, 10.0)
+    }
+
+    /// Clarity rating: penalizes visual churn (number of visualization
+    /// changes) and, slightly, an approximate first answer.
+    pub fn rate_clarity(&mut self, visual_changes: usize, approx_first: bool) -> f64 {
+        let churn = visual_changes.saturating_sub(1) as f64;
+        let score = 8.8 - 0.55 * churn - if approx_first { 0.3 } else { 0.0 }
+            + self.rng.gen_range(-1.0..1.0);
+        score.clamp(1.0, 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_shape_matches_paper() {
+        let out = user_study(SimUserConfig::default(), 20, 7);
+        assert_eq!(task_types().len(), 26);
+        assert_eq!(out.issued, 520);
+        // Response-rate model: roughly half complete.
+        assert!(out.completed > 200 && out.completed < 320, "{}", out.completed);
+        assert_eq!(out.correlations.len(), 4);
+        assert_eq!(out.means.len(), 4);
+    }
+
+    #[test]
+    fn table1_significance_pattern() {
+        // The paper's key finding: red-bar count and plot count are
+        // significant (p < 0.05), bar/plot position are not.
+        let out = user_study(SimUserConfig::default(), 20, 42);
+        for (f, c) in &out.correlations {
+            match f {
+                Feature::RedBars | Feature::NumPlots => {
+                    assert!(c.p < 0.05, "{f:?} should be significant: {c:?}");
+                    assert!(c.r2 > 0.1, "{f:?} should explain variance: {c:?}");
+                }
+                Feature::BarPosition | Feature::PlotPosition => {
+                    // Under the null, p is uniform, so a fixed-sample p
+                    // threshold would flake; the robust property is a small
+                    // effect size (the paper reports R² of 0.05 / 0.079).
+                    assert!(c.r2 < 0.15, "{f:?} should have no real effect: {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_trends() {
+        let out = user_study(SimUserConfig::default(), 20, 3);
+        // Red bars: increasing trend of mean time.
+        for (f, series) in &out.means {
+            if *f == Feature::RedBars || *f == Feature::NumPlots {
+                let first = series.first().unwrap().1;
+                let last = series.last().unwrap().1;
+                assert!(last > first, "{f:?}: {first} -> {last}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_fit_recovers_truth() {
+        let truth = SimUserConfig { noise_sigma: 0.1, ..SimUserConfig::default() };
+        // More workers for a tighter fit.
+        let out = user_study(truth, 200, 11);
+        let (cb, cp) = fit_cost_model(&out.records);
+        assert!((cb - truth.bar_ms).abs() / truth.bar_ms < 0.35, "c_B {cb}");
+        assert!((cp - truth.plot_ms).abs() / truth.plot_ms < 0.35, "c_P {cp}");
+        assert!(cp > cb, "study must confirm c_P > c_B");
+    }
+
+    #[test]
+    fn rater_prefers_fast_first_visualization() {
+        let mut r = Rater::new(1);
+        let fast: f64 = (0..50)
+            .map(|_| r.rate_latency(Duration::from_millis(300), Duration::from_secs(4)))
+            .sum::<f64>()
+            / 50.0;
+        let slow: f64 = (0..50)
+            .map(|_| r.rate_latency(Duration::from_secs(8), Duration::from_secs(8)))
+            .sum::<f64>()
+            / 50.0;
+        assert!(fast > slow + 1.0, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn rater_penalizes_churn() {
+        let mut r = Rater::new(2);
+        let calm: f64 = (0..50).map(|_| r.rate_clarity(1, false)).sum::<f64>() / 50.0;
+        let churny: f64 = (0..50).map(|_| r.rate_clarity(6, false)).sum::<f64>() / 50.0;
+        assert!(calm > churny + 1.0);
+    }
+
+    #[test]
+    fn ratings_bounded() {
+        let mut r = Rater::new(3);
+        for i in 0..100 {
+            let l = r.rate_latency(Duration::from_secs(i % 30), Duration::from_secs(40));
+            let c = r.rate_clarity((i % 10) as usize, i % 2 == 0);
+            assert!((1.0..=10.0).contains(&l));
+            assert!((1.0..=10.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn deterministic_study() {
+        let a = user_study(SimUserConfig::default(), 20, 5);
+        let b = user_study(SimUserConfig::default(), 20, 5);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.records, b.records);
+    }
+}

@@ -1,0 +1,582 @@
+//! Two-phase primal simplex on a dense tableau.
+//!
+//! This is the LP engine underneath the branch-and-bound integer solver.
+//! Problems are given in the form
+//!
+//! ```text
+//! minimize    c'x
+//! subject to  a_i'x {<=, =, >=} b_i      for each row i
+//!             0 <= x_j <= ub_j           (ub_j may be +inf)
+//! ```
+//!
+//! Finite upper bounds are materialized as explicit `<=` rows, slack and
+//! artificial variables are added internally, and phase 1 minimizes the sum
+//! of artificials. Dantzig pricing is used by default with a fallback to
+//! Bland's rule after a run of degenerate pivots, which guarantees
+//! termination.
+
+/// Comparison sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `a'x <= b`
+    Le,
+    /// `a'x = b`
+    Eq,
+    /// `a'x >= b`
+    Ge,
+}
+
+/// A linear constraint row in sparse form.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// `(variable index, coefficient)` pairs; indices must be unique.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program in the solver's standard form.
+#[derive(Debug, Clone, Default)]
+pub struct Lp {
+    /// Number of structural variables.
+    pub num_vars: usize,
+    /// Minimization objective coefficients, one per variable.
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub rows: Vec<Row>,
+    /// Upper bounds per variable (`f64::INFINITY` for unbounded).
+    /// Lower bounds are implicitly zero.
+    pub upper: Vec<f64>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal basic feasible solution was found.
+    Optimal(LpSolution),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The pivot budget was exhausted before convergence.
+    PivotLimit,
+}
+
+/// A primal solution with its objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Value per structural variable.
+    pub values: Vec<f64>,
+    /// Objective value `c'x`.
+    pub objective: f64,
+}
+
+const EPS: f64 = 1e-9;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGENERATE_LIMIT: usize = 40;
+
+/// Solve `lp` with at most `max_pivots` simplex pivots across both phases.
+///
+/// # Examples
+/// ```
+/// use muve_solver::simplex::{solve, Lp, LpOutcome, Row, Sense};
+/// // maximize x + y s.t. x + 2y <= 4, 3x + y <= 6  ==  minimize -(x + y)
+/// let lp = Lp {
+///     num_vars: 2,
+///     objective: vec![-1.0, -1.0],
+///     rows: vec![
+///         Row { coeffs: vec![(0, 1.0), (1, 2.0)], sense: Sense::Le, rhs: 4.0 },
+///         Row { coeffs: vec![(0, 3.0), (1, 1.0)], sense: Sense::Le, rhs: 6.0 },
+///     ],
+///     upper: vec![f64::INFINITY, f64::INFINITY],
+/// };
+/// match solve(&lp, 1000) {
+///     LpOutcome::Optimal(s) => assert!((s.objective + 3.0 - 0.2).abs() < 1e-6),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub fn solve(lp: &Lp, max_pivots: usize) -> LpOutcome {
+    solve_within(lp, max_pivots, None)
+}
+
+/// Like [`solve`], but additionally aborts with [`LpOutcome::PivotLimit`]
+/// once `deadline` passes (checked every few pivots), so a single large LP
+/// cannot overrun an interactive optimization budget.
+pub fn solve_within(lp: &Lp, max_pivots: usize, deadline: Option<std::time::Instant>) -> LpOutcome {
+    Tableau::build(lp).solve(max_pivots, deadline)
+}
+
+struct Tableau {
+    /// Dense rows; column layout: structural | slack/surplus | artificial | rhs.
+    rows: Vec<Vec<f64>>,
+    /// Basic variable (column index) per row.
+    basis: Vec<usize>,
+    /// Reduced-cost row for the current phase objective.
+    cost: Vec<f64>,
+    /// Original objective reduced-cost row (maintained through phase 1).
+    cost2: Vec<f64>,
+    num_structural: usize,
+    /// First artificial column; columns >= this are phase-1 only.
+    first_artificial: usize,
+    num_cols: usize,
+    /// Optional wall-clock cutoff, checked periodically during pivoting.
+    deadline: Option<std::time::Instant>,
+}
+
+impl Tableau {
+    fn build(lp: &Lp) -> Tableau {
+        // Materialize finite upper bounds as rows.
+        let mut rows: Vec<Row> = lp.rows.clone();
+        for (j, &ub) in lp.upper.iter().enumerate() {
+            if ub.is_finite() {
+                rows.push(Row { coeffs: vec![(j, 1.0)], sense: Sense::Le, rhs: ub });
+            }
+        }
+        // Normalize to nonnegative rhs.
+        for row in &mut rows {
+            if row.rhs < 0.0 {
+                row.rhs = -row.rhs;
+                for (_, c) in &mut row.coeffs {
+                    *c = -*c;
+                }
+                row.sense = match row.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+            }
+        }
+        let m = rows.len();
+        let n = lp.num_vars;
+        // Column counts.
+        let num_slack = rows
+            .iter()
+            .filter(|r| matches!(r.sense, Sense::Le | Sense::Ge))
+            .count();
+        let num_art = rows
+            .iter()
+            .filter(|r| matches!(r.sense, Sense::Ge | Sense::Eq))
+            .count();
+        let first_slack = n;
+        let first_artificial = n + num_slack;
+        let num_cols = n + num_slack + num_art;
+        let width = num_cols + 1; // + rhs
+
+        let mut t = vec![vec![0.0; width]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_i = 0usize;
+        let mut art_i = 0usize;
+        for (i, row) in rows.iter().enumerate() {
+            for &(j, c) in &row.coeffs {
+                debug_assert!(j < n, "coefficient references unknown variable {j}");
+                t[i][j] += c;
+            }
+            t[i][num_cols] = row.rhs;
+            match row.sense {
+                Sense::Le => {
+                    let col = first_slack + slack_i;
+                    slack_i += 1;
+                    t[i][col] = 1.0;
+                    basis[i] = col;
+                }
+                Sense::Ge => {
+                    let col = first_slack + slack_i;
+                    slack_i += 1;
+                    t[i][col] = -1.0;
+                    let art = first_artificial + art_i;
+                    art_i += 1;
+                    t[i][art] = 1.0;
+                    basis[i] = art;
+                }
+                Sense::Eq => {
+                    let art = first_artificial + art_i;
+                    art_i += 1;
+                    t[i][art] = 1.0;
+                    basis[i] = art;
+                }
+            }
+        }
+        // Phase-1 reduced costs: sum of artificial rows subtracted.
+        let mut cost = vec![0.0; width];
+        for (i, &b) in basis.iter().enumerate() {
+            if b >= first_artificial {
+                for k in 0..width {
+                    cost[k] -= t[i][k];
+                }
+            }
+        }
+        for a in 0..num_art {
+            cost[first_artificial + a] = 0.0;
+        }
+        // Phase-2 reduced costs start at the raw objective (all initial basic
+        // variables have zero objective coefficient).
+        let mut cost2 = vec![0.0; width];
+        cost2[..n].copy_from_slice(&lp.objective);
+        Tableau {
+            rows: t,
+            basis,
+            cost,
+            cost2,
+            num_structural: n,
+            first_artificial,
+            num_cols,
+            deadline: None,
+        }
+    }
+
+    fn solve(mut self, max_pivots: usize, deadline: Option<std::time::Instant>) -> LpOutcome {
+        self.deadline = deadline;
+        let mut pivots_left = max_pivots;
+        // Phase 1.
+        match self.optimize(self.first_artificial, true, &mut pivots_left) {
+            Phase::PivotLimit => return LpOutcome::PivotLimit,
+            Phase::Unbounded => {
+                // Phase-1 objective is bounded below by 0; cannot happen.
+                debug_assert!(false, "phase-1 unbounded");
+                return LpOutcome::Infeasible;
+            }
+            Phase::Converged => {}
+        }
+        if -self.cost[self.num_cols] > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        self.expel_artificials();
+        // Phase 2 on the original objective.
+        self.cost = std::mem::take(&mut self.cost2);
+        match self.optimize(self.first_artificial, false, &mut pivots_left) {
+            Phase::PivotLimit => LpOutcome::PivotLimit,
+            Phase::Unbounded => LpOutcome::Unbounded,
+            Phase::Converged => {
+                let mut values = vec![0.0; self.num_structural];
+                for (i, &b) in self.basis.iter().enumerate() {
+                    if b < self.num_structural {
+                        values[b] = self.rows[i][self.num_cols];
+                    }
+                }
+                let objective = -self.cost[self.num_cols];
+                LpOutcome::Optimal(LpSolution { values, objective })
+            }
+        }
+    }
+
+    /// Run simplex pivots over columns `< allowed_cols` until optimal.
+    fn optimize(&mut self, allowed_cols: usize, phase1: bool, pivots_left: &mut usize) -> Phase {
+        let rhs_col = self.num_cols;
+        let mut degenerate_run = 0usize;
+        let mut since_deadline_check = 0usize;
+        loop {
+            if *pivots_left == 0 {
+                return Phase::PivotLimit;
+            }
+            since_deadline_check += 1;
+            if since_deadline_check >= 8 {
+                since_deadline_check = 0;
+                if let Some(d) = self.deadline {
+                    if std::time::Instant::now() >= d {
+                        return Phase::PivotLimit;
+                    }
+                }
+            }
+            let bland = degenerate_run >= DEGENERATE_LIMIT;
+            // Entering column.
+            let mut enter = None;
+            let mut best = -EPS;
+            for j in 0..allowed_cols {
+                if !phase1 && j >= self.first_artificial {
+                    break;
+                }
+                let r = self.cost[j];
+                if r < -EPS {
+                    if bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if r < best {
+                        best = r;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(enter) = enter else { return Phase::Converged };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][enter];
+                if a > EPS {
+                    let ratio = self.rows[i][rhs_col] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else { return Phase::Unbounded };
+            if best_ratio < EPS {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+            self.pivot(leave, enter, phase1);
+            *pivots_left -= 1;
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize, update_cost2: bool) {
+        let rhs_col = self.num_cols;
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > EPS);
+        let inv = 1.0 / pivot_val;
+        for v in &mut self.rows[row] {
+            *v *= inv;
+        }
+        // Re-normalize the pivot element exactly.
+        self.rows[row][col] = 1.0;
+        let pivot_row = std::mem::take(&mut self.rows[row]);
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() > EPS {
+                for (v, &p) in r.iter_mut().zip(&pivot_row) {
+                    *v -= factor * p;
+                }
+                r[col] = 0.0;
+            }
+        }
+        let factor = self.cost[col];
+        if factor.abs() > EPS {
+            for (v, &p) in self.cost.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+            self.cost[col] = 0.0;
+        }
+        if update_cost2 {
+            let factor = self.cost2[col];
+            if factor.abs() > EPS {
+                for (v, &p) in self.cost2.iter_mut().zip(&pivot_row) {
+                    *v -= factor * p;
+                }
+                self.cost2[col] = 0.0;
+            }
+        }
+        self.rows[row] = pivot_row;
+        self.basis[row] = col;
+        let _ = rhs_col;
+    }
+
+    /// After phase 1, pivot basic artificials (at value zero) out of the
+    /// basis where possible; rows where no pivot exists are redundant and
+    /// zeroed out.
+    fn expel_artificials(&mut self) {
+        for i in 0..self.rows.len() {
+            if self.basis[i] < self.first_artificial {
+                continue;
+            }
+            let mut pivot_col = None;
+            for j in 0..self.first_artificial {
+                if self.rows[i][j].abs() > 1e-7 {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            match pivot_col {
+                Some(j) => self.pivot(i, j, true),
+                None => {
+                    // Redundant row: clear it so it can never bind.
+                    for v in &mut self.rows[i] {
+                        *v = 0.0;
+                    }
+                    // Keep the artificial basic at zero; harmless.
+                }
+            }
+        }
+    }
+}
+
+enum Phase {
+    Converged,
+    Unbounded,
+    PivotLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(num_vars: usize, obj: &[f64], rows: Vec<Row>, upper: Option<Vec<f64>>) -> Lp {
+        Lp {
+            num_vars,
+            objective: obj.to_vec(),
+            rows,
+            upper: upper.unwrap_or_else(|| vec![f64::INFINITY; num_vars]),
+        }
+    }
+
+    fn optimal(lp: &Lp) -> LpSolution {
+        match solve(lp, 100_000) {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), obj 36.
+        let p = lp(
+            2,
+            &[-3.0, -5.0],
+            vec![
+                Row { coeffs: vec![(0, 1.0)], sense: Sense::Le, rhs: 4.0 },
+                Row { coeffs: vec![(1, 2.0)], sense: Sense::Le, rhs: 12.0 },
+                Row { coeffs: vec![(0, 3.0), (1, 2.0)], sense: Sense::Le, rhs: 18.0 },
+            ],
+            None,
+        );
+        let s = optimal(&p);
+        assert!((s.objective + 36.0).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y st x + y = 10, x >= 3 => obj 10.
+        let p = lp(
+            2,
+            &[1.0, 1.0],
+            vec![
+                Row { coeffs: vec![(0, 1.0), (1, 1.0)], sense: Sense::Eq, rhs: 10.0 },
+                Row { coeffs: vec![(0, 1.0)], sense: Sense::Ge, rhs: 3.0 },
+            ],
+            None,
+        );
+        let s = optimal(&p);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+        assert!(s.values[0] >= 3.0 - 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = lp(
+            1,
+            &[1.0],
+            vec![
+                Row { coeffs: vec![(0, 1.0)], sense: Sense::Ge, rhs: 5.0 },
+                Row { coeffs: vec![(0, 1.0)], sense: Sense::Le, rhs: 2.0 },
+            ],
+            None,
+        );
+        assert_eq!(solve(&p, 100_000), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x >= 0 unbounded below.
+        let p = lp(1, &[-1.0], vec![], None);
+        assert_eq!(solve(&p, 100_000), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // min -x - y with x <= 2.5, y <= 1.5 -> (2.5, 1.5).
+        let p = lp(2, &[-1.0, -1.0], vec![], Some(vec![2.5, 1.5]));
+        let s = optimal(&p);
+        assert!((s.objective + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y <= -2  (i.e. y >= x + 2), min y => x = 0, y = 2.
+        let p = lp(
+            2,
+            &[0.0, 1.0],
+            vec![Row { coeffs: vec![(0, 1.0), (1, -1.0)], sense: Sense::Le, rhs: -2.0 }],
+            None,
+        );
+        let s = optimal(&p);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate LP (Beale-like): must not cycle.
+        let p = lp(
+            4,
+            &[-0.75, 150.0, -0.02, 6.0],
+            vec![
+                Row {
+                    coeffs: vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+                    sense: Sense::Le,
+                    rhs: 0.0,
+                },
+                Row {
+                    coeffs: vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+                    sense: Sense::Le,
+                    rhs: 0.0,
+                },
+                Row { coeffs: vec![(2, 1.0)], sense: Sense::Le, rhs: 1.0 },
+            ],
+            None,
+        );
+        let s = optimal(&p);
+        assert!((s.objective + 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pivot_limit_reported() {
+        let p = lp(
+            2,
+            &[-3.0, -5.0],
+            vec![Row { coeffs: vec![(0, 3.0), (1, 2.0)], sense: Sense::Le, rhs: 18.0 }],
+            Some(vec![4.0, 6.0]),
+        );
+        assert_eq!(solve(&p, 0), LpOutcome::PivotLimit);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // Duplicate equality rows must not cause infeasibility.
+        let p = lp(
+            2,
+            &[1.0, 2.0],
+            vec![
+                Row { coeffs: vec![(0, 1.0), (1, 1.0)], sense: Sense::Eq, rhs: 4.0 },
+                Row { coeffs: vec![(0, 1.0), (1, 1.0)], sense: Sense::Eq, rhs: 4.0 },
+            ],
+            None,
+        );
+        let s = optimal(&p);
+        assert!((s.objective - 4.0).abs() < 1e-6);
+        assert!((s.values[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let p = lp(0, &[], vec![], Some(vec![]));
+        let s = optimal(&p);
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn fractional_lp_relaxation_of_knapsack() {
+        // max 10a + 6b st 5a + 4b <= 7, a,b in [0,1]: a=1, b=0.5, obj 13.
+        let p = lp(
+            2,
+            &[-10.0, -6.0],
+            vec![Row { coeffs: vec![(0, 5.0), (1, 4.0)], sense: Sense::Le, rhs: 7.0 }],
+            Some(vec![1.0, 1.0]),
+        );
+        let s = optimal(&p);
+        assert!((s.objective + 13.0).abs() < 1e-6);
+        assert!((s.values[0] - 1.0).abs() < 1e-6);
+        assert!((s.values[1] - 0.5).abs() < 1e-6);
+    }
+}

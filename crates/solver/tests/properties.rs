@@ -1,0 +1,128 @@
+//! Property-based tests: the branch-and-bound solver against brute-force
+//! enumeration on random small 0/1 programs, and LP invariants.
+
+use muve_solver::model::{Direction, Expr, Model};
+use muve_solver::{solve_mip, MipConfig, MipStatus};
+use proptest::prelude::*;
+
+/// A random 0/1 knapsack-with-side-constraints instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    utilities: Vec<f64>,
+    weights: Vec<f64>,
+    capacity: f64,
+    /// Optional pairwise conflicts x_i + x_j <= 1.
+    conflicts: Vec<(usize, usize)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..9)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(1u32..50, n),
+                prop::collection::vec(1u32..20, n),
+                1u32..60,
+                prop::collection::vec((0usize..n, 0usize..n), 0..4),
+            )
+        })
+        .prop_map(|(us, ws, cap, conflicts)| Instance {
+            utilities: us.into_iter().map(f64::from).collect(),
+            weights: ws.into_iter().map(f64::from).collect(),
+            capacity: f64::from(cap),
+            conflicts: conflicts.into_iter().filter(|(a, b)| a != b).collect(),
+        })
+}
+
+fn build(inst: &Instance) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..inst.utilities.len()).map(|i| m.binary(format!("x{i}"))).collect();
+    let mut w = Expr::zero();
+    let mut u = Expr::zero();
+    for (i, &v) in vars.iter().enumerate() {
+        w += Expr::from(v) * inst.weights[i];
+        u += Expr::from(v) * inst.utilities[i];
+    }
+    m.le(w, inst.capacity);
+    for &(a, b) in &inst.conflicts {
+        m.le(Expr::from(vars[a]) + Expr::from(vars[b]), 1.0);
+    }
+    m.set_objective(u, Direction::Maximize);
+    m
+}
+
+fn brute_force(inst: &Instance) -> f64 {
+    let n = inst.utilities.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let mut w = 0.0;
+        let mut u = 0.0;
+        let mut ok = true;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                w += inst.weights[i];
+                u += inst.utilities[i];
+            }
+        }
+        if w > inst.capacity {
+            continue;
+        }
+        for &(a, b) in &inst.conflicts {
+            if mask & (1 << a) != 0 && mask & (1 << b) != 0 {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            best = best.max(u);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mip_matches_brute_force(inst in instance()) {
+        let m = build(&inst);
+        let r = solve_mip(&m, &MipConfig::default());
+        prop_assert_eq!(r.status, MipStatus::Optimal);
+        let expected = brute_force(&inst);
+        let got = r.objective.unwrap();
+        prop_assert!((got - expected).abs() < 1e-6, "got {} expected {}", got, expected);
+        // Returned values must be feasible and integral.
+        let v = r.values.unwrap();
+        let w: f64 = v.iter().zip(&inst.weights).map(|(x, w)| x * w).sum();
+        prop_assert!(w <= inst.capacity + 1e-6);
+        for x in &v {
+            prop_assert!((x - x.round()).abs() < 1e-6);
+        }
+        for &(a, b) in &inst.conflicts {
+            prop_assert!(v[a] + v[b] <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn node_budget_never_beats_optimum(inst in instance(), budget in 0usize..8) {
+        let m = build(&inst);
+        let full = solve_mip(&m, &MipConfig::default());
+        let limited = solve_mip(&m, &MipConfig { node_budget: budget, ..MipConfig::default() });
+        if let (Some(l), Some(f)) = (limited.objective, full.objective) {
+            prop_assert!(l <= f + 1e-6);
+        }
+        // Bound must be on the correct side of the optimum.
+        if let Some(f) = full.objective {
+            prop_assert!(limited.bound >= f - 1e-6, "bound {} optimum {}", limited.bound, f);
+        }
+    }
+
+    #[test]
+    fn incumbent_feasible_even_on_timeout(inst in instance()) {
+        let m = build(&inst);
+        let r = solve_mip(&m, &MipConfig { node_budget: 2, ..MipConfig::default() });
+        if let Some(v) = r.values {
+            let w: f64 = v.iter().zip(&inst.weights).map(|(x, w)| x * w).sum();
+            prop_assert!(w <= inst.capacity + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Progressive presentation strategies on a large data set.
+//!
+//! ```text
+//! cargo run --release --example progressive
+//! ```
+//!
+//! Runs the paper's presentation methods (§8.2, Figure 5) — default,
+//! incremental plotting, fixed-rate approximation, dynamic approximation —
+//! on a large flight-delay table and prints each method's visualization
+//! timeline: when the first (possibly approximate) answer appears and when
+//! the exact multiplot is complete.
+
+use muve::core::{present, Mode, Planner, Presentation, ScreenConfig, UserCostModel};
+use muve::core::Candidate;
+use muve::data::{Dataset, QueryGenerator};
+use muve::nlq::CandidateGenerator;
+use std::time::Duration;
+
+fn main() {
+    let rows = 300_000;
+    println!("generating {rows} flight rows...");
+    let table = Dataset::Flights.generate(rows, 9);
+    let mut gen = QueryGenerator::new(&table, 2);
+    let base = gen.query(1);
+    println!("query: {}\n", base.to_sql());
+    let candidates: Vec<Candidate> = CandidateGenerator::new(&table)
+        .candidates(&base, 20, 20)
+        .into_iter()
+        .map(|c| Candidate::new(c.query, c.probability))
+        .collect();
+    let correct = 0usize; // the base interpretation
+    let screen = ScreenConfig::iphone(1);
+    let model = UserCostModel::default();
+
+    let strategies: Vec<(&str, Mode)> = vec![
+        ("default (all-at-once)", Mode::Full),
+        ("incremental plotting", Mode::IncrementalPlot),
+        ("approximate 1%", Mode::Approximate { fraction: 0.01 }),
+        ("approximate 5%", Mode::Approximate { fraction: 0.05 }),
+        (
+            "approximate dynamic (250 ms target)",
+            Mode::ApproximateDynamic { target: Duration::from_millis(250) },
+        ),
+    ];
+
+    for (name, mode) in strategies {
+        let pres = Presentation { planner: Planner::Greedy, mode, seed: 11 };
+        let trace = present(&table, &candidates, &screen, &model, &pres);
+        println!("== {name} ==");
+        for e in &trace.events {
+            println!(
+                "  {:>8.1} ms  {:<28} visible bars: {:>2}{}",
+                e.at.as_secs_f64() * 1000.0,
+                e.label,
+                e.visible.len(),
+                if e.approx { "  (approximate)" } else { "" }
+            );
+        }
+        match trace.f_time(correct) {
+            Some(f) => println!(
+                "  correct result first visible after {:.1} ms; final after {:.1} ms\n",
+                f.as_secs_f64() * 1000.0,
+                trace.t_time().as_secs_f64() * 1000.0
+            ),
+            None => println!("  correct result not shown\n"),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Time-series multiplots (the paper's §11 future-work extension).
+//!
+//! ```text
+//! cargo run --release --example timeseries
+//! ```
+//!
+//! Candidate queries that group by a numeric column (here: month) yield
+//! one *line* per interpretation instead of one bar; lines are grouped
+//! into template plots and the most likely interpretations are
+//! highlighted, exactly like bars in the scalar case. Writes `series.svg`.
+
+use muve::core::{points_from_result, render_series_svg, series_plots, Candidate};
+use muve::data::Dataset;
+use muve::dbms::execute;
+use muve::nlq::CandidateGenerator;
+
+fn main() {
+    let table = Dataset::Flights.generate(100_000, 21);
+
+    // "average departure delay by month for UA" — with phonetic ambiguity
+    // over the carrier and the delay column.
+    let base = muve::dbms::parse(
+        "select avg(dep_delay) from flights where carrier = 'UA' group by month",
+    )
+    .expect("parses");
+    let mut candidates: Vec<Candidate> = CandidateGenerator::new(&table)
+        .candidates(&base, 20, 6)
+        .into_iter()
+        .map(|c| Candidate::new(c.query, c.probability))
+        .collect();
+    // Candidate generation preserves the GROUP BY of the base query.
+    for c in &candidates {
+        assert_eq!(c.query.group_by, vec!["month".to_string()]);
+    }
+    candidates.truncate(6);
+
+    println!("candidate series:");
+    for c in &candidates {
+        println!("  {:>5.1}%  {}", c.probability * 100.0, c.query.to_sql());
+    }
+
+    let results: Vec<Option<Vec<(f64, f64)>>> = candidates
+        .iter()
+        .map(|c| execute(&table, &c.query).ok().and_then(|rs| points_from_result(&rs)))
+        .collect();
+    let plots = series_plots(&candidates, &results, 2);
+    println!("\n{} series plots:", plots.len());
+    for p in &plots {
+        println!("  {} [{} lines]", p.title, p.series.len());
+        for s in &p.series {
+            let ys: Vec<String> = s.points.iter().map(|(_, y)| format!("{y:.1}")).collect();
+            println!(
+                "    {}{}: {}",
+                s.label,
+                if s.highlighted { " (red)" } else { "" },
+                ys.join(" ")
+            );
+        }
+    }
+
+    let svg = render_series_svg(&plots, 900);
+    std::fs::write("series.svg", svg).expect("write svg");
+    println!("\nwrote series.svg");
+}

@@ -1,0 +1,289 @@
+//! `muve-cli` — interactive MUVE shell.
+//!
+//! ```text
+//! cargo run --release --bin muve-cli
+//! ```
+//!
+//! Type a natural-language question (or a SQL `select ...`) and get the
+//! planned multiplot with executed results, exactly like the paper's demo
+//! interface (minus the microphone). Commands:
+//!
+//! ```text
+//! \dataset <ads|dob|nyc311|flights> [rows]   load a synthetic dataset
+//! \csv <path> [name]                         load a CSV file
+//! \screen <iphone|tablet|desktop> [rows]     set the output geometry
+//! \planner <greedy|ilp>                      choose the planner
+//! \k <n>                                     number of candidates
+//! \noise <rate>                              simulate ASR noise on input
+//! \svg <path>                                save the last multiplot
+//! \schema                                    show the loaded schema
+//! \help, \quit
+//! ```
+
+use muve::core::{
+    headline, plan, render_svg, render_text, Candidate, IlpConfig, Planner, ScreenConfig,
+    UserCostModel,
+};
+use muve::data::Dataset;
+use muve::dbms::{
+    execute_merged, plan_merged, table_from_csv_path, ColumnType, Query, Table,
+};
+use muve::nlq::{translate, CandidateGenerator, SpeechChannel};
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+struct Session {
+    table: Table,
+    generator: CandidateGenerator,
+    screen: ScreenConfig,
+    planner: Planner,
+    model: UserCostModel,
+    k: usize,
+    noise: f64,
+    noise_seed: u64,
+    last_svg: Option<String>,
+}
+
+impl Session {
+    fn new(table: Table) -> Session {
+        let generator = CandidateGenerator::new(&table);
+        Session {
+            table,
+            generator,
+            screen: ScreenConfig::desktop(2),
+            planner: Planner::Greedy,
+            model: UserCostModel::default(),
+            k: 10,
+            noise: 0.0,
+            noise_seed: 0,
+            last_svg: None,
+        }
+    }
+
+    fn set_table(&mut self, table: Table) {
+        println!(
+            "loaded table {:?}: {} rows, {} columns",
+            table.name(),
+            table.num_rows(),
+            table.schema().len()
+        );
+        self.generator = CandidateGenerator::new(&table);
+        self.table = table;
+    }
+
+    fn vocabulary(&self) -> Vec<String> {
+        let mut v: Vec<String> = Vec::new();
+        for (i, def) in self.table.schema().columns().iter().enumerate() {
+            v.extend(def.name.split('_').map(str::to_owned));
+            if def.ty == ColumnType::Str {
+                if let Some(dict) = self.table.column(i).dictionary() {
+                    v.extend(dict.entries().iter().cloned());
+                }
+            }
+        }
+        v
+    }
+
+    fn ask(&mut self, input: &str) {
+        let mut text = input.to_owned();
+        if self.noise > 0.0 {
+            self.noise_seed += 1;
+            let mut ch = SpeechChannel::new(self.vocabulary(), self.noise, self.noise_seed);
+            text = ch.transmit(input);
+            if text != input {
+                println!("(ASR heard: {text})");
+            }
+        }
+        let base: Query = if text.trim_start().to_ascii_lowercase().starts_with("select") {
+            match muve::dbms::parse(&text) {
+                Ok(q) => q,
+                Err(e) => {
+                    println!("{e}");
+                    return;
+                }
+            }
+        } else {
+            match translate(&text, &self.table) {
+                Ok(q) => q,
+                Err(e) => {
+                    println!("{e}");
+                    return;
+                }
+            }
+        };
+        println!("top interpretation: {}", base.to_sql());
+        let candidates: Vec<Candidate> = self
+            .generator
+            .candidates(&base, 20, self.k)
+            .into_iter()
+            .map(|c| Candidate::new(c.query, c.probability))
+            .collect();
+        if candidates.len() > 1 {
+            println!("{} candidate interpretations", candidates.len());
+            // The multiplot headline: elements shared by all candidates
+            // (paper Figure 2b).
+            println!("headline: {}", headline(&candidates));
+        }
+        let result = plan(&self.planner, &candidates, &self.screen, &self.model);
+        println!(
+            "planned in {:.1} ms (expected disambiguation {:.1} s{})",
+            result.planning_time.as_secs_f64() * 1000.0,
+            result.expected_cost / 1000.0,
+            if result.proven_optimal { ", optimal" } else { "" }
+        );
+        let multiplot = result.multiplot;
+        let shown = multiplot.candidates_shown();
+        let queries: Vec<Query> = shown.iter().map(|&i| candidates[i].query.clone()).collect();
+        let mut results: Vec<Option<f64>> = vec![None; candidates.len()];
+        for g in plan_merged(&queries) {
+            match execute_merged(&self.table, &g) {
+                Ok(r) => {
+                    for (local, v) in r.results {
+                        results[shown[local]] = v;
+                    }
+                }
+                Err(e) => println!("execution error: {e}"),
+            }
+        }
+        println!("{}", render_text(&multiplot, &results));
+        self.last_svg = Some(render_svg(&multiplot, &results, self.screen.width_px));
+    }
+
+    fn command(&mut self, line: &str) -> bool {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("\\quit") | Some("\\q") | Some("\\exit") => return false,
+            Some("\\help") => print_help(),
+            Some("\\schema") => {
+                println!("table {:?} ({} rows):", self.table.name(), self.table.num_rows());
+                for c in self.table.schema().columns() {
+                    println!("  {:<24} {:?}", c.name, c.ty);
+                }
+            }
+            Some("\\dataset") => {
+                let name = parts.get(1).copied().unwrap_or("nyc311");
+                let rows: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+                let ds = match name {
+                    "ads" => Dataset::Ads,
+                    "dob" => Dataset::Dob,
+                    "nyc311" | "311" => Dataset::Nyc311,
+                    "flights" => Dataset::Flights,
+                    other => {
+                        println!("unknown dataset {other:?} (ads|dob|nyc311|flights)");
+                        return true;
+                    }
+                };
+                self.set_table(ds.generate(rows, 42));
+            }
+            Some("\\csv") => match parts.get(1) {
+                Some(path) => {
+                    let name = parts.get(2).copied().unwrap_or("data").to_owned();
+                    match table_from_csv_path(&name, path) {
+                        Ok(t) => self.set_table(t),
+                        Err(e) => println!("{e}"),
+                    }
+                }
+                None => println!("usage: \\csv <path> [name]"),
+            },
+            Some("\\screen") => {
+                let rows: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+                self.screen = match parts.get(1).copied() {
+                    Some("iphone") => ScreenConfig::iphone(rows),
+                    Some("tablet") => ScreenConfig::tablet(rows),
+                    Some("desktop") | None => ScreenConfig::desktop(rows),
+                    Some(px) => match px.parse::<u32>() {
+                        Ok(px) => ScreenConfig::with_width(px, rows),
+                        Err(_) => {
+                            println!("usage: \\screen <iphone|tablet|desktop|PIXELS> [rows]");
+                            return true;
+                        }
+                    },
+                };
+                println!(
+                    "screen: {} px, {} rows",
+                    self.screen.width_px, self.screen.rows
+                );
+            }
+            Some("\\planner") => {
+                self.planner = match parts.get(1).copied() {
+                    Some("greedy") | None => Planner::Greedy,
+                    Some("ilp") => Planner::Ilp(IlpConfig {
+                        time_budget: Some(Duration::from_secs(1)),
+                        warm_start: true,
+                        ..IlpConfig::default()
+                    }),
+                    Some(other) => {
+                        println!("unknown planner {other:?} (greedy|ilp)");
+                        return true;
+                    }
+                };
+                println!("planner set");
+            }
+            Some("\\k") => match parts.get(1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(k) if k >= 1 => {
+                    self.k = k;
+                    println!("candidates: {k}");
+                }
+                _ => println!("usage: \\k <n>"),
+            },
+            Some("\\noise") => match parts.get(1).and_then(|s| s.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => {
+                    self.noise = r;
+                    println!("ASR noise rate: {r}");
+                }
+                _ => println!("usage: \\noise <0..1>"),
+            },
+            Some("\\svg") => match (&self.last_svg, parts.get(1)) {
+                (Some(svg), Some(path)) => match std::fs::write(path, svg) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => println!("{e}"),
+                },
+                (None, _) => println!("no multiplot yet — ask a question first"),
+                (_, None) => println!("usage: \\svg <path>"),
+            },
+            _ => println!("unknown command; try \\help"),
+        }
+        true
+    }
+}
+
+fn print_help() {
+    println!(
+        "ask a natural-language question or type SQL (select ...).\n\
+         commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
+         \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\svg <path>, \\schema, \\quit"
+    );
+}
+
+fn main() {
+    println!("MUVE shell — robust voice querying with multiplots. \\help for commands.");
+    let mut session = Session::new(Dataset::Nyc311.generate(20_000, 42));
+    println!(
+        "loaded default dataset {:?} ({} rows). Try: how many noise complaints in brooklyn",
+        session.table.name(),
+        session.table.num_rows()
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("muve> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('\\') {
+            if !session.command(line) {
+                break;
+            }
+        } else {
+            session.ask(line);
+        }
+    }
+    println!("bye");
+}
