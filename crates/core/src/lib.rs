@@ -52,7 +52,10 @@ pub use cost_model::{MultiplotCounts, UserCostModel};
 pub use greedy::greedy_plan;
 pub use headline::headline;
 pub use ilp::{ilp_plan, IlpConfig, IlpOutcome, ProcessingConfig, ProcessingGroup};
-pub use planner::{plan, plan_incremental, IncrementalSchedule, PlanResult, Planner};
+pub use planner::{
+    plan, plan_incremental, plan_incremental_observed, plan_with_deadline, IncrementalSchedule,
+    IncumbentSlot, PlanResult, Planner,
+};
 pub use plot::{Multiplot, Plot, PlotEntry, ScreenConfig};
 pub use progressive::{present, Mode, Presentation, Trace, TraceEvent};
 pub use query::{templates_of, Candidate, TemplateInstance};

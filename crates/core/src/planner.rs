@@ -7,6 +7,7 @@ use crate::ilp::{ilp_plan, IlpConfig};
 use crate::plot::{Multiplot, ScreenConfig};
 use crate::query::Candidate;
 use muve_solver::MipStatus;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Which planning algorithm to run.
@@ -55,6 +56,72 @@ pub struct PlanResult {
     pub proven_optimal: bool,
 }
 
+/// A thread-safe slot holding the best plan found so far.
+///
+/// [`plan_incremental_observed`] writes every improved incumbent into the
+/// slot *before* continuing to optimize, so a caller that wraps planning in
+/// [`std::panic::catch_unwind`] (or races it against a deadline on another
+/// thread) can recover the latest incumbent even when the planner never
+/// returns normally. Lock poisoning is deliberately ignored: the whole
+/// point of the slot is reading state left behind by a panicked writer.
+#[derive(Debug, Default)]
+pub struct IncumbentSlot {
+    inner: Mutex<Option<PlanResult>>,
+}
+
+impl IncumbentSlot {
+    /// An empty slot.
+    pub fn new() -> IncumbentSlot {
+        IncumbentSlot::default()
+    }
+
+    /// Record an improved incumbent.
+    pub fn record(&self, result: &PlanResult) {
+        *self.lock() = Some(result.clone());
+    }
+
+    /// The best incumbent recorded so far, if any.
+    pub fn get(&self) -> Option<PlanResult> {
+        self.lock().clone()
+    }
+
+    /// Take the incumbent out of the slot, leaving it empty.
+    pub fn take(&self) -> Option<PlanResult> {
+        self.lock().take()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<PlanResult>> {
+        // Poison-tolerant: a panic mid-`record` can only have happened
+        // outside the guarded region (the critical section is a clone
+        // assignment), so the stored value is always coherent.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Run one planner with its time budget clamped to `deadline`.
+///
+/// Greedy ignores the deadline (it is not interruptible, but runs in
+/// microseconds at interactive candidate counts). For the ILP planner the
+/// effective budget is the smaller of the configured budget and `deadline`,
+/// so a pipeline can hand the planner exactly the interactivity budget it
+/// has left.
+pub fn plan_with_deadline(
+    planner: &Planner,
+    candidates: &[Candidate],
+    screen: &ScreenConfig,
+    model: &UserCostModel,
+    deadline: Duration,
+) -> PlanResult {
+    let clamped = match planner {
+        Planner::Greedy => Planner::Greedy,
+        Planner::Ilp(cfg) => {
+            let budget = cfg.time_budget.map_or(deadline, |b| b.min(deadline));
+            Planner::Ilp(IlpConfig { time_budget: Some(budget), ..cfg.clone() })
+        }
+    };
+    plan(&clamped, candidates, screen, model)
+}
+
 /// Run one planner.
 pub fn plan(
     planner: &Planner,
@@ -97,22 +164,68 @@ pub fn plan_incremental(
     model: &UserCostModel,
     base: &IlpConfig,
     schedule: &IncrementalSchedule,
+    on_step: impl FnMut(&PlanResult),
+) -> PlanResult {
+    plan_incremental_observed(
+        candidates,
+        screen,
+        model,
+        base,
+        schedule,
+        &IncumbentSlot::new(),
+        on_step,
+    )
+}
+
+/// [`plan_incremental`] with an externally observable incumbent.
+///
+/// Identical to [`plan_incremental`] except that every improved result is
+/// also written to `incumbent` before optimization continues, so a caller
+/// supervising the planner (panic isolation, deadline race) can recover the
+/// best multiplot found so far even if this function never returns.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_incremental_observed(
+    candidates: &[Candidate],
+    screen: &ScreenConfig,
+    model: &UserCostModel,
+    base: &IlpConfig,
+    schedule: &IncrementalSchedule,
+    incumbent: &IncumbentSlot,
     mut on_step: impl FnMut(&PlanResult),
 ) -> PlanResult {
     let start = Instant::now();
+    // An empty candidate list has a trivially optimal empty plan; reporting
+    // it as a timeout would make callers degrade for no reason.
+    if candidates.is_empty() {
+        let multiplot = Multiplot::empty(screen.rows);
+        return PlanResult {
+            expected_cost: model.expected_cost(&multiplot, candidates),
+            multiplot,
+            planning_time: start.elapsed(),
+            timed_out: false,
+            proven_optimal: true,
+        };
+    }
     let mut best: Option<PlanResult> = None;
     let mut seed: Option<Multiplot> = None;
     let mut step = 0u32;
     loop {
-        let budget = Duration::from_secs_f64(
-            schedule.initial.as_secs_f64() * schedule.growth.powi(step as i32),
-        );
         let remaining = schedule.total.saturating_sub(start.elapsed());
         if remaining.is_zero() {
             break;
         }
+        // k · bⁱ overflows f64 (and Duration::from_secs_f64 panics) once
+        // restarts are cheap enough to reach step ~1000 — a stalled solver
+        // with a near-zero node budget gets there. Saturate at `remaining`,
+        // which is the effective cap anyway.
+        let raw = schedule.initial.as_secs_f64() * schedule.growth.powi(step as i32);
+        let budget = if raw.is_finite() {
+            Duration::from_secs_f64(raw.min(remaining.as_secs_f64()))
+        } else {
+            remaining
+        };
         let cfg = IlpConfig {
-            time_budget: Some(budget.min(remaining)),
+            time_budget: Some(budget),
             seed: seed.clone(),
             ..base.clone()
         };
@@ -133,21 +246,28 @@ pub fn plan_incremental(
                 .is_none_or(|b| result.expected_cost < b.expected_cost - 1e-9);
         if improved {
             seed = Some(out.multiplot);
+            incumbent.record(&result);
             on_step(&result);
             best = Some(result.clone());
         }
         if result.proven_optimal {
+            incumbent.record(&result);
             best = Some(result);
             break;
         }
         step += 1;
     }
-    best.unwrap_or_else(|| PlanResult {
-        multiplot: Multiplot::empty(screen.rows),
-        expected_cost: model.expected_cost(&Multiplot::empty(screen.rows), candidates),
-        planning_time: start.elapsed(),
-        timed_out: true,
-        proven_optimal: false,
+    best.unwrap_or_else(|| {
+        // No incumbent was ever found. Only call it a timeout when the
+        // schedule's budget was actually exhausted.
+        let multiplot = Multiplot::empty(screen.rows);
+        PlanResult {
+            expected_cost: model.expected_cost(&multiplot, candidates),
+            multiplot,
+            planning_time: start.elapsed(),
+            timed_out: start.elapsed() >= schedule.total,
+            proven_optimal: false,
+        }
     })
 }
 
@@ -213,5 +333,86 @@ mod tests {
         // Cost never above greedy (warm start guarantees it).
         let g = plan(&Planner::Greedy, &candidates, &screen, &model);
         assert!(r.expected_cost <= g.expected_cost + 1e-6);
+    }
+
+    #[test]
+    fn incremental_empty_candidates_not_a_timeout() {
+        let schedule = IncrementalSchedule::default();
+        let r = plan_incremental(
+            &[],
+            &ScreenConfig::iphone(1),
+            &UserCostModel::default(),
+            &IlpConfig::default(),
+            &schedule,
+            |_| {},
+        );
+        assert!(!r.timed_out);
+        assert!(r.proven_optimal);
+        assert_eq!(r.multiplot.num_plots(), 0);
+        // Trivial plan must come back immediately, not after the budget.
+        assert!(r.planning_time < schedule.total);
+    }
+
+    #[test]
+    fn explosive_schedule_never_overflows() {
+        // A near-zero initial budget with an extreme growth base reaches
+        // non-finite k · bⁱ within a few steps; the sequence budget must
+        // saturate at the remaining time instead of panicking.
+        let schedule = IncrementalSchedule {
+            initial: Duration::from_nanos(1),
+            growth: 1e9,
+            total: Duration::from_millis(30),
+        };
+        let r = plan_incremental(
+            &cands(&[0.6, 0.4]),
+            &ScreenConfig::iphone(1),
+            &UserCostModel::default(),
+            &IlpConfig { node_budget: Some(1), warm_start: false, ..IlpConfig::default() },
+            &schedule,
+            |_| {},
+        );
+        assert!(r.planning_time >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn observed_incumbent_matches_final_result() {
+        let candidates = cands(&[0.4, 0.3, 0.2, 0.1]);
+        let screen = ScreenConfig::iphone(1);
+        let model = UserCostModel::default();
+        let slot = IncumbentSlot::new();
+        let schedule = IncrementalSchedule {
+            initial: Duration::from_millis(20),
+            growth: 2.0,
+            total: Duration::from_millis(400),
+        };
+        let base = IlpConfig { warm_start: true, ..IlpConfig::default() };
+        let r = plan_incremental_observed(
+            &candidates, &screen, &model, &base, &schedule, &slot, |_| {},
+        );
+        let held = slot.get().expect("incumbent recorded");
+        assert_eq!(held.multiplot, r.multiplot);
+        assert!(slot.take().is_some());
+        assert!(slot.get().is_none());
+    }
+
+    #[test]
+    fn deadline_clamps_ilp_budget() {
+        let candidates = cands(&[0.3, 0.25, 0.2, 0.15, 0.1]);
+        let cfg = IlpConfig {
+            time_budget: Some(Duration::from_secs(60)),
+            warm_start: true,
+            ..IlpConfig::default()
+        };
+        let start = Instant::now();
+        let r = plan_with_deadline(
+            &Planner::Ilp(cfg),
+            &candidates,
+            &ScreenConfig::iphone(1),
+            &UserCostModel::default(),
+            Duration::from_millis(150),
+        );
+        // Generous margin: the solver checks its clock between nodes.
+        assert!(start.elapsed() < Duration::from_secs(10));
+        assert!(r.multiplot.num_plots() > 0);
     }
 }

@@ -21,7 +21,7 @@ use crate::cost_model::UserCostModel;
 use crate::planner::{plan, plan_incremental, IncrementalSchedule, Planner};
 use crate::plot::{Multiplot, ScreenConfig};
 use crate::query::Candidate;
-use muve_dbms::{estimate, execute_merged, plan_merged, CostParams, Query, Table};
+use muve_dbms::{estimate, execute_merged, plan_merged, CostParams, ExecError, Query, Table};
 use std::time::{Duration, Instant};
 
 /// How results are presented once a multiplot is planned.
@@ -87,6 +87,10 @@ pub struct Trace {
     pub planning: Duration,
     /// Total time until the final visualization.
     pub total: Duration,
+    /// Execution errors encountered along the way. A failed merged group
+    /// leaves its candidates' results `None`; the error lands here instead
+    /// of being silently dropped, so callers can degrade deliberately.
+    pub errors: Vec<ExecError>,
 }
 
 impl Trace {
@@ -116,52 +120,54 @@ impl Trace {
 }
 
 /// Execute the shown queries of a multiplot (merged), writing scalar
-/// results into `results`. Returns rows scanned.
+/// results into `results`. A group that fails to execute leaves its
+/// members' results untouched and contributes its error to the returned
+/// list — the caller decides whether to degrade, never this function.
 fn execute_shown(
     table: &Table,
     candidates: &[Candidate],
     shown: &[usize],
     results: &mut [Option<f64>],
     sample: Option<(f64, u64)>,
-) -> usize {
+) -> Vec<ExecError> {
     let queries: Vec<Query> = shown.iter().map(|&i| candidates[i].query.clone()).collect();
     let groups = plan_merged(&queries);
-    let mut scanned = 0usize;
+    let mut errors = Vec::new();
     for g in &groups {
         match sample {
-            None => {
-                if let Ok(r) = execute_merged(table, g) {
-                    scanned += r.stats.rows_scanned;
+            None => match execute_merged(table, g) {
+                Ok(r) => {
                     for (local_idx, v) in r.results {
                         results[shown[local_idx]] = v;
                     }
                 }
-            }
+                Err(e) => errors.push(e),
+            },
             Some((fraction, seed)) => {
                 // Approximate: execute the merged query over a sample and
                 // scale count/sum results.
-                if let Ok((rs, _realized)) =
-                    muve_dbms::execute_approximate(table, &g.merged, fraction, seed)
-                {
-                    scanned += rs.stats.rows_scanned;
-                    let n_group = g.merged.group_by.len();
-                    for m in &g.members {
-                        let row = match (&m.key, n_group) {
-                            (Some(key), 1) => rs.rows.iter().find(|r| &r[0] == key),
-                            _ => rs.rows.first(),
-                        };
-                        let v = row.and_then(|r| r[n_group + m.agg].as_f64());
-                        let v = match (v, g.merged.aggregates[m.agg].func) {
-                            (None, muve_dbms::AggFunc::Count) => Some(0.0),
-                            (v, _) => v,
-                        };
-                        results[shown[m.index]] = v;
+                match muve_dbms::execute_approximate(table, &g.merged, fraction, seed) {
+                    Ok((rs, _realized)) => {
+                        let n_group = g.merged.group_by.len();
+                        for m in &g.members {
+                            let row = match (&m.key, n_group) {
+                                (Some(key), 1) => rs.rows.iter().find(|r| &r[0] == key),
+                                _ => rs.rows.first(),
+                            };
+                            let v = row.and_then(|r| r[n_group + m.agg].as_f64());
+                            let v = match (v, g.merged.aggregates[m.agg].func) {
+                                (None, muve_dbms::AggFunc::Count) => Some(0.0),
+                                (v, _) => v,
+                            };
+                            results[shown[m.index]] = v;
+                        }
                     }
+                    Err(e) => errors.push(e),
                 }
             }
         }
     }
-    scanned
+    errors
 }
 
 /// Choose a sample fraction so the first visualization lands within
@@ -198,6 +204,7 @@ pub fn present(
 ) -> Trace {
     let start = Instant::now();
     let mut events: Vec<TraceEvent> = Vec::new();
+    let mut errors: Vec<ExecError> = Vec::new();
     let mut results: Vec<Option<f64>> = vec![None; candidates.len()];
 
     // Incremental ILP interleaves planning and execution.
@@ -213,7 +220,7 @@ pub fn present(
         let planning_probe = Instant::now();
         let r = plan_incremental(candidates, screen, model, &base, schedule, |step| {
             let shown = step.multiplot.candidates_shown();
-            execute_shown(table, candidates, &shown, &mut results, None);
+            errors.extend(execute_shown(table, candidates, &shown, &mut results, None));
             events.push(TraceEvent {
                 at: start.elapsed(),
                 label: format!("incremental step (cost {:.0})", step.expected_cost),
@@ -225,7 +232,7 @@ pub fn present(
         });
         let planning = planning_probe.elapsed();
         let multiplot = final_plan.unwrap_or_else(|| r.multiplot.clone());
-        return Trace { events, multiplot, planning, total: start.elapsed() };
+        return Trace { events, multiplot, planning, total: start.elapsed(), errors };
     }
 
     let planned = plan(&presentation.planner, candidates, screen, model);
@@ -235,7 +242,7 @@ pub fn present(
 
     match &presentation.mode {
         Mode::Full => {
-            execute_shown(table, candidates, &shown, &mut results, None);
+            errors.extend(execute_shown(table, candidates, &shown, &mut results, None));
             events.push(TraceEvent {
                 at: start.elapsed(),
                 label: "final".into(),
@@ -247,7 +254,7 @@ pub fn present(
         Mode::IncrementalPlot => {
             for (pi, plot) in multiplot.plots().enumerate() {
                 let plot_shown: Vec<usize> = plot.entries.iter().map(|e| e.candidate).collect();
-                execute_shown(table, candidates, &plot_shown, &mut results, None);
+                errors.extend(execute_shown(table, candidates, &plot_shown, &mut results, None));
                 let visible: Vec<usize> = multiplot
                     .plots()
                     .take(pi + 1)
@@ -263,13 +270,13 @@ pub fn present(
             }
         }
         Mode::Approximate { fraction } => {
-            execute_shown(
+            errors.extend(execute_shown(
                 table,
                 candidates,
                 &shown,
                 &mut results,
                 Some((*fraction, presentation.seed)),
-            );
+            ));
             events.push(TraceEvent {
                 at: start.elapsed(),
                 label: format!("approximate ({}%)", fraction * 100.0),
@@ -278,7 +285,7 @@ pub fn present(
                 visible: shown.clone(),
             });
             let mut exact = vec![None; candidates.len()];
-            execute_shown(table, candidates, &shown, &mut exact, None);
+            errors.extend(execute_shown(table, candidates, &shown, &mut exact, None));
             results = exact;
             events.push(TraceEvent {
                 at: start.elapsed(),
@@ -290,13 +297,13 @@ pub fn present(
         }
         Mode::ApproximateDynamic { target } => {
             let fraction = dynamic_fraction(table, *target, presentation.seed);
-            execute_shown(
+            errors.extend(execute_shown(
                 table,
                 candidates,
                 &shown,
                 &mut results,
                 Some((fraction, presentation.seed)),
-            );
+            ));
             events.push(TraceEvent {
                 at: start.elapsed(),
                 label: format!("approximate (dynamic {:.2}%)", fraction * 100.0),
@@ -306,7 +313,7 @@ pub fn present(
             });
             if fraction < 1.0 {
                 let mut exact = vec![None; candidates.len()];
-                execute_shown(table, candidates, &shown, &mut exact, None);
+                errors.extend(execute_shown(table, candidates, &shown, &mut exact, None));
                 results = exact;
                 events.push(TraceEvent {
                     at: start.elapsed(),
@@ -320,7 +327,7 @@ pub fn present(
         Mode::IncrementalIlp { .. } => unreachable!("handled above"),
     }
 
-    Trace { events, multiplot, planning, total: start.elapsed() }
+    Trace { events, multiplot, planning, total: start.elapsed(), errors }
 }
 
 /// Estimated processing cost of executing the multiplot's shown queries
@@ -483,6 +490,47 @@ mod tests {
             &presentation(Mode::Full),
         );
         assert!(trace.f_time(99).is_none());
+    }
+
+    #[test]
+    fn execution_errors_surface_in_trace() {
+        let t = table(1_000);
+        // One candidate aggregates a column that does not exist: its merged
+        // group fails, and the failure must be reported, not swallowed. It
+        // predicates on a different column so it cannot merge with (and
+        // thereby fail) the healthy group.
+        let mut candidates = cands();
+        candidates.push(Candidate::new(
+            parse("select avg(no_such_column) from flights where delay = 5").unwrap(),
+            0.1,
+        ));
+        let trace = present(
+            &t,
+            &candidates,
+            &ScreenConfig::desktop(2),
+            &UserCostModel::default(),
+            &presentation(Mode::Full),
+        );
+        assert!(!trace.errors.is_empty(), "expected surfaced execution error");
+        assert!(trace
+            .errors
+            .iter()
+            .any(|e| matches!(e, muve_dbms::ExecError::UnknownColumn(_))));
+        // The healthy candidates still got results.
+        assert!(trace.events.last().unwrap().results[0].is_some());
+    }
+
+    #[test]
+    fn healthy_trace_has_no_errors() {
+        let t = table(1_000);
+        let trace = present(
+            &t,
+            &cands(),
+            &ScreenConfig::desktop(1),
+            &UserCostModel::default(),
+            &presentation(Mode::Full),
+        );
+        assert!(trace.errors.is_empty());
     }
 
     #[test]

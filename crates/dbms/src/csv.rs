@@ -164,6 +164,8 @@ fn infer_type(records: &[Vec<String>], col: usize) -> ColumnType {
 /// ```
 pub fn table_from_csv_str(name: &str, input: &str) -> Result<Table, CsvError> {
     let records = parse_records(input)?;
+    // Invariant: parse_records errors with CsvError::Empty rather than
+    // returning an empty record list, so indexing the header is safe.
     let header = &records[0];
     let body = &records[1..];
     let n_cols = header.len();
@@ -184,21 +186,28 @@ pub fn table_from_csv_str(name: &str, input: &str) -> Result<Table, CsvError> {
             .collect::<Vec<(String, ColumnType)>>(),
     );
     let mut builder: TableBuilder = Table::builder(name, schema);
-    for r in body {
-        let row: Vec<Value> = r
-            .iter()
-            .zip(&types)
-            .map(|(v, ty)| {
-                if v.is_empty() {
-                    return Value::Null;
-                }
-                match ty {
-                    ColumnType::Int => Value::Int(v.parse().expect("inferred int")),
-                    ColumnType::Float => Value::Float(v.parse().expect("inferred float")),
-                    ColumnType::Str => Value::Str(v.clone()),
-                }
-            })
-            .collect();
+    for (line_off, r) in body.iter().enumerate() {
+        let mut row: Vec<Value> = Vec::with_capacity(n_cols);
+        for (v, ty) in r.iter().zip(&types) {
+            if v.is_empty() {
+                row.push(Value::Null);
+                continue;
+            }
+            // `infer_type` only chose Int/Float because every non-empty
+            // value in the column parsed, so these parses cannot fail — but
+            // this path consumes arbitrary user files, so a violated
+            // assumption must surface as a malformed-input error, not a
+            // panic.
+            let bad = |what: &str| CsvError::Malformed {
+                line: line_off + 2,
+                message: format!("value {v:?} does not parse as inferred {what}"),
+            };
+            row.push(match ty {
+                ColumnType::Int => Value::Int(v.parse().map_err(|_| bad("integer"))?),
+                ColumnType::Float => Value::Float(v.parse().map_err(|_| bad("float"))?),
+                ColumnType::Str => Value::Str(v.clone()),
+            });
+        }
         builder.push_row(row);
     }
     Ok(builder.build())

@@ -215,5 +215,22 @@ mod sql_roundtrip {
         fn parser_total(input in "\\PC{0,80}") {
             let _ = parse(&input);
         }
+
+        /// The parser never panics on arbitrary byte strings either —
+        /// control bytes, NULs and invalid UTF-8 (lossily decoded), not
+        /// just printable characters.
+        #[test]
+        fn parser_total_bytes(bytes in prop::collection::vec(any::<u8>(), 0..120)) {
+            let input = String::from_utf8_lossy(&bytes);
+            let _ = parse(&input);
+        }
+
+        /// SQL-shaped prefixes with arbitrary byte tails: exercises deeper
+        /// parser states than pure noise reaches.
+        #[test]
+        fn parser_total_sql_prefix(bytes in prop::collection::vec(any::<u8>(), 0..60)) {
+            let input = format!("select count(*) from t where {}", String::from_utf8_lossy(&bytes));
+            let _ = parse(&input);
+        }
     }
 }

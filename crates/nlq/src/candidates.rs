@@ -20,6 +20,40 @@ use muve_phonetics::phonetic_similarity;
 use muve_phonetics::PhoneticIndex;
 use rustc_hash::FxHashMap;
 
+/// Failure of the candidate-generation stage.
+///
+/// [`CandidateGenerator::candidates`] is infallible by construction (the
+/// base query is always a candidate), so these cases indicate a broken
+/// invariant — typically a base query generated against a *different*
+/// table than the one this generator was built from. The fallible
+/// [`CandidateGenerator::try_candidates`] turns them into values a
+/// pipeline can degrade on instead of trusting the invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CandidateError {
+    /// Generation produced no candidates at all.
+    Empty,
+    /// A candidate carries a non-finite or non-positive probability.
+    BadProbability {
+        /// SQL of the offending candidate.
+        sql: String,
+        /// The probability it carried.
+        probability: f64,
+    },
+}
+
+impl std::fmt::Display for CandidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CandidateError::Empty => write!(f, "candidate generation produced no candidates"),
+            CandidateError::BadProbability { sql, probability } => {
+                write!(f, "candidate {sql:?} has invalid probability {probability}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CandidateError {}
+
 /// A candidate interpretation of the voice input.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateQuery {
@@ -179,6 +213,31 @@ impl CandidateGenerator {
         out
     }
 
+    /// Fallible variant of [`candidates`](CandidateGenerator::candidates)
+    /// for pipelines: validates the output invariants (non-empty, finite
+    /// positive probabilities) and reports violations as errors instead of
+    /// handing a malformed distribution to the planner.
+    pub fn try_candidates(
+        &self,
+        base: &Query,
+        k: usize,
+        max_candidates: usize,
+    ) -> Result<Vec<CandidateQuery>, CandidateError> {
+        let out = self.candidates(base, k, max_candidates);
+        if out.is_empty() {
+            return Err(CandidateError::Empty);
+        }
+        for c in &out {
+            if !c.probability.is_finite() || c.probability <= 0.0 {
+                return Err(CandidateError::BadProbability {
+                    sql: c.query.to_sql(),
+                    probability: c.probability,
+                });
+            }
+        }
+        Ok(out)
+    }
+
     /// Per-element alternatives with scores; the original element is always
     /// included with score 1.
     fn element_alternatives(&self, base: &Query, k: usize) -> Vec<Vec<(Alt, f64)>> {
@@ -191,6 +250,9 @@ impl CandidateGenerator {
                 PredOp::Eq(Value::Str(constant)) => {
                     let mut alts: Vec<(Alt, f64)> = vec![(Alt::Keep, 1.0)];
                     for m in self.value_index.top_k_above(constant, k, 0.3) {
+                        // Invariant: value_index and value_cols are built in
+                        // lockstep in `new`, so every match entry indexes a
+                        // valid owning column.
                         let column = self.value_cols[m.entry].clone();
                         if &m.text == constant && column.eq_ignore_ascii_case(&pred.column) {
                             continue; // identity replacement
@@ -421,6 +483,15 @@ mod tests {
         let base = parse("select avg(dep_delay) from t where borough = 'Brooklyn'").unwrap();
         assert!(gen().candidates(&base, 20, 5).len() <= 5);
         assert_eq!(gen().candidates(&base, 0, 1).len(), 1);
+    }
+
+    #[test]
+    fn try_candidates_validates_invariants() {
+        let base = parse("select avg(dep_delay) from t where borough = 'Brooklyn'").unwrap();
+        let g = gen();
+        let out = g.try_candidates(&base, 20, 10).expect("healthy generation");
+        assert_eq!(out, g.candidates(&base, 20, 10));
+        assert!(out.iter().all(|c| c.probability.is_finite() && c.probability > 0.0));
     }
 
     #[test]

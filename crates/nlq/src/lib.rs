@@ -32,7 +32,7 @@ pub mod numwords;
 pub mod speech;
 pub mod text2sql;
 
-pub use candidates::{CandidateGenerator, CandidateQuery};
+pub use candidates::{CandidateError, CandidateGenerator, CandidateQuery};
 pub use describe::describe_query;
 pub use numwords::{confusable_numbers, number_to_words};
 pub use speech::SpeechChannel;

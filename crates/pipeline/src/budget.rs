@@ -1,0 +1,112 @@
+//! The session's interactivity budget θ.
+//!
+//! MUVE targets interactive voice querying: the paper plans under a 1 s
+//! optimization budget (§5.4) so the user sees a multiplot promptly.
+//! [`DeadlineBudget`] generalizes that to the whole pipeline: one total
+//! budget, split across stages by weight, with unspent time from fast
+//! stages automatically propagating to later ones.
+
+use crate::error::Stage;
+use std::time::{Duration, Instant};
+
+/// Relative share of the budget each stage is entitled to. Planning
+/// dominates (it is the anytime part), execution comes second; the
+/// bookkeeping stages get slivers.
+fn weight(stage: Stage) -> f64 {
+    match stage {
+        Stage::Translate => 1.0,
+        Stage::Candidates => 2.0,
+        Stage::Plan => 8.0,
+        Stage::Execute => 5.0,
+        Stage::Render => 1.0,
+    }
+}
+
+/// A ticking deadline for one session run.
+///
+/// The per-stage allocation is *proportional over the remaining stages*:
+/// when a stage is about to run, it is offered
+/// `remaining · w(stage) / Σ w(stage‥Render)`. A stage that finishes early
+/// therefore donates its unspent time to every stage after it, and a stage
+/// that overruns eats into later allocations — exactly the
+/// remaining-time-propagation behavior an interactivity budget needs.
+#[derive(Debug, Clone)]
+pub struct DeadlineBudget {
+    start: Instant,
+    total: Duration,
+}
+
+impl DeadlineBudget {
+    /// Start the clock on a budget of `total`.
+    pub fn new(total: Duration) -> DeadlineBudget {
+        DeadlineBudget { start: Instant::now(), total }
+    }
+
+    /// The total budget θ.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Time spent since the budget started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Time left before the deadline (zero once exhausted).
+    pub fn remaining(&self) -> Duration {
+        self.total.saturating_sub(self.start.elapsed())
+    }
+
+    /// Whether the deadline has passed.
+    pub fn exhausted(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// The slice of the remaining time stage `stage` may spend, assuming
+    /// the stages after it still need their shares.
+    pub fn stage_budget(&self, stage: Stage) -> Duration {
+        let later: f64 = Stage::ALL[stage.index()..].iter().map(|&s| weight(s)).sum();
+        self.remaining().mul_f64(weight(stage) / later)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_counts_down() {
+        let b = DeadlineBudget::new(Duration::from_millis(50));
+        assert!(!b.exhausted());
+        assert!(b.remaining() <= Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), Duration::ZERO);
+        assert_eq!(b.stage_budget(Stage::Plan), Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_shares_partition_the_remaining_time() {
+        let b = DeadlineBudget::new(Duration::from_secs(10));
+        // Taken in order and spending exactly their allocation, the stages
+        // together consume the whole budget: each share is w/Σ-later of
+        // what remains, so the shares telescope to `remaining`.
+        let plan = b.stage_budget(Stage::Plan);
+        let translate = b.stage_budget(Stage::Translate);
+        assert!(plan > translate, "planning dominates");
+        // Render is the last stage: offered everything left.
+        let render = b.stage_budget(Stage::Render);
+        assert!((render.as_secs_f64() - b.remaining().as_secs_f64()).abs() < 0.2);
+    }
+
+    #[test]
+    fn unspent_time_propagates_forward() {
+        // A fresh budget offers Execute a share of ~everything; the same
+        // query after time passes is offered proportionally less.
+        let b = DeadlineBudget::new(Duration::from_millis(200));
+        let early = b.stage_budget(Stage::Execute);
+        std::thread::sleep(Duration::from_millis(50));
+        let late = b.stage_budget(Stage::Execute);
+        assert!(late < early);
+    }
+}

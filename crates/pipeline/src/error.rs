@@ -1,0 +1,165 @@
+//! The unified pipeline error taxonomy.
+//!
+//! Every failure a [`Session`](crate::Session) can encounter — stage
+//! errors bubbling up from the library crates, deadline exhaustion,
+//! injected faults, and panics caught at stage boundaries — is folded into
+//! [`PipelineError`], tagged with the [`Stage`] it occurred in. The session
+//! never propagates these to the caller as failures; they are recorded in
+//! the outcome and drive the degradation ladder.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One stage of the voice-query pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Transcript to most-likely SQL (text2sql, or direct SQL parsing).
+    Translate,
+    /// Most-likely SQL to the phonetic candidate distribution.
+    Candidates,
+    /// Candidate distribution to a multiplot (the planner ladder).
+    Plan,
+    /// Executing the shown queries (merged, approximate, or separate).
+    Execute,
+    /// Rendering the final visualization.
+    Render,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Translate, Stage::Candidates, Stage::Plan, Stage::Execute, Stage::Render];
+
+    /// Stable lowercase name (also the CLI fault-spec syntax).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Translate => "translate",
+            Stage::Candidates => "candidates",
+            Stage::Plan => "plan",
+            Stage::Execute => "execute",
+            Stage::Render => "render",
+        }
+    }
+
+    /// Position in [`Stage::ALL`].
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Stage::Translate => 0,
+            Stage::Candidates => 1,
+            Stage::Plan => 2,
+            Stage::Execute => 3,
+            Stage::Render => 4,
+        }
+    }
+
+    /// Parse a stage from its [`name`](Stage::name).
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything that can go wrong inside a session, tagged by stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The transcript could not be translated to SQL.
+    Translate(String),
+    /// A `select …` transcript failed to parse.
+    Parse(String),
+    /// Candidate generation failed or produced a malformed distribution.
+    Candidates(String),
+    /// The planner failed to produce a usable multiplot.
+    Planning(String),
+    /// Query execution failed.
+    Execution(String),
+    /// Rendering the visualization failed.
+    Render(String),
+    /// The interactivity budget ran out before the stage could run.
+    DeadlineExceeded {
+        /// Stage that was skipped or cut short.
+        stage: Stage,
+        /// The session's total budget θ.
+        budget: Duration,
+    },
+    /// A panic was caught at the stage boundary.
+    StagePanic {
+        /// Stage whose body panicked.
+        stage: Stage,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A fault injected by the test harness fired.
+    FaultInjected {
+        /// Stage the fault was planted in.
+        stage: Stage,
+    },
+}
+
+impl PipelineError {
+    /// The stage this error is attributed to.
+    pub fn stage(&self) -> Stage {
+        match self {
+            PipelineError::Translate(_) | PipelineError::Parse(_) => Stage::Translate,
+            PipelineError::Candidates(_) => Stage::Candidates,
+            PipelineError::Planning(_) => Stage::Plan,
+            PipelineError::Execution(_) => Stage::Execute,
+            PipelineError::Render(_) => Stage::Render,
+            PipelineError::DeadlineExceeded { stage, .. }
+            | PipelineError::StagePanic { stage, .. }
+            | PipelineError::FaultInjected { stage } => *stage,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Translate(m) => write!(f, "translate: {m}"),
+            PipelineError::Parse(m) => write!(f, "parse: {m}"),
+            PipelineError::Candidates(m) => write!(f, "candidates: {m}"),
+            PipelineError::Planning(m) => write!(f, "planning: {m}"),
+            PipelineError::Execution(m) => write!(f, "execution: {m}"),
+            PipelineError::Render(m) => write!(f, "render: {m}"),
+            PipelineError::DeadlineExceeded { stage, budget } => {
+                write!(f, "deadline exceeded at {stage} (budget {budget:?})")
+            }
+            PipelineError::StagePanic { stage, message } => {
+                write!(f, "panic in {stage} stage: {message}")
+            }
+            PipelineError::FaultInjected { stage } => write!(f, "injected fault in {stage} stage"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_roundtrip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.name()), Some(s));
+            assert_eq!(format!("{s}"), s.name());
+        }
+        assert_eq!(Stage::parse("bogus"), None);
+    }
+
+    #[test]
+    fn errors_report_their_stage() {
+        assert_eq!(PipelineError::Parse("x".into()).stage(), Stage::Translate);
+        assert_eq!(PipelineError::Planning("x".into()).stage(), Stage::Plan);
+        let e = PipelineError::DeadlineExceeded {
+            stage: Stage::Execute,
+            budget: Duration::from_secs(1),
+        };
+        assert_eq!(e.stage(), Stage::Execute);
+        assert!(format!("{e}").contains("execute"));
+    }
+}

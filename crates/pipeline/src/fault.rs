@@ -1,0 +1,234 @@
+//! Deterministic fault injection for pipeline robustness testing.
+//!
+//! A [`FaultInjector`] carries at most one [`StageFault`] per [`Stage`] and
+//! is threaded through [`Session::run`](crate::Session::run). Faults are
+//! planted either explicitly ([`FaultInjector::with`], or parsed from a
+//! CLI spec via [`FaultInjector::parse`]) or drawn deterministically from a
+//! seed ([`FaultInjector::from_seed`]), so every fault plan in the test
+//! suite is reproducible from a single integer.
+//!
+//! Latency, error and panic faults are **one-shot**: the first time a
+//! stage trips its fault the fault is consumed, so a retry (e.g. the
+//! execution sample ladder escalating, or the planner ladder falling back
+//! to greedy) runs clean — which is exactly the transient-failure model
+//! the degradation ladder is designed around. The solver-stall fault is
+//! configuration-shaped rather than control-flow-shaped (it clamps the ILP
+//! node budget so the solver gives up without an incumbent) and applies to
+//! every ILP restart of the run.
+
+use crate::error::{PipelineError, Stage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Duration;
+
+/// The fault plan for one stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageFault {
+    /// Sleep this long at stage entry (models a slow dependency).
+    pub latency: Option<Duration>,
+    /// Fail the stage with [`PipelineError::FaultInjected`].
+    pub error: bool,
+    /// Panic inside the stage body (must be caught at the stage boundary).
+    pub panic: bool,
+    /// Plan stage only: clamp the ILP node budget to near zero, so the
+    /// solver behaves like a stalled MIP search that never finds an
+    /// incumbent within its budget.
+    pub stall_solver: bool,
+}
+
+impl StageFault {
+    fn is_noop(&self) -> bool {
+        self.latency.is_none() && !self.error && !self.panic && !self.stall_solver
+    }
+}
+
+/// A per-stage fault plan, deterministic and thread-safe.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plans: [Option<StageFault>; 5],
+    /// Bitmask of stages whose one-shot fault has already fired.
+    consumed: AtomicU8,
+}
+
+impl Clone for FaultInjector {
+    fn clone(&self) -> FaultInjector {
+        FaultInjector {
+            plans: self.plans.clone(),
+            consumed: AtomicU8::new(self.consumed.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl FaultInjector {
+    /// No faults: every stage runs clean.
+    pub fn none() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Plant `fault` in `stage` (replacing any previous plan for it).
+    pub fn with(mut self, stage: Stage, fault: StageFault) -> FaultInjector {
+        self.plans[stage.index()] = if fault.is_noop() { None } else { Some(fault) };
+        self
+    }
+
+    /// Draw a deterministic fault plan from a seed. Per-stage probabilities
+    /// are calibrated so most seeds produce one or two faults: latency 25%
+    /// (5–40 ms), error 15%, panic 12%, and a 20% solver stall on the plan
+    /// stage.
+    pub fn from_seed(seed: u64) -> FaultInjector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = FaultInjector::none();
+        for stage in Stage::ALL {
+            let fault = StageFault {
+                latency: rng
+                    .gen_bool(0.25)
+                    .then(|| Duration::from_millis(rng.gen_range(5..40))),
+                error: rng.gen_bool(0.15),
+                panic: rng.gen_bool(0.12),
+                stall_solver: stage == Stage::Plan && rng.gen_bool(0.20),
+            };
+            out = out.with(stage, fault);
+        }
+        out
+    }
+
+    /// Parse a CLI fault spec: comma-separated `stage:kind` items where
+    /// `kind` is `error`, `panic`, `stall`, or `latency=<ms>`.
+    ///
+    /// Example: `plan:panic,execute:error,translate:latency=200`.
+    pub fn parse(spec: &str) -> Result<FaultInjector, String> {
+        let mut out = FaultInjector::none();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (stage_name, kind) = item
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault {item:?}: expected stage:kind"))?;
+            let stage = Stage::parse(stage_name.trim())
+                .ok_or_else(|| format!("unknown stage {stage_name:?}"))?;
+            let mut fault = out.plans[stage.index()].clone().unwrap_or_default();
+            match kind.trim() {
+                "error" => fault.error = true,
+                "panic" => fault.panic = true,
+                "stall" => {
+                    if stage != Stage::Plan {
+                        return Err(format!("stall only applies to plan, not {stage}"));
+                    }
+                    fault.stall_solver = true;
+                }
+                other => {
+                    let ms = other
+                        .strip_prefix("latency=")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| {
+                            format!("unknown fault kind {other:?} (error|panic|stall|latency=MS)")
+                        })?;
+                    fault.latency = Some(Duration::from_millis(ms));
+                }
+            }
+            out = out.with(stage, fault);
+        }
+        Ok(out)
+    }
+
+    /// Whether no faults are planted at all.
+    pub fn is_empty(&self) -> bool {
+        self.plans.iter().all(Option::is_none)
+    }
+
+    /// The plan for `stage`, if any.
+    pub fn fault(&self, stage: Stage) -> Option<&StageFault> {
+        self.plans[stage.index()].as_ref()
+    }
+
+    /// Whether any stage has a panic planted (used to decide whether panic
+    /// output needs suppressing for the run).
+    pub fn any_panic(&self) -> bool {
+        self.plans.iter().flatten().any(|f| f.panic)
+    }
+
+    /// Whether the plan stage should emulate a stalled solver.
+    pub fn solver_stall(&self) -> bool {
+        self.fault(Stage::Plan).is_some_and(|f| f.stall_solver)
+    }
+
+    /// Fire `stage`'s one-shot fault, if it has one and it has not fired
+    /// yet: sleep the injected latency, then panic or return the injected
+    /// error. Must be called *inside* the stage body so the panic is caught
+    /// at the stage boundary.
+    pub fn trip(&self, stage: Stage) -> Result<(), PipelineError> {
+        let Some(fault) = self.fault(stage) else { return Ok(()) };
+        let bit = 1u8 << stage.index();
+        if self.consumed.fetch_or(bit, Ordering::Relaxed) & bit != 0 {
+            return Ok(()); // already fired
+        }
+        if let Some(d) = fault.latency {
+            std::thread::sleep(d);
+        }
+        if fault.panic {
+            panic!("injected panic in {stage} stage");
+        }
+        if fault.error {
+            return Err(PipelineError::FaultInjected { stage });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        for seed in 0..100u64 {
+            let a = FaultInjector::from_seed(seed);
+            let b = FaultInjector::from_seed(seed);
+            assert_eq!(a.plans, b.plans, "seed {seed}");
+        }
+        // Across 100 seeds, at least one plan of each kind must appear.
+        let plans: Vec<FaultInjector> = (0..100).map(FaultInjector::from_seed).collect();
+        assert!(plans.iter().any(|p| p.any_panic()));
+        assert!(plans.iter().any(|p| p.solver_stall()));
+        assert!(plans.iter().any(FaultInjector::is_empty));
+        assert!(plans
+            .iter()
+            .any(|p| p.plans.iter().flatten().any(|f| f.error)));
+    }
+
+    #[test]
+    fn trip_is_one_shot() {
+        let inj =
+            FaultInjector::none().with(Stage::Execute, StageFault { error: true, ..Default::default() });
+        assert!(matches!(
+            inj.trip(Stage::Execute),
+            Err(PipelineError::FaultInjected { stage: Stage::Execute })
+        ));
+        assert!(inj.trip(Stage::Execute).is_ok(), "fault consumed after first fire");
+        assert!(inj.trip(Stage::Plan).is_ok(), "unplanned stage never trips");
+    }
+
+    #[test]
+    fn trip_panics_when_planted() {
+        let inj =
+            FaultInjector::none().with(Stage::Plan, StageFault { panic: true, ..Default::default() });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.trip(Stage::Plan)));
+        assert!(r.is_err());
+        // One-shot: a retry does not panic again.
+        assert!(inj.trip(Stage::Plan).is_ok());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let inj = FaultInjector::parse("plan:panic, execute:error,translate:latency=200").unwrap();
+        assert!(inj.fault(Stage::Plan).unwrap().panic);
+        assert!(inj.fault(Stage::Execute).unwrap().error);
+        assert_eq!(
+            inj.fault(Stage::Translate).unwrap().latency,
+            Some(Duration::from_millis(200))
+        );
+        assert!(FaultInjector::parse("bogus:error").is_err());
+        assert!(FaultInjector::parse("plan:frobnicate").is_err());
+        assert!(FaultInjector::parse("execute:stall").is_err(), "stall is plan-only");
+        assert!(FaultInjector::parse("").unwrap().is_empty());
+    }
+}

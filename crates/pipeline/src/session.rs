@@ -1,0 +1,924 @@
+//! The deadline-enforced session pipeline.
+//!
+//! [`Session::run`] drives one voice-query interaction end to end —
+//! transcript → text2sql → candidate generation → planning → merged
+//! execution → render — under a single [`DeadlineBudget`], and **never
+//! panics and never fails**: every stage error, caught panic, or deadline
+//! exhaustion moves the session down a degradation ladder instead:
+//!
+//! 1. **ILP** — full incremental-ILP planning (paper §5.4);
+//! 2. **Incumbent** — the best incremental incumbent recovered from a
+//!    planner that died or ran out of time;
+//! 3. **Greedy** — the submodular heuristic (paper §6);
+//! 4. **Headline-only** — a single plot of the top candidate under the
+//!    shared-headline skeleton (paper Figure 2b);
+//! 5. **Text** — the top candidate as text, the terminal fallback.
+//!
+//! Execution has its own two recovery axes: a retry-with-escalation sample
+//! ladder (1% → 5% → exact, via `muve-dbms`'s Bernoulli sampling) and an
+//! automatic fallback from merged to separate execution when
+//! [`execute_merged`] fails. Each run returns a [`SessionOutcome`] whose
+//! [`DegradationTrace`] records every rung transition with a timestamp and
+//! reason.
+
+use crate::budget::DeadlineBudget;
+use crate::error::{PipelineError, Stage};
+use crate::fault::FaultInjector;
+use muve_core::{
+    headline, plan, plan_incremental_observed, render_text, Candidate, IlpConfig,
+    IncrementalSchedule, IncumbentSlot, Multiplot, Plot, PlotEntry, Planner, ScreenConfig,
+    UserCostModel,
+};
+use muve_dbms::{
+    execute, execute_merged, parse, plan_merged, AggFunc, Query, Table,
+};
+use muve_nlq::{translate, CandidateGenerator};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+use std::time::Duration;
+
+/// Configuration of one session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The total interactivity budget θ for one `run`.
+    pub deadline: Duration,
+    /// Output geometry.
+    pub screen: ScreenConfig,
+    /// The user disambiguation cost model.
+    pub model: UserCostModel,
+    /// Preferred planner (top rung of the ladder). `Greedy` starts the
+    /// ladder at the greedy rung.
+    pub planner: Planner,
+    /// Incremental-ILP restart schedule; its `total` is replaced at run
+    /// time by the plan stage's remaining-budget share.
+    pub schedule: IncrementalSchedule,
+    /// Phonetic alternatives per query element (paper default 20).
+    pub k: usize,
+    /// Maximum candidate interpretations.
+    pub max_candidates: usize,
+    /// Ascending sample fractions tried before exact execution when the
+    /// table is large or an execution attempt fails.
+    pub sample_ladder: Vec<f64>,
+    /// Tables with at least this many rows execute through the sample
+    /// ladder before going exact.
+    pub sample_threshold_rows: usize,
+    /// Seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            deadline: Duration::from_secs(1),
+            screen: ScreenConfig::desktop(2),
+            model: UserCostModel::default(),
+            planner: Planner::Ilp(IlpConfig { warm_start: true, ..IlpConfig::default() }),
+            schedule: IncrementalSchedule::default(),
+            k: 20,
+            max_candidates: 10,
+            sample_ladder: vec![0.01, 0.05],
+            sample_threshold_rows: 50_000,
+            seed: 42,
+        }
+    }
+}
+
+/// A rung of the degradation ladder, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Full incremental-ILP planning completed.
+    Ilp,
+    /// Best incremental incumbent, recovered after the planner died.
+    Incumbent,
+    /// Greedy heuristic plan.
+    Greedy,
+    /// A single plot of the top candidate under the headline.
+    HeadlineOnly,
+    /// The top candidate as text — the terminal fallback.
+    Text,
+}
+
+impl Rung {
+    /// Human-readable rung name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Ilp => "ilp",
+            Rung::Incumbent => "incumbent",
+            Rung::Greedy => "greedy",
+            Rung::HeadlineOnly => "headline-only",
+            Rung::Text => "text",
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded pipeline event (stage completion or rung transition).
+#[derive(Debug, Clone)]
+pub struct DegradationEvent {
+    /// Time since the session started.
+    pub at: Duration,
+    /// Stage the event belongs to.
+    pub stage: Stage,
+    /// Ladder rung in effect after the event.
+    pub rung: Rung,
+    /// What happened.
+    pub detail: String,
+}
+
+/// The timeline of rung transitions for one run.
+#[derive(Debug, Clone)]
+pub struct DegradationTrace {
+    /// Events in order.
+    pub events: Vec<DegradationEvent>,
+    /// The rung the session started on (per configuration).
+    pub planned_rung: Rung,
+    /// The rung the output was finally produced on.
+    pub final_rung: Rung,
+}
+
+impl DegradationTrace {
+    /// Whether the session had to degrade below its configured rung.
+    pub fn degraded(&self) -> bool {
+        self.final_rung > self.planned_rung
+    }
+}
+
+/// What the session puts on screen.
+#[derive(Debug, Clone)]
+pub enum Visualization {
+    /// A planned multiplot with (possibly partial) results.
+    Multiplot {
+        /// The multiplot.
+        multiplot: Multiplot,
+        /// The shared-headline text above the plots.
+        headline: String,
+        /// Per-candidate scalar results (`None` = unavailable).
+        results: Vec<Option<f64>>,
+        /// Rendered terminal text.
+        rendered: String,
+        /// Whether the shown values come from a sample.
+        approximate: bool,
+    },
+    /// Terminal fallback: the top candidate as text.
+    Text {
+        /// The message shown to the user.
+        message: String,
+    },
+}
+
+/// The complete, always-well-formed result of one session run.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The input transcript.
+    pub transcript: String,
+    /// The most likely interpretation, if translation succeeded.
+    pub interpretation: Option<Query>,
+    /// The candidate distribution handed to the planner.
+    pub candidates: Vec<Candidate>,
+    /// What ended up on screen.
+    pub visualization: Visualization,
+    /// The rung-transition timeline.
+    pub trace: DegradationTrace,
+    /// Every error encountered (the outcome itself is never an error).
+    pub errors: Vec<PipelineError>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// The configured deadline θ.
+    pub deadline: Duration,
+}
+
+impl SessionOutcome {
+    /// Whether the session degraded below its configured rung.
+    pub fn degraded(&self) -> bool {
+        self.trace.degraded()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic-output suppression: injected panics are expected control flow here,
+// so while a session with planted panics runs, the default "thread panicked
+// at …" printout is silenced. The hook is installed once and consults a
+// depth counter, so sessions on different threads compose.
+
+static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static QUIET_INSTALL: Once = Once::new();
+
+pub(crate) struct QuietPanics;
+
+impl QuietPanics {
+    pub(crate) fn engage() -> QuietPanics {
+        QUIET_INSTALL.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if QUIET_DEPTH.load(Ordering::SeqCst) == 0 {
+                    prev(info);
+                }
+            }));
+        });
+        QUIET_DEPTH.fetch_add(1, Ordering::SeqCst);
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        QUIET_DEPTH.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Render a caught panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Result of one execution attempt over the shown candidates.
+struct ExecAttempt {
+    /// `(candidate index, value)` per member that executed.
+    values: Vec<(usize, Option<f64>)>,
+    /// Per-member errors (the attempt still counts as successful if any
+    /// member produced a value).
+    member_errors: Vec<PipelineError>,
+}
+
+/// A deadline-enforced voice-query session over one table.
+#[derive(Debug)]
+pub struct Session<'a> {
+    table: &'a Table,
+    generator: CandidateGenerator,
+    config: SessionConfig,
+    injector: FaultInjector,
+}
+
+impl<'a> Session<'a> {
+    /// Build a session over `table`.
+    pub fn new(table: &'a Table, config: SessionConfig) -> Session<'a> {
+        Session { table, generator: CandidateGenerator::new(table), config, injector: FaultInjector::none() }
+    }
+
+    /// Thread a fault injector through every stage of this session.
+    pub fn with_injector(mut self, injector: FaultInjector) -> Session<'a> {
+        self.injector = injector;
+        self
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Run one transcript through the pipeline. Never panics; always
+    /// returns a well-formed [`SessionOutcome`].
+    pub fn run(&self, transcript: &str) -> SessionOutcome {
+        let budget = DeadlineBudget::new(self.config.deadline);
+        let _quiet = self.injector.any_panic().then(QuietPanics::engage);
+        let mut errors: Vec<PipelineError> = Vec::new();
+        let mut events: Vec<DegradationEvent> = Vec::new();
+        let planned_rung = match self.config.planner {
+            Planner::Ilp(_) => Rung::Ilp,
+            Planner::Greedy => Rung::Greedy,
+        };
+
+        // -- Stage 1: transcript → most likely SQL ------------------------
+        let base = match self.guard(Stage::Translate, || {
+            self.injector.trip(Stage::Translate)?;
+            let t = transcript.trim();
+            if t.to_ascii_lowercase().starts_with("select") {
+                parse(t).map_err(|e| PipelineError::Parse(e.to_string()))
+            } else {
+                translate(t, self.table).map_err(|e| PipelineError::Translate(e.to_string()))
+            }
+        }) {
+            Ok(q) => q,
+            Err(e) => {
+                // No interpretation at all: terminal text fallback.
+                let message = format!("could not interpret {transcript:?}: {e}");
+                errors.push(e);
+                events.push(DegradationEvent {
+                    at: budget.elapsed(),
+                    stage: Stage::Translate,
+                    rung: Rung::Text,
+                    detail: "translation failed; falling back to text".into(),
+                });
+                return SessionOutcome {
+                    transcript: transcript.to_owned(),
+                    interpretation: None,
+                    candidates: Vec::new(),
+                    visualization: Visualization::Text { message },
+                    trace: DegradationTrace { events, planned_rung, final_rung: Rung::Text },
+                    errors,
+                    elapsed: budget.elapsed(),
+                    deadline: budget.total(),
+                };
+            }
+        };
+
+        // -- Stage 2: candidate distribution ------------------------------
+        let candidates: Vec<Candidate> = if budget.exhausted() {
+            errors.push(PipelineError::DeadlineExceeded {
+                stage: Stage::Candidates,
+                budget: budget.total(),
+            });
+            events.push(DegradationEvent {
+                at: budget.elapsed(),
+                stage: Stage::Candidates,
+                rung: planned_rung,
+                detail: "deadline exhausted; single base candidate".into(),
+            });
+            vec![Candidate::new(base.clone(), 1.0)]
+        } else {
+            match self.guard(Stage::Candidates, || {
+                self.injector.trip(Stage::Candidates)?;
+                self.generator
+                    .try_candidates(&base, self.config.k, self.config.max_candidates)
+                    .map_err(|e| PipelineError::Candidates(e.to_string()))
+            }) {
+                Ok(cq) => cq
+                    .into_iter()
+                    .map(|c| Candidate::new(c.query, c.probability))
+                    .collect(),
+                Err(e) => {
+                    errors.push(e);
+                    events.push(DegradationEvent {
+                        at: budget.elapsed(),
+                        stage: Stage::Candidates,
+                        rung: planned_rung,
+                        detail: "candidate stage failed; single base candidate".into(),
+                    });
+                    vec![Candidate::new(base.clone(), 1.0)]
+                }
+            }
+        };
+        let headline_text = headline(&candidates);
+
+        // -- Stage 3: the planner ladder ----------------------------------
+        let (multiplot, mut rung) =
+            self.plan_stage(&candidates, &headline_text, &budget, &mut errors, &mut events);
+
+        // -- Stage 4: execution (sample ladder + merged→separate fallback) -
+        let shown = multiplot.candidates_shown();
+        let mut results: Vec<Option<f64>> = vec![None; candidates.len()];
+        let mut approximate = false;
+        if budget.exhausted() {
+            errors.push(PipelineError::DeadlineExceeded {
+                stage: Stage::Execute,
+                budget: budget.total(),
+            });
+            events.push(DegradationEvent {
+                at: budget.elapsed(),
+                stage: Stage::Execute,
+                rung,
+                detail: "deadline exhausted; execution skipped".into(),
+            });
+        } else {
+            approximate =
+                self.execute_stage(&candidates, &shown, &mut results, &budget, &mut errors, &mut events, rung);
+        }
+
+        // -- Stage 5: render ----------------------------------------------
+        let visualization = match self.guard(Stage::Render, || {
+            self.injector.trip(Stage::Render)?;
+            Ok(render_text(&multiplot, &results))
+        }) {
+            Ok(rendered) => {
+                events.push(DegradationEvent {
+                    at: budget.elapsed(),
+                    stage: Stage::Render,
+                    rung,
+                    detail: format!("rendered on the {rung} rung"),
+                });
+                Visualization::Multiplot {
+                    multiplot,
+                    headline: headline_text,
+                    results,
+                    rendered,
+                    approximate,
+                }
+            }
+            Err(e) => {
+                errors.push(e);
+                rung = Rung::Text;
+                events.push(DegradationEvent {
+                    at: budget.elapsed(),
+                    stage: Stage::Render,
+                    rung,
+                    detail: "render failed; top candidate as text".into(),
+                });
+                Visualization::Text { message: top_candidate_text(&candidates, &results) }
+            }
+        };
+
+        SessionOutcome {
+            transcript: transcript.to_owned(),
+            interpretation: Some(base),
+            candidates,
+            visualization,
+            trace: DegradationTrace { events, planned_rung, final_rung: rung },
+            errors,
+            elapsed: budget.elapsed(),
+            deadline: budget.total(),
+        }
+    }
+
+    /// Run a stage body with panic isolation.
+    fn guard<T>(
+        &self,
+        stage: Stage,
+        body: impl FnOnce() -> Result<T, PipelineError>,
+    ) -> Result<T, PipelineError> {
+        // AssertUnwindSafe: each stage body works on inputs constructed
+        // fresh for this call (the transcript, this run's candidate vector,
+        // this run's incumbent slot); nothing it can leave half-mutated is
+        // observed again after a panic, except the IncumbentSlot, which is
+        // designed for exactly that (single atomic clone-assignments).
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(r) => r,
+            Err(payload) => {
+                Err(PipelineError::StagePanic { stage, message: panic_message(payload) })
+            }
+        }
+    }
+
+    /// The planning degradation ladder: ILP → incumbent → greedy →
+    /// headline-only. Returns the multiplot and the rung it came from.
+    fn plan_stage(
+        &self,
+        candidates: &[Candidate],
+        headline_text: &str,
+        budget: &DeadlineBudget,
+        errors: &mut Vec<PipelineError>,
+        events: &mut Vec<DegradationEvent>,
+    ) -> (Multiplot, Rung) {
+        // Deadline exhausted before planning: drop straight to the cheap rung.
+        if budget.exhausted() {
+            errors.push(PipelineError::DeadlineExceeded {
+                stage: Stage::Plan,
+                budget: budget.total(),
+            });
+            events.push(DegradationEvent {
+                at: budget.elapsed(),
+                stage: Stage::Plan,
+                rung: Rung::HeadlineOnly,
+                detail: "deadline exhausted before planning".into(),
+            });
+            return (headline_only_multiplot(candidates, headline_text), Rung::HeadlineOnly);
+        }
+
+        // Rung 1: incremental ILP under the stage's budget share.
+        if let Planner::Ilp(base_cfg) = &self.config.planner {
+            let mut cfg = base_cfg.clone();
+            if self.injector.solver_stall() {
+                // A stalled MIP search: no warm start, no room to branch —
+                // the solver burns its restarts without ever finding an
+                // incumbent.
+                cfg.node_budget = Some(1);
+                cfg.warm_start = false;
+            }
+            let schedule = IncrementalSchedule {
+                total: budget.stage_budget(Stage::Plan),
+                ..self.config.schedule
+            };
+            let slot = IncumbentSlot::new();
+            let planned = self.guard(Stage::Plan, || {
+                self.injector.trip(Stage::Plan)?;
+                Ok(plan_incremental_observed(
+                    candidates,
+                    &self.config.screen,
+                    &self.config.model,
+                    &cfg,
+                    &schedule,
+                    &slot,
+                    |_| {},
+                ))
+            });
+            match planned {
+                Ok(r) if r.multiplot.num_plots() > 0 => {
+                    events.push(DegradationEvent {
+                        at: budget.elapsed(),
+                        stage: Stage::Plan,
+                        rung: Rung::Ilp,
+                        detail: format!(
+                            "ILP planned ({})",
+                            if r.proven_optimal { "optimal" } else { "feasible" }
+                        ),
+                    });
+                    return (r.multiplot, Rung::Ilp);
+                }
+                Ok(r) => {
+                    errors.push(PipelineError::Planning(format!(
+                        "solver produced no incumbent within its budget (timed_out = {})",
+                        r.timed_out
+                    )));
+                }
+                Err(e) => errors.push(e),
+            }
+            // Rung 2: the incumbent the observed planner left behind.
+            if let Some(incumbent) = slot.take() {
+                if incumbent.multiplot.num_plots() > 0 {
+                    events.push(DegradationEvent {
+                        at: budget.elapsed(),
+                        stage: Stage::Plan,
+                        rung: Rung::Incumbent,
+                        detail: "recovered best incremental incumbent".into(),
+                    });
+                    return (incumbent.multiplot, Rung::Incumbent);
+                }
+            }
+        }
+
+        // Rung 3: greedy. (`trip` is one-shot, so a fault already consumed
+        // by the ILP attempt does not fire again here.)
+        let greedy = self.guard(Stage::Plan, || {
+            self.injector.trip(Stage::Plan)?;
+            Ok(plan(&Planner::Greedy, candidates, &self.config.screen, &self.config.model))
+        });
+        match greedy {
+            Ok(r) if r.multiplot.num_plots() > 0 || candidates.is_empty() => {
+                events.push(DegradationEvent {
+                    at: budget.elapsed(),
+                    stage: Stage::Plan,
+                    rung: Rung::Greedy,
+                    detail: "greedy plan".into(),
+                });
+                return (r.multiplot, Rung::Greedy);
+            }
+            Ok(_) => errors.push(PipelineError::Planning("greedy produced an empty plan".into())),
+            Err(e) => errors.push(e),
+        }
+
+        // Rung 4: headline-only single plot; pure construction, cannot fail.
+        events.push(DegradationEvent {
+            at: budget.elapsed(),
+            stage: Stage::Plan,
+            rung: Rung::HeadlineOnly,
+            detail: "planning failed; headline-only single plot".into(),
+        });
+        (headline_only_multiplot(candidates, headline_text), Rung::HeadlineOnly)
+    }
+
+    /// The execution stage: sample-ladder escalation with merged→separate
+    /// fallback inside each attempt. Returns whether the accepted results
+    /// are approximate.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_stage(
+        &self,
+        candidates: &[Candidate],
+        shown: &[usize],
+        results: &mut [Option<f64>],
+        budget: &DeadlineBudget,
+        errors: &mut Vec<PipelineError>,
+        events: &mut Vec<DegradationEvent>,
+        rung: Rung,
+    ) -> bool {
+        if shown.is_empty() {
+            return false;
+        }
+        // Small tables go exact directly; large ones walk the sample
+        // ladder so something lands on screen within the budget. Either
+        // way a failed attempt escalates to the next fidelity.
+        let mut ladder: Vec<Option<f64>> = Vec::new();
+        if self.table.num_rows() >= self.config.sample_threshold_rows {
+            ladder.extend(self.config.sample_ladder.iter().copied().map(Some));
+        }
+        // Exact, plus one retry slot: a first exact attempt that dies on a
+        // transient failure (the one-shot faults are consumed by it) gets
+        // one clean retry; a successful exact attempt breaks before the
+        // retry is ever reached.
+        ladder.push(None);
+        ladder.push(None);
+        let mut approximate = false;
+        let mut any_success = false;
+        for fraction in ladder {
+            if any_success && fraction.is_some() {
+                continue; // never de-escalate
+            }
+            if any_success && budget.exhausted() {
+                break; // keep the approximate results we already have
+            }
+            let attempt = self.guard(Stage::Execute, || {
+                self.injector.trip(Stage::Execute)?;
+                Ok(self.execute_attempt(candidates, shown, fraction))
+            });
+            let label = fraction.map_or("exact".to_owned(), |f| format!("{}% sample", f * 100.0));
+            match attempt {
+                Ok(a) => {
+                    let produced = a.values.iter().any(|(_, v)| v.is_some());
+                    errors.extend(a.member_errors);
+                    if a.values.is_empty() || !produced && fraction.is_some() {
+                        // Nothing usable at this fidelity; escalate.
+                        continue;
+                    }
+                    for (idx, v) in a.values {
+                        results[idx] = v;
+                    }
+                    approximate = fraction.is_some();
+                    any_success = true;
+                    events.push(DegradationEvent {
+                        at: budget.elapsed(),
+                        stage: Stage::Execute,
+                        rung,
+                        detail: format!("executed ({label})"),
+                    });
+                    if fraction.is_none() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    errors.push(e);
+                    events.push(DegradationEvent {
+                        at: budget.elapsed(),
+                        stage: Stage::Execute,
+                        rung,
+                        detail: format!("execution failed ({label}); escalating"),
+                    });
+                }
+            }
+        }
+        if !any_success {
+            events.push(DegradationEvent {
+                at: budget.elapsed(),
+                stage: Stage::Execute,
+                rung,
+                detail: "all execution attempts failed; showing pending values".into(),
+            });
+        }
+        approximate
+    }
+
+    /// One execution attempt at a fixed fidelity: merged execution with
+    /// per-group fallback to separate execution.
+    fn execute_attempt(
+        &self,
+        candidates: &[Candidate],
+        shown: &[usize],
+        fraction: Option<f64>,
+    ) -> ExecAttempt {
+        let queries: Vec<Query> =
+            shown.iter().map(|&i| candidates[i].query.clone()).collect();
+        let mut values: Vec<(usize, Option<f64>)> = Vec::new();
+        let mut member_errors: Vec<PipelineError> = Vec::new();
+        for g in plan_merged(&queries) {
+            match fraction {
+                None => match execute_merged(self.table, &g) {
+                    Ok(r) => {
+                        for (local, v) in r.results {
+                            values.push((shown[local], v));
+                        }
+                    }
+                    Err(merged_err) => {
+                        // Merged execution failed: fall back to executing
+                        // each member separately so one bad query cannot
+                        // starve the whole group.
+                        member_errors
+                            .push(PipelineError::Execution(format!("merged: {merged_err}")));
+                        for m in &g.members {
+                            match execute(self.table, &queries[m.index]) {
+                                Ok(rs) => values.push((shown[m.index], rs.scalar())),
+                                Err(e) => member_errors
+                                    .push(PipelineError::Execution(e.to_string())),
+                            }
+                        }
+                    }
+                },
+                Some(f) => match muve_dbms::execute_approximate(
+                    self.table,
+                    &g.merged,
+                    f,
+                    self.config.seed,
+                ) {
+                    Ok((rs, _realized)) => {
+                        let n_group = g.merged.group_by.len();
+                        for m in &g.members {
+                            let row = match (&m.key, n_group) {
+                                (Some(key), 1) => rs.rows.iter().find(|r| &r[0] == key),
+                                _ => rs.rows.first(),
+                            };
+                            let v = row.and_then(|r| r[n_group + m.agg].as_f64());
+                            // A missing group on a sample means zero sampled
+                            // rows matched: count estimates 0, others stay
+                            // unknown.
+                            let v = match (v, g.merged.aggregates[m.agg].func) {
+                                (None, AggFunc::Count) => Some(0.0),
+                                (v, _) => v,
+                            };
+                            values.push((shown[m.index], v));
+                        }
+                    }
+                    Err(e) => {
+                        member_errors.push(PipelineError::Execution(format!("sample: {e}")));
+                    }
+                },
+            }
+        }
+        ExecAttempt { values, member_errors }
+    }
+}
+
+/// The headline-only rung: one plot, one bar — the most likely candidate —
+/// titled with the shared headline skeleton.
+fn headline_only_multiplot(candidates: &[Candidate], headline_text: &str) -> Multiplot {
+    let top = candidates
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.probability
+                .partial_cmp(&b.1.probability)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i);
+    let Some(top) = top else {
+        return Multiplot::empty(1);
+    };
+    let title = if headline_text.is_empty() {
+        candidates[top].query.to_sql()
+    } else {
+        headline_text.to_owned()
+    };
+    Multiplot {
+        rows: vec![vec![Plot {
+            title,
+            entries: vec![PlotEntry {
+                candidate: top,
+                label: "most likely".into(),
+                highlighted: true,
+            }],
+        }]],
+    }
+}
+
+/// The terminal text fallback: the top candidate's SQL and value (if any).
+fn top_candidate_text(candidates: &[Candidate], results: &[Option<f64>]) -> String {
+    let top = candidates.iter().enumerate().max_by(|a, b| {
+        a.1.probability
+            .partial_cmp(&b.1.probability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    match top {
+        Some((i, c)) => {
+            let value = results
+                .get(i)
+                .copied()
+                .flatten()
+                .map_or("?".to_owned(), |v| format!("{v}"));
+            format!("{} = {value} (p = {:.2})", c.query.to_sql(), c.probability)
+        }
+        None => "no candidate interpretations".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::StageFault;
+    use muve_dbms::{ColumnType, Schema, Value};
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new([("origin", ColumnType::Str), ("delay", ColumnType::Int)]);
+        let mut b = Table::builder("flights", schema);
+        for i in 0..n {
+            let o = ["JFK", "LGA", "EWR"][i % 3];
+            b.push_row([Value::from(o), Value::from((i % 60) as i64)]);
+        }
+        b.build()
+    }
+
+    fn config() -> SessionConfig {
+        SessionConfig { deadline: Duration::from_millis(800), ..SessionConfig::default() }
+    }
+
+    #[test]
+    fn clean_run_stays_on_top_rung() {
+        let t = table(3_000);
+        let s = Session::new(&t, config());
+        let out = s.run("select avg(delay) from flights where origin = 'JFK'");
+        assert!(!out.degraded(), "trace: {:?}", out.trace);
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        match &out.visualization {
+            Visualization::Multiplot { results, rendered, approximate, .. } => {
+                assert!(results.iter().any(Option::is_some));
+                assert!(!rendered.is_empty());
+                assert!(!approximate);
+            }
+            Visualization::Text { .. } => panic!("expected a multiplot"),
+        }
+        assert_eq!(out.trace.final_rung, Rung::Ilp);
+    }
+
+    #[test]
+    fn translation_failure_is_terminal_text() {
+        let t = table(100);
+        let out = Session::new(&t, config()).run("   ");
+        assert_eq!(out.trace.final_rung, Rung::Text);
+        assert!(matches!(out.visualization, Visualization::Text { .. }));
+        assert!(out.interpretation.is_none());
+        assert!(!out.errors.is_empty());
+    }
+
+    #[test]
+    fn solver_panic_recovers_via_ladder() {
+        let t = table(2_000);
+        let inj = FaultInjector::none()
+            .with(Stage::Plan, StageFault { panic: true, ..Default::default() });
+        let out = Session::new(&t, config()).with_injector(inj).run("average delay in jfk");
+        assert!(out.degraded());
+        assert!(out
+            .errors
+            .iter()
+            .any(|e| matches!(e, PipelineError::StagePanic { stage: Stage::Plan, .. })));
+        // The panic fired before planning started, so there is no
+        // incumbent: the ladder lands on greedy.
+        assert_eq!(out.trace.final_rung, Rung::Greedy);
+        match &out.visualization {
+            Visualization::Multiplot { multiplot, results, .. } => {
+                assert!(multiplot.num_plots() > 0);
+                assert!(results.iter().any(Option::is_some));
+            }
+            Visualization::Text { .. } => panic!("greedy rung still shows a multiplot"),
+        }
+    }
+
+    #[test]
+    fn solver_stall_degrades_without_panicking() {
+        let t = table(2_000);
+        let inj = FaultInjector::none()
+            .with(Stage::Plan, StageFault { stall_solver: true, ..Default::default() });
+        let mut cfg = config();
+        cfg.deadline = Duration::from_millis(400);
+        let out = Session::new(&t, cfg).with_injector(inj).run("average delay in jfk");
+        assert!(out.degraded(), "stalled solver must degrade: {:?}", out.trace);
+        assert!(out.elapsed < Duration::from_millis(1200), "stall must respect 2θ");
+        assert!(matches!(out.visualization, Visualization::Multiplot { .. }));
+    }
+
+    #[test]
+    fn injected_execution_error_retries_clean() {
+        let t = table(2_000);
+        let inj = FaultInjector::none()
+            .with(Stage::Execute, StageFault { error: true, ..Default::default() });
+        let out = Session::new(&t, config()).with_injector(inj).run("average delay in jfk");
+        // The one-shot injected error is consumed by the first attempt;
+        // escalation retries exact and succeeds.
+        assert!(out
+            .errors
+            .iter()
+            .any(|e| matches!(e, PipelineError::FaultInjected { stage: Stage::Execute })));
+        match &out.visualization {
+            Visualization::Multiplot { results, .. } => {
+                assert!(results.iter().any(Option::is_some), "retry produced values");
+            }
+            Visualization::Text { .. } => panic!("expected a multiplot"),
+        }
+    }
+
+    #[test]
+    fn render_failure_falls_back_to_text() {
+        let t = table(500);
+        let inj = FaultInjector::none()
+            .with(Stage::Render, StageFault { panic: true, ..Default::default() });
+        let out = Session::new(&t, config()).with_injector(inj).run("average delay in jfk");
+        assert_eq!(out.trace.final_rung, Rung::Text);
+        match &out.visualization {
+            Visualization::Text { message } => assert!(message.contains("avg")),
+            Visualization::Multiplot { .. } => panic!("render panic must fall back to text"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_still_produces_outcome() {
+        let t = table(500);
+        let mut cfg = config();
+        cfg.deadline = Duration::ZERO;
+        let out = Session::new(&t, cfg).run("average delay in jfk");
+        assert_eq!(out.trace.final_rung, Rung::HeadlineOnly);
+        assert!(out.errors.iter().any(|e| matches!(e, PipelineError::DeadlineExceeded { .. })));
+        match &out.visualization {
+            Visualization::Multiplot { multiplot, .. } => {
+                assert_eq!(multiplot.num_plots(), 1);
+                assert_eq!(multiplot.num_bars(), 1);
+            }
+            Visualization::Text { .. } => panic!("headline-only rung is still a plot"),
+        }
+    }
+
+    #[test]
+    fn headline_only_highlights_top_candidate() {
+        let cands = vec![
+            Candidate::new(parse("select count(*) from t where k = 'a'").unwrap(), 0.3),
+            Candidate::new(parse("select count(*) from t where k = 'b'").unwrap(), 0.7),
+        ];
+        let m = headline_only_multiplot(&cands, "count(*) from t where k = …");
+        assert_eq!(m.num_bars(), 1);
+        assert!(m.highlights(1), "bar must be the most likely candidate");
+    }
+}

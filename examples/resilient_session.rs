@@ -1,0 +1,77 @@
+//! Surviving a solver crash mid-session.
+//!
+//! ```text
+//! cargo run --release --example resilient_session
+//! ```
+//!
+//! Runs the same voice query twice through the deadline-enforced pipeline:
+//! once clean, and once with a panic injected into the ILP planning stage.
+//! The panic is caught at the stage boundary and the degradation ladder
+//! recovers through the greedy planner — the user still gets a multiplot,
+//! and the `DegradationTrace` shows exactly what happened along the way.
+
+use muve::pipeline::{FaultInjector, Session, SessionConfig, Visualization};
+use muve::data::Dataset;
+use std::time::Duration;
+
+fn show(label: &str, outcome: &muve::pipeline::SessionOutcome) {
+    println!("=== {label} ===");
+    if let Some(q) = &outcome.interpretation {
+        println!("interpretation : {}", q.to_sql());
+    }
+    println!("candidates     : {}", outcome.candidates.len());
+    println!(
+        "rungs          : planned {}, final {}{}",
+        outcome.trace.planned_rung,
+        outcome.trace.final_rung,
+        if outcome.degraded() { "  (degraded)" } else { "" }
+    );
+    for e in &outcome.errors {
+        println!("error          : {e}");
+    }
+    println!("trace:");
+    for ev in &outcome.trace.events {
+        println!(
+            "  {:>7.1} ms  [{:<10}] {} rung: {}",
+            ev.at.as_secs_f64() * 1000.0,
+            ev.stage.name(),
+            ev.rung,
+            ev.detail
+        );
+    }
+    match &outcome.visualization {
+        Visualization::Multiplot { rendered, .. } => println!("{rendered}"),
+        Visualization::Text { message } => println!("fallback text: {message}"),
+    }
+    println!(
+        "answered in {:.1} ms of a {:.0} ms budget\n",
+        outcome.elapsed.as_secs_f64() * 1000.0,
+        outcome.deadline.as_secs_f64() * 1000.0
+    );
+}
+
+fn main() {
+    let table = Dataset::Flights.generate(20_000, 42);
+    let config = SessionConfig { deadline: Duration::from_secs(1), ..SessionConfig::default() };
+    let question = "average dep delay in jfk";
+
+    // A clean run: the ILP planner finishes and the session stays on its
+    // top rung.
+    let clean = Session::new(&table, config.clone()).run(question);
+    show("clean run", &clean);
+
+    // The same question, but the solver panics mid-planning. The panic is
+    // caught at the stage boundary; the ladder drops to the greedy planner
+    // and the user still sees a multiplot with executed values.
+    let injector = FaultInjector::parse("plan:panic").expect("valid fault spec");
+    let crashed = Session::new(&table, config).with_injector(injector).run(question);
+    show("with injected solver panic", &crashed);
+
+    assert!(crashed.degraded(), "the crashed run degrades instead of failing");
+    assert!(
+        matches!(crashed.visualization, Visualization::Multiplot { .. }),
+        "the greedy rung still produces a multiplot"
+    );
+    println!("solver panic survived: degraded {} -> {} and kept the multiplot",
+        crashed.trace.planned_rung, crashed.trace.final_rung);
+}

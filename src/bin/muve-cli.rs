@@ -1,12 +1,16 @@
 //! `muve-cli` — interactive MUVE shell.
 //!
 //! ```text
-//! cargo run --release --bin muve-cli
+//! cargo run --release --bin muve-cli -- [--deadline-ms N] [--inject-fault SPEC]
 //! ```
 //!
 //! Type a natural-language question (or a SQL `select ...`) and get the
 //! planned multiplot with executed results, exactly like the paper's demo
-//! interface (minus the microphone). Commands:
+//! interface (minus the microphone). Every question runs through the
+//! deadline-enforced `muve-pipeline` session: a total interactivity budget
+//! bounds the whole transcript→render path, and failures degrade the
+//! output (ILP → incumbent → greedy → headline-only → text) instead of
+//! crashing the shell. Commands:
 //!
 //! ```text
 //! \dataset <ads|dob|nyc311|flights> [rows]   load a synthetic dataset
@@ -15,47 +19,46 @@
 //! \planner <greedy|ilp>                      choose the planner
 //! \k <n>                                     number of candidates
 //! \noise <rate>                              simulate ASR noise on input
+//! \deadline <ms>                             interactivity budget per question
+//! \inject <spec|off>                         plant faults (e.g. plan:panic)
 //! \svg <path>                                save the last multiplot
 //! \schema                                    show the loaded schema
 //! \help, \quit
 //! ```
 
-use muve::core::{
-    headline, plan, render_svg, render_text, Candidate, IlpConfig, Planner, ScreenConfig,
-    UserCostModel,
-};
+use muve::core::{render_svg, IlpConfig, Planner, ScreenConfig, UserCostModel};
 use muve::data::Dataset;
-use muve::dbms::{
-    execute_merged, plan_merged, table_from_csv_path, ColumnType, Query, Table,
-};
-use muve::nlq::{translate, CandidateGenerator, SpeechChannel};
+use muve::dbms::{table_from_csv_path, ColumnType, Table};
+use muve::nlq::SpeechChannel;
+use muve::pipeline::{FaultInjector, Session, SessionConfig, Visualization};
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
-struct Session {
+struct Shell {
     table: Table,
-    generator: CandidateGenerator,
     screen: ScreenConfig,
     planner: Planner,
     model: UserCostModel,
     k: usize,
     noise: f64,
     noise_seed: u64,
+    deadline: Duration,
+    injector: FaultInjector,
     last_svg: Option<String>,
 }
 
-impl Session {
-    fn new(table: Table) -> Session {
-        let generator = CandidateGenerator::new(&table);
-        Session {
+impl Shell {
+    fn new(table: Table) -> Shell {
+        Shell {
             table,
-            generator,
             screen: ScreenConfig::desktop(2),
             planner: Planner::Greedy,
             model: UserCostModel::default(),
             k: 10,
             noise: 0.0,
             noise_seed: 0,
+            deadline: Duration::from_secs(1),
+            injector: FaultInjector::none(),
             last_svg: None,
         }
     }
@@ -67,7 +70,6 @@ impl Session {
             table.num_rows(),
             table.schema().len()
         );
-        self.generator = CandidateGenerator::new(&table);
         self.table = table;
     }
 
@@ -94,59 +96,52 @@ impl Session {
                 println!("(ASR heard: {text})");
             }
         }
-        let base: Query = if text.trim_start().to_ascii_lowercase().starts_with("select") {
-            match muve::dbms::parse(&text) {
-                Ok(q) => q,
-                Err(e) => {
-                    println!("{e}");
-                    return;
-                }
-            }
-        } else {
-            match translate(&text, &self.table) {
-                Ok(q) => q,
-                Err(e) => {
-                    println!("{e}");
-                    return;
-                }
-            }
+        let config = SessionConfig {
+            deadline: self.deadline,
+            screen: self.screen,
+            model: self.model,
+            planner: self.planner.clone(),
+            k: 20,
+            max_candidates: self.k,
+            ..SessionConfig::default()
         };
-        println!("top interpretation: {}", base.to_sql());
-        let candidates: Vec<Candidate> = self
-            .generator
-            .candidates(&base, 20, self.k)
-            .into_iter()
-            .map(|c| Candidate::new(c.query, c.probability))
-            .collect();
-        if candidates.len() > 1 {
-            println!("{} candidate interpretations", candidates.len());
-            // The multiplot headline: elements shared by all candidates
-            // (paper Figure 2b).
-            println!("headline: {}", headline(&candidates));
+        let session = Session::new(&self.table, config).with_injector(self.injector.clone());
+        let outcome = session.run(&text);
+
+        if let Some(base) = &outcome.interpretation {
+            println!("top interpretation: {}", base.to_sql());
         }
-        let result = plan(&self.planner, &candidates, &self.screen, &self.model);
-        println!(
-            "planned in {:.1} ms (expected disambiguation {:.1} s{})",
-            result.planning_time.as_secs_f64() * 1000.0,
-            result.expected_cost / 1000.0,
-            if result.proven_optimal { ", optimal" } else { "" }
-        );
-        let multiplot = result.multiplot;
-        let shown = multiplot.candidates_shown();
-        let queries: Vec<Query> = shown.iter().map(|&i| candidates[i].query.clone()).collect();
-        let mut results: Vec<Option<f64>> = vec![None; candidates.len()];
-        for g in plan_merged(&queries) {
-            match execute_merged(&self.table, &g) {
-                Ok(r) => {
-                    for (local, v) in r.results {
-                        results[shown[local]] = v;
-                    }
+        if outcome.candidates.len() > 1 {
+            println!("{} candidate interpretations", outcome.candidates.len());
+        }
+        for e in &outcome.errors {
+            println!("  ! {e}");
+        }
+        if outcome.degraded() {
+            println!(
+                "degraded: {} -> {} rung",
+                outcome.trace.planned_rung, outcome.trace.final_rung
+            );
+        }
+        match &outcome.visualization {
+            Visualization::Multiplot { multiplot, headline, results, rendered, approximate } => {
+                if !headline.is_empty() && outcome.candidates.len() > 1 {
+                    println!("headline: {headline}");
                 }
-                Err(e) => println!("execution error: {e}"),
+                if *approximate {
+                    println!("(values are sample estimates)");
+                }
+                println!("{rendered}");
+                self.last_svg = Some(render_svg(multiplot, results, self.screen.width_px));
             }
+            Visualization::Text { message } => println!("{message}"),
         }
-        println!("{}", render_text(&multiplot, &results));
-        self.last_svg = Some(render_svg(&multiplot, &results, self.screen.width_px));
+        println!(
+            "answered in {:.1} ms of a {:.0} ms budget ({} rung)",
+            outcome.elapsed.as_secs_f64() * 1000.0,
+            outcome.deadline.as_secs_f64() * 1000.0,
+            outcome.trace.final_rung
+        );
     }
 
     fn command(&mut self, line: &str) -> bool {
@@ -233,6 +228,30 @@ impl Session {
                 }
                 _ => println!("usage: \\noise <0..1>"),
             },
+            Some("\\deadline") => match parts.get(1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => {
+                    self.deadline = Duration::from_millis(ms);
+                    println!("interactivity budget: {ms} ms");
+                }
+                _ => println!("usage: \\deadline <ms>"),
+            },
+            Some("\\inject") => match parts.get(1).copied() {
+                Some("off") | Some("none") => {
+                    self.injector = FaultInjector::none();
+                    println!("fault injection off");
+                }
+                Some(spec) => match FaultInjector::parse(spec) {
+                    Ok(inj) => {
+                        self.injector = inj;
+                        println!("faults planted: {spec}");
+                    }
+                    Err(e) => println!("{e}"),
+                },
+                None => println!(
+                    "usage: \\inject <stage:kind,...|off> \
+                     (kinds: error, panic, stall, latency=MS)"
+                ),
+            },
             Some("\\svg") => match (&self.last_svg, parts.get(1)) {
                 (Some(svg), Some(path)) => match std::fs::write(path, svg) {
                     Ok(()) => println!("wrote {path}"),
@@ -251,17 +270,48 @@ fn print_help() {
     println!(
         "ask a natural-language question or type SQL (select ...).\n\
          commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
-         \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\svg <path>, \\schema, \\quit"
+         \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>,\n\
+         \\inject <spec|off>, \\svg <path>, \\schema, \\quit"
     );
 }
 
 fn main() {
+    let mut shell = Shell::new(Dataset::Nyc311.generate(20_000, 42));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deadline-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => shell.deadline = Duration::from_millis(ms),
+                _ => {
+                    eprintln!("--deadline-ms expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--inject-fault" => match args.next().map(|v| FaultInjector::parse(&v)) {
+                Some(Ok(inj)) => shell.injector = inj,
+                Some(Err(e)) => {
+                    eprintln!("--inject-fault: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--inject-fault expects a spec like plan:panic,execute:error");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: \
+                     muve-cli [--deadline-ms N] [--inject-fault SPEC]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     println!("MUVE shell — robust voice querying with multiplots. \\help for commands.");
-    let mut session = Session::new(Dataset::Nyc311.generate(20_000, 42));
     println!(
         "loaded default dataset {:?} ({} rows). Try: how many noise complaints in brooklyn",
-        session.table.name(),
-        session.table.num_rows()
+        shell.table.name(),
+        shell.table.num_rows()
     );
     let stdin = std::io::stdin();
     loop {
@@ -278,11 +328,11 @@ fn main() {
             continue;
         }
         if line.starts_with('\\') {
-            if !session.command(line) {
+            if !shell.command(line) {
                 break;
             }
         } else {
-            session.ask(line);
+            shell.ask(line);
         }
     }
     println!("bye");

@@ -4,5 +4,6 @@ pub use muve_dbms as dbms;
 pub use muve_data as data;
 pub use muve_nlq as nlq;
 pub use muve_phonetics as phonetics;
+pub use muve_pipeline as pipeline;
 pub use muve_sim as sim;
 pub use muve_solver as solver;

@@ -1,0 +1,213 @@
+//! Fault-injection suite for the deadline-enforced session pipeline.
+//!
+//! The contract under test: [`Session::run`] never panics and always
+//! returns a well-formed [`SessionOutcome`] — under seeded random fault
+//! plans, explicit worst-case plans, and random transcripts — and a
+//! fault-free session agrees with the direct planning path.
+
+use muve::core::{plan, Planner, ScreenConfig};
+use muve::data::Dataset;
+use muve::dbms::Table;
+use muve::pipeline::{
+    FaultInjector, PipelineError, Rung, Session, SessionConfig, Stage, StageFault, Visualization,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn flights(rows: usize) -> Table {
+    Dataset::Flights.generate(rows, 7)
+}
+
+fn config(deadline_ms: u64) -> SessionConfig {
+    SessionConfig {
+        deadline: Duration::from_millis(deadline_ms),
+        screen: ScreenConfig::desktop(2),
+        ..SessionConfig::default()
+    }
+}
+
+/// The outcome invariants every run must satisfy, faults or not.
+fn assert_well_formed(out: &muve::pipeline::SessionOutcome) {
+    assert!(!out.trace.events.is_empty(), "trace never empty");
+    assert!(out.trace.final_rung >= out.trace.planned_rung, "ladder only goes down");
+    match &out.visualization {
+        Visualization::Multiplot { multiplot, results, rendered, .. } => {
+            assert!(multiplot.num_plots() > 0, "a multiplot rung shows plots");
+            assert!(!rendered.is_empty());
+            for &c in &multiplot.candidates_shown() {
+                assert!(c < results.len(), "plot entries index the candidate vector");
+            }
+        }
+        Visualization::Text { message } => assert!(!message.is_empty()),
+    }
+    for e in &out.errors {
+        // Exercise the taxonomy: every error renders and maps to a stage.
+        assert!(!format!("{e}").is_empty());
+        let _ = e.stage();
+    }
+}
+
+/// ≥50 seeded fault plans: every one must produce a well-formed outcome
+/// within 2× the deadline, whatever combination of latency, errors, panics
+/// and solver stalls the seed drew.
+#[test]
+fn sixty_seeded_fault_plans_always_yield_outcomes() {
+    let table = flights(4_000);
+    let deadline = Duration::from_millis(300);
+    for seed in 0..60u64 {
+        let injector = FaultInjector::from_seed(seed);
+        let session = Session::new(&table, config(300)).with_injector(injector);
+        let out = session.run("average dep delay in jfk");
+        assert_well_formed(&out);
+        assert!(
+            out.elapsed < 2 * deadline + Duration::from_millis(200),
+            "seed {seed}: {:?} not within 2x deadline",
+            out.elapsed
+        );
+    }
+}
+
+/// A fault-free session under a comfortable deadline lands on its planned
+/// rung and produces the same multiplot as calling the planner directly.
+/// Greedy is deterministic, so the comparison is exact.
+#[test]
+fn no_fault_session_matches_direct_plan_path() {
+    let table = flights(3_000);
+    let cfg = SessionConfig { planner: Planner::Greedy, ..config(1_000) };
+    let session = Session::new(&table, cfg.clone());
+    let out = session.run("average dep delay in jfk");
+    assert!(!out.degraded(), "clean run must not degrade: {:?}", out.trace);
+    assert!(out.errors.is_empty(), "{:?}", out.errors);
+
+    let direct = plan(&cfg.planner, &out.candidates, &cfg.screen, &cfg.model);
+    match &out.visualization {
+        Visualization::Multiplot { multiplot, .. } => {
+            assert_eq!(
+                multiplot, &direct.multiplot,
+                "session and direct path plan the identical multiplot"
+            );
+        }
+        Visualization::Text { .. } => panic!("clean run must produce a multiplot"),
+    }
+}
+
+/// The ILP path under a comfortable deadline also stays on its top rung
+/// and executes values, without needing bit-identical plans.
+#[test]
+fn no_fault_ilp_session_stays_on_top_rung() {
+    let table = flights(2_000);
+    let out = Session::new(&table, config(1_000)).run("average dep delay in jfk");
+    assert!(!out.degraded(), "clean ILP run must not degrade: {:?}", out.trace);
+    assert_eq!(out.trace.final_rung, Rung::Ilp);
+    assert!(out.errors.is_empty(), "{:?}", out.errors);
+    match &out.visualization {
+        Visualization::Multiplot { results, .. } => {
+            assert!(results.iter().any(Option::is_some));
+        }
+        Visualization::Text { .. } => panic!("expected a multiplot"),
+    }
+}
+
+/// An injected solver panic is caught at the stage boundary and the ladder
+/// recovers through greedy — the headline robustness demo.
+#[test]
+fn solver_panic_degrades_to_greedy() {
+    let table = flights(3_000);
+    let injector = FaultInjector::none()
+        .with(Stage::Plan, StageFault { panic: true, ..Default::default() });
+    let out = Session::new(&table, config(800)).with_injector(injector).run("average dep delay in jfk");
+    assert_well_formed(&out);
+    assert_eq!(out.trace.planned_rung, Rung::Ilp);
+    assert_eq!(out.trace.final_rung, Rung::Greedy);
+    assert!(out
+        .errors
+        .iter()
+        .any(|e| matches!(e, PipelineError::StagePanic { stage: Stage::Plan, .. })));
+    match &out.visualization {
+        Visualization::Multiplot { results, .. } => {
+            assert!(results.iter().any(Option::is_some), "greedy plan still executes");
+        }
+        Visualization::Text { .. } => panic!("expected a multiplot from the greedy rung"),
+    }
+}
+
+/// A failed merged execution falls back to separate per-query execution,
+/// and an injected execution error is retried clean by the escalation
+/// ladder — either way values land on screen.
+#[test]
+fn execution_faults_recover_with_values() {
+    let table = flights(3_000);
+    for spec in ["execute:error", "execute:panic", "execute:latency=30"] {
+        let injector = FaultInjector::parse(spec).unwrap();
+        let out = Session::new(&table, config(800)).with_injector(injector).run("average dep delay in jfk");
+        assert_well_formed(&out);
+        match &out.visualization {
+            Visualization::Multiplot { results, .. } => {
+                assert!(
+                    results.iter().any(Option::is_some),
+                    "{spec}: execution recovery must produce values"
+                );
+            }
+            Visualization::Text { .. } => panic!("{spec}: expected a multiplot"),
+        }
+    }
+}
+
+/// Faults in every stage at once: the session still returns, on the text
+/// rung if need be.
+#[test]
+fn worst_case_all_stage_panics() {
+    let table = flights(1_000);
+    let mut injector = FaultInjector::none();
+    for stage in Stage::ALL {
+        injector = injector.with(stage, StageFault { panic: true, ..Default::default() });
+    }
+    let out = Session::new(&table, config(500)).with_injector(injector).run("average dep delay in jfk");
+    assert_well_formed(&out);
+    assert!(out.degraded());
+    // A translate-stage panic short-circuits to the terminal text fallback.
+    assert_eq!(out.trace.final_rung, Rung::Text);
+    assert!(out
+        .errors
+        .iter()
+        .any(|e| matches!(e, PipelineError::StagePanic { stage: Stage::Translate, .. })));
+}
+
+/// A stalled solver (ILP that never finds an incumbent) degrades without
+/// blowing the deadline.
+#[test]
+fn solver_stall_respects_deadline() {
+    let table = flights(3_000);
+    let injector = FaultInjector::parse("plan:stall").unwrap();
+    let deadline = Duration::from_millis(400);
+    let out = Session::new(&table, config(400)).with_injector(injector).run("average dep delay in jfk");
+    assert_well_formed(&out);
+    assert!(out.degraded(), "a stalled solver must degrade: {:?}", out.trace);
+    assert!(out.elapsed < 2 * deadline + Duration::from_millis(200));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: for any seeded fault plan and any transcript (SQL-ish or
+    /// gibberish), the session returns a well-formed outcome within 2× the
+    /// deadline.
+    #[test]
+    fn any_fault_plan_any_transcript_yields_outcome(
+        seed in 0u64..10_000,
+        transcript in prop_oneof![
+            Just("average dep delay in jfk".to_owned()),
+            Just("select avg(dep_delay) from flights where origin = 'JFK'".to_owned()),
+            Just("select nonsense(".to_owned()),
+            "\\PC{0,40}",
+        ],
+    ) {
+        let table = flights(1_500);
+        let deadline = Duration::from_millis(250);
+        let session = Session::new(&table, config(250)).with_injector(FaultInjector::from_seed(seed));
+        let out = session.run(&transcript);
+        assert_well_formed(&out);
+        prop_assert!(out.elapsed < 2 * deadline + Duration::from_millis(200));
+        prop_assert_eq!(out.deadline, deadline);
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench sources compiling and runnable without the real
+//! statistics engine: every benchmark body is executed a small fixed
+//! number of times and the mean wall-clock time is printed. Good enough
+//! to smoke-test bench targets and get rough numbers; not a measurement
+//! instrument.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Iteration driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run the routine `iters` times, recording the mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / f64::from(self.iters.max(1));
+    }
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, last_mean_ns: 0.0 };
+        f(&mut b);
+        println!("bench {name}: {}", fmt_ns(b.last_mean_ns));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_owned(), iters: self.iters, _parent: self }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always smoke-runs.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, last_mean_ns: 0.0 };
+        f(&mut b);
+        println!("bench {}/{id}: {}", self.name, fmt_ns(b.last_mean_ns));
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, last_mean_ns: 0.0 };
+        f(&mut b, input);
+        println!("bench {}/{}: {}", self.name, id.id, fmt_ns(b.last_mean_ns));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = { let _ = $cfg; $crate::Criterion::default() };
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(5));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,861 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic, shrinkless property-test runner implementing the API
+//! subset this workspace uses:
+//!
+//! - [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`;
+//! - range strategies for integers and floats, tuple strategies, `Just`;
+//! - `&str` regex-subset strategies (char classes, `\PC`, `{m,n}`, `*`,
+//!   `+`, `?` repetition);
+//! - `prop::collection::vec`, `prop::sample::select`, `any::<T>()`;
+//! - the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`
+//!   and `prop_oneof!` macros;
+//! - [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Failing cases report the case number, seed, and generated inputs but
+//! are not shrunk. Case streams are deterministic per test name, so
+//! failures reproduce exactly on re-run.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration (subset: case count).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The inputs were rejected by `prop_assume!`; retry with new ones.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "inputs rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic generator driving all strategies (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeded construction; the stream is a pure function of `seed`.
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = bound.wrapping_neg() % bound;
+            loop {
+                let m = (self.next_u64() as u128).wrapping_mul(bound as u128);
+                if (m as u64) >= zone {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a of the test path; mixed into seeds so every property gets
+    /// its own deterministic case stream.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::string::StringParam;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type (printable so failing cases can be shown).
+        type Value: Debug;
+
+        /// Draw one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe generation, used by [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy (cheaply cloneable).
+    pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.new_value_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V: Debug> Union<V> {
+        /// Build from alternatives; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    let off = rng.below(span);
+                    ((self.start as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = rng.below(span + 1);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    );
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_strategy!(f32, f64);
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            StringParam::parse(self).generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical [`Strategy`] (`any::<T>()`).
+    pub trait Arbitrary: Sized + Debug {
+        /// The canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+        /// Build it.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-range integer strategy backing `any::<int>()`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    // Bias towards small magnitudes and boundary values:
+                    // uniform full-range 64-bit patterns rarely exercise
+                    // the interesting cases.
+                    match rng.below(8) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 | 4 => (rng.next_u64() % 256) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> FullRange<$t> {
+                    FullRange(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// Strategy backing `any::<bool>()`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// Strategy backing `any::<f64>()`: finite floats plus boundary cases.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyF64;
+
+    impl Strategy for AnyF64 {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            match rng.below(8) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => 1.0,
+                3 => -1.0,
+                _ => (rng.unit_f64() - 0.5) * 2e9,
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = AnyF64;
+        fn arbitrary() -> AnyF64 {
+            AnyF64
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Regex-subset string generation backing `&str` strategies.
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// A sampled non-control characters pool for `\PC` (mostly ASCII with
+    /// some multibyte code points so parsers meet real UTF-8).
+    const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'λ', '≤', '中', '🦀', '\u{a0}', 'Ω'];
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// Literal character.
+        Lit(char),
+        /// Character class: concrete choices.
+        Class(Vec<(char, char)>),
+        /// Any printable (non-control) character (`\PC`).
+        Printable,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// A parsed pattern: a sequence of repeated atoms.
+    #[derive(Debug, Clone)]
+    pub struct StringParam {
+        pieces: Vec<Piece>,
+    }
+
+    impl StringParam {
+        /// Parse the supported regex subset; panics on unsupported syntax
+        /// (matching upstream's panic-on-invalid-regex behavior).
+        pub fn parse(pattern: &str) -> StringParam {
+            let mut chars = pattern.chars().peekable();
+            let mut pieces: Vec<Piece> = Vec::new();
+            while let Some(c) = chars.next() {
+                let atom = match c {
+                    '[' => {
+                        let mut ranges: Vec<(char, char)> = Vec::new();
+                        let mut prev: Option<char> = None;
+                        loop {
+                            let Some(cc) = chars.next() else {
+                                panic!("unterminated character class in {pattern:?}");
+                            };
+                            match cc {
+                                ']' => break,
+                                '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                    let lo = prev.take().expect("range start");
+                                    // `prev` was pushed as a singleton; widen it.
+                                    let hi = chars.next().expect("range end");
+                                    let last = ranges.last_mut().expect("range start pushed");
+                                    assert_eq!(last.0, lo);
+                                    *last = (lo, hi);
+                                }
+                                '\\' => {
+                                    let esc = chars.next().expect("escape");
+                                    ranges.push((esc, esc));
+                                    prev = Some(esc);
+                                }
+                                cc => {
+                                    ranges.push((cc, cc));
+                                    prev = Some(cc);
+                                }
+                            }
+                        }
+                        Atom::Class(ranges)
+                    }
+                    '\\' => match chars.next() {
+                        Some('P') | Some('p') => {
+                            let class = chars.next().expect("class letter");
+                            assert_eq!(
+                                class, 'C',
+                                "only \\PC / \\pC supported in stub, got \\P{class}"
+                            );
+                            Atom::Printable
+                        }
+                        Some(esc) => Atom::Lit(esc),
+                        None => panic!("dangling escape in {pattern:?}"),
+                    },
+                    '.' => Atom::Printable,
+                    c => Atom::Lit(c),
+                };
+                // Optional repetition suffix.
+                let (min, max) = match chars.peek() {
+                    Some('{') => {
+                        chars.next();
+                        let mut spec = String::new();
+                        for cc in chars.by_ref() {
+                            if cc == '}' {
+                                break;
+                            }
+                            spec.push(cc);
+                        }
+                        match spec.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("repeat min"),
+                                hi.trim().parse().expect("repeat max"),
+                            ),
+                            None => {
+                                let n = spec.trim().parse().expect("repeat count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        (0, 8)
+                    }
+                    Some('+') => {
+                        chars.next();
+                        (1, 8)
+                    }
+                    Some('?') => {
+                        chars.next();
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                };
+                pieces.push(Piece { atom, min, max });
+            }
+            StringParam { pieces }
+        }
+
+        /// Generate one string matching the pattern.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Lit(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let total: u64 =
+                                ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+                            let mut pick = rng.below(total);
+                            for (lo, hi) in ranges {
+                                let width = *hi as u64 - *lo as u64 + 1;
+                                if pick < width {
+                                    out.push(
+                                        char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo),
+                                    );
+                                    break;
+                                }
+                                pick -= width;
+                            }
+                        }
+                        Atom::Printable => {
+                            if rng.below(10) == 0 {
+                                let i = rng.below(PRINTABLE_EXTRA.len() as u64) as usize;
+                                out.push(PRINTABLE_EXTRA[i]);
+                            } else {
+                                out.push((0x20 + rng.below(0x5f) as u8) as char);
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Combinator namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::fmt::Debug;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Element-count specification for [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            min: usize,
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { min: n, max: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange { min: r.start, max: r.end - 1 }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> SizeRange {
+                SizeRange { min: *r.start(), max: *r.end() }
+            }
+        }
+
+        /// Strategy producing vectors of `element` values.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Vectors whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.min
+                    + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::fmt::Debug;
+
+        /// Strategy choosing uniformly from a fixed list.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Choose uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select from empty list");
+            Select { options }
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Assert inside a property; failing returns a case failure (not a panic)
+/// so the runner can report inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{:?} == {:?}", l, r);
+    }};
+}
+
+/// Discard the current case (retried with fresh inputs, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond).to_string()),
+            );
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Define property tests. Each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let base = $crate::test_runner::name_seed(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = u64::from(config.cases) * 256 + 64;
+            while accepted < config.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "proptest {}: gave up after {} attempts ({} cases accepted): \
+                         prop_assume! rejects too much",
+                        stringify!($name), attempts, accepted
+                    );
+                }
+                let case_seed = base ^ attempts.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let mut rng = $crate::test_runner::TestRng::from_seed(case_seed);
+                let mut inputs = String::new();
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(
+                        let value = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                        inputs.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), value
+                        ));
+                        let $arg = value;
+                    )+
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (seed {:#x}): {}\ninputs:\n{}",
+                            stringify!($name), accepted, case_seed, msg, inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::from_seed(1);
+        let p = crate::string::StringParam::parse("[a-z][a-z0-9_]{0,10}");
+        for _ in 0..200 {
+            let s = p.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        let p = crate::string::StringParam::parse("[a-zA-Z '0-9_]{0,12}");
+        for _ in 0..200 {
+            let s = p.generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '\'' || c == '_'));
+        }
+        let p = crate::string::StringParam::parse("\\PC{0,80}");
+        for _ in 0..200 {
+            let s = p.generate(&mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u8..9, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn combinators(v in prop::collection::vec(0u8..5, 1..8), s in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            prop_assert!(s == "a" || s == "b");
+        }
+
+        #[test]
+        fn mapping(n in (1usize..4).prop_flat_map(|n| prop::collection::vec(0i32..10, n..n + 1)).prop_map(|v| v.len())) {
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn oneof_and_assume(x in prop_oneof![(0i64..10).prop_map(|v| v), (100i64..110).prop_map(|v| v)]) {
+            prop_assume!(x != 5);
+            prop_assert!(x < 10 || (100..110).contains(&x));
+            prop_assert_ne!(x, 5);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize)]` as a marker on plain
+//! data types (no generic serialization sinks are instantiated), so this
+//! stub models `Serialize` as a marker trait the derive macro implements.
+//! Vendored for network-isolated builds.
+
+/// Marker for types whose values can be serialized.
+pub trait Serialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+macro_rules! impl_serialize {
+    ($($t:ty),* $(,)?) => {$( impl Serialize for $t {} )*};
+}
+
+impl_serialize!(
+    bool, char, str, String,
+    i8, i16, i32, i64, i128, isize,
+    u8, u16, u32, u64, u128, usize,
+    f32, f64,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl Serialize for std::time::Duration {}

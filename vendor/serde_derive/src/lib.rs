@@ -1,0 +1,100 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `Serialize` here is a marker trait (see the vendored `serde` stub), so
+//! the derive only has to name the type correctly — including simple
+//! generic parameters — and emit an empty impl. Implemented directly on
+//! `proc_macro` token trees; `syn`/`quote` are unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derive the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+    let mut name: Option<String> = None;
+    let mut generics: Vec<String> = Vec::new();
+
+    // Scan for `struct`/`enum` NAME [< params >], skipping attributes,
+    // visibility, and doc comments.
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(id) = &tt else { continue };
+        let kw = id.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        if let Some(TokenTree::Ident(n)) = tokens.next() {
+            name = Some(n.to_string());
+        }
+        // Collect `<...>` type/lifetime parameter names (bounds and
+        // defaults are stripped: only the bare parameter list matters
+        // for an empty marker impl).
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '<' {
+                tokens.next();
+                let mut depth = 1usize;
+                let mut current = String::new();
+                let mut at_param_start = true;
+                let mut in_bound = false;
+                for tt in tokens.by_ref() {
+                    match &tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                            if !current.is_empty() {
+                                generics.push(std::mem::take(&mut current));
+                            }
+                            at_param_start = true;
+                            in_bound = false;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                            in_bound = true;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '\'' && at_param_start => {
+                            current.push('\'');
+                        }
+                        TokenTree::Ident(id) if depth == 1 && !in_bound => {
+                            if at_param_start || current == "'" {
+                                current.push_str(&id.to_string());
+                                at_param_start = false;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if !current.is_empty() {
+                    generics.push(current);
+                }
+            }
+        }
+        break;
+    }
+
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+    let impl_line = if generics.is_empty() {
+        format!("impl serde::Serialize for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|g| {
+                if g.starts_with('\'') {
+                    g.clone()
+                } else {
+                    format!("{g}: serde::Serialize")
+                }
+            })
+            .collect();
+        format!(
+            "impl<{}> serde::Serialize for {name}<{params}> {{}}",
+            bounded.join(", ")
+        )
+    };
+    impl_line.parse().expect("generated impl parses")
+}

@@ -1,0 +1,337 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the surface this workspace uses: a [`Value`] tree, the
+//! [`json!`] constructor macro (object/array/interpolated-expression
+//! forms), and [`to_string`] / [`to_string_pretty`] rendering with full
+//! string escaping. Interpolated expressions convert through the
+//! [`ToJson`] trait (always by reference, like upstream's
+//! `Serialize`-based conversion).
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Shared `null` for out-of-bounds indexing.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(elems) => elems.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+/// Conversion into a [`Value`] by reference; the `json!` macro routes
+/// interpolated expressions through this.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+macro_rules! to_json_number {
+    ($($t:ty),* $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+to_json_number!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+/// Construct a [`Value`] from a JSON-like literal with expression
+/// interpolation in value position. Nested object/array *literals* are
+/// expressed with nested `json!` calls (any expression evaluating to a
+/// type implementing [`ToJson`] works in value position).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToJson::to_json_value(&$elem) ),* ])
+    };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ( ($key).to_string(), $crate::ToJson::to_json_value(&$val) ) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::ToJson::to_json_value(&$other)
+    };
+}
+
+/// Serialization errors. The stub renderer is total, so this is never
+/// produced, but the `Result` signatures match upstream.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if !n.is_finite() {
+        "null".to_owned()
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * level),
+            " ".repeat(w * (level + 1)),
+        ),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(elems) => {
+            if elems.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                    if indent.is_none() {
+                        out.push(' ');
+                    }
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, e, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, e)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                    if indent.is_none() {
+                        out.push(' ');
+                    }
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_value(out, e, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Render compactly.
+pub fn to_string(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    Ok(out)
+}
+
+/// Render with two-space indentation.
+pub fn to_string_pretty(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    Ok(out)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_and_pretty() {
+        let rows: Vec<Vec<String>> = vec![vec!["a".into(), "1".into()]];
+        let v = json!({
+            "id": "fig9",
+            "n": 3usize,
+            "rows": rows,
+        });
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("fig9"));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"id\": \"fig9\""));
+        assert!(pretty.starts_with('{') && pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn escaping() {
+        let v = json!({"k": "a\"b\\c\nd"});
+        assert_eq!(to_string(&v).unwrap(), r#"{"k": "a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn arrays_and_null() {
+        let v = json!([1, "two", json!(null), json!([true])]);
+        assert_eq!(to_string(&v).unwrap(), r#"[1, "two", null, [true]]"#);
+    }
+}
