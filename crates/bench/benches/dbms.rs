@@ -12,9 +12,11 @@ fn bench_scan(c: &mut Criterion) {
         let table = Dataset::Flights.generate(rows, 1);
         let q = parse("select avg(dep_delay) from flights where origin = 'JFK'").unwrap();
         group.throughput(Throughput::Elements(rows as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(rows), &(table, q), |b, (t, q)| {
-            b.iter(|| black_box(execute(t, q).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rows),
+            &(table, q),
+            |b, (t, q)| b.iter(|| black_box(execute(t, q).unwrap())),
+        );
     }
     group.finish();
 }
@@ -28,7 +30,9 @@ fn bench_group_by(c: &mut Criterion) {
 }
 
 fn candidate_queries(n: usize) -> Vec<Query> {
-    let origins = ["JFK", "LGA", "EWR", "ORD", "ATL", "LAX", "SFO", "DFW", "DEN", "SEA"];
+    let origins = [
+        "JFK", "LGA", "EWR", "ORD", "ATL", "LAX", "SFO", "DFW", "DEN", "SEA",
+    ];
     (0..n)
         .map(|i| {
             parse(&format!(
@@ -68,5 +72,11 @@ fn bench_sampling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scan, bench_group_by, bench_merged_vs_separate, bench_sampling);
+criterion_group!(
+    benches,
+    bench_scan,
+    bench_group_by,
+    bench_merged_vs_separate,
+    bench_sampling
+);
 criterion_main!(benches);

@@ -41,7 +41,9 @@ fn bench_speech_and_describe(c: &mut Criterion) {
         "select avg(resolution_hours) from requests where complaint_type = 'noise'",
     )
     .unwrap();
-    c.bench_function("describe_query", |b| b.iter(|| black_box(describe_query(&q))));
+    c.bench_function("describe_query", |b| {
+        b.iter(|| black_box(describe_query(&q)))
+    });
     let vocab: Vec<String> = table
         .column_by_name("complaint_type")
         .unwrap()

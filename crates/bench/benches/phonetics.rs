@@ -6,8 +6,18 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use muve_phonetics::{double_metaphone, jaro_winkler, phonetic_similarity, PhoneticIndex};
 
 const WORDS: &[&str] = &[
-    "Brooklyn", "Queens", "Manhattan", "Bronx", "Staten Island", "complaint", "borough",
-    "illegal parking", "heat hot water", "Schenectady", "extraordinary", "Tagliaro",
+    "Brooklyn",
+    "Queens",
+    "Manhattan",
+    "Bronx",
+    "Staten Island",
+    "complaint",
+    "borough",
+    "illegal parking",
+    "heat hot water",
+    "Schenectady",
+    "extraordinary",
+    "Tagliaro",
 ];
 
 fn bench_double_metaphone(c: &mut Criterion) {
@@ -25,7 +35,12 @@ fn bench_jaro_winkler(c: &mut Criterion) {
         b.iter(|| black_box(jaro_winkler(black_box("PLKN"), black_box("PRKN"))))
     });
     c.bench_function("phonetic_similarity/pair", |b| {
-        b.iter(|| black_box(phonetic_similarity(black_box("brooklyn"), black_box("brook lint"))))
+        b.iter(|| {
+            black_box(phonetic_similarity(
+                black_box("brooklyn"),
+                black_box("brook lint"),
+            ))
+        })
     });
 }
 
@@ -43,5 +58,10 @@ fn bench_index(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_double_metaphone, bench_jaro_winkler, bench_index);
+criterion_group!(
+    benches,
+    bench_double_metaphone,
+    bench_jaro_winkler,
+    bench_index
+);
 criterion_main!(benches);

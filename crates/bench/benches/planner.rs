@@ -40,7 +40,11 @@ fn bench_ilp(c: &mut Criterion) {
         let cands = candidates(k);
         let screen = ScreenConfig::iphone(1);
         let model = UserCostModel::default();
-        let cfg = IlpConfig { node_budget: Some(500), warm_start: true, ..IlpConfig::default() };
+        let cfg = IlpConfig {
+            node_budget: Some(500),
+            warm_start: true,
+            ..IlpConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(k), &cands, |b, cands| {
             b.iter(|| black_box(ilp_plan(cands, &screen, &model, &cfg)))
         });

@@ -29,9 +29,11 @@ fn bench_simplex(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex");
     for &(n, m) in &[(10usize, 10usize), (40, 40), (100, 60)] {
         let lp = random_lp(n, m);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &lp, |b, lp| {
-            b.iter(|| black_box(lp_solve(lp, 100_000)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &lp,
+            |b, lp| b.iter(|| black_box(lp_solve(lp, 100_000))),
+        );
     }
     group.finish();
 }

@@ -84,7 +84,12 @@ fn main() {
     if let Some(path) = markdown {
         let mut md = String::new();
         for t in &all_tables {
-            md.push_str(&format!("### {} — {}\n\n{}\n", t.id, t.caption, t.to_markdown()));
+            md.push_str(&format!(
+                "### {} — {}\n\n{}\n",
+                t.id,
+                t.caption,
+                t.to_markdown()
+            ));
         }
         fs::write(&path, md).expect("write markdown");
         eprintln!("wrote {}", path.display());
@@ -92,7 +97,9 @@ fn main() {
 }
 
 fn value_of(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn usage() {

@@ -113,13 +113,20 @@ fn sampling_ablation(quick: bool) -> ResultTable {
         &["method", "rows", "sample ms", "sample size"],
     );
     type Sampler = fn(usize, f64, u64) -> Vec<u32>;
-    let methods: [(&str, Sampler); 2] =
-        [("systematic", systematic_rows), ("bernoulli", bernoulli_rows)];
+    let methods: [(&str, Sampler); 2] = [
+        ("systematic", systematic_rows),
+        ("bernoulli", bernoulli_rows),
+    ];
     for (label, f) in methods {
         let start = Instant::now();
         let sample = f(rows, 0.01, 99);
         let ms = start.elapsed().as_secs_f64() * 1000.0;
-        out.push(vec![label.into(), rows.to_string(), fmt(ms), sample.len().to_string()]);
+        out.push(vec![
+            label.into(),
+            rows.to_string(),
+            fmt(ms),
+            sample.len().to_string(),
+        ]);
     }
     out
 }

@@ -128,10 +128,7 @@ pub fn test_cases(
         .map(|_| {
             let base = gen.query(max_predicates);
             let cands = cg.candidates(&base, 20, k_candidates);
-            let correct = cands
-                .iter()
-                .position(|c| c.query == base)
-                .unwrap_or(0);
+            let correct = cands.iter().position(|c| c.query == base).unwrap_or(0);
             TestCase {
                 candidates: cands
                     .into_iter()

@@ -47,7 +47,10 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
     let model = UserCostModel::default();
     // Re-speaking a short query takes ~10 s in a live study — distinct
     // from the planner's miss *penalty* constant.
-    let user_cfg = SimUserConfig { requery_ms: 10_000.0, ..SimUserConfig::default() };
+    let user_cfg = SimUserConfig {
+        requery_ms: 10_000.0,
+        ..SimUserConfig::default()
+    };
     let base_cfg = BaselineConfig::default();
 
     let mut out = ResultTable::new(
@@ -55,11 +58,21 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
         "Average disambiguation time (s): MUVE vs drop-down baseline \
          (paper Fig. 12; warmup on 311 data discarded; full voice loop \
          with simulated ASR noise)",
-        &["dataset", "MUVE s", "MUVE ci95", "baseline s", "baseline ci95"],
+        &[
+            "dataset",
+            "MUVE s",
+            "MUVE ci95",
+            "baseline s",
+            "baseline ci95",
+        ],
     );
 
     // Warmup + measured datasets, as in the paper.
-    let datasets = [(Dataset::Nyc311, true), (Dataset::Ads, false), (Dataset::Dob, false)];
+    let datasets = [
+        (Dataset::Nyc311, true),
+        (Dataset::Ads, false),
+        (Dataset::Dob, false),
+    ];
     for (dataset, warmup) in datasets {
         let table = dataset_table(dataset, 5_000, 0x12);
         let cg = CandidateGenerator::new(&table);

@@ -21,7 +21,14 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
         "fig13",
         "Average user ratings (1-10) for latency and clarity, per presentation \
          method, on small (311) and large (flights) data (paper Fig. 13)",
-        &["dataset", "method", "latency", "latency ci", "clarity", "clarity ci"],
+        &[
+            "dataset",
+            "method",
+            "latency",
+            "latency ci",
+            "clarity",
+            "clarity ci",
+        ],
     );
 
     let datasets = [
@@ -37,11 +44,7 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
         let case = &test_cases(table, 1, 1, 20, 77)[0];
         for (name, pres) in methods(quick) {
             let trace = present(table, &case.candidates, &screen, &model, &pres);
-            let first = trace
-                .events
-                .first()
-                .map(|e| e.at)
-                .unwrap_or(trace.t_time());
+            let first = trace.events.first().map(|e| e.at).unwrap_or(trace.t_time());
             let approx_first = trace.events.first().is_some_and(|e| e.approx);
             let changes = trace.events.len();
             let mut lat = Vec::new();

@@ -23,7 +23,11 @@ struct Setting {
 
 fn settings(quick: bool) -> Vec<Setting> {
     let mut out = Vec::new();
-    let cand_axis: &[usize] = if quick { &[5, 20] } else { &[5, 10, 20, 30, 50] };
+    let cand_axis: &[usize] = if quick {
+        &[5, 20]
+    } else {
+        &[5, 10, 20, 30, 50]
+    };
     for &c in cand_axis {
         out.push(Setting {
             label: format!("candidates={c}"),
@@ -34,11 +38,25 @@ fn settings(quick: bool) -> Vec<Setting> {
     }
     let row_axis: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3] };
     for &r in row_axis {
-        out.push(Setting { label: format!("rows={r}"), candidates: 20, rows: r, width_px: 750 });
+        out.push(Setting {
+            label: format!("rows={r}"),
+            candidates: 20,
+            rows: r,
+            width_px: 750,
+        });
     }
-    let px_axis: &[u32] = if quick { &[750] } else { &[375, 750, 1536, 1920] };
+    let px_axis: &[u32] = if quick {
+        &[750]
+    } else {
+        &[375, 750, 1536, 1920]
+    };
     for &w in px_axis {
-        out.push(Setting { label: format!("pixels={w}"), candidates: 20, rows: 1, width_px: w });
+        out.push(Setting {
+            label: format!("pixels={w}"),
+            candidates: 20,
+            rows: 1,
+            width_px: w,
+        });
     }
     out
 }
@@ -66,7 +84,13 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
     );
 
     for s in settings(quick) {
-        let cases: Vec<TestCase> = test_cases(&table, n_queries, 5, s.candidates, 606 + s.candidates as u64);
+        let cases: Vec<TestCase> = test_cases(
+            &table,
+            n_queries,
+            5,
+            s.candidates,
+            606 + s.candidates as u64,
+        );
         let screen = ScreenConfig::with_width(s.width_px, s.rows);
         let mut g_times = Vec::new();
         let mut i_times = Vec::new();

@@ -69,12 +69,26 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
     for case in &cases {
         let g = plan(&Planner::Greedy, &case.candidates, &screen, &model);
         g_d.push(g.expected_cost);
-        g_p.push(merged_processing_cost(&table, &case.candidates, &g.multiplot, &CostParams::default()));
+        g_p.push(merged_processing_cost(
+            &table,
+            &case.candidates,
+            &g.multiplot,
+            &CostParams::default(),
+        ));
         g_t.push(g.planning_time.as_secs_f64() * 1000.0);
-        let cfg = IlpConfig { time_budget: budget, warm_start: true, ..IlpConfig::default() };
+        let cfg = IlpConfig {
+            time_budget: budget,
+            warm_start: true,
+            ..IlpConfig::default()
+        };
         let i = plan(&Planner::Ilp(cfg), &case.candidates, &screen, &model);
         i_d.push(i.expected_cost);
-        i_p.push(merged_processing_cost(&table, &case.candidates, &i.multiplot, &CostParams::default()));
+        i_p.push(merged_processing_cost(
+            &table,
+            &case.candidates,
+            &i.multiplot,
+            &CostParams::default(),
+        ));
         i_t.push(i.planning_time.as_secs_f64() * 1000.0);
     }
     record("greedy".into(), g_d, g_p, g_t, &mut out);
@@ -82,7 +96,11 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
     record("ILP(D-Cost)".into(), i_d, i_p, i_t, &mut out);
 
     // Bounded processing-cost sweep.
-    let fracs: &[f64] = if quick { &[0.5, 1.0] } else { &[0.25, 0.5, 0.75, 1.0, 1.5] };
+    let fracs: &[f64] = if quick {
+        &[0.5, 1.0]
+    } else {
+        &[0.25, 0.5, 0.75, 1.0, 1.5]
+    };
     for &frac in fracs {
         let mut d = Vec::new();
         let mut p = Vec::new();

@@ -34,10 +34,21 @@ pub fn methods(quick: bool) -> Vec<(&'static str, Presentation)> {
         total: Duration::from_millis(if quick { 250 } else { 1000 }),
     };
     vec![
-        ("Greedy", Presentation { planner: Planner::Greedy, mode: Mode::Full, seed: 5 }),
+        (
+            "Greedy",
+            Presentation {
+                planner: Planner::Greedy,
+                mode: Mode::Full,
+                seed: 5,
+            },
+        ),
         (
             "ILP",
-            Presentation { planner: Planner::Ilp(ilp_cfg.clone()), mode: Mode::Full, seed: 5 },
+            Presentation {
+                planner: Planner::Ilp(ilp_cfg.clone()),
+                mode: Mode::Full,
+                seed: 5,
+            },
         ),
         (
             "ILP-Inc",
@@ -49,7 +60,11 @@ pub fn methods(quick: bool) -> Vec<(&'static str, Presentation)> {
         ),
         (
             "Inc-Plot",
-            Presentation { planner: Planner::Greedy, mode: Mode::IncrementalPlot, seed: 5 },
+            Presentation {
+                planner: Planner::Greedy,
+                mode: Mode::IncrementalPlot,
+                seed: 5,
+            },
         ),
         (
             "App-1%",
@@ -71,7 +86,9 @@ pub fn methods(quick: bool) -> Vec<(&'static str, Presentation)> {
             "App-D",
             Presentation {
                 planner: Planner::Greedy,
-                mode: Mode::ApproximateDynamic { target: Duration::from_millis(25) },
+                mode: Mode::ApproximateDynamic {
+                    target: Duration::from_millis(25),
+                },
                 seed: 5,
             },
         ),
@@ -104,10 +121,17 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
     // scaled down by the same factor to preserve the figure's shape
     // (full-size scans must genuinely exceed θ while small samples pass).
     let max_rows = if quick { 60_000 } else { 16_000_000 };
-    let fractions: &[f64] = if quick { &[0.25, 1.0] } else { &[0.05, 0.1, 0.25, 0.5, 1.0] };
+    let fractions: &[f64] = if quick {
+        &[0.25, 1.0]
+    } else {
+        &[0.05, 0.1, 0.25, 0.5, 1.0]
+    };
     let n_cases = if quick { 3 } else { 10 };
-    let thresholds =
-        [Duration::from_millis(10), Duration::from_millis(25), Duration::from_millis(50)];
+    let thresholds = [
+        Duration::from_millis(10),
+        Duration::from_millis(25),
+        Duration::from_millis(50),
+    ];
     let screen = ScreenConfig::iphone(1);
     let model = UserCostModel::default();
 

@@ -17,7 +17,12 @@ pub fn run(quick: bool) -> Vec<ResultTable> {
         &["Feature", "R^2", "p", "n"],
     );
     for (f, c) in &out.correlations {
-        table1.push(vec![f.name().into(), fmt(c.r2), format!("{:.2e}", c.p), c.n.to_string()]);
+        table1.push(vec![
+            f.name().into(),
+            fmt(c.r2),
+            format!("{:.2e}", c.p),
+            c.n.to_string(),
+        ]);
     }
 
     let mut fig3 = ResultTable::new(

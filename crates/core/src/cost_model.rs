@@ -34,7 +34,11 @@ impl Default for UserCostModel {
         // Values fitted from the simulated replication of the paper's user
         // study (see muve-sim): ~0.4 s per bar, ~1.1 s per plot, and a
         // 20 s re-query penalty.
-        UserCostModel { bar_ms: 400.0, plot_ms: 1100.0, miss_ms: 20_000.0 }
+        UserCostModel {
+            bar_ms: 400.0,
+            plot_ms: 1100.0,
+            miss_ms: 20_000.0,
+        }
     }
 }
 
@@ -125,7 +129,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &p)| {
-                Candidate::new(parse(&format!("select count(*) from t where k = 'v{i}'")).unwrap(), p)
+                Candidate::new(
+                    parse(&format!("select count(*) from t where k = 'v{i}'")).unwrap(),
+                    p,
+                )
             })
             .collect()
     }
@@ -135,7 +142,11 @@ mod tests {
             title: "t".into(),
             entries: entries
                 .iter()
-                .map(|&(c, h)| PlotEntry { candidate: c, label: String::new(), highlighted: h })
+                .map(|&(c, h)| PlotEntry {
+                    candidate: c,
+                    label: String::new(),
+                    highlighted: h,
+                })
                 .collect(),
         }
     }
@@ -151,7 +162,12 @@ mod tests {
     #[test]
     fn case_ordering_d_r_le_d_v_le_d_m() {
         let model = UserCostModel::default();
-        let c = MultiplotCounts { bars: 10, red_bars: 3, plots: 4, red_plots: 2 };
+        let c = MultiplotCounts {
+            bars: 10,
+            red_bars: 3,
+            plots: 4,
+            red_plots: 2,
+        };
         assert!(model.d_red(c) <= model.d_visible(c));
         assert!(model.d_visible(c) <= model.d_miss());
     }
@@ -160,8 +176,12 @@ mod tests {
     fn highlighting_correct_result_reduces_cost() {
         let model = UserCostModel::default();
         let candidates = cands(&[0.9, 0.1]);
-        let without = Multiplot { rows: vec![vec![plot(&[(0, false), (1, false)])]] };
-        let with = Multiplot { rows: vec![vec![plot(&[(0, true), (1, false)])]] };
+        let without = Multiplot {
+            rows: vec![vec![plot(&[(0, false), (1, false)])]],
+        };
+        let with = Multiplot {
+            rows: vec![vec![plot(&[(0, true), (1, false)])]],
+        };
         assert!(
             model.expected_cost(&with, &candidates) < model.expected_cost(&without, &candidates)
         );
@@ -174,8 +194,12 @@ mod tests {
         // is NOT required, but cost should not improve by highlighting all.
         let model = UserCostModel::default();
         let candidates = cands(&[0.5, 0.5]);
-        let none = Multiplot { rows: vec![vec![plot(&[(0, false), (1, false)])]] };
-        let all = Multiplot { rows: vec![vec![plot(&[(0, true), (1, true)])]] };
+        let none = Multiplot {
+            rows: vec![vec![plot(&[(0, false), (1, false)])]],
+        };
+        let all = Multiplot {
+            rows: vec![vec![plot(&[(0, true), (1, true)])]],
+        };
         let c_none = model.expected_cost(&none, &candidates);
         let c_all = model.expected_cost(&all, &candidates);
         assert!((c_none - c_all).abs() < 1e-9, "{c_none} vs {c_all}");
@@ -185,7 +209,9 @@ mod tests {
     fn uncovered_probability_mass_charged_as_miss() {
         let model = UserCostModel::default();
         let candidates = cands(&[0.5]); // half the mass is elsewhere
-        let m = Multiplot { rows: vec![vec![plot(&[(0, true)])]] };
+        let m = Multiplot {
+            rows: vec![vec![plot(&[(0, true)])]],
+        };
         let cost = model.expected_cost(&m, &candidates);
         assert!(cost >= 0.5 * model.miss_ms);
     }
@@ -194,25 +220,38 @@ mod tests {
     fn more_bars_cost_more_for_shown_queries() {
         let model = UserCostModel::default();
         let candidates = cands(&[1.0]);
-        let small = Multiplot { rows: vec![vec![plot(&[(0, false)])]] };
-        let big = Multiplot { rows: vec![vec![plot(&[(0, false), (9, false), (8, false)])]] };
-        assert!(
-            model.expected_cost(&big, &candidates) > model.expected_cost(&small, &candidates)
-        );
+        let small = Multiplot {
+            rows: vec![vec![plot(&[(0, false)])]],
+        };
+        let big = Multiplot {
+            rows: vec![vec![plot(&[(0, false), (9, false), (8, false)])]],
+        };
+        assert!(model.expected_cost(&big, &candidates) > model.expected_cost(&small, &candidates));
     }
 
     #[test]
     fn savings_positive_when_showing_likely_results() {
         let model = UserCostModel::default();
         let candidates = cands(&[0.7, 0.3]);
-        let m = Multiplot { rows: vec![vec![plot(&[(0, true), (1, false)])]] };
+        let m = Multiplot {
+            rows: vec![vec![plot(&[(0, true), (1, false)])]],
+        };
         assert!(model.cost_savings(&m, &candidates) > 0.0);
     }
 
     #[test]
     fn paper_formulas_exact() {
-        let model = UserCostModel { bar_ms: 10.0, plot_ms: 100.0, miss_ms: 1000.0 };
-        let c = MultiplotCounts { bars: 6, red_bars: 2, plots: 3, red_plots: 1 };
+        let model = UserCostModel {
+            bar_ms: 10.0,
+            plot_ms: 100.0,
+            miss_ms: 1000.0,
+        };
+        let c = MultiplotCounts {
+            bars: 6,
+            red_bars: 2,
+            plots: 3,
+            red_plots: 1,
+        };
         assert_eq!(model.d_red(c), 2.0 * 5.0 + 1.0 * 50.0);
         assert_eq!(model.d_visible(c), 2.0 * 60.0 + 4.0 * 5.0 + 2.0 * 50.0);
     }

@@ -96,7 +96,9 @@ pub fn group_templates(candidates: &[Candidate]) -> Vec<(String, Vec<(usize, Str
             if a == b || !keep[a] || !keep[b] {
                 continue;
             }
-            let subset = member_sets[a].iter().all(|x| member_sets[b].binary_search(x).is_ok());
+            let subset = member_sets[a]
+                .iter()
+                .all(|x| member_sets[b].binary_search(x).is_ok());
             if !subset {
                 continue;
             }
@@ -142,8 +144,7 @@ pub fn group_templates_unpruned(candidates: &[Candidate]) -> Vec<(String, Vec<(u
             members.sort_by(|a, b| {
                 candidates[b.0]
                     .probability
-                    .partial_cmp(&candidates[a.0].probability)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&candidates[a.0].probability)
                     .then(a.0.cmp(&b.0))
             });
             // A query can reach the same template through different masked
@@ -180,7 +181,10 @@ pub fn add_colors(plots: Vec<UncoloredPlot>) -> Vec<ColoredPlot> {
     let mut out = Vec::new();
     for plot in plots {
         for red_k in 0..=plot.entries.len() {
-            out.push(ColoredPlot { plot: plot.clone(), red_k });
+            out.push(ColoredPlot {
+                plot: plot.clone(),
+                red_k,
+            });
         }
     }
     out
@@ -231,7 +235,9 @@ pub fn pick_plots(
                 best = Some((pi, row, gain, w));
             }
         }
-        let Some((pi, row, gain, w)) = best else { break };
+        let Some((pi, row, gain, w)) = best else {
+            break;
+        };
         let cp = &colored[pi];
         multiplot.rows[row].push(cp.to_plot());
         row_used[row] += w;
@@ -301,7 +307,9 @@ pub fn polish(
             // Best (probability) addition across this row's plots.
             let mut best: Option<(usize, usize, String, f64)> = None; // (plot#, cand, label, prob)
             for (pi, plot) in multiplot.rows[r].iter().enumerate() {
-                let Some(members) = by_title.get(plot.title.as_str()) else { continue };
+                let Some(members) = by_title.get(plot.title.as_str()) else {
+                    continue;
+                };
                 for (cand, label) in members.iter() {
                     if shown.contains(cand) || newly_shown.contains(cand) {
                         continue;
@@ -312,7 +320,9 @@ pub fn polish(
                     }
                 }
             }
-            let Some((pi, cand, label, _)) = best else { break };
+            let Some((pi, cand, label, _)) = best else {
+                break;
+            };
             multiplot.rows[r][pi].entries.push(PlotEntry {
                 candidate: cand,
                 label,
@@ -351,8 +361,10 @@ mod tests {
             .enumerate()
             .map(|(i, &p)| {
                 Candidate::new(
-                    parse(&format!("select avg(delay) from flights where origin = 'AP{i}'"))
-                        .unwrap(),
+                    parse(&format!(
+                        "select avg(delay) from flights where origin = 'AP{i}'"
+                    ))
+                    .unwrap(),
                     p,
                 )
             })
@@ -365,7 +377,10 @@ mod tests {
         let screen = ScreenConfig::desktop(1);
         let plots = plot_candidates(&cands, &screen);
         // The shared `origin = ?` template yields prefixes of length 1..3.
-        let shared: Vec<_> = plots.iter().filter(|p| p.title.contains("origin = ?")).collect();
+        let shared: Vec<_> = plots
+            .iter()
+            .filter(|p| p.title.contains("origin = ?"))
+            .collect();
         assert_eq!(shared.len(), 3);
         for p in &shared {
             // Entries are a probability prefix.
@@ -428,13 +443,25 @@ mod tests {
             rows: vec![vec![
                 Plot {
                     title: "x".into(),
-                    entries: vec![PlotEntry { candidate: 0, label: "a".into(), highlighted: true }],
+                    entries: vec![PlotEntry {
+                        candidate: 0,
+                        label: "a".into(),
+                        highlighted: true,
+                    }],
                 },
                 Plot {
                     title: "y".into(),
                     entries: vec![
-                        PlotEntry { candidate: 0, label: "a".into(), highlighted: false },
-                        PlotEntry { candidate: 1, label: "b".into(), highlighted: false },
+                        PlotEntry {
+                            candidate: 0,
+                            label: "a".into(),
+                            highlighted: false,
+                        },
+                        PlotEntry {
+                            candidate: 1,
+                            label: "b".into(),
+                            highlighted: false,
+                        },
                     ],
                 },
             ]],
@@ -458,7 +485,11 @@ mod tests {
         let m = Multiplot {
             rows: vec![vec![Plot {
                 title: "avg(delay) from flights where origin = ?".into(),
-                entries: vec![PlotEntry { candidate: 0, label: "AP0".into(), highlighted: false }],
+                entries: vec![PlotEntry {
+                    candidate: 0,
+                    label: "AP0".into(),
+                    highlighted: false,
+                }],
             }]],
         };
         let screen = ScreenConfig::desktop(1);

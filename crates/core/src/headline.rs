@@ -23,21 +23,27 @@ use muve_dbms::{Aggregate, Predicate};
 /// assert_eq!(headline(&cands), "avg(delay) from f where origin = …");
 /// ```
 pub fn headline(candidates: &[Candidate]) -> String {
-    let Some(first) = candidates.first() else { return String::new() };
+    let Some(first) = candidates.first() else {
+        return String::new();
+    };
     let q0 = &first.query;
 
     // Aggregate: function and column each shared or elided.
     let agg0 = q0.aggregates.first();
-    let func_shared = candidates.iter().all(|c| {
-        c.query.aggregates.first().map(|a| a.func) == agg0.map(|a| a.func)
-    });
-    let col_shared = candidates.iter().all(|c| {
-        c.query.aggregates.first().map(|a| &a.column) == agg0.map(|a| &a.column)
-    });
+    let func_shared = candidates
+        .iter()
+        .all(|c| c.query.aggregates.first().map(|a| a.func) == agg0.map(|a| a.func));
+    let col_shared = candidates
+        .iter()
+        .all(|c| c.query.aggregates.first().map(|a| &a.column) == agg0.map(|a| &a.column));
     let agg_text = match agg0 {
         None => String::new(),
         Some(Aggregate { func, column }) => {
-            let f = if func_shared { func.name().to_owned() } else { "…".to_owned() };
+            let f = if func_shared {
+                func.name().to_owned()
+            } else {
+                "…".to_owned()
+            };
             let c = if col_shared {
                 column.clone().unwrap_or_else(|| "*".to_owned())
             } else {
@@ -58,7 +64,9 @@ pub fn headline(candidates: &[Candidate]) -> String {
     // predicate list structure). A predicate column/value is shown when
     // shared by all candidates with the same arity; extra predicates in
     // some candidates are summarized by a trailing ellipsis.
-    let arity_shared = candidates.iter().all(|c| c.query.predicates.len() == q0.predicates.len());
+    let arity_shared = candidates
+        .iter()
+        .all(|c| c.query.predicates.len() == q0.predicates.len());
     let mut parts: Vec<String> = Vec::new();
     if arity_shared {
         for (i, p0) in q0.predicates.iter().enumerate() {
@@ -67,9 +75,11 @@ pub fn headline(candidates: &[Candidate]) -> String {
                 parts.push(p0.to_string());
                 continue;
             }
-            let col_same = candidates
-                .iter()
-                .all(|c| c.query.predicates[i].column.eq_ignore_ascii_case(&p0.column));
+            let col_same = candidates.iter().all(|c| {
+                c.query.predicates[i]
+                    .column
+                    .eq_ignore_ascii_case(&p0.column)
+            });
             parts.push(render_masked(p0, col_same));
         }
     } else if !q0.predicates.is_empty() {
@@ -104,7 +114,9 @@ mod tests {
 
     fn cands(sqls: &[&str]) -> Vec<Candidate> {
         let p = 1.0 / sqls.len() as f64;
-        sqls.iter().map(|s| Candidate::new(parse(s).unwrap(), p)).collect()
+        sqls.iter()
+            .map(|s| Candidate::new(parse(s).unwrap(), p))
+            .collect()
     }
 
     #[test]
@@ -136,10 +148,7 @@ mod tests {
 
     #[test]
     fn aggregate_function_varies() {
-        let h = headline(&cands(&[
-            "select sum(v) from t",
-            "select avg(v) from t",
-        ]));
+        let h = headline(&cands(&["select sum(v) from t", "select avg(v) from t"]));
         assert_eq!(h, "…(v) from t");
     }
 

@@ -87,6 +87,8 @@ pub struct IlpOutcome {
     pub status: MipStatus,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Incumbent replacements inside the solver run.
+    pub incumbent_updates: usize,
     /// Whether the time budget expired.
     pub timed_out: bool,
     /// Raw solver objective (user cost + weighted processing cost).
@@ -145,10 +147,18 @@ pub fn ilp_plan(
     let q_i: Vec<Var> = (0..n_q).map(|i| m.binary(format!("q_{i}"))).collect();
     // h_i = Σ h3 <= Σ q3 = q_i <= 1, d_i = q_i - h_i <= 1, s <= p <= 1:
     // all unit bounds are implied, so no bound rows are materialized.
-    let h_i: Vec<Var> = (0..n_q).map(|i| m.binary_implied(format!("h_{i}"))).collect();
-    let d_i: Vec<Var> = (0..n_q).map(|i| m.binary_implied(format!("d_{i}"))).collect();
+    let h_i: Vec<Var> = (0..n_q)
+        .map(|i| m.binary_implied(format!("h_{i}")))
+        .collect();
+    let d_i: Vec<Var> = (0..n_q)
+        .map(|i| m.binary_implied(format!("d_{i}")))
+        .collect();
     let s: Vec<Vec<Var>> = (0..n_t)
-        .map(|j| (0..rows).map(|r| m.binary_implied(format!("s_{j}_{r}"))).collect())
+        .map(|j| {
+            (0..rows)
+                .map(|r| m.binary_implied(format!("s_{j}_{r}")))
+                .collect()
+        })
         .collect();
 
     // --- Structural constraints ----------------------------------------
@@ -170,9 +180,7 @@ pub fn ilp_plan(
         }
     }
     // Each query shown exactly q_i times (0/1) across all plots and rows.
-    for (i, ((qi_var, hi_var), di_var)) in
-        q_i.iter().zip(&h_i).zip(&d_i).enumerate()
-    {
+    for (i, ((qi_var, hi_var), di_var)) in q_i.iter().zip(&h_i).zip(&d_i).enumerate() {
         let mut q_sum = Expr::zero();
         let mut h_sum = Expr::zero();
         for ((qi, _, _), (q3, h3)) in &qh {
@@ -184,7 +192,10 @@ pub fn ilp_plan(
         m.eq(q_sum - Expr::from(*qi_var), 0.0);
         m.eq(h_sum - Expr::from(*hi_var), 0.0);
         // d_i = q_i - h_i.
-        m.eq(Expr::from(*di_var) - Expr::from(*qi_var) + Expr::from(*hi_var), 0.0);
+        m.eq(
+            Expr::from(*di_var) - Expr::from(*qi_var) + Expr::from(*hi_var),
+            0.0,
+        );
     }
     // Row width constraints.
     let width = screen.width_bars();
@@ -269,7 +280,17 @@ pub fn ilp_plan(
     }
     m.set_objective(objective, Direction::Minimize);
 
-    let index = VarIndex { p, qh, q_i, h_i, d_i, s, y_h, y_d, g: g_vars };
+    let index = VarIndex {
+        p,
+        qh,
+        q_i,
+        h_i,
+        d_i,
+        s,
+        y_h,
+        y_d,
+        g: g_vars,
+    };
 
     // --- Warm start -------------------------------------------------------
     let initial_incumbent = if cfg.warm_start || cfg.seed.is_some() {
@@ -305,6 +326,7 @@ pub fn ilp_plan(
         multiplot,
         status: result.status,
         nodes: result.nodes,
+        incumbent_updates: result.incumbent_updates,
         timed_out: result.timed_out,
         objective: result.objective,
         processing_cost,
@@ -343,10 +365,12 @@ fn extract(
             entries.sort_by(|a, b| {
                 candidates[b.candidate]
                     .probability
-                    .partial_cmp(&candidates[a.candidate].probability)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&candidates[a.candidate].probability)
             });
-            multiplot.rows[r].push(Plot { title: title.clone(), entries });
+            multiplot.rows[r].push(Plot {
+                title: title.clone(),
+                entries,
+            });
         }
     }
     multiplot
@@ -366,8 +390,11 @@ fn encode_warm_start(
         Some(seed) => seed.clone(),
         None => greedy_plan(candidates, screen, user_model),
     };
-    let title_to_template: FxHashMap<&str, usize> =
-        templates.iter().enumerate().map(|(j, (t, _))| (t.as_str(), j)).collect();
+    let title_to_template: FxHashMap<&str, usize> = templates
+        .iter()
+        .enumerate()
+        .map(|(j, (t, _))| (t.as_str(), j))
+        .collect();
     let mut values = vec![0.0; m.num_vars()];
     let mut set = |v: Var, x: f64| values[v.index()] = x;
 
@@ -399,7 +426,13 @@ fn encode_warm_start(
     let r_b: f64 = index.h_i.iter().map(|v| values[v.index()]).sum();
     let d_b: f64 = index.d_i.iter().map(|v| values[v.index()]).sum();
     let r_p: f64 = index.s.iter().flatten().map(|v| values[v.index()]).sum();
-    let n_p: f64 = index.p.iter().flatten().map(|v| values[v.index()]).sum::<f64>() - r_p;
+    let n_p: f64 = index
+        .p
+        .iter()
+        .flatten()
+        .map(|v| values[v.index()])
+        .sum::<f64>()
+        - r_p;
     let cb = user_model.bar_ms;
     let cp = user_model.plot_ms;
     let eh = cb / 2.0 * r_b + cp / 2.0 * r_p;
@@ -410,8 +443,8 @@ fn encode_warm_start(
         let yd = values[index.d_i[i].index()] * ed;
         values[index.y_h[i].index()] = yh;
         values[index.y_d[i].index()] = yd;
-        objective += c.probability
-            * (yh + yd + user_model.miss_ms * (1.0 - values[index.q_i[i].index()]));
+        objective +=
+            c.probability * (yh + yd + user_model.miss_ms * (1.0 - values[index.q_i[i].index()]));
     }
     // Processing groups: greedily cover each shown query with its cheapest
     // group; bail out of warm starting if the bound cannot be met.
@@ -435,7 +468,7 @@ fn encode_warm_start(
                 .iter()
                 .enumerate()
                 .filter(|(_, g)| g.queries.contains(&i))
-                .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).unwrap_or(std::cmp::Ordering::Equal))?;
+                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))?;
             values[index.g[cheapest.0].index()] = 1.0;
             total += cheapest.1.cost;
         }
@@ -460,8 +493,10 @@ mod tests {
             .enumerate()
             .map(|(i, &p)| {
                 Candidate::new(
-                    parse(&format!("select avg(delay) from flights where origin = 'AP{i}'"))
-                        .unwrap(),
+                    parse(&format!(
+                        "select avg(delay) from flights where origin = 'AP{i}'"
+                    ))
+                    .unwrap(),
                     p,
                 )
             })
@@ -469,14 +504,23 @@ mod tests {
     }
 
     fn small_cfg() -> IlpConfig {
-        IlpConfig { node_budget: Some(2_000), warm_start: true, ..IlpConfig::default() }
+        IlpConfig {
+            node_budget: Some(2_000),
+            warm_start: true,
+            ..IlpConfig::default()
+        }
     }
 
     #[test]
     fn ilp_covers_all_when_space_allows() {
         let candidates = cands(&[0.4, 0.3, 0.2, 0.1]);
         let screen = ScreenConfig::desktop(1);
-        let out = ilp_plan(&candidates, &screen, &UserCostModel::default(), &small_cfg());
+        let out = ilp_plan(
+            &candidates,
+            &screen,
+            &UserCostModel::default(),
+            &small_cfg(),
+        );
         assert!(out.multiplot.fits(&screen));
         for i in 0..4 {
             assert!(out.multiplot.shows(i), "candidate {i}: {:?}", out.multiplot);
@@ -506,7 +550,11 @@ mod tests {
         let screen = ScreenConfig::iphone(1);
         // Zero node budget: solver cannot even look at the root, but the
         // greedy warm start provides the answer.
-        let cfg = IlpConfig { node_budget: Some(0), warm_start: true, ..IlpConfig::default() };
+        let cfg = IlpConfig {
+            node_budget: Some(0),
+            warm_start: true,
+            ..IlpConfig::default()
+        };
         let out = ilp_plan(&candidates, &screen, &UserCostModel::default(), &cfg);
         assert!(out.multiplot.num_plots() > 0);
     }
@@ -515,7 +563,11 @@ mod tests {
     fn no_warm_start_no_nodes_empty() {
         let candidates = cands(&[0.6, 0.4]);
         let screen = ScreenConfig::iphone(1);
-        let cfg = IlpConfig { node_budget: Some(0), warm_start: false, ..IlpConfig::default() };
+        let cfg = IlpConfig {
+            node_budget: Some(0),
+            warm_start: false,
+            ..IlpConfig::default()
+        };
         let out = ilp_plan(&candidates, &screen, &UserCostModel::default(), &cfg);
         assert_eq!(out.multiplot.num_plots(), 0);
         assert_eq!(out.status, MipStatus::Unknown);
@@ -525,7 +577,12 @@ mod tests {
     fn width_constraint_respected() {
         let candidates = cands(&[0.3, 0.25, 0.2, 0.15, 0.1]);
         let screen = ScreenConfig::with_width(320, 1);
-        let out = ilp_plan(&candidates, &screen, &UserCostModel::default(), &small_cfg());
+        let out = ilp_plan(
+            &candidates,
+            &screen,
+            &UserCostModel::default(),
+            &small_cfg(),
+        );
         assert!(out.multiplot.fits(&screen), "{:?}", out.multiplot);
     }
 
@@ -535,7 +592,12 @@ mod tests {
         let screen = ScreenConfig::desktop(1);
         // Each query in its own group of cost 10; bound allows only one.
         let proc = ProcessingConfig {
-            groups: (0..3).map(|i| ProcessingGroup { cost: 10.0, queries: vec![i] }).collect(),
+            groups: (0..3)
+                .map(|i| ProcessingGroup {
+                    cost: 10.0,
+                    queries: vec![i],
+                })
+                .collect(),
             bound: Some(10.0),
             weight: 0.0,
         };
@@ -557,8 +619,12 @@ mod tests {
     fn processing_weight_trades_cost() {
         let candidates = cands(&[0.5, 0.3, 0.2]);
         let screen = ScreenConfig::desktop(1);
-        let groups: Vec<ProcessingGroup> =
-            (0..3).map(|i| ProcessingGroup { cost: 10.0, queries: vec![i] }).collect();
+        let groups: Vec<ProcessingGroup> = (0..3)
+            .map(|i| ProcessingGroup {
+                cost: 10.0,
+                queries: vec![i],
+            })
+            .collect();
         let cheap = ilp_plan(
             &candidates,
             &screen,
@@ -581,7 +647,11 @@ mod tests {
             &IlpConfig {
                 node_budget: Some(5_000),
                 warm_start: false,
-                processing: Some(ProcessingConfig { groups, bound: None, weight: 1e9 }),
+                processing: Some(ProcessingConfig {
+                    groups,
+                    bound: None,
+                    weight: 1e9,
+                }),
                 ..IlpConfig::default()
             },
         );
@@ -593,7 +663,12 @@ mod tests {
     fn single_candidate_trivial_plan() {
         let candidates = cands(&[1.0]);
         let screen = ScreenConfig::iphone(1);
-        let out = ilp_plan(&candidates, &screen, &UserCostModel::default(), &small_cfg());
+        let out = ilp_plan(
+            &candidates,
+            &screen,
+            &UserCostModel::default(),
+            &small_cfg(),
+        );
         assert!(out.multiplot.shows(0));
         assert_eq!(out.status, MipStatus::Optimal);
     }

@@ -54,6 +54,12 @@ pub struct PlanResult {
     pub timed_out: bool,
     /// Whether the solution is proven optimal (always false for greedy).
     pub proven_optimal: bool,
+    /// Solver restarts performed (incremental planning only).
+    pub restarts: usize,
+    /// Times the incumbent improved across the run (restarts included).
+    pub incumbent_updates: usize,
+    /// Branch-and-bound nodes explored across the run (0 for greedy).
+    pub nodes: usize,
 }
 
 /// A thread-safe slot holding the best plan found so far.
@@ -94,7 +100,9 @@ impl IncumbentSlot {
         // Poison-tolerant: a panic mid-`record` can only have happened
         // outside the guarded region (the critical section is a clone
         // assignment), so the stored value is always coherent.
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -116,7 +124,10 @@ pub fn plan_with_deadline(
         Planner::Greedy => Planner::Greedy,
         Planner::Ilp(cfg) => {
             let budget = cfg.time_budget.map_or(deadline, |b| b.min(deadline));
-            Planner::Ilp(IlpConfig { time_budget: Some(budget), ..cfg.clone() })
+            Planner::Ilp(IlpConfig {
+                time_budget: Some(budget),
+                ..cfg.clone()
+            })
         }
     };
     plan(&clamped, candidates, screen, model)
@@ -130,7 +141,7 @@ pub fn plan(
     model: &UserCostModel,
 ) -> PlanResult {
     let start = Instant::now();
-    match planner {
+    let result = match planner {
         Planner::Greedy => {
             let multiplot = greedy_plan(candidates, screen, model);
             PlanResult {
@@ -139,6 +150,9 @@ pub fn plan(
                 planning_time: start.elapsed(),
                 timed_out: false,
                 proven_optimal: false,
+                restarts: 0,
+                incumbent_updates: 0,
+                nodes: 0,
             }
         }
         Planner::Ilp(cfg) => {
@@ -149,9 +163,29 @@ pub fn plan(
                 planning_time: start.elapsed(),
                 timed_out: out.timed_out || out.status == MipStatus::Feasible,
                 proven_optimal: out.status == MipStatus::Optimal,
+                restarts: 0,
+                incumbent_updates: out.incumbent_updates,
+                nodes: out.nodes,
             }
         }
+    };
+    record_plan_metrics(&result);
+    result
+}
+
+/// Record a finished planning run into the global metric registry.
+fn record_plan_metrics(result: &PlanResult) {
+    let obs = muve_obs::metrics();
+    obs.counter("planner.runs").incr();
+    obs.counter("planner.restarts").add(result.restarts as u64);
+    obs.counter("planner.incumbent_updates")
+        .add(result.incumbent_updates as u64);
+    obs.counter("planner.nodes").add(result.nodes as u64);
+    if result.timed_out {
+        obs.counter("planner.timeouts").incr();
     }
+    obs.histogram("planner.plan_us")
+        .record_duration(result.planning_time);
 }
 
 /// Incremental ILP optimization: restart the solver with exponentially
@@ -198,17 +232,25 @@ pub fn plan_incremental_observed(
     // it as a timeout would make callers degrade for no reason.
     if candidates.is_empty() {
         let multiplot = Multiplot::empty(screen.rows);
-        return PlanResult {
+        let result = PlanResult {
             expected_cost: model.expected_cost(&multiplot, candidates),
             multiplot,
             planning_time: start.elapsed(),
             timed_out: false,
             proven_optimal: true,
+            restarts: 0,
+            incumbent_updates: 0,
+            nodes: 0,
         };
+        record_plan_metrics(&result);
+        return result;
     }
     let mut best: Option<PlanResult> = None;
     let mut seed: Option<Multiplot> = None;
     let mut step = 0u32;
+    let mut restarts = 0usize;
+    let mut incumbent_updates = 0usize;
+    let mut nodes = 0usize;
     loop {
         let remaining = schedule.total.saturating_sub(start.elapsed());
         if remaining.is_zero() {
@@ -230,12 +272,17 @@ pub fn plan_incremental_observed(
             ..base.clone()
         };
         let out = ilp_plan(candidates, screen, model, &cfg);
+        restarts += 1;
+        nodes += out.nodes;
         let result = PlanResult {
             expected_cost: out.expected_cost,
             multiplot: out.multiplot.clone(),
             planning_time: start.elapsed(),
             timed_out: out.timed_out || out.status == MipStatus::Feasible,
             proven_optimal: out.status == MipStatus::Optimal,
+            restarts,
+            incumbent_updates,
+            nodes,
         };
         // An empty, unproven multiplot (solver found no incumbent yet) is
         // not worth showing; keep waiting for a real one.
@@ -245,19 +292,26 @@ pub fn plan_incremental_observed(
                 .as_ref()
                 .is_none_or(|b| result.expected_cost < b.expected_cost - 1e-9);
         if improved {
+            incumbent_updates += 1;
+            let result = PlanResult {
+                incumbent_updates,
+                ..result
+            };
             seed = Some(out.multiplot);
             incumbent.record(&result);
             on_step(&result);
-            best = Some(result.clone());
-        }
-        if result.proven_optimal {
+            best = Some(result);
+        } else if result.proven_optimal {
             incumbent.record(&result);
             best = Some(result);
             break;
         }
+        if best.as_ref().is_some_and(|b| b.proven_optimal) {
+            break;
+        }
         step += 1;
     }
-    best.unwrap_or_else(|| {
+    let result = best.unwrap_or_else(|| {
         // No incumbent was ever found. Only call it a timeout when the
         // schedule's budget was actually exhausted.
         let multiplot = Multiplot::empty(screen.rows);
@@ -267,8 +321,13 @@ pub fn plan_incremental_observed(
             planning_time: start.elapsed(),
             timed_out: start.elapsed() >= schedule.total,
             proven_optimal: false,
+            restarts,
+            incumbent_updates,
+            nodes,
         }
-    })
+    });
+    record_plan_metrics(&result);
+    result
 }
 
 #[cfg(test)]
@@ -304,7 +363,11 @@ mod tests {
 
     #[test]
     fn ilp_plan_result_optimal_on_small_input() {
-        let cfg = IlpConfig { node_budget: Some(5_000), warm_start: true, ..IlpConfig::default() };
+        let cfg = IlpConfig {
+            node_budget: Some(5_000),
+            warm_start: true,
+            ..IlpConfig::default()
+        };
         let r = plan(
             &Planner::Ilp(cfg),
             &cands(&[0.6, 0.4]),
@@ -321,13 +384,18 @@ mod tests {
         let screen = ScreenConfig::iphone(1);
         let model = UserCostModel::default();
         let mut steps = 0;
-        let base = IlpConfig { warm_start: true, ..IlpConfig::default() };
+        let base = IlpConfig {
+            warm_start: true,
+            ..IlpConfig::default()
+        };
         let schedule = IncrementalSchedule {
             initial: Duration::from_millis(20),
             growth: 2.0,
             total: Duration::from_millis(500),
         };
-        let r = plan_incremental(&candidates, &screen, &model, &base, &schedule, |_| steps += 1);
+        let r = plan_incremental(&candidates, &screen, &model, &base, &schedule, |_| {
+            steps += 1
+        });
         assert!(steps >= 1);
         assert!(r.multiplot.num_plots() > 0);
         // Cost never above greedy (warm start guarantees it).
@@ -367,7 +435,11 @@ mod tests {
             &cands(&[0.6, 0.4]),
             &ScreenConfig::iphone(1),
             &UserCostModel::default(),
-            &IlpConfig { node_budget: Some(1), warm_start: false, ..IlpConfig::default() },
+            &IlpConfig {
+                node_budget: Some(1),
+                warm_start: false,
+                ..IlpConfig::default()
+            },
             &schedule,
             |_| {},
         );
@@ -385,9 +457,18 @@ mod tests {
             growth: 2.0,
             total: Duration::from_millis(400),
         };
-        let base = IlpConfig { warm_start: true, ..IlpConfig::default() };
+        let base = IlpConfig {
+            warm_start: true,
+            ..IlpConfig::default()
+        };
         let r = plan_incremental_observed(
-            &candidates, &screen, &model, &base, &schedule, &slot, |_| {},
+            &candidates,
+            &screen,
+            &model,
+            &base,
+            &schedule,
+            &slot,
+            |_| {},
         );
         let held = slot.get().expect("incumbent recorded");
         assert_eq!(held.multiplot, r.multiplot);

@@ -25,26 +25,48 @@ pub struct ScreenConfig {
 impl ScreenConfig {
     /// iPhone-class resolution (the paper's default).
     pub fn iphone(rows: usize) -> ScreenConfig {
-        ScreenConfig { width_px: 750, rows, ..ScreenConfig::default_geometry() }
+        ScreenConfig {
+            width_px: 750,
+            rows,
+            ..ScreenConfig::default_geometry()
+        }
     }
 
     /// Tablet-class resolution.
     pub fn tablet(rows: usize) -> ScreenConfig {
-        ScreenConfig { width_px: 1536, rows, ..ScreenConfig::default_geometry() }
+        ScreenConfig {
+            width_px: 1536,
+            rows,
+            ..ScreenConfig::default_geometry()
+        }
     }
 
     /// Desktop-class resolution.
     pub fn desktop(rows: usize) -> ScreenConfig {
-        ScreenConfig { width_px: 1920, rows, ..ScreenConfig::default_geometry() }
+        ScreenConfig {
+            width_px: 1920,
+            rows,
+            ..ScreenConfig::default_geometry()
+        }
     }
 
     /// Custom pixel width with default layout constants.
     pub fn with_width(width_px: u32, rows: usize) -> ScreenConfig {
-        ScreenConfig { width_px, rows, ..ScreenConfig::default_geometry() }
+        ScreenConfig {
+            width_px,
+            rows,
+            ..ScreenConfig::default_geometry()
+        }
     }
 
     fn default_geometry() -> ScreenConfig {
-        ScreenConfig { width_px: 750, rows: 1, bar_px: 48, char_px: 7, plot_padding_px: 24 }
+        ScreenConfig {
+            width_px: 750,
+            rows: 1,
+            bar_px: 48,
+            char_px: 7,
+            plot_padding_px: 24,
+        }
     }
 
     /// Screen width in bar units.
@@ -109,7 +131,9 @@ pub struct Multiplot {
 impl Multiplot {
     /// An empty multiplot with `rows` empty rows.
     pub fn empty(rows: usize) -> Multiplot {
-        Multiplot { rows: vec![Vec::new(); rows] }
+        Multiplot {
+            rows: vec![Vec::new(); rows],
+        }
     }
 
     /// Iterate over all plots.
@@ -151,13 +175,17 @@ impl Multiplot {
 
     /// Whether candidate `i`'s result is visible.
     pub fn shows(&self, candidate: usize) -> bool {
-        self.plots().any(|p| p.entries.iter().any(|e| e.candidate == candidate))
+        self.plots()
+            .any(|p| p.entries.iter().any(|e| e.candidate == candidate))
     }
 
     /// Whether candidate `i`'s result is highlighted somewhere.
     pub fn highlights(&self, candidate: usize) -> bool {
-        self.plots()
-            .any(|p| p.entries.iter().any(|e| e.candidate == candidate && e.highlighted))
+        self.plots().any(|p| {
+            p.entries
+                .iter()
+                .any(|e| e.candidate == candidate && e.highlighted)
+        })
     }
 
     /// All distinct candidate indices on display, in reading order.
@@ -179,17 +207,30 @@ mod tests {
     use super::*;
 
     fn entry(c: usize, hl: bool) -> PlotEntry {
-        PlotEntry { candidate: c, label: format!("q{c}"), highlighted: hl }
+        PlotEntry {
+            candidate: c,
+            label: format!("q{c}"),
+            highlighted: hl,
+        }
     }
 
     fn sample() -> Multiplot {
         Multiplot {
             rows: vec![
                 vec![
-                    Plot { title: "avg(delay) where origin = ?".into(), entries: vec![entry(0, true), entry(1, false)] },
-                    Plot { title: "?(delay)".into(), entries: vec![entry(2, false)] },
+                    Plot {
+                        title: "avg(delay) where origin = ?".into(),
+                        entries: vec![entry(0, true), entry(1, false)],
+                    },
+                    Plot {
+                        title: "?(delay)".into(),
+                        entries: vec![entry(2, false)],
+                    },
                 ],
-                vec![Plot { title: "sum(x) where k = ?".into(), entries: vec![entry(3, true), entry(0, false)] }],
+                vec![Plot {
+                    title: "sum(x) where k = ?".into(),
+                    entries: vec![entry(3, true), entry(0, false)],
+                }],
             ],
         }
     }
@@ -217,7 +258,10 @@ mod tests {
     #[test]
     fn geometry() {
         let screen = ScreenConfig::iphone(2);
-        let plot = Plot { title: "short".into(), entries: vec![entry(0, false); 3] };
+        let plot = Plot {
+            title: "short".into(),
+            entries: vec![entry(0, false); 3],
+        };
         let w = plot.width(&screen);
         assert!(w > 3.0);
         let wide = Plot {
@@ -233,7 +277,10 @@ mod tests {
         let mut m = Multiplot::empty(1);
         assert!(m.fits(&screen));
         // 200px / 48px-per-bar ~ 4.2 bar units; a 10-bar plot cannot fit.
-        m.rows[0].push(Plot { title: "t".into(), entries: vec![entry(0, false); 10] });
+        m.rows[0].push(Plot {
+            title: "t".into(),
+            entries: vec![entry(0, false); 10],
+        });
         assert!(!m.fits(&screen));
         let two_rows = Multiplot::empty(2);
         assert!(!two_rows.fits(&ScreenConfig::with_width(200, 1)));

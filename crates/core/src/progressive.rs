@@ -232,7 +232,13 @@ pub fn present(
         });
         let planning = planning_probe.elapsed();
         let multiplot = final_plan.unwrap_or_else(|| r.multiplot.clone());
-        return Trace { events, multiplot, planning, total: start.elapsed(), errors };
+        return Trace {
+            events,
+            multiplot,
+            planning,
+            total: start.elapsed(),
+            errors,
+        };
     }
 
     let planned = plan(&presentation.planner, candidates, screen, model);
@@ -254,7 +260,13 @@ pub fn present(
         Mode::IncrementalPlot => {
             for (pi, plot) in multiplot.plots().enumerate() {
                 let plot_shown: Vec<usize> = plot.entries.iter().map(|e| e.candidate).collect();
-                errors.extend(execute_shown(table, candidates, &plot_shown, &mut results, None));
+                errors.extend(execute_shown(
+                    table,
+                    candidates,
+                    &plot_shown,
+                    &mut results,
+                    None,
+                ));
                 let visible: Vec<usize> = multiplot
                     .plots()
                     .take(pi + 1)
@@ -327,7 +339,13 @@ pub fn present(
         Mode::IncrementalIlp { .. } => unreachable!("handled above"),
     }
 
-    Trace { events, multiplot, planning, total: start.elapsed(), errors }
+    Trace {
+        events,
+        multiplot,
+        planning,
+        total: start.elapsed(),
+        errors,
+    }
 }
 
 /// Estimated processing cost of executing the multiplot's shown queries
@@ -366,7 +384,10 @@ mod tests {
             .iter()
             .map(|(o, p)| {
                 Candidate::new(
-                    parse(&format!("select avg(delay) from flights where origin = '{o}'")).unwrap(),
+                    parse(&format!(
+                        "select avg(delay) from flights where origin = '{o}'"
+                    ))
+                    .unwrap(),
                     *p,
                 )
             })
@@ -374,7 +395,11 @@ mod tests {
     }
 
     fn presentation(mode: Mode) -> Presentation {
-        Presentation { planner: Planner::Greedy, mode, seed: 42 }
+        Presentation {
+            planner: Planner::Greedy,
+            mode,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -430,7 +455,10 @@ mod tests {
         assert!(!trace.events[1].approx);
         let approx = trace.events[0].results[0].unwrap();
         let exact = trace.events[1].results[0].unwrap();
-        assert!((approx - exact).abs() / exact.abs().max(1.0) < 0.2, "{approx} vs {exact}");
+        assert!(
+            (approx - exact).abs() / exact.abs().max(1.0) < 0.2,
+            "{approx} vs {exact}"
+        );
         assert!(trace.f_time(0).unwrap() <= trace.t_time());
     }
 
@@ -443,7 +471,9 @@ mod tests {
             &candidates,
             &ScreenConfig::desktop(1),
             &UserCostModel::default(),
-            &presentation(Mode::ApproximateDynamic { target: Duration::from_millis(500) }),
+            &presentation(Mode::ApproximateDynamic {
+                target: Duration::from_millis(500),
+            }),
         );
         assert_eq!(trace.events.len(), 1);
         assert!(!trace.events[0].approx);
@@ -511,7 +541,10 @@ mod tests {
             &UserCostModel::default(),
             &presentation(Mode::Full),
         );
-        assert!(!trace.errors.is_empty(), "expected surfaced execution error");
+        assert!(
+            !trace.errors.is_empty(),
+            "expected surfaced execution error"
+        );
         assert!(trace
             .errors
             .iter()

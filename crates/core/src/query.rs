@@ -77,8 +77,12 @@ pub fn templates_of(q: &Query) -> Vec<TemplateInstance> {
                 _ => p.to_string(),
             }
         };
-        let parts: Vec<String> =
-            q.predicates.iter().enumerate().map(|(i, p)| masked(i, p)).collect();
+        let parts: Vec<String> = q
+            .predicates
+            .iter()
+            .enumerate()
+            .map(|(i, p)| masked(i, p))
+            .collect();
         format!(" where {}", parts.join(" and "))
     };
     let agg_text = |func: &str, col: &str| format!("{func}({col})");
@@ -193,8 +197,12 @@ mod tests {
         let q = parse("select avg(v) from t where a = 'x' and b = 'y'").unwrap();
         let ts = templates_of(&q);
         assert_eq!(ts.len(), 4); // func, column, two constants
-        assert!(ts.iter().any(|t| t.title.contains("a = ?") && t.title.contains("b = 'y'")));
-        assert!(ts.iter().any(|t| t.title.contains("b = ?") && t.title.contains("a = 'x'")));
+        assert!(ts
+            .iter()
+            .any(|t| t.title.contains("a = ?") && t.title.contains("b = 'y'")));
+        assert!(ts
+            .iter()
+            .any(|t| t.title.contains("b = ?") && t.title.contains("a = 'x'")));
     }
 
     #[test]
@@ -203,8 +211,12 @@ mod tests {
         let q = parse("select avg(v) from t where m > 5").unwrap();
         let ts = templates_of(&q);
         // Value mask, operator mask, plus function and column masks.
-        assert!(ts.iter().any(|t| t.title.contains("m > ?") && t.label == "5"));
-        assert!(ts.iter().any(|t| t.title.contains("m ? 5") && t.label == ">"));
+        assert!(ts
+            .iter()
+            .any(|t| t.title.contains("m > ?") && t.label == "5"));
+        assert!(ts
+            .iter()
+            .any(|t| t.title.contains("m ? 5") && t.label == ">"));
         // Two queries differing only in the operator share the op template.
         let q2 = parse("select avg(v) from t where m < 5").unwrap();
         let t2 = templates_of(&q2);
@@ -218,6 +230,8 @@ mod tests {
     fn numeric_constants_masked_too() {
         let q = parse("select avg(v) from t where m = 5").unwrap();
         let ts = templates_of(&q);
-        assert!(ts.iter().any(|t| t.title.contains("m = ?") && t.label == "5"));
+        assert!(ts
+            .iter()
+            .any(|t| t.title.contains("m = ?") && t.label == "5"));
     }
 }

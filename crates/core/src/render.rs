@@ -142,7 +142,9 @@ pub fn render_svg(m: &Multiplot, values: BarValues, width_px: u32) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -155,8 +157,16 @@ mod tests {
             rows: vec![vec![Plot {
                 title: "avg(delay) where origin = ?".into(),
                 entries: vec![
-                    PlotEntry { candidate: 0, label: "JFK".into(), highlighted: true },
-                    PlotEntry { candidate: 1, label: "LGA".into(), highlighted: false },
+                    PlotEntry {
+                        candidate: 0,
+                        label: "JFK".into(),
+                        highlighted: true,
+                    },
+                    PlotEntry {
+                        candidate: 1,
+                        label: "LGA".into(),
+                        highlighted: false,
+                    },
                 ],
             }]],
         }

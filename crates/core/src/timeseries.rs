@@ -48,7 +48,7 @@ pub fn points_from_result(rs: &ResultSet) -> Option<Vec<(f64, f64)>> {
         let y = row.get(1)?.as_f64()?;
         points.push((x, y));
     }
-    points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
     Some(points)
 }
 
@@ -65,8 +65,7 @@ pub fn series_plots(
     order.sort_by(|&a, &b| {
         candidates[b]
             .probability
-            .partial_cmp(&candidates[a].probability)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&candidates[a].probability)
     });
     let red: Vec<usize> = order.iter().copied().take(red_k).collect();
 
@@ -82,7 +81,9 @@ pub fn series_plots(
             if placed[cand] {
                 continue;
             }
-            let Some(points) = results.get(cand).and_then(|r| r.clone()) else { continue };
+            let Some(points) = results.get(cand).and_then(|r| r.clone()) else {
+                continue;
+            };
             placed[cand] = true;
             series.push(Series {
                 candidate: cand,
@@ -98,7 +99,9 @@ pub fn series_plots(
     plots
 }
 
-const LINE_COLORS: [&str; 6] = ["#4c78a8", "#72b7b2", "#9d755d", "#54a24b", "#b279a2", "#eeca3b"];
+const LINE_COLORS: [&str; 6] = [
+    "#4c78a8", "#72b7b2", "#9d755d", "#54a24b", "#b279a2", "#eeca3b",
+];
 const RED: &str = "#d62728";
 
 /// Render series plots as a standalone SVG document (one plot per row).
@@ -119,13 +122,20 @@ pub fn render_series_svg(plots: &[SeriesPlot], width_px: u32) -> String {
             escape(&plot.title)
         ));
         // Data bounds across all series of the plot.
-        let all: Vec<(f64, f64)> =
-            plot.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = plot
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         if all.is_empty() {
             continue;
         }
-        let (mut x_min, mut x_max, mut y_min, mut y_max) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut x_min, mut x_max, mut y_min, mut y_max) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for (x, y) in &all {
             x_min = x_min.min(*x);
             x_max = x_max.max(*x);
@@ -147,9 +157,16 @@ pub fn render_series_svg(plots: &[SeriesPlot], width_px: u32) -> String {
             sy(y_min)
         ));
         for (si, s) in plot.series.iter().enumerate() {
-            let color = if s.highlighted { RED } else { LINE_COLORS[si % LINE_COLORS.len()] };
-            let pts: Vec<String> =
-                s.points.iter().map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y))).collect();
+            let color = if s.highlighted {
+                RED
+            } else {
+                LINE_COLORS[si % LINE_COLORS.len()]
+            };
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
+                .collect();
             svg.push_str(&format!(
                 r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{}"/>"#,
                 pts.join(" "),
@@ -169,7 +186,9 @@ pub fn render_series_svg(plots: &[SeriesPlot], width_px: u32) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -225,8 +244,11 @@ mod tests {
         let t = table();
         let rs = execute(&t, &parse("select count(*) from flights").unwrap()).unwrap();
         assert!(points_from_result(&rs).is_none());
-        let rs =
-            execute(&t, &parse("select count(*) from flights group by carrier").unwrap()).unwrap();
+        let rs = execute(
+            &t,
+            &parse("select count(*) from flights group by carrier").unwrap(),
+        )
+        .unwrap();
         assert!(points_from_result(&rs).is_none()); // string x axis
     }
 
@@ -240,7 +262,10 @@ mod tests {
             .collect();
         let plots = series_plots(&candidates, &results, 1);
         // Both candidates share the carrier = ? template: one plot, two lines.
-        let shared = plots.iter().find(|p| p.title.contains("carrier = ?")).unwrap();
+        let shared = plots
+            .iter()
+            .find(|p| p.title.contains("carrier = ?"))
+            .unwrap();
         assert_eq!(shared.series.len(), 2);
         let ua = shared.series.iter().find(|s| s.label == "UA").unwrap();
         assert!(ua.highlighted, "most likely candidate highlighted");

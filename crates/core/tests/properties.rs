@@ -2,7 +2,7 @@
 //! candidate distributions.
 
 use muve_core::{greedy_plan, Candidate, MultiplotCounts, ScreenConfig, UserCostModel};
-use muve_dbms::{Aggregate, AggFunc, Predicate, Query};
+use muve_dbms::{AggFunc, Aggregate, Predicate, Query};
 use proptest::prelude::*;
 
 /// Random candidate sets sharing a handful of templates: queries vary the

@@ -31,7 +31,12 @@ pub enum Dataset {
 
 impl Dataset {
     /// All datasets in paper order.
-    pub const ALL: [Dataset; 4] = [Dataset::Ads, Dataset::Dob, Dataset::Nyc311, Dataset::Flights];
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Ads,
+        Dataset::Dob,
+        Dataset::Nyc311,
+        Dataset::Flights,
+    ];
 
     /// Table name used in SQL.
     pub fn table_name(self) -> &'static str {
@@ -54,12 +59,34 @@ impl Dataset {
     }
 }
 
-const CHANNELS: &[&str] = &["email", "phone", "display", "search", "social", "direct mail"];
-const REGIONS: &[&str] =
-    &["northeast", "midwest", "south", "west", "pacific", "mountain", "international"];
+const CHANNELS: &[&str] = &[
+    "email",
+    "phone",
+    "display",
+    "search",
+    "social",
+    "direct mail",
+];
+const REGIONS: &[&str] = &[
+    "northeast",
+    "midwest",
+    "south",
+    "west",
+    "pacific",
+    "mountain",
+    "international",
+];
 const INDUSTRIES: &[&str] = &[
-    "retail", "finance", "healthcare", "education", "technology", "manufacturing", "hospitality",
-    "insurance", "automotive", "media",
+    "retail",
+    "finance",
+    "healthcare",
+    "education",
+    "technology",
+    "manufacturing",
+    "hospitality",
+    "insurance",
+    "automotive",
+    "media",
 ];
 
 /// Advertisement contacts data set.
@@ -91,9 +118,21 @@ pub fn ads(rows: usize, seed: u64) -> Table {
 
 const BOROUGHS: &[&str] = &["Brooklyn", "Queens", "Manhattan", "Bronx", "Staten Island"];
 const JOB_TYPES: &[&str] = &["A1", "A2", "A3", "NB", "DM", "SG"];
-const JOB_STATUSES: &[&str] =
-    &["filed", "approved", "permit issued", "in process", "signed off", "withdrawn"];
-const BUILDING_TYPES: &[&str] = &["residential", "commercial", "mixed use", "industrial", "garage"];
+const JOB_STATUSES: &[&str] = &[
+    "filed",
+    "approved",
+    "permit issued",
+    "in process",
+    "signed off",
+    "withdrawn",
+];
+const BUILDING_TYPES: &[&str] = &[
+    "residential",
+    "commercial",
+    "mixed use",
+    "industrial",
+    "garage",
+];
 
 /// NYC Department of Buildings job filings data set.
 pub fn dob(rows: usize, seed: u64) -> Table {
@@ -125,15 +164,32 @@ pub fn dob(rows: usize, seed: u64) -> Table {
 }
 
 const COMPLAINT_TYPES: &[&str] = &[
-    "noise", "heat hot water", "illegal parking", "blocked driveway", "street condition",
-    "water system", "plumbing", "rodent", "graffiti", "sanitation", "homeless encampment",
+    "noise",
+    "heat hot water",
+    "illegal parking",
+    "blocked driveway",
+    "street condition",
+    "water system",
+    "plumbing",
+    "rodent",
+    "graffiti",
+    "sanitation",
+    "homeless encampment",
     "traffic signal",
 ];
 const AGENCIES: &[&str] = &["NYPD", "HPD", "DOT", "DEP", "DSNY", "DOHMH", "DPR"];
 const STATUSES: &[&str] = &["closed", "open", "pending", "assigned", "in progress"];
 const CITIES: &[&str] = &[
-    "Brooklyn", "New York", "Bronx", "Staten Island", "Jamaica", "Flushing", "Astoria",
-    "Ridgewood", "Corona", "Elmhurst",
+    "Brooklyn",
+    "New York",
+    "Bronx",
+    "Staten Island",
+    "Jamaica",
+    "Flushing",
+    "Astoria",
+    "Ridgewood",
+    "Corona",
+    "Elmhurst",
 ];
 
 /// NYC 311 service requests data set.
@@ -231,7 +287,11 @@ mod tests {
         let t = nyc311(5_000, 1);
         let boroughs = t.column_by_name("borough").unwrap().dictionary().unwrap();
         assert_eq!(boroughs.len(), BOROUGHS.len());
-        let complaints = t.column_by_name("complaint_type").unwrap().dictionary().unwrap();
+        let complaints = t
+            .column_by_name("complaint_type")
+            .unwrap()
+            .dictionary()
+            .unwrap();
         assert!(complaints.len() >= COMPLAINT_TYPES.len() - 2);
     }
 

@@ -69,7 +69,9 @@ mod tests {
     #[test]
     fn lognormal_positive_and_spread() {
         let mut rng = StdRng::seed_from_u64(3);
-        let xs: Vec<i64> = (0..1000).map(|_| lognormal_int(&mut rng, 100.0, 0.8)).collect();
+        let xs: Vec<i64> = (0..1000)
+            .map(|_| lognormal_int(&mut rng, 100.0, 0.8))
+            .collect();
         assert!(xs.iter().all(|&x| x >= 0));
         let mean = xs.iter().sum::<i64>() as f64 / xs.len() as f64;
         assert!(mean > 60.0 && mean < 300.0, "{mean}");

@@ -37,9 +37,17 @@ impl<'a> QueryGenerator<'a> {
             }
         }
         assert!(!numeric.is_empty(), "need a numeric column to aggregate");
-        assert!(!categorical.is_empty(), "need a categorical column for predicates");
+        assert!(
+            !categorical.is_empty(),
+            "need a categorical column for predicates"
+        );
         assert!(table.num_rows() > 0, "need rows to sample constants from");
-        QueryGenerator { table, numeric, categorical, rng: StdRng::seed_from_u64(seed) }
+        QueryGenerator {
+            table,
+            numeric,
+            categorical,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Numeric (aggregatable) column names.
@@ -55,16 +63,29 @@ impl<'a> QueryGenerator<'a> {
     /// Generate one query with up to `max_predicates` equality predicates
     /// (at least one).
     pub fn query(&mut self, max_predicates: usize) -> Query {
-        let func = *[AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]
-            .choose(&mut self.rng)
-            .expect("non-empty");
+        let func = *[
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ]
+        .choose(&mut self.rng)
+        .expect("non-empty");
         let aggregate = if func == AggFunc::Count && self.rng.gen_bool(0.5) {
             Aggregate::count_star()
         } else {
-            let col = self.numeric.choose(&mut self.rng).expect("non-empty").clone();
+            let col = self
+                .numeric
+                .choose(&mut self.rng)
+                .expect("non-empty")
+                .clone();
             Aggregate::over(func, col)
         };
-        let n_preds = self.rng.gen_range(1..=max_predicates.max(1)).min(self.categorical.len());
+        let n_preds = self
+            .rng
+            .gen_range(1..=max_predicates.max(1))
+            .min(self.categorical.len());
         let mut cols = self.categorical.clone();
         cols.shuffle(&mut self.rng);
         let predicates = cols[..n_preds]

@@ -25,7 +25,13 @@ pub enum AggFunc {
 
 impl AggFunc {
     /// All aggregate functions (used by workload generators).
-    pub const ALL: [AggFunc; 5] = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
 
     /// SQL keyword for the function.
     pub fn name(self) -> &'static str {
@@ -57,12 +63,18 @@ pub struct Aggregate {
 impl Aggregate {
     /// `count(*)`.
     pub fn count_star() -> Aggregate {
-        Aggregate { func: AggFunc::Count, column: None }
+        Aggregate {
+            func: AggFunc::Count,
+            column: None,
+        }
     }
 
     /// An aggregate over a named column.
     pub fn over(func: AggFunc, column: impl Into<String>) -> Aggregate {
-        Aggregate { func, column: Some(column.into()) }
+        Aggregate {
+            func,
+            column: Some(column.into()),
+        }
     }
 }
 
@@ -149,17 +161,26 @@ pub struct Predicate {
 impl Predicate {
     /// Equality predicate.
     pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
-        Predicate { column: column.into(), op: PredOp::Eq(value.into()) }
+        Predicate {
+            column: column.into(),
+            op: PredOp::Eq(value.into()),
+        }
     }
 
     /// IN-list predicate.
     pub fn is_in(column: impl Into<String>, values: Vec<Value>) -> Predicate {
-        Predicate { column: column.into(), op: PredOp::In(values) }
+        Predicate {
+            column: column.into(),
+            op: PredOp::In(values),
+        }
     }
 
     /// Comparison predicate.
     pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Predicate {
-        Predicate { column: column.into(), op: PredOp::Cmp(op, value.into()) }
+        Predicate {
+            column: column.into(),
+            op: PredOp::Cmp(op, value.into()),
+        }
     }
 }
 
@@ -205,7 +226,12 @@ pub struct Query {
 impl Query {
     /// A scalar aggregate query without predicates.
     pub fn scalar(table: impl Into<String>, agg: Aggregate) -> Query {
-        Query { table: table.into(), aggregates: vec![agg], predicates: Vec::new(), group_by: Vec::new() }
+        Query {
+            table: table.into(),
+            aggregates: vec![agg],
+            predicates: Vec::new(),
+            group_by: Vec::new(),
+        }
     }
 
     /// Add an equality predicate (builder style).
@@ -254,7 +280,10 @@ mod tests {
     fn sql_rendering() {
         let q = Query {
             table: "flights".into(),
-            aggregates: vec![Aggregate::over(AggFunc::Avg, "delay"), Aggregate::count_star()],
+            aggregates: vec![
+                Aggregate::over(AggFunc::Avg, "delay"),
+                Aggregate::count_star(),
+            ],
             predicates: vec![
                 Predicate::eq("origin", "JFK"),
                 Predicate::is_in("carrier", vec!["AA".into(), "UA".into()]),

@@ -86,9 +86,16 @@ impl Column {
         let data = match ty {
             ColumnType::Int => ColumnData::Int(Vec::new()),
             ColumnType::Float => ColumnData::Float(Vec::new()),
-            ColumnType::Str => ColumnData::Str { codes: Vec::new(), dict: Dictionary::default() },
+            ColumnType::Str => ColumnData::Str {
+                codes: Vec::new(),
+                dict: Dictionary::default(),
+            },
         };
-        Column { data, nulls: None, len: 0 }
+        Column {
+            data,
+            nulls: None,
+            len: 0,
+        }
     }
 
     /// The column's type.

@@ -53,7 +53,9 @@ pub struct CostEstimate {
 /// proceeds on estimates even when statistics are missing.
 pub fn estimate(table: &Table, query: &Query, params: &CostParams) -> CostEstimate {
     let rows = table.num_rows() as f64;
-    let pages = (table.approx_bytes() as f64 / params.page_bytes as f64).ceil().max(1.0);
+    let pages = (table.approx_bytes() as f64 / params.page_bytes as f64)
+        .ceil()
+        .max(1.0);
     // Selectivity of the conjunctive predicates (independence assumption).
     let mut selectivity = 1.0;
     for pred in &query.predicates {
@@ -97,7 +99,11 @@ pub fn estimate(table: &Table, query: &Query, params: &CostParams) -> CostEstima
     } else {
         est_rows * params.cpu_operator_cost + est_groups * params.cpu_tuple_cost
     };
-    CostEstimate { total: scan + agg + group, est_rows, est_groups }
+    CostEstimate {
+        total: scan + agg + group,
+        est_rows,
+        est_groups,
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +137,11 @@ mod tests {
         let p = CostParams::default();
         let t = table(1000);
         let all = estimate(&t, &parse("select count(*) from t").unwrap(), &p);
-        let filtered = estimate(&t, &parse("select count(*) from t where k = 'k3'").unwrap(), &p);
+        let filtered = estimate(
+            &t,
+            &parse("select count(*) from t where k = 'k3'").unwrap(),
+            &p,
+        );
         assert!(filtered.est_rows < all.est_rows);
         assert!((filtered.est_rows - 50.0).abs() < 1.0); // 1000 / 20 distinct
     }
@@ -140,9 +150,16 @@ mod tests {
     fn in_list_selectivity_scales() {
         let p = CostParams::default();
         let t = table(1000);
-        let one = estimate(&t, &parse("select count(*) from t where k = 'k3'").unwrap(), &p);
-        let three =
-            estimate(&t, &parse("select count(*) from t where k in ('k1','k2','k3')").unwrap(), &p);
+        let one = estimate(
+            &t,
+            &parse("select count(*) from t where k = 'k3'").unwrap(),
+            &p,
+        );
+        let three = estimate(
+            &t,
+            &parse("select count(*) from t where k in ('k1','k2','k3')").unwrap(),
+            &p,
+        );
         assert!((three.est_rows / one.est_rows - 3.0).abs() < 0.01);
     }
 
@@ -151,7 +168,11 @@ mod tests {
         // One grouped scan must be estimated cheaper than many single scans.
         let p = CostParams::default();
         let t = table(10_000);
-        let single = estimate(&t, &parse("select sum(v) from t where k = 'k1'").unwrap(), &p);
+        let single = estimate(
+            &t,
+            &parse("select sum(v) from t where k = 'k1'").unwrap(),
+            &p,
+        );
         let merged = estimate(
             &t,
             &parse("select sum(v) from t where k in ('k1','k2','k3','k4') group by k").unwrap(),
@@ -172,7 +193,11 @@ mod tests {
     fn unknown_column_uses_default_selectivity() {
         let p = CostParams::default();
         let t = table(100);
-        let e = estimate(&t, &parse("select count(*) from t where zz = 1").unwrap(), &p);
+        let e = estimate(
+            &t,
+            &parse("select count(*) from t where zz = 1").unwrap(),
+            &p,
+        );
         assert!(e.est_rows > 0.0 && e.est_rows < 100.0);
     }
 }
@@ -195,7 +220,11 @@ mod tests {
 pub fn explain(table: &Table, query: &Query, params: &CostParams) -> String {
     let e = estimate(table, query, params);
     let mut out = String::new();
-    let agg_label = if query.group_by.is_empty() { "Aggregate" } else { "HashAggregate" };
+    let agg_label = if query.group_by.is_empty() {
+        "Aggregate"
+    } else {
+        "HashAggregate"
+    };
     out.push_str(&format!(
         "{agg_label}  (cost=0.00..{:.2} rows={} width=8)\n",
         e.total,
@@ -236,7 +265,11 @@ mod explain_tests {
 
     #[test]
     fn scalar_plan_shape() {
-        let plan = explain(&t(), &parse("select count(*) from t where k = 'k1'").unwrap(), &CostParams::default());
+        let plan = explain(
+            &t(),
+            &parse("select count(*) from t where k = 'k1'").unwrap(),
+            &CostParams::default(),
+        );
         assert!(plan.starts_with("Aggregate"));
         assert!(plan.contains("Seq Scan on t"));
         assert!(plan.contains("Filter: k = 'k1'"));
@@ -257,7 +290,11 @@ mod explain_tests {
 
     #[test]
     fn estimated_rows_in_plan() {
-        let plan = explain(&t(), &parse("select count(*) from t where k = 'k1'").unwrap(), &CostParams::default());
+        let plan = explain(
+            &t(),
+            &parse("select count(*) from t where k = 'k1'").unwrap(),
+            &CostParams::default(),
+        );
         // 100 rows / 5 distinct keys = 20 estimated.
         assert!(plan.contains("rows=20"), "{plan}");
     }

@@ -106,7 +106,10 @@ fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
         }
     }
     if in_quotes {
-        return Err(CsvError::Malformed { line, message: "unterminated quoted field".into() });
+        return Err(CsvError::Malformed {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if !field.is_empty() || !record.is_empty() {
         record.push(field);
@@ -116,7 +119,10 @@ fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
         return Err(CsvError::Empty);
     }
     // Drop trailing fully-empty records (files ending in blank lines).
-    while records.last().is_some_and(|r| r.iter().all(String::is_empty)) {
+    while records
+        .last()
+        .is_some_and(|r| r.iter().all(String::is_empty))
+    {
         records.pop();
     }
     if records.is_empty() {
@@ -136,7 +142,11 @@ fn infer_type(records: &[Vec<String>], col: usize) -> ColumnType {
         match ty {
             ColumnType::Int => {
                 if v.parse::<i64>().is_err() {
-                    ty = if v.parse::<f64>().is_ok() { ColumnType::Float } else { ColumnType::Str };
+                    ty = if v.parse::<f64>().is_ok() {
+                        ColumnType::Float
+                    } else {
+                        ColumnType::Str
+                    };
                 }
             }
             ColumnType::Float => {
@@ -317,9 +327,15 @@ mod tests {
     #[test]
     fn errors() {
         assert!(matches!(table_from_csv_str("t", ""), Err(CsvError::Empty)));
-        assert!(matches!(table_from_csv_str("t", "\n\n"), Err(CsvError::Empty)));
+        assert!(matches!(
+            table_from_csv_str("t", "\n\n"),
+            Err(CsvError::Empty)
+        ));
         let e = table_from_csv_str("t", "a,b\n1\n");
-        assert!(matches!(e, Err(CsvError::Malformed { line: 2, .. })), "{e:?}");
+        assert!(
+            matches!(e, Err(CsvError::Malformed { line: 2, .. })),
+            "{e:?}"
+        );
         assert!(matches!(
             table_from_csv_str("t", "a\n\"unterminated\n"),
             Err(CsvError::Malformed { .. })

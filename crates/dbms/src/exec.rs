@@ -61,17 +61,42 @@ impl ResultSet {
     /// The single scalar of a one-aggregate, non-grouped query
     /// (`None` if the value is NULL).
     pub fn scalar(&self) -> Option<f64> {
-        self.rows.first().and_then(|r| r.first()).and_then(Value::as_f64)
+        self.rows
+            .first()
+            .and_then(|r| r.first())
+            .and_then(Value::as_f64)
     }
 }
 
 /// A compiled predicate over one column.
 enum Compiled<'a> {
-    IntIn { col: &'a [i64], nulls: Option<&'a [bool]>, values: Vec<i64> },
-    FloatIn { col: &'a [f64], nulls: Option<&'a [bool]>, values: Vec<f64> },
-    CodeIn { col: &'a [u32], nulls: Option<&'a [bool]>, codes: Vec<u32> },
-    IntCmp { col: &'a [i64], nulls: Option<&'a [bool]>, op: CmpOp, value: f64 },
-    FloatCmp { col: &'a [f64], nulls: Option<&'a [bool]>, op: CmpOp, value: f64 },
+    IntIn {
+        col: &'a [i64],
+        nulls: Option<&'a [bool]>,
+        values: Vec<i64>,
+    },
+    FloatIn {
+        col: &'a [f64],
+        nulls: Option<&'a [bool]>,
+        values: Vec<f64>,
+    },
+    CodeIn {
+        col: &'a [u32],
+        nulls: Option<&'a [bool]>,
+        codes: Vec<u32>,
+    },
+    IntCmp {
+        col: &'a [i64],
+        nulls: Option<&'a [bool]>,
+        op: CmpOp,
+        value: f64,
+    },
+    FloatCmp {
+        col: &'a [f64],
+        nulls: Option<&'a [bool]>,
+        op: CmpOp,
+        value: f64,
+    },
     AlwaysFalse,
 }
 
@@ -88,12 +113,18 @@ impl Compiled<'_> {
             Compiled::CodeIn { col, nulls, codes } => {
                 !is_null(nulls, row) && codes.contains(&col[row])
             }
-            Compiled::IntCmp { col, nulls, op, value } => {
-                !is_null(nulls, row) && op.eval(col[row] as f64, *value)
-            }
-            Compiled::FloatCmp { col, nulls, op, value } => {
-                !is_null(nulls, row) && op.eval(col[row], *value)
-            }
+            Compiled::IntCmp {
+                col,
+                nulls,
+                op,
+                value,
+            } => !is_null(nulls, row) && op.eval(col[row] as f64, *value),
+            Compiled::FloatCmp {
+                col,
+                nulls,
+                op,
+                value,
+            } => !is_null(nulls, row) && op.eval(col[row], *value),
             Compiled::AlwaysFalse => false,
         }
     }
@@ -134,8 +165,18 @@ fn compile<'a>(table: &'a Table, query: &Query) -> Result<Vec<Compiled<'a>>, Exe
                 ))
             })?;
             let compiled = match col.data() {
-                ColumnData::Int(xs) => Compiled::IntCmp { col: xs, nulls, op: *op, value },
-                ColumnData::Float(xs) => Compiled::FloatCmp { col: xs, nulls, op: *op, value },
+                ColumnData::Int(xs) => Compiled::IntCmp {
+                    col: xs,
+                    nulls,
+                    op: *op,
+                    value,
+                },
+                ColumnData::Float(xs) => Compiled::FloatCmp {
+                    col: xs,
+                    nulls,
+                    op: *op,
+                    value,
+                },
                 ColumnData::Str { .. } => {
                     return Err(ExecError::TypeError(format!(
                         "comparison operator on string column {}",
@@ -170,7 +211,11 @@ fn compile<'a>(table: &'a Table, query: &Query) -> Result<Vec<Compiled<'a>>, Exe
                 if values.is_empty() {
                     Compiled::AlwaysFalse
                 } else {
-                    Compiled::IntIn { col: xs, nulls, values }
+                    Compiled::IntIn {
+                        col: xs,
+                        nulls,
+                        values,
+                    }
                 }
             }
             ColumnData::Float(xs) => {
@@ -190,7 +235,11 @@ fn compile<'a>(table: &'a Table, query: &Query) -> Result<Vec<Compiled<'a>>, Exe
                 if values.is_empty() {
                     Compiled::AlwaysFalse
                 } else {
-                    Compiled::FloatIn { col: xs, nulls, values }
+                    Compiled::FloatIn {
+                        col: xs,
+                        nulls,
+                        values,
+                    }
                 }
             }
             ColumnData::Str { codes, dict } => {
@@ -214,7 +263,11 @@ fn compile<'a>(table: &'a Table, query: &Query) -> Result<Vec<Compiled<'a>>, Exe
                 if resolved.is_empty() {
                     Compiled::AlwaysFalse
                 } else {
-                    Compiled::CodeIn { col: codes, nulls, codes: resolved }
+                    Compiled::CodeIn {
+                        col: codes,
+                        nulls,
+                        codes: resolved,
+                    }
                 }
             }
         };
@@ -234,7 +287,12 @@ struct Acc {
 
 impl Acc {
     fn new() -> Acc {
-        Acc { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Acc {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     #[inline]
@@ -264,8 +322,14 @@ impl Acc {
 /// Numeric input of one aggregate (or row-count for `count(*)`).
 enum AggInput<'a> {
     Star,
-    Int { col: &'a [i64], nulls: Option<&'a [bool]> },
-    Float { col: &'a [f64], nulls: Option<&'a [bool]> },
+    Int {
+        col: &'a [i64],
+        nulls: Option<&'a [bool]>,
+    },
+    Float {
+        col: &'a [f64],
+        nulls: Option<&'a [bool]>,
+    },
 }
 
 impl AggInput<'_> {
@@ -273,9 +337,7 @@ impl AggInput<'_> {
     fn value(&self, row: usize) -> Option<f64> {
         match self {
             AggInput::Star => Some(1.0),
-            AggInput::Int { col, nulls } => {
-                (!is_null(nulls, row)).then(|| col[row] as f64)
-            }
+            AggInput::Int { col, nulls } => (!is_null(nulls, row)).then(|| col[row] as f64),
             AggInput::Float { col, nulls } => (!is_null(nulls, row)).then(|| col[row]),
         }
     }
@@ -315,7 +377,10 @@ fn agg_inputs<'a>(table: &'a Table, query: &Query) -> Result<Vec<AggInput<'a>>, 
 /// Grouping key part per row (str code or int value; floats disallowed).
 enum GroupInput<'a> {
     Int(&'a [i64]),
-    Code { codes: &'a [u32], dict: &'a crate::column::Dictionary },
+    Code {
+        codes: &'a [u32],
+        dict: &'a crate::column::Dictionary,
+    },
 }
 
 /// Execute `query` against `table`. `selection` optionally restricts the
@@ -329,7 +394,9 @@ pub fn execute_with_selection(
         return Err(ExecError::UnknownTable(query.table.clone()));
     }
     if query.aggregates.is_empty() {
-        return Err(ExecError::TypeError("query needs at least one aggregate".into()));
+        return Err(ExecError::TypeError(
+            "query needs at least one aggregate".into(),
+        ));
     }
     let preds = compile(table, query)?;
     let inputs = agg_inputs(table, query)?;
@@ -344,7 +411,9 @@ pub fn execute_with_selection(
             ColumnData::Int(xs) => group_inputs.push(GroupInput::Int(xs)),
             ColumnData::Str { codes, dict } => group_inputs.push(GroupInput::Code { codes, dict }),
             ColumnData::Float(_) => {
-                return Err(ExecError::TypeError(format!("cannot group by float column {g}")))
+                return Err(ExecError::TypeError(format!(
+                    "cannot group by float column {g}"
+                )))
             }
         }
     }
@@ -387,7 +456,11 @@ pub fn execute_with_selection(
             .zip(&query.aggregates)
             .map(|(acc, agg)| acc.finish(agg.func))
             .collect();
-        return Ok(ResultSet { columns: agg_names, rows: vec![row], stats });
+        return Ok(ResultSet {
+            columns: agg_names,
+            rows: vec![row],
+            stats,
+        });
     }
 
     // Grouped execution.
@@ -433,7 +506,17 @@ pub fn execute_with_selection(
     }
     let mut columns = query.group_by.clone();
     columns.extend(agg_names);
-    Ok(ResultSet { columns, rows, stats })
+    let obs = muve_obs::metrics();
+    obs.counter("dbms.queries").incr();
+    obs.counter("dbms.rows_scanned")
+        .add(stats.rows_scanned as u64);
+    obs.counter("dbms.rows_matched")
+        .add(stats.rows_matched as u64);
+    Ok(ResultSet {
+        columns,
+        rows,
+        stats,
+    })
 }
 
 /// Execute `query` against `table` over all rows.
@@ -509,11 +592,19 @@ mod tests {
 
     #[test]
     fn empty_result_null_semantics() {
-        let r = run("select sum(delay), avg(delay), min(delay), max(delay), count(*) \
-                     from flights where origin = 'XXX'");
+        let r = run(
+            "select sum(delay), avg(delay), min(delay), max(delay), count(*) \
+                     from flights where origin = 'XXX'",
+        );
         assert_eq!(
             r.rows[0],
-            vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Int(0)]
+            vec![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Int(0)
+            ]
         );
         assert_eq!(r.scalar(), None);
     }
@@ -554,7 +645,10 @@ mod tests {
             Err(ExecError::UnknownTable(_))
         ));
         assert!(matches!(
-            execute(&t, &parse("select count(*) from flights where nope = 1").unwrap()),
+            execute(
+                &t,
+                &parse("select count(*) from flights where nope = 1").unwrap()
+            ),
             Err(ExecError::UnknownColumn(_))
         ));
         assert!(matches!(
@@ -562,11 +656,17 @@ mod tests {
             Err(ExecError::TypeError(_))
         ));
         assert!(matches!(
-            execute(&t, &parse("select count(*) from flights where delay = 'x'").unwrap()),
+            execute(
+                &t,
+                &parse("select count(*) from flights where delay = 'x'").unwrap()
+            ),
             Err(ExecError::TypeError(_))
         ));
         assert!(matches!(
-            execute(&t, &parse("select count(*) from flights group by dist").unwrap()),
+            execute(
+                &t,
+                &parse("select count(*) from flights group by dist").unwrap()
+            ),
             Err(ExecError::TypeError(_))
         ));
     }
@@ -619,16 +719,27 @@ mod cmp_tests {
     use crate::value::ColumnType;
 
     fn t() -> Table {
-        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Int), ("x", ColumnType::Float)]);
+        let schema = Schema::new([
+            ("k", ColumnType::Str),
+            ("v", ColumnType::Int),
+            ("x", ColumnType::Float),
+        ]);
         let mut b = Table::builder("t", schema);
         for i in 0..10i64 {
-            b.push_row([Value::from(format!("k{}", i % 2)), Value::Int(i), Value::Float(i as f64 / 2.0)]);
+            b.push_row([
+                Value::from(format!("k{}", i % 2)),
+                Value::Int(i),
+                Value::Float(i as f64 / 2.0),
+            ]);
         }
         b.build()
     }
 
     fn count(sql: &str) -> f64 {
-        execute(&t(), &parse(sql).unwrap()).unwrap().scalar().unwrap()
+        execute(&t(), &parse(sql).unwrap())
+            .unwrap()
+            .scalar()
+            .unwrap()
     }
 
     #[test]
@@ -649,12 +760,18 @@ mod cmp_tests {
 
     #[test]
     fn combined_with_equality() {
-        assert_eq!(count("select count(*) from t where k = 'k0' and v >= 4"), 3.0);
+        assert_eq!(
+            count("select count(*) from t where k = 'k0' and v >= 4"),
+            3.0
+        );
     }
 
     #[test]
     fn string_comparison_rejected() {
-        let err = execute(&t(), &parse("select count(*) from t where k > 'a'").unwrap());
+        let err = execute(
+            &t(),
+            &parse("select count(*) from t where k > 'a'").unwrap(),
+        );
         assert!(matches!(err, Err(ExecError::TypeError(_))));
     }
 

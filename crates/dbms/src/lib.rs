@@ -42,7 +42,9 @@ pub use column::{Column, ColumnData, Dictionary};
 pub use cost::{estimate, explain, CostEstimate, CostParams};
 pub use csv::{table_from_csv_path, table_from_csv_str, CsvError};
 pub use exec::{execute, execute_with_selection, ExecError, ExecStats, ResultSet};
-pub use merge::{execute_merged, merge_is_beneficial, plan_merged, MergeGroup, MergeMember, MergedResults};
+pub use merge::{
+    execute_merged, merge_is_beneficial, plan_merged, MergeGroup, MergeMember, MergedResults,
+};
 pub use parser::{parse, ParseError};
 pub use sample::{bernoulli_rows, execute_approximate, scale_result, systematic_rows};
 pub use schema::{ColumnDef, Schema};

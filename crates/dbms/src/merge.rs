@@ -48,8 +48,11 @@ pub fn plan_merged(queries: &[Query]) -> Vec<MergeGroup> {
     // Bucket by (table, sorted predicate columns).
     let mut buckets: FxHashMap<(String, Vec<String>), Vec<usize>> = FxHashMap::default();
     for (i, q) in queries.iter().enumerate() {
-        let mut cols: Vec<String> =
-            q.predicates.iter().map(|p| p.column.to_ascii_lowercase()).collect();
+        let mut cols: Vec<String> = q
+            .predicates
+            .iter()
+            .map(|p| p.column.to_ascii_lowercase())
+            .collect();
         cols.sort_unstable();
         buckets
             .entry((q.table.to_ascii_lowercase(), cols))
@@ -62,6 +65,12 @@ pub fn plan_merged(queries: &[Query]) -> Vec<MergeGroup> {
     for key in keys {
         let members = &buckets[&key];
         groups.extend(merge_bucket(queries, members, &key.1));
+    }
+    let obs = muve_obs::metrics();
+    obs.counter("dbms.merge_groups").add(groups.len() as u64);
+    for g in &groups {
+        obs.histogram("dbms.merge_group_size")
+            .record(g.members.len() as u64);
     }
     groups
 }
@@ -102,30 +111,28 @@ fn eq_value(q: &Query, col: &str) -> Option<Value> {
 /// The full predicate on `col` (used to carry shared non-equality
 /// predicates into the merged query).
 fn shared_pred(q: &Query, col: &str) -> Option<Predicate> {
-    q.predicates.iter().find(|p| p.column.eq_ignore_ascii_case(col)).cloned()
+    q.predicates
+        .iter()
+        .find(|p| p.column.eq_ignore_ascii_case(col))
+        .cloned()
 }
 
 /// Sub-bucketing of mergeable queries by their fixed-predicate signature.
 type SubBuckets = FxHashMap<Vec<String>, Vec<usize>>;
 
 fn merge_bucket(queries: &[Query], members: &[usize], cols: &[String]) -> Vec<MergeGroup> {
-    if members.len() == 1 || !queries.iter().all(|q| !q.group_by.is_empty()) {
-        // fallthrough below handles everything; the condition above is
-        // evaluated per member anyway.
-    }
-    // Queries with GROUP BY, IN predicates, or several predicates on the
-    // same column (possible after phonetic rebinding) do not participate
-    // in merging: the signature scheme assumes one equality per column.
+    // Queries with GROUP BY, IN predicates, no aggregates, or several
+    // predicates on the same column (possible after phonetic rebinding) do
+    // not participate in merging: the signature scheme assumes one equality
+    // per column and the rewrite maps each member to an aggregate column.
     let has_dup_cols = cols.windows(2).any(|w| w[0] == w[1]);
     let (mergeable, singles): (Vec<usize>, Vec<usize>) = members.iter().partition(|&&i| {
         !has_dup_cols
             && queries[i].group_by.is_empty()
+            && !queries[i].aggregates.is_empty()
             && signature(&queries[i], cols, usize::MAX).is_some()
     });
-    let mut out: Vec<MergeGroup> = singles
-        .into_iter()
-        .map(|i| singleton(queries, i))
-        .collect();
+    let mut out: Vec<MergeGroup> = singles.into_iter().map(|i| singleton(queries, i)).collect();
     if mergeable.is_empty() {
         return out;
     }
@@ -137,21 +144,38 @@ fn merge_bucket(queries: &[Query], members: &[usize], cols: &[String]) -> Vec<Me
     let mut best: Option<(usize, SubBuckets)> = None;
     let mut choices: Vec<usize> = vec![usize::MAX];
     for (ci, col) in cols.iter().enumerate() {
-        if mergeable.iter().all(|&i| eq_value(&queries[i], col).is_some()) {
+        if mergeable
+            .iter()
+            .all(|&i| eq_value(&queries[i], col).is_some())
+        {
             choices.push(ci);
         }
     }
     for skip in choices {
         let mut sub: SubBuckets = SubBuckets::default();
+        let mut complete = true;
         for &i in &mergeable {
-            let sig = signature(&queries[i], cols, skip).expect("checked mergeable");
-            sub.entry(sig).or_default().push(i);
+            // Members were pre-checked with `skip = usize::MAX`; a narrower
+            // skip can still fail (defensively) — drop the choice, not the
+            // process.
+            match signature(&queries[i], cols, skip) {
+                Some(sig) => sub.entry(sig).or_default().push(i),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
         }
-        if best.as_ref().is_none_or(|(_, b)| sub.len() < b.len()) {
+        if complete && best.as_ref().is_none_or(|(_, b)| sub.len() < b.len()) {
             best = Some((skip, sub));
         }
     }
-    let (skip, sub) = best.expect("at least one choice");
+    // No viable varying-column choice: fall back to executing each member
+    // on its own rather than panicking.
+    let Some((skip, sub)) = best else {
+        out.extend(mergeable.into_iter().map(|i| singleton(queries, i)));
+        return out;
+    };
     let mut sigs: Vec<_> = sub.keys().cloned().collect();
     sigs.sort_unstable();
     for sig in sigs {
@@ -164,7 +188,11 @@ fn merge_bucket(queries: &[Query], members: &[usize], cols: &[String]) -> Vec<Me
 fn singleton(queries: &[Query], index: usize) -> MergeGroup {
     MergeGroup {
         merged: queries[index].clone(),
-        members: vec![MergeMember { index, key: None, agg: 0 }],
+        members: vec![MergeMember {
+            index,
+            key: None,
+            agg: 0,
+        }],
     }
 }
 
@@ -210,10 +238,14 @@ fn build_group(queries: &[Query], members: &[usize], cols: &[String], skip: usiz
         }
     }
     let (group_by, vary_pred) = match (&vary_col, vary_values.len()) {
-        (Some(c), n) if n > 1 => {
-            (vec![c.clone()], Some(Predicate::is_in(c.clone(), vary_values.clone())))
-        }
-        (Some(c), 1) => (Vec::new(), Some(Predicate::eq(c.clone(), vary_values[0].clone()))),
+        (Some(c), n) if n > 1 => (
+            vec![c.clone()],
+            Some(Predicate::is_in(c.clone(), vary_values.clone())),
+        ),
+        (Some(c), 1) => (
+            Vec::new(),
+            Some(Predicate::eq(c.clone(), vary_values[0].clone())),
+        ),
         _ => (Vec::new(), None),
     };
     if let Some(p) = vary_pred {
@@ -231,7 +263,12 @@ fn build_group(queries: &[Query], members: &[usize], cols: &[String], skip: usiz
         })
         .collect();
     MergeGroup {
-        merged: Query { table: first.table.clone(), aggregates: aggs, predicates, group_by },
+        merged: Query {
+            table: first.table.clone(),
+            aggregates: aggs,
+            predicates,
+            group_by,
+        },
         members,
     }
 }
@@ -265,7 +302,10 @@ pub fn execute_merged(table: &Table, group: &MergeGroup) -> Result<MergedResults
         };
         results.push((m.index, value));
     }
-    Ok(MergedResults { results, stats: rs.stats })
+    Ok(MergedResults {
+        results,
+        stats: rs.stats,
+    })
 }
 
 /// Decide via the cost model whether executing `group` merged is cheaper
@@ -426,7 +466,12 @@ mod tests {
             q("select sum(delay) from flights where origin = 'EWR'"),
         ];
         let groups = plan_merged(&queries);
-        assert!(merge_is_beneficial(&t, &groups[0], &queries, &CostParams::default()));
+        assert!(merge_is_beneficial(
+            &t,
+            &groups[0],
+            &queries,
+            &CostParams::default()
+        ));
     }
 
     #[test]
@@ -434,7 +479,12 @@ mod tests {
         let t = flights();
         let queries = vec![q("select count(*) from flights where origin = 'JFK'")];
         let groups = plan_merged(&queries);
-        assert!(!merge_is_beneficial(&t, &groups[0], &queries, &CostParams::default()));
+        assert!(!merge_is_beneficial(
+            &t,
+            &groups[0],
+            &queries,
+            &CostParams::default()
+        ));
     }
 
     #[test]
@@ -529,7 +579,11 @@ mod cmp_merge_tests {
             results[i] = v;
         }
         for (i, q) in queries.iter().enumerate() {
-            assert_eq!(results[i], execute(&table, q).unwrap().scalar(), "query {i}");
+            assert_eq!(
+                results[i],
+                execute(&table, q).unwrap().scalar(),
+                "query {i}"
+            );
         }
     }
 
@@ -551,6 +605,45 @@ mod cmp_merge_tests {
         }
         assert_eq!(results[0], Some(6.0));
         assert_eq!(results[1], Some(3.0));
+    }
+
+    #[test]
+    fn degenerate_group_without_aggregates_falls_back_to_singletons() {
+        // A query with an empty select list can reach the merger through
+        // programmatic construction (fault injection, partial rebinding).
+        // It must become a singleton group instead of panicking inside
+        // build_group, and healthy siblings must still merge.
+        let degenerate = Query {
+            table: "t".into(),
+            aggregates: vec![],
+            predicates: vec![],
+            group_by: vec![],
+        };
+        let queries = vec![
+            parse("select count(*) from t where k = 'k0'").unwrap(),
+            degenerate.clone(),
+            parse("select count(*) from t where k = 'k1'").unwrap(),
+        ];
+        let groups = plan_merged(&queries);
+        // One merged group for the two healthy queries, one singleton for
+        // the degenerate one.
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        let single = groups
+            .iter()
+            .find(|g| g.members.len() == 1 && g.members[0].index == 1)
+            .expect("degenerate query becomes a singleton");
+        assert!(single.merged.aggregates.is_empty());
+        let merged = groups.iter().find(|g| g.members.len() == 2).unwrap();
+        let table = t();
+        let mut results = [None; 3];
+        for (i, v) in execute_merged(&table, merged).unwrap().results {
+            results[i] = v;
+        }
+        assert_eq!(results[0], Some(4.0));
+        assert_eq!(results[2], Some(4.0));
+        // Executing the singleton errors gracefully (no aggregates) rather
+        // than panicking.
+        assert!(execute_merged(&table, single).is_err());
     }
 
     #[test]

@@ -30,7 +30,9 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { message: message.into() })
+    Err(ParseError {
+        message: message.into(),
+    })
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -75,22 +77,20 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 out.push(Token::EqSign);
                 i += 1;
             }
-            '<' => {
-                match chars.get(i + 1) {
-                    Some('=') => {
-                        out.push(Token::Cmp(CmpOp::Le));
-                        i += 2;
-                    }
-                    Some('>') => {
-                        out.push(Token::Cmp(CmpOp::Ne));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Cmp(CmpOp::Lt));
-                        i += 1;
-                    }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Cmp(CmpOp::Le));
+                    i += 2;
                 }
-            }
+                Some('>') => {
+                    out.push(Token::Cmp(CmpOp::Ne));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            },
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
                     out.push(Token::Cmp(CmpOp::Ge));
@@ -259,14 +259,23 @@ impl Parser {
                 values.push(self.literal()?);
             }
             self.expect(Token::RParen)?;
-            Ok(Predicate { column, op: PredOp::In(values) })
+            Ok(Predicate {
+                column,
+                op: PredOp::In(values),
+            })
         } else if let Some(Token::Cmp(op)) = self.peek() {
             let op = *op;
             self.pos += 1;
-            Ok(Predicate { column, op: PredOp::Cmp(op, self.literal()?) })
+            Ok(Predicate {
+                column,
+                op: PredOp::Cmp(op, self.literal()?),
+            })
         } else {
             self.expect(Token::EqSign)?;
-            Ok(Predicate { column, op: PredOp::Eq(self.literal()?) })
+            Ok(Predicate {
+                column,
+                op: PredOp::Eq(self.literal()?),
+            })
         }
     }
 
@@ -298,7 +307,12 @@ impl Parser {
         if let Some(t) = self.peek() {
             return err(format!("unexpected trailing token {t:?}"));
         }
-        Ok(Query { table, aggregates, predicates, group_by })
+        Ok(Query {
+            table,
+            aggregates,
+            predicates,
+            group_by,
+        })
     }
 }
 
@@ -387,7 +401,8 @@ mod tests {
 
     #[test]
     fn underscored_identifiers() {
-        let q = parse("select avg(dep_delay) from flight_delays where origin_city = 'NYC'").unwrap();
+        let q =
+            parse("select avg(dep_delay) from flight_delays where origin_city = 'NYC'").unwrap();
         assert_eq!(q.table, "flight_delays");
         assert_eq!(q.aggregates[0].column.as_deref(), Some("dep_delay"));
     }

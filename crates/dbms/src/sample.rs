@@ -77,6 +77,7 @@ pub fn execute_approximate(
         (rows.len() as f64 / table.num_rows() as f64).max(f64::MIN_POSITIVE)
     };
     let raw = execute_with_selection(table, query, Some(&rows))?;
+    muve_obs::metrics().counter("dbms.sample_execs").incr();
     Ok((scale_result(raw, query, realized), realized))
 }
 
@@ -115,7 +116,10 @@ mod tests {
         let schema = Schema::new([("g", ColumnType::Str), ("v", ColumnType::Int)]);
         let mut b = Table::builder("t", schema);
         for i in 0..n {
-            b.push_row([Value::from(if i % 2 == 0 { "a" } else { "b" }), Value::from(1i64)]);
+            b.push_row([
+                Value::from(if i % 2 == 0 { "a" } else { "b" }),
+                Value::from(1i64),
+            ]);
         }
         b.build()
     }
@@ -180,14 +184,21 @@ mod tests {
     #[test]
     fn systematic_is_sample_sized_and_sorted() {
         let rows = systematic_rows(1_000_000, 0.01, 5);
-        assert!((rows.len() as f64 - 10_000.0).abs() < 10.0, "{}", rows.len());
+        assert!(
+            (rows.len() as f64 - 10_000.0).abs() < 10.0,
+            "{}",
+            rows.len()
+        );
         for w in rows.windows(2) {
             assert!(w[0] < w[1]);
         }
         assert!(systematic_rows(100, 0.0, 1).is_empty());
         assert_eq!(systematic_rows(100, 1.0, 1).len(), 100);
         // Deterministic.
-        assert_eq!(systematic_rows(5_000, 0.1, 9), systematic_rows(5_000, 0.1, 9));
+        assert_eq!(
+            systematic_rows(5_000, 0.1, 9),
+            systematic_rows(5_000, 0.1, 9)
+        );
     }
 
     #[test]
@@ -204,11 +215,7 @@ mod tests {
         }
     }
 
-    fn muve_dbms_exec_helper(
-        t: &Table,
-        q: &Query,
-        rows: &[u32],
-    ) -> crate::exec::ResultSet {
+    fn muve_dbms_exec_helper(t: &Table, q: &Query, rows: &[u32]) -> crate::exec::ResultSet {
         crate::exec::execute_with_selection(t, q, Some(rows)).unwrap()
     }
 

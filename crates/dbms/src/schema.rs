@@ -29,7 +29,10 @@ impl Schema {
     {
         let columns: Vec<ColumnDef> = cols
             .into_iter()
-            .map(|(name, ty)| ColumnDef { name: name.into(), ty })
+            .map(|(name, ty)| ColumnDef {
+                name: name.into(),
+                ty,
+            })
             .collect();
         for (i, a) in columns.iter().enumerate() {
             for b in &columns[i + 1..] {
@@ -60,7 +63,9 @@ impl Schema {
 
     /// Index of the column with the given (case-insensitive) name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Column definition by (case-insensitive) name.

@@ -19,7 +19,12 @@ impl Table {
     /// Start building a table with the given name and schema.
     pub fn builder(name: impl Into<String>, schema: Schema) -> TableBuilder {
         let columns = schema.columns().iter().map(|c| Column::new(c.ty)).collect();
-        TableBuilder { name: name.into(), schema, columns, rows: 0 }
+        TableBuilder {
+            name: name.into(),
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// Table name.
@@ -100,7 +105,12 @@ impl TableBuilder {
 
     /// Finish building.
     pub fn build(self) -> Table {
-        Table { name: self.name, schema: self.schema, columns: self.columns, rows: self.rows }
+        Table {
+            name: self.name,
+            schema: self.schema,
+            columns: self.columns,
+            rows: self.rows,
+        }
     }
 }
 
@@ -119,7 +129,8 @@ impl Database {
     /// Register a table under its own name (lowercased key).
     pub fn register(&mut self, table: Table) -> Arc<Table> {
         let t = Arc::new(table);
-        self.tables.insert(t.name().to_ascii_lowercase(), Arc::clone(&t));
+        self.tables
+            .insert(t.name().to_ascii_lowercase(), Arc::clone(&t));
         t
     }
 
@@ -154,8 +165,14 @@ mod tests {
         let t = sample();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.name(), "cities");
-        assert_eq!(t.row(1), vec![Value::from("ithaca"), Value::from(30_000i64)]);
-        assert_eq!(t.column_by_name("POP").unwrap().get(0), Value::Int(8_000_000));
+        assert_eq!(
+            t.row(1),
+            vec![Value::from("ithaca"), Value::from(30_000i64)]
+        );
+        assert_eq!(
+            t.column_by_name("POP").unwrap().get(0),
+            Value::Int(8_000_000)
+        );
         assert!(t.column_by_name("nope").is_none());
     }
 

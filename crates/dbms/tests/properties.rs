@@ -3,8 +3,8 @@
 //! invariants, over randomly generated tables and queries.
 
 use muve_dbms::{
-    execute, execute_merged, plan_merged, Aggregate, AggFunc, ColumnType, Predicate, Query,
-    Schema, Table, Value,
+    execute, execute_merged, plan_merged, AggFunc, Aggregate, ColumnType, Predicate, Query, Schema,
+    Table, Value,
 };
 use proptest::prelude::*;
 
@@ -41,7 +41,11 @@ fn random_table() -> impl Strategy<Value = RandomTable> {
             prop::collection::vec(0u8..3, n),
             prop::collection::vec(-100i32..100, n),
         )
-            .prop_map(|(keys, groups, values)| RandomTable { keys, groups, values })
+            .prop_map(|(keys, groups, values)| RandomTable {
+                keys,
+                groups,
+                values,
+            })
     })
 }
 
@@ -74,7 +78,13 @@ fn reference(rt: &RandomTable, func: AggFunc, key: u8) -> Option<f64> {
 }
 
 fn funcs() -> impl Strategy<Value = AggFunc> {
-    prop::sample::select(vec![AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max])
+    prop::sample::select(vec![
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ])
 }
 
 proptest! {
@@ -162,12 +172,15 @@ mod sql_roundtrip {
     }
 
     fn predicates() -> impl Strategy<Value = Predicate> {
-        (idents(), prop_oneof![
-            values().prop_map(PredOp::Eq),
-            prop::collection::vec(values(), 1..4).prop_map(PredOp::In),
-            (prop::sample::select(CmpOp::ALL.to_vec()), any::<i64>())
-                .prop_map(|(op, v)| PredOp::Cmp(op, Value::Int(v))),
-        ])
+        (
+            idents(),
+            prop_oneof![
+                values().prop_map(PredOp::Eq),
+                prop::collection::vec(values(), 1..4).prop_map(PredOp::In),
+                (prop::sample::select(CmpOp::ALL.to_vec()), any::<i64>())
+                    .prop_map(|(op, v)| PredOp::Cmp(op, Value::Int(v))),
+            ],
+        )
             .prop_map(|(column, op)| Predicate { column, op })
     }
 

@@ -80,7 +80,11 @@ enum Alt {
     /// Keep the element as-is.
     Keep,
     /// Replace predicate `pred_idx` with `column = value`.
-    Constant { pred_idx: usize, column: String, value: String },
+    Constant {
+        pred_idx: usize,
+        column: String,
+        value: String,
+    },
     /// Replace the aggregation column.
     AggColumn(String),
     /// Replace the comparison operator of predicate `pred_idx`.
@@ -179,7 +183,7 @@ impl CandidateGenerator {
                     next.push((c, score * s));
                 }
             }
-            next.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            next.sort_by(|a, b| b.1.total_cmp(&a.1));
             next.truncate(beam_width);
             beam = next;
         }
@@ -199,8 +203,7 @@ impl CandidateGenerator {
             .collect();
         out.sort_by(|a, b| {
             b.probability
-                .partial_cmp(&a.probability)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.probability)
                 .then_with(|| a.query.to_sql().cmp(&b.query.to_sql()))
         });
         out.truncate(max_candidates.max(1));
@@ -258,7 +261,11 @@ impl CandidateGenerator {
                             continue; // identity replacement
                         }
                         alts.push((
-                            Alt::Constant { pred_idx, column, value: m.text },
+                            Alt::Constant {
+                                pred_idx,
+                                column,
+                                value: m.text,
+                            },
                             m.similarity,
                         ));
                     }
@@ -281,7 +288,10 @@ impl CandidateGenerator {
             // them may be a misrecognized extra word — offer the query
             // without it.
             if base.predicates.len() >= 2 && matches!(pred.op, PredOp::Eq(Value::Str(_))) {
-                elements.push(vec![(Alt::Keep, 1.0), (Alt::Drop { pred_idx }, INSERTION_PRIOR)]);
+                elements.push(vec![
+                    (Alt::Keep, 1.0),
+                    (Alt::Drop { pred_idx }, INSERTION_PRIOR),
+                ]);
             }
             // Comparison operators: confusions among spoken forms
             // ("more than" vs "less than" vs "at least" ...).
@@ -293,7 +303,13 @@ impl CandidateGenerator {
                     }
                     let score = phonetic_similarity(spoken_op(*op), spoken_op(alt_op));
                     if score > 0.3 {
-                        alts.push((Alt::Operator { pred_idx, op: alt_op }, score));
+                        alts.push((
+                            Alt::Operator {
+                                pred_idx,
+                                op: alt_op,
+                            },
+                            score,
+                        ));
                     }
                 }
                 if alts.len() > 1 {
@@ -345,7 +361,11 @@ impl CandidateGenerator {
         for alt in combo {
             match alt {
                 Alt::Keep => {}
-                Alt::Constant { pred_idx, column, value } => {
+                Alt::Constant {
+                    pred_idx,
+                    column,
+                    value,
+                } => {
                     let p = &mut q.predicates[*pred_idx];
                     p.column = column.clone();
                     p.op = PredOp::Eq(Value::Str(value.clone()));
@@ -453,7 +473,10 @@ mod tests {
         let cands = gen().candidates(&base, 20, 10);
         // dep_delay vs arr_delay are phonetically close; both must appear.
         let sqls: Vec<String> = cands.iter().map(|c| c.query.to_sql()).collect();
-        assert!(sqls.iter().any(|s| s.contains("avg(arr_delay)")), "{sqls:?}");
+        assert!(
+            sqls.iter().any(|s| s.contains("avg(arr_delay)")),
+            "{sqls:?}"
+        );
     }
 
     #[test]
@@ -491,7 +514,9 @@ mod tests {
         let g = gen();
         let out = g.try_candidates(&base, 20, 10).expect("healthy generation");
         assert_eq!(out, g.candidates(&base, 20, 10));
-        assert!(out.iter().all(|c| c.probability.is_finite() && c.probability > 0.0));
+        assert!(out
+            .iter()
+            .all(|c| c.probability.is_finite() && c.probability > 0.0));
     }
 
     #[test]
@@ -522,8 +547,7 @@ mod tests {
         let cands = gen().candidates(&base, 20, 40);
         // Combined replacements exist (both agg column and a constant vary).
         let any_double = cands.iter().any(|c| {
-            c.query.aggregates[0].column.as_deref() == Some("arr_delay")
-                && c.query != base
+            c.query.aggregates[0].column.as_deref() == Some("arr_delay") && c.query != base
         });
         assert!(any_double);
     }
@@ -551,7 +575,8 @@ mod operator_and_number_tests {
         // "more than" confuses with other spoken comparisons.
         assert!(sqls.iter().any(|s| s.contains("delay > 30")), "{sqls:?}");
         assert!(
-            sqls.iter().any(|s| s.contains("delay < 30") || s.contains("delay >= 30")),
+            sqls.iter()
+                .any(|s| s.contains("delay < 30") || s.contains("delay >= 30")),
             "{sqls:?}"
         );
         // Base stays on top.
@@ -571,7 +596,11 @@ mod operator_and_number_tests {
         let base = parse("select count(*) from flights where delay = 42").unwrap();
         let cands = CandidateGenerator::new(&table()).candidates(&base, 20, 20);
         for c in &cands {
-            assert!(c.query.to_sql().contains("delay = 42"), "{}", c.query.to_sql());
+            assert!(
+                c.query.to_sql().contains("delay = 42"),
+                "{}",
+                c.query.to_sql()
+            );
         }
     }
 
@@ -583,7 +612,11 @@ mod operator_and_number_tests {
         // Cross-product interpretations appear ("at least seventeen" heard
         // as "at most seventy", etc.).
         assert!(sqls.iter().any(|s| s.contains("delay >= 70")), "{sqls:?}");
-        assert!(sqls.iter().any(|s| s.contains("<= 17") || s.contains("<= 70")), "{sqls:?}");
+        assert!(
+            sqls.iter()
+                .any(|s| s.contains("<= 17") || s.contains("<= 70")),
+            "{sqls:?}"
+        );
         let total: f64 = cands.iter().map(|c| c.probability).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -611,8 +644,8 @@ mod insertion_tests {
     fn insertion_hypothesis_drops_predicates() {
         // With two predicates, candidates include the one-predicate
         // interpretations (an ASR word may have hallucinated either).
-        let base = parse("select count(*) from t where borough = 'Brooklyn' and status = 'open'")
-            .unwrap();
+        let base =
+            parse("select count(*) from t where borough = 'Brooklyn' and status = 'open'").unwrap();
         let cands = CandidateGenerator::new(&table()).candidates(&base, 20, 30);
         let sqls: Vec<String> = cands.iter().map(|c| c.query.to_sql()).collect();
         assert!(

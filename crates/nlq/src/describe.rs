@@ -176,7 +176,13 @@ mod tests {
             ("Queens", "rodent", "closed"),
             ("Bronx", "noise", "open"),
         ] {
-            b.push_row([bo.into(), c.into(), st.into(), Value::Int(10), Value::Int(2)]);
+            b.push_row([
+                bo.into(),
+                c.into(),
+                st.into(),
+                Value::Int(10),
+                Value::Int(2),
+            ]);
         }
         b.build()
     }

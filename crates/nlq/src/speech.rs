@@ -99,7 +99,9 @@ mod tests {
     use muve_phonetics::phonetic_similarity;
 
     fn vocab() -> Vec<&'static str> {
-        vec!["Brooklyn", "Queens", "Bronx", "noise", "nose", "calls", "cause", "borough", "burro"]
+        vec![
+            "Brooklyn", "Queens", "Bronx", "noise", "nose", "calls", "cause", "borough", "burro",
+        ]
     }
 
     #[test]

@@ -69,8 +69,11 @@ pub fn translate(utterance: &str, table: &Table) -> Result<Query, TranslateError
     let mut constants: FxHashMap<Vec<String>, (String, String)> = FxHashMap::default();
     let mut max_ngram = 1usize;
     for (i, def) in table.schema().columns().iter().enumerate() {
-        let words: Vec<String> =
-            def.name.split('_').map(|w| w.to_ascii_lowercase()).collect();
+        let words: Vec<String> = def
+            .name
+            .split('_')
+            .map(|w| w.to_ascii_lowercase())
+            .collect();
         max_ngram = max_ngram.max(words.len());
         match def.ty {
             ColumnType::Int | ColumnType::Float => {
@@ -188,8 +191,13 @@ pub fn translate(utterance: &str, table: &Table) -> Result<Query, TranslateError
     let mut predicates: Vec<Predicate> = Vec::new();
     let mut consumed_constants: Vec<usize> = Vec::new();
     for (pos, m) in &mentions {
-        let Mention::CategoricalCol(col) = m else { continue };
-        if predicates.iter().any(|p| p.column.eq_ignore_ascii_case(col)) {
+        let Mention::CategoricalCol(col) = m else {
+            continue;
+        };
+        if predicates
+            .iter()
+            .any(|p| p.column.eq_ignore_ascii_case(col))
+        {
             continue;
         }
         if let Some((cpos, v)) = mentions.iter().find_map(|(p2, m2)| match m2 {
@@ -352,7 +360,10 @@ mod tests {
     #[test]
     fn numeric_predicate() {
         let sql = tr("count complaints with resolution hours 20");
-        assert_eq!(sql, "select count(*) from requests where resolution_hours = 20");
+        assert_eq!(
+            sql,
+            "select count(*) from requests where resolution_hours = 20"
+        );
     }
 
     #[test]
@@ -393,13 +404,19 @@ mod tests {
 
     #[test]
     fn unknown_tokens_ignored() {
-        assert_eq!(tr("please kindly count stuff"), "select count(*) from requests");
+        assert_eq!(
+            tr("please kindly count stuff"),
+            "select count(*) from requests"
+        );
     }
 
     #[test]
     fn duplicate_column_predicates_deduped() {
         let sql = tr("count noise noise complaints");
-        assert_eq!(sql, "select count(*) from requests where complaint_type = 'noise'");
+        assert_eq!(
+            sql,
+            "select count(*) from requests where complaint_type = 'noise'"
+        );
     }
 }
 

@@ -1,0 +1,25 @@
+//! # muve-obs — observability for the MUVE pipeline
+//!
+//! Two complementary views of a running system:
+//!
+//! - [`metrics()`] — a process-global registry of monotonic counters and
+//!   log₂-bucketed histograms, recorded by every layer of the stack
+//!   (solver nodes, planner restarts, rows scanned, session runs). Cheap
+//!   enough to leave on: recording is a handful of relaxed atomic adds.
+//! - [`SessionTrace`] — a per-run record of the deadline-enforced pipeline:
+//!   one [`StageSpan`] per stage with allotted vs. spent budget, the
+//!   degradation rung in effect after the stage, caught faults, and
+//!   stage-specific counters. Exports to JSON ([`SessionTrace::to_json`])
+//!   and parses back losslessly ([`SessionTrace::from_json`]).
+//!
+//! The crate is dependency-light by design (only the vendored
+//! `serde_json`), so every other crate in the workspace can record into it
+//! without cycles.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{metrics, Counter, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use trace::{SessionTrace, SpanStatus, StageSpan, TraceError};

@@ -1,0 +1,316 @@
+//! Process-global metrics: named monotonic counters and log₂-bucketed
+//! histograms.
+//!
+//! The registry is cumulative across the process lifetime (tests therefore
+//! assert *deltas*, not absolute values). Recording is lock-free after the
+//! first lookup of a name; looking a metric up takes a short mutex on the
+//! name table, so hot paths should hold on to the returned [`Counter`] /
+//! [`Histogram`] handle when they record in a loop.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds values whose bit length is `i`
+/// (bucket 0 holds zero), saturating in the last bucket.
+const BUCKETS: usize = 40;
+
+/// A histogram over `u64` values with exponential (log₂) buckets, plus
+/// exact count / sum / max. Durations are recorded as microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Maximum recorded value (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The metric registry: names to counters and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_owned(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::default());
+                map.insert(name.to_owned(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, h)| HistogramSnapshot {
+                name: k.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Zero every registered metric (registrations are kept).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+/// The process-global metric registry.
+pub fn metrics() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Maximum recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, sorted by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// One snapshot per histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` (zero when never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The snapshot of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            return writeln!(f, "no metrics recorded yet");
+        }
+        for (name, v) in &self.counters {
+            writeln!(f, "{name:<32} {v}")?;
+        }
+        for h in &self.histograms {
+            writeln!(
+                f,
+                "{:<32} count {}  mean {:.1}  max {}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and shared across parallel tests, so
+    // every assertion here is on deltas of test-private metric names.
+
+    #[test]
+    fn counters_accumulate() {
+        let c = metrics().counter("test.obs.counter_a");
+        let before = c.get();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get() - before, 5);
+        // Same name resolves to the same counter.
+        assert_eq!(metrics().counter("test.obs.counter_a").get(), c.get());
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max() {
+        let h = metrics().histogram("test.obs.hist_a");
+        let (c0, s0) = (h.count(), h.sum());
+        h.record(3);
+        h.record(5);
+        h.record_duration(Duration::from_micros(100));
+        assert_eq!(h.count() - c0, 3);
+        assert_eq!(h.sum() - s0, 108);
+        assert!(h.max() >= 100);
+    }
+
+    #[test]
+    fn snapshot_lists_registered_metrics() {
+        metrics().counter("test.obs.snap_c").add(2);
+        metrics().histogram("test.obs.snap_h").record(7);
+        let snap = metrics().snapshot();
+        assert!(snap.counter("test.obs.snap_c") >= 2);
+        let h = snap.histogram("test.obs.snap_h").expect("registered");
+        assert!(h.count >= 1);
+        assert!(h.mean() > 0.0);
+        let rendered = snap.to_string();
+        assert!(rendered.contains("test.obs.snap_c"));
+        assert!(rendered.contains("test.obs.snap_h"));
+    }
+
+    #[test]
+    fn unknown_names_read_as_zero_or_none() {
+        let snap = metrics().snapshot();
+        assert_eq!(snap.counter("test.obs.never_registered"), 0);
+        assert!(snap.histogram("test.obs.never_registered").is_none());
+    }
+}

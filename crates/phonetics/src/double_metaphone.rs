@@ -153,7 +153,10 @@ impl Encoder {
 
     fn encode(mut self) -> DoubleMetaphone {
         if self.len == 0 {
-            return DoubleMetaphone { primary: String::new(), alternate: String::new() };
+            return DoubleMetaphone {
+                primary: String::new(),
+                alternate: String::new(),
+            };
         }
         // Skip silent initial letter pairs.
         if self.str_at(0, 2, &["GN", "KN", "PN", "WR", "PS"]) {
@@ -229,7 +232,11 @@ impl Encoder {
                     if !french {
                         self.add_both("KS");
                     }
-                    self.pos += if matches!(self.at(p + 1), 'C' | 'X') { 2 } else { 1 };
+                    self.pos += if matches!(self.at(p + 1), 'C' | 'X') {
+                        2
+                    } else {
+                        1
+                    };
                 }
                 'Z' => {
                     let p = self.pos;
@@ -253,7 +260,10 @@ impl Encoder {
                 }
             }
         }
-        DoubleMetaphone { primary: self.primary, alternate: self.alternate }
+        DoubleMetaphone {
+            primary: self.primary,
+            alternate: self.alternate,
+        }
     }
 
     fn handle_c(&mut self) {
@@ -301,7 +311,9 @@ impl Encoder {
         if self.str_at(p, 2, &["CC"]) && !(p == 1 && self.at(0) == 'M') {
             if matches!(self.at(p + 2), 'I' | 'E' | 'H') && !self.str_at(p + 2, 2, &["HU"]) {
                 // "bellocchio" vs "bacchus".
-                if (p == 1 && self.at(0) == 'A') || self.str_at(p.saturating_sub(1), 5, &["UCCEE", "UCCES"]) {
+                if (p == 1 && self.at(0) == 'A')
+                    || self.str_at(p.saturating_sub(1), 5, &["UCCEE", "UCCES"])
+                {
                     // "accident", "accede", "succeed" -> KS
                     self.add_both("KS");
                 } else {
@@ -335,7 +347,8 @@ impl Encoder {
         // "mac caffrey", "mac gregor"
         if self.str_at(p + 1, 2, &[" C", " Q", " G"]) {
             self.pos += 3;
-        } else if matches!(self.at(p + 1), 'C' | 'K' | 'Q') && !self.str_at(p + 1, 2, &["CE", "CI"]) {
+        } else if matches!(self.at(p + 1), 'C' | 'K' | 'Q') && !self.str_at(p + 1, 2, &["CE", "CI"])
+        {
             self.pos += 2;
         } else {
             self.pos += 1;
@@ -362,8 +375,8 @@ impl Encoder {
         }
         // Germanic / Greek 'ch' -> K.
         let germanic = self.str_at(0, 4, &["VAN ", "VON "]) || self.str_at(0, 3, &["SCH"]);
-        let greekish = self.str_at(p.saturating_sub(2), 6, &["ORCHES", "ARCHIT", "ORCHID"])
-            && p >= 2;
+        let greekish =
+            self.str_at(p.saturating_sub(2), 6, &["ORCHES", "ARCHIT", "ORCHID"]) && p >= 2;
         let hard_next = matches!(self.at(p + 2), 'T' | 'S');
         let hard_prev = (p == 0 || matches!(self.at(p.wrapping_sub(1)), 'A' | 'O' | 'U' | 'E'))
             && matches!(
@@ -441,7 +454,9 @@ impl Encoder {
                 || self.str_at(
                     p + 1,
                     2,
-                    &["ES", "EP", "EB", "EL", "EY", "IB", "IL", "IN", "IE", "EI", "ER"],
+                    &[
+                        "ES", "EP", "EB", "EL", "EY", "IB", "IL", "IN", "IE", "EI", "ER",
+                    ],
                 ))
         {
             self.add("K", "J");
@@ -465,7 +480,9 @@ impl Encoder {
             let germanic = self.str_at(0, 4, &["VAN ", "VON "]) || self.str_at(0, 3, &["SCH"]);
             if germanic || self.str_at(p + 1, 2, &["ET"]) {
                 self.add_both("K");
-            } else if self.str_at(p + 1, 4, &["IER "]) || p + 5 >= self.len && self.str_at(p + 1, 3, &["IER"]) {
+            } else if self.str_at(p + 1, 4, &["IER "])
+                || p + 5 >= self.len && self.str_at(p + 1, 3, &["IER"])
+            {
                 // Always soft if French ending.
                 self.add_both("J");
             } else {
@@ -587,7 +604,11 @@ impl Encoder {
             self.pos += 2;
         } else {
             self.add_both("P");
-            self.pos += if matches!(self.at(p + 1), 'P' | 'B') { 2 } else { 1 };
+            self.pos += if matches!(self.at(p + 1), 'P' | 'B') {
+                2
+            } else {
+                1
+            };
         }
     }
 
@@ -641,9 +662,7 @@ impl Encoder {
             return;
         }
         // German/Anglicization: initial S before M/N/L/W, e.g. "Smith" alt "XMT".
-        if (p == 0 && matches!(self.at(p + 1), 'M' | 'N' | 'L' | 'W'))
-            || self.at(p + 1) == 'Z'
-        {
+        if (p == 0 && matches!(self.at(p + 1), 'M' | 'N' | 'L' | 'W')) || self.at(p + 1) == 'Z' {
             self.add("S", "X");
             self.pos += if self.at(p + 1) == 'Z' { 2 } else { 1 };
             return;
@@ -658,7 +677,11 @@ impl Encoder {
         } else {
             self.add_both("S");
         }
-        self.pos += if matches!(self.at(p + 1), 'S' | 'Z') { 2 } else { 1 };
+        self.pos += if matches!(self.at(p + 1), 'S' | 'Z') {
+            2
+        } else {
+            1
+        };
     }
 
     fn handle_sc(&mut self) {
@@ -708,7 +731,11 @@ impl Encoder {
             return;
         }
         self.add_both("T");
-        self.pos += if matches!(self.at(p + 1), 'T' | 'D') { 2 } else { 1 };
+        self.pos += if matches!(self.at(p + 1), 'T' | 'D') {
+            2
+        } else {
+            1
+        };
     }
 
     fn handle_w(&mut self) {
@@ -853,8 +880,18 @@ mod tests {
     fn code_alphabet() {
         // Codes only ever contain the Double Metaphone alphabet.
         for w in [
-            "extraordinary", "jalapeno", "Wagner", "Szczecin", "focaccia", "Jose",
-            "Gough", "island", "sugar", "McHugh", "Arnow", "filipowicz",
+            "extraordinary",
+            "jalapeno",
+            "Wagner",
+            "Szczecin",
+            "focaccia",
+            "Jose",
+            "Gough",
+            "island",
+            "sugar",
+            "McHugh",
+            "Arnow",
+            "filipowicz",
         ] {
             let dm = double_metaphone(w);
             for c in dm.primary.chars().chain(dm.alternate.chars()) {

@@ -158,7 +158,11 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        for (a, b) in [("MARTHA", "MARHTA"), ("DIXON", "DICKSONX"), ("abcd", "dcba")] {
+        for (a, b) in [
+            ("MARTHA", "MARHTA"),
+            ("DIXON", "DICKSONX"),
+            ("abcd", "dcba"),
+        ] {
             close(jaro(a, b), jaro(b, a));
             close(jaro_winkler(a, b), jaro_winkler(b, a));
         }

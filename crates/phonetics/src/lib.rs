@@ -34,7 +34,9 @@ pub mod jaro;
 pub mod similarity;
 pub mod soundex;
 
-pub use double_metaphone::{double_metaphone, double_metaphone_with_len, DoubleMetaphone, MAX_CODE_LEN};
+pub use double_metaphone::{
+    double_metaphone, double_metaphone_with_len, DoubleMetaphone, MAX_CODE_LEN,
+};
 pub use index::{PhoneticIndex, PhoneticMatch};
 pub use jaro::{jaro, jaro_winkler, jaro_winkler_scaled};
 pub use similarity::{key_similarity, phonetic_similarity, PhoneticKey};

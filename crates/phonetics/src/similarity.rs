@@ -25,7 +25,10 @@ impl PhoneticKey {
             if word.is_empty() {
                 continue;
             }
-            let DoubleMetaphone { primary: p, alternate: a } = double_metaphone(word);
+            let DoubleMetaphone {
+                primary: p,
+                alternate: a,
+            } = double_metaphone(word);
             primary.push_str(&p);
             alternate.push_str(&a);
         }
@@ -90,7 +93,11 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        for (a, b) in [("borough", "burrow"), ("queens", "kings"), ("delay", "relay")] {
+        for (a, b) in [
+            ("borough", "burrow"),
+            ("queens", "kings"),
+            ("delay", "relay"),
+        ] {
             let ab = phonetic_similarity(a, b);
             let ba = phonetic_similarity(b, a);
             assert!((ab - ba).abs() < 1e-12);

@@ -39,7 +39,10 @@ pub struct DeadlineBudget {
 impl DeadlineBudget {
     /// Start the clock on a budget of `total`.
     pub fn new(total: Duration) -> DeadlineBudget {
-        DeadlineBudget { start: Instant::now(), total }
+        DeadlineBudget {
+            start: Instant::now(),
+            total,
+        }
     }
 
     /// The total budget θ.

@@ -27,8 +27,13 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in pipeline order.
-    pub const ALL: [Stage; 5] =
-        [Stage::Translate, Stage::Candidates, Stage::Plan, Stage::Execute, Stage::Render];
+    pub const ALL: [Stage; 5] = [
+        Stage::Translate,
+        Stage::Candidates,
+        Stage::Plan,
+        Stage::Execute,
+        Stage::Render,
+    ];
 
     /// Stable lowercase name (also the CLI fault-spec syntax).
     pub fn name(self) -> &'static str {

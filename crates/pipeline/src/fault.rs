@@ -156,7 +156,9 @@ impl FaultInjector {
     /// error. Must be called *inside* the stage body so the panic is caught
     /// at the stage boundary.
     pub fn trip(&self, stage: Stage) -> Result<(), PipelineError> {
-        let Some(fault) = self.fault(stage) else { return Ok(()) };
+        let Some(fault) = self.fault(stage) else {
+            return Ok(());
+        };
         let bit = 1u8 << stage.index();
         if self.consumed.fetch_or(bit, Ordering::Relaxed) & bit != 0 {
             return Ok(()); // already fired
@@ -197,20 +199,35 @@ mod tests {
 
     #[test]
     fn trip_is_one_shot() {
-        let inj =
-            FaultInjector::none().with(Stage::Execute, StageFault { error: true, ..Default::default() });
+        let inj = FaultInjector::none().with(
+            Stage::Execute,
+            StageFault {
+                error: true,
+                ..Default::default()
+            },
+        );
         assert!(matches!(
             inj.trip(Stage::Execute),
-            Err(PipelineError::FaultInjected { stage: Stage::Execute })
+            Err(PipelineError::FaultInjected {
+                stage: Stage::Execute
+            })
         ));
-        assert!(inj.trip(Stage::Execute).is_ok(), "fault consumed after first fire");
+        assert!(
+            inj.trip(Stage::Execute).is_ok(),
+            "fault consumed after first fire"
+        );
         assert!(inj.trip(Stage::Plan).is_ok(), "unplanned stage never trips");
     }
 
     #[test]
     fn trip_panics_when_planted() {
-        let inj =
-            FaultInjector::none().with(Stage::Plan, StageFault { panic: true, ..Default::default() });
+        let inj = FaultInjector::none().with(
+            Stage::Plan,
+            StageFault {
+                panic: true,
+                ..Default::default()
+            },
+        );
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.trip(Stage::Plan)));
         assert!(r.is_err());
         // One-shot: a retry does not panic again.
@@ -228,7 +245,10 @@ mod tests {
         );
         assert!(FaultInjector::parse("bogus:error").is_err());
         assert!(FaultInjector::parse("plan:frobnicate").is_err());
-        assert!(FaultInjector::parse("execute:stall").is_err(), "stall is plan-only");
+        assert!(
+            FaultInjector::parse("execute:stall").is_err(),
+            "stall is plan-only"
+        );
         assert!(FaultInjector::parse("").unwrap().is_empty());
     }
 }

@@ -34,5 +34,7 @@ pub use error::{PipelineError, Stage};
 pub use fault::{FaultInjector, StageFault};
 pub use session::{
     DegradationEvent, DegradationTrace, Rung, Session, SessionConfig, SessionOutcome,
-    Visualization,
+    Visualization, SESSION_STAGES,
 };
+
+pub use muve_obs::{SessionTrace, SpanStatus, StageSpan};

@@ -26,13 +26,12 @@ use crate::error::{PipelineError, Stage};
 use crate::fault::FaultInjector;
 use muve_core::{
     headline, plan, plan_incremental_observed, render_text, Candidate, IlpConfig,
-    IncrementalSchedule, IncumbentSlot, Multiplot, Plot, PlotEntry, Planner, ScreenConfig,
+    IncrementalSchedule, IncumbentSlot, Multiplot, Planner, Plot, PlotEntry, ScreenConfig,
     UserCostModel,
 };
-use muve_dbms::{
-    execute, execute_merged, parse, plan_merged, AggFunc, Query, Table,
-};
+use muve_dbms::{execute, execute_merged, parse, plan_merged, AggFunc, Query, Table};
 use muve_nlq::{translate, CandidateGenerator};
+use muve_obs::{SessionTrace, SpanStatus, StageSpan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;
@@ -73,7 +72,10 @@ impl Default for SessionConfig {
             deadline: Duration::from_secs(1),
             screen: ScreenConfig::desktop(2),
             model: UserCostModel::default(),
-            planner: Planner::Ilp(IlpConfig { warm_start: true, ..IlpConfig::default() }),
+            planner: Planner::Ilp(IlpConfig {
+                warm_start: true,
+                ..IlpConfig::default()
+            }),
             schedule: IncrementalSchedule::default(),
             k: 20,
             max_candidates: 10,
@@ -185,6 +187,10 @@ pub struct SessionOutcome {
     pub visualization: Visualization,
     /// The rung-transition timeline.
     pub trace: DegradationTrace,
+    /// Per-stage spans of this run: allotted vs. spent budget, disposition,
+    /// rung, and stage counters. Always complete — one span per stage in
+    /// [`SESSION_STAGES`] order, even for stages that never ran.
+    pub stage_trace: SessionTrace,
     /// Every error encountered (the outcome itself is never an error).
     pub errors: Vec<PipelineError>,
     /// Wall-clock time of the run.
@@ -250,6 +256,8 @@ struct ExecAttempt {
     /// Per-member errors (the attempt still counts as successful if any
     /// member produced a value).
     member_errors: Vec<PipelineError>,
+    /// Rows scanned across every query this attempt ran.
+    rows_scanned: usize,
 }
 
 /// A deadline-enforced voice-query session over one table.
@@ -264,7 +272,12 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Build a session over `table`.
     pub fn new(table: &'a Table, config: SessionConfig) -> Session<'a> {
-        Session { table, generator: CandidateGenerator::new(table), config, injector: FaultInjector::none() }
+        Session {
+            table,
+            generator: CandidateGenerator::new(table),
+            config,
+            injector: FaultInjector::none(),
+        }
     }
 
     /// Thread a fault injector through every stage of this session.
@@ -283,6 +296,7 @@ impl<'a> Session<'a> {
     pub fn run(&self, transcript: &str) -> SessionOutcome {
         let budget = DeadlineBudget::new(self.config.deadline);
         let _quiet = self.injector.any_panic().then(QuietPanics::engage);
+        let mut strace = SessionTrace::new(budget.total());
         let mut errors: Vec<PipelineError> = Vec::new();
         let mut events: Vec<DegradationEvent> = Vec::new();
         let planned_rung = match self.config.planner {
@@ -291,6 +305,8 @@ impl<'a> Session<'a> {
         };
 
         // -- Stage 1: transcript → most likely SQL ------------------------
+        let started = budget.elapsed();
+        let allotted = budget.stage_budget(Stage::Translate);
         let base = match self.guard(Stage::Translate, || {
             self.injector.trip(Stage::Translate)?;
             let t = transcript.trim();
@@ -300,10 +316,39 @@ impl<'a> Session<'a> {
                 translate(t, self.table).map_err(|e| PipelineError::Translate(e.to_string()))
             }
         }) {
-            Ok(q) => q,
+            Ok(q) => {
+                push_span(
+                    &mut strace,
+                    Stage::Translate,
+                    started,
+                    Some(allotted),
+                    &budget,
+                    SpanStatus::Completed,
+                    planned_rung,
+                    "interpreted",
+                    Vec::new(),
+                );
+                q
+            }
             Err(e) => {
                 // No interpretation at all: terminal text fallback.
                 let message = format!("could not interpret {transcript:?}: {e}");
+                let status = if matches!(e, PipelineError::StagePanic { .. }) {
+                    SpanStatus::Panicked
+                } else {
+                    SpanStatus::Failed
+                };
+                push_span(
+                    &mut strace,
+                    Stage::Translate,
+                    started,
+                    Some(allotted),
+                    &budget,
+                    status,
+                    Rung::Text,
+                    e.to_string(),
+                    Vec::new(),
+                );
                 errors.push(e);
                 events.push(DegradationEvent {
                     at: budget.elapsed(),
@@ -311,12 +356,28 @@ impl<'a> Session<'a> {
                     rung: Rung::Text,
                     detail: "translation failed; falling back to text".into(),
                 });
+                for stage in [
+                    Stage::Candidates,
+                    Stage::Plan,
+                    Stage::Execute,
+                    Stage::Render,
+                ] {
+                    strace
+                        .spans
+                        .push(StageSpan::skipped(stage.name(), Rung::Text.name()));
+                }
+                finalize_trace(&mut strace, &budget, planned_rung, Rung::Text);
                 return SessionOutcome {
                     transcript: transcript.to_owned(),
                     interpretation: None,
                     candidates: Vec::new(),
                     visualization: Visualization::Text { message },
-                    trace: DegradationTrace { events, planned_rung, final_rung: Rung::Text },
+                    trace: DegradationTrace {
+                        events,
+                        planned_rung,
+                        final_rung: Rung::Text,
+                    },
+                    stage_trace: strace,
                     errors,
                     elapsed: budget.elapsed(),
                     deadline: budget.total(),
@@ -325,6 +386,10 @@ impl<'a> Session<'a> {
         };
 
         // -- Stage 2: candidate distribution ------------------------------
+        let started = budget.elapsed();
+        let allotted = budget.stage_budget(Stage::Candidates);
+        let mut cand_status = SpanStatus::Completed;
+        let mut cand_detail = "phonetic candidate distribution".to_owned();
         let candidates: Vec<Candidate> = if budget.exhausted() {
             errors.push(PipelineError::DeadlineExceeded {
                 stage: Stage::Candidates,
@@ -336,6 +401,8 @@ impl<'a> Session<'a> {
                 rung: planned_rung,
                 detail: "deadline exhausted; single base candidate".into(),
             });
+            cand_status = SpanStatus::Failed;
+            cand_detail = "deadline exhausted; single base candidate".into();
             vec![Candidate::new(base.clone(), 1.0)]
         } else {
             match self.guard(Stage::Candidates, || {
@@ -349,6 +416,12 @@ impl<'a> Session<'a> {
                     .map(|c| Candidate::new(c.query, c.probability))
                     .collect(),
                 Err(e) => {
+                    cand_status = if matches!(e, PipelineError::StagePanic { .. }) {
+                        SpanStatus::Panicked
+                    } else {
+                        SpanStatus::Failed
+                    };
+                    cand_detail = e.to_string();
                     errors.push(e);
                     events.push(DegradationEvent {
                         at: budget.elapsed(),
@@ -360,11 +433,28 @@ impl<'a> Session<'a> {
                 }
             }
         };
+        push_span(
+            &mut strace,
+            Stage::Candidates,
+            started,
+            Some(allotted),
+            &budget,
+            cand_status,
+            planned_rung,
+            cand_detail,
+            vec![("candidates".into(), candidates.len() as f64)],
+        );
         let headline_text = headline(&candidates);
 
         // -- Stage 3: the planner ladder ----------------------------------
-        let (multiplot, mut rung) =
-            self.plan_stage(&candidates, &headline_text, &budget, &mut errors, &mut events);
+        let (multiplot, mut rung) = self.plan_stage(
+            &candidates,
+            &headline_text,
+            &budget,
+            &mut strace,
+            &mut errors,
+            &mut events,
+        );
 
         // -- Stage 4: execution (sample ladder + merged→separate fallback) -
         let shown = multiplot.candidates_shown();
@@ -381,12 +471,25 @@ impl<'a> Session<'a> {
                 rung,
                 detail: "deadline exhausted; execution skipped".into(),
             });
+            strace
+                .spans
+                .push(StageSpan::skipped(Stage::Execute.name(), rung.name()));
         } else {
-            approximate =
-                self.execute_stage(&candidates, &shown, &mut results, &budget, &mut errors, &mut events, rung);
+            approximate = self.execute_stage(
+                &candidates,
+                &shown,
+                &mut results,
+                &budget,
+                &mut strace,
+                &mut errors,
+                &mut events,
+                rung,
+            );
         }
 
         // -- Stage 5: render ----------------------------------------------
+        let started = budget.elapsed();
+        let allotted = budget.stage_budget(Stage::Render);
         let visualization = match self.guard(Stage::Render, || {
             self.injector.trip(Stage::Render)?;
             Ok(render_text(&multiplot, &results))
@@ -398,6 +501,17 @@ impl<'a> Session<'a> {
                     rung,
                     detail: format!("rendered on the {rung} rung"),
                 });
+                push_span(
+                    &mut strace,
+                    Stage::Render,
+                    started,
+                    Some(allotted),
+                    &budget,
+                    SpanStatus::Completed,
+                    rung,
+                    format!("rendered on the {rung} rung"),
+                    Vec::new(),
+                );
                 Visualization::Multiplot {
                     multiplot,
                     headline: headline_text,
@@ -407,6 +521,12 @@ impl<'a> Session<'a> {
                 }
             }
             Err(e) => {
+                let status = if matches!(e, PipelineError::StagePanic { .. }) {
+                    SpanStatus::Panicked
+                } else {
+                    SpanStatus::Failed
+                };
+                let detail = e.to_string();
                 errors.push(e);
                 rung = Rung::Text;
                 events.push(DegradationEvent {
@@ -415,16 +535,35 @@ impl<'a> Session<'a> {
                     rung,
                     detail: "render failed; top candidate as text".into(),
                 });
-                Visualization::Text { message: top_candidate_text(&candidates, &results) }
+                push_span(
+                    &mut strace,
+                    Stage::Render,
+                    started,
+                    Some(allotted),
+                    &budget,
+                    status,
+                    rung,
+                    detail,
+                    Vec::new(),
+                );
+                Visualization::Text {
+                    message: top_candidate_text(&candidates, &results),
+                }
             }
         };
 
+        finalize_trace(&mut strace, &budget, planned_rung, rung);
         SessionOutcome {
             transcript: transcript.to_owned(),
             interpretation: Some(base),
             candidates,
             visualization,
-            trace: DegradationTrace { events, planned_rung, final_rung: rung },
+            trace: DegradationTrace {
+                events,
+                planned_rung,
+                final_rung: rung,
+            },
+            stage_trace: strace,
             errors,
             elapsed: budget.elapsed(),
             deadline: budget.total(),
@@ -444,22 +583,28 @@ impl<'a> Session<'a> {
         // designed for exactly that (single atomic clone-assignments).
         match catch_unwind(AssertUnwindSafe(body)) {
             Ok(r) => r,
-            Err(payload) => {
-                Err(PipelineError::StagePanic { stage, message: panic_message(payload) })
-            }
+            Err(payload) => Err(PipelineError::StagePanic {
+                stage,
+                message: panic_message(payload),
+            }),
         }
     }
 
     /// The planning degradation ladder: ILP → incumbent → greedy →
     /// headline-only. Returns the multiplot and the rung it came from.
+    #[allow(clippy::too_many_arguments)]
     fn plan_stage(
         &self,
         candidates: &[Candidate],
         headline_text: &str,
         budget: &DeadlineBudget,
+        strace: &mut SessionTrace,
         errors: &mut Vec<PipelineError>,
         events: &mut Vec<DegradationEvent>,
     ) -> (Multiplot, Rung) {
+        let started = budget.elapsed();
+        let allotted = budget.stage_budget(Stage::Plan);
+        let errs_before = errors.len();
         // Deadline exhausted before planning: drop straight to the cheap rung.
         if budget.exhausted() {
             errors.push(PipelineError::DeadlineExceeded {
@@ -472,7 +617,21 @@ impl<'a> Session<'a> {
                 rung: Rung::HeadlineOnly,
                 detail: "deadline exhausted before planning".into(),
             });
-            return (headline_only_multiplot(candidates, headline_text), Rung::HeadlineOnly);
+            push_span(
+                strace,
+                Stage::Plan,
+                started,
+                Some(allotted),
+                budget,
+                SpanStatus::Failed,
+                Rung::HeadlineOnly,
+                "deadline exhausted before planning",
+                Vec::new(),
+            );
+            return (
+                headline_only_multiplot(candidates, headline_text),
+                Rung::HeadlineOnly,
+            );
         }
 
         // Rung 1: incremental ILP under the stage's budget share.
@@ -504,15 +663,31 @@ impl<'a> Session<'a> {
             });
             match planned {
                 Ok(r) if r.multiplot.num_plots() > 0 => {
+                    let detail = format!(
+                        "ILP planned ({})",
+                        if r.proven_optimal {
+                            "optimal"
+                        } else {
+                            "feasible"
+                        }
+                    );
                     events.push(DegradationEvent {
                         at: budget.elapsed(),
                         stage: Stage::Plan,
                         rung: Rung::Ilp,
-                        detail: format!(
-                            "ILP planned ({})",
-                            if r.proven_optimal { "optimal" } else { "feasible" }
-                        ),
+                        detail: detail.clone(),
                     });
+                    push_span(
+                        strace,
+                        Stage::Plan,
+                        started,
+                        Some(allotted),
+                        budget,
+                        stage_status(errors, errs_before),
+                        Rung::Ilp,
+                        detail,
+                        plan_counters(&r),
+                    );
                     return (r.multiplot, Rung::Ilp);
                 }
                 Ok(r) => {
@@ -532,6 +707,17 @@ impl<'a> Session<'a> {
                         rung: Rung::Incumbent,
                         detail: "recovered best incremental incumbent".into(),
                     });
+                    push_span(
+                        strace,
+                        Stage::Plan,
+                        started,
+                        Some(allotted),
+                        budget,
+                        stage_status(errors, errs_before),
+                        Rung::Incumbent,
+                        "recovered best incremental incumbent",
+                        plan_counters(&incumbent),
+                    );
                     return (incumbent.multiplot, Rung::Incumbent);
                 }
             }
@@ -541,7 +727,12 @@ impl<'a> Session<'a> {
         // by the ILP attempt does not fire again here.)
         let greedy = self.guard(Stage::Plan, || {
             self.injector.trip(Stage::Plan)?;
-            Ok(plan(&Planner::Greedy, candidates, &self.config.screen, &self.config.model))
+            Ok(plan(
+                &Planner::Greedy,
+                candidates,
+                &self.config.screen,
+                &self.config.model,
+            ))
         });
         match greedy {
             Ok(r) if r.multiplot.num_plots() > 0 || candidates.is_empty() => {
@@ -551,9 +742,22 @@ impl<'a> Session<'a> {
                     rung: Rung::Greedy,
                     detail: "greedy plan".into(),
                 });
+                push_span(
+                    strace,
+                    Stage::Plan,
+                    started,
+                    Some(allotted),
+                    budget,
+                    stage_status(errors, errs_before),
+                    Rung::Greedy,
+                    "greedy plan",
+                    plan_counters(&r),
+                );
                 return (r.multiplot, Rung::Greedy);
             }
-            Ok(_) => errors.push(PipelineError::Planning("greedy produced an empty plan".into())),
+            Ok(_) => errors.push(PipelineError::Planning(
+                "greedy produced an empty plan".into(),
+            )),
             Err(e) => errors.push(e),
         }
 
@@ -564,7 +768,21 @@ impl<'a> Session<'a> {
             rung: Rung::HeadlineOnly,
             detail: "planning failed; headline-only single plot".into(),
         });
-        (headline_only_multiplot(candidates, headline_text), Rung::HeadlineOnly)
+        push_span(
+            strace,
+            Stage::Plan,
+            started,
+            Some(allotted),
+            budget,
+            stage_status(errors, errs_before),
+            Rung::HeadlineOnly,
+            "planning failed; headline-only single plot",
+            Vec::new(),
+        );
+        (
+            headline_only_multiplot(candidates, headline_text),
+            Rung::HeadlineOnly,
+        )
     }
 
     /// The execution stage: sample-ladder escalation with merged→separate
@@ -577,13 +795,23 @@ impl<'a> Session<'a> {
         shown: &[usize],
         results: &mut [Option<f64>],
         budget: &DeadlineBudget,
+        strace: &mut SessionTrace,
         errors: &mut Vec<PipelineError>,
         events: &mut Vec<DegradationEvent>,
         rung: Rung,
     ) -> bool {
+        let started = budget.elapsed();
+        let allotted = budget.stage_budget(Stage::Execute);
+        let errs_before = errors.len();
         if shown.is_empty() {
+            let mut span = StageSpan::skipped(Stage::Execute.name(), rung.name());
+            span.detail = "no candidates shown".into();
+            strace.spans.push(span);
             return false;
         }
+        let mut attempts = 0usize;
+        let mut rows_scanned = 0usize;
+        let mut labels: Vec<String> = Vec::new();
         // Small tables go exact directly; large ones walk the sample
         // ladder so something lands on screen within the budget. Either
         // way a failed attempt escalates to the next fidelity.
@@ -611,10 +839,13 @@ impl<'a> Session<'a> {
                 Ok(self.execute_attempt(candidates, shown, fraction))
             });
             let label = fraction.map_or("exact".to_owned(), |f| format!("{}% sample", f * 100.0));
+            attempts += 1;
+            labels.push(label.clone());
             match attempt {
                 Ok(a) => {
                     let produced = a.values.iter().any(|(_, v)| v.is_some());
                     errors.extend(a.member_errors);
+                    rows_scanned += a.rows_scanned;
                     if a.values.is_empty() || !produced && fraction.is_some() {
                         // Nothing usable at this fidelity; escalate.
                         continue;
@@ -653,6 +884,28 @@ impl<'a> Session<'a> {
                 detail: "all execution attempts failed; showing pending values".into(),
             });
         }
+        let mut detail = labels.join(" -> ");
+        if !any_success {
+            detail.push_str("; all attempts failed");
+        }
+        push_span(
+            strace,
+            Stage::Execute,
+            started,
+            Some(allotted),
+            budget,
+            stage_status(errors, errs_before),
+            rung,
+            detail,
+            vec![
+                ("attempts".into(), attempts as f64),
+                ("rows_scanned".into(), rows_scanned as f64),
+                (
+                    "values".into(),
+                    results.iter().filter(|v| v.is_some()).count() as f64,
+                ),
+            ],
+        );
         approximate
     }
 
@@ -664,14 +917,15 @@ impl<'a> Session<'a> {
         shown: &[usize],
         fraction: Option<f64>,
     ) -> ExecAttempt {
-        let queries: Vec<Query> =
-            shown.iter().map(|&i| candidates[i].query.clone()).collect();
+        let queries: Vec<Query> = shown.iter().map(|&i| candidates[i].query.clone()).collect();
         let mut values: Vec<(usize, Option<f64>)> = Vec::new();
         let mut member_errors: Vec<PipelineError> = Vec::new();
+        let mut rows_scanned = 0usize;
         for g in plan_merged(&queries) {
             match fraction {
                 None => match execute_merged(self.table, &g) {
                     Ok(r) => {
+                        rows_scanned += r.stats.rows_scanned;
                         for (local, v) in r.results {
                             values.push((shown[local], v));
                         }
@@ -684,60 +938,142 @@ impl<'a> Session<'a> {
                             .push(PipelineError::Execution(format!("merged: {merged_err}")));
                         for m in &g.members {
                             match execute(self.table, &queries[m.index]) {
-                                Ok(rs) => values.push((shown[m.index], rs.scalar())),
-                                Err(e) => member_errors
-                                    .push(PipelineError::Execution(e.to_string())),
+                                Ok(rs) => {
+                                    rows_scanned += rs.stats.rows_scanned;
+                                    values.push((shown[m.index], rs.scalar()));
+                                }
+                                Err(e) => {
+                                    member_errors.push(PipelineError::Execution(e.to_string()))
+                                }
                             }
                         }
                     }
                 },
-                Some(f) => match muve_dbms::execute_approximate(
-                    self.table,
-                    &g.merged,
-                    f,
-                    self.config.seed,
-                ) {
-                    Ok((rs, _realized)) => {
-                        let n_group = g.merged.group_by.len();
-                        for m in &g.members {
-                            let row = match (&m.key, n_group) {
-                                (Some(key), 1) => rs.rows.iter().find(|r| &r[0] == key),
-                                _ => rs.rows.first(),
-                            };
-                            let v = row.and_then(|r| r[n_group + m.agg].as_f64());
-                            // A missing group on a sample means zero sampled
-                            // rows matched: count estimates 0, others stay
-                            // unknown.
-                            let v = match (v, g.merged.aggregates[m.agg].func) {
-                                (None, AggFunc::Count) => Some(0.0),
-                                (v, _) => v,
-                            };
-                            values.push((shown[m.index], v));
+                Some(f) => {
+                    match muve_dbms::execute_approximate(self.table, &g.merged, f, self.config.seed)
+                    {
+                        Ok((rs, _realized)) => {
+                            rows_scanned += rs.stats.rows_scanned;
+                            let n_group = g.merged.group_by.len();
+                            for m in &g.members {
+                                let row = match (&m.key, n_group) {
+                                    (Some(key), 1) => rs.rows.iter().find(|r| &r[0] == key),
+                                    _ => rs.rows.first(),
+                                };
+                                let v = row.and_then(|r| r[n_group + m.agg].as_f64());
+                                // A missing group on a sample means zero sampled
+                                // rows matched: count estimates 0, others stay
+                                // unknown.
+                                let v = match (v, g.merged.aggregates[m.agg].func) {
+                                    (None, AggFunc::Count) => Some(0.0),
+                                    (v, _) => v,
+                                };
+                                values.push((shown[m.index], v));
+                            }
+                        }
+                        Err(e) => {
+                            member_errors.push(PipelineError::Execution(format!("sample: {e}")));
                         }
                     }
-                    Err(e) => {
-                        member_errors.push(PipelineError::Execution(format!("sample: {e}")));
-                    }
-                },
+                }
             }
         }
-        ExecAttempt { values, member_errors }
+        ExecAttempt {
+            values,
+            member_errors,
+            rows_scanned,
+        }
     }
+}
+
+/// The stage names of one session run, in pipeline order — the argument to
+/// [`SessionTrace::is_complete`] for session traces.
+pub const SESSION_STAGES: [&str; 5] = ["translate", "candidates", "plan", "execute", "render"];
+
+/// Append one stage span to the trace, computing `spent` from the budget.
+#[allow(clippy::too_many_arguments)]
+fn push_span(
+    strace: &mut SessionTrace,
+    stage: Stage,
+    started: Duration,
+    allotted: Option<Duration>,
+    budget: &DeadlineBudget,
+    status: SpanStatus,
+    rung: Rung,
+    detail: impl Into<String>,
+    counters: Vec<(String, f64)>,
+) {
+    strace.spans.push(StageSpan {
+        stage: stage.name().to_owned(),
+        started,
+        spent: budget.elapsed().saturating_sub(started),
+        allotted,
+        status,
+        rung: rung.name().to_owned(),
+        detail: detail.into(),
+        counters,
+    });
+}
+
+/// Disposition of a stage given the errors it appended: a caught panic
+/// anywhere in the stage dominates, then any error, then clean completion.
+/// A `Failed`/`Panicked` span can still carry fallback output — the span's
+/// rung tells that story.
+fn stage_status(errors: &[PipelineError], from: usize) -> SpanStatus {
+    if errors[from..]
+        .iter()
+        .any(|e| matches!(e, PipelineError::StagePanic { .. }))
+    {
+        SpanStatus::Panicked
+    } else if errors.len() > from {
+        SpanStatus::Failed
+    } else {
+        SpanStatus::Completed
+    }
+}
+
+/// The plan span's counters, read off a [`PlanResult`].
+fn plan_counters(r: &muve_core::PlanResult) -> Vec<(String, f64)> {
+    vec![
+        ("restarts".into(), r.restarts as f64),
+        ("incumbent_updates".into(), r.incumbent_updates as f64),
+        ("nodes".into(), r.nodes as f64),
+    ]
+}
+
+/// Close the trace (rungs, total wall-clock) and record session metrics.
+fn finalize_trace(
+    strace: &mut SessionTrace,
+    budget: &DeadlineBudget,
+    planned: Rung,
+    final_rung: Rung,
+) {
+    strace.planned_rung = planned.name().to_owned();
+    strace.final_rung = final_rung.name().to_owned();
+    strace.total = budget.elapsed();
+    let obs = muve_obs::metrics();
+    obs.counter("session.runs").incr();
+    if final_rung > planned {
+        obs.counter("session.degraded").incr();
+    }
+    obs.histogram("session.run_us")
+        .record_duration(strace.total);
+}
+
+/// Index of the most probable candidate. Uses `total_cmp`, so the answer is
+/// deterministic even for NaN probabilities (positive NaN sorts greatest).
+fn top_candidate(candidates: &[Candidate]) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.probability.total_cmp(&b.1.probability))
+        .map(|(i, _)| i)
 }
 
 /// The headline-only rung: one plot, one bar — the most likely candidate —
 /// titled with the shared headline skeleton.
 fn headline_only_multiplot(candidates: &[Candidate], headline_text: &str) -> Multiplot {
-    let top = candidates
-        .iter()
-        .enumerate()
-        .max_by(|a, b| {
-            a.1.probability
-                .partial_cmp(&b.1.probability)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .map(|(i, _)| i);
-    let Some(top) = top else {
+    let Some(top) = top_candidate(candidates) else {
         return Multiplot::empty(1);
     };
     let title = if headline_text.is_empty() {
@@ -759,13 +1095,9 @@ fn headline_only_multiplot(candidates: &[Candidate], headline_text: &str) -> Mul
 
 /// The terminal text fallback: the top candidate's SQL and value (if any).
 fn top_candidate_text(candidates: &[Candidate], results: &[Option<f64>]) -> String {
-    let top = candidates.iter().enumerate().max_by(|a, b| {
-        a.1.probability
-            .partial_cmp(&b.1.probability)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    match top {
-        Some((i, c)) => {
+    match top_candidate(candidates) {
+        Some(i) => {
+            let c = &candidates[i];
             let value = results
                 .get(i)
                 .copied()
@@ -794,7 +1126,10 @@ mod tests {
     }
 
     fn config() -> SessionConfig {
-        SessionConfig { deadline: Duration::from_millis(800), ..SessionConfig::default() }
+        SessionConfig {
+            deadline: Duration::from_millis(800),
+            ..SessionConfig::default()
+        }
     }
 
     #[test]
@@ -805,7 +1140,12 @@ mod tests {
         assert!(!out.degraded(), "trace: {:?}", out.trace);
         assert!(out.errors.is_empty(), "{:?}", out.errors);
         match &out.visualization {
-            Visualization::Multiplot { results, rendered, approximate, .. } => {
+            Visualization::Multiplot {
+                results,
+                rendered,
+                approximate,
+                ..
+            } => {
                 assert!(results.iter().any(Option::is_some));
                 assert!(!rendered.is_empty());
                 assert!(!approximate);
@@ -828,19 +1168,31 @@ mod tests {
     #[test]
     fn solver_panic_recovers_via_ladder() {
         let t = table(2_000);
-        let inj = FaultInjector::none()
-            .with(Stage::Plan, StageFault { panic: true, ..Default::default() });
-        let out = Session::new(&t, config()).with_injector(inj).run("average delay in jfk");
+        let inj = FaultInjector::none().with(
+            Stage::Plan,
+            StageFault {
+                panic: true,
+                ..Default::default()
+            },
+        );
+        let out = Session::new(&t, config())
+            .with_injector(inj)
+            .run("average delay in jfk");
         assert!(out.degraded());
-        assert!(out
-            .errors
-            .iter()
-            .any(|e| matches!(e, PipelineError::StagePanic { stage: Stage::Plan, .. })));
+        assert!(out.errors.iter().any(|e| matches!(
+            e,
+            PipelineError::StagePanic {
+                stage: Stage::Plan,
+                ..
+            }
+        )));
         // The panic fired before planning started, so there is no
         // incumbent: the ladder lands on greedy.
         assert_eq!(out.trace.final_rung, Rung::Greedy);
         match &out.visualization {
-            Visualization::Multiplot { multiplot, results, .. } => {
+            Visualization::Multiplot {
+                multiplot, results, ..
+            } => {
                 assert!(multiplot.num_plots() > 0);
                 assert!(results.iter().any(Option::is_some));
             }
@@ -851,28 +1203,51 @@ mod tests {
     #[test]
     fn solver_stall_degrades_without_panicking() {
         let t = table(2_000);
-        let inj = FaultInjector::none()
-            .with(Stage::Plan, StageFault { stall_solver: true, ..Default::default() });
+        let inj = FaultInjector::none().with(
+            Stage::Plan,
+            StageFault {
+                stall_solver: true,
+                ..Default::default()
+            },
+        );
         let mut cfg = config();
         cfg.deadline = Duration::from_millis(400);
-        let out = Session::new(&t, cfg).with_injector(inj).run("average delay in jfk");
-        assert!(out.degraded(), "stalled solver must degrade: {:?}", out.trace);
-        assert!(out.elapsed < Duration::from_millis(1200), "stall must respect 2θ");
+        let out = Session::new(&t, cfg)
+            .with_injector(inj)
+            .run("average delay in jfk");
+        assert!(
+            out.degraded(),
+            "stalled solver must degrade: {:?}",
+            out.trace
+        );
+        assert!(
+            out.elapsed < Duration::from_millis(1200),
+            "stall must respect 2θ"
+        );
         assert!(matches!(out.visualization, Visualization::Multiplot { .. }));
     }
 
     #[test]
     fn injected_execution_error_retries_clean() {
         let t = table(2_000);
-        let inj = FaultInjector::none()
-            .with(Stage::Execute, StageFault { error: true, ..Default::default() });
-        let out = Session::new(&t, config()).with_injector(inj).run("average delay in jfk");
+        let inj = FaultInjector::none().with(
+            Stage::Execute,
+            StageFault {
+                error: true,
+                ..Default::default()
+            },
+        );
+        let out = Session::new(&t, config())
+            .with_injector(inj)
+            .run("average delay in jfk");
         // The one-shot injected error is consumed by the first attempt;
         // escalation retries exact and succeeds.
-        assert!(out
-            .errors
-            .iter()
-            .any(|e| matches!(e, PipelineError::FaultInjected { stage: Stage::Execute })));
+        assert!(out.errors.iter().any(|e| matches!(
+            e,
+            PipelineError::FaultInjected {
+                stage: Stage::Execute
+            }
+        )));
         match &out.visualization {
             Visualization::Multiplot { results, .. } => {
                 assert!(results.iter().any(Option::is_some), "retry produced values");
@@ -884,9 +1259,16 @@ mod tests {
     #[test]
     fn render_failure_falls_back_to_text() {
         let t = table(500);
-        let inj = FaultInjector::none()
-            .with(Stage::Render, StageFault { panic: true, ..Default::default() });
-        let out = Session::new(&t, config()).with_injector(inj).run("average delay in jfk");
+        let inj = FaultInjector::none().with(
+            Stage::Render,
+            StageFault {
+                panic: true,
+                ..Default::default()
+            },
+        );
+        let out = Session::new(&t, config())
+            .with_injector(inj)
+            .run("average delay in jfk");
         assert_eq!(out.trace.final_rung, Rung::Text);
         match &out.visualization {
             Visualization::Text { message } => assert!(message.contains("avg")),
@@ -901,7 +1283,10 @@ mod tests {
         cfg.deadline = Duration::ZERO;
         let out = Session::new(&t, cfg).run("average delay in jfk");
         assert_eq!(out.trace.final_rung, Rung::HeadlineOnly);
-        assert!(out.errors.iter().any(|e| matches!(e, PipelineError::DeadlineExceeded { .. })));
+        assert!(out
+            .errors
+            .iter()
+            .any(|e| matches!(e, PipelineError::DeadlineExceeded { .. })));
         match &out.visualization {
             Visualization::Multiplot { multiplot, .. } => {
                 assert_eq!(multiplot.num_plots(), 1);
@@ -920,5 +1305,108 @@ mod tests {
         let m = headline_only_multiplot(&cands, "count(*) from t where k = …");
         assert_eq!(m.num_bars(), 1);
         assert!(m.highlights(1), "bar must be the most likely candidate");
+    }
+
+    #[test]
+    fn empty_candidates_degrade_gracefully() {
+        // Both fallback paths must survive a zero-candidate distribution.
+        let m = headline_only_multiplot(&[], "anything");
+        assert_eq!(m.num_bars(), 0);
+        assert_eq!(top_candidate_text(&[], &[]), "no candidate interpretations");
+        assert_eq!(top_candidate(&[]), None);
+    }
+
+    #[test]
+    fn nan_probabilities_are_deterministic_and_never_panic() {
+        let q = |s: &str| parse(s).unwrap();
+        let cands = vec![
+            Candidate::new(q("select count(*) from t where k = 'a'"), f64::NAN),
+            Candidate::new(q("select count(*) from t where k = 'b'"), 0.9),
+            Candidate::new(q("select count(*) from t where k = 'c'"), f64::NAN),
+        ];
+        // total_cmp gives one deterministic answer; both fallbacks agree
+        // because they share the same scan.
+        let top = top_candidate(&cands).unwrap();
+        for _ in 0..8 {
+            assert_eq!(top_candidate(&cands), Some(top));
+        }
+        let m = headline_only_multiplot(&cands, "");
+        assert_eq!(m.num_bars(), 1);
+        assert!(m.highlights(top));
+        let text = top_candidate_text(&cands, &[None, None, None]);
+        assert!(text.contains(&cands[top].query.to_sql()));
+        // The greedy planner sorts by probability: must not panic on NaN.
+        let r = plan(
+            &Planner::Greedy,
+            &cands,
+            &ScreenConfig::desktop(2),
+            &UserCostModel::default(),
+        );
+        assert!(r.multiplot.num_plots() > 0);
+    }
+
+    #[test]
+    fn clean_run_trace_is_complete() {
+        let t = table(2_000);
+        let out = Session::new(&t, config()).run("average delay in jfk");
+        let st = &out.stage_trace;
+        assert!(st.is_complete(&SESSION_STAGES), "{st:?}");
+        assert_eq!(st.final_rung, out.trace.final_rung.name());
+        assert_eq!(st.planned_rung, "ilp");
+        assert_eq!(st.deadline, out.deadline);
+        let translate = st.span("translate").unwrap();
+        assert_eq!(translate.status, SpanStatus::Completed);
+        assert!(translate.allotted.is_some());
+        let cand = st.span("candidates").unwrap();
+        assert!(cand.counter("candidates").unwrap() >= 1.0);
+        let plan_span = st.span("plan").unwrap();
+        assert!(plan_span.counter("nodes").is_some());
+        let exec = st.span("execute").unwrap();
+        assert!(exec.counter("rows_scanned").unwrap() > 0.0, "{exec:?}");
+        assert!(exec.counter("attempts").unwrap() >= 1.0);
+        // Round-trips losslessly through rendered JSON (durations are
+        // stored as integer microseconds, so compare at that granularity).
+        let v = st.to_json();
+        let s = serde_json::to_string(&v).unwrap();
+        let back = SessionTrace::from_json(&serde_json::from_str(&s).unwrap()).unwrap();
+        assert_eq!(back.to_json(), v);
+        assert!(back.is_complete(&SESSION_STAGES));
+    }
+
+    #[test]
+    fn translate_failure_trace_has_skipped_spans() {
+        let t = table(100);
+        let out = Session::new(&t, config()).run("   ");
+        let st = &out.stage_trace;
+        assert!(st.is_complete(&SESSION_STAGES), "{st:?}");
+        assert_eq!(st.span("translate").unwrap().status, SpanStatus::Failed);
+        for stage in ["candidates", "plan", "execute", "render"] {
+            assert_eq!(
+                st.span(stage).unwrap().status,
+                SpanStatus::Skipped,
+                "{stage}"
+            );
+        }
+        assert_eq!(st.final_rung, "text");
+    }
+
+    #[test]
+    fn plan_panic_trace_records_caught_fault() {
+        let t = table(2_000);
+        let inj = FaultInjector::none().with(
+            Stage::Plan,
+            StageFault {
+                panic: true,
+                ..Default::default()
+            },
+        );
+        let out = Session::new(&t, config())
+            .with_injector(inj)
+            .run("average delay in jfk");
+        let st = &out.stage_trace;
+        assert!(st.is_complete(&SESSION_STAGES), "{st:?}");
+        let plan_span = st.span("plan").unwrap();
+        assert_eq!(plan_span.status, SpanStatus::Panicked);
+        assert_eq!(plan_span.rung, "greedy");
     }
 }

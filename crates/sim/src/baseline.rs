@@ -44,7 +44,10 @@ pub struct BaselineUser {
 impl BaselineUser {
     /// Create a baseline user.
     pub fn new(cfg: BaselineConfig, seed: u64) -> BaselineUser {
-        BaselineUser { cfg, rng: StdRng::seed_from_u64(seed) }
+        BaselineUser {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Simulate resolving a query with `ambiguous_elements` drop-downs,
@@ -71,7 +74,10 @@ mod tests {
     use super::*;
 
     fn avg(elements: usize, options: usize, n: usize) -> f64 {
-        let cfg = BaselineConfig { noise_sigma: 0.0, ..BaselineConfig::default() };
+        let cfg = BaselineConfig {
+            noise_sigma: 0.0,
+            ..BaselineConfig::default()
+        };
         (0..n)
             .map(|i| BaselineUser::new(cfg, i as u64).resolve(elements, options))
             .sum::<f64>()
@@ -90,7 +96,10 @@ mod tests {
 
     #[test]
     fn zero_elements_just_reads() {
-        let cfg = BaselineConfig { noise_sigma: 0.0, ..BaselineConfig::default() };
+        let cfg = BaselineConfig {
+            noise_sigma: 0.0,
+            ..BaselineConfig::default()
+        };
         let t = BaselineUser::new(cfg, 1).resolve(0, 10);
         assert_eq!(t, cfg.read_result_ms);
     }

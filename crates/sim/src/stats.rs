@@ -73,12 +73,22 @@ pub fn correlation_test(xs: &[f64], ys: &[f64]) -> Correlation {
     let n = xs.len();
     let r = pearson(xs, ys);
     if n < 3 || r.abs() >= 1.0 {
-        return Correlation { r, r2: r * r, p: if r.abs() >= 1.0 { 0.0 } else { 1.0 }, n };
+        return Correlation {
+            r,
+            r2: r * r,
+            p: if r.abs() >= 1.0 { 0.0 } else { 1.0 },
+            n,
+        };
     }
     let df = (n - 2) as f64;
     let t = r * (df / (1.0 - r * r)).sqrt();
     let p = 2.0 * student_t_sf(t.abs(), df);
-    Correlation { r, r2: r * r, p: p.clamp(0.0, 1.0), n }
+    Correlation {
+        r,
+        r2: r * r,
+        p: p.clamp(0.0, 1.0),
+        n,
+    }
 }
 
 /// Survival function `P(T > t)` of the Student t distribution with `df`
@@ -100,8 +110,7 @@ pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * betacf(a, b, x) / a
@@ -199,7 +208,11 @@ mod tests {
     #[test]
     fn mean_and_std() {
         close(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5, 1e-12);
-        close(std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), 2.138, 1e-3);
+        close(
+            std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]),
+            2.138,
+            1e-3,
+        );
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(std_dev(&[1.0]), 0.0);
     }
@@ -253,7 +266,10 @@ mod tests {
         assert!(c.r2 > 0.99);
 
         // Pure noise (deterministic pseudo-random): insignificant.
-        let y_noise: Vec<f64> = x.iter().map(|v| ((v * 2654435761.0).sin() * 1e4).fract()).collect();
+        let y_noise: Vec<f64> = x
+            .iter()
+            .map(|v| ((v * 2654435761.0).sin() * 1e4).fract())
+            .collect();
         let c = correlation_test(&x, &y_noise);
         assert!(c.p > 0.05, "{c:?}");
     }

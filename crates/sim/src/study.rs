@@ -73,12 +73,19 @@ pub struct StudyOutcome {
 }
 
 fn bar(c: usize, red: bool) -> PlotEntry {
-    PlotEntry { candidate: c, label: format!("v{c}"), highlighted: red }
+    PlotEntry {
+        candidate: c,
+        label: format!("v{c}"),
+        highlighted: red,
+    }
 }
 
 /// Single plot with `n` bars, of which the first `reds` are highlighted.
 fn plot_with(n: usize, reds: usize) -> Plot {
-    Plot { title: "task".into(), entries: (0..n).map(|c| bar(c, c < reds)).collect() }
+    Plot {
+        title: "task".into(),
+        entries: (0..n).map(|c| bar(c, c < reds)).collect(),
+    }
 }
 
 /// The task multiplot for one study condition.
@@ -88,7 +95,9 @@ fn task_multiplot(feature: Feature, value: usize) -> (Multiplot, usize) {
         // simulated reader is position-blind, which is what the study is
         // probing for.
         Feature::BarPosition => {
-            let m = Multiplot { rows: vec![vec![plot_with(12, 0)]] };
+            let m = Multiplot {
+                rows: vec![vec![plot_with(12, 0)]],
+            };
             (m, value - 1)
         }
         // 6 plots with two bars each, in two rows; target in plot `value`.
@@ -107,7 +116,9 @@ fn task_multiplot(feature: Feature, value: usize) -> (Multiplot, usize) {
         }
         // 12 bars, `value` of them red; the correct one is red.
         Feature::RedBars => {
-            let m = Multiplot { rows: vec![vec![plot_with(12, value)]] };
+            let m = Multiplot {
+                rows: vec![vec![plot_with(12, value)]],
+            };
             (m, 0)
         }
         // 12 bars spread over `value` plots.
@@ -119,7 +130,10 @@ fn task_multiplot(feature: Feature, value: usize) -> (Multiplot, usize) {
                     entries: (0..per).map(|b| bar(p * per + b, false)).collect(),
                 })
                 .collect();
-            (Multiplot { rows: vec![plots] }, 5.min(12 / value * value - 1))
+            (
+                Multiplot { rows: vec![plots] },
+                5.min(12 / value * value - 1),
+            )
         }
     }
 }
@@ -161,19 +175,34 @@ pub fn user_study(cfg: SimUserConfig, workers_per_task: usize, seed: u64) -> Stu
             let (multiplot, target) = task_multiplot(feature, value);
             let mut user = SimUser::new(cfg, seed ^ ((ti as u64) << 32) ^ w as u64);
             let outcome = user.read(&multiplot, target);
-            records.push(HitRecord { feature, value: value as f64, time_ms: outcome.time_ms });
+            records.push(HitRecord {
+                feature,
+                value: value as f64,
+                time_ms: outcome.time_ms,
+            });
         }
     }
     let completed = records.len();
 
-    let features = [Feature::BarPosition, Feature::PlotPosition, Feature::RedBars, Feature::NumPlots];
+    let features = [
+        Feature::BarPosition,
+        Feature::PlotPosition,
+        Feature::RedBars,
+        Feature::NumPlots,
+    ];
     let mut correlations = Vec::with_capacity(4);
     let mut means = Vec::with_capacity(4);
     for f in features {
-        let xs: Vec<f64> =
-            records.iter().filter(|r| r.feature == f).map(|r| r.value).collect();
-        let ys: Vec<f64> =
-            records.iter().filter(|r| r.feature == f).map(|r| r.time_ms).collect();
+        let xs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.feature == f)
+            .map(|r| r.value)
+            .collect();
+        let ys: Vec<f64> = records
+            .iter()
+            .filter(|r| r.feature == f)
+            .map(|r| r.time_ms)
+            .collect();
         correlations.push((f, correlation_test(&xs, &ys)));
         let mut values: Vec<f64> = xs.clone();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -191,7 +220,13 @@ pub fn user_study(cfg: SimUserConfig, workers_per_task: usize, seed: u64) -> Stu
             .collect();
         means.push((f, series));
     }
-    StudyOutcome { records, correlations, means, issued, completed }
+    StudyOutcome {
+        records,
+        correlations,
+        means,
+        issued,
+        completed,
+    }
 }
 
 /// Fit `(c_B, c_P)` from study records: the red-bar slope estimates
@@ -217,7 +252,10 @@ pub fn fit_cost_model(records: &[HitRecord]) -> (f64, f64) {
             sxy / sxx
         }
     };
-    (2.0 * slope(Feature::RedBars), 2.0 * slope(Feature::NumPlots))
+    (
+        2.0 * slope(Feature::RedBars),
+        2.0 * slope(Feature::NumPlots),
+    )
 }
 
 /// The 1-10 rating model for the second user study (Figure 13).
@@ -240,7 +278,10 @@ impl Rater {
     /// Create a seeded rater that scales observed durations by
     /// `time_scale` before rating (engine-speed calibration).
     pub fn with_scale(seed: u64, time_scale: f64) -> Rater {
-        Rater { rng: StdRng::seed_from_u64(seed), time_scale }
+        Rater {
+            rng: StdRng::seed_from_u64(seed),
+            time_scale,
+        }
     }
 
     /// Latency rating: decays with time-to-first-visualization and, more
@@ -273,7 +314,11 @@ mod tests {
         assert_eq!(task_types().len(), 26);
         assert_eq!(out.issued, 520);
         // Response-rate model: roughly half complete.
-        assert!(out.completed > 200 && out.completed < 320, "{}", out.completed);
+        assert!(
+            out.completed > 200 && out.completed < 320,
+            "{}",
+            out.completed
+        );
         assert_eq!(out.correlations.len(), 4);
         assert_eq!(out.means.len(), 4);
     }
@@ -314,12 +359,18 @@ mod tests {
 
     #[test]
     fn cost_model_fit_recovers_truth() {
-        let truth = SimUserConfig { noise_sigma: 0.1, ..SimUserConfig::default() };
+        let truth = SimUserConfig {
+            noise_sigma: 0.1,
+            ..SimUserConfig::default()
+        };
         // More workers for a tighter fit.
         let out = user_study(truth, 200, 11);
         let (cb, cp) = fit_cost_model(&out.records);
         assert!((cb - truth.bar_ms).abs() / truth.bar_ms < 0.35, "c_B {cb}");
-        assert!((cp - truth.plot_ms).abs() / truth.plot_ms < 0.35, "c_P {cp}");
+        assert!(
+            (cp - truth.plot_ms).abs() / truth.plot_ms < 0.35,
+            "c_P {cp}"
+        );
         assert!(cp > cb, "study must confirm c_P > c_B");
     }
 

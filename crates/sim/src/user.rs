@@ -30,7 +30,12 @@ pub struct SimUserConfig {
 
 impl Default for SimUserConfig {
     fn default() -> Self {
-        SimUserConfig { bar_ms: 400.0, plot_ms: 1100.0, requery_ms: 20_000.0, noise_sigma: 0.25 }
+        SimUserConfig {
+            bar_ms: 400.0,
+            plot_ms: 1100.0,
+            requery_ms: 20_000.0,
+            noise_sigma: 0.25,
+        }
     }
 }
 
@@ -55,7 +60,10 @@ pub struct ReadOutcome {
 impl SimUser {
     /// Create a user with the given behaviour and seed.
     pub fn new(cfg: SimUserConfig, seed: u64) -> SimUser {
-        SimUser { cfg, rng: StdRng::seed_from_u64(seed) }
+        SimUser {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Simulate the user searching `multiplot` for the bar of candidate
@@ -100,7 +108,11 @@ impl SimUser {
         let u2: f64 = self.rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         time *= (self.cfg.noise_sigma * z).exp();
-        ReadOutcome { time_ms: time, found, bars_read }
+        ReadOutcome {
+            time_ms: time,
+            found,
+            bars_read,
+        }
     }
 }
 
@@ -124,11 +136,16 @@ mod tests {
     }
 
     fn single_plot(entries: &[(usize, bool)]) -> Multiplot {
-        Multiplot { rows: vec![vec![plot(entries)]] }
+        Multiplot {
+            rows: vec![vec![plot(entries)]],
+        }
     }
 
     fn avg_time(m: &Multiplot, target: usize, seed: u64, n: usize) -> f64 {
-        let cfg = SimUserConfig { noise_sigma: 0.0, ..SimUserConfig::default() };
+        let cfg = SimUserConfig {
+            noise_sigma: 0.0,
+            ..SimUserConfig::default()
+        };
         let mut total = 0.0;
         for i in 0..n {
             let mut u = SimUser::new(cfg, seed + i as u64);
@@ -149,7 +166,10 @@ mod tests {
     #[test]
     fn missing_target_pays_requery() {
         let m = single_plot(&[(0, false), (1, false)]);
-        let cfg = SimUserConfig { noise_sigma: 0.0, ..SimUserConfig::default() };
+        let cfg = SimUserConfig {
+            noise_sigma: 0.0,
+            ..SimUserConfig::default()
+        };
         let mut u = SimUser::new(cfg, 3);
         let out = u.read(&m, 99);
         assert!(!out.found);
@@ -168,7 +188,10 @@ mod tests {
         let sim = avg_time(&m, 2, 7, 2000);
         let cfg = SimUserConfig::default();
         let model = 4.0 * cfg.bar_ms / 2.0 + 1.0 * cfg.plot_ms / 2.0;
-        assert!((sim - model).abs() / model < 0.6, "sim {sim} vs model {model}");
+        assert!(
+            (sim - model).abs() / model < 0.6,
+            "sim {sim} vs model {model}"
+        );
     }
 
     #[test]
@@ -197,10 +220,17 @@ mod tests {
     #[test]
     fn noise_spreads_times() {
         let m = single_plot(&[(0, false), (1, false), (2, false)]);
-        let cfg = SimUserConfig { noise_sigma: 0.4, ..SimUserConfig::default() };
-        let times: Vec<f64> =
-            (0..50).map(|i| SimUser::new(cfg, i).read(&m, 1).time_ms).collect();
-        let distinct = times.iter().filter(|t| (**t - times[0]).abs() > 1.0).count();
+        let cfg = SimUserConfig {
+            noise_sigma: 0.4,
+            ..SimUserConfig::default()
+        };
+        let times: Vec<f64> = (0..50)
+            .map(|i| SimUser::new(cfg, i).read(&m, 1).time_ms)
+            .collect();
+        let distinct = times
+            .iter()
+            .filter(|t| (**t - times[0]).abs() > 1.0)
+            .count();
         assert!(distinct > 10);
     }
 }

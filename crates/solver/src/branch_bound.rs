@@ -73,6 +73,15 @@ pub struct MipResult {
     pub nodes: usize,
     /// Whether the run stopped because of the time budget.
     pub timed_out: bool,
+    /// Times the incumbent was replaced by a better integer solution
+    /// found during the search (the warm-start seed does not count).
+    pub incumbent_updates: usize,
+    /// Times a node's LP relaxation tightened the best bound observed so
+    /// far — a monotone progress signal for stall detection.
+    pub bound_improvements: usize,
+    /// Whether the search burned its whole budget (time or nodes) without
+    /// ever finding an incumbent.
+    pub stalled: bool,
 }
 
 impl MipResult {
@@ -106,6 +115,7 @@ impl MipResult {
 /// assert_eq!(r.objective, Some(10.0)); // either {a} or {b, c}
 /// ```
 pub fn solve_mip(model: &Model, config: &MipConfig) -> MipResult {
+    let start = Instant::now();
     let (lp, obj_constant, sign) = model.to_lp();
     let integer: Vec<bool> = (0..model.num_vars())
         .map(|i| model.is_integer(crate::model::Var(i)))
@@ -117,10 +127,23 @@ pub fn solve_mip(model: &Model, config: &MipConfig) -> MipResult {
         sign,
         obj_constant,
         config: config.clone(),
-        start: Instant::now(),
+        start,
         implications,
     };
-    searcher.run()
+    let result = searcher.run();
+    let obs = muve_obs::metrics();
+    obs.counter("solver.runs").incr();
+    obs.counter("solver.nodes").add(result.nodes as u64);
+    obs.counter("solver.incumbent_updates")
+        .add(result.incumbent_updates as u64);
+    obs.counter("solver.bound_improvements")
+        .add(result.bound_improvements as u64);
+    if result.stalled {
+        obs.counter("solver.stalls").incr();
+    }
+    obs.histogram("solver.solve_us")
+        .record_duration(start.elapsed());
+    result
 }
 
 /// A node: variables fixed so far (index -> value), parent LP bound
@@ -226,9 +249,9 @@ impl Implications {
             }
         }
         let set = |v: usize,
-                       b: bool,
-                       value: &mut Vec<Option<bool>>,
-                       queue: &mut Vec<(usize, bool)>|
+                   b: bool,
+                   value: &mut Vec<Option<bool>>,
+                   queue: &mut Vec<(usize, bool)>|
          -> bool {
             match value[v] {
                 Some(prev) => prev == b,
@@ -296,9 +319,15 @@ impl Searcher {
         // Open-node pool. Selection policy: depth-first (LIFO) while no
         // incumbent exists — one dive down the rounding-preferred branches
         // reaches integer feasibility quickly — then best-bound-first.
-        let mut open: Vec<Node> = vec![Node { fixes: Vec::new(), parent_bound: f64::NEG_INFINITY }];
+        let mut open: Vec<Node> = vec![Node {
+            fixes: Vec::new(),
+            parent_bound: f64::NEG_INFINITY,
+        }];
         let mut nodes = 0usize;
         let mut timed_out = false;
+        let mut incumbent_updates = 0usize;
+        let mut bound_improvements = 0usize;
+        let mut best_bound_seen = f64::NEG_INFINITY;
         // Weakest (lowest, internal sense) bound among nodes whose LP hit
         // the pivot limit: their subtrees are only bounded by the parents.
         let mut limit_bound = f64::INFINITY;
@@ -357,6 +386,9 @@ impl Searcher {
                         bound: f64::NEG_INFINITY * self.sign,
                         nodes,
                         timed_out: false,
+                        incumbent_updates,
+                        bound_improvements,
+                        stalled: false,
                     };
                 }
                 LpOutcome::PivotLimit => {
@@ -367,6 +399,10 @@ impl Searcher {
                 }
                 LpOutcome::Optimal(sol) => {
                     let bound = sol.objective + fixed_contribution;
+                    if bound > best_bound_seen {
+                        best_bound_seen = bound;
+                        bound_improvements += 1;
+                    }
                     if let Some((_, inc)) = &incumbent {
                         if bound >= *inc - self.config.abs_gap {
                             continue;
@@ -396,6 +432,7 @@ impl Searcher {
                             let obj = self.objective_of(&snapped);
                             if incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc) {
                                 incumbent = Some((snapped, obj));
+                                incumbent_updates += 1;
                             }
                         }
                         Some(j) => {
@@ -410,7 +447,10 @@ impl Searcher {
                                 if let Some(closed) =
                                     self.implications.propagate(&fixes, self.lp.num_vars)
                                 {
-                                    open.push(Node { fixes: closed, parent_bound: bound });
+                                    open.push(Node {
+                                        fixes: closed,
+                                        parent_bound: bound,
+                                    });
                                 }
                             }
                         }
@@ -459,13 +499,19 @@ impl Searcher {
         } else {
             self.sign * internal_bound
         };
+        let stalled = incumbent.is_none() && (timed_out || nodes >= self.config.node_budget);
         MipResult {
             status,
-            objective: incumbent.as_ref().map(|(_, o)| self.sign * *o + self.obj_constant),
+            objective: incumbent
+                .as_ref()
+                .map(|(_, o)| self.sign * *o + self.obj_constant),
             values: incumbent.map(|(v, _)| v),
             bound: user_bound,
             nodes,
             timed_out,
+            incumbent_updates,
+            bound_improvements,
+            stalled,
         }
     }
 
@@ -519,16 +565,33 @@ impl Searcher {
                 if !ok {
                     // Encode infeasibility: 0 >= 1 over the (nonneg) first var,
                     // or a trivially impossible row when no vars remain.
-                    rows.push(Row { coeffs: vec![], sense: Sense::Eq, rhs: 1.0 });
+                    rows.push(Row {
+                        coeffs: vec![],
+                        sense: Sense::Eq,
+                        rhs: 1.0,
+                    });
                     // A constant Eq row with rhs 1 and no coefficients keeps
                     // an artificial at value 1 => phase 1 fails => infeasible.
                 }
                 continue;
             }
-            rows.push(Row { coeffs, sense: row.sense, rhs });
+            rows.push(Row {
+                coeffs,
+                sense: row.sense,
+                rhs,
+            });
         }
         let upper = back.iter().map(|&j| self.lp.upper[j]).collect();
-        (Lp { num_vars: back.len(), objective, rows, upper }, back, fixed_contrib)
+        (
+            Lp {
+                num_vars: back.len(),
+                objective,
+                rows,
+                upper,
+            },
+            back,
+            fixed_contrib,
+        )
     }
 
     fn expand(&self, reduced: &[f64], back: &[usize], fixes: &[(usize, f64)]) -> Vec<f64> {
@@ -551,7 +614,11 @@ impl Searcher {
     }
 
     fn objective_of(&self, values: &[f64]) -> f64 {
-        values.iter().zip(&self.lp.objective).map(|(v, c)| v * c).sum()
+        values
+            .iter()
+            .zip(&self.lp.objective)
+            .map(|(v, c)| v * c)
+            .sum()
     }
 }
 
@@ -562,7 +629,9 @@ mod tests {
 
     fn knapsack(utilities: &[f64], weights: &[f64], cap: f64) -> (Model, Vec<crate::model::Var>) {
         let mut m = Model::new();
-        let vars: Vec<_> = (0..utilities.len()).map(|i| m.binary(format!("x{i}"))).collect();
+        let vars: Vec<_> = (0..utilities.len())
+            .map(|i| m.binary(format!("x{i}")))
+            .collect();
         let mut weight = Expr::zero();
         let mut util = Expr::zero();
         for (i, &v) in vars.iter().enumerate() {
@@ -601,7 +670,12 @@ mod tests {
             }
         }
         assert_eq!(r.status, MipStatus::Optimal);
-        assert!((r.objective.unwrap() - dp[c]).abs() < 1e-6, "{:?} vs {}", r.objective, dp[c]);
+        assert!(
+            (r.objective.unwrap() - dp[c]).abs() < 1e-6,
+            "{:?} vs {}",
+            r.objective,
+            dp[c]
+        );
     }
 
     #[test]
@@ -668,8 +742,17 @@ mod tests {
         let (m, _) = knapsack(&utilities, &weights, 30.0);
         let full = solve_mip(&m, &MipConfig::default());
         assert_eq!(full.status, MipStatus::Optimal);
-        let r = solve_mip(&m, &MipConfig { node_budget: 3, ..MipConfig::default() });
-        assert!(matches!(r.status, MipStatus::Feasible | MipStatus::Unknown | MipStatus::Optimal));
+        let r = solve_mip(
+            &m,
+            &MipConfig {
+                node_budget: 3,
+                ..MipConfig::default()
+            },
+        );
+        assert!(matches!(
+            r.status,
+            MipStatus::Feasible | MipStatus::Unknown | MipStatus::Optimal
+        ));
         if let Some(o) = r.objective {
             assert!(o <= full.objective.unwrap() + 1e-6);
         }
@@ -698,7 +781,10 @@ mod tests {
         let x = m.binary("x");
         let y = m.binary("y");
         m.ge(Expr::from(x) + Expr::from(y), 1.0);
-        m.set_objective(Expr::from(x) * 3.0 + Expr::from(y) * 2.0, Direction::Minimize);
+        m.set_objective(
+            Expr::from(x) * 3.0 + Expr::from(y) * 2.0,
+            Direction::Minimize,
+        );
         let r = solve_mip(&m, &MipConfig::default());
         assert_eq!(r.status, MipStatus::Optimal);
         assert_eq!(r.objective, Some(2.0));

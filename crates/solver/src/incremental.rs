@@ -88,7 +88,12 @@ pub fn solve_incremental(
             }
         }
         let done = matches!(result.status, MipStatus::Optimal | MipStatus::Infeasible);
-        on_step(&IncrementalStep { step, budget, result: result.clone(), improved });
+        on_step(&IncrementalStep {
+            step,
+            budget,
+            result: result.clone(),
+            improved,
+        });
         best = Some(result);
         if done || (config.initial_nodes.is_none() && spent >= config.total_budget) {
             break;
@@ -120,7 +125,11 @@ mod tests {
     fn incremental_reaches_optimal_on_easy_problem() {
         let m = hard_knapsack(8);
         let mut steps = 0;
-        let cfg = IncrementalConfig { initial_nodes: Some(4), max_steps: 20, ..Default::default() };
+        let cfg = IncrementalConfig {
+            initial_nodes: Some(4),
+            max_steps: 20,
+            ..Default::default()
+        };
         let r = solve_incremental(&m, &cfg, |_| steps += 1);
         assert_eq!(r.status, MipStatus::Optimal);
         assert!(steps >= 1);
@@ -130,7 +139,11 @@ mod tests {
     fn incumbent_monotonically_improves() {
         let m = hard_knapsack(16);
         let mut objs: Vec<f64> = Vec::new();
-        let cfg = IncrementalConfig { initial_nodes: Some(1), max_steps: 16, ..Default::default() };
+        let cfg = IncrementalConfig {
+            initial_nodes: Some(1),
+            max_steps: 16,
+            ..Default::default()
+        };
         solve_incremental(&m, &cfg, |s| {
             if let Some(o) = s.result.objective {
                 objs.push(o);

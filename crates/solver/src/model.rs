@@ -42,7 +42,10 @@ impl Expr {
 
     /// A constant expression.
     pub fn constant(c: f64) -> Expr {
-        Expr { terms: Vec::new(), constant: c }
+        Expr {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// Add `coeff * var` to the expression.
@@ -62,7 +65,10 @@ impl Expr {
             }
         }
         out.retain(|(_, c)| c.abs() > 0.0);
-        Expr { terms: out, constant: self.constant }
+        Expr {
+            terms: out,
+            constant: self.constant,
+        }
     }
 
     /// Evaluate the expression against a solution vector.
@@ -73,7 +79,10 @@ impl Expr {
 
 impl From<Var> for Expr {
     fn from(v: Var) -> Expr {
-        Expr { terms: vec![(v, 1.0)], constant: 0.0 }
+        Expr {
+            terms: vec![(v, 1.0)],
+            constant: 0.0,
+        }
     }
 }
 
@@ -137,7 +146,10 @@ impl Mul<f64> for Expr {
 impl Mul<f64> for Var {
     type Output = Expr;
     fn mul(self, k: f64) -> Expr {
-        Expr { terms: vec![(self, k)], constant: 0.0 }
+        Expr {
+            terms: vec![(self, k)],
+            constant: 0.0,
+        }
     }
 }
 
@@ -175,7 +187,11 @@ impl Model {
 
     /// Add a binary (0/1) variable.
     pub fn binary(&mut self, name: impl Into<String>) -> Var {
-        self.vars.push(VarDef { name: name.into(), upper: 1.0, integer: true });
+        self.vars.push(VarDef {
+            name: name.into(),
+            upper: 1.0,
+            integer: true,
+        });
         Var(self.vars.len() - 1)
     }
 
@@ -185,13 +201,21 @@ impl Model {
     /// integrality by branching. Use only when the implication really
     /// holds; otherwise relaxations may exceed 1.
     pub fn binary_implied(&mut self, name: impl Into<String>) -> Var {
-        self.vars.push(VarDef { name: name.into(), upper: f64::INFINITY, integer: true });
+        self.vars.push(VarDef {
+            name: name.into(),
+            upper: f64::INFINITY,
+            integer: true,
+        });
         Var(self.vars.len() - 1)
     }
 
     /// Add a continuous variable in `[0, upper]` (`upper` may be infinite).
     pub fn continuous(&mut self, name: impl Into<String>, upper: f64) -> Var {
-        self.vars.push(VarDef { name: name.into(), upper, integer: false });
+        self.vars.push(VarDef {
+            name: name.into(),
+            upper,
+            integer: false,
+        });
         Var(self.vars.len() - 1)
     }
 
@@ -335,9 +359,14 @@ mod tests {
         let x = m.continuous("x", 4.0);
         let y = m.continuous("y", 6.0);
         m.le(Expr::from(x) * 3.0 + Expr::from(y) * 2.0, 18.0);
-        m.set_objective(Expr::from(x) * 3.0 + Expr::from(y) * 5.0, Direction::Maximize);
+        m.set_objective(
+            Expr::from(x) * 3.0 + Expr::from(y) * 5.0,
+            Direction::Maximize,
+        );
         let (lp, constant, sign) = m.to_lp();
-        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else { panic!() };
+        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else {
+            panic!()
+        };
         let user = sign * s.objective + constant;
         assert!((user - 36.0).abs() < 1e-6);
     }
@@ -352,7 +381,9 @@ mod tests {
         m.le(Expr::from(a) + Expr::from(b), 1.0);
         m.set_objective(Expr::from(y), Direction::Maximize);
         let (lp, c, sign) = m.to_lp();
-        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else { panic!() };
+        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else {
+            panic!()
+        };
         // LP relaxation: a = b = 0.5 allows y <= 0.5 but y >= a+b-1 = 0;
         // max y = 0.5 fractionally. Integrality handled by B&B elsewhere;
         // here we only check the constraint structure is consistent.
@@ -380,7 +411,9 @@ mod tests {
         m.eq(Expr::from(b), 1.0);
         m.set_objective(Expr::from(y), Direction::Minimize);
         let (lp, c, sign) = m.to_lp();
-        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else { panic!() };
+        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else {
+            panic!()
+        };
         assert!((sign * s.objective + c - 5.0).abs() < 1e-6);
     }
 
@@ -394,7 +427,9 @@ mod tests {
         m.eq(Expr::from(a), 1.0);
         m.set_objective(Expr::from(y), Direction::Maximize);
         let (lp, c, sign) = m.to_lp();
-        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else { panic!() };
+        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else {
+            panic!()
+        };
         assert!((sign * s.objective + c).abs() < 1e-6);
     }
 
@@ -419,7 +454,9 @@ mod tests {
         m.le(Expr::from(x) + Expr::constant(5.0), 7.0);
         m.set_objective(Expr::from(x), Direction::Maximize);
         let (lp, c, sign) = m.to_lp();
-        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else { panic!() };
+        let LpOutcome::Optimal(s) = solve(&lp, 10_000) else {
+            panic!()
+        };
         assert!((sign * s.objective + c - 2.0).abs() < 1e-6);
     }
 }

@@ -131,7 +131,11 @@ impl Tableau {
         let mut rows: Vec<Row> = lp.rows.clone();
         for (j, &ub) in lp.upper.iter().enumerate() {
             if ub.is_finite() {
-                rows.push(Row { coeffs: vec![(j, 1.0)], sense: Sense::Le, rhs: ub });
+                rows.push(Row {
+                    coeffs: vec![(j, 1.0)],
+                    sense: Sense::Le,
+                    rhs: ub,
+                });
             }
         }
         // Normalize to nonnegative rhs.
@@ -299,7 +303,9 @@ impl Tableau {
                     }
                 }
             }
-            let Some(enter) = enter else { return Phase::Converged };
+            let Some(enter) = enter else {
+                return Phase::Converged;
+            };
             // Ratio test.
             let mut leave: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
@@ -316,7 +322,9 @@ impl Tableau {
                     }
                 }
             }
-            let Some(leave) = leave else { return Phase::Unbounded };
+            let Some(leave) = leave else {
+                return Phase::Unbounded;
+            };
             if best_ratio < EPS {
                 degenerate_run += 1;
             } else {
@@ -433,9 +441,21 @@ mod tests {
             2,
             &[-3.0, -5.0],
             vec![
-                Row { coeffs: vec![(0, 1.0)], sense: Sense::Le, rhs: 4.0 },
-                Row { coeffs: vec![(1, 2.0)], sense: Sense::Le, rhs: 12.0 },
-                Row { coeffs: vec![(0, 3.0), (1, 2.0)], sense: Sense::Le, rhs: 18.0 },
+                Row {
+                    coeffs: vec![(0, 1.0)],
+                    sense: Sense::Le,
+                    rhs: 4.0,
+                },
+                Row {
+                    coeffs: vec![(1, 2.0)],
+                    sense: Sense::Le,
+                    rhs: 12.0,
+                },
+                Row {
+                    coeffs: vec![(0, 3.0), (1, 2.0)],
+                    sense: Sense::Le,
+                    rhs: 18.0,
+                },
             ],
             None,
         );
@@ -452,8 +472,16 @@ mod tests {
             2,
             &[1.0, 1.0],
             vec![
-                Row { coeffs: vec![(0, 1.0), (1, 1.0)], sense: Sense::Eq, rhs: 10.0 },
-                Row { coeffs: vec![(0, 1.0)], sense: Sense::Ge, rhs: 3.0 },
+                Row {
+                    coeffs: vec![(0, 1.0), (1, 1.0)],
+                    sense: Sense::Eq,
+                    rhs: 10.0,
+                },
+                Row {
+                    coeffs: vec![(0, 1.0)],
+                    sense: Sense::Ge,
+                    rhs: 3.0,
+                },
             ],
             None,
         );
@@ -468,8 +496,16 @@ mod tests {
             1,
             &[1.0],
             vec![
-                Row { coeffs: vec![(0, 1.0)], sense: Sense::Ge, rhs: 5.0 },
-                Row { coeffs: vec![(0, 1.0)], sense: Sense::Le, rhs: 2.0 },
+                Row {
+                    coeffs: vec![(0, 1.0)],
+                    sense: Sense::Ge,
+                    rhs: 5.0,
+                },
+                Row {
+                    coeffs: vec![(0, 1.0)],
+                    sense: Sense::Le,
+                    rhs: 2.0,
+                },
             ],
             None,
         );
@@ -497,7 +533,11 @@ mod tests {
         let p = lp(
             2,
             &[0.0, 1.0],
-            vec![Row { coeffs: vec![(0, 1.0), (1, -1.0)], sense: Sense::Le, rhs: -2.0 }],
+            vec![Row {
+                coeffs: vec![(0, 1.0), (1, -1.0)],
+                sense: Sense::Le,
+                rhs: -2.0,
+            }],
             None,
         );
         let s = optimal(&p);
@@ -521,7 +561,11 @@ mod tests {
                     sense: Sense::Le,
                     rhs: 0.0,
                 },
-                Row { coeffs: vec![(2, 1.0)], sense: Sense::Le, rhs: 1.0 },
+                Row {
+                    coeffs: vec![(2, 1.0)],
+                    sense: Sense::Le,
+                    rhs: 1.0,
+                },
             ],
             None,
         );
@@ -534,7 +578,11 @@ mod tests {
         let p = lp(
             2,
             &[-3.0, -5.0],
-            vec![Row { coeffs: vec![(0, 3.0), (1, 2.0)], sense: Sense::Le, rhs: 18.0 }],
+            vec![Row {
+                coeffs: vec![(0, 3.0), (1, 2.0)],
+                sense: Sense::Le,
+                rhs: 18.0,
+            }],
             Some(vec![4.0, 6.0]),
         );
         assert_eq!(solve(&p, 0), LpOutcome::PivotLimit);
@@ -547,8 +595,16 @@ mod tests {
             2,
             &[1.0, 2.0],
             vec![
-                Row { coeffs: vec![(0, 1.0), (1, 1.0)], sense: Sense::Eq, rhs: 4.0 },
-                Row { coeffs: vec![(0, 1.0), (1, 1.0)], sense: Sense::Eq, rhs: 4.0 },
+                Row {
+                    coeffs: vec![(0, 1.0), (1, 1.0)],
+                    sense: Sense::Eq,
+                    rhs: 4.0,
+                },
+                Row {
+                    coeffs: vec![(0, 1.0), (1, 1.0)],
+                    sense: Sense::Eq,
+                    rhs: 4.0,
+                },
             ],
             None,
         );
@@ -571,7 +627,11 @@ mod tests {
         let p = lp(
             2,
             &[-10.0, -6.0],
-            vec![Row { coeffs: vec![(0, 5.0), (1, 4.0)], sense: Sense::Le, rhs: 7.0 }],
+            vec![Row {
+                coeffs: vec![(0, 5.0), (1, 4.0)],
+                sense: Sense::Le,
+                rhs: 7.0,
+            }],
             Some(vec![1.0, 1.0]),
         );
         let s = optimal(&p);

@@ -35,7 +35,9 @@ fn instance() -> impl Strategy<Value = Instance> {
 
 fn build(inst: &Instance) -> Model {
     let mut m = Model::new();
-    let vars: Vec<_> = (0..inst.utilities.len()).map(|i| m.binary(format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..inst.utilities.len())
+        .map(|i| m.binary(format!("x{i}")))
+        .collect();
     let mut w = Expr::zero();
     let mut u = Expr::zero();
     for (i, &v) in vars.iter().enumerate() {

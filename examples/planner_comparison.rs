@@ -69,26 +69,31 @@ fn main() {
         growth: 2.0,
         total: Duration::from_secs(1),
     };
-    let base_cfg = IlpConfig { warm_start: true, ..IlpConfig::default() };
-    let final_result = muve::core::plan_incremental(
-        &candidates,
-        &screen,
-        &model,
-        &base_cfg,
-        &schedule,
-        |step| {
+    let base_cfg = IlpConfig {
+        warm_start: true,
+        ..IlpConfig::default()
+    };
+    let final_result =
+        muve::core::plan_incremental(&candidates, &screen, &model, &base_cfg, &schedule, |step| {
             println!(
                 "  t={:>7.1} ms  cost={:>8.0} ms  plots={}{}",
                 step.planning_time.as_secs_f64() * 1000.0,
                 step.expected_cost,
                 step.multiplot.num_plots(),
-                if step.proven_optimal { "  (optimal)" } else { "" }
+                if step.proven_optimal {
+                    "  (optimal)"
+                } else {
+                    ""
+                }
             );
-        },
-    );
+        });
     println!(
         "final: cost {:.0} ms, {}",
         final_result.expected_cost,
-        if final_result.proven_optimal { "proven optimal" } else { "best effort" }
+        if final_result.proven_optimal {
+            "proven optimal"
+        } else {
+            "best effort"
+        }
     );
 }

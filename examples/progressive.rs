@@ -10,8 +10,8 @@
 //! timeline: when the first (possibly approximate) answer appears and when
 //! the exact multiplot is complete.
 
-use muve::core::{present, Mode, Planner, Presentation, ScreenConfig, UserCostModel};
 use muve::core::Candidate;
+use muve::core::{present, Mode, Planner, Presentation, ScreenConfig, UserCostModel};
 use muve::data::{Dataset, QueryGenerator};
 use muve::nlq::CandidateGenerator;
 use std::time::Duration;
@@ -39,12 +39,18 @@ fn main() {
         ("approximate 5%", Mode::Approximate { fraction: 0.05 }),
         (
             "approximate dynamic (250 ms target)",
-            Mode::ApproximateDynamic { target: Duration::from_millis(250) },
+            Mode::ApproximateDynamic {
+                target: Duration::from_millis(250),
+            },
         ),
     ];
 
     for (name, mode) in strategies {
-        let pres = Presentation { planner: Planner::Greedy, mode, seed: 11 };
+        let pres = Presentation {
+            planner: Planner::Greedy,
+            mode,
+            seed: 11,
+        };
         let trace = present(&table, &candidates, &screen, &model, &pres);
         println!("== {name} ==");
         for e in &trace.events {

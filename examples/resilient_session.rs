@@ -10,8 +10,8 @@
 //! recovers through the greedy planner — the user still gets a multiplot,
 //! and the `DegradationTrace` shows exactly what happened along the way.
 
-use muve::pipeline::{FaultInjector, Session, SessionConfig, Visualization};
 use muve::data::Dataset;
+use muve::pipeline::{FaultInjector, Session, SessionConfig, Visualization};
 use std::time::Duration;
 
 fn show(label: &str, outcome: &muve::pipeline::SessionOutcome) {
@@ -24,7 +24,11 @@ fn show(label: &str, outcome: &muve::pipeline::SessionOutcome) {
         "rungs          : planned {}, final {}{}",
         outcome.trace.planned_rung,
         outcome.trace.final_rung,
-        if outcome.degraded() { "  (degraded)" } else { "" }
+        if outcome.degraded() {
+            "  (degraded)"
+        } else {
+            ""
+        }
     );
     for e in &outcome.errors {
         println!("error          : {e}");
@@ -52,7 +56,10 @@ fn show(label: &str, outcome: &muve::pipeline::SessionOutcome) {
 
 fn main() {
     let table = Dataset::Flights.generate(20_000, 42);
-    let config = SessionConfig { deadline: Duration::from_secs(1), ..SessionConfig::default() };
+    let config = SessionConfig {
+        deadline: Duration::from_secs(1),
+        ..SessionConfig::default()
+    };
     let question = "average dep delay in jfk";
 
     // A clean run: the ILP planner finishes and the session stays on its
@@ -64,14 +71,21 @@ fn main() {
     // caught at the stage boundary; the ladder drops to the greedy planner
     // and the user still sees a multiplot with executed values.
     let injector = FaultInjector::parse("plan:panic").expect("valid fault spec");
-    let crashed = Session::new(&table, config).with_injector(injector).run(question);
+    let crashed = Session::new(&table, config)
+        .with_injector(injector)
+        .run(question);
     show("with injected solver panic", &crashed);
 
-    assert!(crashed.degraded(), "the crashed run degrades instead of failing");
+    assert!(
+        crashed.degraded(),
+        "the crashed run degrades instead of failing"
+    );
     assert!(
         matches!(crashed.visualization, Visualization::Multiplot { .. }),
         "the greedy rung still produces a multiplot"
     );
-    println!("solver panic survived: degraded {} -> {} and kept the multiplot",
-        crashed.trace.planned_rung, crashed.trace.final_rung);
+    println!(
+        "solver panic survived: degraded {} -> {} and kept the multiplot",
+        crashed.trace.planned_rung, crashed.trace.final_rung
+    );
 }

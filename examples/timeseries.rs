@@ -19,10 +19,9 @@ fn main() {
 
     // "average departure delay by month for UA" — with phonetic ambiguity
     // over the carrier and the delay column.
-    let base = muve::dbms::parse(
-        "select avg(dep_delay) from flights where carrier = 'UA' group by month",
-    )
-    .expect("parses");
+    let base =
+        muve::dbms::parse("select avg(dep_delay) from flights where carrier = 'UA' group by month")
+            .expect("parses");
     let mut candidates: Vec<Candidate> = CandidateGenerator::new(&table)
         .candidates(&base, 20, 6)
         .into_iter()
@@ -41,7 +40,11 @@ fn main() {
 
     let results: Vec<Option<Vec<(f64, f64)>>> = candidates
         .iter()
-        .map(|c| execute(&table, &c.query).ok().and_then(|rs| points_from_result(&rs)))
+        .map(|c| {
+            execute(&table, &c.query)
+                .ok()
+                .and_then(|rs| points_from_result(&rs))
+        })
         .collect();
     let plots = series_plots(&candidates, &results, 2);
     println!("\n{} series plots:", plots.len());

@@ -46,7 +46,9 @@ fn main() {
         if t == intended {
             continue;
         }
-        let Ok(base) = translate(&t, &table) else { continue };
+        let Ok(base) = translate(&t, &table) else {
+            continue;
+        };
         let cands = CandidateGenerator::new(&table).candidates(&base, 20, 12);
         if cands.iter().any(|c| c.query == intended_query) {
             heard = t;
@@ -66,7 +68,10 @@ fn main() {
         .collect();
 
     println!("translated (from noisy input): {}", base.to_sql());
-    println!("intended                     : {}\n", intended_query.to_sql());
+    println!(
+        "intended                     : {}\n",
+        intended_query.to_sql()
+    );
 
     let covered = candidates.iter().position(|c| c.query == intended_query);
     match covered {
@@ -101,7 +106,11 @@ fn main() {
         if multiplot.shows(i) {
             println!(
                 "the intended result is on screen{}",
-                if multiplot.highlights(i) { " and highlighted in red" } else { "" }
+                if multiplot.highlights(i) {
+                    " and highlighted in red"
+                } else {
+                    ""
+                }
             );
         }
     }

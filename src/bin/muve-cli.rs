@@ -22,9 +22,15 @@
 //! \deadline <ms>                             interactivity budget per question
 //! \inject <spec|off>                         plant faults (e.g. plan:panic)
 //! \svg <path>                                save the last multiplot
+//! \stats                                     print process-wide metrics
+//! \trace <path|off>                          append per-query JSON traces
 //! \schema                                    show the loaded schema
 //! \help, \quit
 //! ```
+//!
+//! `--trace-out <file>` does the same as `\trace <file>` from the command
+//! line: every answered question appends one JSON line with its complete
+//! per-stage [`SessionTrace`](muve::obs::SessionTrace).
 
 use muve::core::{render_svg, IlpConfig, Planner, ScreenConfig, UserCostModel};
 use muve::data::Dataset;
@@ -45,6 +51,7 @@ struct Shell {
     deadline: Duration,
     injector: FaultInjector,
     last_svg: Option<String>,
+    trace_out: Option<String>,
 }
 
 impl Shell {
@@ -60,6 +67,7 @@ impl Shell {
             deadline: Duration::from_secs(1),
             injector: FaultInjector::none(),
             last_svg: None,
+            trace_out: None,
         }
     }
 
@@ -124,7 +132,13 @@ impl Shell {
             );
         }
         match &outcome.visualization {
-            Visualization::Multiplot { multiplot, headline, results, rendered, approximate } => {
+            Visualization::Multiplot {
+                multiplot,
+                headline,
+                results,
+                rendered,
+                approximate,
+            } => {
                 if !headline.is_empty() && outcome.candidates.len() > 1 {
                     println!("headline: {headline}");
                 }
@@ -142,6 +156,18 @@ impl Shell {
             outcome.deadline.as_secs_f64() * 1000.0,
             outcome.trace.final_rung
         );
+        if let Some(path) = &self.trace_out {
+            let line = serde_json::to_string(&outcome.stage_trace.to_json())
+                .unwrap_or_else(|e| format!("{{\"error\":{:?}}}", e.to_string()));
+            let write = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = write {
+                println!("could not append trace to {path:?}: {e}");
+            }
+        }
     }
 
     fn command(&mut self, line: &str) -> bool {
@@ -150,7 +176,11 @@ impl Shell {
             Some("\\quit") | Some("\\q") | Some("\\exit") => return false,
             Some("\\help") => print_help(),
             Some("\\schema") => {
-                println!("table {:?} ({} rows):", self.table.name(), self.table.num_rows());
+                println!(
+                    "table {:?} ({} rows):",
+                    self.table.name(),
+                    self.table.num_rows()
+                );
                 for c in self.table.schema().columns() {
                     println!("  {:<24} {:?}", c.name, c.ty);
                 }
@@ -260,6 +290,18 @@ impl Shell {
                 (None, _) => println!("no multiplot yet — ask a question first"),
                 (_, None) => println!("usage: \\svg <path>"),
             },
+            Some("\\stats") => print!("{}", muve::obs::metrics().snapshot()),
+            Some("\\trace") => match parts.get(1).copied() {
+                Some("off") | Some("none") => {
+                    self.trace_out = None;
+                    println!("trace export off");
+                }
+                Some(path) => {
+                    self.trace_out = Some(path.to_owned());
+                    println!("appending one JSON trace per query to {path}");
+                }
+                None => println!("usage: \\trace <path|off>"),
+            },
             _ => println!("unknown command; try \\help"),
         }
         true
@@ -271,7 +313,7 @@ fn print_help() {
         "ask a natural-language question or type SQL (select ...).\n\
          commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
          \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>,\n\
-         \\inject <spec|off>, \\svg <path>, \\schema, \\quit"
+         \\inject <spec|off>, \\svg <path>, \\stats, \\trace <path|off>, \\schema, \\quit"
     );
 }
 
@@ -298,10 +340,17 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace-out" => match args.next() {
+                Some(path) => shell.trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out expects a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: \
-                     muve-cli [--deadline-ms N] [--inject-fault SPEC]"
+                     muve-cli [--deadline-ms N] [--inject-fault SPEC] [--trace-out FILE]"
                 );
                 std::process::exit(2);
             }

@@ -1,8 +1,9 @@
 //! MUVE facade crate.
 pub use muve_core as core;
-pub use muve_dbms as dbms;
 pub use muve_data as data;
+pub use muve_dbms as dbms;
 pub use muve_nlq as nlq;
+pub use muve_obs as obs;
 pub use muve_phonetics as phonetics;
 pub use muve_pipeline as pipeline;
 pub use muve_sim as sim;

@@ -22,8 +22,11 @@ fn candidate_set(table: &muve::dbms::Table, base: &Query, k: usize) -> Vec<Candi
 #[test]
 fn utterance_to_rendered_multiplot() {
     let table = Dataset::Nyc311.generate(5_000, 7);
-    let base = translate("average resolution hours for noise complaints in brooklyn", &table)
-        .expect("translates");
+    let base = translate(
+        "average resolution hours for noise complaints in brooklyn",
+        &table,
+    )
+    .expect("translates");
     assert_eq!(
         base.to_sql(),
         "select avg(resolution_hours) from requests where complaint_type = 'noise' \
@@ -55,12 +58,17 @@ fn utterance_to_rendered_multiplot() {
     let queries: Vec<Query> = shown.iter().map(|&i| candidates[i].query.clone()).collect();
     let mut results = vec![None; candidates.len()];
     for g in plan_merged(&queries) {
-        for (local, v) in execute_merged(&table, &g).expect("merged execution").results {
+        for (local, v) in execute_merged(&table, &g)
+            .expect("merged execution")
+            .results
+        {
             results[shown[local]] = v;
         }
     }
     for &i in &shown {
-        let direct = execute(&table, &candidates[i].query).expect("direct").scalar();
+        let direct = execute(&table, &candidates[i].query)
+            .expect("direct")
+            .scalar();
         let merged = results[i];
         match (merged, direct) {
             (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "candidate {i}: {a} vs {b}"),
@@ -104,7 +112,9 @@ fn noisy_channel_recovery_rate() {
             continue;
         }
         corrupted += 1;
-        let Ok(base) = translate(&heard, &table) else { continue };
+        let Ok(base) = translate(&heard, &table) else {
+            continue;
+        };
         if base == intended_query {
             exact_survives += 1;
             recovered += 1;
@@ -137,7 +147,11 @@ fn ilp_and_greedy_agree_on_easy_instances() {
             &candidates,
             &screen,
             &model,
-            &IlpConfig { node_budget: Some(20_000), warm_start: false, ..IlpConfig::default() },
+            &IlpConfig {
+                node_budget: Some(20_000),
+                warm_start: false,
+                ..IlpConfig::default()
+            },
         );
         let gc = model.expected_cost(&g, &candidates);
         assert!(
@@ -162,7 +176,11 @@ fn presentation_traces_are_consistent() {
         Mode::IncrementalPlot,
         Mode::Approximate { fraction: 0.05 },
     ] {
-        let pres = Presentation { planner: Planner::Greedy, mode, seed: 1 };
+        let pres = Presentation {
+            planner: Planner::Greedy,
+            mode,
+            seed: 1,
+        };
         let trace = present(&table, &candidates, &screen, &model, &pres);
         assert!(!trace.events.is_empty());
         // Timestamps are monotone.
@@ -192,7 +210,10 @@ fn simulated_user_finds_planned_results_quickly() {
     let model = UserCostModel::default();
     let planned = plan(&Planner::Greedy, &candidates, &screen, &model);
 
-    let cfg = SimUserConfig { noise_sigma: 0.0, ..SimUserConfig::default() };
+    let cfg = SimUserConfig {
+        noise_sigma: 0.0,
+        ..SimUserConfig::default()
+    };
     let mut total = 0.0;
     let n = 300;
     for seed in 0..n {

@@ -8,8 +8,10 @@
 use muve::core::{plan, Planner, ScreenConfig};
 use muve::data::Dataset;
 use muve::dbms::Table;
+use muve::obs::SessionTrace;
 use muve::pipeline::{
     FaultInjector, PipelineError, Rung, Session, SessionConfig, Stage, StageFault, Visualization,
+    SESSION_STAGES,
 };
 use proptest::prelude::*;
 use std::time::Duration;
@@ -29,9 +31,17 @@ fn config(deadline_ms: u64) -> SessionConfig {
 /// The outcome invariants every run must satisfy, faults or not.
 fn assert_well_formed(out: &muve::pipeline::SessionOutcome) {
     assert!(!out.trace.events.is_empty(), "trace never empty");
-    assert!(out.trace.final_rung >= out.trace.planned_rung, "ladder only goes down");
+    assert!(
+        out.trace.final_rung >= out.trace.planned_rung,
+        "ladder only goes down"
+    );
     match &out.visualization {
-        Visualization::Multiplot { multiplot, results, rendered, .. } => {
+        Visualization::Multiplot {
+            multiplot,
+            results,
+            rendered,
+            ..
+        } => {
             assert!(multiplot.num_plots() > 0, "a multiplot rung shows plots");
             assert!(!rendered.is_empty());
             for &c in &multiplot.candidates_shown() {
@@ -45,6 +55,19 @@ fn assert_well_formed(out: &muve::pipeline::SessionOutcome) {
         assert!(!format!("{e}").is_empty());
         let _ = e.stage();
     }
+    // The stage trace is always complete — one span per stage, in order,
+    // with rungs recorded — and round-trips through its JSON encoding.
+    let st = &out.stage_trace;
+    assert!(
+        st.is_complete(&SESSION_STAGES),
+        "incomplete stage trace: {st:?}"
+    );
+    assert_eq!(st.final_rung, out.trace.final_rung.name());
+    assert_eq!(st.planned_rung, out.trace.planned_rung.name());
+    let v = st.to_json();
+    let back = SessionTrace::from_json(&v).expect("trace parses back from its own JSON");
+    assert_eq!(back.to_json(), v, "trace JSON encoding must be stable");
+    assert!(back.is_complete(&SESSION_STAGES));
 }
 
 /// ≥50 seeded fault plans: every one must produce a well-formed outcome
@@ -73,10 +96,17 @@ fn sixty_seeded_fault_plans_always_yield_outcomes() {
 #[test]
 fn no_fault_session_matches_direct_plan_path() {
     let table = flights(3_000);
-    let cfg = SessionConfig { planner: Planner::Greedy, ..config(1_000) };
+    let cfg = SessionConfig {
+        planner: Planner::Greedy,
+        ..config(1_000)
+    };
     let session = Session::new(&table, cfg.clone());
     let out = session.run("average dep delay in jfk");
-    assert!(!out.degraded(), "clean run must not degrade: {:?}", out.trace);
+    assert!(
+        !out.degraded(),
+        "clean run must not degrade: {:?}",
+        out.trace
+    );
     assert!(out.errors.is_empty(), "{:?}", out.errors);
 
     let direct = plan(&cfg.planner, &out.candidates, &cfg.screen, &cfg.model);
@@ -97,7 +127,11 @@ fn no_fault_session_matches_direct_plan_path() {
 fn no_fault_ilp_session_stays_on_top_rung() {
     let table = flights(2_000);
     let out = Session::new(&table, config(1_000)).run("average dep delay in jfk");
-    assert!(!out.degraded(), "clean ILP run must not degrade: {:?}", out.trace);
+    assert!(
+        !out.degraded(),
+        "clean ILP run must not degrade: {:?}",
+        out.trace
+    );
     assert_eq!(out.trace.final_rung, Rung::Ilp);
     assert!(out.errors.is_empty(), "{:?}", out.errors);
     match &out.visualization {
@@ -113,19 +147,32 @@ fn no_fault_ilp_session_stays_on_top_rung() {
 #[test]
 fn solver_panic_degrades_to_greedy() {
     let table = flights(3_000);
-    let injector = FaultInjector::none()
-        .with(Stage::Plan, StageFault { panic: true, ..Default::default() });
-    let out = Session::new(&table, config(800)).with_injector(injector).run("average dep delay in jfk");
+    let injector = FaultInjector::none().with(
+        Stage::Plan,
+        StageFault {
+            panic: true,
+            ..Default::default()
+        },
+    );
+    let out = Session::new(&table, config(800))
+        .with_injector(injector)
+        .run("average dep delay in jfk");
     assert_well_formed(&out);
     assert_eq!(out.trace.planned_rung, Rung::Ilp);
     assert_eq!(out.trace.final_rung, Rung::Greedy);
-    assert!(out
-        .errors
-        .iter()
-        .any(|e| matches!(e, PipelineError::StagePanic { stage: Stage::Plan, .. })));
+    assert!(out.errors.iter().any(|e| matches!(
+        e,
+        PipelineError::StagePanic {
+            stage: Stage::Plan,
+            ..
+        }
+    )));
     match &out.visualization {
         Visualization::Multiplot { results, .. } => {
-            assert!(results.iter().any(Option::is_some), "greedy plan still executes");
+            assert!(
+                results.iter().any(Option::is_some),
+                "greedy plan still executes"
+            );
         }
         Visualization::Text { .. } => panic!("expected a multiplot from the greedy rung"),
     }
@@ -139,7 +186,9 @@ fn execution_faults_recover_with_values() {
     let table = flights(3_000);
     for spec in ["execute:error", "execute:panic", "execute:latency=30"] {
         let injector = FaultInjector::parse(spec).unwrap();
-        let out = Session::new(&table, config(800)).with_injector(injector).run("average dep delay in jfk");
+        let out = Session::new(&table, config(800))
+            .with_injector(injector)
+            .run("average dep delay in jfk");
         assert_well_formed(&out);
         match &out.visualization {
             Visualization::Multiplot { results, .. } => {
@@ -160,17 +209,28 @@ fn worst_case_all_stage_panics() {
     let table = flights(1_000);
     let mut injector = FaultInjector::none();
     for stage in Stage::ALL {
-        injector = injector.with(stage, StageFault { panic: true, ..Default::default() });
+        injector = injector.with(
+            stage,
+            StageFault {
+                panic: true,
+                ..Default::default()
+            },
+        );
     }
-    let out = Session::new(&table, config(500)).with_injector(injector).run("average dep delay in jfk");
+    let out = Session::new(&table, config(500))
+        .with_injector(injector)
+        .run("average dep delay in jfk");
     assert_well_formed(&out);
     assert!(out.degraded());
     // A translate-stage panic short-circuits to the terminal text fallback.
     assert_eq!(out.trace.final_rung, Rung::Text);
-    assert!(out
-        .errors
-        .iter()
-        .any(|e| matches!(e, PipelineError::StagePanic { stage: Stage::Translate, .. })));
+    assert!(out.errors.iter().any(|e| matches!(
+        e,
+        PipelineError::StagePanic {
+            stage: Stage::Translate,
+            ..
+        }
+    )));
 }
 
 /// A stalled solver (ILP that never finds an incumbent) degrades without
@@ -180,9 +240,15 @@ fn solver_stall_respects_deadline() {
     let table = flights(3_000);
     let injector = FaultInjector::parse("plan:stall").unwrap();
     let deadline = Duration::from_millis(400);
-    let out = Session::new(&table, config(400)).with_injector(injector).run("average dep delay in jfk");
+    let out = Session::new(&table, config(400))
+        .with_injector(injector)
+        .run("average dep delay in jfk");
     assert_well_formed(&out);
-    assert!(out.degraded(), "a stalled solver must degrade: {:?}", out.trace);
+    assert!(
+        out.degraded(),
+        "a stalled solver must degrade: {:?}",
+        out.trace
+    );
     assert!(out.elapsed < 2 * deadline + Duration::from_millis(200));
 }
 

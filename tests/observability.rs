@@ -1,0 +1,124 @@
+//! Integration tests for the observability layer: process-wide metrics and
+//! per-run stage traces, exercised through the full session pipeline.
+//!
+//! The metrics registry is global and cumulative, so every assertion is
+//! delta-based: snapshot before, act, snapshot after, compare.
+
+use muve::data::Dataset;
+use muve::obs::{metrics, SessionTrace, SpanStatus};
+use muve::pipeline::{FaultInjector, Session, SessionConfig, Visualization, SESSION_STAGES};
+use std::time::Duration;
+
+fn config(deadline_ms: u64) -> SessionConfig {
+    SessionConfig {
+        deadline: Duration::from_millis(deadline_ms),
+        ..SessionConfig::default()
+    }
+}
+
+#[test]
+fn clean_run_populates_metrics_and_trace() {
+    let table = Dataset::Flights.generate(3_000, 7);
+    let before = metrics().snapshot();
+    let out = Session::new(&table, config(900)).run("average dep delay in jfk");
+    let after = metrics().snapshot();
+
+    // Session-level metrics.
+    assert!(after.counter("session.runs") > before.counter("session.runs"));
+    assert!(
+        after.histogram("session.run_us").map_or(0, |h| h.count)
+            > before.histogram("session.run_us").map_or(0, |h| h.count)
+    );
+    // Planner and solver metrics flow up from the library crates.
+    assert!(after.counter("planner.runs") > before.counter("planner.runs"));
+    assert!(after.counter("solver.runs") > before.counter("solver.runs"));
+    assert!(after.counter("solver.nodes") > before.counter("solver.nodes"));
+    // Execution metrics: the run scanned the table at least once.
+    assert!(
+        after.counter("dbms.rows_scanned")
+            >= before.counter("dbms.rows_scanned") + table.num_rows() as u64
+    );
+    assert!(after.counter("dbms.merge_groups") > before.counter("dbms.merge_groups"));
+    assert!(
+        after
+            .histogram("dbms.merge_group_size")
+            .map_or(0, |h| h.count)
+            > before
+                .histogram("dbms.merge_group_size")
+                .map_or(0, |h| h.count)
+    );
+
+    // The stage trace is complete and internally consistent.
+    let st = &out.stage_trace;
+    assert!(st.is_complete(&SESSION_STAGES), "{st:?}");
+    assert_eq!(st.deadline, Duration::from_millis(900));
+    assert!(st.total > Duration::ZERO);
+    for span in &st.spans {
+        assert_eq!(span.status, SpanStatus::Completed, "{span:?}");
+        assert!(span.allotted.is_some());
+    }
+    let exec = st.span("execute").unwrap();
+    assert!(exec.counter("rows_scanned").unwrap() >= table.num_rows() as f64);
+    match &out.visualization {
+        Visualization::Multiplot { results, .. } => {
+            assert_eq!(
+                exec.counter("values").unwrap() as usize,
+                results.iter().filter(|v| v.is_some()).count()
+            );
+        }
+        Visualization::Text { .. } => panic!("clean run must produce a multiplot"),
+    }
+}
+
+#[test]
+fn degraded_run_counts_and_traces_the_fault() {
+    let table = Dataset::Flights.generate(2_000, 7);
+    let injector = FaultInjector::parse("plan:panic").unwrap();
+    let before = metrics().snapshot();
+    let out = Session::new(&table, config(700))
+        .with_injector(injector)
+        .run("average dep delay in jfk");
+    let after = metrics().snapshot();
+
+    assert!(after.counter("session.degraded") > before.counter("session.degraded"));
+    let st = &out.stage_trace;
+    assert!(st.is_complete(&SESSION_STAGES), "{st:?}");
+    let plan = st.span("plan").unwrap();
+    assert_eq!(plan.status, SpanStatus::Panicked);
+    assert_eq!(plan.rung, "greedy");
+    assert!(!plan.detail.is_empty());
+}
+
+#[test]
+fn stage_trace_round_trips_through_rendered_json() {
+    let table = Dataset::Flights.generate(1_500, 7);
+    let out = Session::new(&table, config(600)).run("average dep delay in jfk");
+    let v = out.stage_trace.to_json();
+    let rendered = serde_json::to_string(&v).unwrap();
+    let parsed = serde_json::from_str(&rendered).unwrap();
+    let back = SessionTrace::from_json(&parsed).unwrap();
+    // Durations are stored as integer microseconds; at that granularity the
+    // round trip is exact.
+    assert_eq!(back.to_json(), v);
+    assert!(back.is_complete(&SESSION_STAGES));
+    assert_eq!(back.final_rung, out.stage_trace.final_rung);
+}
+
+#[test]
+fn snapshot_renders_every_metric_line() {
+    let table = Dataset::Flights.generate(1_000, 7);
+    let _ = Session::new(&table, config(500)).run("average dep delay in jfk");
+    let snap = metrics().snapshot();
+    let text = format!("{snap}");
+    for name in [
+        "session.runs",
+        "planner.runs",
+        "dbms.rows_scanned",
+        "session.run_us",
+    ] {
+        assert!(
+            text.contains(name),
+            "snapshot display misses {name}:\n{text}"
+        );
+    }
+}

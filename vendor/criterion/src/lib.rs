@@ -41,12 +41,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -84,12 +88,11 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Run one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        mut f: F,
-    ) -> &mut Self {
-        let mut b = Bencher { iters: self.iters, last_mean_ns: 0.0 };
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            last_mean_ns: 0.0,
+        };
         f(&mut b);
         println!("bench {name}: {}", fmt_ns(b.last_mean_ns));
         self
@@ -97,7 +100,11 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_owned(), iters: self.iters, _parent: self }
+        BenchmarkGroup {
+            name: name.to_owned(),
+            iters: self.iters,
+            _parent: self,
+        }
     }
 }
 
@@ -130,7 +137,10 @@ impl BenchmarkGroup<'_> {
         id: impl Display,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { iters: self.iters, last_mean_ns: 0.0 };
+        let mut b = Bencher {
+            iters: self.iters,
+            last_mean_ns: 0.0,
+        };
         f(&mut b);
         println!("bench {}/{id}: {}", self.name, fmt_ns(b.last_mean_ns));
         self
@@ -143,7 +153,10 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { iters: self.iters, last_mean_ns: 0.0 };
+        let mut b = Bencher {
+            iters: self.iters,
+            last_mean_ns: 0.0,
+        };
         f(&mut b, input);
         println!("bench {}/{}: {}", self.name, id.id, fmt_ns(b.last_mean_ns));
         self

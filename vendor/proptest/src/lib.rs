@@ -85,7 +85,9 @@ pub mod test_runner {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 z ^ (z >> 31)
             };
-            TestRng { s: [next(), next(), next(), next()] }
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
         }
 
         /// Next 64 uniform bits.
@@ -554,8 +556,10 @@ pub mod string {
                     match &piece.atom {
                         Atom::Lit(c) => out.push(*c),
                         Atom::Class(ranges) => {
-                            let total: u64 =
-                                ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+                            let total: u64 = ranges
+                                .iter()
+                                .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                                .sum();
                             let mut pick = rng.below(total);
                             for (lo, hi) in ranges {
                                 let width = *hi as u64 - *lo as u64 + 1;
@@ -609,13 +613,19 @@ pub mod prop {
         impl From<Range<usize>> for SizeRange {
             fn from(r: Range<usize>) -> SizeRange {
                 assert!(r.start < r.end, "empty vec size range");
-                SizeRange { min: r.start, max: r.end - 1 }
+                SizeRange {
+                    min: r.start,
+                    max: r.end - 1,
+                }
             }
         }
 
         impl From<RangeInclusive<usize>> for SizeRange {
             fn from(r: RangeInclusive<usize>) -> SizeRange {
-                SizeRange { min: *r.start(), max: *r.end() }
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end(),
+                }
             }
         }
 
@@ -629,7 +639,10 @@ pub mod prop {
         /// Vectors whose length is drawn from `size` and whose elements
         /// come from `element`.
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S>
@@ -638,8 +651,8 @@ pub mod prop {
         {
             type Value = Vec<S::Value>;
             fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
-                let n = self.size.min
-                    + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+                let n =
+                    self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
                 (0..n).map(|_| self.element.new_value(rng)).collect()
             }
         }
@@ -677,7 +690,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Assert inside a property; failing returns a case failure (not a panic)
@@ -723,9 +738,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond).to_string()),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
         }
     };
 }
@@ -811,7 +826,9 @@ mod tests {
             let s = p.generate(&mut rng);
             assert!(!s.is_empty() && s.len() <= 11);
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
         let p = crate::string::StringParam::parse("[a-zA-Z '0-9_]{0,12}");
         for _ in 0..200 {

@@ -16,10 +16,8 @@ macro_rules! impl_serialize {
 }
 
 impl_serialize!(
-    bool, char, str, String,
-    i8, i16, i32, i64, i128, isize,
-    u8, u16, u32, u64, u128, usize,
-    f32, f64,
+    bool, char, str, String, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32,
+    f64,
 );
 
 impl<T: Serialize> Serialize for Vec<T> {}
