@@ -1,0 +1,88 @@
+//! Stress test for the process-global metrics [`Registry`] under heavy
+//! multithreaded contention: after every thread joins, counter and
+//! histogram totals must be *exact* — no lost updates from the lock-free
+//! record path, no duplicate registration from racing first lookups.
+
+use muve_obs::metrics;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const THREADS: u64 = 16;
+const ITERS: u64 = 20_000;
+
+#[test]
+fn totals_are_exact_under_contention() {
+    // Process-global registry, parallel test binaries: assert deltas on
+    // names private to this test.
+    let counter = metrics().counter("test.contention.hits");
+    let hist = metrics().histogram("test.contention.values");
+    let (c0, h_count0, h_sum0) = (counter.get(), hist.count(), hist.sum());
+
+    let go = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let go = Arc::clone(&go);
+            std::thread::spawn(move || {
+                while !go.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                for i in 0..ITERS {
+                    // Re-resolve by name every few iterations so the name
+                    // table mutex is contended too, not just the atomics.
+                    if i % 64 == 0 {
+                        metrics().counter("test.contention.hits").incr();
+                    } else {
+                        metrics().counter("test.contention.hits").add(1);
+                    }
+                    metrics().histogram("test.contention.values").record(t + 1);
+                }
+            })
+        })
+        .collect();
+
+    go.store(true, Ordering::Release);
+    for h in handles {
+        h.join().expect("no panics under contention");
+    }
+
+    assert_eq!(
+        counter.get() - c0,
+        THREADS * ITERS,
+        "counter lost updates under contention"
+    );
+    assert_eq!(
+        hist.count() - h_count0,
+        THREADS * ITERS,
+        "histogram lost samples under contention"
+    );
+    // Each thread t records the value t+1, ITERS times: Σ (t+1)·ITERS.
+    let expected_sum: u64 = (1..=THREADS).sum::<u64>() * ITERS;
+    assert_eq!(
+        hist.sum() - h_sum0,
+        expected_sum,
+        "histogram sum drifted under contention"
+    );
+    assert!(hist.max() >= THREADS, "max must see the largest sample");
+}
+
+#[test]
+fn racing_first_lookups_resolve_to_one_metric() {
+    // All threads race to register the same fresh name; every increment
+    // must land on the same underlying counter.
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..1_000 {
+                    metrics().counter("test.contention.first_lookup").incr();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics");
+    }
+    assert_eq!(
+        metrics().counter("test.contention.first_lookup").get(),
+        THREADS * 1_000
+    );
+}

@@ -30,9 +30,17 @@ fn weight(stage: Stage) -> f64 {
 /// therefore donates its unspent time to every stage after it, and a stage
 /// that overruns eats into later allocations — exactly the
 /// remaining-time-propagation behavior an interactivity budget needs.
+///
+/// The clock starts at **construction**, not at first use: a budget built
+/// when a request is *submitted* to a queue keeps ticking while the request
+/// waits for a worker, so queue wait is charged against θ. When a worker
+/// picks the request up it calls [`mark_admitted`](Self::mark_admitted),
+/// which freezes the [`queue_wait`](Self::queue_wait) split for reporting;
+/// `remaining()` at that point is already `≤ total − wait`.
 #[derive(Debug, Clone)]
 pub struct DeadlineBudget {
     start: Instant,
+    admitted: Option<Instant>,
     total: Duration,
 }
 
@@ -41,6 +49,7 @@ impl DeadlineBudget {
     pub fn new(total: Duration) -> DeadlineBudget {
         DeadlineBudget {
             start: Instant::now(),
+            admitted: None,
             total,
         }
     }
@@ -48,6 +57,30 @@ impl DeadlineBudget {
     /// The total budget θ.
     pub fn total(&self) -> Duration {
         self.total
+    }
+
+    /// Mark the moment a worker picked this request up. Everything between
+    /// construction and this call is queue wait; it has already been
+    /// charged against the budget (the clock started at construction).
+    /// Idempotent: only the first call sets the admission point.
+    pub fn mark_admitted(&mut self) {
+        if self.admitted.is_none() {
+            self.admitted = Some(Instant::now());
+        }
+    }
+
+    /// Whether [`mark_admitted`](Self::mark_admitted) has been called.
+    pub fn is_admitted(&self) -> bool {
+        self.admitted.is_some()
+    }
+
+    /// Time spent waiting between construction (submission) and admission.
+    /// Before `mark_admitted`, this is the wait *so far*.
+    pub fn queue_wait(&self) -> Duration {
+        match self.admitted {
+            Some(at) => at.duration_since(self.start),
+            None => self.start.elapsed(),
+        }
     }
 
     /// Time spent since the budget started.
@@ -100,6 +133,33 @@ mod tests {
         // Render is the last stage: offered everything left.
         let render = b.stage_budget(Stage::Render);
         assert!((render.as_secs_f64() - b.remaining().as_secs_f64()).abs() < 0.2);
+    }
+
+    #[test]
+    fn queue_wait_is_charged_against_the_budget() {
+        // A request built at submission and admitted w ms later has at most
+        // total − w left: the wait was spent from the same clock.
+        let total = Duration::from_millis(200);
+        let mut b = DeadlineBudget::new(total);
+        let w = Duration::from_millis(50);
+        std::thread::sleep(w);
+        b.mark_admitted();
+        assert!(b.is_admitted());
+        assert!(b.queue_wait() >= w, "wait {:?} < {w:?}", b.queue_wait());
+        assert!(
+            b.remaining() <= total - w,
+            "remaining {:?} must be ≤ total − wait {:?}",
+            b.remaining(),
+            total - w
+        );
+        // The admission point is frozen: further elapsed time is service
+        // time, not queue wait.
+        let frozen = b.queue_wait();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.queue_wait(), frozen);
+        // mark_admitted is idempotent.
+        b.mark_admitted();
+        assert_eq!(b.queue_wait(), frozen);
     }
 
     #[test]

@@ -119,6 +119,26 @@ impl PipelineError {
             | PipelineError::FaultInjected { stage } => *stage,
         }
     }
+
+    /// Whether a fresh attempt at the same transcript could plausibly
+    /// succeed. Drives the serving layer's retry policy: dependency-shaped
+    /// failures (execution, planning, caught panics, injected faults) are
+    /// transient; input-shaped failures (translate/parse — the transcript
+    /// itself is bad) and deadline exhaustion (retrying cannot mint time)
+    /// are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PipelineError::Execution(_)
+            | PipelineError::Planning(_)
+            | PipelineError::Render(_)
+            | PipelineError::StagePanic { .. }
+            | PipelineError::FaultInjected { .. } => true,
+            PipelineError::Translate(_)
+            | PipelineError::Parse(_)
+            | PipelineError::Candidates(_)
+            | PipelineError::DeadlineExceeded { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -166,5 +186,26 @@ mod tests {
         };
         assert_eq!(e.stage(), Stage::Execute);
         assert!(format!("{e}").contains("execute"));
+    }
+
+    #[test]
+    fn transience_splits_input_from_dependency_failures() {
+        assert!(PipelineError::Execution("io".into()).is_transient());
+        assert!(PipelineError::FaultInjected {
+            stage: Stage::Execute
+        }
+        .is_transient());
+        assert!(PipelineError::StagePanic {
+            stage: Stage::Plan,
+            message: "x".into()
+        }
+        .is_transient());
+        assert!(!PipelineError::Parse("bad sql".into()).is_transient());
+        assert!(!PipelineError::Translate("gibberish".into()).is_transient());
+        assert!(!PipelineError::DeadlineExceeded {
+            stage: Stage::Plan,
+            budget: Duration::from_secs(1),
+        }
+        .is_transient());
     }
 }

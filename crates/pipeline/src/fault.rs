@@ -7,11 +7,15 @@
 //! seed ([`FaultInjector::from_seed`]), so every fault plan in the test
 //! suite is reproducible from a single integer.
 //!
-//! Latency, error and panic faults are **one-shot**: the first time a
-//! stage trips its fault the fault is consumed, so a retry (e.g. the
-//! execution sample ladder escalating, or the planner ladder falling back
-//! to greedy) runs clean — which is exactly the transient-failure model
-//! the degradation ladder is designed around. The solver-stall fault is
+//! Latency, error and panic faults are **one-shot** by default: the first
+//! time a stage trips its fault the fault is consumed, so a retry (e.g.
+//! the execution sample ladder escalating, or the planner ladder falling
+//! back to greedy) runs clean — which is exactly the transient-failure
+//! model the degradation ladder is designed around. A fault with a
+//! [`probability`](StageFault::probability) is **intermittent** instead:
+//! every trip rolls a seeded RNG and fires with probability `p`, and the
+//! fault is *never* consumed — the flaky-dependency model the serving
+//! layer's chaos soak drives. The solver-stall fault is
 //! configuration-shaped rather than control-flow-shaped (it clamps the ILP
 //! node budget so the solver gives up without an incumbent) and applies to
 //! every ILP restart of the run.
@@ -20,10 +24,11 @@ use crate::error::{PipelineError, Stage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// The fault plan for one stage.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StageFault {
     /// Sleep this long at stage entry (models a slow dependency).
     pub latency: Option<Duration>,
@@ -35,6 +40,11 @@ pub struct StageFault {
     /// solver behaves like a stalled MIP search that never finds an
     /// incumbent within its budget.
     pub stall_solver: bool,
+    /// `None`: the fault is one-shot (fires once, then is consumed).
+    /// `Some(p)`: the fault is intermittent — every trip fires with
+    /// probability `p` (from the injector's seeded RNG) and the fault is
+    /// never consumed. `Some(1.0)` is a *persistent* fault.
+    pub probability: Option<f64>,
 }
 
 impl StageFault {
@@ -44,11 +54,27 @@ impl StageFault {
 }
 
 /// A per-stage fault plan, deterministic and thread-safe.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultInjector {
     plans: [Option<StageFault>; 5],
     /// Bitmask of stages whose one-shot fault has already fired.
     consumed: AtomicU8,
+    /// Seed of the intermittent-fault RNG (kept so clones restart the
+    /// same deterministic sequence).
+    trip_seed: u64,
+    /// RNG behind intermittent ([`StageFault::probability`]) faults.
+    trip_rng: Mutex<StdRng>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> FaultInjector {
+        FaultInjector {
+            plans: Default::default(),
+            consumed: AtomicU8::new(0),
+            trip_seed: 0,
+            trip_rng: Mutex::new(StdRng::seed_from_u64(0)),
+        }
+    }
 }
 
 impl Clone for FaultInjector {
@@ -56,6 +82,10 @@ impl Clone for FaultInjector {
         FaultInjector {
             plans: self.plans.clone(),
             consumed: AtomicU8::new(self.consumed.load(Ordering::Relaxed)),
+            trip_seed: self.trip_seed,
+            // The clone restarts the seed's deterministic trip sequence
+            // rather than continuing the original's.
+            trip_rng: Mutex::new(StdRng::seed_from_u64(self.trip_seed)),
         }
     }
 }
@@ -87,16 +117,28 @@ impl FaultInjector {
                 error: rng.gen_bool(0.15),
                 panic: rng.gen_bool(0.12),
                 stall_solver: stage == Stage::Plan && rng.gen_bool(0.20),
+                probability: None,
             };
             out = out.with(stage, fault);
         }
         out
     }
 
+    /// Replace the seed of the RNG behind intermittent
+    /// ([`StageFault::probability`]) faults. One-shot faults ignore it.
+    pub fn with_trip_seed(mut self, seed: u64) -> FaultInjector {
+        self.trip_seed = seed;
+        self.trip_rng = Mutex::new(StdRng::seed_from_u64(seed));
+        self
+    }
+
     /// Parse a CLI fault spec: comma-separated `stage:kind` items where
-    /// `kind` is `error`, `panic`, `stall`, or `latency=<ms>`.
+    /// `kind` is `error`, `panic`, `stall`, or `latency=<ms>`, optionally
+    /// suffixed `@p=<prob>` to make the stage's fault plan *intermittent*
+    /// (it fires with probability `p` on every trip instead of once).
     ///
-    /// Example: `plan:panic,execute:error,translate:latency=200`.
+    /// Examples: `plan:panic,execute:error,translate:latency=200`,
+    /// `execute:error@p=0.3`, `plan:stall,execute:latency=20@p=0.5`.
     pub fn parse(spec: &str) -> Result<FaultInjector, String> {
         let mut out = FaultInjector::none();
         for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
@@ -106,6 +148,24 @@ impl FaultInjector {
             let stage = Stage::parse(stage_name.trim())
                 .ok_or_else(|| format!("unknown stage {stage_name:?}"))?;
             let mut fault = out.plans[stage.index()].clone().unwrap_or_default();
+            let kind = match kind.trim().split_once('@') {
+                Some((k, suffix)) => {
+                    let p = suffix
+                        .trim()
+                        .strip_prefix("p=")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|p| (0.0..=1.0).contains(p))
+                        .ok_or_else(|| {
+                            format!(
+                                "bad probability suffix {suffix:?} in {item:?} \
+                                 (expected @p=<0..1>)"
+                            )
+                        })?;
+                    fault.probability = Some(p);
+                    k
+                }
+                None => kind,
+            };
             match kind.trim() {
                 "error" => fault.error = true,
                 "panic" => fault.panic = true,
@@ -151,17 +211,33 @@ impl FaultInjector {
         self.fault(Stage::Plan).is_some_and(|f| f.stall_solver)
     }
 
-    /// Fire `stage`'s one-shot fault, if it has one and it has not fired
-    /// yet: sleep the injected latency, then panic or return the injected
-    /// error. Must be called *inside* the stage body so the panic is caught
-    /// at the stage boundary.
+    /// Fire `stage`'s fault, if it has one that should fire now: sleep the
+    /// injected latency, then panic or return the injected error. One-shot
+    /// faults (no [`probability`](StageFault::probability)) fire exactly
+    /// once; intermittent faults roll the seeded RNG on every call and are
+    /// never consumed. Must be called *inside* the stage body so the panic
+    /// is caught at the stage boundary.
     pub fn trip(&self, stage: Stage) -> Result<(), PipelineError> {
         let Some(fault) = self.fault(stage) else {
             return Ok(());
         };
-        let bit = 1u8 << stage.index();
-        if self.consumed.fetch_or(bit, Ordering::Relaxed) & bit != 0 {
-            return Ok(()); // already fired
+        match fault.probability {
+            Some(p) => {
+                let fire = self
+                    .trip_rng
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .gen_bool(p);
+                if !fire {
+                    return Ok(()); // the dice spared this trip
+                }
+            }
+            None => {
+                let bit = 1u8 << stage.index();
+                if self.consumed.fetch_or(bit, Ordering::Relaxed) & bit != 0 {
+                    return Ok(()); // already fired
+                }
+            }
         }
         if let Some(d) = fault.latency {
             std::thread::sleep(d);
@@ -250,5 +326,96 @@ mod tests {
             "stall is plan-only"
         );
         assert!(FaultInjector::parse("").unwrap().is_empty());
+        // Specs without a probability suffix stay one-shot (legacy).
+        assert_eq!(inj.fault(Stage::Plan).unwrap().probability, None);
+    }
+
+    #[test]
+    fn parse_probability_suffix() {
+        let inj = FaultInjector::parse("execute:error@p=0.3, plan:latency=20@p=0.5").unwrap();
+        let exec = inj.fault(Stage::Execute).unwrap();
+        assert!(exec.error);
+        assert_eq!(exec.probability, Some(0.3));
+        let plan = inj.fault(Stage::Plan).unwrap();
+        assert_eq!(plan.latency, Some(Duration::from_millis(20)));
+        assert_eq!(plan.probability, Some(0.5));
+        // Boundary probabilities parse.
+        assert_eq!(
+            FaultInjector::parse("execute:error@p=1")
+                .unwrap()
+                .fault(Stage::Execute)
+                .unwrap()
+                .probability,
+            Some(1.0)
+        );
+        assert_eq!(
+            FaultInjector::parse("execute:error@p=0.0")
+                .unwrap()
+                .fault(Stage::Execute)
+                .unwrap()
+                .probability,
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn parse_probability_errors() {
+        for bad in [
+            "execute:error@p=1.5",
+            "execute:error@p=-0.1",
+            "execute:error@p=abc",
+            "execute:error@p=",
+            "execute:error@q=0.3",
+            "execute:error@p=NaN",
+            "execute:error@",
+        ] {
+            assert!(FaultInjector::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn intermittent_faults_fire_repeatedly_and_deterministically() {
+        let fire_pattern = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::parse("execute:error@p=0.4")
+                .unwrap()
+                .with_trip_seed(seed);
+            (0..64).map(|_| inj.trip(Stage::Execute).is_err()).collect()
+        };
+        let a = fire_pattern(7);
+        let b = fire_pattern(7);
+        assert_eq!(a, b, "same seed, same trip sequence");
+        let fires = a.iter().filter(|&&f| f).count();
+        assert!(
+            (8..=44).contains(&fires),
+            "p=0.4 over 64 trips fired {fires} times"
+        );
+        // Not one-shot: it keeps firing after the first hit.
+        let first = a.iter().position(|&f| f).unwrap();
+        assert!(
+            a[first + 1..].iter().any(|&f| f),
+            "an intermittent fault is never consumed"
+        );
+        // A clone restarts the same deterministic sequence.
+        let inj = FaultInjector::parse("execute:error@p=0.4")
+            .unwrap()
+            .with_trip_seed(7);
+        let _ = inj.trip(Stage::Execute);
+        let cloned = inj.clone();
+        let replay: Vec<bool> = (0..64)
+            .map(|_| cloned.trip(Stage::Execute).is_err())
+            .collect();
+        assert_eq!(replay, a);
+    }
+
+    #[test]
+    fn persistent_fault_always_fires() {
+        let inj = FaultInjector::parse("plan:error@p=1").unwrap();
+        for _ in 0..16 {
+            assert!(inj.trip(Stage::Plan).is_err(), "p=1 fires on every trip");
+        }
+        let never = FaultInjector::parse("plan:error@p=0.0").unwrap();
+        for _ in 0..16 {
+            assert!(never.trip(Stage::Plan).is_ok(), "p=0 never fires");
+        }
     }
 }

@@ -34,7 +34,7 @@ use muve_nlq::{translate, CandidateGenerator};
 use muve_obs::{SessionTrace, SpanStatus, StageSpan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Once;
+use std::sync::{Arc, Once};
 use std::time::Duration;
 
 /// Configuration of one session.
@@ -260,10 +260,28 @@ struct ExecAttempt {
     rows_scanned: usize,
 }
 
+/// How a session holds its table: borrowed for single-threaded callers,
+/// shared (`Arc`) for sessions that must be `Send + 'static` — e.g. work
+/// items crossing into the `muve-serve` worker pool.
+#[derive(Debug)]
+enum TableRef<'a> {
+    Borrowed(&'a Table),
+    Shared(Arc<Table>),
+}
+
+impl TableRef<'_> {
+    fn get(&self) -> &Table {
+        match self {
+            TableRef::Borrowed(t) => t,
+            TableRef::Shared(t) => t,
+        }
+    }
+}
+
 /// A deadline-enforced voice-query session over one table.
 #[derive(Debug)]
 pub struct Session<'a> {
-    table: &'a Table,
+    table: TableRef<'a>,
     generator: CandidateGenerator,
     config: SessionConfig,
     injector: FaultInjector,
@@ -273,8 +291,20 @@ impl<'a> Session<'a> {
     /// Build a session over `table`.
     pub fn new(table: &'a Table, config: SessionConfig) -> Session<'a> {
         Session {
-            table,
             generator: CandidateGenerator::new(table),
+            table: TableRef::Borrowed(table),
+            config,
+            injector: FaultInjector::none(),
+        }
+    }
+
+    /// Build a session that *shares* ownership of `table`. The returned
+    /// session is `'static` (and `Send`), so it can be moved onto another
+    /// thread — the constructor the concurrent serving layer uses.
+    pub fn shared(table: Arc<Table>, config: SessionConfig) -> Session<'static> {
+        Session {
+            generator: CandidateGenerator::new(&table),
+            table: TableRef::Shared(table),
             config,
             injector: FaultInjector::none(),
         }
@@ -294,7 +324,15 @@ impl<'a> Session<'a> {
     /// Run one transcript through the pipeline. Never panics; always
     /// returns a well-formed [`SessionOutcome`].
     pub fn run(&self, transcript: &str) -> SessionOutcome {
-        let budget = DeadlineBudget::new(self.config.deadline);
+        self.run_with_budget(transcript, DeadlineBudget::new(self.config.deadline))
+    }
+
+    /// Run one transcript under an externally constructed budget. A budget
+    /// created when the request was *submitted* (rather than when the
+    /// worker got to it) charges queue wait against θ — see
+    /// [`DeadlineBudget::mark_admitted`]. The serving layer also uses this
+    /// to re-run a transcript on retry under the same ticking budget.
+    pub fn run_with_budget(&self, transcript: &str, budget: DeadlineBudget) -> SessionOutcome {
         let _quiet = self.injector.any_panic().then(QuietPanics::engage);
         let mut strace = SessionTrace::new(budget.total());
         let mut errors: Vec<PipelineError> = Vec::new();
@@ -313,7 +351,7 @@ impl<'a> Session<'a> {
             if t.to_ascii_lowercase().starts_with("select") {
                 parse(t).map_err(|e| PipelineError::Parse(e.to_string()))
             } else {
-                translate(t, self.table).map_err(|e| PipelineError::Translate(e.to_string()))
+                translate(t, self.table.get()).map_err(|e| PipelineError::Translate(e.to_string()))
             }
         }) {
             Ok(q) => {
@@ -816,7 +854,7 @@ impl<'a> Session<'a> {
         // ladder so something lands on screen within the budget. Either
         // way a failed attempt escalates to the next fidelity.
         let mut ladder: Vec<Option<f64>> = Vec::new();
-        if self.table.num_rows() >= self.config.sample_threshold_rows {
+        if self.table.get().num_rows() >= self.config.sample_threshold_rows {
             ladder.extend(self.config.sample_ladder.iter().copied().map(Some));
         }
         // Exact, plus one retry slot: a first exact attempt that dies on a
@@ -923,7 +961,7 @@ impl<'a> Session<'a> {
         let mut rows_scanned = 0usize;
         for g in plan_merged(&queries) {
             match fraction {
-                None => match execute_merged(self.table, &g) {
+                None => match execute_merged(self.table.get(), &g) {
                     Ok(r) => {
                         rows_scanned += r.stats.rows_scanned;
                         for (local, v) in r.results {
@@ -937,7 +975,7 @@ impl<'a> Session<'a> {
                         member_errors
                             .push(PipelineError::Execution(format!("merged: {merged_err}")));
                         for m in &g.members {
-                            match execute(self.table, &queries[m.index]) {
+                            match execute(self.table.get(), &queries[m.index]) {
                                 Ok(rs) => {
                                     rows_scanned += rs.stats.rows_scanned;
                                     values.push((shown[m.index], rs.scalar()));
@@ -950,8 +988,12 @@ impl<'a> Session<'a> {
                     }
                 },
                 Some(f) => {
-                    match muve_dbms::execute_approximate(self.table, &g.merged, f, self.config.seed)
-                    {
+                    match muve_dbms::execute_approximate(
+                        self.table.get(),
+                        &g.merged,
+                        f,
+                        self.config.seed,
+                    ) {
                         Ok((rs, _realized)) => {
                             rows_scanned += rs.stats.rows_scanned;
                             let n_group = g.merged.group_by.len();

@@ -1,0 +1,97 @@
+//! Regression suite for the panic-suppression hook ([`QuietPanics`] in
+//! `session.rs`): many sessions with planted panics running on many
+//! threads must (a) never leak panic output through the previously
+//! installed hook, (b) keep the depth counter balanced so the wrapped
+//! hook fires again as soon as the last quiet session finishes, and
+//! (c) still record every planted panic as a `Panicked` stage span.
+//!
+//! This lives in its own integration-test binary on purpose: the quiet
+//! wrapper is installed process-wide via `Once`, and the test must own
+//! the hook that the wrapper captures as `prev`.
+
+use muve_data::Dataset;
+use muve_pipeline::{FaultInjector, Session, SessionConfig, SpanStatus};
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Times the pre-session (user-installed) hook fired.
+static HOOK_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+const THREADS: usize = 12;
+const SESSIONS_PER_THREAD: usize = 4;
+
+#[test]
+fn panic_suppression_composes_across_threads_and_restores_the_hook() {
+    // Install a counting hook BEFORE any session runs. The session layer's
+    // quiet wrapper (installed once, on first panic-injected run) captures
+    // whatever hook is current — i.e. this one — as its fallthrough.
+    panic::set_hook(Box::new(|_| {
+        HOOK_CALLS.fetch_add(1, Ordering::SeqCst);
+    }));
+
+    let specs = [
+        "translate:panic",
+        "plan:panic",
+        "execute:panic",
+        "render:panic",
+    ];
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let spec = specs[t % specs.len()];
+            std::thread::spawn(move || {
+                let table = Dataset::Flights.generate(400, t as u64);
+                let config = SessionConfig {
+                    deadline: Duration::from_millis(600),
+                    ..SessionConfig::default()
+                };
+                let mut panicked_spans = 0usize;
+                for _ in 0..SESSIONS_PER_THREAD {
+                    // A fresh injector per run: one-shot faults are
+                    // consumed, so every run panics exactly once.
+                    let injector = FaultInjector::parse(spec).expect("spec parses");
+                    let session = Session::new(&table, config.clone()).with_injector(injector);
+                    let outcome = session.run("average dep delay in jfk");
+                    panicked_spans += outcome
+                        .stage_trace
+                        .spans
+                        .iter()
+                        .filter(|s| s.status == SpanStatus::Panicked)
+                        .count();
+                }
+                panicked_spans
+            })
+        })
+        .collect();
+
+    let mut total_panicked = 0usize;
+    for h in handles {
+        total_panicked += h.join().expect("no escaped panic on any thread");
+    }
+
+    // Every planted panic was caught and recorded…
+    assert_eq!(
+        total_panicked,
+        THREADS * SESSIONS_PER_THREAD,
+        "each session must record exactly one Panicked span"
+    );
+    // …and none of them leaked through to the installed hook while any
+    // quiet session was in flight.
+    assert_eq!(
+        HOOK_CALLS.load(Ordering::SeqCst),
+        0,
+        "panic output leaked through the suppression hook"
+    );
+
+    // The depth counter must be exactly back to zero: a panic raised now,
+    // outside any session, reaches the user-installed hook again.
+    let caught = panic::catch_unwind(|| panic!("outside any session"));
+    assert!(caught.is_err());
+    assert_eq!(
+        HOOK_CALLS.load(Ordering::SeqCst),
+        1,
+        "the pre-session hook must fire again once all quiet sessions end"
+    );
+
+    let _ = panic::take_hook();
+}

@@ -1,0 +1,310 @@
+//! Per-stage circuit breakers.
+//!
+//! A persistently failing stage should not make every request rediscover
+//! the fault: after [`failure_threshold`](BreakerConfig::failure_threshold)
+//! *consecutive* failures of a stage, that stage's breaker **opens** and
+//! subsequent requests are told to *pre-degrade* past the broken rung
+//! (e.g. start planning on the greedy rung instead of burning the plan
+//! budget on an ILP attempt that is known to die). After
+//! [`cooldown`](BreakerConfig::cooldown), the breaker moves to
+//! **half-open** and lets exactly one probe request run the stage normally;
+//! the probe's outcome closes the breaker or re-opens it.
+//!
+//! The state machine is the classic closed → open → half-open triangle:
+//!
+//! ```text
+//!            K consecutive failures
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │ cooldown elapsed
+//!     │ probe succeeds                  ▼
+//!     └───────────────────────────── HalfOpen ──▶ Open (probe fails)
+//! ```
+
+use muve_pipeline::Stage;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning of every per-stage breaker.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive stage failures that open the breaker (K).
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before letting a probe through.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Observable breaker state (the half-open probe flag is internal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Failures below threshold; requests run normally.
+    Closed,
+    /// Threshold tripped; requests pre-degrade past the stage.
+    Open,
+    /// Cooldown elapsed; one probe is exploring whether the stage healed.
+    HalfOpen,
+}
+
+/// What a request should do about one stage, decided at admission to a
+/// worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Breaker closed: run the stage normally and record the outcome.
+    Normal,
+    /// Breaker open (or half-open with a probe already in flight):
+    /// pre-degrade past the stage; the outcome is *not* recorded.
+    PreDegrade,
+    /// This request is the half-open probe: run normally, record, and its
+    /// outcome closes or re-opens the breaker.
+    Probe,
+}
+
+#[derive(Debug)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { since: Instant },
+    HalfOpen { probe_in_flight: bool },
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        match *self.state.lock().unwrap_or_else(|e| e.into_inner()) {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    fn decide(&self, cfg: &BreakerConfig) -> BreakerDecision {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match *state {
+            State::Closed { .. } => BreakerDecision::Normal,
+            State::Open { since } => {
+                if since.elapsed() >= cfg.cooldown {
+                    *state = State::HalfOpen {
+                        probe_in_flight: true,
+                    };
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::PreDegrade
+                }
+            }
+            State::HalfOpen {
+                ref mut probe_in_flight,
+            } => {
+                if *probe_in_flight {
+                    BreakerDecision::PreDegrade
+                } else {
+                    *probe_in_flight = true;
+                    BreakerDecision::Probe
+                }
+            }
+        }
+    }
+
+    /// Record one observed stage outcome. Returns `true` when this record
+    /// transitioned the breaker to open (for the `serve.breaker_open`
+    /// counter).
+    fn record(&self, success: bool, cfg: &BreakerConfig) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match *state {
+            State::Closed {
+                ref mut consecutive_failures,
+            } => {
+                if success {
+                    *consecutive_failures = 0;
+                    false
+                } else {
+                    *consecutive_failures += 1;
+                    if *consecutive_failures >= cfg.failure_threshold {
+                        *state = State::Open {
+                            since: Instant::now(),
+                        };
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+            State::HalfOpen { .. } => {
+                if success {
+                    *state = State::Closed {
+                        consecutive_failures: 0,
+                    };
+                    false
+                } else {
+                    *state = State::Open {
+                        since: Instant::now(),
+                    };
+                    true
+                }
+            }
+            // Records can race an open transition (another worker already
+            // opened it); they carry no new information.
+            State::Open { .. } => false,
+        }
+    }
+
+    /// A probe ran but produced no signal for this stage (the stage was
+    /// skipped): release the probe slot so the next request can probe.
+    fn release_probe(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let State::HalfOpen {
+            ref mut probe_in_flight,
+        } = *state
+        {
+            *probe_in_flight = false;
+        }
+    }
+}
+
+/// One breaker per pipeline stage.
+#[derive(Debug)]
+pub(crate) struct BreakerSet {
+    cfg: BreakerConfig,
+    breakers: [Breaker; 5],
+}
+
+impl BreakerSet {
+    pub(crate) fn new(cfg: BreakerConfig) -> BreakerSet {
+        BreakerSet {
+            cfg,
+            breakers: std::array::from_fn(|_| Breaker::new()),
+        }
+    }
+
+    fn idx(stage: Stage) -> usize {
+        Stage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("every stage is in Stage::ALL")
+    }
+
+    pub(crate) fn state(&self, stage: Stage) -> BreakerState {
+        self.breakers[Self::idx(stage)].state()
+    }
+
+    pub(crate) fn decide(&self, stage: Stage) -> BreakerDecision {
+        self.breakers[Self::idx(stage)].decide(&self.cfg)
+    }
+
+    pub(crate) fn record(&self, stage: Stage, success: bool) -> bool {
+        self.breakers[Self::idx(stage)].record(success, &self.cfg)
+    }
+
+    pub(crate) fn release_probe(&self, stage: Stage) {
+        self.breakers[Self::idx(stage)].release_probe();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_failures() {
+        let set = BreakerSet::new(cfg());
+        let s = Stage::Plan;
+        assert!(!set.record(s, false));
+        assert!(!set.record(s, false));
+        assert_eq!(set.state(s), BreakerState::Closed);
+        assert!(set.record(s, false), "third failure opens");
+        assert_eq!(set.state(s), BreakerState::Open);
+        assert_eq!(set.decide(s), BreakerDecision::PreDegrade);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let set = BreakerSet::new(cfg());
+        let s = Stage::Execute;
+        set.record(s, false);
+        set.record(s, false);
+        set.record(s, true);
+        set.record(s, false);
+        set.record(s, false);
+        assert_eq!(set.state(s), BreakerState::Closed, "streak was broken");
+        assert!(set.record(s, false));
+        assert_eq!(set.state(s), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probe_closes_or_reopens() {
+        let set = BreakerSet::new(cfg());
+        let s = Stage::Plan;
+        for _ in 0..3 {
+            set.record(s, false);
+        }
+        assert_eq!(set.decide(s), BreakerDecision::PreDegrade, "cooling down");
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(set.decide(s), BreakerDecision::Probe, "cooldown elapsed");
+        assert_eq!(set.state(s), BreakerState::HalfOpen);
+        assert_eq!(
+            set.decide(s),
+            BreakerDecision::PreDegrade,
+            "only one probe at a time"
+        );
+        // Probe fails: back to open, full cooldown again.
+        assert!(set.record(s, false));
+        assert_eq!(set.state(s), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(set.decide(s), BreakerDecision::Probe);
+        // Probe succeeds: closed, and failures count from zero again.
+        assert!(!set.record(s, true));
+        assert_eq!(set.state(s), BreakerState::Closed);
+        assert_eq!(set.decide(s), BreakerDecision::Normal);
+    }
+
+    #[test]
+    fn skipped_probe_releases_the_slot() {
+        let set = BreakerSet::new(cfg());
+        let s = Stage::Render;
+        for _ in 0..3 {
+            set.record(s, false);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(set.decide(s), BreakerDecision::Probe);
+        // The probe request never reached the stage — release, so the next
+        // request probes instead of pre-degrading forever.
+        set.release_probe(s);
+        assert_eq!(set.decide(s), BreakerDecision::Probe);
+    }
+
+    #[test]
+    fn stages_are_independent() {
+        let set = BreakerSet::new(cfg());
+        for _ in 0..3 {
+            set.record(Stage::Plan, false);
+        }
+        assert_eq!(set.state(Stage::Plan), BreakerState::Open);
+        assert_eq!(set.state(Stage::Execute), BreakerState::Closed);
+        assert_eq!(set.decide(Stage::Execute), BreakerDecision::Normal);
+    }
+}

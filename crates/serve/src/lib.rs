@@ -1,0 +1,328 @@
+//! # muve-serve — concurrent serving for the MUVE session pipeline
+//!
+//! `muve-pipeline` guarantees the interactivity budget θ for **one**
+//! session; this crate makes the guarantee hold **under load**. A
+//! [`Server`] owns a fixed pool of worker threads (std-only, consistent
+//! with the workspace's vendored offline dependency policy) consuming a
+//! **bounded admission queue** of [`Request`]s:
+//!
+//! - **Deadline-aware admission control** — a request's
+//!   [`DeadlineBudget`](muve_pipeline::DeadlineBudget) starts ticking at
+//!   submission, so queue wait is charged against θ. A submit that finds
+//!   the queue full, or whose *expected* wait (queued × EWMA service time
+//!   ÷ workers) would consume the whole deadline, is shed immediately with
+//!   a typed [`Rejected::Overloaded`] — in microseconds, without touching
+//!   a worker. A request whose deadline dies *in* the queue is shed at
+//!   pickup with [`Rejected::Expired`].
+//! - **Retry with jittered exponential backoff** — a completed session
+//!   that carries a transient error and is visibly short of its goal
+//!   (degraded or value-less) is re-run under the same ticking budget,
+//!   with backoff `base·2^(n−1)` ± 50 % jitter, bounded by the remaining
+//!   deadline and [`RetryPolicy::max_retries`].
+//! - **Per-stage circuit breakers** — K consecutive failures of a stage
+//!   open its [`Breaker`](BreakerState); while open, sessions *pre-degrade*
+//!   past the broken rung (open plan breaker ⇒ start on greedy, open
+//!   execute breaker ⇒ skip the sample ladder) instead of burning budget
+//!   rediscovering the fault; after a cooldown a single probe request
+//!   closes or re-opens the breaker.
+//! - **Graceful drain** — [`Server::drain`] stops admission, finishes
+//!   every queued and in-flight request, joins the workers, and reports
+//!   final shed/served counts.
+//!
+//! Every request resolves to **exactly one** typed [`ServeOutcome`] —
+//! served, degraded, or shed; never a hang, an escaped panic, or an
+//! unbounded deadline overshoot. The documented tolerance: a completed
+//! request's end-to-end time is bounded by `3·θ` plus scheduling slack
+//! (queue wait ≤ θ enforced at pickup, session+retries ≤ 2·θ by the
+//! pipeline's own stage guards).
+//!
+//! Everything is instrumented through `muve-obs`: `serve.submitted`,
+//! `serve.shed`, `serve.served`, `serve.degraded`, `serve.retries`,
+//! `serve.breaker_open`, gauge-style `serve.enqueued`/`serve.dequeued`
+//! counter pairs, and `serve.queue_depth` / `serve.queue_wait_us` /
+//! `serve.e2e_us` histograms.
+
+#![warn(missing_docs)]
+
+mod breaker;
+mod server;
+
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerState};
+pub use server::{
+    DrainReport, OutcomeClass, Rejected, Request, RetryPolicy, ServeOutcome, ServeStats, Server,
+    ServerConfig, Ticket,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_data::Dataset;
+    use muve_dbms::Table;
+    use muve_pipeline::{FaultInjector, SessionConfig, Stage};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn table(rows: usize) -> Arc<Table> {
+        Arc::new(Dataset::Flights.generate(rows, 7))
+    }
+
+    fn config(deadline_ms: u64) -> SessionConfig {
+        SessionConfig {
+            deadline: Duration::from_millis(deadline_ms),
+            ..SessionConfig::default()
+        }
+    }
+
+    fn request(deadline_ms: u64) -> Request {
+        Request::new("average dep delay in jfk").with_config(config(deadline_ms))
+    }
+
+    #[test]
+    fn clean_requests_are_served_and_reconcile() {
+        let server = Server::new(table(2_000), ServerConfig::default());
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| server.submit(request(800)).expect("admitted"))
+            .collect();
+        for t in tickets {
+            match t.wait() {
+                ServeOutcome::Completed {
+                    outcome, attempts, ..
+                } => {
+                    assert!(!outcome.degraded(), "{:?}", outcome.trace);
+                    assert_eq!(attempts, 1);
+                }
+                ServeOutcome::Shed { reason, .. } => panic!("unexpected shed: {reason}"),
+            }
+        }
+        let report = server.drain();
+        assert_eq!(report.stats.submitted, 8);
+        assert_eq!(report.stats.served, 8);
+        assert_eq!(report.stats.shed, 0);
+        assert!(report.stats.reconciles(), "{}", report.stats);
+    }
+
+    #[test]
+    fn draining_server_sheds_new_requests() {
+        let server = Server::new(table(500), ServerConfig::default());
+        let report = server.drain();
+        assert!(report.stats.reconciles());
+        match server.submit(request(500)) {
+            Err(Rejected::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        assert_eq!(server.stats().shed, 1);
+        assert!(server.stats().reconciles());
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately_without_occupying_a_worker() {
+        // One worker pinned down by slow requests, a queue bound of 2:
+        // the third concurrent submit must be rejected inline, in
+        // microseconds, not after a queue timeout.
+        let server = Server::new(
+            table(500),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let slow = || {
+            Request::new("average dep delay in jfk")
+                .with_config(config(900))
+                .with_injector(
+                    FaultInjector::parse("translate:latency=250@p=1").expect("spec parses"),
+                )
+        };
+        // Saturate: one in flight (after pickup) + two queued. Submission
+        // itself is near-instant, so all three are admitted before the
+        // worker can drain the 250 ms blockers.
+        let mut tickets = vec![server.submit(slow()).expect("admitted")];
+        std::thread::sleep(Duration::from_millis(30)); // worker picks up #1
+        tickets.push(server.submit(slow()).expect("queued"));
+        tickets.push(server.submit(slow()).expect("queued"));
+        let start = Instant::now();
+        let rejected = server.submit(slow());
+        let took = start.elapsed();
+        match rejected {
+            Err(Rejected::Overloaded { queue_depth, .. }) => assert_eq!(queue_depth, 2),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(
+            took < Duration::from_millis(5),
+            "shedding a full queue took {took:?}; must be inline"
+        );
+        for t in tickets {
+            t.wait();
+        }
+        let report = server.drain();
+        assert_eq!(report.stats.shed, 1);
+        assert!(report.stats.reconciles(), "{}", report.stats);
+    }
+
+    #[test]
+    fn queue_expired_requests_are_shed_at_pickup() {
+        // A 40 ms-deadline request stuck behind a 300 ms blocker expires
+        // in the queue and is shed typed, not run pointlessly.
+        let server = Server::new(
+            table(500),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+        );
+        let blocker = Request::new("average dep delay in jfk")
+            .with_config(config(900))
+            .with_injector(FaultInjector::parse("translate:latency=300@p=1").unwrap());
+        let tb = server.submit(blocker).expect("admitted");
+        std::thread::sleep(Duration::from_millis(30)); // ensure pickup
+        let doomed = server.submit(request(40)).expect("admitted (EWMA cold)");
+        match doomed.wait() {
+            ServeOutcome::Shed {
+                reason: Rejected::Expired { waited },
+                ..
+            } => assert!(waited >= Duration::from_millis(40)),
+            other => panic!("expected Expired shed, got {other:?}"),
+        }
+        tb.wait();
+        let report = server.drain();
+        assert_eq!(report.stats.shed, 1);
+        assert!(report.stats.reconciles());
+    }
+
+    #[test]
+    fn transient_plan_panic_is_retried_back_to_top_rung() {
+        // One-shot plan panic: attempt 1 degrades to greedy, the retry
+        // runs clean and lands back on ILP — the server reports the best.
+        let server = Server::new(
+            table(2_000),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let req = request(900).with_injector(FaultInjector::none().with(
+            Stage::Plan,
+            muve_pipeline::StageFault {
+                panic: true,
+                ..Default::default()
+            },
+        ));
+        match server.submit(req).expect("admitted").wait() {
+            ServeOutcome::Completed {
+                outcome, attempts, ..
+            } => {
+                assert!(attempts >= 2, "a transient fault must be retried");
+                assert!(
+                    !outcome.degraded(),
+                    "retry must recover the planned rung: {:?}",
+                    outcome.trace
+                );
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        let report = server.drain();
+        assert_eq!(report.stats.served, 1);
+        assert!(report.stats.retries >= 1);
+        assert!(report.stats.reconciles());
+    }
+
+    #[test]
+    fn open_plan_breaker_pre_degrades_and_saves_budget() {
+        // A persistently stalled solver trips the plan breaker; once open,
+        // requests start on greedy and spend measurably less time in the
+        // plan stage than the requests that tripped it.
+        let server = Server::new(
+            table(2_000),
+            ServerConfig {
+                workers: 1,
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_secs(30), // no probe mid-test
+                },
+                retry: RetryPolicy {
+                    max_retries: 0, // isolate the breaker effect
+                    ..RetryPolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let stalled =
+            || request(400).with_injector(FaultInjector::parse("plan:stall").expect("spec parses"));
+        let plan_spent = |o: &ServeOutcome| -> Duration {
+            match o {
+                ServeOutcome::Completed { outcome, .. } => {
+                    outcome.stage_trace.span("plan").expect("plan span").spent
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+        };
+        let mut tripping = Vec::new();
+        for _ in 0..2 {
+            tripping.push(plan_spent(&server.submit(stalled()).unwrap().wait()));
+        }
+        assert_eq!(server.breaker_state(Stage::Plan), BreakerState::Open);
+        assert!(server.stats().breaker_opens >= 1);
+        let mut shielded = Vec::new();
+        for _ in 0..2 {
+            let out = server.submit(stalled()).unwrap().wait();
+            match &out {
+                ServeOutcome::Completed { outcome, .. } => {
+                    assert_eq!(
+                        outcome.stage_trace.planned_rung, "greedy",
+                        "open breaker must pre-degrade planning"
+                    );
+                    assert!(!outcome.degraded(), "pre-degraded run is served as planned");
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+            shielded.push(plan_spent(&out));
+        }
+        let worst_shielded = shielded.iter().max().unwrap();
+        let best_tripping = tripping.iter().min().unwrap();
+        assert!(
+            *worst_shielded * 4 < *best_tripping,
+            "pre-degraded plan stage ({worst_shielded:?}) must be far cheaper than \
+             the stalled attempts that tripped the breaker ({best_tripping:?})"
+        );
+        server.drain();
+    }
+
+    #[test]
+    fn half_open_probe_closes_the_breaker_after_recovery() {
+        let server = Server::new(
+            table(2_000),
+            ServerConfig {
+                workers: 1,
+                breaker: BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown: Duration::from_millis(30),
+                },
+                retry: RetryPolicy {
+                    max_retries: 0,
+                    ..RetryPolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let bad =
+            request(400).with_injector(FaultInjector::parse("plan:stall").expect("spec parses"));
+        server.submit(bad).unwrap().wait();
+        assert_eq!(server.breaker_state(Stage::Plan), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(40));
+        // The fault is gone; the probe runs full ILP and closes the breaker.
+        match server.submit(request(800)).unwrap().wait() {
+            ServeOutcome::Completed { outcome, .. } => {
+                assert_eq!(
+                    outcome.stage_trace.planned_rung, "ilp",
+                    "probe runs normally"
+                );
+                assert!(!outcome.degraded());
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(server.breaker_state(Stage::Plan), BreakerState::Closed);
+        server.drain();
+    }
+}

@@ -1,0 +1,646 @@
+//! The worker pool, admission queue, retry loop, and drain logic.
+
+use crate::breaker::{BreakerConfig, BreakerDecision, BreakerSet, BreakerState};
+use muve_core::Planner;
+use muve_dbms::Table;
+use muve_pipeline::{
+    DeadlineBudget, FaultInjector, Session, SessionConfig, SessionOutcome, Stage, Visualization,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Retry policy for transiently failed sessions. Backoff is exponential
+/// (`base · 2^(attempt−1)`, capped at `cap`) with ±50 % multiplicative
+/// jitter from a seeded RNG, and every delay is bounded by the request's
+/// remaining deadline: a retry that could not leave `min_headroom` of
+/// budget for the attempt itself is not taken.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum retries per request (attempts = retries + 1).
+    pub max_retries: u32,
+    /// First backoff delay.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Do not retry unless `remaining > delay + min_headroom`.
+    pub min_headroom: Duration,
+    /// Seed of the jitter RNG (each worker derives its own stream).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            min_headroom: Duration::from_millis(25),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// Configuration of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads consuming the admission queue.
+    pub workers: usize,
+    /// Bound of the admission queue; a submit beyond it is shed.
+    pub queue_depth: usize,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Per-stage circuit breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// One voice-query request: a transcript plus the session configuration it
+/// should run under. Owned throughout (`Send + 'static`), so it can cross
+/// into the worker pool.
+#[derive(Debug)]
+pub struct Request {
+    /// The voice transcript (or SQL) to answer.
+    pub transcript: String,
+    /// Per-request session configuration; `config.deadline` is the
+    /// request's end-to-end budget θ, started at submission.
+    pub config: SessionConfig,
+    /// Fault plan for chaos testing (default: none).
+    pub injector: FaultInjector,
+}
+
+impl Request {
+    /// A request with the default session configuration.
+    pub fn new(transcript: impl Into<String>) -> Request {
+        Request {
+            transcript: transcript.into(),
+            config: SessionConfig::default(),
+            injector: FaultInjector::none(),
+        }
+    }
+
+    /// Replace the session configuration.
+    pub fn with_config(mut self, config: SessionConfig) -> Request {
+        self.config = config;
+        self
+    }
+
+    /// Plant a fault plan.
+    pub fn with_injector(mut self, injector: FaultInjector) -> Request {
+        self.injector = injector;
+        self
+    }
+}
+
+/// Why a request was shed instead of served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// Admission control refused the request: the queue is full, or the
+    /// expected queue wait would consume the request's entire deadline.
+    Overloaded {
+        /// Queue depth observed at submission.
+        queue_depth: usize,
+        /// Expected wait for a worker at submission.
+        expected_wait: Duration,
+    },
+    /// The request's deadline expired while it waited in the queue; it was
+    /// shed at pickup instead of burning a worker on a dead request.
+    Expired {
+        /// How long the request waited before being picked up.
+        waited: Duration,
+    },
+    /// The server is draining (or gone) and no longer admits requests.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::Overloaded {
+                queue_depth,
+                expected_wait,
+            } => write!(
+                f,
+                "overloaded: {queue_depth} queued, expected wait {expected_wait:?}"
+            ),
+            Rejected::Expired { waited } => {
+                write!(f, "deadline expired after {waited:?} in the queue")
+            }
+            Rejected::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+/// The one typed outcome every request resolves to.
+#[derive(Debug)]
+pub enum ServeOutcome {
+    /// A worker ran the session (possibly retrying); the outcome inside is
+    /// always well-formed, and [`SessionOutcome::degraded`] distinguishes
+    /// served-as-planned from degraded.
+    Completed {
+        /// The (best) session outcome across attempts (boxed: a session
+        /// outcome is ~half a kilobyte, a shed reason a few words).
+        outcome: Box<SessionOutcome>,
+        /// Session attempts made (1 = no retries).
+        attempts: u32,
+        /// Time spent waiting for a worker.
+        queue_wait: Duration,
+        /// Submission-to-resolution wall clock.
+        total: Duration,
+    },
+    /// The request was shed after admission (see [`Rejected`]).
+    Shed {
+        /// Why it was shed.
+        reason: Rejected,
+        /// Submission-to-resolution wall clock.
+        total: Duration,
+    },
+}
+
+impl ServeOutcome {
+    /// The served/degraded/shed classification of this outcome.
+    pub fn class(&self) -> OutcomeClass {
+        match self {
+            ServeOutcome::Completed { outcome, .. } if outcome.degraded() => OutcomeClass::Degraded,
+            ServeOutcome::Completed { .. } => OutcomeClass::Served,
+            ServeOutcome::Shed { .. } => OutcomeClass::Shed,
+        }
+    }
+}
+
+/// The three terminal classes a request can end in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeClass {
+    /// Completed on its planned rung.
+    Served,
+    /// Completed below its planned rung.
+    Degraded,
+    /// Never ran: shed at admission, in the queue, or at shutdown.
+    Shed,
+}
+
+/// The pending result of a submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<ServeOutcome>,
+}
+
+impl Ticket {
+    /// Block until the request resolves. A lost worker (which the session
+    /// contract makes unreachable — `Session::run` never panics) reads as
+    /// a shutdown shed, never a hang.
+    pub fn wait(self) -> ServeOutcome {
+        self.rx.recv().unwrap_or(ServeOutcome::Shed {
+            reason: Rejected::ShuttingDown,
+            total: Duration::ZERO,
+        })
+    }
+
+    /// Like [`wait`](Self::wait) with an upper bound; `None` on timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<ServeOutcome> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Point-in-time serving statistics (request-level; exact, per-server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests handed to `submit`.
+    pub submitted: u64,
+    /// Requests completed on their planned rung.
+    pub served: u64,
+    /// Requests completed below their planned rung.
+    pub degraded: u64,
+    /// Requests shed (admission, queue expiry, shutdown).
+    pub shed: u64,
+    /// Session retries taken beyond first attempts.
+    pub retries: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
+    /// Requests currently queued (waiting for a worker).
+    pub queue_depth: usize,
+}
+
+impl ServeStats {
+    /// Whether every submitted request has resolved to exactly one class.
+    pub fn reconciles(&self) -> bool {
+        self.submitted == self.served + self.degraded + self.shed
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "submitted {}  served {}  degraded {}  shed {}  retries {}  breaker opens {}  queued {}",
+            self.submitted,
+            self.served,
+            self.degraded,
+            self.shed,
+            self.retries,
+            self.breaker_opens,
+            self.queue_depth
+        )
+    }
+}
+
+/// The report [`Server::drain`] returns once every in-flight request has
+/// resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Final request-level statistics; `queue_depth` is zero.
+    pub stats: ServeStats,
+}
+
+impl fmt::Display for DrainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drained: {}", self.stats)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    breaker_opens: AtomicU64,
+}
+
+struct Job {
+    req: Request,
+    budget: DeadlineBudget,
+    tx: mpsc::Sender<ServeOutcome>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    table: Arc<Table>,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    breakers: BreakerSet,
+    /// EWMA of per-request service time, microseconds (0 = no data yet).
+    ewma_service_us: AtomicU64,
+    stats: Stats,
+}
+
+/// A concurrent MUVE serving instance: a fixed worker pool consuming a
+/// bounded admission queue of [`Request`]s, with deadline-aware load
+/// shedding, bounded retries, per-stage circuit breakers, and graceful
+/// drain. See the crate docs for the full semantics.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.shared.cfg)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Spawn `cfg.workers` worker threads over `table` and start admitting
+    /// requests.
+    pub fn new(table: Arc<Table>, cfg: ServerConfig) -> Server {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            breakers: BreakerSet::new(cfg.breaker.clone()),
+            cfg,
+            table,
+            queue: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            ewma_service_us: AtomicU64::new(0),
+            stats: Stats::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("muve-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, i as u64))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submit a request. Admission control runs *inline and in O(µs)* —
+    /// no worker is occupied, no session is built:
+    ///
+    /// - a draining server sheds with [`Rejected::ShuttingDown`];
+    /// - a full queue sheds with [`Rejected::Overloaded`];
+    /// - a queue whose *expected wait* (queued × EWMA service time ÷
+    ///   workers) would consume the request's whole deadline sheds with
+    ///   [`Rejected::Overloaded`] immediately, instead of letting the
+    ///   request time out in the queue.
+    ///
+    /// On admission the request's [`DeadlineBudget`] starts ticking
+    /// immediately, so queue wait is charged against its deadline.
+    pub fn submit(&self, req: Request) -> Result<Ticket, Rejected> {
+        let shared = &self.shared;
+        let obs = muve_obs::metrics();
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        obs.counter("serve.submitted").incr();
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.draining {
+            drop(q);
+            self.count_shed();
+            return Err(Rejected::ShuttingDown);
+        }
+        let depth = q.jobs.len();
+        let expected_wait = self.expected_wait(depth);
+        if depth >= shared.cfg.queue_depth || expected_wait >= req.config.deadline {
+            drop(q);
+            self.count_shed();
+            return Err(Rejected::Overloaded {
+                queue_depth: depth,
+                expected_wait,
+            });
+        }
+        let budget = DeadlineBudget::new(req.config.deadline);
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back(Job { req, budget, tx });
+        let depth_after = q.jobs.len();
+        drop(q);
+        shared.available.notify_one();
+        obs.counter("serve.enqueued").incr();
+        obs.histogram("serve.queue_depth")
+            .record(depth_after as u64);
+        Ok(Ticket { rx })
+    }
+
+    /// Expected time a request submitted now would wait for a worker.
+    fn expected_wait(&self, queue_depth: usize) -> Duration {
+        let ewma = self.shared.ewma_service_us.load(Ordering::Relaxed);
+        let workers = self.shared.cfg.workers.max(1) as u64;
+        Duration::from_micros(ewma.saturating_mul(queue_depth as u64 + 1) / workers)
+    }
+
+    fn count_shed(&self) {
+        self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("serve.shed").incr();
+    }
+
+    /// Exact request-level statistics for this server.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared.stats;
+        ServeStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            served: s.served.load(Ordering::Relaxed),
+            degraded: s.degraded.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            breaker_opens: s.breaker_opens.load(Ordering::Relaxed),
+            queue_depth: self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .jobs
+                .len(),
+        }
+    }
+
+    /// The circuit-breaker state of one pipeline stage.
+    pub fn breaker_state(&self, stage: Stage) -> BreakerState {
+        self.shared.breakers.state(stage)
+    }
+
+    /// Gracefully drain: stop admitting, let the workers finish every
+    /// queued and in-flight request, join them, and report the final
+    /// shed/served counts. Requests submitted after (or during) the drain
+    /// are shed with [`Rejected::ShuttingDown`]. Idempotent.
+    pub fn drain(&self) -> DrainReport {
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.draining = true;
+        }
+        self.shared.available.notify_all();
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        DrainReport {
+            stats: self.stats(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Jittered exponential backoff before retry number `retry` (1-based).
+fn backoff(policy: &RetryPolicy, retry: u32, rng: &mut StdRng) -> Duration {
+    let exp = policy
+        .base
+        .saturating_mul(2u32.saturating_pow(retry.saturating_sub(1)))
+        .min(policy.cap);
+    exp.mul_f64(rng.gen_range(0.5..1.5))
+}
+
+/// Whether a completed outcome is worth retrying: it must carry a
+/// transient error *and* be visibly short of its goal (degraded below its
+/// planned rung, value-less, or on the text fallback).
+fn wants_retry(out: &SessionOutcome) -> bool {
+    let transient = out
+        .errors
+        .iter()
+        .any(muve_pipeline::PipelineError::is_transient);
+    let incomplete = out.degraded()
+        || match &out.visualization {
+            Visualization::Multiplot { results, .. } => results.iter().all(Option::is_none),
+            Visualization::Text { .. } => true,
+        };
+    transient && incomplete
+}
+
+fn stage_idx(stage: Stage) -> usize {
+    Stage::ALL
+        .iter()
+        .position(|&s| s == stage)
+        .expect("every stage is in Stage::ALL")
+}
+
+/// Feed one attempt's per-stage dispositions to the breakers, honouring
+/// the admission-time decisions: pre-degraded stages are not recorded (the
+/// broken path never ran), skipped stages yield no signal.
+fn record_breaker_signals(
+    shared: &Shared,
+    decisions: &[BreakerDecision; 5],
+    out: &SessionOutcome,
+    saw_signal: &mut [bool; 5],
+) {
+    use muve_obs::SpanStatus;
+    for stage in Stage::ALL {
+        let i = stage_idx(stage);
+        if decisions[i] == BreakerDecision::PreDegrade {
+            continue;
+        }
+        let Some(span) = out.stage_trace.span(stage.name()) else {
+            continue;
+        };
+        let success = match span.status {
+            SpanStatus::Completed => true,
+            SpanStatus::Failed | SpanStatus::Panicked => false,
+            SpanStatus::Skipped => continue,
+        };
+        saw_signal[i] = true;
+        if shared.breakers.record(stage, success) {
+            shared.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            muve_obs::metrics().counter("serve.breaker_open").incr();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker_id: u64) {
+    let obs = muve_obs::metrics();
+    let mut rng = StdRng::seed_from_u64(shared.cfg.retry.jitter_seed ^ worker_id);
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.draining {
+                    break None;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(mut job) = job else {
+            return; // draining and the queue is empty
+        };
+        obs.counter("serve.dequeued").incr();
+        job.budget.mark_admitted();
+        let queue_wait = job.budget.queue_wait();
+        obs.histogram("serve.queue_wait_us")
+            .record_duration(queue_wait);
+
+        // The deadline died in the queue: shed at pickup, in microseconds,
+        // instead of running a session that can only show stale fallbacks
+        // after its budget is gone.
+        if job.budget.exhausted() {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            obs.counter("serve.shed").incr();
+            let _ = job.tx.send(ServeOutcome::Shed {
+                reason: Rejected::Expired { waited: queue_wait },
+                total: job.budget.elapsed(),
+            });
+            continue;
+        }
+
+        // Admission-time breaker decisions, then pre-degradation: an open
+        // plan breaker starts the ladder on greedy (no doomed ILP attempt);
+        // an open execute breaker skips the sample ladder.
+        let decisions: [BreakerDecision; 5] = Stage::ALL.map(|s| shared.breakers.decide(s));
+        let mut config = job.req.config.clone();
+        if decisions[stage_idx(Stage::Plan)] == BreakerDecision::PreDegrade
+            && matches!(config.planner, Planner::Ilp(_))
+        {
+            config.planner = Planner::Greedy;
+        }
+        if decisions[stage_idx(Stage::Execute)] == BreakerDecision::PreDegrade {
+            config.sample_ladder.clear();
+        }
+
+        let session =
+            Session::shared(Arc::clone(&shared.table), config).with_injector(job.req.injector);
+        let mut saw_signal = [false; 5];
+        let mut attempts: u32 = 1;
+        let mut outcome = session.run_with_budget(&job.req.transcript, job.budget.clone());
+        record_breaker_signals(shared, &decisions, &outcome, &mut saw_signal);
+        while attempts <= shared.cfg.retry.max_retries && wants_retry(&outcome) {
+            let delay = backoff(&shared.cfg.retry, attempts, &mut rng);
+            if job.budget.remaining() <= delay + shared.cfg.retry.min_headroom {
+                break; // no budget left for a meaningful attempt
+            }
+            std::thread::sleep(delay);
+            shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+            obs.counter("serve.retries").incr();
+            let again = session.run_with_budget(&job.req.transcript, job.budget.clone());
+            attempts += 1;
+            record_breaker_signals(shared, &decisions, &again, &mut saw_signal);
+            // Keep the better outcome (ties go to the fresher attempt).
+            if again.trace.final_rung <= outcome.trace.final_rung {
+                outcome = again;
+            }
+        }
+        // A probe that never reached its stage must release the slot so
+        // the next request can probe instead of pre-degrading forever.
+        for stage in Stage::ALL {
+            let i = stage_idx(stage);
+            if decisions[i] == BreakerDecision::Probe && !saw_signal[i] {
+                shared.breakers.release_probe(stage);
+            }
+        }
+
+        let service = job.budget.elapsed().saturating_sub(queue_wait);
+        update_ewma(&shared.ewma_service_us, service);
+        if outcome.degraded() {
+            shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+            obs.counter("serve.degraded").incr();
+        } else {
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            obs.counter("serve.served").incr();
+        }
+        let total = job.budget.elapsed();
+        obs.histogram("serve.e2e_us").record_duration(total);
+        let _ = job.tx.send(ServeOutcome::Completed {
+            outcome: Box::new(outcome),
+            attempts,
+            queue_wait,
+            total,
+        });
+    }
+}
+
+/// 1/8-weight exponential moving average over service times, µs.
+fn update_ewma(cell: &AtomicU64, sample: Duration) {
+    let sample_us = sample.as_micros().min(u64::MAX as u128) as u64;
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        sample_us
+    } else {
+        old - old / 8 + sample_us / 8
+    };
+    cell.store(new, Ordering::Relaxed);
+}

@@ -22,6 +22,8 @@
 //! \deadline <ms>                             interactivity budget per question
 //! \inject <spec|off>                         plant faults (e.g. plan:panic)
 //! \svg <path>                                save the last multiplot
+//! \serve [workers] [queue]                   route questions through a worker pool
+//! \drain                                     gracefully drain the worker pool
 //! \stats                                     print process-wide metrics
 //! \trace <path|off>                          append per-query JSON traces
 //! \schema                                    show the loaded schema
@@ -30,18 +32,24 @@
 //!
 //! `--trace-out <file>` does the same as `\trace <file>` from the command
 //! line: every answered question appends one JSON line with its complete
-//! per-stage [`SessionTrace`](muve::obs::SessionTrace).
+//! per-stage [`SessionTrace`](muve::obs::SessionTrace). `--serve`
+//! (optionally with `--workers N` and `--queue-depth M`) starts the shell
+//! in serving mode: questions go through a `muve-serve` worker pool with
+//! deadline-aware admission control, so an overloaded or draining pool
+//! sheds typed rejections instead of queueing forever.
 
 use muve::core::{render_svg, IlpConfig, Planner, ScreenConfig, UserCostModel};
 use muve::data::Dataset;
 use muve::dbms::{table_from_csv_path, ColumnType, Table};
 use muve::nlq::SpeechChannel;
-use muve::pipeline::{FaultInjector, Session, SessionConfig, Visualization};
+use muve::pipeline::{FaultInjector, Session, SessionConfig, SessionOutcome, Visualization};
+use muve::serve::{Request, ServeOutcome, Server, ServerConfig};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Shell {
-    table: Table,
+    table: Arc<Table>,
     screen: ScreenConfig,
     planner: Planner,
     model: UserCostModel,
@@ -52,12 +60,14 @@ struct Shell {
     injector: FaultInjector,
     last_svg: Option<String>,
     trace_out: Option<String>,
+    serve_cfg: ServerConfig,
+    server: Option<Server>,
 }
 
 impl Shell {
     fn new(table: Table) -> Shell {
         Shell {
-            table,
+            table: Arc::new(table),
             screen: ScreenConfig::desktop(2),
             planner: Planner::Greedy,
             model: UserCostModel::default(),
@@ -68,6 +78,8 @@ impl Shell {
             injector: FaultInjector::none(),
             last_svg: None,
             trace_out: None,
+            serve_cfg: ServerConfig::default(),
+            server: None,
         }
     }
 
@@ -78,7 +90,31 @@ impl Shell {
             table.num_rows(),
             table.schema().len()
         );
-        self.table = table;
+        self.table = Arc::new(table);
+        // A live worker pool serves the old table; rebuild it over the new
+        // one (draining first so in-flight questions finish cleanly).
+        if self.server.is_some() {
+            self.start_serve();
+        }
+    }
+
+    fn start_serve(&mut self) {
+        if let Some(server) = self.server.take() {
+            let report = server.drain();
+            println!("{report}");
+        }
+        self.server = Some(Server::new(Arc::clone(&self.table), self.serve_cfg.clone()));
+        println!(
+            "serving: {} workers, queue depth {}",
+            self.serve_cfg.workers, self.serve_cfg.queue_depth
+        );
+    }
+
+    fn drain_serve(&mut self) {
+        match self.server.take() {
+            Some(server) => println!("{}", server.drain()),
+            None => println!("not serving; \\serve to start a worker pool"),
+        }
     }
 
     fn vocabulary(&self) -> Vec<String> {
@@ -113,9 +149,39 @@ impl Shell {
             max_candidates: self.k,
             ..SessionConfig::default()
         };
+        if let Some(server) = &self.server {
+            let req = Request::new(text)
+                .with_config(config)
+                .with_injector(self.injector.clone());
+            match server.submit(req) {
+                Err(reason) => println!("shed at admission: {reason}"),
+                Ok(ticket) => match ticket.wait() {
+                    ServeOutcome::Shed { reason, .. } => println!("shed: {reason}"),
+                    ServeOutcome::Completed {
+                        outcome,
+                        attempts,
+                        queue_wait,
+                        ..
+                    } => {
+                        if attempts > 1 {
+                            println!("({attempts} attempts)");
+                        }
+                        println!(
+                            "(queued {:.1} ms before a worker picked it up)",
+                            queue_wait.as_secs_f64() * 1000.0
+                        );
+                        self.report_outcome(*outcome);
+                    }
+                },
+            }
+            return;
+        }
         let session = Session::new(&self.table, config).with_injector(self.injector.clone());
         let outcome = session.run(&text);
+        self.report_outcome(outcome);
+    }
 
+    fn report_outcome(&mut self, outcome: SessionOutcome) {
         if let Some(base) = &outcome.interpretation {
             println!("top interpretation: {}", base.to_sql());
         }
@@ -290,7 +356,25 @@ impl Shell {
                 (None, _) => println!("no multiplot yet — ask a question first"),
                 (_, None) => println!("usage: \\svg <path>"),
             },
-            Some("\\stats") => print!("{}", muve::obs::metrics().snapshot()),
+            Some("\\serve") => match parts.get(1).copied() {
+                Some("off") => self.drain_serve(),
+                workers => {
+                    if let Some(w) = workers.and_then(|s| s.parse::<usize>().ok()) {
+                        self.serve_cfg.workers = w.max(1);
+                    }
+                    if let Some(q) = parts.get(2).and_then(|s| s.parse::<usize>().ok()) {
+                        self.serve_cfg.queue_depth = q.max(1);
+                    }
+                    self.start_serve();
+                }
+            },
+            Some("\\drain") => self.drain_serve(),
+            Some("\\stats") => {
+                print!("{}", muve::obs::metrics().snapshot());
+                if let Some(server) = &self.server {
+                    println!("server: {}", server.stats());
+                }
+            }
             Some("\\trace") => match parts.get(1).copied() {
                 Some("off") | Some("none") => {
                     self.trace_out = None;
@@ -313,12 +397,14 @@ fn print_help() {
         "ask a natural-language question or type SQL (select ...).\n\
          commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
          \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>,\n\
-         \\inject <spec|off>, \\svg <path>, \\stats, \\trace <path|off>, \\schema, \\quit"
+         \\inject <spec|off>, \\svg <path>, \\serve [workers] [queue] | off, \\drain,\n\
+         \\stats, \\trace <path|off>, \\schema, \\quit"
     );
 }
 
 fn main() {
     let mut shell = Shell::new(Dataset::Nyc311.generate(20_000, 42));
+    let mut serve = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -347,14 +433,33 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--serve" => serve = true,
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shell.serve_cfg.workers = n,
+                _ => {
+                    eprintln!("--workers expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--queue-depth" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shell.serve_cfg.queue_depth = n,
+                _ => {
+                    eprintln!("--queue-depth expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: \
-                     muve-cli [--deadline-ms N] [--inject-fault SPEC] [--trace-out FILE]"
+                     muve-cli [--deadline-ms N] [--inject-fault SPEC] [--trace-out FILE] \
+                     [--serve] [--workers N] [--queue-depth M]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if serve {
+        shell.start_serve();
     }
     println!("MUVE shell — robust voice querying with multiplots. \\help for commands.");
     println!(

@@ -1,0 +1,179 @@
+//! Chaos soak suite for the `muve-serve` layer: many client threads
+//! hammer one server while seeded intermittent faults fire across every
+//! pipeline stage. The suite asserts the serving contract end to end:
+//!
+//! - every submitted request ends in **exactly one** typed outcome
+//!   (served / degraded / shed) — never a hang or an escaped panic;
+//! - no completed request overshoots its deadline beyond the documented
+//!   tolerance (see DESIGN.md §10: `total ≤ 3·θ` plus scheduling slack —
+//!   queue wait is capped at θ by pickup-time expiry, and each session
+//!   attempt is bounded by the pipeline's own stage guards);
+//! - the `serve.*` metrics reconcile exactly with the server's own
+//!   request-level statistics and with the client-side outcome counts.
+//!
+//! This binary owns its process (integration tests run per-process), so
+//! global-registry deltas here are exact, not merely monotone.
+
+use muve::data::Dataset;
+use muve::obs::metrics;
+use muve::pipeline::{FaultInjector, SessionConfig};
+use muve::serve::{OutcomeClass, Request, ServeOutcome, Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 8;
+const CLIENTS: usize = 12;
+const REQUESTS_PER_CLIENT: usize = 20; // 240 total, ≥ 200 required
+const DEADLINE: Duration = Duration::from_millis(300);
+
+/// Documented deadline-overshoot tolerance for completed requests, on top
+/// of `3·θ` (debug builds + CI schedulers need real slack; the point is
+/// that the bound is *fixed*, not proportional to load).
+const SLACK: Duration = Duration::from_millis(500);
+
+/// Seeded intermittent fault plans, cycled over the request index. The
+/// empty spec is a clean request; the rest exercise every stage with
+/// errors, panics, and latency at assorted probabilities.
+const FAULT_SPECS: &[&str] = &[
+    "",
+    "plan:error@p=0.4",
+    "execute:panic@p=0.3",
+    "translate:latency=15@p=0.6",
+    "render:error@p=0.3",
+    "execute:error@p=0.5",
+    "candidates:error@p=0.25",
+    "plan:panic@p=0.2",
+];
+
+fn request(i: usize) -> Request {
+    let spec = FAULT_SPECS[i % FAULT_SPECS.len()];
+    let config = SessionConfig {
+        deadline: DEADLINE,
+        ..SessionConfig::default()
+    };
+    let mut req = Request::new("average dep delay in jfk").with_config(config);
+    if !spec.is_empty() {
+        let injector = FaultInjector::parse(spec)
+            .expect("soak fault spec parses")
+            .with_trip_seed(i as u64);
+        req = req.with_injector(injector);
+    }
+    req
+}
+
+#[test]
+fn soak_every_request_resolves_once_within_tolerance_and_metrics_reconcile() {
+    let before = metrics().snapshot();
+    let table = Arc::new(Dataset::Flights.generate(2_000, 7));
+    let server = Arc::new(Server::new(
+        Arc::clone(&table),
+        ServerConfig {
+            workers: WORKERS,
+            queue_depth: 32,
+            ..ServerConfig::default()
+        },
+    ));
+
+    let served = Arc::new(AtomicU64::new(0));
+    let degraded = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let attempts_total = Arc::new(AtomicU64::new(0));
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let served = Arc::clone(&served);
+            let degraded = Arc::clone(&degraded);
+            let shed = Arc::clone(&shed);
+            let attempts_total = Arc::clone(&attempts_total);
+            std::thread::spawn(move || {
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let i = c * REQUESTS_PER_CLIENT + r;
+                    let ticket = match server.submit(request(i)) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            // Shed at admission: that IS the one typed
+                            // outcome for this request.
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    // The no-hang guarantee: a bounded wait that must
+                    // always produce the single typed outcome.
+                    let outcome = ticket
+                        .wait_timeout(Duration::from_secs(30))
+                        .expect("request hung: no outcome within 30s");
+                    match &outcome {
+                        ServeOutcome::Completed {
+                            attempts, total, ..
+                        } => {
+                            attempts_total.fetch_add(u64::from(*attempts) - 1, Ordering::Relaxed);
+                            assert!(
+                                *total <= DEADLINE * 3 + SLACK,
+                                "request {i} overshot the deadline tolerance: \
+                                 {total:?} > 3·{DEADLINE:?} + {SLACK:?}"
+                            );
+                        }
+                        ServeOutcome::Shed { .. } => {}
+                    }
+                    match outcome.class() {
+                        OutcomeClass::Served => served.fetch_add(1, Ordering::Relaxed),
+                        OutcomeClass::Degraded => degraded.fetch_add(1, Ordering::Relaxed),
+                        OutcomeClass::Shed => shed.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+
+    let report = server.drain();
+    let stats = report.stats;
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+
+    // Exactly one typed outcome per request, and the client-side tally
+    // matches the server's own accounting.
+    assert_eq!(stats.submitted, total);
+    assert!(stats.reconciles(), "stats do not reconcile: {stats}");
+    assert_eq!(stats.served, served.load(Ordering::Relaxed));
+    assert_eq!(stats.degraded, degraded.load(Ordering::Relaxed));
+    assert_eq!(stats.shed, shed.load(Ordering::Relaxed));
+    assert_eq!(stats.retries, attempts_total.load(Ordering::Relaxed));
+    assert_eq!(stats.queue_depth, 0, "drain left requests in the queue");
+
+    // With intermittent faults on most requests, the soak must actually
+    // exercise the machinery, not just the happy path.
+    assert!(stats.served > 0, "nothing served: {stats}");
+    assert!(
+        stats.degraded + stats.retries + stats.shed > 0,
+        "chaos plans produced no degradation, retries or shedding: {stats}"
+    );
+
+    // Global-registry deltas reconcile with the exact per-server stats.
+    let after = metrics().snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("serve.submitted"), stats.submitted);
+    assert_eq!(delta("serve.served"), stats.served);
+    assert_eq!(delta("serve.degraded"), stats.degraded);
+    assert_eq!(delta("serve.shed"), stats.shed);
+    assert_eq!(delta("serve.retries"), stats.retries);
+    assert_eq!(delta("serve.breaker_open"), stats.breaker_opens);
+    // Every admitted request was picked up exactly once (drain finishes
+    // the queue), and the flow counters tie the stream together:
+    // submitted = enqueued + admission sheds; pickup sheds account for
+    // the rest of serve.shed.
+    assert_eq!(delta("serve.enqueued"), delta("serve.dequeued"));
+    assert_eq!(
+        delta("serve.dequeued"),
+        stats.served + stats.degraded + (stats.shed - (stats.submitted - delta("serve.enqueued")))
+    );
+    let h = |name: &str| {
+        after.histogram(name).map_or(0, |h| h.count) - before.histogram(name).map_or(0, |h| h.count)
+    };
+    assert_eq!(h("serve.queue_wait_us"), delta("serve.dequeued"));
+    assert_eq!(h("serve.e2e_us"), stats.served + stats.degraded);
+    assert_eq!(h("serve.queue_depth"), delta("serve.enqueued"));
+}
