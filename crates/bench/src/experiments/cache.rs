@@ -1,0 +1,131 @@
+//! **BENCH_cache**: cold vs warm session latency under the cross-request
+//! cache (`muve-cache` via [`SessionCaches`]).
+//!
+//! The workload replays a fixed set of generated queries through the full
+//! pipeline twice: *cold* runs each session against a fresh, empty cache
+//! bundle (every layer misses — the honest miss path, inserts included);
+//! *warm* runs reuse one shared bundle that a single untimed pass has
+//! populated, so candidates, plans, and results all hit. Expected shape:
+//! warm p50 at least 5× below cold p50 — a warm session skips the
+//! phonetic-index build, the beam search, and the table scan.
+
+use super::common::{dataset_table, fmt, ResultTable};
+use muve_core::Planner;
+use muve_data::{Dataset, QueryGenerator};
+use muve_pipeline::{Session, SessionCaches, SessionConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Percentile over a sample (nearest-rank on the sorted copy).
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((v.len() - 1) as f64 * p).round() as usize;
+    v[idx]
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Run the cold-vs-warm cache experiment.
+pub fn run(quick: bool) -> Vec<ResultTable> {
+    let rows = if quick { 20_000 } else { 200_000 };
+    let n_queries = if quick { 3 } else { 10 };
+    let reps = if quick { 2 } else { 5 };
+    let table = dataset_table(Dataset::Flights, rows, 0xCAC4E);
+    let mut gen = QueryGenerator::new(&table, 11);
+    let transcripts: Vec<String> = (0..n_queries).map(|_| gen.query(2).to_sql()).collect();
+
+    // Greedy planning: the ILP spends its full time budget whether or not
+    // caches hit, which would swamp the quantity under measurement — the
+    // work a warm cache removes (index build, beam search, table scans).
+    let config = || SessionConfig {
+        deadline: Duration::from_secs(10),
+        planner: Planner::Greedy,
+        ..SessionConfig::default()
+    };
+    let run_one = |transcript: &str, caches: &Arc<SessionCaches>| -> f64 {
+        let session = Session::new(&table, config()).with_caches(Arc::clone(caches));
+        let start = Instant::now();
+        let outcome = session.run(transcript);
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert!(
+            outcome.errors.is_empty(),
+            "bench session failed: {transcript}"
+        );
+        ms
+    };
+
+    // Cold: a fresh bundle per session, so every layer misses every time.
+    let mut cold_ms = Vec::new();
+    for _ in 0..reps {
+        for t in &transcripts {
+            let caches = Arc::new(SessionCaches::new(64 << 20));
+            caches.set_table(&table);
+            cold_ms.push(run_one(t, &caches));
+        }
+    }
+
+    // Warm: one shared bundle, populated by an untimed pass.
+    let caches = Arc::new(SessionCaches::new(64 << 20));
+    caches.set_table(&table);
+    for t in &transcripts {
+        run_one(t, &caches);
+    }
+    let mut warm_ms = Vec::new();
+    for _ in 0..reps {
+        for t in &transcripts {
+            warm_ms.push(run_one(t, &caches));
+        }
+    }
+
+    let mut out = ResultTable::new(
+        "BENCH_cache",
+        "Cold vs warm end-to-end session latency with the cross-request \
+         cache (Flights data; shape: warm p50 at least 5x below cold p50)",
+        &["variant", "sessions", "p50 ms", "p95 ms", "mean ms"],
+    );
+    for (variant, ms) in [("cold", &cold_ms), ("warm", &warm_ms)] {
+        out.push(vec![
+            variant.into(),
+            ms.len().to_string(),
+            fmt(percentile(ms, 0.50)),
+            fmt(percentile(ms, 0.95)),
+            fmt(mean(ms)),
+        ]);
+    }
+    out.push(vec![
+        "speedup (cold/warm)".into(),
+        "-".into(),
+        fmt(percentile(&cold_ms, 0.50) / percentile(&warm_ms, 0.50)),
+        fmt(percentile(&cold_ms, 0.95) / percentile(&warm_ms, 0.95)),
+        fmt(mean(&cold_ms) / mean(&warm_ms)),
+    ]);
+    vec![out]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_is_faster_than_cold() {
+        let tables = run(true);
+        let rows = &tables[0].rows;
+        let cold_p50: f64 = rows[0][2].parse().unwrap();
+        let warm_p50: f64 = rows[1][2].parse().unwrap();
+        assert!(
+            warm_p50 < cold_p50,
+            "warm p50 {warm_p50} not below cold p50 {cold_p50}"
+        );
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+}

@@ -10,8 +10,10 @@
 //! | `fig12` | MUVE vs drop-down baseline | [`fig12`] |
 //! | `fig13` | presentation-method ratings | [`fig13`] |
 //! | `ablation` | reproduction-specific design ablations | [`ablation`] |
+//! | `cache` | cold vs warm cross-request caching | [`cache`] |
 
 pub mod ablation;
+pub mod cache;
 pub mod common;
 pub mod fig12;
 pub mod fig13;
@@ -26,7 +28,7 @@ pub use common::ResultTable;
 /// All experiment ids accepted by the `expt` binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "ablation",
+    "ablation", "cache",
 ];
 
 /// Run one experiment by id (fig3 is produced together with table1, and
@@ -41,6 +43,7 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<ResultTable>> {
         "fig12" => Some(fig12::run(quick)),
         "fig13" => Some(fig13::run(quick)),
         "ablation" => Some(ablation::run(quick)),
+        "cache" => Some(cache::run(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,446 @@
+//! The sharded, epoch-versioned, cost-aware-LRU cache.
+
+use muve_obs::{metrics, Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default number of shards; each shard is an independent mutex + map so
+/// concurrent workers rarely contend on the same lock.
+const DEFAULT_SHARDS: usize = 8;
+
+/// Fixed per-entry bookkeeping overhead charged against the byte budget in
+/// addition to the caller's estimate, so zero-byte estimates cannot grow
+/// the map without bound.
+const ENTRY_OVERHEAD: usize = 64;
+
+struct Entry<V> {
+    value: V,
+    epoch: u64,
+    bytes: usize,
+    cost_us: u64,
+    last_tick: u64,
+}
+
+impl<V> Entry<V> {
+    /// Eviction score: higher survives longer. Recency (the global tick at
+    /// last use) plus a recompute-cost bonus of one tick per µs-per-KiB,
+    /// so an entry that took 10 ms to compute and weighs 1 KiB outscores
+    /// an equally recent one that took 10 µs.
+    fn score(&self) -> u64 {
+        let per_kib = self.cost_us / (self.bytes as u64 / 1024 + 1);
+        self.last_tick.saturating_add(per_kib)
+    }
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    bytes: usize,
+}
+
+/// Point-in-time statistics for one [`Cache`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups (`hits + misses`, flow conservation by construction).
+    pub lookups: u64,
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Lookups that returned nothing (including stale drops).
+    pub misses: u64,
+    /// Entries inserted (replacements included).
+    pub inserts: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries dropped because their epoch no longer matched.
+    pub stale: u64,
+    /// Resident bytes (estimates plus per-entry overhead).
+    pub bytes: u64,
+    /// Resident entries.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (zero when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits {}/{} ({:.0}%)  inserts {}  evictions {}  stale {}  {} entries / {} bytes",
+            self.hits,
+            self.lookups,
+            self.hit_rate() * 100.0,
+            self.inserts,
+            self.evictions,
+            self.stale,
+            self.entries,
+            self.bytes,
+        )
+    }
+}
+
+/// Pre-resolved metric handles (aggregate + per-layer) so hot-path
+/// recording is a few relaxed atomic adds, never a registry lock.
+struct LayerMetrics {
+    lookups: [std::sync::Arc<Counter>; 2],
+    hit: [std::sync::Arc<Counter>; 2],
+    miss: [std::sync::Arc<Counter>; 2],
+    insert: [std::sync::Arc<Counter>; 2],
+    evict: [std::sync::Arc<Counter>; 2],
+    stale: [std::sync::Arc<Counter>; 2],
+    bytes: [std::sync::Arc<Gauge>; 2],
+    lookup_us: std::sync::Arc<Histogram>,
+}
+
+impl LayerMetrics {
+    fn new(layer: &str) -> LayerMetrics {
+        let m = metrics();
+        let pair = |op: &str| {
+            [
+                m.counter(&format!("cache.{op}")),
+                m.counter(&format!("cache.{layer}.{op}")),
+            ]
+        };
+        LayerMetrics {
+            lookups: pair("lookups"),
+            hit: pair("hit"),
+            miss: pair("miss"),
+            insert: pair("insert"),
+            evict: pair("evict"),
+            stale: pair("stale"),
+            bytes: [
+                m.gauge("cache.bytes"),
+                m.gauge(&format!("cache.{layer}.bytes")),
+            ],
+            lookup_us: m.histogram("cache.lookup_us"),
+        }
+    }
+}
+
+fn bump(pair: &[std::sync::Arc<Counter>; 2]) {
+    pair[0].incr();
+    pair[1].incr();
+}
+
+/// A sharded, memory-bounded, epoch-versioned cache.
+///
+/// Keys are hashed (with a deterministic [`DefaultHasher`]) to one of N
+/// mutex-guarded shards; each shard owns `max_bytes / N` of the byte
+/// budget. A cache built with `max_bytes == 0` is *disabled*: lookups
+/// miss without recording metrics and inserts are dropped, which is how
+/// `--cache-mb 0` guarantees bit-identical uncached behaviour.
+pub struct Cache<K, V> {
+    layer: String,
+    shards: Vec<Mutex<Shard<K, V>>>,
+    shard_budget: usize,
+    epoch: AtomicU64,
+    tick: AtomicU64,
+    metrics: LayerMetrics,
+    stats: StatCells,
+}
+
+#[derive(Default)]
+struct StatCells {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    stale: AtomicU64,
+}
+
+impl<K, V> fmt::Debug for Cache<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("layer", &self.layer)
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
+    /// A cache named `layer` (used as the `cache.<layer>.*` metric prefix)
+    /// holding at most `max_bytes` across the default shard count.
+    pub fn new(layer: &str, max_bytes: usize) -> Cache<K, V> {
+        Cache::with_shards(layer, max_bytes, DEFAULT_SHARDS)
+    }
+
+    /// As [`Cache::new`] with an explicit shard count (tests use 1 shard
+    /// for deterministic eviction order).
+    pub fn with_shards(layer: &str, max_bytes: usize, shards: usize) -> Cache<K, V> {
+        let shards = shards.max(1);
+        Cache {
+            layer: layer.to_owned(),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            shard_budget: max_bytes / shards,
+            epoch: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            metrics: LayerMetrics::new(layer),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Whether the byte budget is zero (the cache is a no-op).
+    pub fn is_disabled(&self) -> bool {
+        self.shard_budget == 0
+    }
+
+    /// The current epoch new entries are stamped with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Bump the epoch (e.g. on table reload). Entries stamped with an
+    /// older epoch are dropped lazily the next time a lookup touches them;
+    /// until then they age out through normal LRU eviction.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look `key` up, dropping it first if its epoch is stale.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if self.is_disabled() {
+            return None;
+        }
+        let start = Instant::now();
+        let epoch = self.epoch();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        bump(&self.metrics.lookups);
+        let out = match shard.map.get_mut(key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.last_tick = tick;
+                let v = entry.value.clone();
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.metrics.hit);
+                Some(v)
+            }
+            Some(_) => {
+                // Stale: the table this entry was computed against is gone.
+                let entry = shard.map.remove(key).expect("entry just matched");
+                shard.bytes -= entry.bytes;
+                self.add_bytes(-(entry.bytes as i64));
+                self.stats.stale.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.metrics.stale);
+                bump(&self.metrics.miss);
+                None
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.metrics.miss);
+                None
+            }
+        };
+        drop(shard);
+        self.metrics.lookup_us.record_duration(start.elapsed());
+        out
+    }
+
+    /// Insert `value` under `key`, charging `bytes` (the caller's size
+    /// estimate) plus fixed overhead against the byte budget and recording
+    /// `cost_us` (measured recompute cost) for cost-aware eviction. An
+    /// entry larger than a whole shard's budget is silently not cached.
+    pub fn insert(&self, key: K, value: V, bytes: usize, cost_us: u64) {
+        if self.is_disabled() {
+            return;
+        }
+        let charged = bytes + ENTRY_OVERHEAD;
+        if charged > self.shard_budget {
+            return;
+        }
+        let epoch = self.epoch();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self
+            .shard_of(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                value,
+                epoch,
+                bytes: charged,
+                cost_us,
+                last_tick: tick,
+            },
+        ) {
+            shard.bytes -= old.bytes;
+            self.add_bytes(-(old.bytes as i64));
+        }
+        shard.bytes += charged;
+        self.add_bytes(charged as i64);
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        bump(&self.metrics.insert);
+        while shard.bytes > self.shard_budget {
+            // Victim = lowest recency+cost score. O(shard entries), but
+            // shards stay small under MB-scale budgets.
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.score())
+                .map(|(k, _)| k.clone());
+            let Some(k) = victim else { break };
+            let Some(evicted) = shard.map.remove(&k) else {
+                break;
+            };
+            shard.bytes -= evicted.bytes;
+            self.add_bytes(-(evicted.bytes as i64));
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            bump(&self.metrics.evict);
+        }
+    }
+
+    fn add_bytes(&self, delta: i64) {
+        self.metrics.bytes[0].add(delta);
+        self.metrics.bytes[1].add(delta);
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let freed = shard.bytes;
+            shard.map.clear();
+            shard.bytes = 0;
+            self.add_bytes(-(freed as i64));
+        }
+    }
+
+    /// Local statistics for this instance.
+    pub fn stats(&self) -> CacheStats {
+        let (mut bytes, mut entries) = (0u64, 0u64);
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            bytes += shard.bytes as u64;
+            entries += shard.map.len() as u64;
+        }
+        CacheStats {
+            lookups: self.stats.lookups.load(Ordering::Relaxed),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            stale: self.stats.stale.load(Ordering::Relaxed),
+            bytes,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_flow_conservation() {
+        let c: Cache<u64, String> = Cache::new("test_basic", 1 << 20);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one".to_owned(), 16, 100);
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        assert_eq!(c.get(&2), None);
+        let s = c.stats();
+        assert_eq!(s.lookups, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits + s.misses, s.lookups, "flow conservation");
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes >= 16);
+    }
+
+    #[test]
+    fn epoch_bump_drops_entries_lazily() {
+        let c: Cache<u64, u64> = Cache::new("test_epoch", 1 << 20);
+        c.insert(1, 11, 8, 10);
+        assert_eq!(c.get(&1), Some(11));
+        c.set_epoch(7);
+        // Stale entry is dropped on the lookup that touches it.
+        assert_eq!(c.get(&1), None);
+        let s = c.stats();
+        assert_eq!(s.stale, 1);
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
+        // A fresh insert under the new epoch works.
+        c.insert(1, 22, 8, 10);
+        assert_eq!(c.get(&1), Some(22));
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_prefers_cheap_victims() {
+        // One shard so eviction order is deterministic. Budget fits two
+        // entries (each charged bytes + overhead).
+        let budget = 2 * (200 + ENTRY_OVERHEAD) + 10;
+        let c: Cache<u64, u64> = Cache::with_shards("test_evict", budget, 1);
+        c.insert(1, 1, 200, 5); // cheap to recompute
+        c.insert(2, 2, 200, 1_000_000); // expensive to recompute
+        c.insert(3, 3, 200, 5); // forces one eviction
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= budget as u64);
+        // The cheap, least-recent entry went first; the expensive one
+        // survived despite equal recency class.
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(2));
+        assert_eq!(c.get(&3), Some(3));
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let c: Cache<u64, Vec<u8>> = Cache::with_shards("test_oversize", 256, 1);
+        c.insert(1, vec![0; 4096], 4096, 10);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.stats().inserts, 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_everything() {
+        let c: Cache<u64, u64> = Cache::new("test_disabled", 0);
+        assert!(c.is_disabled());
+        c.insert(1, 1, 8, 10);
+        assert_eq!(c.get(&1), None);
+        let s = c.stats();
+        assert_eq!(s.lookups, 0, "disabled caches record nothing");
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn clear_frees_bytes() {
+        let c: Cache<u64, u64> = Cache::new("test_clear", 1 << 20);
+        for i in 0..10 {
+            c.insert(i, i, 64, 10);
+        }
+        assert_eq!(c.stats().entries, 10);
+        c.clear();
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
+    }
+}

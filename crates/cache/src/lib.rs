@@ -1,0 +1,34 @@
+//! # muve-cache — cross-request caching for the MUVE stack
+//!
+//! A std-only caching subsystem shared across serve workers via `Arc`:
+//!
+//! - [`Cache`] — a sharded, memory-bounded, **epoch-versioned** map. Every
+//!   entry is stamped with the epoch current at insert time; when the
+//!   owning table is reloaded the epoch is bumped
+//!   ([`Cache::set_epoch`]) and stale entries are dropped lazily on the
+//!   next lookup. Eviction is **cost-aware LRU**: under the byte budget,
+//!   the victim is the entry with the lowest recency-plus-recompute-cost
+//!   score, so an expensive-to-recompute entry outlives a cheap one of
+//!   equal recency.
+//! - [`SingleFlight`] — de-duplication for concurrent identical misses:
+//!   the first caller becomes the *leader* and computes; the other N−1
+//!   become *waiters* that block (with their own deadline budgets — see
+//!   [`Waiter::wait`]) on the leader's published result. A leader that
+//!   panics or is dropped without finishing resolves the flight with
+//!   `None`, so waiters never hang.
+//!
+//! Everything is instrumented through `muve-obs`: aggregate
+//! `cache.hit/miss/insert/evict/stale/lookups/singleflight_wait` counters,
+//! a `cache.bytes` gauge, a `cache.lookup_us` histogram, and per-layer
+//! `cache.<layer>.*` counters/gauges. Each [`Cache`] additionally keeps
+//! local atomics ([`Cache::stats`]) so callers such as the CLI `\cache`
+//! command can report per-instance numbers without diffing the global
+//! registry.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod singleflight;
+
+pub use cache::{Cache, CacheStats};
+pub use singleflight::{Join, Leader, SingleFlight, Waiter};

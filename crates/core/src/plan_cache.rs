@@ -1,0 +1,173 @@
+//! The plan warm-start cache: candidate-distribution fingerprint → best
+//! known [`PlanResult`].
+//!
+//! Planning depends only on the candidate distribution (queries and
+//! probabilities), the screen geometry, and the user cost model — not on
+//! the table data itself — so a repeated or phonetically identical
+//! transcript reproduces the same distribution and can reuse earlier
+//! planning work. A cached plan that was *proven optimal* can be returned
+//! outright; one that was not seeds the ILP's warm start
+//! ([`crate::IlpConfig::seed`]) and the [`crate::IncumbentSlot`], so the
+//! solver resumes from the best multiplot any previous request found
+//! instead of from the greedy heuristic.
+//!
+//! Entries still carry the table epoch: a reload changes the candidate
+//! probabilities upstream, so stale plans are dropped with everything
+//! else.
+
+use crate::cost_model::UserCostModel;
+use crate::planner::PlanResult;
+use crate::plot::ScreenConfig;
+use crate::query::Candidate;
+use muve_cache::{Cache, CacheStats};
+use muve_dbms::query_fingerprint;
+use std::hash::Hasher;
+
+/// Fingerprint of a planning problem: every candidate's canonical query
+/// fingerprint with its probability (quantized to 1e-9, so float noise
+/// below any behavioral significance does not fragment the cache), the
+/// screen geometry, the user cost model, and a caller-supplied `salt`
+/// covering any planner configuration that changes the answer (processing
+/// mode, template pruning, ...).
+pub fn distribution_fingerprint(
+    candidates: &[Candidate],
+    screen: &ScreenConfig,
+    model: &UserCostModel,
+    salt: u64,
+) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    h.write_usize(candidates.len());
+    for c in candidates {
+        h.write_u64(query_fingerprint(&c.query, None));
+        h.write_i64((c.probability * 1e9).round() as i64);
+    }
+    h.write(format!("{screen:?}|{model:?}").as_bytes());
+    h.write_u64(salt);
+    h.finish()
+}
+
+/// Rough heap footprint of a plan result, for the byte budget.
+fn plan_bytes(result: &PlanResult) -> usize {
+    let m = &result.multiplot;
+    128 + m.num_plots() * 96 + m.num_bars() * 48
+}
+
+/// A byte-bounded cache of planning results keyed by
+/// [`distribution_fingerprint`].
+#[derive(Debug)]
+pub struct PlanCache {
+    cache: Cache<u64, PlanResult>,
+}
+
+impl PlanCache {
+    /// A plan cache bounded by `max_bytes` (0 disables it).
+    pub fn new(max_bytes: usize) -> PlanCache {
+        PlanCache {
+            cache: Cache::new("plan", max_bytes),
+        }
+    }
+
+    /// Best known plan for this distribution, if any.
+    pub fn get(&self, fingerprint: u64) -> Option<PlanResult> {
+        self.cache.get(&fingerprint)
+    }
+
+    /// Record `result` if it is worth keeping: inserts when no entry
+    /// exists, when the new plan costs less, or when it upgrades an
+    /// unproven plan to proven-optimal.
+    pub fn offer(&self, fingerprint: u64, result: &PlanResult) {
+        let better = match self.cache.get(&fingerprint) {
+            None => true,
+            Some(old) => {
+                result.expected_cost < old.expected_cost - 1e-9
+                    || (result.proven_optimal && !old.proven_optimal)
+            }
+        };
+        if better {
+            let cost_us = result.planning_time.as_micros().min(u128::from(u64::MAX)) as u64;
+            self.cache
+                .insert(fingerprint, result.clone(), plan_bytes(result), cost_us);
+        }
+    }
+
+    /// Bump the table epoch (see [`Cache::set_epoch`]).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.cache.set_epoch(epoch);
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+
+    /// Local statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan, Planner};
+    use muve_dbms::parse;
+
+    fn cands(probs: &[f64]) -> Vec<Candidate> {
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Candidate::new(
+                    parse(&format!("select sum(v) from t where k = 'x{i}'")).unwrap(),
+                    p,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fingerprint_tracks_distribution_and_config() {
+        let screen = ScreenConfig::iphone(1);
+        let model = UserCostModel::default();
+        let a = distribution_fingerprint(&cands(&[0.6, 0.4]), &screen, &model, 0);
+        let b = distribution_fingerprint(&cands(&[0.6, 0.4]), &screen, &model, 0);
+        assert_eq!(a, b, "same problem, same fingerprint");
+        let c = distribution_fingerprint(&cands(&[0.7, 0.3]), &screen, &model, 0);
+        assert_ne!(a, c, "probabilities matter");
+        let d = distribution_fingerprint(&cands(&[0.6, 0.4]), &screen, &model, 1);
+        assert_ne!(a, d, "salt matters");
+        let e = distribution_fingerprint(&cands(&[0.6, 0.4]), &ScreenConfig::iphone(2), &model, 0);
+        assert_ne!(a, e, "screen matters");
+    }
+
+    #[test]
+    fn offer_keeps_the_better_plan() {
+        let screen = ScreenConfig::iphone(1);
+        let model = UserCostModel::default();
+        let candidates = cands(&[0.6, 0.4]);
+        let result = plan(&Planner::Greedy, &candidates, &screen, &model);
+        let fp = distribution_fingerprint(&candidates, &screen, &model, 0);
+
+        let cache = PlanCache::new(1 << 20);
+        assert!(cache.get(fp).is_none());
+        cache.offer(fp, &result);
+        let held = cache.get(fp).expect("cached");
+        assert_eq!(held.multiplot, result.multiplot);
+
+        // A strictly worse plan does not displace the incumbent.
+        let worse = PlanResult {
+            expected_cost: result.expected_cost + 10.0,
+            ..result.clone()
+        };
+        cache.offer(fp, &worse);
+        assert!((cache.get(fp).unwrap().expected_cost - result.expected_cost).abs() < 1e-12);
+
+        // Equal cost but proven optimal upgrades the entry.
+        let proven = PlanResult {
+            proven_optimal: true,
+            ..result.clone()
+        };
+        cache.offer(fp, &proven);
+        assert!(cache.get(fp).unwrap().proven_optimal);
+    }
+}

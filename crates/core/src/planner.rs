@@ -246,7 +246,9 @@ pub fn plan_incremental_observed(
         return result;
     }
     let mut best: Option<PlanResult> = None;
-    let mut seed: Option<Multiplot> = None;
+    // Honor a caller-provided warm start (`base.seed`, e.g. from the plan
+    // cache) on the very first sequence, not just after a restart.
+    let mut seed: Option<Multiplot> = base.seed.clone();
     let mut step = 0u32;
     let mut restarts = 0usize;
     let mut incumbent_updates = 0usize;

@@ -66,6 +66,21 @@ impl ResultSet {
             .and_then(|r| r.first())
             .and_then(Value::as_f64)
     }
+
+    /// Rough in-memory size in bytes, used by the result cache to charge
+    /// entries against its byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        let cell = |v: &Value| match v {
+            Value::Str(s) => s.len() + 24,
+            _ => 16,
+        };
+        self.columns.iter().map(|c| c.len() + 24).sum::<usize>()
+            + self
+                .rows
+                .iter()
+                .map(|r| r.iter().map(cell).sum::<usize>() + 24)
+                .sum::<usize>()
+    }
 }
 
 /// A compiled predicate over one column.
@@ -456,6 +471,7 @@ pub fn execute_with_selection(
             .zip(&query.aggregates)
             .map(|(acc, agg)| acc.finish(agg.func))
             .collect();
+        record_query_metrics(&stats);
         return Ok(ResultSet {
             columns: agg_names,
             rows: vec![row],
@@ -463,22 +479,26 @@ pub fn execute_with_selection(
         });
     }
 
-    // Grouped execution.
+    // Grouped execution. The group key is built in a reusable scratch
+    // buffer and only cloned into the map when a new group first appears,
+    // so the hot loop does no per-row allocation.
     let mut groups: FxHashMap<Vec<i64>, Vec<Acc>> = FxHashMap::default();
     let mut matched = 0usize;
+    let mut key_buf: Vec<i64> = Vec::with_capacity(group_inputs.len());
     scan(&mut |row| {
         if preds.iter().all(|p| p.matches(row)) {
             matched += 1;
-            let key: Vec<i64> = group_inputs
-                .iter()
-                .map(|g| match g {
-                    GroupInput::Int(xs) => xs[row],
-                    GroupInput::Code { codes, .. } => codes[row] as i64,
-                })
-                .collect();
-            let accs = groups
-                .entry(key)
-                .or_insert_with(|| vec![Acc::new(); inputs.len()]);
+            key_buf.clear();
+            key_buf.extend(group_inputs.iter().map(|g| match g {
+                GroupInput::Int(xs) => xs[row],
+                GroupInput::Code { codes, .. } => codes[row] as i64,
+            }));
+            let accs = match groups.get_mut(&key_buf) {
+                Some(accs) => accs,
+                None => groups
+                    .entry(key_buf.clone())
+                    .or_insert_with(|| vec![Acc::new(); inputs.len()]),
+            };
             for (acc, input) in accs.iter_mut().zip(&inputs) {
                 if let Some(v) = input.value(row) {
                     acc.feed(v);
@@ -506,17 +526,24 @@ pub fn execute_with_selection(
     }
     let mut columns = query.group_by.clone();
     columns.extend(agg_names);
+    record_query_metrics(&stats);
+    Ok(ResultSet {
+        columns,
+        rows,
+        stats,
+    })
+}
+
+/// Record per-execution counters. Called on *every* successful execution
+/// — grouped or not — so `dbms.queries` counts underlying executions
+/// exactly (the single-flight tests rely on this).
+fn record_query_metrics(stats: &ExecStats) {
     let obs = muve_obs::metrics();
     obs.counter("dbms.queries").incr();
     obs.counter("dbms.rows_scanned")
         .add(stats.rows_scanned as u64);
     obs.counter("dbms.rows_matched")
         .add(stats.rows_matched as u64);
-    Ok(ResultSet {
-        columns,
-        rows,
-        stats,
-    })
 }
 
 /// Execute `query` against `table` over all rows.

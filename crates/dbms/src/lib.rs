@@ -30,8 +30,10 @@ pub mod column;
 pub mod cost;
 pub mod csv;
 pub mod exec;
+pub mod fingerprint;
 pub mod merge;
 pub mod parser;
+pub mod result_cache;
 pub mod sample;
 pub mod schema;
 pub mod table;
@@ -42,10 +44,13 @@ pub use column::{Column, ColumnData, Dictionary};
 pub use cost::{estimate, explain, CostEstimate, CostParams};
 pub use csv::{table_from_csv_path, table_from_csv_str, CsvError};
 pub use exec::{execute, execute_with_selection, ExecError, ExecStats, ResultSet};
+pub use fingerprint::{canon_ident, query_fingerprint};
 pub use merge::{
-    execute_merged, merge_is_beneficial, plan_merged, MergeGroup, MergeMember, MergedResults,
+    execute_merged, extract_merged, merge_is_beneficial, plan_merged, MergeGroup, MergeMember,
+    MergedResults,
 };
 pub use parser::{parse, ParseError};
+pub use result_cache::{fidelity_key, ResultCache, ResultKey, FIDELITY_EXACT};
 pub use sample::{bernoulli_rows, execute_approximate, scale_result, systematic_rows};
 pub use schema::{ColumnDef, Schema};
 pub use table::{Database, Table, TableBuilder};

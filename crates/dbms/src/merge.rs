@@ -11,7 +11,8 @@
 
 use crate::ast::{Aggregate, PredOp, Predicate, Query};
 use crate::cost::{estimate, CostParams};
-use crate::exec::{execute, ExecError, ExecStats};
+use crate::exec::{execute, ExecError, ExecStats, ResultSet};
+use crate::fingerprint::canon_ident;
 use crate::table::Table;
 use crate::value::Value;
 use rustc_hash::FxHashMap;
@@ -45,17 +46,18 @@ pub struct MergeMember {
 /// with nothing become singleton groups (whose `merged` query is the
 /// original, modulo aggregate dedup).
 pub fn plan_merged(queries: &[Query]) -> Vec<MergeGroup> {
-    // Bucket by (table, sorted predicate columns).
+    // Bucket by (table, sorted predicate columns), with identifiers
+    // normalized by the same `canon_ident` the query fingerprint uses.
     let mut buckets: FxHashMap<(String, Vec<String>), Vec<usize>> = FxHashMap::default();
     for (i, q) in queries.iter().enumerate() {
         let mut cols: Vec<String> = q
             .predicates
             .iter()
-            .map(|p| p.column.to_ascii_lowercase())
+            .map(|p| canon_ident(&p.column))
             .collect();
         cols.sort_unstable();
         buckets
-            .entry((q.table.to_ascii_lowercase(), cols))
+            .entry((canon_ident(&q.table), cols))
             .or_default()
             .push(i);
     }
@@ -286,6 +288,18 @@ pub struct MergedResults {
 /// Execute one merge group against `table`.
 pub fn execute_merged(table: &Table, group: &MergeGroup) -> Result<MergedResults, ExecError> {
     let rs = execute(table, &group.merged)?;
+    Ok(MergedResults {
+        results: extract_merged(&rs, group),
+        stats: rs.stats,
+    })
+}
+
+/// Recover each member's scalar from a merged [`ResultSet`] — whether that
+/// result came from a fresh execution, an approximate (sampled) one, or
+/// the result cache. Per member: its group row (by varying-column key when
+/// grouped), then its aggregate column. A missing group means zero
+/// matching rows: count is 0, other aggregates NULL.
+pub fn extract_merged(rs: &ResultSet, group: &MergeGroup) -> Vec<(usize, Option<f64>)> {
     let n_group = group.merged.group_by.len();
     let mut results = Vec::with_capacity(group.members.len());
     for m in &group.members {
@@ -295,17 +309,13 @@ pub fn execute_merged(table: &Table, group: &MergeGroup) -> Result<MergedResults
             _ => rs.rows.first(),
         };
         let value = row.and_then(|r| r[n_group + m.agg].as_f64());
-        // A missing group means zero matching rows: count is 0, others NULL.
         let value = match (value, agg_func) {
             (None, crate::ast::AggFunc::Count) => Some(0.0),
             (v, _) => v,
         };
         results.push((m.index, value));
     }
-    Ok(MergedResults {
-        results,
-        stats: rs.stats,
-    })
+    results
 }
 
 /// Decide via the cost model whether executing `group` merged is cheaper

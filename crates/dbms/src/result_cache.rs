@@ -1,0 +1,143 @@
+//! The result cache: canonical query fingerprint + fidelity → aggregate
+//! result.
+//!
+//! Keys combine [`crate::query_fingerprint`] with a **fidelity key** that
+//! encodes exactly which rung of the sample ladder produced the result
+//! (the exact sample fraction and the sampling seed, or the exact-scan
+//! marker). Matching is strict: a result computed at sample fraction `f`
+//! can only ever serve a request that would itself execute at fraction
+//! `f` with the same seed, and an exact result only serves exact
+//! requests. That makes the degradation-ladder rung-compatibility rule —
+//! *caching never silently upgrades or downgrades fidelity* — hold by
+//! construction rather than by a runtime comparison.
+//!
+//! Table-epoch invalidation is inherited from [`Cache`]: entries are
+//! stamped with the table fingerprint current at insert and dropped
+//! lazily once the table is reloaded.
+
+use crate::exec::ResultSet;
+use muve_cache::{Cache, CacheStats};
+use std::sync::Arc;
+
+/// Fidelity key of an exact (unsampled) execution.
+pub const FIDELITY_EXACT: u64 = u64::MAX;
+
+/// The fidelity key for an execution at `fraction` (sample rung) with
+/// `seed`, or [`FIDELITY_EXACT`] for a full scan. Sampled rungs fold the
+/// exact fraction bits and the seed together so distinct rungs — or the
+/// same rung under a different seed — never share a key.
+pub fn fidelity_key(fraction: Option<f64>, seed: u64) -> u64 {
+    match fraction {
+        None => FIDELITY_EXACT,
+        Some(f) => {
+            use std::hash::Hasher;
+            let mut h = rustc_hash::FxHasher::default();
+            h.write_u64(f.to_bits());
+            h.write_u64(seed);
+            // Keep the exact marker reserved for exact scans.
+            let v = h.finish();
+            if v == FIDELITY_EXACT {
+                v ^ 1
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// Cache key: canonical query fingerprint plus fidelity key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// [`crate::query_fingerprint`] of the (merged) query, computed with
+    /// the target table as context.
+    pub fingerprint: u64,
+    /// [`fidelity_key`] of the execution.
+    pub fidelity: u64,
+}
+
+/// A byte-bounded cache of aggregate results keyed by [`ResultKey`].
+#[derive(Debug)]
+pub struct ResultCache {
+    cache: Cache<ResultKey, Arc<ResultSet>>,
+}
+
+impl ResultCache {
+    /// A result cache bounded by `max_bytes` (0 disables it).
+    pub fn new(max_bytes: usize) -> ResultCache {
+        ResultCache {
+            cache: Cache::new("result", max_bytes),
+        }
+    }
+
+    /// Look a result up (dropping it if its table epoch is stale).
+    pub fn get(&self, key: &ResultKey) -> Option<Arc<ResultSet>> {
+        self.cache.get(key)
+    }
+
+    /// Insert a result, charging its approximate size and recording the
+    /// measured recompute cost for cost-aware eviction.
+    pub fn insert(&self, key: ResultKey, rs: Arc<ResultSet>, cost_us: u64) {
+        let bytes = rs.approx_bytes();
+        self.cache.insert(key, rs, bytes, cost_us);
+    }
+
+    /// Bump the table epoch (see [`Cache::set_epoch`]).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.cache.set_epoch(epoch);
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+
+    /// Local statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Aggregate;
+    use crate::exec::execute;
+    use crate::query_fingerprint;
+    use crate::schema::Schema;
+    use crate::value::{ColumnType, Value};
+    use crate::Query;
+
+    #[test]
+    fn fidelity_keys_separate_rungs_and_seeds() {
+        assert_eq!(fidelity_key(None, 1), fidelity_key(None, 2));
+        assert_ne!(fidelity_key(Some(0.01), 1), FIDELITY_EXACT);
+        assert_ne!(fidelity_key(Some(0.01), 1), fidelity_key(Some(0.05), 1));
+        assert_ne!(fidelity_key(Some(0.01), 1), fidelity_key(Some(0.01), 2));
+        assert_eq!(fidelity_key(Some(0.01), 7), fidelity_key(Some(0.01), 7));
+    }
+
+    #[test]
+    fn roundtrip_with_epoch_invalidation() {
+        let schema = Schema::new([("x", ColumnType::Int)]);
+        let mut b = crate::Table::builder("t", schema);
+        b.push_row([Value::Int(5)]);
+        let t = b.build();
+        let q = Query::scalar("t", Aggregate::count_star());
+        let rs = Arc::new(execute(&t, &q).unwrap());
+
+        let cache = ResultCache::new(1 << 20);
+        cache.set_epoch(t.fingerprint());
+        let key = ResultKey {
+            fingerprint: query_fingerprint(&q, Some(&t)),
+            fidelity: FIDELITY_EXACT,
+        };
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, Arc::clone(&rs), 50);
+        assert_eq!(cache.get(&key).unwrap().scalar(), rs.scalar());
+
+        // Reload: different epoch drops the entry lazily.
+        cache.set_epoch(t.fingerprint() ^ 1);
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.stats().stale, 1);
+    }
+}

@@ -13,6 +13,7 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    fingerprint: u64,
 }
 
 impl Table {
@@ -55,6 +56,15 @@ impl Table {
     /// Read a full row (for tests and small results).
     pub fn row(&self, i: usize) -> Vec<Value> {
         self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// A cheap content fingerprint stamped at build time: a hash of the
+    /// (lowercased) name, schema, row count, column payloads, and NULL
+    /// masks. Two loads of identical data share a fingerprint; any content
+    /// change produces a new one. Caches use it as the *table epoch*, so a
+    /// `\load` invalidates every entry computed against the old data.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Rough in-memory size in bytes, used by the cost model to derive a
@@ -103,15 +113,57 @@ impl TableBuilder {
         self
     }
 
-    /// Finish building.
+    /// Finish building, stamping the content fingerprint (one linear pass
+    /// over the column data; load-time only, never per query).
     pub fn build(self) -> Table {
+        let fingerprint = content_fingerprint(&self.name, &self.schema, self.rows, &self.columns);
         Table {
             name: self.name,
             schema: self.schema,
             columns: self.columns,
             rows: self.rows,
+            fingerprint,
         }
     }
+}
+
+/// Hash every observable part of a table into one `u64`.
+fn content_fingerprint(name: &str, schema: &Schema, rows: usize, columns: &[Column]) -> u64 {
+    use crate::column::ColumnData;
+    use std::hash::Hasher;
+    let mut h = rustc_hash::FxHasher::default();
+    h.write(name.to_ascii_lowercase().as_bytes());
+    h.write_usize(rows);
+    for def in schema.columns() {
+        h.write(def.name.to_ascii_lowercase().as_bytes());
+        h.write_u8(def.ty as u8);
+    }
+    for col in columns {
+        match col.data() {
+            ColumnData::Int(xs) => {
+                for v in xs {
+                    h.write_i64(*v);
+                }
+            }
+            ColumnData::Float(xs) => {
+                for v in xs {
+                    h.write_u64(v.to_bits());
+                }
+            }
+            ColumnData::Str { codes, dict } => {
+                for c in codes {
+                    h.write_u32(*c);
+                }
+                for s in dict.entries() {
+                    h.write(s.as_bytes());
+                }
+            }
+        }
+        for null in col.null_slice() {
+            h.write_u8(u8::from(*null));
+        }
+    }
+    h.finish()
 }
 
 /// A named collection of tables (the database catalog).
@@ -197,5 +249,19 @@ mod tests {
     fn approx_bytes_positive() {
         let t = sample();
         assert!(t.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "identical loads match");
+
+        let schema = Schema::new([("city", ColumnType::Str), ("pop", ColumnType::Int)]);
+        let mut builder = Table::builder("cities", schema);
+        builder.push_row([Value::from("nyc"), Value::from(8_000_001i64)]);
+        builder.push_row([Value::from("ithaca"), Value::from(30_000i64)]);
+        let c = builder.build();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "changed data differs");
     }
 }

@@ -155,6 +155,113 @@ proptest! {
     }
 }
 
+mod fingerprint_props {
+    use super::*;
+    use muve_dbms::{query_fingerprint, PredOp};
+
+    /// Random single-table query drawn from a deliberately small space so
+    /// that semantically equivalent pairs (and always-false collapses onto
+    /// absent dictionary literals) occur often.
+    fn small_queries() -> impl Strategy<Value = Query> {
+        (funcs(), prop::collection::vec(0u8..8, 0..4), 0u8..2).prop_map(|(func, keys, grouped)| {
+            Query {
+                table: "t".into(),
+                aggregates: vec![if func == AggFunc::Count {
+                    Aggregate::count_star()
+                } else {
+                    Aggregate::over(func, "v")
+                }],
+                predicates: if keys.is_empty() {
+                    vec![]
+                } else {
+                    vec![Predicate::is_in(
+                        "k",
+                        keys.iter().map(|k| Value::from(format!("k{k}"))).collect(),
+                    )]
+                },
+                group_by: if grouped == 1 {
+                    vec!["g".into()]
+                } else {
+                    vec![]
+                },
+            }
+        })
+    }
+
+    /// A semantics-preserving rewrite: reversed predicate order, a
+    /// duplicated conjunct, `=` rewritten to a singleton `IN`, IN-lists
+    /// reversed with a duplicated member, and identifiers upper-cased.
+    fn scramble(q: &Query) -> Query {
+        let mut predicates: Vec<Predicate> = q
+            .predicates
+            .iter()
+            .rev()
+            .cloned()
+            .map(|p| Predicate {
+                column: p.column.to_ascii_uppercase(),
+                op: match p.op {
+                    PredOp::Eq(v) => PredOp::In(vec![v]),
+                    PredOp::In(mut vs) => {
+                        vs.reverse();
+                        if let Some(first) = vs.first().cloned() {
+                            vs.push(first);
+                        }
+                        PredOp::In(vs)
+                    }
+                    other => other,
+                },
+            })
+            .collect();
+        if let Some(p) = predicates.first().cloned() {
+            predicates.push(p);
+        }
+        Query {
+            table: q.table.to_ascii_uppercase(),
+            aggregates: q.aggregates.clone(),
+            predicates,
+            group_by: q.group_by.iter().map(|g| g.to_ascii_uppercase()).collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Equivalent ASTs — predicate permutation, duplicate conjuncts,
+        /// `=` vs singleton `IN`, IN-set order/duplicates, identifier case
+        /// — fingerprint identically, with and without table context.
+        #[test]
+        fn equivalent_rewrites_share_fingerprint(rt in random_table(), q in small_queries()) {
+            let table = rt.build();
+            let scrambled = scramble(&q);
+            prop_assert_eq!(
+                query_fingerprint(&q, Some(&table)),
+                query_fingerprint(&scrambled, Some(&table))
+            );
+            prop_assert_eq!(query_fingerprint(&q, None), query_fingerprint(&scrambled, None));
+        }
+
+        /// Soundness of cache keying: whenever two random queries share a
+        /// fingerprint on a table, executing both yields identical results.
+        /// A collision between semantically different queries would make
+        /// this fail, so it doubles as the "non-equivalent queries hash
+        /// differently" check.
+        #[test]
+        fn equal_fingerprints_imply_equal_results(
+            rt in random_table(),
+            a in small_queries(),
+            b in small_queries(),
+        ) {
+            let table = rt.build();
+            if query_fingerprint(&a, Some(&table)) == query_fingerprint(&b, Some(&table)) {
+                let ra = execute(&table, &a).unwrap();
+                let rb = execute(&table, &b).unwrap();
+                prop_assert_eq!(&ra.columns, &rb.columns);
+                prop_assert_eq!(&ra.rows, &rb.rows);
+            }
+        }
+    }
+}
+
 mod sql_roundtrip {
     use super::*;
     use muve_dbms::{parse, CmpOp, PredOp};

@@ -2,8 +2,9 @@
 //!
 //! Two complementary views of a running system:
 //!
-//! - [`metrics()`] — a process-global registry of monotonic counters and
-//!   log₂-bucketed histograms, recorded by every layer of the stack
+//! - [`metrics()`] — a process-global registry of monotonic counters,
+//!   two-way gauges, and log₂-bucketed histograms, recorded by every layer
+//!   of the stack
 //!   (solver nodes, planner restarts, rows scanned, session runs). Cheap
 //!   enough to leave on: recording is a handful of relaxed atomic adds.
 //! - [`SessionTrace`] — a per-run record of the deadline-enforced pipeline:
@@ -21,5 +22,7 @@
 mod metrics;
 mod trace;
 
-pub use metrics::{metrics, Counter, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use metrics::{
+    metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
 pub use trace::{SessionTrace, SpanStatus, StageSpan, TraceError};

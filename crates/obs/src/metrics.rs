@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -32,6 +32,34 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a signed level that can move both ways (e.g. resident cache
+/// bytes). Unlike [`Counter`] it is not monotonic; `add` takes a delta.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the gauge by a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 
@@ -109,6 +137,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -122,6 +151,19 @@ impl Registry {
                 let c = Arc::new(Counter::default());
                 map.insert(name.to_owned(), Arc::clone(&c));
                 c
+            }
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_owned(), Arc::clone(&g));
+                g
             }
         }
     }
@@ -148,6 +190,13 @@ impl Registry {
             .iter()
             .map(|(k, c)| (k.clone(), c.get()))
             .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
         let histograms = self
             .histograms
             .lock()
@@ -162,6 +211,7 @@ impl Registry {
             .collect();
         MetricsSnapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -175,6 +225,14 @@ impl Registry {
             .values()
         {
             c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            g.reset();
         }
         for h in self
             .histograms
@@ -222,6 +280,8 @@ impl HistogramSnapshot {
 pub struct MetricsSnapshot {
     /// `(name, value)` per counter.
     pub counters: Vec<(String, u64)>,
+    /// `(name, level)` per gauge.
+    pub gauges: Vec<(String, i64)>,
     /// One snapshot per histogram.
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -235,6 +295,14 @@ impl MetricsSnapshot {
             .map_or(0, |(_, v)| *v)
     }
 
+    /// The level of gauge `name` (zero when never registered).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
     /// The snapshot of histogram `name`, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
@@ -243,10 +311,13 @@ impl MetricsSnapshot {
 
 impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.counters.is_empty() && self.histograms.is_empty() {
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
             return writeln!(f, "no metrics recorded yet");
         }
         for (name, v) in &self.counters {
+            writeln!(f, "{name:<32} {v}")?;
+        }
+        for (name, v) in &self.gauges {
             writeln!(f, "{name:<32} {v}")?;
         }
         for h in &self.histograms {
@@ -305,6 +376,20 @@ mod tests {
         let rendered = snap.to_string();
         assert!(rendered.contains("test.obs.snap_c"));
         assert!(rendered.contains("test.obs.snap_h"));
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = metrics().gauge("test.obs.gauge_a");
+        g.set(10);
+        g.add(5);
+        g.add(-12);
+        assert_eq!(g.get(), 3);
+        assert_eq!(metrics().snapshot().gauge("test.obs.gauge_a"), 3);
+        assert!(metrics()
+            .snapshot()
+            .to_string()
+            .contains("test.obs.gauge_a"));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The session cache bundle: the three cache layers plus the
+//! single-flight table, shared across workers via `Arc`.
+//!
+//! One [`SessionCaches`] instance is built per server (or per shell) and
+//! attached to every [`crate::Session`] with
+//! [`Session::with_caches`](crate::Session::with_caches). The layers are:
+//!
+//! 1. **candidates** ([`CandidateCache`]) — canonical base-query
+//!    fingerprint → scored candidate distribution; a hit skips the whole
+//!    phonetic beam search *and* the lazy phonetic-index build;
+//! 2. **result** ([`ResultCache`]) — canonical merged-query fingerprint +
+//!    fidelity → aggregate [`ResultSet`], fronted by a [`SingleFlight`]
+//!    table so N concurrent identical misses execute once;
+//! 3. **plan** ([`PlanCache`]) — candidate-distribution fingerprint →
+//!    best known plan, seeding the ILP warm start.
+//!
+//! All three layers share one table epoch ([`Table::fingerprint`]):
+//! [`SessionCaches::set_table`] bumps it, lazily dropping every entry
+//! computed against the old data.
+
+use muve_cache::{CacheStats, SingleFlight};
+use muve_core::PlanCache;
+use muve_dbms::{ResultCache, ResultSet, Table};
+use muve_nlq::CandidateCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Single-flight key: `(table epoch, query fingerprint, fidelity key)`.
+/// The epoch is part of the key because the flight table has no epoch
+/// machinery of its own — a reload must not join post-reload requests
+/// onto a pre-reload leader.
+pub type FlightKey = (u64, u64, u64);
+
+/// Share of the byte budget given to the result layer.
+const RESULT_SHARE: f64 = 0.60;
+/// Share of the byte budget given to the candidate layer.
+const CANDIDATE_SHARE: f64 = 0.25;
+
+/// The shared cache bundle (candidates + results + plans + single-flight).
+#[derive(Debug)]
+pub struct SessionCaches {
+    candidates: CandidateCache,
+    results: ResultCache,
+    plans: PlanCache,
+    flights: SingleFlight<FlightKey, Arc<ResultSet>>,
+    epoch: AtomicU64,
+}
+
+impl SessionCaches {
+    /// A cache bundle with `total_bytes` split across the layers
+    /// (60% results, 25% candidates, 15% plans). `total_bytes == 0`
+    /// disables every layer.
+    pub fn new(total_bytes: usize) -> SessionCaches {
+        let results = (total_bytes as f64 * RESULT_SHARE) as usize;
+        let candidates = (total_bytes as f64 * CANDIDATE_SHARE) as usize;
+        let plans = total_bytes.saturating_sub(results + candidates);
+        SessionCaches {
+            candidates: CandidateCache::new(candidates),
+            results: ResultCache::new(results),
+            plans: PlanCache::new(plans),
+            flights: SingleFlight::new(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Stamp the current table: every layer's epoch becomes the table's
+    /// content fingerprint, lazily invalidating entries from other epochs.
+    pub fn set_table(&self, table: &Table) {
+        let epoch = table.fingerprint();
+        self.epoch.store(epoch, Ordering::Release);
+        self.candidates.set_epoch(epoch);
+        self.results.set_epoch(epoch);
+        self.plans.set_epoch(epoch);
+    }
+
+    /// The current table epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The candidate layer.
+    pub fn candidates(&self) -> &CandidateCache {
+        &self.candidates
+    }
+
+    /// The result layer.
+    pub fn results(&self) -> &ResultCache {
+        &self.results
+    }
+
+    /// The plan layer.
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The single-flight table fronting the result layer.
+    pub fn flights(&self) -> &SingleFlight<FlightKey, Arc<ResultSet>> {
+        &self.flights
+    }
+
+    /// Drop every entry in every layer (the epoch is kept).
+    pub fn clear(&self) {
+        self.candidates.clear();
+        self.results.clear();
+        self.plans.clear();
+    }
+
+    /// Per-layer statistics snapshot.
+    pub fn stats(&self) -> CachesReport {
+        CachesReport {
+            candidates: self.candidates.stats(),
+            results: self.results.stats(),
+            plans: self.plans.stats(),
+            singleflight_leads: self.flights.leads(),
+            singleflight_waits: self.flights.waits(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of every cache layer, for the `\cache`
+/// command and tests.
+#[derive(Debug, Clone, Copy)]
+pub struct CachesReport {
+    /// Candidate-layer statistics.
+    pub candidates: CacheStats,
+    /// Result-layer statistics.
+    pub results: CacheStats,
+    /// Plan-layer statistics.
+    pub plans: CacheStats,
+    /// Single-flight executions led.
+    pub singleflight_leads: u64,
+    /// Single-flight waits joined onto a leader.
+    pub singleflight_waits: u64,
+}
+
+impl std::fmt::Display for CachesReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "candidates   {}", self.candidates)?;
+        writeln!(f, "results      {}", self.results)?;
+        writeln!(f, "plans        {}", self.plans)?;
+        write!(
+            f,
+            "single-flight: {} led, {} waited",
+            self.singleflight_leads, self.singleflight_waits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_dbms::{ColumnType, Schema, Value};
+
+    fn table(seed: i64) -> Table {
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        b.push_row([Value::from("a"), Value::from(seed)]);
+        b.build()
+    }
+
+    #[test]
+    fn set_table_bumps_every_layer() {
+        let caches = SessionCaches::new(1 << 20);
+        let a = table(1);
+        caches.set_table(&a);
+        assert_eq!(caches.epoch(), a.fingerprint());
+        let b = table(2);
+        caches.set_table(&b);
+        assert_eq!(caches.epoch(), b.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn report_renders() {
+        let caches = SessionCaches::new(1 << 20);
+        let text = caches.stats().to_string();
+        assert!(text.contains("candidates"), "{text}");
+        assert!(text.contains("single-flight"), "{text}");
+    }
+
+    #[test]
+    fn zero_budget_disables_layers() {
+        let caches = SessionCaches::new(0);
+        let t = table(1);
+        caches.set_table(&t);
+        let key = muve_dbms::ResultKey {
+            fingerprint: 1,
+            fidelity: muve_dbms::FIDELITY_EXACT,
+        };
+        assert!(caches.results().get(&key).is_none());
+        assert_eq!(caches.stats().results.lookups, 0, "disabled: not counted");
+    }
+}

@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod cache;
 mod error;
 mod fault;
 mod session;
 
 pub use budget::DeadlineBudget;
+pub use cache::{CachesReport, FlightKey, SessionCaches};
 pub use error::{PipelineError, Stage};
 pub use fault::{FaultInjector, StageFault};
 pub use session::{

@@ -22,19 +22,24 @@
 //! reason.
 
 use crate::budget::DeadlineBudget;
+use crate::cache::SessionCaches;
 use crate::error::{PipelineError, Stage};
 use crate::fault::FaultInjector;
+use muve_cache::Join;
 use muve_core::{
-    headline, plan, plan_incremental_observed, render_text, Candidate, IlpConfig,
-    IncrementalSchedule, IncumbentSlot, Multiplot, Planner, Plot, PlotEntry, ScreenConfig,
-    UserCostModel,
+    distribution_fingerprint, headline, plan, plan_incremental_observed, render_text, Candidate,
+    IlpConfig, IncrementalSchedule, IncumbentSlot, Multiplot, Planner, Plot, PlotEntry,
+    ScreenConfig, UserCostModel,
 };
-use muve_dbms::{execute, execute_merged, parse, plan_merged, AggFunc, Query, Table};
-use muve_nlq::{translate, CandidateGenerator};
+use muve_dbms::{
+    execute, execute_merged, extract_merged, fidelity_key, parse, plan_merged, query_fingerprint,
+    MergeGroup, Query, ResultKey, ResultSet, Table,
+};
+use muve_nlq::{translate, CandidateGenerator, CandidateKey, CandidateQuery};
 use muve_obs::{SessionTrace, SpanStatus, StageSpan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Once};
+use std::sync::{Arc, Once, OnceLock};
 use std::time::Duration;
 
 /// Configuration of one session.
@@ -282,19 +287,24 @@ impl TableRef<'_> {
 #[derive(Debug)]
 pub struct Session<'a> {
     table: TableRef<'a>,
-    generator: CandidateGenerator,
+    /// Built on first use: a candidate-cache hit never needs the phonetic
+    /// index, so its construction cost (a scan of every dictionary) is
+    /// deferred until a generation actually runs.
+    generator: OnceLock<CandidateGenerator>,
     config: SessionConfig,
     injector: FaultInjector,
+    caches: Option<Arc<SessionCaches>>,
 }
 
 impl<'a> Session<'a> {
     /// Build a session over `table`.
     pub fn new(table: &'a Table, config: SessionConfig) -> Session<'a> {
         Session {
-            generator: CandidateGenerator::new(table),
+            generator: OnceLock::new(),
             table: TableRef::Borrowed(table),
             config,
             injector: FaultInjector::none(),
+            caches: None,
         }
     }
 
@@ -303,10 +313,11 @@ impl<'a> Session<'a> {
     /// thread — the constructor the concurrent serving layer uses.
     pub fn shared(table: Arc<Table>, config: SessionConfig) -> Session<'static> {
         Session {
-            generator: CandidateGenerator::new(&table),
+            generator: OnceLock::new(),
             table: TableRef::Shared(table),
             config,
             injector: FaultInjector::none(),
+            caches: None,
         }
     }
 
@@ -316,9 +327,60 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Attach a shared cache bundle. The caches must have been stamped
+    /// with this session's table ([`SessionCaches::set_table`]);
+    /// otherwise every lookup simply misses on the epoch check.
+    pub fn with_caches(mut self, caches: Arc<SessionCaches>) -> Session<'a> {
+        self.caches = Some(caches);
+        self
+    }
+
     /// The session configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// The candidate generator, built on first use.
+    fn generator(&self) -> &CandidateGenerator {
+        self.generator
+            .get_or_init(|| CandidateGenerator::new(self.table.get()))
+    }
+
+    /// The candidate distribution for `base`: cache lookup first, then
+    /// phonetic generation (inserting the result on success). Returns the
+    /// distribution and whether it came from the cache. A hit skips the
+    /// whole stage body — including the injector trip — since no work of
+    /// the candidates stage actually runs.
+    fn candidate_distribution(
+        &self,
+        base: &Query,
+        budget: &DeadlineBudget,
+    ) -> Result<(Arc<Vec<CandidateQuery>>, bool), PipelineError> {
+        let key = self.caches.as_deref().map(|caches| {
+            let key = CandidateKey {
+                fingerprint: query_fingerprint(base, Some(self.table.get())),
+                k: self.config.k,
+                max_candidates: self.config.max_candidates,
+            };
+            (caches, key)
+        });
+        if let Some((caches, key)) = key {
+            if let Some(hit) = caches.candidates().get(&key) {
+                return Ok((hit, true));
+            }
+        }
+        self.injector.trip(Stage::Candidates)?;
+        let t0 = budget.elapsed();
+        let cq = self
+            .generator()
+            .try_candidates(base, self.config.k, self.config.max_candidates)
+            .map_err(|e| PipelineError::Candidates(e.to_string()))?;
+        let cq = Arc::new(cq);
+        if let Some((caches, key)) = key {
+            let cost = budget.elapsed().saturating_sub(t0).as_micros() as u64;
+            caches.candidates().insert(key, Arc::clone(&cq), cost);
+        }
+        Ok((cq, false))
     }
 
     /// Run one transcript through the pipeline. Never panics; always
@@ -444,15 +506,16 @@ impl<'a> Session<'a> {
             vec![Candidate::new(base.clone(), 1.0)]
         } else {
             match self.guard(Stage::Candidates, || {
-                self.injector.trip(Stage::Candidates)?;
-                self.generator
-                    .try_candidates(&base, self.config.k, self.config.max_candidates)
-                    .map_err(|e| PipelineError::Candidates(e.to_string()))
+                self.candidate_distribution(&base, &budget)
             }) {
-                Ok(cq) => cq
-                    .into_iter()
-                    .map(|c| Candidate::new(c.query, c.probability))
-                    .collect(),
+                Ok((cq, from_cache)) => {
+                    if from_cache {
+                        cand_detail = "candidate cache hit".to_owned();
+                    }
+                    cq.iter()
+                        .map(|c| Candidate::new(c.query.clone(), c.probability))
+                        .collect()
+                }
                 Err(e) => {
                     cand_status = if matches!(e, PipelineError::StagePanic { .. }) {
                         SpanStatus::Panicked
@@ -687,6 +750,48 @@ impl<'a> Session<'a> {
                 ..self.config.schedule
             };
             let slot = IncumbentSlot::new();
+            // Plan cache: a proven-optimal hit for this distribution is
+            // returned outright; an unproven one seeds the solver's warm
+            // start and the incumbent slot, so planning resumes from the
+            // best multiplot any previous request found.
+            let dist_fp = self.caches.as_deref().map(|caches| {
+                (
+                    caches,
+                    distribution_fingerprint(
+                        candidates,
+                        &self.config.screen,
+                        &self.config.model,
+                        plan_salt(&cfg),
+                    ),
+                )
+            });
+            if let Some((caches, fp)) = dist_fp {
+                if let Some(hit) = caches.plans().get(fp) {
+                    if hit.proven_optimal && hit.multiplot.num_plots() > 0 {
+                        let detail = "plan cache hit (proven optimal)";
+                        events.push(DegradationEvent {
+                            at: budget.elapsed(),
+                            stage: Stage::Plan,
+                            rung: Rung::Ilp,
+                            detail: detail.to_owned(),
+                        });
+                        push_span(
+                            strace,
+                            Stage::Plan,
+                            started,
+                            Some(allotted),
+                            budget,
+                            SpanStatus::Completed,
+                            Rung::Ilp,
+                            detail,
+                            plan_counters(&hit),
+                        );
+                        return (hit.multiplot, Rung::Ilp);
+                    }
+                    slot.record(&hit);
+                    cfg.seed = Some(hit.multiplot);
+                }
+            }
             let planned = self.guard(Stage::Plan, || {
                 self.injector.trip(Stage::Plan)?;
                 Ok(plan_incremental_observed(
@@ -701,6 +806,9 @@ impl<'a> Session<'a> {
             });
             match planned {
                 Ok(r) if r.multiplot.num_plots() > 0 => {
+                    if let Some((caches, fp)) = dist_fp {
+                        caches.plans().offer(fp, &r);
+                    }
                     let detail = format!(
                         "ILP planned ({})",
                         if r.proven_optimal {
@@ -739,6 +847,9 @@ impl<'a> Session<'a> {
             // Rung 2: the incumbent the observed planner left behind.
             if let Some(incumbent) = slot.take() {
                 if incumbent.multiplot.num_plots() > 0 {
+                    if let Some((caches, fp)) = dist_fp {
+                        caches.plans().offer(fp, &incumbent);
+                    }
                     events.push(DegradationEvent {
                         at: budget.elapsed(),
                         stage: Stage::Plan,
@@ -874,7 +985,7 @@ impl<'a> Session<'a> {
             }
             let attempt = self.guard(Stage::Execute, || {
                 self.injector.trip(Stage::Execute)?;
-                Ok(self.execute_attempt(candidates, shown, fraction))
+                Ok(self.execute_attempt(candidates, shown, fraction, budget))
             });
             let label = fraction.map_or("exact".to_owned(), |f| format!("{}% sample", f * 100.0));
             attempts += 1;
@@ -947,85 +1058,199 @@ impl<'a> Session<'a> {
         approximate
     }
 
-    /// One execution attempt at a fixed fidelity: merged execution with
-    /// per-group fallback to separate execution.
+    /// One execution attempt at a fixed fidelity: per merge group, the
+    /// result cache and single-flight table first (when caches are
+    /// attached), then merged execution with per-group fallback to
+    /// separate execution.
     fn execute_attempt(
         &self,
         candidates: &[Candidate],
         shown: &[usize],
         fraction: Option<f64>,
+        budget: &DeadlineBudget,
     ) -> ExecAttempt {
         let queries: Vec<Query> = shown.iter().map(|&i| candidates[i].query.clone()).collect();
-        let mut values: Vec<(usize, Option<f64>)> = Vec::new();
-        let mut member_errors: Vec<PipelineError> = Vec::new();
-        let mut rows_scanned = 0usize;
+        let mut out = ExecAttempt {
+            values: Vec::new(),
+            member_errors: Vec::new(),
+            rows_scanned: 0,
+        };
         for g in plan_merged(&queries) {
-            match fraction {
-                None => match execute_merged(self.table.get(), &g) {
-                    Ok(r) => {
-                        rows_scanned += r.stats.rows_scanned;
-                        for (local, v) in r.results {
-                            values.push((shown[local], v));
+            if !self.execute_group_cached(&g, &queries, shown, fraction, budget, &mut out) {
+                self.execute_group_direct(&g, &queries, shown, fraction, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Serve one merge group through the result cache and the
+    /// single-flight table. Returns `true` when the group was fully
+    /// handled here (cache hit, leader's published result, or executed
+    /// and cached as the leader); `false` sends the caller to the direct
+    /// path — there are no caches, or waiting on another request's leader
+    /// failed and this request must make its own progress.
+    ///
+    /// Fidelity matching is strict by key construction ([`ResultKey`]):
+    /// a request only ever sees a result computed at exactly the fidelity
+    /// (sample fraction + seed, or exact) it would execute itself.
+    fn execute_group_cached(
+        &self,
+        g: &MergeGroup,
+        queries: &[Query],
+        shown: &[usize],
+        fraction: Option<f64>,
+        budget: &DeadlineBudget,
+        out: &mut ExecAttempt,
+    ) -> bool {
+        let Some(caches) = self.caches.as_deref() else {
+            return false;
+        };
+        let table = self.table.get();
+        let key = ResultKey {
+            fingerprint: query_fingerprint(&g.merged, Some(table)),
+            fidelity: fidelity_key(fraction, self.config.seed),
+        };
+        if let Some(rs) = caches.results().get(&key) {
+            // A hit scans no rows on behalf of this request.
+            for (local, v) in extract_merged(&rs, g) {
+                out.values.push((shown[local], v));
+            }
+            return true;
+        }
+        match caches
+            .flights()
+            .join((caches.epoch(), key.fingerprint, key.fidelity))
+        {
+            Join::Leader(lead) => {
+                let t0 = budget.elapsed();
+                let run: Result<ResultSet, String> = match fraction {
+                    None => execute(table, &g.merged).map_err(|e| format!("merged: {e}")),
+                    Some(f) => {
+                        muve_dbms::execute_approximate(table, &g.merged, f, self.config.seed)
+                            .map(|(rs, _realized)| rs)
+                            .map_err(|e| format!("sample: {e}"))
+                    }
+                };
+                match run {
+                    Ok(rs) => {
+                        let rs = Arc::new(rs);
+                        let cost = budget.elapsed().saturating_sub(t0).as_micros() as u64;
+                        // Insert before publishing the flight, so a request
+                        // arriving after the flight resolves finds the
+                        // entry in the cache.
+                        caches.results().insert(key, Arc::clone(&rs), cost);
+                        out.rows_scanned += rs.stats.rows_scanned;
+                        for (local, v) in extract_merged(&rs, g) {
+                            out.values.push((shown[local], v));
+                        }
+                        lead.finish(Some(rs));
+                    }
+                    Err(msg) => {
+                        // Dropping the leader publishes the failure so
+                        // waiters stop blocking and execute themselves.
+                        drop(lead);
+                        out.member_errors.push(PipelineError::Execution(msg));
+                        if fraction.is_none() {
+                            // Same per-member fallback as the direct path.
+                            self.separate_fallback(g, queries, shown, out);
                         }
                     }
-                    Err(merged_err) => {
-                        // Merged execution failed: fall back to executing
-                        // each member separately so one bad query cannot
-                        // starve the whole group.
-                        member_errors
-                            .push(PipelineError::Execution(format!("merged: {merged_err}")));
-                        for m in &g.members {
-                            match execute(self.table.get(), &queries[m.index]) {
-                                Ok(rs) => {
-                                    rows_scanned += rs.stats.rows_scanned;
-                                    values.push((shown[m.index], rs.scalar()));
-                                }
-                                Err(e) => {
-                                    member_errors.push(PipelineError::Execution(e.to_string()))
-                                }
-                            }
+                }
+                true
+            }
+            Join::Waiter(waiter) => match waiter.wait(budget.remaining()) {
+                Some(Some(rs)) => {
+                    for (local, v) in extract_merged(&rs, g) {
+                        out.values.push((shown[local], v));
+                    }
+                    true
+                }
+                // Leader failed, or the wait outlived this request's
+                // remaining budget: fall through to direct execution — a
+                // request never gives up because of someone else's flight.
+                _ => false,
+            },
+        }
+    }
+
+    /// One merge group, executed directly (the pre-cache code path).
+    fn execute_group_direct(
+        &self,
+        g: &MergeGroup,
+        queries: &[Query],
+        shown: &[usize],
+        fraction: Option<f64>,
+        out: &mut ExecAttempt,
+    ) {
+        match fraction {
+            None => match execute_merged(self.table.get(), g) {
+                Ok(r) => {
+                    out.rows_scanned += r.stats.rows_scanned;
+                    for (local, v) in r.results {
+                        out.values.push((shown[local], v));
+                    }
+                }
+                Err(merged_err) => {
+                    // Merged execution failed: fall back to executing each
+                    // member separately so one bad query cannot starve the
+                    // whole group.
+                    out.member_errors
+                        .push(PipelineError::Execution(format!("merged: {merged_err}")));
+                    self.separate_fallback(g, queries, shown, out);
+                }
+            },
+            Some(f) => {
+                match muve_dbms::execute_approximate(
+                    self.table.get(),
+                    &g.merged,
+                    f,
+                    self.config.seed,
+                ) {
+                    Ok((rs, _realized)) => {
+                        out.rows_scanned += rs.stats.rows_scanned;
+                        for (local, v) in extract_merged(&rs, g) {
+                            out.values.push((shown[local], v));
                         }
                     }
-                },
-                Some(f) => {
-                    match muve_dbms::execute_approximate(
-                        self.table.get(),
-                        &g.merged,
-                        f,
-                        self.config.seed,
-                    ) {
-                        Ok((rs, _realized)) => {
-                            rows_scanned += rs.stats.rows_scanned;
-                            let n_group = g.merged.group_by.len();
-                            for m in &g.members {
-                                let row = match (&m.key, n_group) {
-                                    (Some(key), 1) => rs.rows.iter().find(|r| &r[0] == key),
-                                    _ => rs.rows.first(),
-                                };
-                                let v = row.and_then(|r| r[n_group + m.agg].as_f64());
-                                // A missing group on a sample means zero sampled
-                                // rows matched: count estimates 0, others stay
-                                // unknown.
-                                let v = match (v, g.merged.aggregates[m.agg].func) {
-                                    (None, AggFunc::Count) => Some(0.0),
-                                    (v, _) => v,
-                                };
-                                values.push((shown[m.index], v));
-                            }
-                        }
-                        Err(e) => {
-                            member_errors.push(PipelineError::Execution(format!("sample: {e}")));
-                        }
+                    Err(e) => {
+                        out.member_errors
+                            .push(PipelineError::Execution(format!("sample: {e}")));
                     }
                 }
             }
         }
-        ExecAttempt {
-            values,
-            member_errors,
-            rows_scanned,
+    }
+
+    /// Per-member separate execution after a merged failure.
+    fn separate_fallback(
+        &self,
+        g: &MergeGroup,
+        queries: &[Query],
+        shown: &[usize],
+        out: &mut ExecAttempt,
+    ) {
+        for m in &g.members {
+            match execute(self.table.get(), &queries[m.index]) {
+                Ok(rs) => {
+                    out.rows_scanned += rs.stats.rows_scanned;
+                    out.values.push((shown[m.index], rs.scalar()));
+                }
+                Err(e) => out
+                    .member_errors
+                    .push(PipelineError::Execution(e.to_string())),
+            }
         }
     }
+}
+
+/// Planner-configuration salt for the plan-cache fingerprint: the knobs
+/// beyond the candidate distribution itself that change the planning
+/// answer (the processing-cost extension and the pruning ablation).
+fn plan_salt(cfg: &IlpConfig) -> u64 {
+    use std::hash::Hasher;
+    let mut h = rustc_hash::FxHasher::default();
+    h.write(format!("{:?}|{}", cfg.processing, cfg.no_template_pruning).as_bytes());
+    h.finish()
 }
 
 /// The stage names of one session run, in pipeline order — the argument to

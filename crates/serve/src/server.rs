@@ -4,7 +4,8 @@ use crate::breaker::{BreakerConfig, BreakerDecision, BreakerSet, BreakerState};
 use muve_core::Planner;
 use muve_dbms::Table;
 use muve_pipeline::{
-    DeadlineBudget, FaultInjector, Session, SessionConfig, SessionOutcome, Stage, Visualization,
+    DeadlineBudget, FaultInjector, Session, SessionCaches, SessionConfig, SessionOutcome, Stage,
+    Visualization,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +59,9 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// Per-stage circuit breaker tuning.
     pub breaker: BreakerConfig,
+    /// Shared cross-request cache bundle. `None` disables caching; the
+    /// server stamps the bundle with the table's epoch at startup.
+    pub caches: Option<Arc<SessionCaches>>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +71,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            caches: None,
         }
     }
 }
@@ -330,6 +335,9 @@ impl Server {
     /// requests.
     pub fn new(table: Arc<Table>, cfg: ServerConfig) -> Server {
         let workers = cfg.workers.max(1);
+        if let Some(caches) = &cfg.caches {
+            caches.set_table(&table);
+        }
         let shared = Arc::new(Shared {
             breakers: BreakerSet::new(cfg.breaker.clone()),
             cfg,
@@ -582,8 +590,11 @@ fn worker_loop(shared: &Shared, worker_id: u64) {
             config.sample_ladder.clear();
         }
 
-        let session =
+        let mut session =
             Session::shared(Arc::clone(&shared.table), config).with_injector(job.req.injector);
+        if let Some(caches) = &shared.cfg.caches {
+            session = session.with_caches(Arc::clone(caches));
+        }
         let mut saw_signal = [false; 5];
         let mut attempts: u32 = 1;
         let mut outcome = session.run_with_budget(&job.req.transcript, job.budget.clone());

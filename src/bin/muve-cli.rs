@@ -24,6 +24,7 @@
 //! \svg <path>                                save the last multiplot
 //! \serve [workers] [queue]                   route questions through a worker pool
 //! \drain                                     gracefully drain the worker pool
+//! \cache [clear | <mb>]                      cache stats, clear, or resize (0 off)
 //! \stats                                     print process-wide metrics
 //! \trace <path|off>                          append per-query JSON traces
 //! \schema                                    show the loaded schema
@@ -36,13 +37,18 @@
 //! (optionally with `--workers N` and `--queue-depth M`) starts the shell
 //! in serving mode: questions go through a `muve-serve` worker pool with
 //! deadline-aware admission control, so an overloaded or draining pool
-//! sheds typed rejections instead of queueing forever.
+//! sheds typed rejections instead of queueing forever. `--cache-mb N`
+//! sizes the cross-request cache (candidates, results, plan warm starts);
+//! `--cache-mb 0` disables it entirely and is bit-identical to caching
+//! never having existed.
 
 use muve::core::{render_svg, IlpConfig, Planner, ScreenConfig, UserCostModel};
 use muve::data::Dataset;
 use muve::dbms::{table_from_csv_path, ColumnType, Table};
 use muve::nlq::SpeechChannel;
-use muve::pipeline::{FaultInjector, Session, SessionConfig, SessionOutcome, Visualization};
+use muve::pipeline::{
+    FaultInjector, Session, SessionCaches, SessionConfig, SessionOutcome, Visualization,
+};
 use muve::serve::{Request, ServeOutcome, Server, ServerConfig};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -62,10 +68,16 @@ struct Shell {
     trace_out: Option<String>,
     serve_cfg: ServerConfig,
     server: Option<Server>,
+    caches: Option<Arc<SessionCaches>>,
 }
+
+/// Default cross-request cache budget (`--cache-mb`).
+const DEFAULT_CACHE_MB: usize = 64;
 
 impl Shell {
     fn new(table: Table) -> Shell {
+        let caches = Arc::new(SessionCaches::new(DEFAULT_CACHE_MB << 20));
+        caches.set_table(&table);
         Shell {
             table: Arc::new(table),
             screen: ScreenConfig::desktop(2),
@@ -80,6 +92,23 @@ impl Shell {
             trace_out: None,
             serve_cfg: ServerConfig::default(),
             server: None,
+            caches: Some(caches),
+        }
+    }
+
+    fn set_cache_budget(&mut self, mb: usize) {
+        if mb == 0 {
+            self.caches = None;
+            println!("cache disabled");
+        } else {
+            let caches = Arc::new(SessionCaches::new(mb << 20));
+            caches.set_table(&self.table);
+            self.caches = Some(caches);
+            println!("cache budget: {mb} MB");
+        }
+        // A live worker pool holds the old bundle; rebuild it.
+        if self.server.is_some() {
+            self.start_serve();
         }
     }
 
@@ -91,6 +120,11 @@ impl Shell {
             table.schema().len()
         );
         self.table = Arc::new(table);
+        // Bump the cache epoch: entries computed against the old table are
+        // now stale and will be lazily dropped on lookup.
+        if let Some(caches) = &self.caches {
+            caches.set_table(&self.table);
+        }
         // A live worker pool serves the old table; rebuild it over the new
         // one (draining first so in-flight questions finish cleanly).
         if self.server.is_some() {
@@ -103,6 +137,7 @@ impl Shell {
             let report = server.drain();
             println!("{report}");
         }
+        self.serve_cfg.caches = self.caches.clone();
         self.server = Some(Server::new(Arc::clone(&self.table), self.serve_cfg.clone()));
         println!(
             "serving: {} workers, queue depth {}",
@@ -176,7 +211,10 @@ impl Shell {
             }
             return;
         }
-        let session = Session::new(&self.table, config).with_injector(self.injector.clone());
+        let mut session = Session::new(&self.table, config).with_injector(self.injector.clone());
+        if let Some(caches) = &self.caches {
+            session = session.with_caches(Arc::clone(caches));
+        }
         let outcome = session.run(&text);
         self.report_outcome(outcome);
     }
@@ -375,6 +413,23 @@ impl Shell {
                     println!("server: {}", server.stats());
                 }
             }
+            Some("\\cache") => match parts.get(1).copied() {
+                None => match &self.caches {
+                    Some(caches) => println!("{}", caches.stats()),
+                    None => println!("cache disabled; \\cache <mb> to enable"),
+                },
+                Some("clear") => match &self.caches {
+                    Some(caches) => {
+                        caches.clear();
+                        println!("cache cleared");
+                    }
+                    None => println!("cache disabled"),
+                },
+                Some(arg) => match arg.parse::<usize>() {
+                    Ok(mb) => self.set_cache_budget(mb),
+                    Err(_) => println!("usage: \\cache [clear | <mb>] (0 disables)"),
+                },
+            },
             Some("\\trace") => match parts.get(1).copied() {
                 Some("off") | Some("none") => {
                     self.trace_out = None;
@@ -398,7 +453,7 @@ fn print_help() {
          commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
          \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>,\n\
          \\inject <spec|off>, \\svg <path>, \\serve [workers] [queue] | off, \\drain,\n\
-         \\stats, \\trace <path|off>, \\schema, \\quit"
+         \\cache [clear | <mb>], \\stats, \\trace <path|off>, \\schema, \\quit"
     );
 }
 
@@ -434,6 +489,13 @@ fn main() {
                 }
             },
             "--serve" => serve = true,
+            "--cache-mb" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(mb) => shell.set_cache_budget(mb),
+                None => {
+                    eprintln!("--cache-mb expects a non-negative integer (0 disables)");
+                    std::process::exit(2);
+                }
+            },
             "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => shell.serve_cfg.workers = n,
                 _ => {
@@ -452,7 +514,7 @@ fn main() {
                 eprintln!(
                     "unknown argument {other:?}; usage: \
                      muve-cli [--deadline-ms N] [--inject-fault SPEC] [--trace-out FILE] \
-                     [--serve] [--workers N] [--queue-depth M]"
+                     [--serve] [--workers N] [--queue-depth M] [--cache-mb N]"
                 );
                 std::process::exit(2);
             }

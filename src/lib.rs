@@ -1,4 +1,5 @@
 //! MUVE facade crate.
+pub use muve_cache as cache;
 pub use muve_core as core;
 pub use muve_data as data;
 pub use muve_dbms as dbms;

@@ -1,0 +1,111 @@
+//! Epoch invalidation under load: a table reload between bursts of
+//! traffic must prevent any post-reload response from being served out
+//! of a pre-reload cache entry. The cache layers are keyed by content —
+//! the table's fingerprint is the epoch — so a reload (same table name,
+//! different rows) lazily drops every stale entry on its next lookup.
+//!
+//! The test drives real traffic through `muve-serve` against table A,
+//! drains, reloads with table B behind the *same* cache bundle, drives
+//! more traffic, and asserts every post-reload answer is B's answer —
+//! verified both by value and by the cache's own `stale` counters.
+
+use muve::core::Planner;
+use muve::dbms::{ColumnType, Schema, Table, Value};
+use muve::pipeline::{SessionCaches, SessionConfig, Visualization};
+use muve::serve::{Request, ServeOutcome, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tiny table `t(k, v)` where every `k = 'a'` row carries `v_a`. Both
+/// versions share the schema and the dictionary (same distinct strings
+/// in the same order), so the canonical query fingerprints — the cache
+/// *keys* — are identical across the reload; only the epoch differs.
+fn table(v_a: i64) -> Table {
+    let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Int)]);
+    let mut b = Table::builder("t", schema);
+    for i in 0..40 {
+        if i % 2 == 0 {
+            b.push_row([Value::from("a"), Value::from(v_a)]);
+        } else {
+            b.push_row([Value::from("b"), Value::from(-1)]);
+        }
+    }
+    b.build()
+}
+
+const TRANSCRIPT: &str = "select avg(v) from t where k = 'a'";
+
+fn config() -> SessionConfig {
+    SessionConfig {
+        deadline: Duration::from_secs(10),
+        planner: Planner::Greedy,
+        max_candidates: 1,
+        ..SessionConfig::default()
+    }
+}
+
+fn answer(server: &Server) -> f64 {
+    let ticket = server
+        .submit(Request::new(TRANSCRIPT).with_config(config()))
+        .expect("admitted");
+    match ticket
+        .wait_timeout(Duration::from_secs(30))
+        .expect("request hung")
+    {
+        ServeOutcome::Completed { outcome, .. } => match &outcome.visualization {
+            Visualization::Multiplot { results, .. } => results[0].expect("query produced a value"),
+            Visualization::Text { message } => panic!("degraded to text: {message}"),
+        },
+        ServeOutcome::Shed { reason, .. } => panic!("shed: {reason}"),
+    }
+}
+
+#[test]
+fn reload_invalidates_every_pre_reload_entry() {
+    let caches = Arc::new(SessionCaches::new(8 << 20));
+    let serve_cfg = || ServerConfig {
+        workers: 2,
+        caches: Some(Arc::clone(&caches)),
+        ..ServerConfig::default()
+    };
+
+    // Burst 1: traffic against table A warms every layer.
+    let table_a = Arc::new(table(10));
+    let server = Server::new(Arc::clone(&table_a), serve_cfg());
+    let v_a = answer(&server);
+    assert_eq!(v_a, 10.0);
+    assert_eq!(answer(&server), v_a, "warm repeat must agree");
+    let warm = caches.stats();
+    assert!(warm.results.hits >= 1, "cache never warmed: {warm}");
+    assert_eq!(warm.results.stale, 0, "{warm}");
+    server.drain();
+
+    // Reload: same table name and dictionary, different contents. The
+    // new server stamps the shared bundle with B's fingerprint.
+    let table_b = Arc::new(table(99));
+    assert_ne!(table_a.fingerprint(), table_b.fingerprint());
+    let server = Server::new(Arc::clone(&table_b), serve_cfg());
+
+    // Burst 2: every post-reload answer is B's answer — the warm A
+    // entries under the very same keys must not leak through.
+    for i in 0..4 {
+        let v = answer(&server);
+        assert_eq!(v, 99.0, "post-reload request {i} served a stale value");
+        assert_ne!(v, v_a);
+    }
+    server.drain();
+
+    // The A entries were detected as stale and dropped, not merely missed:
+    // both content layers saw their old-epoch entry die on first lookup.
+    let report = caches.stats();
+    assert!(
+        report.results.stale >= 1,
+        "result layer never saw a stale entry: {report}"
+    );
+    assert!(
+        report.candidates.stale >= 1,
+        "candidate layer never saw a stale entry: {report}"
+    );
+    // And B's own entries serve the later requests within the new epoch.
+    assert!(report.results.hits > warm.results.hits, "{report}");
+}

@@ -1,0 +1,210 @@
+//! Fidelity semantics of the result cache, exercised through the real
+//! deadline machinery ([`DeadlineBudget`] via `SessionConfig::deadline`)
+//! and the [`FaultInjector`]:
+//!
+//! - caching never silently upgrades or downgrades fidelity — an entry
+//!   computed at a sample rung only ever serves requests that would
+//!   execute at exactly that rung (same fraction, same seed), and an
+//!   exact request never reads a sampled entry;
+//! - a disabled cache (`--cache-mb 0`, i.e. a zero byte budget) is
+//!   bit-identical to caching never having existed;
+//! - a warm cache returns the same values as a cold one.
+
+use muve::core::Planner;
+use muve::data::Dataset;
+use muve::dbms::Table;
+use muve::obs::metrics;
+use muve::pipeline::{
+    FaultInjector, Session, SessionCaches, SessionConfig, SessionOutcome, Visualization,
+};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Serializes the tests in this binary: the `dbms.queries` delta in the
+/// fidelity test is only exact while no other test executes queries.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+const TRANSCRIPT: &str = "average dep delay in jfk";
+
+fn flights() -> Table {
+    Dataset::Flights.generate(2_000, 7)
+}
+
+/// A config whose execute ladder starts on a 5 % sample: the table is
+/// above the sampling threshold, so the first attempt is approximate.
+fn sampled_config() -> SessionConfig {
+    SessionConfig {
+        deadline: Duration::from_secs(1),
+        planner: Planner::Greedy,
+        max_candidates: 1,
+        sample_ladder: vec![0.05],
+        sample_threshold_rows: 100,
+        ..SessionConfig::default()
+    }
+}
+
+/// A one-shot execute latency far beyond the deadline: the sampled
+/// attempt completes (the sleep happens before it), after which the
+/// budget is exhausted and the session keeps the approximate result
+/// instead of escalating to exact.
+fn stall_execute() -> FaultInjector {
+    FaultInjector::parse("execute:latency=2000").expect("spec parses")
+}
+
+fn run(
+    table: &Table,
+    config: SessionConfig,
+    caches: Option<&Arc<SessionCaches>>,
+    injector: Option<FaultInjector>,
+) -> SessionOutcome {
+    let mut session = Session::new(table, config);
+    if let Some(caches) = caches {
+        session = session.with_caches(Arc::clone(caches));
+    }
+    if let Some(injector) = injector {
+        session = session.with_injector(injector);
+    }
+    session.run(TRANSCRIPT)
+}
+
+fn scalar(outcome: &SessionOutcome) -> f64 {
+    match &outcome.visualization {
+        Visualization::Multiplot { results, .. } => results[0].expect("a value"),
+        Visualization::Text { message } => panic!("degraded to text: {message}"),
+    }
+}
+
+fn is_approximate(outcome: &SessionOutcome) -> bool {
+    match &outcome.visualization {
+        Visualization::Multiplot { approximate, .. } => *approximate,
+        Visualization::Text { .. } => false,
+    }
+}
+
+#[test]
+fn sampled_entries_never_serve_other_rungs() {
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let table = flights();
+    let caches = Arc::new(SessionCaches::new(8 << 20));
+    caches.set_table(&table);
+
+    // Phase 1: the injected latency exhausts the deadline right after
+    // the 5 % attempt, so the session finalizes — and caches — at the
+    // sampled rung.
+    let sampled = run(
+        &table,
+        sampled_config(),
+        Some(&caches),
+        Some(stall_execute()),
+    );
+    assert!(is_approximate(&sampled), "phase 1 should stay sampled");
+    let v_sampled = scalar(&sampled);
+    let after_sampled = caches.stats();
+    assert!(after_sampled.results.inserts >= 1, "{after_sampled}");
+
+    // Phase 2: a generous deadline and a raised threshold make the same
+    // transcript execute exactly. The sampled entry must NOT serve it:
+    // the exact fidelity key misses, and a fresh exact execution runs.
+    let exact = run(
+        &table,
+        SessionConfig {
+            deadline: Duration::from_secs(10),
+            sample_threshold_rows: usize::MAX,
+            ..sampled_config()
+        },
+        Some(&caches),
+        None,
+    );
+    assert!(!is_approximate(&exact), "phase 2 should be exact");
+    let after_exact = caches.stats();
+    assert_eq!(
+        after_exact.results.hits, after_sampled.results.hits,
+        "the sampled entry served an exact request: {after_exact}"
+    );
+    assert!(
+        after_exact.results.inserts > after_sampled.results.inserts,
+        "exact execution was not cached under its own key: {after_exact}"
+    );
+
+    // Phase 3: the phase-1 setup again (same fraction, same seed, fresh
+    // one-shot fault). Now the sampled key *hits*: the cached entry
+    // serves the request at its matching rung with the identical value,
+    // and no new execution runs at all.
+    let before = metrics().snapshot();
+    let again = run(
+        &table,
+        sampled_config(),
+        Some(&caches),
+        Some(stall_execute()),
+    );
+    let after = metrics().snapshot();
+    assert!(is_approximate(&again), "phase 3 should stay sampled");
+    assert_eq!(scalar(&again), v_sampled, "cache changed the answer");
+    let report = caches.stats();
+    assert_eq!(
+        report.results.hits,
+        after_exact.results.hits + 1,
+        "phase 3 did not hit the sampled entry: {report}"
+    );
+    assert_eq!(
+        after.counter("dbms.queries") - before.counter("dbms.queries"),
+        0,
+        "phase 3 re-executed despite the cached sampled entry"
+    );
+}
+
+#[test]
+fn zero_budget_cache_is_bit_identical_to_no_cache() {
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let table = flights();
+    let config = || SessionConfig {
+        deadline: Duration::from_secs(10),
+        planner: Planner::Greedy,
+        ..SessionConfig::default()
+    };
+    let disabled = Arc::new(SessionCaches::new(0));
+    disabled.set_table(&table);
+
+    // Two consecutive runs each way: the second pair would expose any
+    // cross-request reuse a zero-budget cache wrongly performed.
+    for round in 0..2 {
+        let without = run(&table, config(), None, None);
+        let with = run(&table, config(), Some(&disabled), None);
+        assert_eq!(
+            format!("{:?}", without.visualization),
+            format!("{:?}", with.visualization),
+            "round {round}: a zero-budget cache changed the output"
+        );
+        assert_eq!(without.trace.final_rung, with.trace.final_rung);
+        assert_eq!(without.candidates.len(), with.candidates.len());
+    }
+    // Disabled means *disabled*: the layers never even counted lookups.
+    let report = disabled.stats();
+    assert_eq!(report.results.lookups, 0, "{report}");
+    assert_eq!(report.candidates.lookups, 0, "{report}");
+    assert_eq!(report.plans.lookups, 0, "{report}");
+}
+
+#[test]
+fn warm_cache_returns_cold_results() {
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let table = flights();
+    let caches = Arc::new(SessionCaches::new(8 << 20));
+    caches.set_table(&table);
+    let config = || SessionConfig {
+        deadline: Duration::from_secs(10),
+        planner: Planner::Greedy,
+        ..SessionConfig::default()
+    };
+
+    let cold = run(&table, config(), Some(&caches), None);
+    let warm = run(&table, config(), Some(&caches), None);
+    assert_eq!(
+        format!("{:?}", cold.visualization),
+        format!("{:?}", warm.visualization),
+        "warming the cache changed the answer"
+    );
+    let report = caches.stats();
+    assert!(report.results.hits >= 1, "never warmed: {report}");
+    assert!(report.candidates.hits >= 1, "never warmed: {report}");
+}

@@ -1,0 +1,104 @@
+//! Single-flight contract of the result cache under the serve layer:
+//! N concurrent *identical* requests arriving at a cold cache must
+//! trigger **exactly one** underlying query execution. The leader
+//! executes; every other request either waits on the leader's flight or
+//! hits the entry the leader inserted before publishing — and all of
+//! them complete within their deadlines with the same answer.
+//!
+//! This binary owns its process (integration tests run per-process), so
+//! the `dbms.queries` global-counter delta is exact: it counts every
+//! underlying execution — grouped or not — across the whole process.
+
+use muve::core::Planner;
+use muve::data::Dataset;
+use muve::obs::metrics;
+use muve::pipeline::{SessionCaches, SessionConfig, Visualization};
+use muve::serve::{Request, ServeOutcome, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CONCURRENT: usize = 8;
+
+fn config() -> SessionConfig {
+    SessionConfig {
+        deadline: Duration::from_secs(10),
+        planner: Planner::Greedy,
+        // One candidate → one merged group → one underlying execution,
+        // so the dbms.queries delta is exactly the number of times the
+        // cache failed to de-duplicate.
+        max_candidates: 1,
+        ..SessionConfig::default()
+    }
+}
+
+fn results_of(outcome: &ServeOutcome) -> Vec<Option<f64>> {
+    match outcome {
+        ServeOutcome::Completed { outcome, .. } => match &outcome.visualization {
+            Visualization::Multiplot { results, .. } => results.clone(),
+            Visualization::Text { message } => panic!("degraded to text: {message}"),
+        },
+        ServeOutcome::Shed { reason, .. } => panic!("shed: {reason}"),
+    }
+}
+
+#[test]
+fn concurrent_identical_misses_execute_exactly_once() {
+    let before = metrics().snapshot();
+    let table = Arc::new(Dataset::Flights.generate(2_000, 7));
+    let caches = Arc::new(SessionCaches::new(16 << 20));
+    let server = Server::new(
+        Arc::clone(&table),
+        ServerConfig {
+            workers: CONCURRENT,
+            queue_depth: CONCURRENT * 2,
+            caches: Some(Arc::clone(&caches)),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Submit every request before waiting on any, so all of them race on
+    // the cold cache together.
+    let tickets: Vec<_> = (0..CONCURRENT)
+        .map(|i| {
+            server
+                .submit(Request::new("average dep delay in jfk").with_config(config()))
+                .unwrap_or_else(|e| panic!("request {i} rejected at admission: {e}"))
+        })
+        .collect();
+    let outcomes: Vec<_> = tickets
+        .into_iter()
+        .map(|t| {
+            t.wait_timeout(Duration::from_secs(30))
+                .expect("request hung: no outcome within 30s")
+        })
+        .collect();
+
+    // All completed within their deadlines, all with the same answer.
+    let first = results_of(&outcomes[0]);
+    assert!(first.iter().any(Option::is_some), "no values produced");
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(results_of(o), first, "request {i} disagrees");
+    }
+
+    // Exactly one underlying execution across all eight requests.
+    let after = metrics().snapshot();
+    let executed = after.counter("dbms.queries") - before.counter("dbms.queries");
+    assert_eq!(
+        executed, 1,
+        "single-flight failed to de-duplicate: {executed} executions for \
+         {CONCURRENT} identical requests"
+    );
+
+    // The other seven were served by the flight or by the entry the
+    // leader inserted before publishing.
+    let report = caches.stats();
+    assert_eq!(report.singleflight_leads, 1, "{report}");
+    assert_eq!(report.results.lookups, CONCURRENT as u64, "{report}");
+    assert_eq!(
+        report.results.hits + report.singleflight_waits,
+        (CONCURRENT - 1) as u64,
+        "{report}"
+    );
+
+    server.drain();
+}

@@ -16,7 +16,7 @@
 
 use muve::data::Dataset;
 use muve::obs::metrics;
-use muve::pipeline::{FaultInjector, SessionConfig};
+use muve::pipeline::{FaultInjector, SessionCaches, SessionConfig};
 use muve::serve::{OutcomeClass, Request, ServeOutcome, Server, ServerConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,11 +66,13 @@ fn request(i: usize) -> Request {
 fn soak_every_request_resolves_once_within_tolerance_and_metrics_reconcile() {
     let before = metrics().snapshot();
     let table = Arc::new(Dataset::Flights.generate(2_000, 7));
+    let caches = Arc::new(SessionCaches::new(16 << 20));
     let server = Arc::new(Server::new(
         Arc::clone(&table),
         ServerConfig {
             workers: WORKERS,
             queue_depth: 32,
+            caches: Some(Arc::clone(&caches)),
             ..ServerConfig::default()
         },
     ));
@@ -176,4 +178,28 @@ fn soak_every_request_resolves_once_within_tolerance_and_metrics_reconcile() {
     assert_eq!(h("serve.queue_wait_us"), delta("serve.dequeued"));
     assert_eq!(h("serve.e2e_us"), stats.served + stats.degraded);
     assert_eq!(h("serve.queue_depth"), delta("serve.enqueued"));
+
+    // Cache flow conservation: with the shared cache bundle enabled the
+    // serving contract above is unchanged (every assertion up to here ran
+    // with caching on), and every layer's lookups partition exactly into
+    // hits and misses — no request ever vanished inside the cache.
+    let report = caches.stats();
+    for (layer, s) in [
+        ("candidates", report.candidates),
+        ("results", report.results),
+        ("plans", report.plans),
+    ] {
+        assert_eq!(
+            s.hits + s.misses,
+            s.lookups,
+            "{layer} layer leaks lookups: {s}"
+        );
+    }
+    // With one transcript hammered by 240 requests, the cache must have
+    // actually carried load.
+    assert!(report.results.hits > 0, "result cache never hit: {report}");
+    assert!(
+        report.candidates.hits > 0,
+        "candidate cache never hit: {report}"
+    );
 }
