@@ -1,6 +1,6 @@
 //! The sharded, epoch-versioned, cost-aware-LRU cache.
 
-use muve_obs::{metrics, Counter, Gauge, Histogram};
+use muve_obs::{lock_recover, metrics, Counter, Gauge, Histogram};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{DefaultHasher, Hash, Hasher};
@@ -231,7 +231,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         let start = Instant::now();
         let epoch = self.epoch();
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        let mut shard = lock_recover(self.shard_of(key), "cache.lock_poisoned");
         self.stats.lookups.fetch_add(1, Ordering::Relaxed);
         bump(&self.metrics.lookups);
         let out = match shard.map.get_mut(key) {
@@ -278,10 +278,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
         }
         let epoch = self.epoch();
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut shard = self
-            .shard_of(&key)
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let mut shard = lock_recover(self.shard_of(&key), "cache.lock_poisoned");
         if let Some(old) = shard.map.insert(
             key,
             Entry {
@@ -326,7 +323,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
     /// Drop every entry.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let mut shard = lock_recover(shard, "cache.lock_poisoned");
             let freed = shard.bytes;
             shard.map.clear();
             shard.bytes = 0;
@@ -338,7 +335,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Cache<K, V> {
     pub fn stats(&self) -> CacheStats {
         let (mut bytes, mut entries) = (0u64, 0u64);
         for shard in &self.shards {
-            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let shard = lock_recover(shard, "cache.lock_poisoned");
             bytes += shard.bytes as u64;
             entries += shard.map.len() as u64;
         }

@@ -1,7 +1,7 @@
 //! Single-flight de-duplication: N concurrent identical misses execute
 //! once; N−1 waiters block on the leader's published result.
 
-use muve_obs::metrics;
+use muve_obs::{lock_recover, metrics, CancelToken};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,11 +45,11 @@ impl<K: Hash + Eq + Clone, V: Clone> Leader<'_, K, V> {
     fn resolve(&mut self, value: Option<V>) {
         let Some(key) = self.key.take() else { return };
         let flight = {
-            let mut flights = self.sf.flights.lock().unwrap_or_else(|e| e.into_inner());
+            let mut flights = lock_recover(&self.sf.flights, "cache.lock_poisoned");
             flights.remove(&key)
         };
         if let Some(flight) = flight {
-            *flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            *lock_recover(&flight.result, "cache.lock_poisoned") = Some(value);
             flight.done.notify_all();
         }
     }
@@ -76,7 +76,7 @@ impl<V: Clone> Waiter<V> {
     ///   budget) elapsed first.
     pub fn wait(self, timeout: Duration) -> Option<Option<V>> {
         let deadline = Instant::now() + timeout;
-        let mut result = self.flight.result.lock().unwrap_or_else(|e| e.into_inner());
+        let mut result = lock_recover(&self.flight.result, "cache.lock_poisoned");
         loop {
             if let Some(out) = result.as_ref() {
                 return Some(out.clone());
@@ -94,6 +94,34 @@ impl<V: Clone> Waiter<V> {
             if wto.timed_out() && result.is_none() {
                 return None;
             }
+        }
+    }
+
+    /// As [`wait`](Self::wait), but also abandons the wait when `cancel`
+    /// fires: the condvar wait is sliced so the token is consulted every
+    /// few milliseconds, and each consult stamps the waiter's heartbeat —
+    /// a parked waiter is *slow*, not *wedged*, to the serve watchdog.
+    pub fn wait_cancellable(self, timeout: Duration, cancel: &CancelToken) -> Option<Option<V>> {
+        const SLICE: Duration = Duration::from_millis(5);
+        let deadline = Instant::now() + timeout;
+        let mut result = lock_recover(&self.flight.result, "cache.lock_poisoned");
+        loop {
+            if let Some(out) = result.as_ref() {
+                return Some(out.clone());
+            }
+            if cancel.should_stop() {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .flight
+                .done
+                .wait_timeout(result, (deadline - now).min(SLICE))
+                .unwrap_or_else(|e| e.into_inner());
+            result = guard;
         }
     }
 }
@@ -134,7 +162,7 @@ impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
     /// [`Leader`]; everyone else gets a [`Waiter`]. Each waiter records a
     /// `cache.singleflight_wait` tick.
     pub fn join(&self, key: K) -> Join<'_, K, V> {
-        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        let mut flights = lock_recover(&self.flights, "cache.lock_poisoned");
         if let Some(flight) = flights.get(&key) {
             self.waits.fetch_add(1, Ordering::Relaxed);
             metrics().counter("cache.singleflight_wait").incr();
@@ -235,5 +263,55 @@ mod tests {
             Join::Leader(_) => panic!("flight exists"),
         };
         assert_eq!(waiter.wait(Duration::from_millis(20)), None);
+    }
+
+    #[test]
+    fn cancelled_waiter_abandons_the_flight_promptly() {
+        let sf: SingleFlight<u32, u64> = SingleFlight::new();
+        let _lead = match sf.join(3) {
+            Join::Leader(l) => l,
+            Join::Waiter(_) => panic!("first join must lead"),
+        };
+        let waiter = match sf.join(3) {
+            Join::Waiter(w) => w,
+            Join::Leader(_) => panic!("flight exists"),
+        };
+        let cancel = CancelToken::never();
+        let canceller = cancel.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            canceller.cancel();
+        });
+        let start = Instant::now();
+        // Generous timeout: only the cancellation can end this wait early.
+        assert_eq!(
+            waiter.wait_cancellable(Duration::from_secs(10), &cancel),
+            None
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "cancel must cut the wait short, took {:?}",
+            start.elapsed()
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn cancellable_wait_still_receives_results() {
+        let sf: Arc<SingleFlight<u32, u64>> = Arc::new(SingleFlight::new());
+        let lead = match sf.join(4) {
+            Join::Leader(l) => l,
+            Join::Waiter(_) => panic!("first join must lead"),
+        };
+        let waiter = match sf.join(4) {
+            Join::Waiter(w) => w,
+            Join::Leader(_) => panic!("flight exists"),
+        };
+        let cancel = CancelToken::never();
+        let h =
+            std::thread::spawn(move || waiter.wait_cancellable(Duration::from_secs(5), &cancel));
+        std::thread::sleep(Duration::from_millis(10));
+        lead.finish(Some(99));
+        assert_eq!(h.join().unwrap(), Some(Some(99)));
     }
 }

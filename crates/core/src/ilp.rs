@@ -60,6 +60,9 @@ pub struct IlpConfig {
     /// Disable the template dominance pruning (ablation knob; pruning is
     /// lossless, so disabling it only grows the program).
     pub no_template_pruning: bool,
+    /// External cancellation point forwarded into the branch-and-bound
+    /// node loop; firing behaves like a deadline (anytime incumbent kept).
+    pub cancel: Option<muve_obs::CancelToken>,
 }
 
 impl IlpConfig {
@@ -72,6 +75,7 @@ impl IlpConfig {
             seed: None,
             processing: None,
             no_template_pruning: false,
+            cancel: None,
         }
     }
 }
@@ -303,6 +307,7 @@ pub fn ilp_plan(
         time_budget: cfg.time_budget,
         node_budget: cfg.node_budget.unwrap_or(usize::MAX),
         initial_incumbent,
+        cancel: cfg.cancel.clone(),
         ..MipConfig::default()
     };
     let result = solve_mip(&m, &mip_cfg);

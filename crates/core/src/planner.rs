@@ -258,6 +258,12 @@ pub fn plan_incremental_observed(
         if remaining.is_zero() {
             break;
         }
+        // A fired cancellation token ends the restart schedule outright;
+        // without this the loop would keep launching near-instant solver
+        // runs until `schedule.total` elapses.
+        if base.cancel.as_ref().is_some_and(|c| c.should_stop()) {
+            break;
+        }
         // k · bⁱ overflows f64 (and Duration::from_secs_f64 panics) once
         // restarts are cheap enough to reach step ~1000 — a stalled solver
         // with a near-zero node budget gets there. Saturate at `remaining`,

@@ -23,6 +23,25 @@ pub enum CsvError {
     },
     /// The input has no header row.
     Empty,
+    /// The input contains an embedded NUL byte — binary data masquerading
+    /// as CSV. Rejected outright rather than ingested as garbage strings.
+    Binary {
+        /// 1-based line where the NUL appeared.
+        line: usize,
+    },
+    /// A single field exceeded [`CsvLimits::max_field_bytes`] — usually a
+    /// missing closing quote swallowing the rest of the file.
+    FieldTooLarge {
+        /// 1-based line where the field started overflowing.
+        line: usize,
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The input holds more data rows than [`CsvLimits::max_rows`].
+    TooManyRows {
+        /// The configured row cap.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CsvError {
@@ -33,6 +52,36 @@ impl fmt::Display for CsvError {
                 write!(f, "malformed csv at line {line}: {message}")
             }
             CsvError::Empty => write!(f, "empty csv input"),
+            CsvError::Binary { line } => {
+                write!(f, "binary data (embedded NUL) at line {line}")
+            }
+            CsvError::FieldTooLarge { line, limit } => {
+                write!(f, "field at line {line} exceeds {limit} bytes")
+            }
+            CsvError::TooManyRows { limit } => {
+                write!(f, "input exceeds the {limit}-row ingestion cap")
+            }
+        }
+    }
+}
+
+/// Ingestion guard-rails for untrusted CSV input. The defaults are far
+/// above anything the evaluation datasets need; hitting one almost always
+/// means a malformed file (an unterminated quote swallowing megabytes) or
+/// the wrong file entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvLimits {
+    /// Largest single field, in bytes of UTF-8.
+    pub max_field_bytes: usize,
+    /// Most data rows (excluding the header) one load may produce.
+    pub max_rows: usize,
+}
+
+impl Default for CsvLimits {
+    fn default() -> CsvLimits {
+        CsvLimits {
+            max_field_bytes: 1 << 20, // 1 MiB
+            max_rows: 10_000_000,
         }
     }
 }
@@ -46,8 +95,10 @@ impl From<std::io::Error> for CsvError {
 }
 
 /// Parse CSV text into records of fields (RFC 4180: quoted fields may
-/// contain commas, newlines and doubled quotes).
-fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+/// contain commas, newlines and doubled quotes). A leading UTF-8 BOM is
+/// stripped; embedded NUL bytes and limit violations are typed errors.
+fn parse_records(input: &str, limits: &CsvLimits) -> Result<Vec<Vec<String>>, CsvError> {
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
     let mut records: Vec<Vec<String>> = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
@@ -55,8 +106,13 @@ fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
     let mut line = 1usize;
     let mut chars = input.chars().peekable();
     let mut any = false;
+    // `records` includes the header, so the cap on data rows is +1.
+    let max_records = limits.max_rows.saturating_add(1);
     while let Some(c) = chars.next() {
         any = true;
+        if c == '\0' {
+            return Err(CsvError::Binary { line });
+        }
         if in_quotes {
             match c {
                 '"' => {
@@ -73,36 +129,47 @@ fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
                 }
                 c => field.push(c),
             }
-            continue;
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(CsvError::Malformed {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Consumed as part of CRLF; a stray CR is treated as EOL too.
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                c => field.push(c),
+            }
         }
-        match c {
-            '"' => {
-                if !field.is_empty() {
-                    return Err(CsvError::Malformed {
-                        line,
-                        message: "quote inside unquoted field".into(),
-                    });
-                }
-                in_quotes = true;
-            }
-            ',' => {
-                record.push(std::mem::take(&mut field));
-            }
-            '\r' => {
-                // Consumed as part of CRLF; a stray CR is treated as EOL too.
-                if chars.peek() == Some(&'\n') {
-                    chars.next();
-                }
-                record.push(std::mem::take(&mut field));
-                records.push(std::mem::take(&mut record));
-                line += 1;
-            }
-            '\n' => {
-                record.push(std::mem::take(&mut field));
-                records.push(std::mem::take(&mut record));
-                line += 1;
-            }
-            c => field.push(c),
+        if field.len() > limits.max_field_bytes {
+            return Err(CsvError::FieldTooLarge {
+                line,
+                limit: limits.max_field_bytes,
+            });
+        }
+        if records.len() > max_records {
+            return Err(CsvError::TooManyRows {
+                limit: limits.max_rows,
+            });
         }
     }
     if in_quotes {
@@ -173,7 +240,16 @@ fn infer_type(records: &[Vec<String>], col: usize) -> ColumnType {
 /// assert_eq!(execute(&t, &q).unwrap().scalar(), Some(17.0));
 /// ```
 pub fn table_from_csv_str(name: &str, input: &str) -> Result<Table, CsvError> {
-    let records = parse_records(input)?;
+    table_from_csv_str_with_limits(name, input, &CsvLimits::default())
+}
+
+/// [`table_from_csv_str`] with explicit ingestion limits.
+pub fn table_from_csv_str_with_limits(
+    name: &str,
+    input: &str,
+    limits: &CsvLimits,
+) -> Result<Table, CsvError> {
+    let records = parse_records(input, limits)?;
     // Invariant: parse_records errors with CsvError::Empty rather than
     // returning an empty record list, so indexing the header is safe.
     let header = &records[0];
@@ -188,10 +264,24 @@ pub fn table_from_csv_str(name: &str, input: &str) -> Result<Table, CsvError> {
         }
     }
     let types: Vec<ColumnType> = (0..n_cols).map(|c| infer_type(body, c)).collect();
+    // Normalization can collide ("A (x)" and "A [x]" both become `a_x`, and
+    // punctuation-only headers all become `column`); Schema::new treats
+    // duplicate names as a programming error, so disambiguate with numeric
+    // suffixes before it sees them.
+    let mut names: Vec<String> = Vec::with_capacity(n_cols);
+    for h in header {
+        let base = normalize_header(h);
+        let mut candidate = base.clone();
+        let mut n = 1usize;
+        while names.contains(&candidate) {
+            n += 1;
+            candidate = format!("{base}_{n}");
+        }
+        names.push(candidate);
+    }
     let schema = Schema::new(
-        header
-            .iter()
-            .map(|h| normalize_header(h))
+        names
+            .into_iter()
             .zip(types.iter().copied())
             .collect::<Vec<(String, ColumnType)>>(),
     );
@@ -248,8 +338,17 @@ fn normalize_header(h: &str) -> String {
 
 /// Load a table from a CSV file.
 pub fn table_from_csv_path(name: &str, path: impl AsRef<Path>) -> Result<Table, CsvError> {
+    table_from_csv_path_with_limits(name, path, &CsvLimits::default())
+}
+
+/// [`table_from_csv_path`] with explicit ingestion limits.
+pub fn table_from_csv_path_with_limits(
+    name: &str,
+    path: impl AsRef<Path>,
+    limits: &CsvLimits,
+) -> Result<Table, CsvError> {
     let data = std::fs::read_to_string(path)?;
-    table_from_csv_str(name, &data)
+    table_from_csv_str_with_limits(name, &data, limits)
 }
 
 #[cfg(test)]
@@ -361,5 +460,102 @@ mod tests {
         let t = table_from_csv_path("t", &path).unwrap();
         assert_eq!(t.num_rows(), 2);
         assert!(table_from_csv_path("t", dir.join("missing.csv")).is_err());
+    }
+
+    #[test]
+    fn colliding_headers_get_numeric_suffixes() {
+        let t = table_from_csv_str("t", "Total (A),Total [A],!!!\n1,2,3\n").unwrap();
+        assert!(t.schema().column("total_a").is_some());
+        assert!(t.schema().column("total_a_2").is_some());
+        assert!(t.schema().column("column").is_some());
+    }
+
+    #[test]
+    fn leading_bom_is_stripped() {
+        let t = table_from_csv_str("t", "\u{feff}a,b\n1,2\n").unwrap();
+        // Without the strip the BOM would glue onto the first header.
+        assert!(t.schema().column("a").is_some());
+        assert_eq!(t.row(0), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn embedded_nul_is_rejected_as_binary() {
+        let e = table_from_csv_str("t", "a,b\n1,x\0y\n");
+        assert!(matches!(e, Err(CsvError::Binary { line: 2 })), "{e:?}");
+        // Inside a quoted field too — binary data doesn't get to hide.
+        let e = table_from_csv_str("t", "a\n\"x\0y\"\n");
+        assert!(matches!(e, Err(CsvError::Binary { .. })), "{e:?}");
+    }
+
+    #[test]
+    fn oversized_field_is_rejected() {
+        let limits = CsvLimits {
+            max_field_bytes: 16,
+            ..CsvLimits::default()
+        };
+        let big = "y".repeat(64);
+        let e = table_from_csv_str_with_limits("t", &format!("a\n{big}\n"), &limits);
+        assert!(
+            matches!(e, Err(CsvError::FieldTooLarge { line: 2, limit: 16 })),
+            "{e:?}"
+        );
+        // The classic failure this guards: an unterminated quote swallowing
+        // the rest of the file surfaces as FieldTooLarge, not as unbounded
+        // memory growth followed by Malformed at EOF.
+        let swallowed = format!("a\n\"oops\n{big}\n{big}\n");
+        let e = table_from_csv_str_with_limits("t", &swallowed, &limits);
+        assert!(matches!(e, Err(CsvError::FieldTooLarge { .. })), "{e:?}");
+        // Exactly at the limit is fine.
+        let ok = "z".repeat(16);
+        let t = table_from_csv_str_with_limits("t", &format!("a\n{ok}\n"), &limits).unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn row_cap_is_enforced() {
+        let limits = CsvLimits {
+            max_rows: 3,
+            ..CsvLimits::default()
+        };
+        let ok = "a\n1\n2\n3\n";
+        assert_eq!(
+            table_from_csv_str_with_limits("t", ok, &limits)
+                .unwrap()
+                .num_rows(),
+            3
+        );
+        let over = "a\n1\n2\n3\n4\n";
+        let e = table_from_csv_str_with_limits("t", over, &limits);
+        assert!(
+            matches!(e, Err(CsvError::TooManyRows { limit: 3 })),
+            "{e:?}"
+        );
+    }
+
+    // Fuzz the loader with arbitrary (frequently mangled) input: it must
+    // never panic — every outcome is Ok or a typed CsvError — and tight
+    // limits must hold even under adversarial byte soup.
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn loader_never_panics(input in "\\PC*") {
+                let _ = table_from_csv_str("t", &input);
+            }
+
+            #[test]
+            fn loader_never_panics_on_csv_ish_soup(
+                input in "[a-z0-9,\"\\n\\r\u{0}\u{feff} .-]{0,400}"
+            ) {
+                let limits = CsvLimits { max_field_bytes: 32, max_rows: 8 };
+                if let Ok(t) = table_from_csv_str_with_limits("t", &input, &limits) {
+                    prop_assert!(t.num_rows() <= 8);
+                }
+            }
+        }
     }
 }

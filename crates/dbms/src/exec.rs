@@ -11,6 +11,7 @@ use crate::ast::{AggFunc, CmpOp, PredOp, Query};
 use crate::column::{Column, ColumnData};
 use crate::table::Table;
 use crate::value::Value;
+use muve_obs::{CancelToken, MemBudget, MemExhausted};
 use rustc_hash::FxHashMap;
 use std::fmt;
 
@@ -23,6 +24,19 @@ pub enum ExecError {
     UnknownTable(String),
     /// A type mismatch, e.g. `sum` over a string column.
     TypeError(String),
+    /// Execution was cut short at a cancellation point (deadline expiry or
+    /// an explicit cancel, e.g. from the serve watchdog).
+    Cancelled,
+    /// The memory governor rejected an allocation: group-aggregation state
+    /// or result materialization would have exceeded a cap.
+    ResourceExhausted {
+        /// Bytes in use at the cap that rejected the charge.
+        used: usize,
+        /// The cap in bytes.
+        cap: usize,
+        /// Whether the global pool (vs. the per-request cap) rejected it.
+        global: bool,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -31,11 +45,96 @@ impl fmt::Display for ExecError {
             ExecError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
             ExecError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
             ExecError::TypeError(m) => write!(f, "type error: {m}"),
+            ExecError::Cancelled => write!(f, "execution cancelled"),
+            ExecError::ResourceExhausted { used, cap, global } => write!(
+                f,
+                "{} memory cap exhausted ({used} of {cap} bytes)",
+                if *global { "global" } else { "per-request" }
+            ),
+        }
+    }
+}
+
+impl From<MemExhausted> for ExecError {
+    fn from(e: MemExhausted) -> ExecError {
+        ExecError::ResourceExhausted {
+            used: e.used,
+            cap: e.cap,
+            global: e.global,
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Optional robustness hooks threaded into an execution: a cancellation
+/// token checked every [`CANCEL_STRIDE`] rows, and a memory budget charged
+/// for group-aggregation state and result materialization. The default
+/// (both `None`) is bit-identical to ungoverned execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions<'a> {
+    /// Cancellation point, checked every [`CANCEL_STRIDE`] scanned rows.
+    pub cancel: Option<&'a CancelToken>,
+    /// Memory governor charged for execution state.
+    pub mem: Option<&'a MemBudget>,
+}
+
+/// How many rows the scan advances between cancellation-point checks.
+/// Small enough that even a full-table scan over millions of rows reacts
+/// to expiry within a few hundred microseconds; large enough that the
+/// `Instant::now()` per check vanishes in the noise.
+pub const CANCEL_STRIDE: usize = 1024;
+
+#[inline]
+fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), ExecError> {
+    match cancel {
+        Some(t) if t.should_stop() => {
+            muve_obs::metrics().counter("dbms.cancelled").incr();
+            Err(ExecError::Cancelled)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Approximate bytes one new group adds to the aggregation state: the
+/// boxed key vector, the accumulator vector, and the hash-map entry.
+fn group_state_bytes(key_len: usize, n_accs: usize) -> usize {
+    key_len * 8 + n_accs * 32 + 96
+}
+
+/// RAII accounting for the transient memory an execution holds: charges
+/// accumulate during the scan and are released when the execution ends
+/// (whatever way it ends), so the governor tracks peak in-flight state.
+struct MemCharge<'a> {
+    mem: Option<&'a MemBudget>,
+    bytes: usize,
+}
+
+impl<'a> MemCharge<'a> {
+    fn new(mem: Option<&'a MemBudget>) -> MemCharge<'a> {
+        MemCharge { mem, bytes: 0 }
+    }
+
+    #[inline]
+    fn charge(&mut self, bytes: usize) -> Result<(), ExecError> {
+        if let Some(m) = self.mem {
+            m.try_charge(bytes).map_err(|e| {
+                muve_obs::metrics().counter("dbms.mem_aborts").incr();
+                ExecError::from(e)
+            })?;
+            self.bytes += bytes;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for MemCharge<'_> {
+    fn drop(&mut self) {
+        if let Some(m) = self.mem {
+            m.release(self.bytes);
+        }
+    }
+}
 
 /// Scan statistics of one execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -405,6 +504,21 @@ pub fn execute_with_selection(
     query: &Query,
     selection: Option<&[u32]>,
 ) -> Result<ResultSet, ExecError> {
+    execute_with_opts(table, query, selection, ExecOptions::default())
+}
+
+/// Execute `query` against `table` under the robustness hooks in `opts`:
+/// the scan aborts with [`ExecError::Cancelled`] at the first cancellation
+/// point after the token fires, and group/result state is charged against
+/// the memory budget, aborting with [`ExecError::ResourceExhausted`] when
+/// a cap is hit. With default `opts` this is exactly
+/// [`execute_with_selection`].
+pub fn execute_with_opts(
+    table: &Table,
+    query: &Query,
+    selection: Option<&[u32]>,
+    opts: ExecOptions<'_>,
+) -> Result<ResultSet, ExecError> {
     if !query.table.eq_ignore_ascii_case(table.name()) {
         return Err(ExecError::UnknownTable(query.table.clone()));
     }
@@ -435,22 +549,36 @@ pub fn execute_with_selection(
 
     let mut stats = ExecStats::default();
     let n = table.num_rows();
-    let mut scan = |f: &mut dyn FnMut(usize)| match selection {
-        Some(rows) => {
-            for &r in rows {
-                f(r as usize);
+    let cancel = opts.cancel;
+    // The per-row callback can fail (memory cap); the scan itself checks
+    // the cancellation token every CANCEL_STRIDE rows and propagates both
+    // aborts out of the hot loop immediately.
+    let mut scan = |f: &mut dyn FnMut(usize) -> Result<(), ExecError>| -> Result<(), ExecError> {
+        match selection {
+            Some(rows) => {
+                for (i, &r) in rows.iter().enumerate() {
+                    if i % CANCEL_STRIDE == 0 {
+                        check_cancel(cancel)?;
+                    }
+                    f(r as usize)?;
+                }
+                stats.rows_scanned = rows.len();
             }
-            stats.rows_scanned = rows.len();
-        }
-        None => {
-            for r in 0..n {
-                f(r);
+            None => {
+                for r in 0..n {
+                    if r % CANCEL_STRIDE == 0 {
+                        check_cancel(cancel)?;
+                    }
+                    f(r)?;
+                }
+                stats.rows_scanned = n;
             }
-            stats.rows_scanned = n;
         }
+        Ok(())
     };
 
     let agg_names: Vec<String> = query.aggregates.iter().map(|a| a.to_string()).collect();
+    let mut mem = MemCharge::new(opts.mem);
 
     if group_inputs.is_empty() {
         let mut accs = vec![Acc::new(); inputs.len()];
@@ -464,27 +592,33 @@ pub fn execute_with_selection(
                     }
                 }
             }
-        });
+            Ok(())
+        })?;
         stats.rows_matched = matched;
         let row: Vec<Value> = accs
             .iter()
             .zip(&query.aggregates)
             .map(|(acc, agg)| acc.finish(agg.func))
             .collect();
-        record_query_metrics(&stats);
-        return Ok(ResultSet {
+        let rs = ResultSet {
             columns: agg_names,
             rows: vec![row],
             stats,
-        });
+        };
+        mem.charge(rs.approx_bytes())?;
+        record_query_metrics(&stats);
+        return Ok(rs);
     }
 
     // Grouped execution. The group key is built in a reusable scratch
     // buffer and only cloned into the map when a new group first appears,
-    // so the hot loop does no per-row allocation.
+    // so the hot loop does no per-row allocation. Each new group charges
+    // its state against the memory budget *before* it is inserted — the
+    // governor caps the aggregation state itself, not just the result.
     let mut groups: FxHashMap<Vec<i64>, Vec<Acc>> = FxHashMap::default();
     let mut matched = 0usize;
     let mut key_buf: Vec<i64> = Vec::with_capacity(group_inputs.len());
+    let n_accs = inputs.len();
     scan(&mut |row| {
         if preds.iter().all(|p| p.matches(row)) {
             matched += 1;
@@ -495,9 +629,12 @@ pub fn execute_with_selection(
             }));
             let accs = match groups.get_mut(&key_buf) {
                 Some(accs) => accs,
-                None => groups
-                    .entry(key_buf.clone())
-                    .or_insert_with(|| vec![Acc::new(); inputs.len()]),
+                None => {
+                    mem.charge(group_state_bytes(key_buf.len(), n_accs))?;
+                    groups
+                        .entry(key_buf.clone())
+                        .or_insert_with(|| vec![Acc::new(); n_accs])
+                }
             };
             for (acc, input) in accs.iter_mut().zip(&inputs) {
                 if let Some(v) = input.value(row) {
@@ -505,7 +642,8 @@ pub fn execute_with_selection(
                 }
             }
         }
-    });
+        Ok(())
+    })?;
     stats.rows_matched = matched;
     let mut keys: Vec<&Vec<i64>> = groups.keys().collect();
     keys.sort_unstable();
@@ -526,12 +664,14 @@ pub fn execute_with_selection(
     }
     let mut columns = query.group_by.clone();
     columns.extend(agg_names);
-    record_query_metrics(&stats);
-    Ok(ResultSet {
+    let rs = ResultSet {
         columns,
         rows,
         stats,
-    })
+    };
+    mem.charge(rs.approx_bytes())?;
+    record_query_metrics(&stats);
+    Ok(rs)
 }
 
 /// Record per-execution counters. Called on *every* successful execution
@@ -735,6 +875,124 @@ mod tests {
         let t = b.build();
         let r = execute(&t, &parse("select sum(x), count(*) from t").unwrap()).unwrap();
         assert_eq!(r.rows[0], vec![Value::Float(4.0), Value::Int(3)]);
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::Schema;
+    use crate::value::ColumnType;
+    use muve_obs::{CancelToken, MemBudget, MemPool};
+    use std::sync::Arc;
+
+    fn big(n: usize) -> Table {
+        let schema = Schema::new([("k", ColumnType::Int), ("v", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..n as i64 {
+            b.push_row([Value::Int(i), Value::Int(i % 100)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn default_opts_bit_identical() {
+        let t = big(10_000);
+        let q = parse("select sum(v) from t where v < 50 group by v").unwrap();
+        let a = execute_with_selection(&t, &q, None).unwrap();
+        let b = execute_with_opts(&t, &q, None, ExecOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_scan() {
+        let t = big(200_000);
+        let q = parse("select count(*) from t group by k").unwrap();
+        let token = CancelToken::never();
+        token.cancel();
+        let opts = ExecOptions {
+            cancel: Some(&token),
+            mem: None,
+        };
+        assert_eq!(
+            execute_with_opts(&t, &q, None, opts),
+            Err(ExecError::Cancelled)
+        );
+        // Selection path too.
+        let rows: Vec<u32> = (0..100_000).collect();
+        assert_eq!(
+            execute_with_opts(&t, &q, Some(&rows), opts),
+            Err(ExecError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn cancelled_runs_do_not_count_as_queries() {
+        let t = big(50_000);
+        let q = parse("select count(*) from t").unwrap();
+        let queries = muve_obs::metrics().counter("dbms.queries");
+        let cancelled = muve_obs::metrics().counter("dbms.cancelled");
+        let (q0, c0) = (queries.get(), cancelled.get());
+        let token = CancelToken::never();
+        token.cancel();
+        let opts = ExecOptions {
+            cancel: Some(&token),
+            mem: None,
+        };
+        let _ = execute_with_opts(&t, &q, None, opts);
+        assert_eq!(queries.get(), q0, "cancelled run must not count");
+        assert_eq!(cancelled.get() - c0, 1);
+    }
+
+    #[test]
+    fn group_state_hits_request_cap() {
+        // group by k over distinct keys: state grows with the row count
+        // and must trip a small per-request cap mid-scan.
+        let t = big(50_000);
+        let q = parse("select count(*) from t group by k").unwrap();
+        let mem = MemBudget::new(10_000, None);
+        let opts = ExecOptions {
+            cancel: None,
+            mem: Some(&mem),
+        };
+        match execute_with_opts(&t, &q, None, opts) {
+            Err(ExecError::ResourceExhausted { global: false, .. }) => {}
+            other => panic!("expected per-request exhaustion, got {other:?}"),
+        }
+        assert_eq!(mem.used(), 0, "abort releases everything charged");
+    }
+
+    #[test]
+    fn global_pool_released_after_execution() {
+        let pool = Arc::new(MemPool::new(1 << 30));
+        let mem = MemBudget::pooled(Arc::clone(&pool));
+        let t = big(20_000);
+        let q = parse("select count(*) from t group by k").unwrap();
+        let opts = ExecOptions {
+            cancel: None,
+            mem: Some(&mem),
+        };
+        let rs = execute_with_opts(&t, &q, None, opts).unwrap();
+        assert_eq!(rs.rows.len(), 20_000);
+        assert_eq!(pool.used(), 0, "transient state returned to the pool");
+        drop(mem);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn small_cap_passes_low_cardinality_group() {
+        // The same cap that kills a 50k-group query admits a 100-group one
+        // — exactly the contrast the sample-ladder fallback relies on.
+        let t = big(50_000);
+        let q = parse("select count(*) from t group by v").unwrap();
+        let mem = MemBudget::new(64 * 1024, None);
+        let opts = ExecOptions {
+            cancel: None,
+            mem: Some(&mem),
+        };
+        let rs = execute_with_opts(&t, &q, None, opts).unwrap();
+        assert_eq!(rs.rows.len(), 100);
     }
 }
 

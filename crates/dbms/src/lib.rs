@@ -42,16 +42,25 @@ pub mod value;
 pub use ast::{AggFunc, Aggregate, CmpOp, PredOp, Predicate, Query};
 pub use column::{Column, ColumnData, Dictionary};
 pub use cost::{estimate, explain, CostEstimate, CostParams};
-pub use csv::{table_from_csv_path, table_from_csv_str, CsvError};
-pub use exec::{execute, execute_with_selection, ExecError, ExecStats, ResultSet};
+pub use csv::{
+    table_from_csv_path, table_from_csv_path_with_limits, table_from_csv_str,
+    table_from_csv_str_with_limits, CsvError, CsvLimits,
+};
+pub use exec::{
+    execute, execute_with_opts, execute_with_selection, ExecError, ExecOptions, ExecStats,
+    ResultSet, CANCEL_STRIDE,
+};
 pub use fingerprint::{canon_ident, query_fingerprint};
 pub use merge::{
-    execute_merged, extract_merged, merge_is_beneficial, plan_merged, MergeGroup, MergeMember,
-    MergedResults,
+    execute_merged, execute_merged_with_opts, extract_merged, merge_is_beneficial, plan_merged,
+    MergeGroup, MergeMember, MergedResults,
 };
 pub use parser::{parse, ParseError};
 pub use result_cache::{fidelity_key, ResultCache, ResultKey, FIDELITY_EXACT};
-pub use sample::{bernoulli_rows, execute_approximate, scale_result, systematic_rows};
+pub use sample::{
+    bernoulli_rows, execute_approximate, execute_approximate_with_opts, scale_result,
+    systematic_rows,
+};
 pub use schema::{ColumnDef, Schema};
 pub use table::{Database, Table, TableBuilder};
 pub use value::{ColumnType, Value};

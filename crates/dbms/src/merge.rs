@@ -11,7 +11,7 @@
 
 use crate::ast::{Aggregate, PredOp, Predicate, Query};
 use crate::cost::{estimate, CostParams};
-use crate::exec::{execute, ExecError, ExecStats, ResultSet};
+use crate::exec::{execute, execute_with_opts, ExecError, ExecOptions, ExecStats, ResultSet};
 use crate::fingerprint::canon_ident;
 use crate::table::Table;
 use crate::value::Value;
@@ -288,6 +288,21 @@ pub struct MergedResults {
 /// Execute one merge group against `table`.
 pub fn execute_merged(table: &Table, group: &MergeGroup) -> Result<MergedResults, ExecError> {
     let rs = execute(table, &group.merged)?;
+    Ok(MergedResults {
+        results: extract_merged(&rs, group),
+        stats: rs.stats,
+    })
+}
+
+/// Execute one merge group under cancellation / memory-governor hooks:
+/// the merged scan (including its grouped aggregation state) honours the
+/// same [`ExecOptions`] as direct execution.
+pub fn execute_merged_with_opts(
+    table: &Table,
+    group: &MergeGroup,
+    opts: ExecOptions<'_>,
+) -> Result<MergedResults, ExecError> {
+    let rs = execute_with_opts(table, &group.merged, None, opts)?;
     Ok(MergedResults {
         results: extract_merged(&rs, group),
         stats: rs.stats,

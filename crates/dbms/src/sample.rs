@@ -8,7 +8,7 @@
 //! as-is).
 
 use crate::ast::{AggFunc, Query};
-use crate::exec::{execute_with_selection, ExecError, ResultSet};
+use crate::exec::{execute_with_opts, ExecError, ExecOptions, ResultSet};
 use crate::table::Table;
 use crate::value::Value;
 use rand::rngs::StdRng;
@@ -70,13 +70,24 @@ pub fn execute_approximate(
     fraction: f64,
     seed: u64,
 ) -> Result<(ResultSet, f64), ExecError> {
+    execute_approximate_with_opts(table, query, fraction, seed, ExecOptions::default())
+}
+
+/// [`execute_approximate`] under cancellation / memory-governor hooks.
+pub fn execute_approximate_with_opts(
+    table: &Table,
+    query: &Query,
+    fraction: f64,
+    seed: u64,
+    opts: ExecOptions<'_>,
+) -> Result<(ResultSet, f64), ExecError> {
     let rows = systematic_rows(table.num_rows(), fraction, seed);
     let realized = if table.num_rows() == 0 {
         1.0
     } else {
         (rows.len() as f64 / table.num_rows() as f64).max(f64::MIN_POSITIVE)
     };
-    let raw = execute_with_selection(table, query, Some(&rows))?;
+    let raw = execute_with_opts(table, query, Some(&rows), opts)?;
     muve_obs::metrics().counter("dbms.sample_execs").incr();
     Ok((scale_result(raw, query, realized), realized))
 }

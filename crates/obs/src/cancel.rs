@@ -1,0 +1,403 @@
+//! Hard cancellation and memory governance primitives.
+//!
+//! Both types live in `muve-obs` because they have to be visible from the
+//! bottom of the dependency graph (the dbms scan loops, the solver node
+//! loop) *and* from the top (the serve watchdog, the CLI): this crate is
+//! the one every other crate already depends on.
+//!
+//! - [`CancelToken`] — a cheap shared cancellation point: an immutable
+//!   deadline plus an explicit cancel flag, checked every N rows / nodes in
+//!   hot loops. Each check also stamps a *heartbeat* (microseconds since
+//!   token creation), which the serve watchdog reads to tell a slow worker
+//!   (heartbeat advancing) from a wedged one (heartbeat frozen).
+//! - [`MemBudget`] / [`MemPool`] — the resource governor: execution-state
+//!   bytes (group-aggregation maps, materialized result sets) are charged
+//!   against a per-request cap and, when serving, a process-wide pool
+//!   tracked by the `mem.pool_bytes` gauge. Exceeding either cap surfaces
+//!   as a typed [`MemExhausted`], which callers map onto their degradation
+//!   ladders instead of OOM-ing the process.
+
+use crate::metrics::metrics;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a cancellation surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The token's deadline passed.
+    Deadline,
+    /// [`CancelToken::cancel`] was called (e.g. by the watchdog).
+    Explicit,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    /// Wall-clock deadline; `None` means no deadline.
+    deadline: Option<Instant>,
+    /// Explicit cancellation (watchdog, shutdown).
+    cancelled: AtomicBool,
+    /// Token creation time — the heartbeat epoch.
+    created: Instant,
+    /// Microseconds since `created` at the last cancellation-point check.
+    last_tick_us: AtomicU64,
+    /// Number of cancellation-point checks performed.
+    checks: AtomicU64,
+}
+
+/// A shared cancellation point: deadline + explicit cancel flag.
+///
+/// Clones share state; cancelling one clone cancels all. The token is
+/// *checked*, never polled by a timer: hot loops call
+/// [`should_stop`](Self::should_stop) every few hundred iterations, which
+/// costs one `Instant::now()` plus a couple of relaxed atomic stores.
+///
+/// # Examples
+/// ```
+/// use muve_obs::CancelToken;
+/// use std::time::{Duration, Instant};
+///
+/// let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(60));
+/// assert!(!t.should_stop());
+/// t.cancel();
+/// assert!(t.should_stop());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::never()
+    }
+}
+
+impl CancelToken {
+    fn build(deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                deadline,
+                cancelled: AtomicBool::new(false),
+                created: Instant::now(),
+                last_tick_us: AtomicU64::new(0),
+                checks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A token that only fires on explicit [`cancel`](Self::cancel).
+    pub fn never() -> CancelToken {
+        CancelToken::build(None)
+    }
+
+    /// A token that fires at `deadline` (or on explicit cancel).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken::build(Some(deadline))
+    }
+
+    /// A token that fires `budget` from now.
+    pub fn with_budget(budget: Duration) -> CancelToken {
+        CancelToken::build(Some(Instant::now() + budget))
+    }
+
+    /// Explicitly cancel: every subsequent check on every clone fires.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Why the token fired, if it has.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Some(CancelCause::Explicit);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelCause::Deadline),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has fired (flag set or deadline passed).
+    /// Does **not** stamp the heartbeat; use
+    /// [`should_stop`](Self::should_stop) at cancellation points.
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+
+    /// The cancellation point: stamps the heartbeat and reports whether
+    /// the caller must abort. This is what hot loops call every N rows.
+    pub fn should_stop(&self) -> bool {
+        let now = Instant::now();
+        let tick = now
+            .saturating_duration_since(self.inner.created)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        self.inner.last_tick_us.store(tick, Ordering::Relaxed);
+        self.inner.checks.fetch_add(1, Ordering::Relaxed);
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        matches!(self.inner.deadline, Some(d) if now >= d)
+    }
+
+    /// Time since the last cancellation-point check (since creation when
+    /// no check has happened yet). A frozen value under load means the
+    /// holder is wedged somewhere without cancellation points.
+    pub fn heartbeat_lag(&self) -> Duration {
+        let tick = Duration::from_micros(self.inner.last_tick_us.load(Ordering::Relaxed));
+        self.inner.created.elapsed().saturating_sub(tick)
+    }
+
+    /// Number of cancellation-point checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+
+    /// Age of the token (time since creation).
+    pub fn age(&self) -> Duration {
+        self.inner.created.elapsed()
+    }
+}
+
+/// A memory charge was rejected by the governor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemExhausted {
+    /// Bytes in use (at the cap that rejected the charge).
+    pub used: usize,
+    /// The cap that rejected the charge.
+    pub cap: usize,
+    /// Whether the *global* pool (vs. the per-request cap) rejected it.
+    pub global: bool,
+}
+
+impl std::fmt::Display for MemExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} memory cap exhausted ({} of {} bytes in use)",
+            if self.global { "global" } else { "per-request" },
+            self.used,
+            self.cap
+        )
+    }
+}
+
+/// The process-wide memory pool shared by every in-flight request.
+///
+/// The current level is mirrored into the `mem.pool_bytes` gauge so the
+/// `\stats` command and the soak suites can watch it return to baseline
+/// after a drain.
+#[derive(Debug)]
+pub struct MemPool {
+    cap: usize,
+    used: AtomicUsize,
+}
+
+impl MemPool {
+    /// A pool capped at `cap` bytes.
+    pub fn new(cap: usize) -> MemPool {
+        MemPool {
+            cap,
+            used: AtomicUsize::new(0),
+        }
+    }
+
+    /// The pool cap in bytes.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    fn try_charge(&self, bytes: usize) -> Result<(), MemExhausted> {
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > self.cap {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            metrics().counter("mem.global_exhausted").incr();
+            return Err(MemExhausted {
+                used: prev,
+                cap: self.cap,
+                global: true,
+            });
+        }
+        metrics().gauge("mem.pool_bytes").add(bytes as i64);
+        Ok(())
+    }
+
+    fn release(&self, bytes: usize) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+        metrics().gauge("mem.pool_bytes").add(-(bytes as i64));
+    }
+}
+
+/// The per-request memory budget handed into execution.
+///
+/// Charges are accounted against the request cap first, then the global
+/// [`MemPool`] (when attached). Dropping the budget releases everything it
+/// still holds, so the pool level returns to baseline when requests drain
+/// no matter how they ended.
+#[derive(Debug)]
+pub struct MemBudget {
+    cap: usize,
+    used: AtomicUsize,
+    pool: Option<Arc<MemPool>>,
+}
+
+impl MemBudget {
+    /// A budget capped at `cap` bytes for this request, optionally backed
+    /// by a shared global pool.
+    pub fn new(cap: usize, pool: Option<Arc<MemPool>>) -> MemBudget {
+        MemBudget {
+            cap,
+            used: AtomicUsize::new(0),
+            pool,
+        }
+    }
+
+    /// An effectively unlimited budget charging only the global pool.
+    pub fn pooled(pool: Arc<MemPool>) -> MemBudget {
+        MemBudget::new(usize::MAX, Some(pool))
+    }
+
+    /// The per-request cap in bytes.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Bytes currently charged by this request.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Charge `bytes` against the request cap and the global pool.
+    pub fn try_charge(&self, bytes: usize) -> Result<(), MemExhausted> {
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > self.cap {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            metrics().counter("mem.request_exhausted").incr();
+            return Err(MemExhausted {
+                used: prev,
+                cap: self.cap,
+                global: false,
+            });
+        }
+        if let Some(pool) = &self.pool {
+            if let Err(e) = pool.try_charge(bytes) {
+                self.used.fetch_sub(bytes, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Return `bytes` to the budget (and the pool).
+    pub fn release(&self, bytes: usize) {
+        let bytes = bytes.min(self.used.load(Ordering::Relaxed));
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+        if let Some(pool) = &self.pool {
+            pool.release(bytes);
+        }
+    }
+}
+
+impl Drop for MemBudget {
+    fn drop(&mut self) {
+        let held = self.used.load(Ordering::Relaxed);
+        if held > 0 {
+            if let Some(pool) = &self.pool {
+                pool.release(held);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_only_fires_on_cancel() {
+        let t = CancelToken::never();
+        assert!(!t.should_stop());
+        assert_eq!(t.cause(), None);
+        t.cancel();
+        assert!(t.should_stop());
+        assert_eq!(t.cause(), Some(CancelCause::Explicit));
+    }
+
+    #[test]
+    fn deadline_token_fires_after_budget() {
+        let t = CancelToken::with_budget(Duration::from_millis(20));
+        assert!(!t.should_stop());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(t.should_stop());
+        assert_eq!(t.cause(), Some(CancelCause::Deadline));
+    }
+
+    #[test]
+    fn clones_share_cancellation() {
+        let t = CancelToken::never();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn heartbeat_advances_on_checks() {
+        let t = CancelToken::never();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(t.heartbeat_lag() >= Duration::from_millis(10));
+        assert!(!t.should_stop());
+        assert!(t.heartbeat_lag() < Duration::from_millis(10));
+        assert_eq!(t.checks(), 1);
+    }
+
+    #[test]
+    fn request_cap_rejects_and_releases() {
+        let b = MemBudget::new(1000, None);
+        assert!(b.try_charge(600).is_ok());
+        let err = b.try_charge(600).unwrap_err();
+        assert!(!err.global);
+        assert_eq!(err.cap, 1000);
+        assert_eq!(b.used(), 600);
+        b.release(600);
+        assert_eq!(b.used(), 0);
+        assert!(b.try_charge(1000).is_ok());
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_drops_release() {
+        let pool = Arc::new(MemPool::new(1000));
+        let a = MemBudget::pooled(Arc::clone(&pool));
+        let b = MemBudget::pooled(Arc::clone(&pool));
+        assert!(a.try_charge(700).is_ok());
+        let err = b.try_charge(700).unwrap_err();
+        assert!(err.global);
+        assert_eq!(pool.used(), 700);
+        drop(a);
+        assert_eq!(pool.used(), 0, "drop releases everything held");
+        assert!(b.try_charge(700).is_ok());
+    }
+
+    #[test]
+    fn rejected_global_charge_rolls_back_local() {
+        let pool = Arc::new(MemPool::new(100));
+        let b = MemBudget::new(usize::MAX, Some(Arc::clone(&pool)));
+        assert!(b.try_charge(200).is_err());
+        assert_eq!(b.used(), 0);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn exhausted_renders() {
+        let e = MemExhausted {
+            used: 10,
+            cap: 5,
+            global: false,
+        };
+        assert!(e.to_string().contains("per-request"));
+    }
+}

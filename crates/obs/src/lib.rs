@@ -19,10 +19,14 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod metrics;
+mod sync;
 mod trace;
 
+pub use cancel::{CancelCause, CancelToken, MemBudget, MemExhausted, MemPool};
 pub use metrics::{
     metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
+pub use sync::{lock_recover, poisoned_locks};
 pub use trace::{SessionTrace, SpanStatus, StageSpan, TraceError};

@@ -10,8 +10,21 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
+
+/// Lock a registry-internal mutex, recovering from poison. The registry
+/// cannot record its own recoveries as a counter (that would re-enter the
+/// lock being recovered); they land in [`crate::sync::poisoned_locks`].
+fn registry_lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(e) => {
+            crate::sync::note_poison();
+            e.into_inner()
+        }
+    }
+}
 
 /// A monotonic counter.
 #[derive(Debug, Default)]
@@ -144,7 +157,7 @@ pub struct Registry {
 impl Registry {
     /// The counter registered under `name`, creating it on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = registry_lock(&self.counters);
         match map.get(name) {
             Some(c) => Arc::clone(c),
             None => {
@@ -157,7 +170,7 @@ impl Registry {
 
     /// The gauge registered under `name`, creating it on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = registry_lock(&self.gauges);
         match map.get(name) {
             Some(g) => Arc::clone(g),
             None => {
@@ -170,7 +183,7 @@ impl Registry {
 
     /// The histogram registered under `name`, creating it on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = registry_lock(&self.histograms);
         match map.get(name) {
             Some(h) => Arc::clone(h),
             None => {
@@ -183,24 +196,15 @@ impl Registry {
 
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        let counters = registry_lock(&self.counters)
             .iter()
             .map(|(k, c)| (k.clone(), c.get()))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        let gauges = registry_lock(&self.gauges)
             .iter()
             .map(|(k, g)| (k.clone(), g.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        let histograms = registry_lock(&self.histograms)
             .iter()
             .map(|(k, h)| HistogramSnapshot {
                 name: k.clone(),
@@ -218,28 +222,13 @@ impl Registry {
 
     /// Zero every registered metric (registrations are kept).
     pub fn reset(&self) {
-        for c in self
-            .counters
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-        {
+        for c in registry_lock(&self.counters).values() {
             c.reset();
         }
-        for g in self
-            .gauges
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-        {
+        for g in registry_lock(&self.gauges).values() {
             g.reset();
         }
-        for h in self
-            .histograms
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-        {
+        for h in registry_lock(&self.histograms).values() {
             h.reset();
         }
     }

@@ -27,6 +27,12 @@ pub enum SpanStatus {
     Panicked,
     /// The stage never ran (an earlier stage short-circuited the run).
     Skipped,
+    /// The stage was cut short by a cancellation point (deadline expiry
+    /// inside the stage, or an explicit watchdog cancel).
+    Cancelled,
+    /// The stage hit a memory-governor cap; its output (if any) came from
+    /// a cheaper fallback rung.
+    Exhausted,
 }
 
 impl SpanStatus {
@@ -37,6 +43,8 @@ impl SpanStatus {
             SpanStatus::Failed => "failed",
             SpanStatus::Panicked => "panicked",
             SpanStatus::Skipped => "skipped",
+            SpanStatus::Cancelled => "cancelled",
+            SpanStatus::Exhausted => "exhausted",
         }
     }
 
@@ -47,6 +55,8 @@ impl SpanStatus {
             "failed" => Some(SpanStatus::Failed),
             "panicked" => Some(SpanStatus::Panicked),
             "skipped" => Some(SpanStatus::Skipped),
+            "cancelled" => Some(SpanStatus::Cancelled),
+            "exhausted" => Some(SpanStatus::Exhausted),
             _ => None,
         }
     }

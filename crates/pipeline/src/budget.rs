@@ -104,6 +104,14 @@ impl DeadlineBudget {
         let later: f64 = Stage::ALL[stage.index()..].iter().map(|&s| weight(s)).sum();
         self.remaining().mul_f64(weight(stage) / later)
     }
+
+    /// A [`CancelToken`](muve_obs::CancelToken) whose deadline is this
+    /// budget's deadline. Threaded into stage hot loops (dbms scans, the
+    /// solver node loop) so θ holds *inside* stages, not just between
+    /// them; the serve watchdog can additionally fire it explicitly.
+    pub fn cancel_token(&self) -> muve_obs::CancelToken {
+        muve_obs::CancelToken::with_deadline(self.start + self.total)
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +168,22 @@ mod tests {
         // mark_admitted is idempotent.
         b.mark_admitted();
         assert_eq!(b.queue_wait(), frozen);
+    }
+
+    #[test]
+    fn cancel_token_mirrors_the_deadline() {
+        let b = DeadlineBudget::new(Duration::from_millis(40));
+        let t = b.cancel_token();
+        assert!(!t.should_stop());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(b.exhausted());
+        assert!(t.should_stop(), "token deadline == budget deadline");
+        // Explicit cancel fires even with time left.
+        let b = DeadlineBudget::new(Duration::from_secs(60));
+        let t = b.cancel_token();
+        t.cancel();
+        assert!(t.should_stop());
+        assert!(!b.exhausted());
     }
 
     #[test]

@@ -103,6 +103,26 @@ pub enum PipelineError {
         /// Stage the fault was planted in.
         stage: Stage,
     },
+    /// A cancellation token fired *inside* the stage (deadline passed
+    /// mid-scan / mid-search, or the serve watchdog cancelled the
+    /// request). Unlike [`DeadlineExceeded`](Self::DeadlineExceeded) —
+    /// which means a stage was skipped because the budget was gone before
+    /// it started — this means work was abandoned at a cancellation point.
+    Cancelled {
+        /// Stage whose work was abandoned.
+        stage: Stage,
+    },
+    /// The memory governor rejected an allocation charge.
+    ResourceExhausted {
+        /// Stage that tripped the cap.
+        stage: Stage,
+        /// Bytes in use at the cap that rejected the charge.
+        used: usize,
+        /// The cap in bytes.
+        cap: usize,
+        /// Whether the global pool (vs. the per-request cap) rejected it.
+        global: bool,
+    },
 }
 
 impl PipelineError {
@@ -116,7 +136,9 @@ impl PipelineError {
             PipelineError::Render(_) => Stage::Render,
             PipelineError::DeadlineExceeded { stage, .. }
             | PipelineError::StagePanic { stage, .. }
-            | PipelineError::FaultInjected { stage } => *stage,
+            | PipelineError::FaultInjected { stage }
+            | PipelineError::Cancelled { stage }
+            | PipelineError::ResourceExhausted { stage, .. } => *stage,
         }
     }
 
@@ -133,10 +155,15 @@ impl PipelineError {
             | PipelineError::Render(_)
             | PipelineError::StagePanic { .. }
             | PipelineError::FaultInjected { .. } => true,
+            // Cancellation means time (or the watchdog) ran out — a retry
+            // cannot mint either. A governor rejection is structural: the
+            // same query against the same caps exhausts them again.
             PipelineError::Translate(_)
             | PipelineError::Parse(_)
             | PipelineError::Candidates(_)
-            | PipelineError::DeadlineExceeded { .. } => false,
+            | PipelineError::DeadlineExceeded { .. }
+            | PipelineError::Cancelled { .. }
+            | PipelineError::ResourceExhausted { .. } => false,
         }
     }
 }
@@ -157,6 +184,19 @@ impl fmt::Display for PipelineError {
                 write!(f, "panic in {stage} stage: {message}")
             }
             PipelineError::FaultInjected { stage } => write!(f, "injected fault in {stage} stage"),
+            PipelineError::Cancelled { stage } => {
+                write!(f, "cancelled inside {stage} stage")
+            }
+            PipelineError::ResourceExhausted {
+                stage,
+                used,
+                cap,
+                global,
+            } => write!(
+                f,
+                "{} memory cap exhausted in {stage} stage ({used} of {cap} bytes in use)",
+                if *global { "global" } else { "per-request" },
+            ),
         }
     }
 }
@@ -207,5 +247,32 @@ mod tests {
             budget: Duration::from_secs(1),
         }
         .is_transient());
+    }
+
+    #[test]
+    fn cancellation_and_exhaustion_are_typed_and_non_transient() {
+        let c = PipelineError::Cancelled {
+            stage: Stage::Execute,
+        };
+        assert_eq!(c.stage(), Stage::Execute);
+        assert!(!c.is_transient(), "a retry cannot mint time");
+        assert!(format!("{c}").contains("cancelled"));
+        let r = PipelineError::ResourceExhausted {
+            stage: Stage::Execute,
+            used: 2048,
+            cap: 1024,
+            global: false,
+        };
+        assert_eq!(r.stage(), Stage::Execute);
+        assert!(!r.is_transient(), "caps are structural");
+        let msg = format!("{r}");
+        assert!(msg.contains("per-request") && msg.contains("2048"), "{msg}");
+        let g = PipelineError::ResourceExhausted {
+            stage: Stage::Execute,
+            used: 1,
+            cap: 1,
+            global: true,
+        };
+        assert!(format!("{g}").contains("global"));
     }
 }

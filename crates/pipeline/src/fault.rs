@@ -36,6 +36,12 @@ pub struct StageFault {
     pub error: bool,
     /// Panic inside the stage body (must be caught at the stage boundary).
     pub panic: bool,
+    /// Panic with an [`EscapedPanic`] payload that the session's stage
+    /// guard deliberately re-raises instead of catching — the panic
+    /// unwinds through [`Session::run`](crate::Session::run) and kills the
+    /// calling thread. Models a worker that dies mid-request; only the
+    /// serve watchdog's respawn path keeps the pool whole.
+    pub panic_escape: bool,
     /// Plan stage only: clamp the ILP node budget to near zero, so the
     /// solver behaves like a stalled MIP search that never finds an
     /// incumbent within its budget.
@@ -49,8 +55,24 @@ pub struct StageFault {
 
 impl StageFault {
     fn is_noop(&self) -> bool {
-        self.latency.is_none() && !self.error && !self.panic && !self.stall_solver
+        self.latency.is_none()
+            && !self.error
+            && !self.panic
+            && !self.panic_escape
+            && !self.stall_solver
     }
+}
+
+/// The marker payload of a `panic_escape` fault. The session's panic guard
+/// downcasts every caught payload and re-raises this one via
+/// [`std::panic::resume_unwind`], so the panic escapes the pipeline's
+/// otherwise-total panic isolation and kills the thread running the
+/// session — which is the point: it lets the chaos suites prove the serve
+/// watchdog detects dead workers and respawns them.
+#[derive(Debug)]
+pub struct EscapedPanic {
+    /// Stage the fault was planted in.
+    pub stage: Stage,
 }
 
 /// A per-stage fault plan, deterministic and thread-safe.
@@ -116,6 +138,9 @@ impl FaultInjector {
                     .then(|| Duration::from_millis(rng.gen_range(5..40))),
                 error: rng.gen_bool(0.15),
                 panic: rng.gen_bool(0.12),
+                // Seed-drawn plans never escape panics: they run in plain
+                // sessions with no watchdog to respawn the thread.
+                panic_escape: false,
                 stall_solver: stage == Stage::Plan && rng.gen_bool(0.20),
                 probability: None,
             };
@@ -133,9 +158,10 @@ impl FaultInjector {
     }
 
     /// Parse a CLI fault spec: comma-separated `stage:kind` items where
-    /// `kind` is `error`, `panic`, `stall`, or `latency=<ms>`, optionally
-    /// suffixed `@p=<prob>` to make the stage's fault plan *intermittent*
-    /// (it fires with probability `p` on every trip instead of once).
+    /// `kind` is `error`, `panic`, `panic_escape`, `stall`, or
+    /// `latency=<ms>`, optionally suffixed `@p=<prob>` to make the stage's
+    /// fault plan *intermittent* (it fires with probability `p` on every
+    /// trip instead of once).
     ///
     /// Examples: `plan:panic,execute:error,translate:latency=200`,
     /// `execute:error@p=0.3`, `plan:stall,execute:latency=20@p=0.5`.
@@ -169,6 +195,7 @@ impl FaultInjector {
             match kind.trim() {
                 "error" => fault.error = true,
                 "panic" => fault.panic = true,
+                "panic_escape" => fault.panic_escape = true,
                 "stall" => {
                     if stage != Stage::Plan {
                         return Err(format!("stall only applies to plan, not {stage}"));
@@ -180,7 +207,10 @@ impl FaultInjector {
                         .strip_prefix("latency=")
                         .and_then(|v| v.parse::<u64>().ok())
                         .ok_or_else(|| {
-                            format!("unknown fault kind {other:?} (error|panic|stall|latency=MS)")
+                            format!(
+                                "unknown fault kind {other:?} \
+                                 (error|panic|panic_escape|stall|latency=MS)"
+                            )
                         })?;
                     fault.latency = Some(Duration::from_millis(ms));
                 }
@@ -203,7 +233,10 @@ impl FaultInjector {
     /// Whether any stage has a panic planted (used to decide whether panic
     /// output needs suppressing for the run).
     pub fn any_panic(&self) -> bool {
-        self.plans.iter().flatten().any(|f| f.panic)
+        self.plans
+            .iter()
+            .flatten()
+            .any(|f| f.panic || f.panic_escape)
     }
 
     /// Whether the plan stage should emulate a stalled solver.
@@ -241,6 +274,9 @@ impl FaultInjector {
         }
         if let Some(d) = fault.latency {
             std::thread::sleep(d);
+        }
+        if fault.panic_escape {
+            std::panic::panic_any(EscapedPanic { stage });
         }
         if fault.panic {
             panic!("injected panic in {stage} stage");
@@ -328,6 +364,19 @@ mod tests {
         assert!(FaultInjector::parse("").unwrap().is_empty());
         // Specs without a probability suffix stay one-shot (legacy).
         assert_eq!(inj.fault(Stage::Plan).unwrap().probability, None);
+    }
+
+    #[test]
+    fn panic_escape_carries_the_marker_payload() {
+        let inj = FaultInjector::parse("execute:panic_escape@p=1").unwrap();
+        let payload =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.trip(Stage::Execute)))
+                .expect_err("panic_escape must panic");
+        let escaped = payload
+            .downcast_ref::<EscapedPanic>()
+            .expect("payload is the EscapedPanic marker");
+        assert_eq!(escaped.stage, Stage::Execute);
+        assert!(inj.any_panic(), "escape panics engage quiet-panic mode");
     }
 
     #[test]

@@ -33,10 +33,10 @@ mod session;
 pub use budget::DeadlineBudget;
 pub use cache::{CachesReport, FlightKey, SessionCaches};
 pub use error::{PipelineError, Stage};
-pub use fault::{FaultInjector, StageFault};
+pub use fault::{EscapedPanic, FaultInjector, StageFault};
 pub use session::{
     DegradationEvent, DegradationTrace, Rung, Session, SessionConfig, SessionOutcome,
     Visualization, SESSION_STAGES,
 };
 
-pub use muve_obs::{SessionTrace, SpanStatus, StageSpan};
+pub use muve_obs::{CancelToken, MemBudget, MemPool, SessionTrace, SpanStatus, StageSpan};

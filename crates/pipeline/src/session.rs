@@ -24,7 +24,7 @@
 use crate::budget::DeadlineBudget;
 use crate::cache::SessionCaches;
 use crate::error::{PipelineError, Stage};
-use crate::fault::FaultInjector;
+use crate::fault::{EscapedPanic, FaultInjector};
 use muve_cache::Join;
 use muve_core::{
     distribution_fingerprint, headline, plan, plan_incremental_observed, render_text, Candidate,
@@ -32,11 +32,12 @@ use muve_core::{
     ScreenConfig, UserCostModel,
 };
 use muve_dbms::{
-    execute, execute_merged, extract_merged, fidelity_key, parse, plan_merged, query_fingerprint,
-    MergeGroup, Query, ResultKey, ResultSet, Table,
+    execute_approximate_with_opts, execute_merged_with_opts, execute_with_opts, extract_merged,
+    fidelity_key, parse, plan_merged, query_fingerprint, ExecError, ExecOptions, MergeGroup, Query,
+    ResultKey, ResultSet, Table,
 };
 use muve_nlq::{translate, CandidateGenerator, CandidateKey, CandidateQuery};
-use muve_obs::{SessionTrace, SpanStatus, StageSpan};
+use muve_obs::{CancelCause, CancelToken, MemBudget, MemPool, SessionTrace, SpanStatus, StageSpan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Once, OnceLock};
@@ -69,6 +70,10 @@ pub struct SessionConfig {
     pub sample_threshold_rows: usize,
     /// Seed for sampling.
     pub seed: u64,
+    /// Per-request memory cap for execution state (group-aggregation maps,
+    /// materialized results), in bytes. `0` disables the governor
+    /// entirely — execution is bit-identical to the ungoverned path.
+    pub mem_cap_bytes: usize,
 }
 
 impl Default for SessionConfig {
@@ -87,6 +92,7 @@ impl Default for SessionConfig {
             sample_ladder: vec![0.01, 0.05],
             sample_threshold_rows: 50_000,
             seed: 42,
+            mem_cap_bytes: 0,
         }
     }
 }
@@ -294,6 +300,11 @@ pub struct Session<'a> {
     config: SessionConfig,
     injector: FaultInjector,
     caches: Option<Arc<SessionCaches>>,
+    /// Externally supplied cancellation token (the serve watchdog holds a
+    /// clone); when absent, each run derives one from its budget.
+    cancel: Option<CancelToken>,
+    /// Process-wide memory pool charged alongside the per-request cap.
+    mem_pool: Option<Arc<MemPool>>,
 }
 
 impl<'a> Session<'a> {
@@ -305,6 +316,8 @@ impl<'a> Session<'a> {
             config,
             injector: FaultInjector::none(),
             caches: None,
+            cancel: None,
+            mem_pool: None,
         }
     }
 
@@ -318,6 +331,8 @@ impl<'a> Session<'a> {
             config,
             injector: FaultInjector::none(),
             caches: None,
+            cancel: None,
+            mem_pool: None,
         }
     }
 
@@ -332,6 +347,23 @@ impl<'a> Session<'a> {
     /// otherwise every lookup simply misses on the epoch check.
     pub fn with_caches(mut self, caches: Arc<SessionCaches>) -> Session<'a> {
         self.caches = Some(caches);
+        self
+    }
+
+    /// Attach an external cancellation token. Stage hot loops (dbms scans,
+    /// the solver node loop, single-flight waits) consult it; the serve
+    /// watchdog holds a clone and can fire it to abort a wedged request.
+    /// Without one, each run derives a token from its own deadline budget.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Session<'a> {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attach the process-wide memory pool; execution-state charges count
+    /// against it in addition to the per-request
+    /// [`mem_cap_bytes`](SessionConfig::mem_cap_bytes) cap.
+    pub fn with_mem_pool(mut self, pool: Arc<MemPool>) -> Session<'a> {
+        self.mem_pool = Some(pool);
         self
     }
 
@@ -396,6 +428,23 @@ impl<'a> Session<'a> {
     /// to re-run a transcript on retry under the same ticking budget.
     pub fn run_with_budget(&self, transcript: &str, budget: DeadlineBudget) -> SessionOutcome {
         let _quiet = self.injector.any_panic().then(QuietPanics::engage);
+        // The cancellation point every stage hot loop checks: the serve
+        // watchdog's token when one is attached, else one derived from
+        // this budget so θ is enforced *inside* stages too.
+        let cancel = self.cancel.clone().unwrap_or_else(|| budget.cancel_token());
+        // The memory governor, alive for exactly this run: dropping it
+        // (normal return or unwind) releases every byte it still holds
+        // back to the global pool.
+        let mem: Option<MemBudget> = if self.config.mem_cap_bytes > 0 || self.mem_pool.is_some() {
+            let cap = if self.config.mem_cap_bytes > 0 {
+                self.config.mem_cap_bytes
+            } else {
+                usize::MAX
+            };
+            Some(MemBudget::new(cap, self.mem_pool.clone()))
+        } else {
+            None
+        };
         let mut strace = SessionTrace::new(budget.total());
         let mut errors: Vec<PipelineError> = Vec::new();
         let mut events: Vec<DegradationEvent> = Vec::new();
@@ -552,6 +601,7 @@ impl<'a> Session<'a> {
             &candidates,
             &headline_text,
             &budget,
+            &cancel,
             &mut strace,
             &mut errors,
             &mut events,
@@ -561,16 +611,29 @@ impl<'a> Session<'a> {
         let shown = multiplot.candidates_shown();
         let mut results: Vec<Option<f64>> = vec![None; candidates.len()];
         let mut approximate = false;
-        if budget.exhausted() {
-            errors.push(PipelineError::DeadlineExceeded {
-                stage: Stage::Execute,
-                budget: budget.total(),
-            });
+        if budget.exhausted() || cancel.is_cancelled() {
+            let (err, detail) = if budget.exhausted() {
+                (
+                    PipelineError::DeadlineExceeded {
+                        stage: Stage::Execute,
+                        budget: budget.total(),
+                    },
+                    "deadline exhausted; execution skipped",
+                )
+            } else {
+                (
+                    PipelineError::Cancelled {
+                        stage: Stage::Execute,
+                    },
+                    "cancelled; execution skipped",
+                )
+            };
+            errors.push(err);
             events.push(DegradationEvent {
                 at: budget.elapsed(),
                 stage: Stage::Execute,
                 rung,
-                detail: "deadline exhausted; execution skipped".into(),
+                detail: detail.into(),
             });
             strace
                 .spans
@@ -581,6 +644,8 @@ impl<'a> Session<'a> {
                 &shown,
                 &mut results,
                 &budget,
+                &cancel,
+                mem.as_ref(),
                 &mut strace,
                 &mut errors,
                 &mut events,
@@ -684,10 +749,19 @@ impl<'a> Session<'a> {
         // designed for exactly that (single atomic clone-assignments).
         match catch_unwind(AssertUnwindSafe(body)) {
             Ok(r) => r,
-            Err(payload) => Err(PipelineError::StagePanic {
-                stage,
-                message: panic_message(payload),
-            }),
+            Err(payload) => {
+                // The one panic the session does NOT absorb: the chaos
+                // suites' escaped-panic fault, re-raised so it kills the
+                // thread running this session (and thereby exercises the
+                // serve watchdog's dead-worker respawn path).
+                if payload.downcast_ref::<EscapedPanic>().is_some() {
+                    std::panic::resume_unwind(payload);
+                }
+                Err(PipelineError::StagePanic {
+                    stage,
+                    message: panic_message(payload),
+                })
+            }
         }
     }
 
@@ -699,6 +773,7 @@ impl<'a> Session<'a> {
         candidates: &[Candidate],
         headline_text: &str,
         budget: &DeadlineBudget,
+        cancel: &CancelToken,
         strace: &mut SessionTrace,
         errors: &mut Vec<PipelineError>,
         events: &mut Vec<DegradationEvent>,
@@ -706,17 +781,31 @@ impl<'a> Session<'a> {
         let started = budget.elapsed();
         let allotted = budget.stage_budget(Stage::Plan);
         let errs_before = errors.len();
-        // Deadline exhausted before planning: drop straight to the cheap rung.
-        if budget.exhausted() {
-            errors.push(PipelineError::DeadlineExceeded {
-                stage: Stage::Plan,
-                budget: budget.total(),
-            });
+        // Deadline exhausted (or the request cancelled) before planning:
+        // drop straight to the cheap rung.
+        if budget.exhausted() || cancel.is_cancelled() {
+            let (err, status, detail) = if budget.exhausted() {
+                (
+                    PipelineError::DeadlineExceeded {
+                        stage: Stage::Plan,
+                        budget: budget.total(),
+                    },
+                    SpanStatus::Failed,
+                    "deadline exhausted before planning",
+                )
+            } else {
+                (
+                    PipelineError::Cancelled { stage: Stage::Plan },
+                    SpanStatus::Cancelled,
+                    "cancelled before planning",
+                )
+            };
+            errors.push(err);
             events.push(DegradationEvent {
                 at: budget.elapsed(),
                 stage: Stage::Plan,
                 rung: Rung::HeadlineOnly,
-                detail: "deadline exhausted before planning".into(),
+                detail: detail.into(),
             });
             push_span(
                 strace,
@@ -724,9 +813,9 @@ impl<'a> Session<'a> {
                 started,
                 Some(allotted),
                 budget,
-                SpanStatus::Failed,
+                status,
                 Rung::HeadlineOnly,
-                "deadline exhausted before planning",
+                detail,
                 Vec::new(),
             );
             return (
@@ -738,6 +827,10 @@ impl<'a> Session<'a> {
         // Rung 1: incremental ILP under the stage's budget share.
         if let Planner::Ilp(base_cfg) = &self.config.planner {
             let mut cfg = base_cfg.clone();
+            // The cancellation point inside the solver: checked once per
+            // branch-and-bound node, so a watchdog cancel (or deadline
+            // expiry) surfaces mid-search as a timed-out anytime result.
+            cfg.cancel = Some(cancel.clone());
             if self.injector.solver_stall() {
                 // A stalled MIP search: no warm start, no room to branch —
                 // the solver burns its restarts without ever finding an
@@ -944,6 +1037,8 @@ impl<'a> Session<'a> {
         shown: &[usize],
         results: &mut [Option<f64>],
         budget: &DeadlineBudget,
+        cancel: &CancelToken,
+        mem: Option<&MemBudget>,
         strace: &mut SessionTrace,
         errors: &mut Vec<PipelineError>,
         events: &mut Vec<DegradationEvent>,
@@ -958,6 +1053,10 @@ impl<'a> Session<'a> {
             strace.spans.push(span);
             return false;
         }
+        let opts = ExecOptions {
+            cancel: Some(cancel),
+            mem,
+        };
         let mut attempts = 0usize;
         let mut rows_scanned = 0usize;
         let mut labels: Vec<String> = Vec::new();
@@ -976,16 +1075,29 @@ impl<'a> Session<'a> {
         ladder.push(None);
         let mut approximate = false;
         let mut any_success = false;
-        for fraction in ladder {
+        let mut mem_escalated = false;
+        let mut rescued = false;
+        let mut next = 0usize;
+        while next < ladder.len() {
+            let fraction = ladder[next];
+            next += 1;
             if any_success && fraction.is_some() {
                 continue; // never de-escalate
             }
-            if any_success && budget.exhausted() {
+            if any_success && (budget.exhausted() || cancel.is_cancelled()) {
                 break; // keep the approximate results we already have
             }
+            // The rescue attempt (see the cancelled branch below) runs
+            // without the token — it exists precisely because the token
+            // has already fired.
+            let attempt_opts = if rescued {
+                ExecOptions { cancel: None, mem }
+            } else {
+                opts
+            };
             let attempt = self.guard(Stage::Execute, || {
                 self.injector.trip(Stage::Execute)?;
-                Ok(self.execute_attempt(candidates, shown, fraction, budget))
+                Ok(self.execute_attempt(candidates, shown, fraction, budget, attempt_opts))
             });
             let label = fraction.map_or("exact".to_owned(), |f| format!("{}% sample", f * 100.0));
             attempts += 1;
@@ -993,8 +1105,73 @@ impl<'a> Session<'a> {
             match attempt {
                 Ok(a) => {
                     let produced = a.values.iter().any(|(_, v)| v.is_some());
+                    let was_cancelled = a
+                        .member_errors
+                        .iter()
+                        .any(|e| matches!(e, PipelineError::Cancelled { .. }));
+                    let hit_cap = a
+                        .member_errors
+                        .iter()
+                        .any(|e| matches!(e, PipelineError::ResourceExhausted { .. }));
                     errors.extend(a.member_errors);
                     rows_scanned += a.rows_scanned;
+                    if was_cancelled {
+                        // The token fired mid-attempt: a retry cannot mint
+                        // time — keep whatever values already landed and
+                        // abandon the ladder.
+                        events.push(DegradationEvent {
+                            at: budget.elapsed(),
+                            stage: Stage::Execute,
+                            rung,
+                            detail: format!("cancelled mid-execution ({label})"),
+                        });
+                        let produced_now = a.values.iter().any(|(_, v)| v.is_some());
+                        for (idx, v) in a.values {
+                            results[idx] = v;
+                        }
+                        approximate = fraction.is_some() && produced_now;
+                        any_success = any_success || produced_now;
+                        if any_success || rescued || cancel.cause() != Some(CancelCause::Deadline) {
+                            break;
+                        }
+                        // Last gasp: the deadline died mid-scan with
+                        // nothing on screen. Abandoning now would waste the
+                        // wait the user has already paid, so run the
+                        // cheapest fidelity once more without the token
+                        // (the memory governor still applies, and the
+                        // attempt is a bounded sample or a single pass).
+                        // Explicit cancellation — the watchdog, shutdown —
+                        // never takes this path: those must abort, period.
+                        rescued = true;
+                        let cheapest = ladder[0];
+                        ladder.truncate(next);
+                        ladder.push(cheapest);
+                        events.push(DegradationEvent {
+                            at: budget.elapsed(),
+                            stage: Stage::Execute,
+                            rung,
+                            detail: "deadline expired with no values; last-gasp attempt at \
+                                     cheapest fidelity"
+                                .into(),
+                        });
+                        continue;
+                    }
+                    if hit_cap && fraction.is_none() && !mem_escalated {
+                        // The governor rejected the exact attempt's state.
+                        // Retrying exact would hit the same cap, but a
+                        // sampled pass holds proportionally less — extend
+                        // the ladder downward once.
+                        mem_escalated = true;
+                        ladder.extend(self.config.sample_ladder.iter().copied().map(Some));
+                        events.push(DegradationEvent {
+                            at: budget.elapsed(),
+                            stage: Stage::Execute,
+                            rung,
+                            detail: format!(
+                                "memory cap hit ({label}); retrying at sample fidelity"
+                            ),
+                        });
+                    }
                     if a.values.is_empty() || !produced && fraction.is_some() {
                         // Nothing usable at this fidelity; escalate.
                         continue;
@@ -1068,6 +1245,7 @@ impl<'a> Session<'a> {
         shown: &[usize],
         fraction: Option<f64>,
         budget: &DeadlineBudget,
+        opts: ExecOptions<'_>,
     ) -> ExecAttempt {
         let queries: Vec<Query> = shown.iter().map(|&i| candidates[i].query.clone()).collect();
         let mut out = ExecAttempt {
@@ -1076,8 +1254,17 @@ impl<'a> Session<'a> {
             rows_scanned: 0,
         };
         for g in plan_merged(&queries) {
-            if !self.execute_group_cached(&g, &queries, shown, fraction, budget, &mut out) {
-                self.execute_group_direct(&g, &queries, shown, fraction, &mut out);
+            if !self.execute_group_cached(&g, &queries, shown, fraction, budget, opts, &mut out) {
+                self.execute_group_direct(&g, &queries, shown, fraction, opts, &mut out);
+            }
+            // A fired token aborts the whole attempt, not just the group
+            // that noticed it — remaining groups would fail the same way.
+            if out
+                .member_errors
+                .iter()
+                .any(|e| matches!(e, PipelineError::Cancelled { .. }))
+            {
+                break;
             }
         }
         out
@@ -1093,6 +1280,7 @@ impl<'a> Session<'a> {
     /// Fidelity matching is strict by key construction ([`ResultKey`]):
     /// a request only ever sees a result computed at exactly the fidelity
     /// (sample fraction + seed, or exact) it would execute itself.
+    #[allow(clippy::too_many_arguments)]
     fn execute_group_cached(
         &self,
         g: &MergeGroup,
@@ -1100,6 +1288,7 @@ impl<'a> Session<'a> {
         shown: &[usize],
         fraction: Option<f64>,
         budget: &DeadlineBudget,
+        opts: ExecOptions<'_>,
         out: &mut ExecAttempt,
     ) -> bool {
         let Some(caches) = self.caches.as_deref() else {
@@ -1123,12 +1312,14 @@ impl<'a> Session<'a> {
         {
             Join::Leader(lead) => {
                 let t0 = budget.elapsed();
-                let run: Result<ResultSet, String> = match fraction {
-                    None => execute(table, &g.merged).map_err(|e| format!("merged: {e}")),
+                let run: Result<ResultSet, (ExecError, &str)> = match fraction {
+                    None => {
+                        execute_with_opts(table, &g.merged, None, opts).map_err(|e| (e, "merged"))
+                    }
                     Some(f) => {
-                        muve_dbms::execute_approximate(table, &g.merged, f, self.config.seed)
+                        execute_approximate_with_opts(table, &g.merged, f, self.config.seed, opts)
                             .map(|(rs, _realized)| rs)
-                            .map_err(|e| format!("sample: {e}"))
+                            .map_err(|e| (e, "sample"))
                     }
                 };
                 match run {
@@ -1145,31 +1336,43 @@ impl<'a> Session<'a> {
                         }
                         lead.finish(Some(rs));
                     }
-                    Err(msg) => {
+                    Err((e, context)) => {
                         // Dropping the leader publishes the failure so
                         // waiters stop blocking and execute themselves.
                         drop(lead);
-                        out.member_errors.push(PipelineError::Execution(msg));
-                        if fraction.is_none() {
-                            // Same per-member fallback as the direct path.
-                            self.separate_fallback(g, queries, shown, out);
+                        let cancelled = matches!(e, ExecError::Cancelled);
+                        out.member_errors.push(exec_error(e, context));
+                        // A cancelled request skips the per-member fallback
+                        // (its token stays fired); a governor rejection
+                        // takes it — the merged query carries the group-by
+                        // state, members are scalar.
+                        if fraction.is_none() && !cancelled {
+                            self.separate_fallback(g, queries, shown, opts, out);
                         }
                     }
                 }
                 true
             }
-            Join::Waiter(waiter) => match waiter.wait(budget.remaining()) {
-                Some(Some(rs)) => {
-                    for (local, v) in extract_merged(&rs, g) {
-                        out.values.push((shown[local], v));
+            Join::Waiter(waiter) => {
+                let published = match opts.cancel {
+                    Some(c) => waiter.wait_cancellable(budget.remaining(), c),
+                    None => waiter.wait(budget.remaining()),
+                };
+                match published {
+                    Some(Some(rs)) => {
+                        for (local, v) in extract_merged(&rs, g) {
+                            out.values.push((shown[local], v));
+                        }
+                        true
                     }
-                    true
+                    // Leader failed, or the wait outlived this request's
+                    // remaining budget or its token: fall through to direct
+                    // execution — a request never gives up because of
+                    // someone else's flight. (A fired token makes the
+                    // direct path abort at its first cancellation point.)
+                    _ => false,
                 }
-                // Leader failed, or the wait outlived this request's
-                // remaining budget: fall through to direct execution — a
-                // request never gives up because of someone else's flight.
-                _ => false,
-            },
+            }
         }
     }
 
@@ -1180,10 +1383,11 @@ impl<'a> Session<'a> {
         queries: &[Query],
         shown: &[usize],
         fraction: Option<f64>,
+        opts: ExecOptions<'_>,
         out: &mut ExecAttempt,
     ) {
         match fraction {
-            None => match execute_merged(self.table.get(), g) {
+            None => match execute_merged_with_opts(self.table.get(), g, opts) {
                 Ok(r) => {
                     out.rows_scanned += r.stats.rows_scanned;
                     for (local, v) in r.results {
@@ -1193,18 +1397,22 @@ impl<'a> Session<'a> {
                 Err(merged_err) => {
                     // Merged execution failed: fall back to executing each
                     // member separately so one bad query cannot starve the
-                    // whole group.
-                    out.member_errors
-                        .push(PipelineError::Execution(format!("merged: {merged_err}")));
-                    self.separate_fallback(g, queries, shown, out);
+                    // whole group. Cancellation is the exception — the
+                    // members would abort at their first check too.
+                    let cancelled = matches!(merged_err, ExecError::Cancelled);
+                    out.member_errors.push(exec_error(merged_err, "merged"));
+                    if !cancelled {
+                        self.separate_fallback(g, queries, shown, opts, out);
+                    }
                 }
             },
             Some(f) => {
-                match muve_dbms::execute_approximate(
+                match execute_approximate_with_opts(
                     self.table.get(),
                     &g.merged,
                     f,
                     self.config.seed,
+                    opts,
                 ) {
                     Ok((rs, _realized)) => {
                         out.rows_scanned += rs.stats.rows_scanned;
@@ -1213,8 +1421,7 @@ impl<'a> Session<'a> {
                         }
                     }
                     Err(e) => {
-                        out.member_errors
-                            .push(PipelineError::Execution(format!("sample: {e}")));
+                        out.member_errors.push(exec_error(e, "sample"));
                     }
                 }
             }
@@ -1227,19 +1434,42 @@ impl<'a> Session<'a> {
         g: &MergeGroup,
         queries: &[Query],
         shown: &[usize],
+        opts: ExecOptions<'_>,
         out: &mut ExecAttempt,
     ) {
         for m in &g.members {
-            match execute(self.table.get(), &queries[m.index]) {
+            match execute_with_opts(self.table.get(), &queries[m.index], None, opts) {
                 Ok(rs) => {
                     out.rows_scanned += rs.stats.rows_scanned;
                     out.values.push((shown[m.index], rs.scalar()));
                 }
-                Err(e) => out
-                    .member_errors
-                    .push(PipelineError::Execution(e.to_string())),
+                Err(e) => {
+                    let cancelled = matches!(e, ExecError::Cancelled);
+                    out.member_errors.push(exec_error(e, "separate"));
+                    if cancelled {
+                        break;
+                    }
+                }
             }
         }
+    }
+}
+
+/// Fold a dbms execution error into the pipeline taxonomy: cancellation
+/// and governor rejections keep their typed identity (they drive distinct
+/// ladder decisions), everything else becomes a plain execution failure.
+fn exec_error(e: ExecError, context: &str) -> PipelineError {
+    match e {
+        ExecError::Cancelled => PipelineError::Cancelled {
+            stage: Stage::Execute,
+        },
+        ExecError::ResourceExhausted { used, cap, global } => PipelineError::ResourceExhausted {
+            stage: Stage::Execute,
+            used,
+            cap,
+            global,
+        },
+        other => PipelineError::Execution(format!("{context}: {other}")),
     }
 }
 
@@ -1283,16 +1513,27 @@ fn push_span(
 }
 
 /// Disposition of a stage given the errors it appended: a caught panic
-/// anywhere in the stage dominates, then any error, then clean completion.
-/// A `Failed`/`Panicked` span can still carry fallback output — the span's
-/// rung tells that story.
+/// anywhere in the stage dominates, then a cancellation, then a governor
+/// rejection, then any other error, then clean completion. A non-completed
+/// span can still carry fallback output — the span's rung tells that story.
 fn stage_status(errors: &[PipelineError], from: usize) -> SpanStatus {
-    if errors[from..]
+    let slice = &errors[from..];
+    if slice
         .iter()
         .any(|e| matches!(e, PipelineError::StagePanic { .. }))
     {
         SpanStatus::Panicked
-    } else if errors.len() > from {
+    } else if slice
+        .iter()
+        .any(|e| matches!(e, PipelineError::Cancelled { .. }))
+    {
+        SpanStatus::Cancelled
+    } else if slice
+        .iter()
+        .any(|e| matches!(e, PipelineError::ResourceExhausted { .. }))
+    {
+        SpanStatus::Exhausted
+    } else if !slice.is_empty() {
         SpanStatus::Failed
     } else {
         SpanStatus::Completed
@@ -1675,5 +1916,102 @@ mod tests {
         let plan_span = st.span("plan").unwrap();
         assert_eq!(plan_span.status, SpanStatus::Panicked);
         assert_eq!(plan_span.rung, "greedy");
+    }
+
+    #[test]
+    fn explicit_cancel_degrades_with_typed_errors() {
+        let t = table(2_000);
+        let token = CancelToken::never();
+        token.cancel();
+        let out = Session::new(&t, config())
+            .with_cancel(token)
+            .run("average delay in jfk");
+        // Translation and candidates still run (their work is cheap and
+        // has no cancellation points); the planner ladder and execution
+        // are abandoned with typed cancellations, not deadline errors.
+        assert_eq!(out.trace.final_rung, Rung::HeadlineOnly);
+        assert!(
+            out.errors
+                .iter()
+                .any(|e| matches!(e, PipelineError::Cancelled { stage: Stage::Plan })),
+            "{:?}",
+            out.errors
+        );
+        assert!(out.errors.iter().any(|e| matches!(
+            e,
+            PipelineError::Cancelled {
+                stage: Stage::Execute
+            }
+        )));
+        let st = &out.stage_trace;
+        assert!(st.is_complete(&SESSION_STAGES), "{st:?}");
+        assert_eq!(st.span("plan").unwrap().status, SpanStatus::Cancelled);
+        assert_eq!(st.span("execute").unwrap().status, SpanStatus::Skipped);
+    }
+
+    #[test]
+    fn tiny_mem_cap_yields_typed_exhaustion_and_releases_pool() {
+        let t = table(2_000);
+        let pool = Arc::new(MemPool::new(1));
+        let mut cfg = config();
+        cfg.mem_cap_bytes = 1;
+        let out = Session::new(&t, cfg)
+            .with_mem_pool(Arc::clone(&pool))
+            .run("average delay in jfk");
+        assert!(
+            out.errors.iter().any(|e| matches!(
+                e,
+                PipelineError::ResourceExhausted {
+                    stage: Stage::Execute,
+                    ..
+                }
+            )),
+            "{:?}",
+            out.errors
+        );
+        // The exact attempt tripping the cap extends the ladder downward
+        // once: sampled passes hold proportionally less state.
+        assert!(
+            out.trace
+                .events
+                .iter()
+                .any(|ev| ev.detail.contains("memory cap hit")),
+            "{:?}",
+            out.trace.events
+        );
+        assert_eq!(
+            out.stage_trace.span("execute").unwrap().status,
+            SpanStatus::Exhausted
+        );
+        // Every byte the run charged has been released back to the pool.
+        assert_eq!(pool.used(), 0, "pool must drain to baseline");
+    }
+
+    #[test]
+    fn disabled_governor_is_bit_identical() {
+        let t = table(3_000);
+        let q = "select avg(delay) from flights where origin = 'JFK'";
+        let base = Session::new(&t, config()).run(q);
+        let mut cfg = config();
+        cfg.mem_cap_bytes = 64 * 1024 * 1024;
+        let governed = Session::new(&t, cfg).run(q);
+        match (&base.visualization, &governed.visualization) {
+            (
+                Visualization::Multiplot {
+                    rendered: a,
+                    results: ra,
+                    ..
+                },
+                Visualization::Multiplot {
+                    rendered: b,
+                    results: rb,
+                    ..
+                },
+            ) => {
+                assert_eq!(a, b, "an ample cap must not change the output");
+                assert_eq!(ra, rb);
+            }
+            _ => panic!("expected multiplots from both runs"),
+        }
     }
 }

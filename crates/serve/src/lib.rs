@@ -28,6 +28,16 @@
 //! - **Graceful drain** — [`Server::drain`] stops admission, finishes
 //!   every queued and in-flight request, joins the workers, and reports
 //!   final shed/served counts.
+//! - **Worker watchdog** — a monitor thread cancels the token of any
+//!   request stuck past [`STUCK_FACTOR`]·θ and detects worker threads
+//!   killed by an escaped panic: the orphaned request resolves as a typed
+//!   [`Rejected::WorkerCrashed`] shed and the worker is respawned at the
+//!   same index, so the pool never loses strength.
+//! - **Memory governor** — with [`ServerConfig::mem_cap_mb`] set, each
+//!   request's execution state is capped per-request and charged against
+//!   a global `mem_cap_mb × workers` pool; a rejected charge surfaces as
+//!   a typed `ResourceExhausted` that sends the session down the sample
+//!   ladder instead of materializing an oversized result.
 //!
 //! Every request resolves to **exactly one** typed [`ServeOutcome`] —
 //! served, degraded, or shed; never a hang, an escaped panic, or an
@@ -38,7 +48,8 @@
 //!
 //! Everything is instrumented through `muve-obs`: `serve.submitted`,
 //! `serve.shed`, `serve.served`, `serve.degraded`, `serve.retries`,
-//! `serve.breaker_open`, gauge-style `serve.enqueued`/`serve.dequeued`
+//! `serve.breaker_open`, `serve.watchdog_cancels`, `serve.worker_crashes`,
+//! `serve.worker_respawns`, gauge-style `serve.enqueued`/`serve.dequeued`
 //! counter pairs, and `serve.queue_depth` / `serve.queue_wait_us` /
 //! `serve.e2e_us` histograms.
 
@@ -50,7 +61,7 @@ mod server;
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerState};
 pub use server::{
     DrainReport, OutcomeClass, Rejected, Request, RetryPolicy, ServeOutcome, ServeStats, Server,
-    ServerConfig, Ticket,
+    ServerConfig, Ticket, STUCK_FACTOR,
 };
 
 #[cfg(test)]
@@ -323,6 +334,90 @@ mod tests {
             other => panic!("expected completion, got {other:?}"),
         }
         assert_eq!(server.breaker_state(Stage::Plan), BreakerState::Closed);
+        server.drain();
+    }
+
+    #[test]
+    fn escaped_panic_is_typed_and_the_worker_respawns() {
+        let server = Server::new(
+            table(500),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        // An escaping panic kills the worker thread mid-request.
+        let doomed = request(600)
+            .with_injector(FaultInjector::parse("execute:panic_escape@p=1").expect("spec parses"));
+        let t = server.submit(doomed).unwrap();
+        match t.wait() {
+            ServeOutcome::Shed {
+                reason: Rejected::WorkerCrashed,
+                ..
+            } => {}
+            other => panic!("expected a typed crashed shed, got {other:?}"),
+        }
+        // The pool is whole again: clean requests still complete on both
+        // workers' worth of throughput.
+        for _ in 0..4 {
+            match server.submit(request(800)).unwrap().wait() {
+                ServeOutcome::Completed { .. } => {}
+                other => panic!("respawned pool must serve, got {other:?}"),
+            }
+        }
+        let stats = server.drain().stats;
+        assert_eq!(stats.crashed, 1);
+        assert!(stats.respawns >= 1, "{stats}");
+        assert!(stats.reconciles(), "{stats}");
+    }
+
+    #[test]
+    fn mem_cap_exhaustion_degrades_and_pool_drains() {
+        let server = Server::new(
+            table(500),
+            ServerConfig {
+                workers: 2,
+                // 0 MiB is "disabled", so build the tightest possible
+                // governor through the per-request session cap instead.
+                mem_cap_mb: 1,
+                retry: RetryPolicy {
+                    max_retries: 0,
+                    ..RetryPolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        // A per-request cap of a few bytes: every materialization charge
+        // is rejected, so execution falls down the sample ladder and the
+        // outcome carries typed ResourceExhausted errors.
+        let mut cfg = config(600);
+        cfg.mem_cap_bytes = 8;
+        let starved = Request::new("average dep delay in jfk").with_config(cfg);
+        match server.submit(starved).unwrap().wait() {
+            ServeOutcome::Completed { outcome, .. } => {
+                assert!(
+                    outcome.errors.iter().any(|e| matches!(
+                        e,
+                        muve_pipeline::PipelineError::ResourceExhausted { .. }
+                    )),
+                    "{:?}",
+                    outcome.errors
+                );
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        // An uncapped request under the server-wide governor still works.
+        match server.submit(request(800)).unwrap().wait() {
+            ServeOutcome::Completed { outcome, .. } => {
+                assert!(!outcome.degraded(), "{:?}", outcome.errors);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(
+            server.mem_pool_used(),
+            Some(0),
+            "global pool must drain to baseline"
+        );
         server.drain();
     }
 }

@@ -3,6 +3,7 @@
 use crate::breaker::{BreakerConfig, BreakerDecision, BreakerSet, BreakerState};
 use muve_core::Planner;
 use muve_dbms::Table;
+use muve_obs::{lock_recover, CancelToken, MemPool};
 use muve_pipeline::{
     DeadlineBudget, FaultInjector, Session, SessionCaches, SessionConfig, SessionOutcome, Stage,
     Visualization,
@@ -11,11 +12,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Retry policy for transiently failed sessions. Backoff is exponential
 /// (`base · 2^(attempt−1)`, capped at `cap`) with ±50 % multiplicative
@@ -62,6 +63,18 @@ pub struct ServerConfig {
     /// Shared cross-request cache bundle. `None` disables caching; the
     /// server stamps the bundle with the table's epoch at startup.
     pub caches: Option<Arc<SessionCaches>>,
+    /// Run the watchdog thread: it cancels requests stuck past
+    /// [`STUCK_FACTOR`]·θ and respawns worker threads killed by escaped
+    /// panics, recording the lost request as a typed crashed shed. Without
+    /// it, an escaped panic silently shrinks the pool and the caller's
+    /// [`Ticket`] resolves to a generic shutdown shed.
+    pub watchdog: bool,
+    /// Per-request memory cap for execution state, in MiB; the server also
+    /// maintains a global pool of `mem_cap_mb × workers` MiB that every
+    /// in-flight request charges against. `0` disables the governor.
+    /// Requests that set their own [`SessionConfig::mem_cap_bytes`] keep
+    /// it; the global pool applies either way.
+    pub mem_cap_mb: usize,
 }
 
 impl Default for ServerConfig {
@@ -72,9 +85,19 @@ impl Default for ServerConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             caches: None,
+            watchdog: true,
+            mem_cap_mb: 0,
         }
     }
 }
+
+/// A request older than `STUCK_FACTOR × θ` (measured from worker pickup)
+/// has blown well past every in-band deadline check; the watchdog fires
+/// its cancellation token so the next cancellation point aborts it.
+pub const STUCK_FACTOR: u32 = 3;
+
+/// How often the watchdog samples worker liveness and request age.
+const WATCHDOG_POLL: Duration = Duration::from_millis(10);
 
 /// One voice-query request: a transcript plus the session configuration it
 /// should run under. Owned throughout (`Send + 'static`), so it can cross
@@ -132,6 +155,11 @@ pub enum Rejected {
     },
     /// The server is draining (or gone) and no longer admits requests.
     ShuttingDown,
+    /// The worker thread running this request died (a panic escaped the
+    /// session's stage guards). The watchdog detected the dead thread,
+    /// resolved the request with this typed reason, and respawned the
+    /// worker so the pool keeps its strength.
+    WorkerCrashed,
 }
 
 impl fmt::Display for Rejected {
@@ -148,6 +176,7 @@ impl fmt::Display for Rejected {
                 write!(f, "deadline expired after {waited:?} in the queue")
             }
             Rejected::ShuttingDown => f.write_str("server is shutting down"),
+            Rejected::WorkerCrashed => f.write_str("worker thread crashed mid-request"),
         }
     }
 }
@@ -207,9 +236,10 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Block until the request resolves. A lost worker (which the session
-    /// contract makes unreachable — `Session::run` never panics) reads as
-    /// a shutdown shed, never a hang.
+    /// Block until the request resolves. With the watchdog on, a worker
+    /// killed mid-request resolves as a typed [`Rejected::WorkerCrashed`]
+    /// shed; without it, the dropped sender reads as a shutdown shed —
+    /// either way, never a hang.
     pub fn wait(self) -> ServeOutcome {
         self.rx.recv().unwrap_or(ServeOutcome::Shed {
             reason: Rejected::ShuttingDown,
@@ -238,12 +268,21 @@ pub struct ServeStats {
     pub retries: u64,
     /// Circuit-breaker open transitions.
     pub breaker_opens: u64,
+    /// Requests lost to a worker crash (counted *within* `shed`: the
+    /// watchdog resolves each with [`Rejected::WorkerCrashed`]).
+    pub crashed: u64,
+    /// Worker threads respawned by the watchdog after a crash.
+    pub respawns: u64,
+    /// Stuck requests whose token the watchdog cancelled.
+    pub watchdog_cancels: u64,
     /// Requests currently queued (waiting for a worker).
     pub queue_depth: usize,
 }
 
 impl ServeStats {
     /// Whether every submitted request has resolved to exactly one class.
+    /// Crashed requests are shed (with a typed reason), so the identity
+    /// holds even under a worker-death storm.
     pub fn reconciles(&self) -> bool {
         self.submitted == self.served + self.degraded + self.shed
     }
@@ -253,13 +292,17 @@ impl fmt::Display for ServeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "submitted {}  served {}  degraded {}  shed {}  retries {}  breaker opens {}  queued {}",
+            "submitted {}  served {}  degraded {}  shed {}  retries {}  breaker opens {}  \
+             crashed {}  respawns {}  watchdog cancels {}  queued {}",
             self.submitted,
             self.served,
             self.degraded,
             self.shed,
             self.retries,
             self.breaker_opens,
+            self.crashed,
+            self.respawns,
+            self.watchdog_cancels,
             self.queue_depth
         )
     }
@@ -287,6 +330,9 @@ struct Stats {
     shed: AtomicU64,
     retries: AtomicU64,
     breaker_opens: AtomicU64,
+    crashed: AtomicU64,
+    respawns: AtomicU64,
+    watchdog_cancels: AtomicU64,
 }
 
 struct Job {
@@ -301,6 +347,20 @@ struct QueueState {
     draining: bool,
 }
 
+/// What the watchdog knows about one in-flight request: enough to judge
+/// it stuck (`started`, `total`), cancel it (`token`), and — if the worker
+/// thread dies under it — resolve the caller's ticket (`tx`) with a typed
+/// crashed shed. The worker fills its slot at pickup and clears it *after*
+/// sending the outcome, so a dead thread with an occupied slot always
+/// means an unanswered request.
+struct ActiveReq {
+    token: CancelToken,
+    started: Instant,
+    total: Duration,
+    cancelled: bool,
+    tx: mpsc::Sender<ServeOutcome>,
+}
+
 struct Shared {
     cfg: ServerConfig,
     table: Arc<Table>,
@@ -310,6 +370,15 @@ struct Shared {
     /// EWMA of per-request service time, microseconds (0 = no data yet).
     ewma_service_us: AtomicU64,
     stats: Stats,
+    /// Per-worker in-flight request slots, indexed by worker id.
+    active: Mutex<Vec<Option<ActiveReq>>>,
+    /// Per-worker join handles, indexed by worker id; the watchdog swaps
+    /// in fresh handles when it respawns a dead worker.
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Tells the watchdog thread to exit (set at the end of drain).
+    watchdog_stop: AtomicBool,
+    /// Global execution-memory pool (`mem_cap_mb × workers` MiB).
+    mem_pool: Option<Arc<MemPool>>,
 }
 
 /// A concurrent MUVE serving instance: a fixed worker pool consuming a
@@ -318,7 +387,7 @@ struct Shared {
 /// drain. See the crate docs for the full semantics.
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl fmt::Debug for Server {
@@ -338,6 +407,8 @@ impl Server {
         if let Some(caches) = &cfg.caches {
             caches.set_table(&table);
         }
+        let mem_pool = (cfg.mem_cap_mb > 0)
+            .then(|| Arc::new(MemPool::new(cfg.mem_cap_mb * workers * 1024 * 1024)));
         let shared = Arc::new(Shared {
             breakers: BreakerSet::new(cfg.breaker.clone()),
             cfg,
@@ -346,19 +417,27 @@ impl Server {
             available: Condvar::new(),
             ewma_service_us: AtomicU64::new(0),
             stats: Stats::default(),
+            active: Mutex::new((0..workers).map(|_| None).collect()),
+            workers: Mutex::new((0..workers).map(|_| None).collect()),
+            watchdog_stop: AtomicBool::new(false),
+            mem_pool,
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("muve-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, i as u64))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        {
+            let mut slots = lock_recover(&shared.workers, "serve.lock_poisoned");
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(spawn_worker(&shared, i));
+            }
+        }
+        let watchdog = shared.cfg.watchdog.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("muve-serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("spawn watchdog thread")
+        });
         Server {
             shared,
-            workers: Mutex::new(handles),
+            watchdog: Mutex::new(watchdog),
         }
     }
 
@@ -379,7 +458,7 @@ impl Server {
         let obs = muve_obs::metrics();
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         obs.counter("serve.submitted").incr();
-        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = lock_recover(&shared.queue, "serve.lock_poisoned");
         if q.draining {
             drop(q);
             self.count_shed();
@@ -429,14 +508,20 @@ impl Server {
             shed: s.shed.load(Ordering::Relaxed),
             retries: s.retries.load(Ordering::Relaxed),
             breaker_opens: s.breaker_opens.load(Ordering::Relaxed),
-            queue_depth: self
-                .shared
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
+            crashed: s.crashed.load(Ordering::Relaxed),
+            respawns: s.respawns.load(Ordering::Relaxed),
+            watchdog_cancels: s.watchdog_cancels.load(Ordering::Relaxed),
+            queue_depth: lock_recover(&self.shared.queue, "serve.lock_poisoned")
                 .jobs
                 .len(),
         }
+    }
+
+    /// Bytes currently charged against the global execution-memory pool
+    /// (`None` when the governor is disabled). Returns to zero once every
+    /// in-flight request has drained.
+    pub fn mem_pool_used(&self) -> Option<usize> {
+        self.shared.mem_pool.as_ref().map(|p| p.used())
     }
 
     /// The circuit-breaker state of one pipeline stage.
@@ -450,17 +535,39 @@ impl Server {
     /// are shed with [`Rejected::ShuttingDown`]. Idempotent.
     pub fn drain(&self) -> DrainReport {
         {
-            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = lock_recover(&self.shared.queue, "serve.lock_poisoned");
             q.draining = true;
         }
         self.shared.available.notify_all();
-        let handles: Vec<JoinHandle<()>> = self
-            .workers
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .drain(..)
-            .collect();
-        for h in handles {
+        // Join workers until the pool stays empty: the watchdog may still
+        // respawn a worker mid-drain (a crash with requests left in the
+        // queue), and that replacement must be joined too.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                lock_recover(&self.shared.workers, "serve.lock_poisoned")
+                    .iter_mut()
+                    .filter_map(Option::take)
+                    .collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        self.shared.watchdog_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = lock_recover(&self.watchdog, "serve.lock_poisoned").take() {
+            let _ = h.join();
+        }
+        // The watchdog may have respawned one final worker between the
+        // last sweep and its stop flag; it exits immediately (draining,
+        // empty queue) but still needs joining.
+        let leftovers: Vec<JoinHandle<()>> =
+            lock_recover(&self.shared.workers, "serve.lock_poisoned")
+                .iter_mut()
+                .filter_map(Option::take)
+                .collect();
+        for h in leftovers {
             let _ = h.join();
         }
         DrainReport {
@@ -528,7 +635,12 @@ fn record_breaker_signals(
         let success = match span.status {
             SpanStatus::Completed => true,
             SpanStatus::Failed | SpanStatus::Panicked => false,
-            SpanStatus::Skipped => continue,
+            // No signal: a skipped stage never ran; a cancelled stage was
+            // stopped from outside (deadline or watchdog), not by its own
+            // dependency; a governor rejection is structural — opening a
+            // breaker (which pre-degrades *away* from sampling) could only
+            // make the memory pressure worse.
+            SpanStatus::Skipped | SpanStatus::Cancelled | SpanStatus::Exhausted => continue,
         };
         saw_signal[i] = true;
         if shared.breakers.record(stage, success) {
@@ -538,12 +650,21 @@ fn record_breaker_signals(
     }
 }
 
-fn worker_loop(shared: &Shared, worker_id: u64) {
+/// Spawn the worker thread for slot `index`.
+fn spawn_worker(shared: &Arc<Shared>, index: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("muve-serve-{index}"))
+        .spawn(move || worker_loop(&shared, index))
+        .expect("spawn worker thread")
+}
+
+fn worker_loop(shared: &Shared, worker_id: usize) {
     let obs = muve_obs::metrics();
-    let mut rng = StdRng::seed_from_u64(shared.cfg.retry.jitter_seed ^ worker_id);
+    let mut rng = StdRng::seed_from_u64(shared.cfg.retry.jitter_seed ^ worker_id as u64);
     loop {
         let job = {
-            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = lock_recover(&shared.queue, "serve.lock_poisoned");
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break Some(job);
@@ -576,6 +697,21 @@ fn worker_loop(shared: &Shared, worker_id: u64) {
             continue;
         }
 
+        // Register with the watchdog *before* any session work: from here
+        // until the outcome is sent, a dead thread means a lost request,
+        // and the occupied slot is how the watchdog knows to resolve it.
+        let token = job.budget.cancel_token();
+        {
+            let mut active = lock_recover(&shared.active, "serve.lock_poisoned");
+            active[worker_id] = Some(ActiveReq {
+                token: token.clone(),
+                started: Instant::now(),
+                total: job.budget.total(),
+                cancelled: false,
+                tx: job.tx.clone(),
+            });
+        }
+
         // Admission-time breaker decisions, then pre-degradation: an open
         // plan breaker starts the ladder on greedy (no doomed ILP attempt);
         // an open execute breaker skips the sample ladder.
@@ -589,11 +725,21 @@ fn worker_loop(shared: &Shared, worker_id: u64) {
         if decisions[stage_idx(Stage::Execute)] == BreakerDecision::PreDegrade {
             config.sample_ladder.clear();
         }
+        // The memory governor: requests that configured their own cap keep
+        // it; otherwise the server's per-request share applies. The global
+        // pool is charged either way.
+        if shared.mem_pool.is_some() && config.mem_cap_bytes == 0 {
+            config.mem_cap_bytes = shared.cfg.mem_cap_mb * 1024 * 1024;
+        }
 
-        let mut session =
-            Session::shared(Arc::clone(&shared.table), config).with_injector(job.req.injector);
+        let mut session = Session::shared(Arc::clone(&shared.table), config)
+            .with_injector(job.req.injector)
+            .with_cancel(token);
         if let Some(caches) = &shared.cfg.caches {
             session = session.with_caches(Arc::clone(caches));
+        }
+        if let Some(pool) = &shared.mem_pool {
+            session = session.with_mem_pool(Arc::clone(pool));
         }
         let mut saw_signal = [false; 5];
         let mut attempts: u32 = 1;
@@ -641,6 +787,81 @@ fn worker_loop(shared: &Shared, worker_id: u64) {
             queue_wait,
             total,
         });
+        // Clear the slot only after the outcome is on the wire: the
+        // watchdog must never see a dead thread with an answered request.
+        lock_recover(&shared.active, "serve.lock_poisoned")[worker_id] = None;
+    }
+}
+
+/// The watchdog loop: every [`WATCHDOG_POLL`], (1) cancel the token of any
+/// request stuck past [`STUCK_FACTOR`]·θ, and (2) detect worker threads
+/// killed by an escaped panic — resolve their orphaned request as a typed
+/// crashed shed and respawn the worker so the pool never shrinks.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let obs = muve_obs::metrics();
+    while !shared.watchdog_stop.load(Ordering::SeqCst) {
+        std::thread::sleep(WATCHDOG_POLL);
+
+        // (1) Stuck requests: past k·θ every in-band deadline has failed;
+        // fire the token so the next cancellation point aborts the run.
+        {
+            let mut active = lock_recover(&shared.active, "serve.lock_poisoned");
+            for slot in active.iter_mut().flatten() {
+                if !slot.cancelled && slot.started.elapsed() > slot.total * STUCK_FACTOR {
+                    slot.token.cancel();
+                    slot.cancelled = true;
+                    shared
+                        .stats
+                        .watchdog_cancels
+                        .fetch_add(1, Ordering::Relaxed);
+                    obs.counter("serve.watchdog_cancels").incr();
+                }
+            }
+        }
+
+        // (2) Dead workers. A worker thread exits normally only while
+        // draining — and always *after* clearing its active slot — so a
+        // finished thread with an occupied slot was killed by an escaped
+        // panic mid-request. Join it, resolve the orphaned request through
+        // the slot's tx clone, and respawn the worker at the same index.
+        for i in 0..shared.cfg.workers.max(1) {
+            let finished = {
+                let workers = lock_recover(&shared.workers, "serve.lock_poisoned");
+                matches!(&workers[i], Some(h) if h.is_finished())
+            };
+            if !finished {
+                continue;
+            }
+            let orphan = lock_recover(&shared.active, "serve.lock_poisoned")[i].take();
+            let Some(req) = orphan else {
+                continue; // clean slot: a normal drain exit, joined by drain()
+            };
+            let dead = lock_recover(&shared.workers, "serve.lock_poisoned")[i].take();
+            if let Some(h) = dead {
+                let _ = h.join(); // reaps the escaped panic payload
+            }
+            // Typed resolution keeps submitted = served + degraded + shed
+            // exact even under a death storm.
+            shared.stats.crashed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            obs.counter("serve.worker_crashes").incr();
+            obs.counter("serve.shed").incr();
+            let _ = req.tx.send(ServeOutcome::Shed {
+                reason: Rejected::WorkerCrashed,
+                total: req.started.elapsed(),
+            });
+            // Respawn unless the pool is winding down with nothing queued.
+            let wind_down = {
+                let q = lock_recover(&shared.queue, "serve.lock_poisoned");
+                q.draining && q.jobs.is_empty()
+            };
+            if !wind_down {
+                let replacement = spawn_worker(shared, i);
+                lock_recover(&shared.workers, "serve.lock_poisoned")[i] = Some(replacement);
+                shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+                obs.counter("serve.worker_respawns").incr();
+            }
+        }
     }
 }
 

@@ -31,6 +31,11 @@ pub struct MipConfig {
     /// A starting incumbent objective (user direction); nodes whose bound
     /// cannot beat it are pruned. Used to warm-start restarts.
     pub initial_incumbent: Option<(Vec<f64>, f64)>,
+    /// External cancellation point, checked once per node alongside the
+    /// private `time_budget`. Firing stops the search exactly like a
+    /// deadline: the best incumbent so far is returned with
+    /// `timed_out = true`.
+    pub cancel: Option<muve_obs::CancelToken>,
 }
 
 impl Default for MipConfig {
@@ -41,6 +46,7 @@ impl Default for MipConfig {
             pivots_per_node: 200_000,
             abs_gap: 1e-6,
             initial_incumbent: None,
+            cancel: None,
         }
     }
 }
@@ -355,6 +361,13 @@ impl Searcher {
             let node = open.swap_remove(pick);
             if let Some(budget) = self.config.time_budget {
                 if self.start.elapsed() >= budget {
+                    timed_out = true;
+                    open.push(node);
+                    break;
+                }
+            }
+            if let Some(cancel) = &self.config.cancel {
+                if cancel.should_stop() {
                     timed_out = true;
                     open.push(node);
                     break;

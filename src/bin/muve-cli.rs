@@ -20,6 +20,7 @@
 //! \k <n>                                     number of candidates
 //! \noise <rate>                              simulate ASR noise on input
 //! \deadline <ms>                             interactivity budget per question
+//! \memcap <mb|off>                           memory cap on result materialization
 //! \inject <spec|off>                         plant faults (e.g. plan:panic)
 //! \svg <path>                                save the last multiplot
 //! \serve [workers] [queue]                   route questions through a worker pool
@@ -40,7 +41,11 @@
 //! sheds typed rejections instead of queueing forever. `--cache-mb N`
 //! sizes the cross-request cache (candidates, results, plan warm starts);
 //! `--cache-mb 0` disables it entirely and is bit-identical to caching
-//! never having existed.
+//! never having existed. `--mem-cap-mb N` caps result materialization per
+//! question (and sizes the serve-wide memory pool at N × workers);
+//! exceeding the cap degrades that question to sample fidelity instead of
+//! growing without bound. `--watchdog off` disables the serve-side monitor
+//! that cancels stuck workers and respawns crashed ones.
 
 use muve::core::{render_svg, IlpConfig, Planner, ScreenConfig, UserCostModel};
 use muve::data::Dataset;
@@ -63,6 +68,7 @@ struct Shell {
     noise: f64,
     noise_seed: u64,
     deadline: Duration,
+    mem_cap_mb: usize,
     injector: FaultInjector,
     last_svg: Option<String>,
     trace_out: Option<String>,
@@ -87,6 +93,7 @@ impl Shell {
             noise: 0.0,
             noise_seed: 0,
             deadline: Duration::from_secs(1),
+            mem_cap_mb: 0,
             injector: FaultInjector::none(),
             last_svg: None,
             trace_out: None,
@@ -138,10 +145,22 @@ impl Shell {
             println!("{report}");
         }
         self.serve_cfg.caches = self.caches.clone();
+        self.serve_cfg.mem_cap_mb = self.mem_cap_mb;
         self.server = Some(Server::new(Arc::clone(&self.table), self.serve_cfg.clone()));
         println!(
-            "serving: {} workers, queue depth {}",
-            self.serve_cfg.workers, self.serve_cfg.queue_depth
+            "serving: {} workers, queue depth {}{}{}",
+            self.serve_cfg.workers,
+            self.serve_cfg.queue_depth,
+            if self.mem_cap_mb > 0 {
+                format!(", {} MB/worker mem cap", self.mem_cap_mb)
+            } else {
+                String::new()
+            },
+            if self.serve_cfg.watchdog {
+                ""
+            } else {
+                ", watchdog off"
+            },
         );
     }
 
@@ -182,6 +201,7 @@ impl Shell {
             planner: self.planner.clone(),
             k: 20,
             max_candidates: self.k,
+            mem_cap_bytes: self.mem_cap_mb << 20,
             ..SessionConfig::default()
         };
         if let Some(server) = &self.server {
@@ -369,6 +389,28 @@ impl Shell {
                 }
                 _ => println!("usage: \\deadline <ms>"),
             },
+            Some("\\memcap") => match parts.get(1).copied() {
+                Some("off") | Some("0") => {
+                    self.mem_cap_mb = 0;
+                    println!("memory cap off");
+                    if self.server.is_some() {
+                        self.start_serve();
+                    }
+                }
+                Some(arg) => match arg.parse::<usize>() {
+                    Ok(mb) if mb >= 1 => {
+                        self.mem_cap_mb = mb;
+                        println!("memory cap: {mb} MB per question");
+                        // A live pool sized its global budget from the old
+                        // cap; rebuild it.
+                        if self.server.is_some() {
+                            self.start_serve();
+                        }
+                    }
+                    _ => println!("usage: \\memcap <mb|off>"),
+                },
+                None => println!("usage: \\memcap <mb|off>"),
+            },
             Some("\\inject") => match parts.get(1).copied() {
                 Some("off") | Some("none") => {
                     self.injector = FaultInjector::none();
@@ -451,7 +493,7 @@ fn print_help() {
     println!(
         "ask a natural-language question or type SQL (select ...).\n\
          commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
-         \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>,\n\
+         \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>, \\memcap <mb|off>,\n\
          \\inject <spec|off>, \\svg <path>, \\serve [workers] [queue] | off, \\drain,\n\
          \\cache [clear | <mb>], \\stats, \\trace <path|off>, \\schema, \\quit"
     );
@@ -510,11 +552,27 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--mem-cap-mb" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(mb) => shell.mem_cap_mb = mb,
+                None => {
+                    eprintln!("--mem-cap-mb expects a non-negative integer (0 disables)");
+                    std::process::exit(2);
+                }
+            },
+            "--watchdog" => match args.next().as_deref() {
+                Some("on") => shell.serve_cfg.watchdog = true,
+                Some("off") => shell.serve_cfg.watchdog = false,
+                _ => {
+                    eprintln!("--watchdog expects on|off");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: \
                      muve-cli [--deadline-ms N] [--inject-fault SPEC] [--trace-out FILE] \
-                     [--serve] [--workers N] [--queue-depth M] [--cache-mb N]"
+                     [--serve] [--workers N] [--queue-depth M] [--cache-mb N] \
+                     [--mem-cap-mb N] [--watchdog on|off]"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,127 @@
+//! Memory-governor soak: the serve soak's contract (exactly one typed
+//! outcome per request, exact stats/metrics reconciliation) must also hold
+//! when the resource governor is live and *actually firing*. A low global
+//! pool plus periodically starved per-request caps guarantee
+//! `ResourceExhausted` fires at least once, while clean requests keep
+//! completing around the rejections. After the drain, the global pool
+//! gauge must be back at its baseline — the governor cannot leak charges.
+//!
+//! Kept in its own test binary (one process) so global-registry deltas are
+//! exact, and so the main soak's reconciliation is not polluted.
+
+use muve::data::Dataset;
+use muve::obs::metrics;
+use muve::pipeline::{SessionCaches, SessionConfig};
+use muve::serve::{Request, Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 4;
+const CLIENTS: usize = 6;
+const REQUESTS_PER_CLIENT: usize = 15; // 90 total
+const DEADLINE: Duration = Duration::from_millis(300);
+
+/// Every STARVE_EVERY-th request gets a cap far below what even one
+/// grouped result needs, forcing the typed exhaustion path.
+const STARVE_EVERY: usize = 3;
+const STARVED_CAP: usize = 64;
+
+fn request(i: usize) -> Request {
+    let mut config = SessionConfig {
+        deadline: DEADLINE,
+        ..SessionConfig::default()
+    };
+    if i.is_multiple_of(STARVE_EVERY) {
+        config.mem_cap_bytes = STARVED_CAP;
+    }
+    Request::new("average dep delay in jfk").with_config(config)
+}
+
+#[test]
+fn governed_soak_reconciles_and_pool_returns_to_baseline() {
+    let before = metrics().snapshot();
+    let pool_baseline = before.gauge("mem.pool_bytes");
+    let table = Arc::new(Dataset::Flights.generate(2_000, 7));
+    let caches = Arc::new(SessionCaches::new(16 << 20));
+    let server = Arc::new(Server::new(
+        Arc::clone(&table),
+        ServerConfig {
+            workers: WORKERS,
+            queue_depth: 32,
+            mem_cap_mb: 1, // 1 MiB per worker: a live (if roomy) global pool
+            caches: Some(caches),
+            ..ServerConfig::default()
+        },
+    ));
+
+    let resolved = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let resolved = Arc::clone(&resolved);
+            std::thread::spawn(move || {
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let i = c * REQUESTS_PER_CLIENT + r;
+                    let ticket = match server.submit(request(i)) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            resolved.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let outcome = ticket
+                        .wait_timeout(Duration::from_secs(30))
+                        .expect("request hung: no outcome within 30s");
+                    let _ = outcome.class();
+                    resolved.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+
+    let report = server.drain();
+    let stats = report.stats;
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    assert_eq!(resolved.load(Ordering::Relaxed), total);
+    assert_eq!(stats.submitted, total);
+    assert!(stats.reconciles(), "stats do not reconcile: {stats}");
+    assert!(
+        stats.served + stats.degraded > 0,
+        "nothing completed: {stats}"
+    );
+
+    let after = metrics().snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+
+    // The governor must have actually fired: starved requests hit their
+    // per-request caps (and possibly the shared pool) at least once.
+    assert!(
+        delta("mem.request_exhausted") + delta("mem.global_exhausted") >= 1,
+        "the governor never fired: request_exhausted={} global_exhausted={}",
+        delta("mem.request_exhausted"),
+        delta("mem.global_exhausted"),
+    );
+    assert!(
+        delta("dbms.mem_aborts") >= 1,
+        "no execution was aborted by the governor"
+    );
+
+    // Every charge was released: the shared pool gauge is back at its
+    // baseline once the pool has drained — exhausted, degraded and
+    // completed requests all release on the way out.
+    assert_eq!(
+        after.gauge("mem.pool_bytes"),
+        pool_baseline,
+        "the global memory pool leaked charges"
+    );
+
+    // Serve-level reconciliation with the registry, as in the main soak.
+    assert_eq!(delta("serve.submitted"), stats.submitted);
+    assert_eq!(delta("serve.served"), stats.served);
+    assert_eq!(delta("serve.degraded"), stats.degraded);
+    assert_eq!(delta("serve.shed"), stats.shed);
+}

@@ -1,0 +1,154 @@
+//! Worker-death storm: every faulty request carries an *escaped* panic —
+//! one the pipeline's stage guards deliberately re-throw so it unwinds the
+//! worker thread itself (`execute:panic_escape@p=1`). The watchdog must
+//! hold the serving contract through the storm:
+//!
+//! - the pool is restored to full strength (a respawn per crash, and clean
+//!   requests complete normally after the storm);
+//! - every submitted request still gets **exactly one** typed outcome —
+//!   crashed workers' orphaned requests resolve as
+//!   `Shed { reason: WorkerCrashed }`, never a hang;
+//! - the server's stats and the global `serve.*` metrics reconcile exactly
+//!   with the client-observed outcomes.
+
+use muve::data::Dataset;
+use muve::obs::metrics;
+use muve::pipeline::{FaultInjector, SessionConfig};
+use muve::serve::{Rejected, Request, ServeOutcome, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 4;
+const STORM: usize = 24; // crash-carrying requests
+const CLEAN_AFTER: usize = 8; // clean requests once the storm has passed
+
+fn request(faulty: bool) -> Request {
+    let config = SessionConfig {
+        // Clean requests get a generous budget: the point of phase 2 is
+        // that they all COMPLETE, so none may expire merely from queueing
+        // behind the pool-wide burst on a slow debug-mode CI machine. (Not
+        // too generous, though — sessions are anytime algorithms that put
+        // spare plan budget to work, so a huge deadline slows the test.)
+        deadline: if faulty {
+            Duration::from_millis(400)
+        } else {
+            Duration::from_secs(2)
+        },
+        ..SessionConfig::default()
+    };
+    let mut req = Request::new("average dep delay in jfk").with_config(config);
+    if faulty {
+        req = req.with_injector(
+            FaultInjector::parse("execute:panic_escape@p=1").expect("storm fault spec parses"),
+        );
+    }
+    req
+}
+
+#[test]
+fn pool_survives_total_panic_storm_with_one_typed_outcome_per_request() {
+    let before = metrics().snapshot();
+    let table = Arc::new(Dataset::Flights.generate(2_000, 7));
+    let server = Server::new(
+        Arc::clone(&table),
+        ServerConfig {
+            workers: WORKERS,
+            queue_depth: 64,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Phase 1 — the storm. Every request's execute stage throws an escaped
+    // panic, killing whichever worker picked it up. Submit them all, then
+    // collect: each must resolve with the typed crash outcome.
+    let mut submitted = 0u64;
+    let mut crashed_outcomes = 0u64;
+    let mut other_sheds = 0u64;
+    let mut storm_completed = 0u64;
+    let tickets: Vec<_> = (0..STORM)
+        .map(|_| {
+            submitted += 1;
+            server
+                .submit(request(true))
+                .expect("queue_depth covers the storm")
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let outcome = ticket
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|| panic!("storm request {i} hung: no outcome within 30s"));
+        match outcome {
+            ServeOutcome::Shed {
+                reason: Rejected::WorkerCrashed,
+                ..
+            } => crashed_outcomes += 1,
+            ServeOutcome::Shed { .. } => other_sheds += 1,
+            // A storm request that queued long enough expires its budget
+            // before execute even starts; the skipped stage never fires the
+            // panic and the session completes degraded. Still exactly one
+            // typed outcome — just not a crash.
+            ServeOutcome::Completed { .. } => storm_completed += 1,
+        }
+    }
+    assert_eq!(
+        crashed_outcomes + other_sheds + storm_completed,
+        STORM as u64,
+        "every storm request resolves exactly once"
+    );
+    // The first wave (one per worker) cannot have queued past its budget,
+    // so at least a pool's width of requests must die as typed crashes.
+    assert!(
+        crashed_outcomes >= WORKERS as u64,
+        "expected at least {WORKERS} WorkerCrashed outcomes, got {crashed_outcomes}/{STORM}"
+    );
+
+    // Phase 2 — the pool must have been respawned back to full strength:
+    // a burst of clean requests as wide as the pool all complete.
+    let clean_tickets: Vec<_> = (0..CLEAN_AFTER)
+        .map(|_| {
+            submitted += 1;
+            server
+                .submit(request(false))
+                .expect("respawned pool accepts work")
+        })
+        .collect();
+    for (i, ticket) in clean_tickets.into_iter().enumerate() {
+        let outcome = ticket
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|| panic!("post-storm request {i} hung"));
+        assert!(
+            matches!(outcome, ServeOutcome::Completed { .. }),
+            "post-storm request {i} did not complete: pool not restored?"
+        );
+    }
+
+    // Exact reconciliation, cross-checked three ways: client-observed
+    // outcomes, the server's own stats, and the global metric registry
+    // (this test binary owns its process, so deltas are exact).
+    let report = server.drain();
+    let stats = report.stats;
+    assert_eq!(stats.submitted, submitted);
+    assert!(stats.reconciles(), "stats do not reconcile: {stats}");
+    assert_eq!(
+        stats.crashed, crashed_outcomes,
+        "typed crash outcomes match"
+    );
+    assert!(
+        stats.respawns >= stats.crashed.saturating_sub(WORKERS as u64),
+        "pool shrank: {} crashes but only {} respawns",
+        stats.crashed,
+        stats.respawns
+    );
+    assert_eq!(
+        stats.served + stats.degraded,
+        CLEAN_AFTER as u64 + storm_completed,
+        "completions are exactly the clean requests plus budget-expired storm survivors"
+    );
+
+    let after = metrics().snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("serve.submitted"), stats.submitted);
+    assert_eq!(delta("serve.worker_crashes"), stats.crashed);
+    assert_eq!(delta("serve.worker_respawns"), stats.respawns);
+    assert_eq!(delta("serve.shed"), stats.shed);
+}
