@@ -11,6 +11,7 @@
 //! | `fig13` | presentation-method ratings | [`fig13`] |
 //! | `ablation` | reproduction-specific design ablations | [`ablation`] |
 //! | `cache` | cold vs warm cross-request caching | [`cache`] |
+//! | `serve` | network-stack shed/latency load curves | [`serve`] |
 
 pub mod ablation;
 pub mod cache;
@@ -21,6 +22,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod serve;
 pub mod study;
 
 pub use common::ResultTable;
@@ -28,7 +30,7 @@ pub use common::ResultTable;
 /// All experiment ids accepted by the `expt` binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "ablation", "cache",
+    "ablation", "cache", "serve",
 ];
 
 /// Run one experiment by id (fig3 is produced together with table1, and
@@ -44,6 +46,7 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<ResultTable>> {
         "fig13" => Some(fig13::run(quick)),
         "ablation" => Some(ablation::run(quick)),
         "cache" => Some(cache::run(quick)),
+        "serve" => Some(serve::run(quick)),
         _ => None,
     }
 }

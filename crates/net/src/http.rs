@@ -1,0 +1,615 @@
+//! A strict, incremental, byte-level HTTP/1.1 request parser and a small
+//! response writer — no regexes, no allocation proportional to attacker
+//! input beyond the configured caps.
+//!
+//! The parser is a resumable state machine: the connection handler feeds it
+//! whatever bytes arrived on the socket and it either asks for more
+//! ([`Parsed::Partial`]), yields a complete request, or fails with a typed
+//! [`ParseError`] that maps to exactly one HTTP status. Every limit —
+//! request-line length, header bytes, header count, body bytes — is
+//! enforced *while* bytes accumulate, so a hostile client can never grow
+//! server memory past [`Limits`] no matter how it frames its garbage.
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// Hard caps on what a single request may occupy.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Max bytes of the request line (`GET /path HTTP/1.1`).
+    pub max_request_line: usize,
+    /// Max total bytes of the header block (request line included).
+    pub max_head_bytes: usize,
+    /// Max number of header fields.
+    pub max_headers: usize,
+    /// Max bytes of the declared body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_request_line: 4 << 10,
+            max_head_bytes: 16 << 10,
+            max_headers: 64,
+            max_body_bytes: 256 << 10,
+        }
+    }
+}
+
+/// Every way a request can fail to parse, each with one HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// The request line exceeds [`Limits::max_request_line`].
+    RequestLineTooLong,
+    /// Only HTTP/1.0 and HTTP/1.1 are spoken here.
+    UnsupportedVersion,
+    /// A header line has no colon or a name with illegal bytes.
+    BadHeader,
+    /// The header block exceeds [`Limits::max_head_bytes`].
+    HeadersTooLarge,
+    /// More than [`Limits::max_headers`] fields.
+    TooManyHeaders,
+    /// `Content-Length` is absent on a method requiring a body, repeated,
+    /// or not a decimal number.
+    BadContentLength,
+    /// The declared body exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge,
+    /// `Transfer-Encoding` (chunked or otherwise) is not supported.
+    UnsupportedTransferEncoding,
+}
+
+impl ParseError {
+    /// The HTTP status this error maps to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ParseError::RequestLineTooLong => 414,
+            ParseError::HeadersTooLarge | ParseError::TooManyHeaders => 431,
+            ParseError::BodyTooLarge => 413,
+            ParseError::UnsupportedTransferEncoding => 501,
+            _ => 400,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ParseError::BadRequestLine => "malformed request line",
+            ParseError::RequestLineTooLong => "request line too long",
+            ParseError::UnsupportedVersion => "unsupported HTTP version",
+            ParseError::BadHeader => "malformed header field",
+            ParseError::HeadersTooLarge => "header block too large",
+            ParseError::TooManyHeaders => "too many header fields",
+            ParseError::BadContentLength => "missing or malformed Content-Length",
+            ParseError::BodyTooLarge => "request body exceeds the configured cap",
+            ParseError::UnsupportedTransferEncoding => "Transfer-Encoding is not supported",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, percent-encoding left untouched.
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub keep_alive: bool,
+    /// Header fields in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What one `feed` produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Parsed {
+    /// Need more bytes; the parser has made whatever progress it could.
+    Partial,
+    /// A complete request. The parser is reset and any pipelined surplus
+    /// bytes stay buffered for the next request.
+    Complete(HttpRequest),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum State {
+    Head,
+    Body { need: usize },
+    Failed,
+}
+
+/// Resumable request parser. Feed it socket bytes; it never panics and
+/// never buffers beyond [`Limits`].
+#[derive(Debug)]
+pub struct Parser {
+    limits: Limits,
+    buf: Vec<u8>,
+    state: State,
+    head: Option<HttpRequest>,
+}
+
+impl Parser {
+    /// A fresh parser with the given caps.
+    pub fn new(limits: Limits) -> Parser {
+        Parser {
+            limits,
+            buf: Vec::new(),
+            state: State::Head,
+            head: None,
+        }
+    }
+
+    /// Whether any bytes of the *current* request have been seen — used by
+    /// the connection handler to tell "idle keep-alive" from "mid-request"
+    /// when a timeout fires.
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty() || matches!(self.state, State::Body { .. })
+    }
+
+    /// Whether the head is complete and body bytes are now awaited — the
+    /// handler grants the body allowance on top of the header deadline.
+    pub fn reading_body(&self) -> bool {
+        matches!(self.state, State::Body { .. })
+    }
+
+    /// Feed more bytes. A [`ParseError`] is terminal: further feeds return
+    /// the same error and the connection must be closed after the 4xx.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Parsed, ParseError> {
+        if self.state == State::Failed {
+            return Err(ParseError::BadRequestLine);
+        }
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match self.state {
+                State::Head => {
+                    // Cap enforcement first — in a fixed order (request
+                    // line, then head size) on both the found and the
+                    // still-accumulating path, so the typed error a peer
+                    // sees does not depend on how its bytes were chunked.
+                    if self.line_too_long() {
+                        return self.fail(ParseError::RequestLineTooLong);
+                    }
+                    match find_head_end(&self.buf) {
+                        Some(end) => {
+                            if end > self.limits.max_head_bytes {
+                                return self.fail(ParseError::HeadersTooLarge);
+                            }
+                            let head: Vec<u8> = self.buf.drain(..end).collect();
+                            let req = match self.parse_head(&head) {
+                                Ok(req) => req,
+                                Err(e) => return self.fail(e),
+                            };
+                            let need = match self.body_length(&req) {
+                                Ok(n) => n,
+                                Err(e) => return self.fail(e),
+                            };
+                            self.head = Some(req);
+                            self.state = State::Body { need };
+                        }
+                        None => {
+                            if self.buf.len() > self.limits.max_head_bytes {
+                                return self.fail(ParseError::HeadersTooLarge);
+                            }
+                            return Ok(Parsed::Partial);
+                        }
+                    }
+                }
+                State::Body { need } => {
+                    if self.buf.len() < need {
+                        return Ok(Parsed::Partial);
+                    }
+                    let mut req = self.head.take().expect("head parsed before body");
+                    req.body = self.buf.drain(..need).collect();
+                    self.state = State::Head;
+                    return Ok(Parsed::Complete(req));
+                }
+                State::Failed => unreachable!("checked on entry"),
+            }
+        }
+    }
+
+    /// Whether the (possibly still unterminated) request line already
+    /// exceeds its cap. With the newline seen the length is exact; before
+    /// it, one byte of slack allows for a buffered trailing `\r`.
+    fn line_too_long(&self) -> bool {
+        match self.buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let len = if pos > 0 && self.buf[pos - 1] == b'\r' {
+                    pos - 1
+                } else {
+                    pos
+                };
+                len > self.limits.max_request_line
+            }
+            None => self.buf.len() > self.limits.max_request_line + 1,
+        }
+    }
+
+    fn fail(&mut self, e: ParseError) -> Result<Parsed, ParseError> {
+        self.state = State::Failed;
+        self.buf.clear();
+        self.buf.shrink_to_fit();
+        Err(e)
+    }
+
+    fn parse_head(&self, head: &[u8]) -> Result<HttpRequest, ParseError> {
+        let mut lines = split_lines(head);
+        let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+        if request_line.len() > self.limits.max_request_line {
+            return Err(ParseError::RequestLineTooLong);
+        }
+        let line = std::str::from_utf8(request_line).map_err(|_| ParseError::BadRequestLine)?;
+        let mut parts = line.split(' ');
+        let method = parts.next().unwrap_or("");
+        let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+        let version = parts.next().ok_or(ParseError::BadRequestLine)?;
+        if parts.next().is_some() || method.is_empty() || target.is_empty() {
+            return Err(ParseError::BadRequestLine);
+        }
+        if !method.bytes().all(is_token_byte) {
+            return Err(ParseError::BadRequestLine);
+        }
+        let keep_alive = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            _ => return Err(ParseError::UnsupportedVersion),
+        };
+
+        let mut headers = Vec::new();
+        for raw in lines {
+            if raw.is_empty() {
+                continue; // trailing blank from the terminator
+            }
+            if headers.len() >= self.limits.max_headers {
+                return Err(ParseError::TooManyHeaders);
+            }
+            let text = std::str::from_utf8(raw).map_err(|_| ParseError::BadHeader)?;
+            let (name, value) = text.split_once(':').ok_or(ParseError::BadHeader)?;
+            if name.is_empty() || !name.bytes().all(is_token_byte) {
+                return Err(ParseError::BadHeader);
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let keep_alive = match headers
+            .iter()
+            .find(|(k, _)| k == "connection")
+            .map(|(_, v)| v.to_ascii_lowercase())
+        {
+            Some(v) if v == "close" => false,
+            Some(v) if v == "keep-alive" => true,
+            _ => keep_alive,
+        };
+        Ok(HttpRequest {
+            method: method.to_string(),
+            target: target.to_string(),
+            keep_alive,
+            headers,
+            body: Vec::new(),
+        })
+    }
+
+    fn body_length(&self, req: &HttpRequest) -> Result<usize, ParseError> {
+        if req.header("transfer-encoding").is_some() {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        }
+        let lengths: Vec<&str> = req
+            .headers
+            .iter()
+            .filter(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.as_str())
+            .collect();
+        let need = match lengths.as_slice() {
+            [] => 0,
+            [one] => {
+                let n: u64 = one.parse().map_err(|_| ParseError::BadContentLength)?;
+                usize::try_from(n).map_err(|_| ParseError::BadContentLength)?
+            }
+            _ => return Err(ParseError::BadContentLength),
+        };
+        if need > self.limits.max_body_bytes {
+            return Err(ParseError::BodyTooLarge);
+        }
+        Ok(need)
+    }
+}
+
+/// Index one past the `\r\n\r\n` (or lenient `\n\n`) head terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            let rest = &buf[i + 1..];
+            if rest.first() == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if rest.len() >= 2 && rest[0] == b'\r' && rest[1] == b'\n' {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Split the head on line breaks, tolerating both CRLF and bare LF.
+fn split_lines(head: &[u8]) -> impl Iterator<Item = &[u8]> {
+    head.split(|&b| b == b'\n').map(|line| {
+        if line.last() == Some(&b'\r') {
+            &line[..line.len() - 1]
+        } else {
+            line
+        }
+    })
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+
+/// A response under construction; serialized by [`Response::write_to`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    content_type: &'static str,
+    /// Whether the connection should close after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &serde_json::Value) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: serde_json::to_string(value)
+                .unwrap_or_default()
+                .into_bytes(),
+            content_type: "application/json",
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+            close: false,
+        }
+    }
+
+    /// A JSON error body `{"error": ..., "kind": ...}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Response {
+        Response::json(
+            status,
+            &serde_json::json!({ "error": message, "kind": kind }),
+        )
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Mark the connection for closing after this response.
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    /// Serialize onto a writer (one `write_all`, so a slow client can't
+    /// observe a torn head).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("content-type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        if self.close {
+            out.extend_from_slice(b"connection: close\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)
+    }
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Parsed, ParseError> {
+        Parser::new(Limits::default()).feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let got = parse_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        match got {
+            Parsed::Complete(req) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.target, "/healthz");
+                assert!(req.keep_alive);
+                assert_eq!(req.header("host"), Some("x"));
+                assert!(req.body.is_empty());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_post_with_body_across_feeds() {
+        let mut p = Parser::new(Limits::default());
+        let wire = b"POST /query HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world";
+        for (i, chunk) in wire.chunks(3).enumerate() {
+            match p.feed(chunk).unwrap() {
+                Parsed::Complete(req) => {
+                    assert_eq!(req.body, b"hello world");
+                    assert!((i + 1) * 3 >= wire.len(), "completed too early");
+                    return;
+                }
+                Parsed::Partial => assert!(p.mid_request() || i == 0),
+            }
+        }
+        panic!("never completed");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_one_at_a_time() {
+        let mut p = Parser::new(Limits::default());
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let first = p.feed(wire).unwrap();
+        assert!(matches!(first, Parsed::Complete(ref r) if r.target == "/a"));
+        let second = p.feed(b"").unwrap();
+        assert!(matches!(second, Parsed::Complete(ref r) if r.target == "/b"));
+    }
+
+    #[test]
+    fn typed_errors_map_to_statuses() {
+        let cases: Vec<(&[u8], ParseError, u16)> = vec![
+            (b"garbage\r\n\r\n", ParseError::BadRequestLine, 400),
+            (
+                b"GET / HTTP/2.0\r\n\r\n",
+                ParseError::UnsupportedVersion,
+                400,
+            ),
+            (
+                b"GET / HTTP/1.1\r\nnocolon\r\n\r\n",
+                ParseError::BadHeader,
+                400,
+            ),
+            (
+                b"POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\n",
+                ParseError::BadContentLength,
+                400,
+            ),
+            (
+                b"POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n",
+                ParseError::BadContentLength,
+                400,
+            ),
+            (
+                b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+                ParseError::UnsupportedTransferEncoding,
+                501,
+            ),
+        ];
+        for (wire, want, status) in cases {
+            let got = parse_all(wire).unwrap_err();
+            assert_eq!(got, want, "{}", String::from_utf8_lossy(wire));
+            assert_eq!(got.http_status(), status);
+        }
+    }
+
+    #[test]
+    fn caps_fire_while_accumulating_not_after() {
+        let limits = Limits {
+            max_request_line: 64,
+            max_head_bytes: 256,
+            max_headers: 4,
+            max_body_bytes: 128,
+        };
+        // Unterminated request line past the cap fails immediately.
+        let mut p = Parser::new(limits.clone());
+        assert_eq!(
+            p.feed(&[b'A'; 100]).unwrap_err(),
+            ParseError::RequestLineTooLong
+        );
+        // Unterminated head past the cap fails without a terminator.
+        let mut p = Parser::new(limits.clone());
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        wire.extend(std::iter::repeat_n(b"x: y\r\n".as_slice(), 60).flatten());
+        assert_eq!(p.feed(&wire).unwrap_err(), ParseError::HeadersTooLarge);
+        // Header count cap.
+        let mut p = Parser::new(limits.clone());
+        assert_eq!(
+            p.feed(b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\nd: 4\r\ne: 5\r\n\r\n")
+                .unwrap_err(),
+            ParseError::TooManyHeaders
+        );
+        // Declared body over the cap is rejected before any body byte.
+        let mut p = Parser::new(limits);
+        assert_eq!(
+            p.feed(b"POST / HTTP/1.1\r\ncontent-length: 1000\r\n\r\n")
+                .unwrap_err(),
+            ParseError::BodyTooLarge
+        );
+    }
+
+    #[test]
+    fn failed_parser_stays_failed() {
+        let mut p = Parser::new(Limits::default());
+        assert!(p.feed(b"\x00\x01\x02\r\n\r\n").is_err());
+        assert!(p.feed(b"GET / HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(429, &serde_json::json!({"error": "slow down"}))
+            .with_header("retry-after", "2")
+            .closing()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert!(text.contains(&format!("content-length: {}\r\n", body.len())));
+    }
+}

@@ -1,0 +1,41 @@
+//! # muve-net — the fault-tolerant network surface for MUVE serving
+//!
+//! A hand-rolled, std-only HTTP/1.1 service over TCP that wraps
+//! [`muve_serve::Server`] and makes every network-borne failure mode a
+//! *typed, bounded, observable* outcome — never a hang, a leak, or a
+//! panic:
+//!
+//! - **Hostile-client defenses** — a strict incremental byte-level parser
+//!   ([`http::Parser`]) with hard caps on request line, header block,
+//!   header count, and body size; progress deadlines that fail
+//!   slow-header and slow-body (slowloris) peers with a typed 408; a
+//!   connection governor that sheds beyond [`NetConfig::max_conns`] with
+//!   503 + `Retry-After`. Malformed bytes get one clean 4xx and a close.
+//! - **Routes** — `POST /query` (JSON in/out), `GET /trace/<id>` (ring of
+//!   recent per-stage traces), `GET /metrics` (observability snapshot +
+//!   serve stats), `GET /healthz` (healthy vs degraded, with reasons:
+//!   open breakers, crashed workers, exhausted memory pool).
+//! - **Client-disconnect cancellation** — while a query is in flight the
+//!   handler watches the socket; a vanished client flips the request's
+//!   [`muve_obs::CancelToken`] to the `ClientGone` cause, so workers stop
+//!   wasting budget on answers nobody will read, and queued requests from
+//!   gone clients are shed at pickup.
+//! - **Per-tenant quotas** — API keys map to tenants with token-bucket
+//!   rate limits ([`tenant::TenantRegistry`]) and weighted fair-share
+//!   lanes in the serve queue, so one quota-busting tenant cannot starve
+//!   the rest.
+//! - **Graceful drain** — on SIGTERM/SIGINT ([`signal`]) the acceptor
+//!   stops, in-flight requests finish, queued ones flush as typed
+//!   `ShuttingDown` sheds, and the process exits 0 with exactly
+//!   reconciled stats (`submitted == served + degraded + shed`).
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod signal;
+pub mod tenant;
+
+pub use http::{HttpRequest, Limits, ParseError, Parsed, Parser, Response};
+pub use server::{NetConfig, NetReport, NetServer};
+pub use tenant::{AuthError, TenantConfig, TenantRegistry};

@@ -1,0 +1,81 @@
+//! Minimal async-signal-safe shutdown flag for SIGINT/SIGTERM.
+//!
+//! No `libc` crate is available offline, so the handler is installed
+//! through a direct `extern "C"` declaration of `signal(2)` — std already
+//! links libc on every supported target. The handler does the only
+//! async-signal-safe thing possible: flip one atomic. The accept loop
+//! polls [`requested`] between accepts and starts the drain when it turns
+//! true; a second signal while draining is absorbed by the same flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Install the handler for SIGINT (2) and SIGTERM (15). Idempotent.
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        signal(2, on_signal as *const () as usize);
+        signal(15, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a shutdown signal has arrived (or [`trigger`] was called).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Request shutdown programmatically — same path the signals take; used by
+/// tests and by `muve-netd` integration drills.
+pub fn trigger() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clear the flag (tests only — a real process exits after one drain).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_reset_flip_the_flag() {
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn a_real_signal_sets_the_flag() {
+        install();
+        reset();
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+            fn getpid() -> i32;
+        }
+        unsafe {
+            kill(getpid(), 2); // SIGINT to ourselves
+        }
+        let start = std::time::Instant::now();
+        while !requested() && start.elapsed() < std::time::Duration::from_secs(2) {
+            std::thread::yield_now();
+        }
+        assert!(requested(), "SIGINT did not set the shutdown flag");
+        reset();
+    }
+}

@@ -1,0 +1,318 @@
+//! Per-tenant authentication and token-bucket quotas.
+//!
+//! Tenants are configured up front (`name:key:weight:rate[:burst]` on the
+//! `muve-netd` command line). Each carries an API key, a fair-share weight
+//! that seeds the serve queue's weighted lanes, and a token-bucket rate
+//! limit enforced *before* admission control ever sees the request — a
+//! quota-busting tenant burns its own bucket, not queue slots.
+//!
+//! With no tenants configured the server runs open: every request maps to
+//! the `"public"` tenant with no key and no rate limit.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Static configuration of one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Lane name; shows up in stats and the serve queue.
+    pub name: String,
+    /// API key presented in the `x-api-key` header.
+    pub key: String,
+    /// Fair-share weight for the serve queue's weighted lanes (min 1).
+    pub weight: u32,
+    /// Sustained requests per second; `None` = unlimited.
+    pub rate_per_sec: Option<f64>,
+    /// Bucket capacity (burst size); defaults to 2× the rate, min 1.
+    pub burst: f64,
+}
+
+impl TenantConfig {
+    /// A tenant with the given name/key/weight and an unlimited quota.
+    pub fn unlimited(name: &str, key: &str, weight: u32) -> TenantConfig {
+        TenantConfig {
+            name: name.to_string(),
+            key: key.to_string(),
+            weight,
+            rate_per_sec: None,
+            burst: 1.0,
+        }
+    }
+
+    /// A tenant with a sustained rate and default burst.
+    pub fn limited(name: &str, key: &str, weight: u32, rate_per_sec: f64) -> TenantConfig {
+        TenantConfig {
+            name: name.to_string(),
+            key: key.to_string(),
+            weight,
+            rate_per_sec: Some(rate_per_sec),
+            burst: (rate_per_sec * 2.0).max(1.0),
+        }
+    }
+
+    /// Parse one `name:key:weight:rate[:burst]` spec (`rate` of `inf` or
+    /// `0` means unlimited).
+    pub fn parse(spec: &str) -> Result<TenantConfig, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() < 4 || parts.len() > 5 {
+            return Err(format!(
+                "tenant spec {spec:?}: expected name:key:weight:rate[:burst]"
+            ));
+        }
+        let weight: u32 = parts[2]
+            .parse()
+            .map_err(|_| format!("tenant spec {spec:?}: weight must be an integer"))?;
+        let rate: f64 = match parts[3] {
+            "inf" | "0" => f64::INFINITY,
+            r => r
+                .parse()
+                .map_err(|_| format!("tenant spec {spec:?}: rate must be a number or inf"))?,
+        };
+        let mut cfg = if rate.is_finite() && rate > 0.0 {
+            TenantConfig::limited(parts[0], parts[1], weight.max(1), rate)
+        } else {
+            TenantConfig::unlimited(parts[0], parts[1], weight.max(1))
+        };
+        if let Some(burst) = parts.get(4) {
+            cfg.burst = burst
+                .parse::<f64>()
+                .map_err(|_| format!("tenant spec {spec:?}: burst must be a number"))?
+                .max(1.0);
+        }
+        Ok(cfg)
+    }
+}
+
+/// Why a request failed authorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuthError {
+    /// No `x-api-key` header on a server with tenants configured.
+    MissingKey,
+    /// The key matches no configured tenant.
+    UnknownKey,
+    /// The tenant's bucket is empty; retry after the given duration.
+    RateLimited {
+        /// The offending tenant.
+        tenant: String,
+        /// Time until one token is available again.
+        retry_after: Duration,
+    },
+}
+
+impl AuthError {
+    /// The HTTP status this failure maps to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            AuthError::MissingKey | AuthError::UnknownKey => 401,
+            AuthError::RateLimited { .. } => 429,
+        }
+    }
+
+    /// The `Retry-After` header value, if applicable (whole seconds,
+    /// rounded up, min 1).
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            AuthError::RateLimited { retry_after, .. } => {
+                Some((retry_after.as_secs_f64().ceil() as u64).max(1))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::MissingKey => write!(f, "missing x-api-key header"),
+            AuthError::UnknownKey => write!(f, "unknown API key"),
+            AuthError::RateLimited {
+                tenant,
+                retry_after,
+            } => write!(
+                f,
+                "tenant {tenant} over quota, retry in {} ms",
+                retry_after.as_millis()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// Continuous token bucket: `rate` tokens/second refill up to `burst`.
+#[derive(Debug)]
+struct Bucket {
+    rate: f64,
+    burst: f64,
+    state: Mutex<(f64, Instant)>, // (tokens, last refill)
+}
+
+impl Bucket {
+    fn new(rate: f64, burst: f64, now: Instant) -> Bucket {
+        Bucket {
+            rate,
+            burst,
+            state: Mutex::new((burst, now)),
+        }
+    }
+
+    /// Take one token, or report how long until one is available.
+    fn try_take(&self, now: Instant) -> Result<(), Duration> {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let (ref mut tokens, ref mut last) = *s;
+        let elapsed = now.saturating_duration_since(*last).as_secs_f64();
+        *tokens = (*tokens + elapsed * self.rate).min(self.burst);
+        *last = now;
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            Ok(())
+        } else {
+            let missing = 1.0 - *tokens;
+            Err(Duration::from_secs_f64(missing / self.rate))
+        }
+    }
+}
+
+struct Tenant {
+    cfg: TenantConfig,
+    bucket: Option<Bucket>,
+}
+
+/// The authorization table: key → tenant + bucket.
+pub struct TenantRegistry {
+    tenants: Vec<Tenant>,
+}
+
+impl TenantRegistry {
+    /// Build from configs; an empty list means open (un-keyed) serving.
+    pub fn new(configs: Vec<TenantConfig>) -> TenantRegistry {
+        let now = Instant::now();
+        TenantRegistry {
+            tenants: configs
+                .into_iter()
+                .map(|cfg| Tenant {
+                    bucket: cfg
+                        .rate_per_sec
+                        .map(|rate| Bucket::new(rate, cfg.burst, now)),
+                    cfg,
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether any tenants (and therefore keys) are configured.
+    pub fn open(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The `(lane, weight)` seed list for [`muve_serve::ServerConfig`].
+    pub fn lane_weights(&self) -> Vec<(String, u32)> {
+        self.tenants
+            .iter()
+            .map(|t| (t.cfg.name.clone(), t.cfg.weight.max(1)))
+            .collect()
+    }
+
+    /// Authorize one request: resolve the key to a tenant name and charge
+    /// its bucket.
+    pub fn authorize(&self, key: Option<&str>) -> Result<String, AuthError> {
+        if self.open() {
+            return Ok("public".to_string());
+        }
+        let key = key.ok_or(AuthError::MissingKey)?;
+        let tenant = self
+            .tenants
+            .iter()
+            .find(|t| t.cfg.key == key)
+            .ok_or(AuthError::UnknownKey)?;
+        if let Some(bucket) = &tenant.bucket {
+            if let Err(retry_after) = bucket.try_take(Instant::now()) {
+                return Err(AuthError::RateLimited {
+                    tenant: tenant.cfg.name.clone(),
+                    retry_after,
+                });
+            }
+        }
+        Ok(tenant.cfg.name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_registry_admits_everyone_as_public() {
+        let reg = TenantRegistry::new(Vec::new());
+        assert!(reg.open());
+        assert_eq!(reg.authorize(None).unwrap(), "public");
+        assert_eq!(reg.authorize(Some("whatever")).unwrap(), "public");
+    }
+
+    #[test]
+    fn keys_gate_and_map_to_tenants() {
+        let reg = TenantRegistry::new(vec![
+            TenantConfig::unlimited("acme", "k1", 3),
+            TenantConfig::unlimited("beta", "k2", 1),
+        ]);
+        assert_eq!(reg.authorize(Some("k1")).unwrap(), "acme");
+        assert_eq!(reg.authorize(Some("k2")).unwrap(), "beta");
+        assert_eq!(reg.authorize(None).unwrap_err(), AuthError::MissingKey);
+        assert_eq!(
+            reg.authorize(Some("nope")).unwrap_err(),
+            AuthError::UnknownKey
+        );
+        assert_eq!(
+            reg.lane_weights(),
+            vec![("acme".to_string(), 3), ("beta".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn bucket_enforces_rate_and_reports_retry_after() {
+        let bucket = Bucket::new(10.0, 2.0, Instant::now());
+        let now = Instant::now();
+        assert!(bucket.try_take(now).is_ok());
+        assert!(bucket.try_take(now).is_ok());
+        let wait = bucket.try_take(now).unwrap_err();
+        assert!(wait > Duration::ZERO && wait <= Duration::from_millis(110));
+        // After the advertised wait a token is available again.
+        assert!(bucket
+            .try_take(now + wait + Duration::from_millis(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn rate_limited_maps_to_429_with_retry_after() {
+        let reg = TenantRegistry::new(vec![TenantConfig {
+            name: "stingy".into(),
+            key: "k".into(),
+            weight: 1,
+            rate_per_sec: Some(0.5),
+            burst: 1.0,
+        }]);
+        assert_eq!(reg.authorize(Some("k")).unwrap(), "stingy");
+        let err = reg.authorize(Some("k")).unwrap_err();
+        assert_eq!(err.http_status(), 429);
+        assert!(err.retry_after().unwrap() >= 1);
+        assert!(err.to_string().contains("stingy"));
+    }
+
+    #[test]
+    fn spec_parsing_roundtrips_and_rejects_garbage() {
+        let cfg = TenantConfig::parse("acme:secret:3:25").unwrap();
+        assert_eq!(cfg.name, "acme");
+        assert_eq!(cfg.key, "secret");
+        assert_eq!(cfg.weight, 3);
+        assert_eq!(cfg.rate_per_sec, Some(25.0));
+        assert_eq!(cfg.burst, 50.0);
+        let cfg = TenantConfig::parse("free:k:1:inf").unwrap();
+        assert_eq!(cfg.rate_per_sec, None);
+        let cfg = TenantConfig::parse("b:k:2:10:100").unwrap();
+        assert_eq!(cfg.burst, 100.0);
+        for bad in ["", "a:b", "a:b:x:1", "a:b:1:x", "a:b:1:1:x", "a:b:1:1:1:1"] {
+            assert!(TenantConfig::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

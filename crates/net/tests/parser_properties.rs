@@ -1,0 +1,100 @@
+//! Property-based hardening of the HTTP parser: arbitrary bytes, arbitrary
+//! chunkings, and arbitrary truncations must never panic, never buffer
+//! past the caps, and always resolve to either a complete request or one
+//! terminal typed error.
+
+use muve_net::{Limits, Parsed, Parser};
+use proptest::prelude::*;
+
+fn small_limits() -> Limits {
+    Limits {
+        max_request_line: 128,
+        max_head_bytes: 512,
+        max_headers: 8,
+        max_body_bytes: 256,
+    }
+}
+
+/// Feed `bytes` in chunks of `step`; classify the terminal result.
+fn drive(bytes: &[u8], step: usize) -> Result<Option<muve_net::HttpRequest>, muve_net::ParseError> {
+    let mut p = Parser::new(small_limits());
+    let step = step.max(1);
+    for chunk in bytes.chunks(step) {
+        match p.feed(chunk) {
+            Ok(Parsed::Complete(req)) => return Ok(Some(req)),
+            Ok(Parsed::Partial) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+proptest! {
+    /// Pure garbage never panics and, past the caps, always errs.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048),
+                                   step in 1usize..64) {
+        let _ = drive(&bytes, step);
+    }
+
+    /// Result is chunking-independent: byte-at-a-time and one-shot agree.
+    #[test]
+    fn chunking_does_not_change_the_outcome(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let one_shot = drive(&bytes, bytes.len().max(1));
+        let trickled = drive(&bytes, 1);
+        prop_assert_eq!(one_shot, trickled);
+    }
+
+    /// A valid request parses whole regardless of chunking, and any strict
+    /// prefix of it is Partial, not an error.
+    #[test]
+    fn valid_requests_and_their_truncations(
+        path in "[a-z]{1,12}",
+        body in prop::collection::vec(any::<u8>(), 0..100),
+        step in 1usize..32,
+    ) {
+        let wire = {
+            let mut w = format!(
+                "POST /{path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            ).into_bytes();
+            w.extend_from_slice(&body);
+            w
+        };
+        let req = drive(&wire, step).expect("valid request must parse")
+            .expect("valid request must complete");
+        prop_assert_eq!(req.method, "POST");
+        prop_assert_eq!(req.target, format!("/{path}"));
+        prop_assert_eq!(req.body, body);
+
+        // Every strict prefix is Partial — the parser never errs early on
+        // a request that would have been valid.
+        for cut in [wire.len() / 3, wire.len() / 2, wire.len().saturating_sub(1)] {
+            let out = drive(&wire[..cut], step);
+            prop_assert_eq!(out, Ok(None), "prefix of len {} misbehaved", cut);
+        }
+    }
+
+    /// Oversized declarations and heads always map to their typed errors.
+    #[test]
+    fn caps_always_hold(extra in 1usize..4096, step in 1usize..64) {
+        let limits = small_limits();
+        // Body declared over the cap.
+        let wire = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            limits.max_body_bytes + extra
+        );
+        prop_assert_eq!(drive(wire.as_bytes(), step), Err(muve_net::ParseError::BodyTooLarge));
+        // Head grown over the cap without a terminator.
+        let mut head = b"GET / HTTP/1.1\r\n".to_vec();
+        while head.len() <= limits.max_head_bytes + extra.min(64) {
+            head.extend_from_slice(b"h: v\r\n");
+        }
+        let got = drive(&head, step);
+        prop_assert!(
+            matches!(got, Err(muve_net::ParseError::HeadersTooLarge)
+                | Err(muve_net::ParseError::TooManyHeaders)),
+            "got {:?}", got
+        );
+    }
+}

@@ -18,7 +18,7 @@
 //!   ladders instead of OOM-ing the process.
 
 use crate::metrics::metrics;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,14 +29,24 @@ pub enum CancelCause {
     Deadline,
     /// [`CancelToken::cancel`] was called (e.g. by the watchdog).
     Explicit,
+    /// The client that asked for this work disconnected before the answer
+    /// was ready ([`CancelToken::cancel_client_gone`]); the network layer
+    /// fires this so abandoned queries stop burning worker budget.
+    ClientGone,
 }
+
+/// `cancelled` flag encoding: 0 = live, 1 = explicit, 2 = client gone.
+const CANCEL_LIVE: u8 = 0;
+const CANCEL_EXPLICIT: u8 = 1;
+const CANCEL_CLIENT_GONE: u8 = 2;
 
 #[derive(Debug)]
 struct CancelInner {
     /// Wall-clock deadline; `None` means no deadline.
     deadline: Option<Instant>,
-    /// Explicit cancellation (watchdog, shutdown).
-    cancelled: AtomicBool,
+    /// Explicit cancellation (watchdog, shutdown, client disconnect);
+    /// encodes the cause (see `CANCEL_*`). First cause wins.
+    cancelled: AtomicU8,
     /// Token creation time — the heartbeat epoch.
     created: Instant,
     /// Microseconds since `created` at the last cancellation-point check.
@@ -78,7 +88,7 @@ impl CancelToken {
         CancelToken {
             inner: Arc::new(CancelInner {
                 deadline,
-                cancelled: AtomicBool::new(false),
+                cancelled: AtomicU8::new(CANCEL_LIVE),
                 created: Instant::now(),
                 last_tick_us: AtomicU64::new(0),
                 checks: AtomicU64::new(0),
@@ -103,13 +113,33 @@ impl CancelToken {
 
     /// Explicitly cancel: every subsequent check on every clone fires.
     pub fn cancel(&self) {
-        self.inner.cancelled.store(true, Ordering::Release);
+        let _ = self.inner.cancelled.compare_exchange(
+            CANCEL_LIVE,
+            CANCEL_EXPLICIT,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Cancel because the requesting client disconnected: like
+    /// [`cancel`](Self::cancel), but [`cause`](Self::cause) reports
+    /// [`CancelCause::ClientGone`] so the layers above can tell an
+    /// abandoned request from a watchdog kill. The first cause wins.
+    pub fn cancel_client_gone(&self) {
+        let _ = self.inner.cancelled.compare_exchange(
+            CANCEL_LIVE,
+            CANCEL_CLIENT_GONE,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
     }
 
     /// Why the token fired, if it has.
     pub fn cause(&self) -> Option<CancelCause> {
-        if self.inner.cancelled.load(Ordering::Acquire) {
-            return Some(CancelCause::Explicit);
+        match self.inner.cancelled.load(Ordering::Acquire) {
+            CANCEL_EXPLICIT => return Some(CancelCause::Explicit),
+            CANCEL_CLIENT_GONE => return Some(CancelCause::ClientGone),
+            _ => {}
         }
         match self.inner.deadline {
             Some(d) if Instant::now() >= d => Some(CancelCause::Deadline),
@@ -134,7 +164,7 @@ impl CancelToken {
             .min(u64::MAX as u128) as u64;
         self.inner.last_tick_us.store(tick, Ordering::Relaxed);
         self.inner.checks.fetch_add(1, Ordering::Relaxed);
-        if self.inner.cancelled.load(Ordering::Acquire) {
+        if self.inner.cancelled.load(Ordering::Acquire) != CANCEL_LIVE {
             return true;
         }
         matches!(self.inner.deadline, Some(d) if now >= d)
@@ -335,6 +365,22 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert!(t.should_stop());
         assert_eq!(t.cause(), Some(CancelCause::Deadline));
+    }
+
+    #[test]
+    fn client_gone_is_a_distinct_cause_and_first_cause_wins() {
+        let t = CancelToken::never();
+        t.cancel_client_gone();
+        assert!(t.should_stop());
+        assert_eq!(t.cause(), Some(CancelCause::ClientGone));
+        // A later explicit cancel does not overwrite the original cause.
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::ClientGone));
+        // And the other way round: explicit first stays explicit.
+        let t = CancelToken::never();
+        t.cancel();
+        t.cancel_client_gone();
+        assert_eq!(t.cause(), Some(CancelCause::Explicit));
     }
 
     #[test]

@@ -63,6 +63,71 @@ impl StageFault {
     }
 }
 
+/// A malformed fault spec handed to [`FaultInjector::parse`]. Typed so
+/// front-ends (CLI flags, `\inject`, HTTP query parameters) can print a
+/// one-line usage hint instead of aborting — fault injection is an
+/// operator tool, and a typo in a spec must never take the process down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// An item had no `:` separating stage from kind.
+    MissingSeparator {
+        /// The offending item.
+        item: String,
+    },
+    /// The stage name is not one of [`Stage::ALL`].
+    UnknownStage {
+        /// The offending stage name.
+        stage: String,
+    },
+    /// The fault kind is not `error|panic|panic_escape|stall|latency=MS`.
+    UnknownKind {
+        /// The offending kind.
+        kind: String,
+    },
+    /// A `@p=` suffix did not parse to a probability in `[0, 1]`.
+    BadProbability {
+        /// The offending item.
+        item: String,
+    },
+    /// `stall` was planted on a stage other than `plan`.
+    StallNotPlan {
+        /// The stage the spec tried to stall.
+        stage: Stage,
+    },
+}
+
+impl FaultSpecError {
+    /// A one-line usage hint suitable for a CLI or an HTTP 400 body.
+    pub fn usage_hint() -> &'static str {
+        "expected stage:kind[,stage:kind...] with stage in \
+         translate|candidates|plan|execute|render and kind in \
+         error|panic|panic_escape|stall|latency=MS, optionally @p=<0..1>"
+    }
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::MissingSeparator { item } => {
+                write!(f, "bad fault {item:?}: expected stage:kind")
+            }
+            FaultSpecError::UnknownStage { stage } => write!(f, "unknown stage {stage:?}"),
+            FaultSpecError::UnknownKind { kind } => write!(
+                f,
+                "unknown fault kind {kind:?} (error|panic|panic_escape|stall|latency=MS)"
+            ),
+            FaultSpecError::BadProbability { item } => {
+                write!(f, "bad probability suffix in {item:?} (expected @p=<0..1>)")
+            }
+            FaultSpecError::StallNotPlan { stage } => {
+                write!(f, "stall only applies to plan, not {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// The marker payload of a `panic_escape` fault. The session's panic guard
 /// downcasts every caught payload and re-raises this one via
 /// [`std::panic::resume_unwind`], so the panic escapes the pipeline's
@@ -165,14 +230,18 @@ impl FaultInjector {
     ///
     /// Examples: `plan:panic,execute:error,translate:latency=200`,
     /// `execute:error@p=0.3`, `plan:stall,execute:latency=20@p=0.5`.
-    pub fn parse(spec: &str) -> Result<FaultInjector, String> {
+    pub fn parse(spec: &str) -> Result<FaultInjector, FaultSpecError> {
         let mut out = FaultInjector::none();
         for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            let (stage_name, kind) = item
-                .split_once(':')
-                .ok_or_else(|| format!("bad fault {item:?}: expected stage:kind"))?;
-            let stage = Stage::parse(stage_name.trim())
-                .ok_or_else(|| format!("unknown stage {stage_name:?}"))?;
+            let (stage_name, kind) =
+                item.split_once(':')
+                    .ok_or_else(|| FaultSpecError::MissingSeparator {
+                        item: item.to_owned(),
+                    })?;
+            let stage =
+                Stage::parse(stage_name.trim()).ok_or_else(|| FaultSpecError::UnknownStage {
+                    stage: stage_name.to_owned(),
+                })?;
             let mut fault = out.plans[stage.index()].clone().unwrap_or_default();
             let kind = match kind.trim().split_once('@') {
                 Some((k, suffix)) => {
@@ -181,11 +250,8 @@ impl FaultInjector {
                         .strip_prefix("p=")
                         .and_then(|v| v.parse::<f64>().ok())
                         .filter(|p| (0.0..=1.0).contains(p))
-                        .ok_or_else(|| {
-                            format!(
-                                "bad probability suffix {suffix:?} in {item:?} \
-                                 (expected @p=<0..1>)"
-                            )
+                        .ok_or_else(|| FaultSpecError::BadProbability {
+                            item: item.to_owned(),
                         })?;
                     fault.probability = Some(p);
                     k
@@ -198,7 +264,7 @@ impl FaultInjector {
                 "panic_escape" => fault.panic_escape = true,
                 "stall" => {
                     if stage != Stage::Plan {
-                        return Err(format!("stall only applies to plan, not {stage}"));
+                        return Err(FaultSpecError::StallNotPlan { stage });
                     }
                     fault.stall_solver = true;
                 }
@@ -206,11 +272,8 @@ impl FaultInjector {
                     let ms = other
                         .strip_prefix("latency=")
                         .and_then(|v| v.parse::<u64>().ok())
-                        .ok_or_else(|| {
-                            format!(
-                                "unknown fault kind {other:?} \
-                                 (error|panic|panic_escape|stall|latency=MS)"
-                            )
+                        .ok_or_else(|| FaultSpecError::UnknownKind {
+                            kind: other.to_owned(),
                         })?;
                     fault.latency = Some(Duration::from_millis(ms));
                 }
@@ -355,12 +418,37 @@ mod tests {
             inj.fault(Stage::Translate).unwrap().latency,
             Some(Duration::from_millis(200))
         );
-        assert!(FaultInjector::parse("bogus:error").is_err());
-        assert!(FaultInjector::parse("plan:frobnicate").is_err());
-        assert!(
-            FaultInjector::parse("execute:stall").is_err(),
+        assert_eq!(
+            FaultInjector::parse("bogus:error").unwrap_err(),
+            FaultSpecError::UnknownStage {
+                stage: "bogus".into()
+            }
+        );
+        assert_eq!(
+            FaultInjector::parse("plan:frobnicate").unwrap_err(),
+            FaultSpecError::UnknownKind {
+                kind: "frobnicate".into()
+            }
+        );
+        assert_eq!(
+            FaultInjector::parse("execute:stall").unwrap_err(),
+            FaultSpecError::StallNotPlan {
+                stage: Stage::Execute
+            },
             "stall is plan-only"
         );
+        assert_eq!(
+            FaultInjector::parse("plainitem").unwrap_err(),
+            FaultSpecError::MissingSeparator {
+                item: "plainitem".into()
+            }
+        );
+        // Every variant renders, and the usage hint is a single line.
+        for bad in ["bogus:error", "plan:frobnicate", "execute:stall", "x"] {
+            let err = FaultInjector::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty());
+        }
+        assert!(!FaultSpecError::usage_hint().contains('\n'));
         assert!(FaultInjector::parse("").unwrap().is_empty());
         // Specs without a probability suffix stay one-shot (legacy).
         assert_eq!(inj.fault(Stage::Plan).unwrap().probability, None);

@@ -25,9 +25,24 @@
 //!   execute breaker ⇒ skip the sample ladder) instead of burning budget
 //!   rediscovering the fault; after a cooldown a single probe request
 //!   closes or re-opens the breaker.
+//! - **Weighted fair-share tenant lanes** — requests carry a tenant name
+//!   ([`Request::with_tenant`]); the admission queue holds one bounded
+//!   *lane* per tenant, and workers pick lanes by smooth weighted
+//!   round-robin ([`ServerConfig::lane_weights`]). A tenant flooding its
+//!   own lane sheds only itself and cannot starve the other lanes.
 //! - **Graceful drain** — [`Server::drain`] stops admission, finishes
 //!   every queued and in-flight request, joins the workers, and reports
-//!   final shed/served counts.
+//!   final shed/served counts. [`Server::drain_shedding`] is the
+//!   shutdown-on-signal variant: in-flight requests complete, but the
+//!   still-queued backlog is *flushed* as typed
+//!   [`Rejected::ShuttingDown`] outcomes instead of being run.
+//! - **External cancellation** — a request submitted with its own
+//!   [`CancelToken`](muve_obs::CancelToken) ([`Request::with_cancel`])
+//!   runs under that token; a token fired with
+//!   [`cancel_client_gone`](muve_obs::CancelToken::cancel_client_gone)
+//!   aborts the in-flight session at its next cancellation point, and a
+//!   request still queued when it fires is shed at pickup as a typed
+//!   [`Rejected::ClientGone`].
 //! - **Worker watchdog** — a monitor thread cancels the token of any
 //!   request stuck past [`STUCK_FACTOR`]·θ and detects worker threads
 //!   killed by an escaped panic: the orphaned request resolves as a typed
@@ -369,6 +384,203 @@ mod tests {
         assert_eq!(stats.crashed, 1);
         assert!(stats.respawns >= 1, "{stats}");
         assert!(stats.reconciles(), "{stats}");
+    }
+
+    #[test]
+    fn tenant_lanes_isolate_a_flooding_tenant() {
+        // One worker, per-lane bound 2. The hostile tenant floods its lane
+        // past the bound; the victim's lane is untouched, and weighted
+        // round-robin serves the victim's backlog interleaved with (not
+        // after) the hostile one.
+        let server = Server::new(
+            table(500),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+        );
+        let slow = |tenant: &str| {
+            // Greedy planning: the default ILP spends its whole time budget
+            // per request, which would swamp the queue-order signal.
+            let cfg = SessionConfig {
+                planner: muve_core::Planner::Greedy,
+                ..config(60_000)
+            };
+            Request::new("average dep delay in jfk")
+                .with_config(cfg)
+                .with_tenant(tenant)
+                .with_injector(
+                    FaultInjector::parse("translate:latency=20@p=1").expect("spec parses"),
+                )
+        };
+        // Pin the worker down, then build both backlogs.
+        let first = server.submit(slow("hostile")).expect("admitted");
+        std::thread::sleep(Duration::from_millis(20)); // worker picks up #1
+        let hostile: Vec<Ticket> = (0..6)
+            .map(|_| server.submit(slow("hostile")).expect("queued"))
+            .collect();
+        let victim: Vec<Ticket> = (0..3)
+            .map(|_| server.submit(slow("victim")).expect("queued"))
+            .collect();
+        let done_at = |t: Ticket| -> Duration {
+            match t.wait() {
+                ServeOutcome::Completed { total, .. } => total,
+                ServeOutcome::Shed { reason, .. } => panic!("unexpected shed: {reason}"),
+            }
+        };
+        first.wait();
+        let victim_last = victim.into_iter().map(done_at).max().unwrap();
+        let hostile_last = hostile.into_iter().map(done_at).max().unwrap();
+        assert!(
+            victim_last < hostile_last,
+            "equal-weight WRR must interleave the short victim backlog \
+             (last done {victim_last:?}) ahead of the 2× hostile backlog \
+             (last done {hostile_last:?})"
+        );
+        let report = server.drain();
+        assert_eq!(report.stats.shed, 0);
+        assert!(report.stats.reconciles(), "{}", report.stats);
+    }
+
+    #[test]
+    fn lane_bound_sheds_only_the_flooding_tenant() {
+        let server = Server::new(
+            table(500),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let slow = |tenant: &str| {
+            Request::new("average dep delay in jfk")
+                .with_config(config(5_000))
+                .with_tenant(tenant)
+                .with_injector(
+                    FaultInjector::parse("translate:latency=100@p=1").expect("spec parses"),
+                )
+        };
+        let mut tickets = vec![server.submit(slow("hostile")).expect("admitted")];
+        std::thread::sleep(Duration::from_millis(30)); // worker picks up #1
+        tickets.push(server.submit(slow("hostile")).expect("queued"));
+        tickets.push(server.submit(slow("hostile")).expect("queued"));
+        // The hostile lane is full: its next submit sheds…
+        match server.submit(slow("hostile")) {
+            Err(Rejected::Overloaded { queue_depth, .. }) => assert_eq!(queue_depth, 2),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // …but the victim's empty lane still admits.
+        tickets.push(server.submit(slow("victim")).expect("victim lane open"));
+        for t in tickets {
+            match t.wait() {
+                ServeOutcome::Completed { .. } => {}
+                ServeOutcome::Shed { reason, .. } => panic!("unexpected shed: {reason}"),
+            }
+        }
+        let report = server.drain();
+        assert_eq!(report.stats.shed, 1, "only the hostile overflow shed");
+        assert!(report.stats.reconciles(), "{}", report.stats);
+    }
+
+    #[test]
+    fn drain_shedding_flushes_queued_as_shutting_down() {
+        let server = Server::new(
+            table(500),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+        );
+        let slow = || {
+            Request::new("average dep delay in jfk")
+                .with_config(config(5_000))
+                .with_injector(
+                    FaultInjector::parse("translate:latency=200@p=1").expect("spec parses"),
+                )
+        };
+        let in_flight = server.submit(slow()).expect("admitted");
+        std::thread::sleep(Duration::from_millis(30)); // worker picks up #1
+        let queued: Vec<Ticket> = (0..4)
+            .map(|_| server.submit(slow()).expect("queued"))
+            .collect();
+        let report = server.drain_shedding();
+        // The in-flight request completed; every queued one was flushed.
+        match in_flight.wait() {
+            ServeOutcome::Completed { .. } => {}
+            other => panic!("in-flight request must complete, got {other:?}"),
+        }
+        for t in queued {
+            match t.wait() {
+                ServeOutcome::Shed {
+                    reason: Rejected::ShuttingDown,
+                    ..
+                } => {}
+                other => panic!("queued request must flush as ShuttingDown, got {other:?}"),
+            }
+        }
+        assert_eq!(report.stats.shed, 4);
+        assert_eq!(report.stats.served, 1);
+        assert!(report.stats.reconciles(), "{}", report.stats);
+    }
+
+    #[test]
+    fn client_gone_queued_request_is_shed_at_pickup() {
+        let server = Server::new(
+            table(500),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+        );
+        let blocker = Request::new("average dep delay in jfk")
+            .with_config(config(5_000))
+            .with_injector(FaultInjector::parse("translate:latency=150@p=1").unwrap());
+        let tb = server.submit(blocker).expect("admitted");
+        std::thread::sleep(Duration::from_millis(30)); // ensure pickup
+        let token = muve_obs::CancelToken::with_budget(Duration::from_secs(5));
+        let abandoned = Request::new("average dep delay in jfk")
+            .with_config(config(5_000))
+            .with_cancel(token.clone());
+        let ticket = server.submit(abandoned).expect("queued");
+        token.cancel_client_gone(); // the client hangs up while queued
+        match ticket.wait() {
+            ServeOutcome::Shed {
+                reason: Rejected::ClientGone,
+                ..
+            } => {}
+            other => panic!("expected a typed ClientGone shed, got {other:?}"),
+        }
+        tb.wait();
+        let report = server.drain();
+        assert_eq!(report.stats.shed, 1);
+        assert!(report.stats.reconciles(), "{}", report.stats);
+    }
+
+    #[test]
+    fn rejected_maps_to_http_statuses_and_messages() {
+        let over = Rejected::Overloaded {
+            queue_depth: 3,
+            expected_wait: Duration::from_millis(2_400),
+        };
+        assert_eq!(over.http_status(), 429);
+        assert_eq!(over.retry_after(), Some(Duration::from_secs(3)));
+        assert_eq!(format!("{over}"), over.user_message());
+        let expired = Rejected::Expired {
+            waited: Duration::from_millis(75),
+        };
+        assert_eq!(expired.http_status(), 504);
+        assert_eq!(expired.retry_after(), None);
+        assert_eq!(Rejected::ShuttingDown.http_status(), 503);
+        assert_eq!(
+            Rejected::ShuttingDown.retry_after(),
+            Some(Duration::from_secs(1))
+        );
+        assert_eq!(Rejected::WorkerCrashed.http_status(), 500);
+        assert_eq!(Rejected::ClientGone.http_status(), 499);
+        assert!(Rejected::ClientGone.user_message().contains("disconnected"));
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub struct ServerConfig {
     /// Requests that set their own [`SessionConfig::mem_cap_bytes`] keep
     /// it; the global pool applies either way.
     pub mem_cap_mb: usize,
+    /// Scheduling weight per tenant lane (`(tenant, weight)`), for the
+    /// weighted fair-share admission queue. Tenants not listed here get
+    /// weight 1; weight 0 is clamped to 1. The queue holds one *lane* per
+    /// tenant name seen on submitted requests, each bounded at
+    /// [`queue_depth`](Self::queue_depth), and workers pick lanes by
+    /// smooth weighted round-robin — so one tenant flooding its lane can
+    /// neither evict nor starve another tenant's requests.
+    pub lane_weights: Vec<(String, u32)>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +95,7 @@ impl Default for ServerConfig {
             caches: None,
             watchdog: true,
             mem_cap_mb: 0,
+            lane_weights: Vec::new(),
         }
     }
 }
@@ -111,6 +120,18 @@ pub struct Request {
     pub config: SessionConfig,
     /// Fault plan for chaos testing (default: none).
     pub injector: FaultInjector,
+    /// The tenant lane this request queues in (`""` = the default lane).
+    /// See [`ServerConfig::lane_weights`].
+    pub tenant: String,
+    /// An externally owned cancellation token. When set, the worker runs
+    /// the session under *this* token instead of minting one from the
+    /// budget, so the submitter (e.g. the network layer watching the
+    /// client socket) can abort the request from outside — a token
+    /// cancelled with [`CancelToken::cancel_client_gone`] while the
+    /// request is still queued sheds it at pickup as a typed
+    /// [`Rejected::ClientGone`]. The token should carry the request's
+    /// deadline or the in-band θ enforcement is lost.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Request {
@@ -120,6 +141,8 @@ impl Request {
             transcript: transcript.into(),
             config: SessionConfig::default(),
             injector: FaultInjector::none(),
+            tenant: String::new(),
+            cancel: None,
         }
     }
 
@@ -132,6 +155,18 @@ impl Request {
     /// Plant a fault plan.
     pub fn with_injector(mut self, injector: FaultInjector) -> Request {
         self.injector = injector;
+        self
+    }
+
+    /// Queue in `tenant`'s fair-share lane.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Request {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Run under an externally owned cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Request {
+        self.cancel = Some(token);
         self
     }
 }
@@ -160,24 +195,68 @@ pub enum Rejected {
     /// resolved the request with this typed reason, and respawned the
     /// worker so the pool keeps its strength.
     WorkerCrashed,
+    /// The client that submitted this request disconnected while it was
+    /// still queued (its [`Request::cancel`] token fired with
+    /// [`CancelCause::ClientGone`](muve_obs::CancelCause::ClientGone)); it
+    /// was shed at pickup instead of burning a worker on an answer nobody
+    /// is waiting for.
+    ClientGone,
 }
 
-impl fmt::Display for Rejected {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Rejected {
+    /// The one shared user-facing message for this rejection, used
+    /// verbatim by the CLI shell, the serve [`Display`](fmt::Display)
+    /// impl, and the JSON `error` field of `muve-net` responses.
+    pub fn user_message(&self) -> String {
         match self {
             Rejected::Overloaded {
                 queue_depth,
                 expected_wait,
-            } => write!(
-                f,
-                "overloaded: {queue_depth} queued, expected wait {expected_wait:?}"
+            } => format!(
+                "overloaded: {queue_depth} queued, expected wait {:.0} ms — retry shortly",
+                expected_wait.as_secs_f64() * 1000.0
             ),
-            Rejected::Expired { waited } => {
-                write!(f, "deadline expired after {waited:?} in the queue")
-            }
-            Rejected::ShuttingDown => f.write_str("server is shutting down"),
-            Rejected::WorkerCrashed => f.write_str("worker thread crashed mid-request"),
+            Rejected::Expired { waited } => format!(
+                "deadline expired after {:.0} ms in the queue",
+                waited.as_secs_f64() * 1000.0
+            ),
+            Rejected::ShuttingDown => "server is shutting down".to_owned(),
+            Rejected::WorkerCrashed => "worker thread crashed mid-request".to_owned(),
+            Rejected::ClientGone => "client disconnected before the answer was ready".to_owned(),
         }
+    }
+
+    /// The HTTP status `muve-net` maps this rejection to: `429` for load
+    /// shedding (retry can help), `504` for a deadline that died in the
+    /// queue, `503` for a draining server, `500` for a crashed worker, and
+    /// the conventional nginx `499` for a client that hung up first.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            Rejected::Overloaded { .. } => 429,
+            Rejected::Expired { .. } => 504,
+            Rejected::ShuttingDown => 503,
+            Rejected::WorkerCrashed => 500,
+            Rejected::ClientGone => 499,
+        }
+    }
+
+    /// The `Retry-After` hint (whole seconds, rounded up, at least 1)
+    /// `muve-net` attaches to shed responses, for the rejections where a
+    /// retry can plausibly succeed.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            Rejected::Overloaded { expected_wait, .. } => Some(Duration::from_secs(
+                (expected_wait.as_secs_f64().ceil() as u64).max(1),
+            )),
+            Rejected::ShuttingDown => Some(Duration::from_secs(1)),
+            Rejected::Expired { .. } | Rejected::WorkerCrashed | Rejected::ClientGone => None,
+        }
+    }
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.user_message())
     }
 }
 
@@ -250,6 +329,22 @@ impl Ticket {
     /// Like [`wait`](Self::wait) with an upper bound; `None` on timeout.
     pub fn wait_timeout(self, timeout: Duration) -> Option<ServeOutcome> {
         self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Poll for the outcome without consuming the ticket: `None` means
+    /// not resolved yet, keep polling. This is what the network layer
+    /// uses to interleave waiting for the worker with watching the client
+    /// socket for a disconnect. A dropped sender (server torn down)
+    /// resolves as a shutdown shed, same as [`wait`](Self::wait).
+    pub fn wait_for(&self, timeout: Duration) -> Option<ServeOutcome> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(out) => Some(out),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(ServeOutcome::Shed {
+                reason: Rejected::ShuttingDown,
+                total: Duration::ZERO,
+            }),
+        }
     }
 }
 
@@ -341,10 +436,78 @@ struct Job {
     tx: mpsc::Sender<ServeOutcome>,
 }
 
+/// One tenant's slice of the admission queue.
+struct Lane {
+    tenant: String,
+    weight: u32,
+    /// Smooth weighted-round-robin credit.
+    credit: i64,
+    jobs: VecDeque<Job>,
+}
+
 #[derive(Default)]
 struct QueueState {
-    jobs: VecDeque<Job>,
+    /// One lane per tenant name seen on submitted requests, in first-seen
+    /// order. The common no-tenant case is a single lane named `""`.
+    lanes: Vec<Lane>,
     draining: bool,
+    /// Set by [`Server::drain_shedding`]: workers flush still-queued jobs
+    /// as typed [`Rejected::ShuttingDown`] sheds instead of running them.
+    shed_queued: bool,
+}
+
+impl QueueState {
+    fn total_queued(&self) -> usize {
+        self.lanes.iter().map(|l| l.jobs.len()).sum()
+    }
+
+    fn lane_mut(&mut self, tenant: &str, weights: &[(String, u32)]) -> &mut Lane {
+        if let Some(i) = self.lanes.iter().position(|l| l.tenant == tenant) {
+            return &mut self.lanes[i];
+        }
+        let weight = weights
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map_or(1, |(_, w)| (*w).max(1));
+        self.lanes.push(Lane {
+            tenant: tenant.to_owned(),
+            weight,
+            credit: 0,
+            jobs: VecDeque::new(),
+        });
+        self.lanes.last_mut().expect("just pushed")
+    }
+
+    /// Pop the next job by smooth weighted round-robin over the non-empty
+    /// lanes: every candidate lane earns its weight in credit, the richest
+    /// lane is served and pays back the total weight in play. Over time
+    /// each backlogged tenant is served in proportion to its weight, so a
+    /// flooding tenant cannot starve the rest.
+    fn pop_next(&mut self) -> Option<Job> {
+        let total: i64 = self
+            .lanes
+            .iter()
+            .filter(|l| !l.jobs.is_empty())
+            .map(|l| l.weight as i64)
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for i in 0..self.lanes.len() {
+            if self.lanes[i].jobs.is_empty() {
+                continue;
+            }
+            self.lanes[i].credit += self.lanes[i].weight as i64;
+            match best {
+                Some(b) if self.lanes[b].credit >= self.lanes[i].credit => {}
+                _ => best = Some(i),
+            }
+        }
+        let b = best?;
+        self.lanes[b].credit -= total;
+        self.lanes[b].jobs.pop_front()
+    }
 }
 
 /// What the watchdog knows about one in-flight request: enough to judge
@@ -464,20 +627,27 @@ impl Server {
             self.count_shed();
             return Err(Rejected::ShuttingDown);
         }
-        let depth = q.jobs.len();
-        let expected_wait = self.expected_wait(depth);
-        if depth >= shared.cfg.queue_depth || expected_wait >= req.config.deadline {
+        let lane_depth = q
+            .lanes
+            .iter()
+            .find(|l| l.tenant == req.tenant)
+            .map_or(0, |l| l.jobs.len());
+        let expected_wait = self.expected_wait(q.total_queued());
+        if lane_depth >= shared.cfg.queue_depth || expected_wait >= req.config.deadline {
             drop(q);
             self.count_shed();
             return Err(Rejected::Overloaded {
-                queue_depth: depth,
+                queue_depth: lane_depth,
                 expected_wait,
             });
         }
         let budget = DeadlineBudget::new(req.config.deadline);
         let (tx, rx) = mpsc::channel();
-        q.jobs.push_back(Job { req, budget, tx });
-        let depth_after = q.jobs.len();
+        let tenant = req.tenant.clone();
+        q.lane_mut(&tenant, &shared.cfg.lane_weights)
+            .jobs
+            .push_back(Job { req, budget, tx });
+        let depth_after = q.total_queued();
         drop(q);
         shared.available.notify_one();
         obs.counter("serve.enqueued").incr();
@@ -511,9 +681,7 @@ impl Server {
             crashed: s.crashed.load(Ordering::Relaxed),
             respawns: s.respawns.load(Ordering::Relaxed),
             watchdog_cancels: s.watchdog_cancels.load(Ordering::Relaxed),
-            queue_depth: lock_recover(&self.shared.queue, "serve.lock_poisoned")
-                .jobs
-                .len(),
+            queue_depth: lock_recover(&self.shared.queue, "serve.lock_poisoned").total_queued(),
         }
     }
 
@@ -534,9 +702,26 @@ impl Server {
     /// shed/served counts. Requests submitted after (or during) the drain
     /// are shed with [`Rejected::ShuttingDown`]. Idempotent.
     pub fn drain(&self) -> DrainReport {
+        self.drain_inner(false)
+    }
+
+    /// Drain like [`drain`](Self::drain), but *shed* the still-queued
+    /// requests as typed [`Rejected::ShuttingDown`] outcomes instead of
+    /// running them: in-flight requests (already picked up by a worker)
+    /// complete normally; everything still waiting resolves immediately.
+    /// This is the shutdown-on-signal path of `muve-net`, where finishing
+    /// a deep backlog would hold the process open past its grace period.
+    pub fn drain_shedding(&self) -> DrainReport {
+        self.drain_inner(true)
+    }
+
+    fn drain_inner(&self, shed_queued: bool) -> DrainReport {
         {
             let mut q = lock_recover(&self.shared.queue, "serve.lock_poisoned");
             q.draining = true;
+            if shed_queued {
+                q.shed_queued = true;
+            }
         }
         self.shared.available.notify_all();
         // Join workers until the pool stays empty: the watchdog may still
@@ -663,14 +848,14 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
     let obs = muve_obs::metrics();
     let mut rng = StdRng::seed_from_u64(shared.cfg.retry.jitter_seed ^ worker_id as u64);
     loop {
-        let job = {
+        let (job, shed_queued) = {
             let mut q = lock_recover(&shared.queue, "serve.lock_poisoned");
             loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break Some(job);
+                if let Some(job) = q.pop_next() {
+                    break (Some(job), q.shed_queued);
                 }
                 if q.draining {
-                    break None;
+                    break (None, q.shed_queued);
                 }
                 q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
             }
@@ -683,6 +868,36 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
         let queue_wait = job.budget.queue_wait();
         obs.histogram("serve.queue_wait_us")
             .record_duration(queue_wait);
+
+        // A shedding drain: flush the backlog as typed ShuttingDown
+        // outcomes instead of running answers nobody will wait for.
+        if shed_queued {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            obs.counter("serve.shed").incr();
+            let _ = job.tx.send(ServeOutcome::Shed {
+                reason: Rejected::ShuttingDown,
+                total: job.budget.elapsed(),
+            });
+            continue;
+        }
+
+        // The client that submitted this request hung up while it waited:
+        // shed at pickup instead of computing an answer nobody reads.
+        if job
+            .req
+            .cancel
+            .as_ref()
+            .is_some_and(|t| t.cause() == Some(muve_obs::CancelCause::ClientGone))
+        {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            obs.counter("serve.shed").incr();
+            obs.counter("serve.client_gone").incr();
+            let _ = job.tx.send(ServeOutcome::Shed {
+                reason: Rejected::ClientGone,
+                total: job.budget.elapsed(),
+            });
+            continue;
+        }
 
         // The deadline died in the queue: shed at pickup, in microseconds,
         // instead of running a session that can only show stale fallbacks
@@ -700,7 +915,14 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
         // Register with the watchdog *before* any session work: from here
         // until the outcome is sent, a dead thread means a lost request,
         // and the occupied slot is how the watchdog knows to resolve it.
-        let token = job.budget.cancel_token();
+        // A request that arrived with its own token (the network layer
+        // watching the client socket) runs under that token, so the
+        // submitter and the watchdog can both fire it.
+        let token = job
+            .req
+            .cancel
+            .clone()
+            .unwrap_or_else(|| job.budget.cancel_token());
         {
             let mut active = lock_recover(&shared.active, "serve.lock_poisoned");
             active[worker_id] = Some(ActiveReq {
@@ -853,7 +1075,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
             // Respawn unless the pool is winding down with nothing queued.
             let wind_down = {
                 let q = lock_recover(&shared.queue, "serve.lock_poisoned");
-                q.draining && q.jobs.is_empty()
+                q.draining && q.total_queued() == 0
             };
             if !wind_down {
                 let replacement = spawn_worker(shared, i);

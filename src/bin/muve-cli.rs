@@ -421,7 +421,7 @@ impl Shell {
                         self.injector = inj;
                         println!("faults planted: {spec}");
                     }
-                    Err(e) => println!("{e}"),
+                    Err(e) => println!("{e}; {}", muve::pipeline::FaultSpecError::usage_hint()),
                 },
                 None => println!(
                     "usage: \\inject <stage:kind,...|off> \
@@ -515,7 +515,10 @@ fn main() {
             "--inject-fault" => match args.next().map(|v| FaultInjector::parse(&v)) {
                 Some(Ok(inj)) => shell.injector = inj,
                 Some(Err(e)) => {
-                    eprintln!("--inject-fault: {e}");
+                    eprintln!(
+                        "--inject-fault: {e}; {}",
+                        muve::pipeline::FaultSpecError::usage_hint()
+                    );
                     std::process::exit(2);
                 }
                 None => {

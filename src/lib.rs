@@ -3,6 +3,7 @@ pub use muve_cache as cache;
 pub use muve_core as core;
 pub use muve_data as data;
 pub use muve_dbms as dbms;
+pub use muve_net as net;
 pub use muve_nlq as nlq;
 pub use muve_obs as obs;
 pub use muve_phonetics as phonetics;

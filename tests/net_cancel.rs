@@ -1,0 +1,152 @@
+//! Client-disconnect cancellation: a hostile tenant that submits
+//! expensive queries and abandons every connection after ~50 ms must not
+//! meaningfully dent a concurrent well-behaved tenant's throughput,
+//! because the abandoned work is revoked (`ClientGone`) instead of
+//! burning workers.
+
+use muve::data::Dataset;
+use muve::net::{NetConfig, NetServer, TenantConfig};
+use muve::pipeline::SessionConfig;
+use muve::serve::ServerConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn query_wire(key: &str, transcript: &str, deadline_ms: u64) -> Vec<u8> {
+    let body = format!("{{\"transcript\": \"{transcript}\", \"deadline_ms\": {deadline_ms}}}");
+    format!(
+        "POST /query HTTP/1.1\r\nhost: t\r\nx-api-key: {key}\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Closed-loop victim pass: run `n` sequential queries to completion and
+/// return queries per second. A transient `429` (both workers still
+/// holding a not-yet-revoked hostile query) is retried like any polite
+/// client would — the retries burn wall-clock, so a broken revocation
+/// path still collapses the measured throughput. Anything else fails.
+fn victim_pass(addr: std::net::SocketAddr, n: usize) -> f64 {
+    let started = Instant::now();
+    for _ in 0..n {
+        loop {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s.write_all(&query_wire(
+                "victim-key",
+                "show average arrival delay by carrier",
+                250,
+            ))
+            .expect("write");
+            let mut out = Vec::new();
+            let _ = s.read_to_end(&mut out);
+            let response = String::from_utf8_lossy(&out);
+            if response.starts_with("HTTP/1.1 200") {
+                break;
+            }
+            assert!(
+                response.starts_with("HTTP/1.1 429"),
+                "victim request failed: {response:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    n as f64 / started.elapsed().as_secs_f64()
+}
+
+#[test]
+fn abandoned_burst_does_not_starve_a_well_behaved_tenant() {
+    // ILP planner: without cancellation every hostile query would pin a
+    // worker for its full 3-second budget; the 50 ms abandons only stay
+    // harmless because ClientGone revokes the work.
+    let table = Arc::new(Dataset::Flights.generate(5_000, 11));
+    let session = SessionConfig {
+        deadline: Duration::from_millis(250),
+        ..SessionConfig::default()
+    };
+    let server = NetServer::start(
+        table,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        session,
+        NetConfig {
+            default_deadline: Duration::from_millis(250),
+            max_deadline: Duration::from_secs(5),
+            poll: Duration::from_millis(5),
+            tenants: vec![
+                TenantConfig::unlimited("victim", "victim-key", 1),
+                TenantConfig::unlimited("hostile", "hostile-key", 1),
+            ],
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Idle baseline: the victim alone.
+    let n = 12;
+    let baseline = victim_pass(addr, n);
+
+    // Hostile burst: 3 threads, each submitting a 3-second query and
+    // vanishing 50 ms later, over and over, for the whole measurement.
+    let stop = Arc::new(AtomicBool::new(false));
+    let attackers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut abandoned = 0u32;
+                while !stop.load(Ordering::SeqCst) {
+                    if let Ok(mut s) = TcpStream::connect(addr) {
+                        let _ = s.write_all(&query_wire("hostile-key", "count flights", 3000));
+                        std::thread::sleep(Duration::from_millis(50));
+                        drop(s); // abandon: never read the answer
+                        abandoned += 1;
+                    }
+                }
+                abandoned
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150)); // burst in full swing
+
+    let under_attack = victim_pass(addr, n);
+
+    stop.store(true, Ordering::SeqCst);
+    let abandoned: u32 = attackers.map_sum();
+    assert!(
+        abandoned >= 6,
+        "burst too small to mean anything: {abandoned}"
+    );
+
+    // Acceptance bound: no more than 20% throughput loss vs idle.
+    assert!(
+        under_attack >= 0.8 * baseline,
+        "victim throughput dropped too far: idle {baseline:.2}/s vs {under_attack:.2}/s \
+         under an abandon-burst of {abandoned}"
+    );
+
+    // The revocation path actually fired, and the books still balance.
+    let gone = muve::obs::metrics().snapshot().counter("net.client_gone");
+    assert!(gone > 0, "no disconnect was ever detected and revoked");
+    let report = server.shutdown();
+    assert!(report.reconciled, "stats drifted: {:?}", report.stats);
+    assert_eq!(report.stragglers, 0);
+}
+
+/// Tiny helper: join attacker threads and sum their abandon counts.
+trait MapSum {
+    fn map_sum(self) -> u32;
+}
+
+impl MapSum for Vec<std::thread::JoinHandle<u32>> {
+    fn map_sum(self) -> u32 {
+        self.into_iter()
+            .map(|h| h.join().expect("attacker thread must not panic"))
+            .sum()
+    }
+}

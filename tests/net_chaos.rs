@@ -1,0 +1,326 @@
+//! Network chaos suite: every hostile client behavior must produce a
+//! documented, typed response within a bound — zero panics, zero stuck
+//! workers, and exact stats reconciliation afterwards.
+//!
+//! The chaos clients speak raw TCP on purpose: the point is precisely the
+//! bytes a well-behaved HTTP library would never send.
+
+use muve::data::Dataset;
+use muve::net::{Limits, NetConfig, NetServer, TenantConfig};
+use muve::pipeline::SessionConfig;
+use muve::serve::ServerConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast_session() -> SessionConfig {
+    SessionConfig {
+        deadline: Duration::from_millis(500),
+        planner: muve::core::Planner::Greedy,
+        ..SessionConfig::default()
+    }
+}
+
+fn tight_net() -> NetConfig {
+    NetConfig {
+        header_deadline: Duration::from_millis(300),
+        body_deadline: Duration::from_millis(300),
+        idle_keepalive: Duration::from_secs(2),
+        default_deadline: Duration::from_millis(500),
+        limits: Limits {
+            max_body_bytes: 4 << 10,
+            ..Limits::default()
+        },
+        drain_grace: Duration::from_secs(5),
+        ..NetConfig::default()
+    }
+}
+
+fn start(net: NetConfig, serve: ServerConfig) -> NetServer {
+    let table = Arc::new(Dataset::Flights.generate(5_000, 11));
+    NetServer::start(table, serve, fast_session(), net).expect("bind")
+}
+
+/// Send raw bytes, read until the peer closes or `timeout` passes, return
+/// whatever came back as a lossy string.
+fn raw(addr: std::net::SocketAddr, bytes: &[u8], timeout: Duration) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(timeout)).unwrap();
+    s.write_all(bytes).expect("write");
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn post_query(addr: std::net::SocketAddr, key: Option<&str>, transcript: &str) -> String {
+    let body = format!("{{\"transcript\": \"{transcript}\"}}");
+    let key_header = key.map_or(String::new(), |k| format!("x-api-key: {k}\r\n"));
+    let wire = format!(
+        "POST /query HTTP/1.1\r\nhost: t\r\n{key_header}content-length: {}\r\n\
+         connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    raw(addr, wire.as_bytes(), Duration::from_secs(10))
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"))
+}
+
+#[test]
+fn slow_header_client_gets_a_typed_408_within_bound() {
+    let server = start(tight_net(), ServerConfig::default());
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+    let started = Instant::now();
+    // Trickle a header forever — one byte every 60 ms never completes the
+    // head but always shows liveness, the classic slowloris shape.
+    let mut response = String::new();
+    for chunk in "GET /healthz HTTP/1.1\r\nx-slow: aaaaaaaaaaaaaaaaaaaaaaaa".as_bytes() {
+        if s.write_all(&[*chunk]).is_err() {
+            break; // server already gave up on us
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        if started.elapsed() > Duration::from_secs(2) {
+            break;
+        }
+    }
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf);
+    response.push_str(&String::from_utf8_lossy(&buf));
+    assert_eq!(status_of(&response), 408, "{response:?}");
+    assert!(response.contains("timeout"), "{response:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "slowloris held the server {:?}",
+        started.elapsed()
+    );
+    let report = server.shutdown();
+    assert!(report.reconciled);
+}
+
+#[test]
+fn slow_body_client_gets_a_typed_408() {
+    let server = start(tight_net(), ServerConfig::default());
+    let response = {
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        // Complete head declaring a body, then stall mid-body.
+        s.write_all(b"POST /query HTTP/1.1\r\ncontent-length: 100\r\n\r\n{\"trans")
+            .unwrap();
+        let mut buf = Vec::new();
+        let _ = s.read_to_end(&mut buf);
+        String::from_utf8_lossy(&buf).into_owned()
+    };
+    assert_eq!(status_of(&response), 408, "{response:?}");
+    let report = server.shutdown();
+    assert!(report.reconciled);
+}
+
+#[test]
+fn garbage_bytes_get_one_clean_400_and_a_close() {
+    let server = start(tight_net(), ServerConfig::default());
+    let addr = server.local_addr();
+    for garbage in [
+        b"\x16\x03\x01\x02\x00\x01\r\n\r\n".as_slice(), // TLS hello at a plaintext port
+        b"garbage garbage garbage\r\n\r\n".as_slice(),
+        b"GET / SPDY/99\r\n\r\n".as_slice(),
+        b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".as_slice(),
+    ] {
+        let response = raw(addr, garbage, Duration::from_secs(2));
+        let status = status_of(&response);
+        assert!(
+            (400..=431).contains(&status),
+            "garbage {:?} got {status}",
+            String::from_utf8_lossy(garbage)
+        );
+        assert!(response.contains("connection: close"), "{response:?}");
+    }
+    // The server is unbothered: a well-formed request still round-trips.
+    let ok = raw(
+        addr,
+        b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+        Duration::from_secs(2),
+    );
+    assert_eq!(status_of(&ok), 200, "{ok:?}");
+    let report = server.shutdown();
+    assert!(report.reconciled);
+}
+
+#[test]
+fn oversized_body_is_rejected_with_413_before_any_byte_buffers() {
+    let server = start(tight_net(), ServerConfig::default());
+    let response = raw(
+        server.local_addr(),
+        b"POST /query HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+        Duration::from_secs(2),
+    );
+    assert_eq!(status_of(&response), 413, "{response:?}");
+    let report = server.shutdown();
+    assert!(report.reconciled);
+}
+
+#[test]
+fn mid_body_disconnect_leaves_no_residue() {
+    let server = start(tight_net(), ServerConfig::default());
+    let addr = server.local_addr();
+    for _ in 0..8 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /query HTTP/1.1\r\ncontent-length: 60\r\n\r\n{\"transcript")
+            .unwrap();
+        drop(s); // vanish mid-body
+    }
+    // Never admitted, so stats stay clean and the server stays healthy.
+    std::thread::sleep(Duration::from_millis(200));
+    let ok = post_query(addr, None, "count flights by carrier");
+    assert_eq!(status_of(&ok), 200, "{ok:?}");
+    let report = server.shutdown();
+    assert!(report.reconciled);
+    assert_eq!(report.stragglers, 0);
+}
+
+#[test]
+fn quota_busting_tenant_hits_429_while_the_other_tenant_is_served() {
+    let mut net = tight_net();
+    net.tenants = vec![
+        TenantConfig::limited("busy", "busy-key", 1, 2.0), // burst 4
+        TenantConfig::unlimited("calm", "calm-key", 1),
+    ];
+    let server = start(net, ServerConfig::default());
+    let addr = server.local_addr();
+    let mut limited = 0;
+    for _ in 0..10 {
+        let resp = post_query(addr, Some("busy-key"), "count flights");
+        match status_of(&resp) {
+            200 => {}
+            429 => {
+                limited += 1;
+                assert!(resp.contains("retry-after:"), "{resp:?}");
+                assert!(resp.contains("busy"), "{resp:?}");
+            }
+            other => panic!("unexpected status {other}: {resp:?}"),
+        }
+    }
+    assert!(
+        limited >= 3,
+        "only {limited} of 10 rapid calls were limited"
+    );
+    // The calm tenant is untouched by its neighbor's quota.
+    let resp = post_query(addr, Some("calm-key"), "count flights");
+    assert_eq!(status_of(&resp), 200, "{resp:?}");
+    // Bad and missing keys are typed 401s.
+    assert_eq!(status_of(&post_query(addr, Some("wrong"), "x")), 401);
+    assert_eq!(status_of(&post_query(addr, None, "x")), 401);
+    let report = server.shutdown();
+    assert!(report.reconciled);
+}
+
+#[test]
+fn connection_governor_sheds_with_503_and_retry_after() {
+    let mut net = tight_net();
+    net.max_conns = 3;
+    net.idle_keepalive = Duration::from_secs(5);
+    let server = start(net, ServerConfig::default());
+    let addr = server.local_addr();
+    // Park max_conns idle connections...
+    let parked: Vec<TcpStream> = (0..3).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    std::thread::sleep(Duration::from_millis(100));
+    // ...and the next one is shed with a typed 503.
+    let response = raw(
+        addr,
+        b"GET /healthz HTTP/1.1\r\n\r\n",
+        Duration::from_secs(2),
+    );
+    assert_eq!(status_of(&response), 503, "{response:?}");
+    assert!(response.contains("retry-after:"), "{response:?}");
+    drop(parked);
+    std::thread::sleep(Duration::from_millis(200));
+    // Capacity frees once the parked connections go.
+    let ok = raw(
+        addr,
+        b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+        Duration::from_secs(2),
+    );
+    assert_eq!(status_of(&ok), 200, "{ok:?}");
+    let report = server.shutdown();
+    assert!(report.reconciled);
+}
+
+#[test]
+fn the_full_zoo_at_once_and_the_books_still_balance() {
+    let mut net = tight_net();
+    net.tenants = vec![
+        TenantConfig::limited("busy", "busy-key", 1, 5.0),
+        TenantConfig::unlimited("calm", "calm-key", 2),
+    ];
+    let server = start(
+        net,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let mut attackers = Vec::new();
+    for i in 0..4 {
+        attackers.push(std::thread::spawn(move || match i % 4 {
+            0 => {
+                let _ = raw(addr, b"\xff\xfe garbage \r\n\r\n", Duration::from_secs(1));
+            }
+            1 => {
+                let _ = raw(
+                    addr,
+                    b"POST /query HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n",
+                    Duration::from_secs(1),
+                );
+            }
+            2 => {
+                // slow header, then give up
+                if let Ok(mut s) = TcpStream::connect(addr) {
+                    let _ = s.write_all(b"GET /");
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+            }
+            _ => {
+                for _ in 0..6 {
+                    let _ = post_query(addr, Some("busy-key"), "count flights");
+                }
+            }
+        }));
+    }
+    // The calm tenant keeps getting real answers through the noise.
+    let mut served = 0;
+    for _ in 0..5 {
+        if status_of(&post_query(
+            addr,
+            Some("calm-key"),
+            "count flights by carrier",
+        )) == 200
+        {
+            served += 1;
+        }
+    }
+    for a in attackers {
+        a.join().expect("attacker thread must not panic");
+    }
+    assert!(served >= 4, "calm tenant served only {served}/5");
+    let stats = server.serve().stats();
+    assert!(stats.reconciles(), "mid-chaos stats drifted: {stats:?}");
+    let report = server.shutdown();
+    assert!(report.reconciled, "final stats drifted: {:?}", report.stats);
+    assert_eq!(report.stragglers, 0, "stuck connection handlers");
+}
