@@ -12,6 +12,7 @@
 //! | `ablation` | reproduction-specific design ablations | [`ablation`] |
 //! | `cache` | cold vs warm cross-request caching | [`cache`] |
 //! | `serve` | network-stack shed/latency load curves | [`serve`] |
+//! | `scan` | row-at-a-time vs morsel-driven batch scans | [`scan`] |
 
 pub mod ablation;
 pub mod cache;
@@ -22,6 +23,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scan;
 pub mod serve;
 pub mod study;
 
@@ -30,7 +32,7 @@ pub use common::ResultTable;
 /// All experiment ids accepted by the `expt` binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "ablation", "cache", "serve",
+    "ablation", "cache", "serve", "scan",
 ];
 
 /// Run one experiment by id (fig3 is produced together with table1, and
@@ -47,6 +49,7 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<ResultTable>> {
         "ablation" => Some(ablation::run(quick)),
         "cache" => Some(cache::run(quick)),
         "serve" => Some(serve::run(quick)),
+        "scan" => Some(scan::run(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,1307 @@
+//! Vectorized batch execution: morsel-driven scans over selection bitmaps.
+//!
+//! The engine behind [`crate::exec::execute_with_opts`]. A scan source
+//! ([`RowBatches`]) is split into [`crate::morsel`] morsels and spread over
+//! a work-stealing pool; inside a morsel, rows are processed in
+//! [`CHUNK_ROWS`]-lane chunks:
+//!
+//! 1. every compiled predicate ANDs the chunk's selection bitmap
+//!    (`Sel`) with a tight compare loop over the raw column storage —
+//!    dictionary codes (`u32`), `i64`, or `f64` compared directly, with no
+//!    per-row enum dispatch;
+//! 2. aggregation feeds only the surviving lanes into per-morsel partial
+//!    accumulators (`count(*)` degenerates to a popcount of the bitmap;
+//!    a single small-dictionary group column uses a dense code-indexed
+//!    accumulator array instead of a hash map);
+//! 3. partials are combined in morsel order after the scan, so float sums
+//!    are deterministic under any thread schedule.
+//!
+//! Cancellation is polled and scan progress published at every chunk
+//! boundary, and memory for group state is charged as groups appear — the
+//! same observability and governor contracts as the row-at-a-time
+//! reference path ([`crate::exec::execute_reference`]), which this module
+//! must match bit-for-bit (`tests/batch_vs_row.rs`).
+
+use crate::ast::{AggFunc, CmpOp, PredOp, Query};
+use crate::column::{Column, ColumnData, Dictionary};
+use crate::exec::{
+    record_partial_metrics, record_query_metrics, ExecError, ExecOptions, ExecStats, ResultSet,
+    ScanProgress,
+};
+use crate::morsel::{morsels, scan_parallel, Morsel, MORSEL_ROWS};
+use crate::table::Table;
+use crate::value::Value;
+use muve_obs::MemBudget;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Rows per predicate/aggregation chunk: the vectorization unit, and the
+/// granularity of cancellation checks and progress publication inside a
+/// morsel — abort latency is bounded by one chunk of work per worker, far
+/// below a full morsel.
+pub const CHUNK_ROWS: usize = 4096;
+const SEL_WORDS: usize = CHUNK_ROWS / 64;
+
+/// Largest group-by dictionary for which grouped partials use the dense
+/// code-indexed accumulator layout; larger dictionaries (and multi-column
+/// or integer keys) fall back to hashed grouping.
+const DENSE_GROUPS: usize = 1024;
+
+/// Tuning knobs of the batch engine. [`Default`] matches production use;
+/// tests shrink `morsel_rows` to force many-morsel schedules on small
+/// tables and pin `threads` to exercise both scan paths.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Rows per morsel — the work-distribution and partial-accumulator
+    /// granularity.
+    pub morsel_rows: usize,
+    /// Worker threads for the scan (`1` runs inline, sequentially).
+    pub threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            morsel_rows: MORSEL_ROWS,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Rows addressed by one chunk of a scan source.
+#[derive(Debug, Clone, Copy)]
+pub enum Rows<'a> {
+    /// A dense run of consecutive row ids `start..start + len`.
+    Dense {
+        /// First row id of the run.
+        start: usize,
+        /// Run length.
+        len: usize,
+    },
+    /// Explicit row ids (a sample selection, an index probe).
+    Ids(&'a [u32]),
+}
+
+impl Rows<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Rows::Dense { len, .. } => *len,
+            Rows::Ids(ids) => ids.len(),
+        }
+    }
+
+    #[inline]
+    fn row(&self, lane: usize) -> usize {
+        match self {
+            Rows::Dense { start, .. } => start + lane,
+            Rows::Ids(ids) => ids[lane] as usize,
+        }
+    }
+}
+
+/// A positional scan source consumed by the batch engine in chunks.
+///
+/// Implementations map contiguous scan *positions* `0..len()` to table row
+/// ids: a full scan maps them identically ([`FullScan`]); a sampling
+/// selection maps them through its id array ([`Selection`]); future index
+/// or shard sources return whatever rows their probe yields. Everything
+/// built on the executor — direct queries, `merge.rs` merged scans,
+/// `sample.rs` approximate scans — consumes the engine through this trait.
+pub trait RowBatches: Sync {
+    /// Total number of scan positions.
+    fn len(&self) -> usize;
+
+    /// Whether the source has no rows at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The rows at positions `start..end` (`end <= len()`).
+    fn rows(&self, start: usize, end: usize) -> Rows<'_>;
+}
+
+/// Scan every row `0..n` of a table.
+#[derive(Debug, Clone, Copy)]
+pub struct FullScan(pub usize);
+
+impl RowBatches for FullScan {
+    fn len(&self) -> usize {
+        self.0
+    }
+
+    fn rows(&self, start: usize, end: usize) -> Rows<'_> {
+        Rows::Dense {
+            start,
+            len: end - start,
+        }
+    }
+}
+
+/// Scan an explicit (typically sampled) row-id selection.
+#[derive(Debug, Clone, Copy)]
+pub struct Selection<'a>(pub &'a [u32]);
+
+impl RowBatches for Selection<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn rows(&self, start: usize, end: usize) -> Rows<'_> {
+        Rows::Ids(&self.0[start..end])
+    }
+}
+
+/// Selection bitmap over one chunk's lanes.
+struct Sel {
+    words: [u64; SEL_WORDS],
+    len: usize,
+}
+
+impl Sel {
+    fn all(len: usize) -> Sel {
+        debug_assert!(len <= CHUNK_ROWS);
+        let mut words = [0u64; SEL_WORDS];
+        let full = len / 64;
+        for w in &mut words[..full] {
+            *w = u64::MAX;
+        }
+        let rem = len % 64;
+        if rem > 0 {
+            words[full] = (1u64 << rem) - 1;
+        }
+        Sel { words, len }
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    fn clear(&mut self) {
+        self.words = [0u64; SEL_WORDS];
+    }
+
+    /// AND every lane with `keep(lane)`. Words already all-zero are
+    /// skipped, so stacked predicates get cheaper as selectivity drops;
+    /// `keep` is evaluated branchlessly across whole words so the compare
+    /// loops vectorize.
+    #[inline]
+    fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        for wi in 0..self.len.div_ceil(64) {
+            if self.words[wi] == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            let lanes = (self.len - base).min(64);
+            let mut mask = 0u64;
+            for b in 0..lanes {
+                mask |= u64::from(keep(base + b)) << b;
+            }
+            self.words[wi] &= mask;
+        }
+    }
+
+    /// Visit selected lanes in ascending order.
+    #[inline]
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        for wi in 0..self.len.div_ceil(64) {
+            let mut w = self.words[wi];
+            let base = wi * 64;
+            while w != 0 {
+                f(base + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Fallible [`Sel::for_each`] (group-state memory charges can abort
+    /// mid-chunk).
+    #[inline]
+    fn try_for_each(
+        &self,
+        mut f: impl FnMut(usize) -> Result<(), ExecError>,
+    ) -> Result<(), ExecError> {
+        for wi in 0..self.len.div_ceil(64) {
+            let mut w = self.words[wi];
+            let base = wi * 64;
+            while w != 0 {
+                f(base + w.trailing_zeros() as usize)?;
+                w &= w - 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A compiled predicate over one column: constants are pre-resolved (string
+/// constants to dictionary codes) so the chunk kernels compare raw
+/// `i64`/`f64`/`u32` storage with no per-row dispatch or string work.
+pub(crate) enum Compiled<'a> {
+    IntIn {
+        col: &'a [i64],
+        nulls: Option<&'a [bool]>,
+        values: Vec<i64>,
+    },
+    FloatIn {
+        col: &'a [f64],
+        nulls: Option<&'a [bool]>,
+        values: Vec<f64>,
+    },
+    CodeIn {
+        col: &'a [u32],
+        nulls: Option<&'a [bool]>,
+        codes: Vec<u32>,
+    },
+    IntCmp {
+        col: &'a [i64],
+        nulls: Option<&'a [bool]>,
+        op: CmpOp,
+        value: f64,
+    },
+    FloatCmp {
+        col: &'a [f64],
+        nulls: Option<&'a [bool]>,
+        op: CmpOp,
+        value: f64,
+    },
+    AlwaysFalse,
+}
+
+impl Compiled<'_> {
+    /// Row-at-a-time evaluation (reference path).
+    #[inline]
+    pub(crate) fn matches(&self, row: usize) -> bool {
+        match self {
+            Compiled::IntIn { col, nulls, values } => {
+                !is_null(nulls, row) && values.contains(&col[row])
+            }
+            Compiled::FloatIn { col, nulls, values } => {
+                !is_null(nulls, row) && values.iter().any(|v| *v == col[row])
+            }
+            Compiled::CodeIn { col, nulls, codes } => {
+                !is_null(nulls, row) && codes.contains(&col[row])
+            }
+            Compiled::IntCmp {
+                col,
+                nulls,
+                op,
+                value,
+            } => !is_null(nulls, row) && op.eval(col[row] as f64, *value),
+            Compiled::FloatCmp {
+                col,
+                nulls,
+                op,
+                value,
+            } => !is_null(nulls, row) && op.eval(col[row], *value),
+            Compiled::AlwaysFalse => false,
+        }
+    }
+
+    /// AND the chunk's selection bitmap with this predicate.
+    fn apply(&self, rows: &Rows<'_>, sel: &mut Sel) {
+        match self {
+            Compiled::AlwaysFalse => sel.clear(),
+            Compiled::CodeIn { col, nulls, codes } => apply_in(rows, sel, col, nulls, codes),
+            Compiled::IntIn { col, nulls, values } => apply_in(rows, sel, col, nulls, values),
+            Compiled::FloatIn { col, nulls, values } => apply_in(rows, sel, col, nulls, values),
+            Compiled::IntCmp {
+                col,
+                nulls,
+                op,
+                value,
+            } => match rows {
+                Rows::Dense { start, len } => {
+                    let seg = &col[*start..*start + *len];
+                    let nseg = nulls.map(|m| &m[*start..*start + *len]);
+                    apply_cmp(sel, *op, *value, |i| seg[i] as f64, nseg);
+                }
+                Rows::Ids(ids) => sel.retain(|i| {
+                    let r = ids[i] as usize;
+                    !is_null(nulls, r) && op.eval(col[r] as f64, *value)
+                }),
+            },
+            Compiled::FloatCmp {
+                col,
+                nulls,
+                op,
+                value,
+            } => match rows {
+                Rows::Dense { start, len } => {
+                    let seg = &col[*start..*start + *len];
+                    let nseg = nulls.map(|m| &m[*start..*start + *len]);
+                    apply_cmp(sel, *op, *value, |i| seg[i], nseg);
+                }
+                Rows::Ids(ids) => sel.retain(|i| {
+                    let r = ids[i] as usize;
+                    !is_null(nulls, r) && op.eval(col[r], *value)
+                }),
+            },
+        }
+    }
+}
+
+/// Equality/IN kernel shared by the three `*In` predicate shapes. The
+/// dominant case — a single dictionary code over a dense chunk with no
+/// NULLs — reduces to one `==` per lane over contiguous storage.
+#[inline]
+fn apply_in<T: PartialEq + Copy>(
+    rows: &Rows<'_>,
+    sel: &mut Sel,
+    col: &[T],
+    nulls: &Option<&[bool]>,
+    values: &[T],
+) {
+    match rows {
+        Rows::Dense { start, len } => {
+            let seg = &col[*start..*start + *len];
+            match (values, nulls) {
+                ([v], None) => {
+                    let v = *v;
+                    sel.retain(|i| seg[i] == v);
+                }
+                ([v], Some(m)) => {
+                    let v = *v;
+                    let nseg = &m[*start..*start + *len];
+                    sel.retain(|i| !nseg[i] && seg[i] == v);
+                }
+                (vs, None) => sel.retain(|i| vs.contains(&seg[i])),
+                (vs, Some(m)) => {
+                    let nseg = &m[*start..*start + *len];
+                    sel.retain(|i| !nseg[i] && vs.contains(&seg[i]));
+                }
+            }
+        }
+        Rows::Ids(ids) => sel.retain(|i| {
+            let r = ids[i] as usize;
+            !is_null(nulls, r) && values.contains(&col[r])
+        }),
+    }
+}
+
+/// Comparison kernel with the operator match hoisted out of the lane loop.
+#[inline]
+fn apply_cmp(
+    sel: &mut Sel,
+    op: CmpOp,
+    value: f64,
+    get: impl Fn(usize) -> f64,
+    nseg: Option<&[bool]>,
+) {
+    let ok = |i: usize| nseg.is_none_or(|m| !m[i]);
+    match op {
+        CmpOp::Lt => sel.retain(|i| ok(i) && get(i) < value),
+        CmpOp::Le => sel.retain(|i| ok(i) && get(i) <= value),
+        CmpOp::Gt => sel.retain(|i| ok(i) && get(i) > value),
+        CmpOp::Ge => sel.retain(|i| ok(i) && get(i) >= value),
+        CmpOp::Ne => sel.retain(|i| ok(i) && get(i) != value),
+    }
+}
+
+#[inline]
+pub(crate) fn is_null(nulls: &Option<&[bool]>, row: usize) -> bool {
+    nulls.is_some_and(|m| m[row])
+}
+
+pub(crate) fn null_mask(c: &Column) -> Option<&[bool]> {
+    // Columns without NULLs skip the mask entirely so the hot kernels stay
+    // two-operand compares.
+    if c.is_empty() || !c.is_null_any() {
+        None
+    } else {
+        Some(c.null_slice())
+    }
+}
+
+/// Approximate bytes one new group adds to the aggregation state: the
+/// boxed key vector, the accumulator vector, and the hash-map entry.
+pub(crate) fn group_state_bytes(key_len: usize, n_accs: usize) -> usize {
+    key_len * 8 + n_accs * 32 + 96
+}
+
+/// One aggregate accumulator. COUNT/SUM/AVG/MIN/MAX all decompose, so an
+/// `Acc` doubles as a per-morsel *partial*: partials merge associatively
+/// and are combined in morsel order for deterministic float sums.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Acc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Acc {
+    pub(crate) fn new() -> Acc {
+        Acc {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn feed(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Feed `n` ones in one step (a popcounted `count(*)` chunk). Exact
+    /// for any realistic count (`n` additions of `1.0` equal one addition
+    /// of `n` while the running sum stays below 2^53).
+    #[inline]
+    fn feed_ones(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.count += n as u64;
+        self.sum += n as f64;
+        if 1.0 < self.min {
+            self.min = 1.0;
+        }
+        if 1.0 > self.max {
+            self.max = 1.0;
+        }
+    }
+
+    /// Fold a later partial into this one.
+    fn merge(&mut self, other: &Acc) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    pub(crate) fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum if self.count > 0 => Value::Float(self.sum),
+            AggFunc::Avg if self.count > 0 => Value::Float(self.sum / self.count as f64),
+            AggFunc::Min if self.count > 0 => Value::Float(self.min),
+            AggFunc::Max if self.count > 0 => Value::Float(self.max),
+            _ => Value::Null,
+        }
+    }
+}
+
+/// Numeric input of one aggregate (or row-count for `count(*)`).
+pub(crate) enum AggInput<'a> {
+    Star,
+    Int {
+        col: &'a [i64],
+        nulls: Option<&'a [bool]>,
+    },
+    Float {
+        col: &'a [f64],
+        nulls: Option<&'a [bool]>,
+    },
+}
+
+impl AggInput<'_> {
+    #[inline]
+    pub(crate) fn value(&self, row: usize) -> Option<f64> {
+        match self {
+            AggInput::Star => Some(1.0),
+            AggInput::Int { col, nulls } => (!is_null(nulls, row)).then(|| col[row] as f64),
+            AggInput::Float { col, nulls } => (!is_null(nulls, row)).then(|| col[row]),
+        }
+    }
+}
+
+/// Grouping key part per row (str code or int value; floats disallowed).
+pub(crate) enum GroupInput<'a> {
+    Int(&'a [i64]),
+    Code {
+        codes: &'a [u32],
+        dict: &'a Dictionary,
+    },
+}
+
+impl GroupInput<'_> {
+    #[inline]
+    pub(crate) fn key(&self, row: usize) -> i64 {
+        match self {
+            GroupInput::Int(xs) => xs[row],
+            GroupInput::Code { codes, .. } => codes[row] as i64,
+        }
+    }
+}
+
+/// A fully compiled query: validated bindings of predicates, aggregate
+/// inputs, and group keys to column storage. Shared by the batch engine
+/// and the row-at-a-time reference path so both execute the same plan.
+pub(crate) struct CompiledQuery<'a> {
+    pub(crate) preds: Vec<Compiled<'a>>,
+    pub(crate) inputs: Vec<AggInput<'a>>,
+    pub(crate) group_inputs: Vec<GroupInput<'a>>,
+    pub(crate) agg_names: Vec<String>,
+}
+
+impl<'a> CompiledQuery<'a> {
+    pub(crate) fn compile(table: &'a Table, query: &Query) -> Result<CompiledQuery<'a>, ExecError> {
+        if !query.table.eq_ignore_ascii_case(table.name()) {
+            return Err(ExecError::UnknownTable(query.table.clone()));
+        }
+        if query.aggregates.is_empty() {
+            return Err(ExecError::TypeError(
+                "query needs at least one aggregate".into(),
+            ));
+        }
+        let preds = compile_predicates(table, query)?;
+        let inputs = agg_inputs(table, query)?;
+        let mut group_inputs: Vec<GroupInput<'a>> = Vec::with_capacity(query.group_by.len());
+        for g in &query.group_by {
+            let idx = table
+                .schema()
+                .index_of(g)
+                .ok_or_else(|| ExecError::UnknownColumn(g.clone()))?;
+            match table.column(idx).data() {
+                ColumnData::Int(xs) => group_inputs.push(GroupInput::Int(xs)),
+                ColumnData::Str { codes, dict } => {
+                    group_inputs.push(GroupInput::Code { codes, dict })
+                }
+                ColumnData::Float(_) => {
+                    return Err(ExecError::TypeError(format!(
+                        "cannot group by float column {g}"
+                    )))
+                }
+            }
+        }
+        let agg_names = query.aggregates.iter().map(|a| a.to_string()).collect();
+        Ok(CompiledQuery {
+            preds,
+            inputs,
+            group_inputs,
+            agg_names,
+        })
+    }
+}
+
+fn compile_predicates<'a>(table: &'a Table, query: &Query) -> Result<Vec<Compiled<'a>>, ExecError> {
+    let mut out = Vec::with_capacity(query.predicates.len());
+    for pred in &query.predicates {
+        let idx = table
+            .schema()
+            .index_of(&pred.column)
+            .ok_or_else(|| ExecError::UnknownColumn(pred.column.clone()))?;
+        let col = table.column(idx);
+        let nulls = null_mask(col);
+        // Comparison predicates compile directly (numeric columns only).
+        if let PredOp::Cmp(op, v) = &pred.op {
+            let value = v.as_f64().ok_or_else(|| {
+                ExecError::TypeError(format!(
+                    "comparison on column {} needs a numeric constant, got {v:?}",
+                    pred.column
+                ))
+            })?;
+            let compiled = match col.data() {
+                ColumnData::Int(xs) => Compiled::IntCmp {
+                    col: xs,
+                    nulls,
+                    op: *op,
+                    value,
+                },
+                ColumnData::Float(xs) => Compiled::FloatCmp {
+                    col: xs,
+                    nulls,
+                    op: *op,
+                    value,
+                },
+                ColumnData::Str { .. } => {
+                    return Err(ExecError::TypeError(format!(
+                        "comparison operator on string column {}",
+                        pred.column
+                    )))
+                }
+            };
+            out.push(compiled);
+            continue;
+        }
+        let consts: Vec<&Value> = match &pred.op {
+            PredOp::Eq(v) => vec![v],
+            PredOp::In(vs) => vs.iter().collect(),
+            PredOp::Cmp(..) => unreachable!("handled above"),
+        };
+        let compiled = match col.data() {
+            ColumnData::Int(xs) => {
+                let mut values = Vec::with_capacity(consts.len());
+                for v in consts {
+                    match v {
+                        Value::Int(i) => values.push(*i),
+                        Value::Float(f) if f.fract() == 0.0 => values.push(*f as i64),
+                        // A fractional (or non-finite) float literal can
+                        // never equal an integer value: the predicate is
+                        // simply false, the same collapse a string constant
+                        // absent from the dictionary gets below. Genuine
+                        // type mismatches (strings against ints) stay hard
+                        // errors.
+                        Value::Float(_) => {}
+                        Value::Null => {}
+                        other => {
+                            return Err(ExecError::TypeError(format!(
+                                "cannot compare int column {} with {other:?}",
+                                pred.column
+                            )))
+                        }
+                    }
+                }
+                if values.is_empty() {
+                    Compiled::AlwaysFalse
+                } else {
+                    Compiled::IntIn {
+                        col: xs,
+                        nulls,
+                        values,
+                    }
+                }
+            }
+            ColumnData::Float(xs) => {
+                let mut values = Vec::with_capacity(consts.len());
+                for v in consts {
+                    match v.as_f64() {
+                        Some(f) => values.push(f),
+                        None if v.is_null() => {}
+                        None => {
+                            return Err(ExecError::TypeError(format!(
+                                "cannot compare float column {} with {v:?}",
+                                pred.column
+                            )))
+                        }
+                    }
+                }
+                if values.is_empty() {
+                    Compiled::AlwaysFalse
+                } else {
+                    Compiled::FloatIn {
+                        col: xs,
+                        nulls,
+                        values,
+                    }
+                }
+            }
+            ColumnData::Str { codes, dict } => {
+                let mut resolved = Vec::with_capacity(consts.len());
+                for v in consts {
+                    match v {
+                        Value::Str(s) => {
+                            if let Some(c) = dict.code_of(s) {
+                                resolved.push(c);
+                            }
+                        }
+                        Value::Null => {}
+                        other => {
+                            return Err(ExecError::TypeError(format!(
+                                "cannot compare string column {} with {other:?}",
+                                pred.column
+                            )))
+                        }
+                    }
+                }
+                if resolved.is_empty() {
+                    Compiled::AlwaysFalse
+                } else {
+                    Compiled::CodeIn {
+                        col: codes,
+                        nulls,
+                        codes: resolved,
+                    }
+                }
+            }
+        };
+        out.push(compiled);
+    }
+    Ok(out)
+}
+
+fn agg_inputs<'a>(table: &'a Table, query: &Query) -> Result<Vec<AggInput<'a>>, ExecError> {
+    query
+        .aggregates
+        .iter()
+        .map(|agg| match &agg.column {
+            None => Ok(AggInput::Star),
+            Some(name) => {
+                let idx = table
+                    .schema()
+                    .index_of(name)
+                    .ok_or_else(|| ExecError::UnknownColumn(name.clone()))?;
+                let col = table.column(idx);
+                let nulls = null_mask(col);
+                match col.data() {
+                    ColumnData::Int(xs) => Ok(AggInput::Int { col: xs, nulls }),
+                    ColumnData::Float(xs) => Ok(AggInput::Float { col: xs, nulls }),
+                    ColumnData::Str { .. } if agg.func == AggFunc::Count => {
+                        // count(col) over strings counts non-NULLs; model as Star
+                        // (string columns have no NULLs after filtering here).
+                        Ok(AggInput::Star)
+                    }
+                    ColumnData::Str { .. } => Err(ExecError::TypeError(format!(
+                        "{}({name}) over a string column",
+                        agg.func
+                    ))),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Build the single-row result of an ungrouped execution.
+pub(crate) fn materialize_flat(
+    cq: &CompiledQuery<'_>,
+    query: &Query,
+    accs: &[Acc],
+    stats: ExecStats,
+) -> ResultSet {
+    let row: Vec<Value> = accs
+        .iter()
+        .zip(&query.aggregates)
+        .map(|(acc, agg)| acc.finish(agg.func))
+        .collect();
+    ResultSet {
+        columns: cq.agg_names.clone(),
+        rows: vec![row],
+        stats,
+    }
+}
+
+/// Build the key-sorted result of a grouped execution.
+pub(crate) fn materialize_grouped(
+    cq: &CompiledQuery<'_>,
+    query: &Query,
+    groups: FxHashMap<Vec<i64>, Vec<Acc>>,
+    stats: ExecStats,
+) -> ResultSet {
+    let mut keys: Vec<&Vec<i64>> = groups.keys().collect();
+    keys.sort_unstable();
+    let mut rows = Vec::with_capacity(keys.len());
+    for key in keys {
+        let accs = &groups[key];
+        let mut row: Vec<Value> = Vec::with_capacity(key.len() + accs.len());
+        for (part, g) in key.iter().zip(&cq.group_inputs) {
+            row.push(match g {
+                GroupInput::Int(_) => Value::Int(*part),
+                GroupInput::Code { dict, .. } => Value::Str(dict.resolve(*part as u32).to_owned()),
+            });
+        }
+        for (acc, agg) in accs.iter().zip(&query.aggregates) {
+            row.push(acc.finish(agg.func));
+        }
+        rows.push(row);
+    }
+    let mut columns = query.group_by.clone();
+    columns.extend(cq.agg_names.iter().cloned());
+    ResultSet {
+        columns,
+        rows,
+        stats,
+    }
+}
+
+/// Thread-safe memory accounting for one batch execution: workers charge
+/// concurrently against the shared budget; everything is released when the
+/// execution ends, however it ends, so the governor sees peak in-flight
+/// state (same contract as the reference path's RAII charge).
+struct SharedCharge<'a> {
+    mem: Option<&'a MemBudget>,
+    bytes: AtomicUsize,
+}
+
+impl<'a> SharedCharge<'a> {
+    fn new(mem: Option<&'a MemBudget>) -> SharedCharge<'a> {
+        SharedCharge {
+            mem,
+            bytes: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn charge(&self, bytes: usize) -> Result<(), ExecError> {
+        if let Some(m) = self.mem {
+            m.try_charge(bytes)?;
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SharedCharge<'_> {
+    fn drop(&mut self) {
+        if let Some(m) = self.mem {
+            m.release(self.bytes.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// Internal progress counters, mirrored into the caller's
+/// [`ScanProgress`] out-param (if any) at every chunk boundary.
+struct Progress<'a> {
+    scanned: AtomicU64,
+    matched: AtomicU64,
+    external: Option<&'a ScanProgress>,
+}
+
+impl<'a> Progress<'a> {
+    fn new(external: Option<&'a ScanProgress>) -> Progress<'a> {
+        Progress {
+            scanned: AtomicU64::new(0),
+            matched: AtomicU64::new(0),
+            external,
+        }
+    }
+
+    #[inline]
+    fn add(&self, scanned: usize, matched: usize) {
+        self.scanned.fetch_add(scanned as u64, Ordering::Relaxed);
+        self.matched.fetch_add(matched as u64, Ordering::Relaxed);
+        if let Some(p) = self.external {
+            p.add(scanned as u64, matched as u64);
+        }
+    }
+
+    fn stats(&self) -> ExecStats {
+        ExecStats {
+            rows_scanned: self.scanned.load(Ordering::Relaxed) as usize,
+            rows_matched: self.matched.load(Ordering::Relaxed) as usize,
+        }
+    }
+}
+
+/// How grouped state is laid out in per-morsel partials.
+enum GroupMode {
+    /// No GROUP BY: one flat accumulator vector.
+    Flat,
+    /// Single string group column with a small dictionary: accumulators
+    /// addressed by dictionary code directly — no hashing, no per-group
+    /// key allocation in the scan.
+    Dense { dict_len: usize },
+    /// General case: hashed composite keys (same layout as the reference
+    /// path).
+    Hash,
+}
+
+fn group_mode(cq: &CompiledQuery<'_>) -> GroupMode {
+    match cq.group_inputs.as_slice() {
+        [] => GroupMode::Flat,
+        [GroupInput::Code { dict, .. }] if dict.len() <= DENSE_GROUPS => GroupMode::Dense {
+            dict_len: dict.len(),
+        },
+        _ => GroupMode::Hash,
+    }
+}
+
+/// Per-morsel partial state, combined in morsel order after the scan.
+enum Partial {
+    Flat(Vec<Acc>),
+    Dense { accs: Vec<Acc>, present: Vec<bool> },
+    Hash(FxHashMap<Vec<i64>, Vec<Acc>>),
+}
+
+/// Ungrouped chunk aggregation over the surviving lanes.
+fn accumulate_flat(
+    accs: &mut [Acc],
+    inputs: &[AggInput<'_>],
+    rows: &Rows<'_>,
+    sel: &Sel,
+    matched: usize,
+) {
+    let full = matched == rows.len();
+    for (acc, input) in accs.iter_mut().zip(inputs) {
+        match input {
+            AggInput::Star => acc.feed_ones(matched),
+            AggInput::Int { col, nulls } => match (rows, nulls) {
+                (Rows::Dense { start, len }, None) if full => {
+                    for v in &col[*start..*start + *len] {
+                        acc.feed(*v as f64);
+                    }
+                }
+                _ => sel.for_each(|i| {
+                    let r = rows.row(i);
+                    if !is_null(nulls, r) {
+                        acc.feed(col[r] as f64);
+                    }
+                }),
+            },
+            AggInput::Float { col, nulls } => match (rows, nulls) {
+                (Rows::Dense { start, len }, None) if full => {
+                    for v in &col[*start..*start + *len] {
+                        acc.feed(*v);
+                    }
+                }
+                _ => sel.for_each(|i| {
+                    let r = rows.row(i);
+                    if !is_null(nulls, r) {
+                        acc.feed(col[r]);
+                    }
+                }),
+            },
+        }
+    }
+}
+
+/// Dense-grouped chunk aggregation: group slot looked up by dictionary
+/// code, memory charged per group the first time it appears in this
+/// partial.
+fn accumulate_dense(
+    accs: &mut [Acc],
+    present: &mut [bool],
+    cq: &CompiledQuery<'_>,
+    rows: &Rows<'_>,
+    sel: &Sel,
+    charge: &SharedCharge<'_>,
+) -> Result<(), ExecError> {
+    let GroupInput::Code { codes, .. } = &cq.group_inputs[0] else {
+        unreachable!("dense grouping is only chosen for a single code column");
+    };
+    let n_accs = cq.inputs.len();
+    sel.try_for_each(|i| {
+        let r = rows.row(i);
+        let g = codes[r] as usize;
+        if !present[g] {
+            charge.charge(group_state_bytes(1, n_accs))?;
+            present[g] = true;
+        }
+        let slot = &mut accs[g * n_accs..(g + 1) * n_accs];
+        for (acc, input) in slot.iter_mut().zip(&cq.inputs) {
+            if let Some(v) = input.value(r) {
+                acc.feed(v);
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Hash-grouped chunk aggregation (composite or high-cardinality keys).
+fn accumulate_hash(
+    map: &mut FxHashMap<Vec<i64>, Vec<Acc>>,
+    key_buf: &mut Vec<i64>,
+    cq: &CompiledQuery<'_>,
+    rows: &Rows<'_>,
+    sel: &Sel,
+    charge: &SharedCharge<'_>,
+) -> Result<(), ExecError> {
+    let n_accs = cq.inputs.len();
+    sel.try_for_each(|i| {
+        let r = rows.row(i);
+        key_buf.clear();
+        key_buf.extend(cq.group_inputs.iter().map(|g| g.key(r)));
+        let accs = match map.get_mut(key_buf.as_slice()) {
+            Some(accs) => accs,
+            None => {
+                charge.charge(group_state_bytes(key_buf.len(), n_accs))?;
+                map.entry(key_buf.clone())
+                    .or_insert_with(|| vec![Acc::new(); n_accs])
+            }
+        };
+        for (acc, input) in accs.iter_mut().zip(&cq.inputs) {
+            if let Some(v) = input.value(r) {
+                acc.feed(v);
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Process one morsel: chunked predicate evaluation + aggregation into a
+/// fresh partial. Polls the stop flag and the cancel token at every chunk
+/// boundary and publishes progress as it goes.
+#[allow(clippy::too_many_arguments)]
+fn run_morsel<S: RowBatches + ?Sized>(
+    m: Morsel,
+    source: &S,
+    cq: &CompiledQuery<'_>,
+    mode: &GroupMode,
+    opts: &ExecOptions<'_>,
+    stop: &AtomicBool,
+    progress: &Progress<'_>,
+    charge: &SharedCharge<'_>,
+) -> Result<Partial, ExecError> {
+    let n_accs = cq.inputs.len();
+    let mut partial = match mode {
+        GroupMode::Flat => Partial::Flat(vec![Acc::new(); n_accs]),
+        GroupMode::Dense { dict_len } => Partial::Dense {
+            accs: vec![Acc::new(); dict_len * n_accs],
+            present: vec![false; *dict_len],
+        },
+        GroupMode::Hash => Partial::Hash(FxHashMap::default()),
+    };
+    let mut key_buf: Vec<i64> = Vec::with_capacity(cq.group_inputs.len());
+    let mut pos = m.start;
+    while pos < m.end {
+        if stop.load(Ordering::Relaxed) {
+            // Another worker already failed; its error is the overall
+            // result, so the remainder of this morsel is abandoned.
+            return Ok(partial);
+        }
+        if let Some(t) = opts.cancel {
+            if t.should_stop() {
+                return Err(ExecError::Cancelled);
+            }
+        }
+        let end = (pos + CHUNK_ROWS).min(m.end);
+        let rows = source.rows(pos, end);
+        let len = end - pos;
+        let mut sel = Sel::all(len);
+        for pred in &cq.preds {
+            if !sel.any() {
+                break;
+            }
+            pred.apply(&rows, &mut sel);
+        }
+        let matched = sel.count();
+        if matched > 0 {
+            match &mut partial {
+                Partial::Flat(accs) => accumulate_flat(accs, &cq.inputs, &rows, &sel, matched),
+                Partial::Dense { accs, present } => {
+                    accumulate_dense(accs, present, cq, &rows, &sel, charge)?
+                }
+                Partial::Hash(map) => accumulate_hash(map, &mut key_buf, cq, &rows, &sel, charge)?,
+            }
+        }
+        progress.add(len, matched);
+        pos = end;
+    }
+    Ok(partial)
+}
+
+/// Merge grouped partials, in morsel order, into one key-addressed map.
+/// No additional memory is charged here: every group was already charged
+/// when it first appeared in a partial.
+fn combine_grouped(n_accs: usize, partials: Vec<Partial>) -> FxHashMap<Vec<i64>, Vec<Acc>> {
+    let mut groups: FxHashMap<Vec<i64>, Vec<Acc>> = FxHashMap::default();
+    for p in partials {
+        match p {
+            Partial::Dense { accs, present } => {
+                for (g, ok) in present.iter().enumerate() {
+                    if !*ok {
+                        continue;
+                    }
+                    let slot = groups
+                        .entry(vec![g as i64])
+                        .or_insert_with(|| vec![Acc::new(); n_accs]);
+                    for (a, b) in slot.iter_mut().zip(&accs[g * n_accs..(g + 1) * n_accs]) {
+                        a.merge(b);
+                    }
+                }
+            }
+            Partial::Hash(map) => {
+                for (k, pa) in map {
+                    let slot = groups.entry(k).or_insert_with(|| vec![Acc::new(); n_accs]);
+                    for (a, b) in slot.iter_mut().zip(&pa) {
+                        a.merge(b);
+                    }
+                }
+            }
+            Partial::Flat(_) => unreachable!("flat partials are combined separately"),
+        }
+    }
+    groups
+}
+
+/// Record abort-path bookkeeping once per execution (the typed-error
+/// counter plus the partial-scan accounting) and pass the error through.
+fn surface_error(e: ExecError, progress: &Progress<'_>) -> ExecError {
+    match &e {
+        ExecError::Cancelled => {
+            muve_obs::metrics().counter("dbms.cancelled").incr();
+        }
+        ExecError::ResourceExhausted { .. } => {
+            muve_obs::metrics().counter("dbms.mem_aborts").incr();
+        }
+        _ => {}
+    }
+    record_partial_metrics(&progress.stats());
+    e
+}
+
+/// Execute `query` over an arbitrary [`RowBatches`] source with the batch
+/// engine. See [`crate::exec::execute_with_opts`] for the semantics; this
+/// entry point additionally lets callers supply their own scan source and
+/// [`BatchConfig`].
+pub fn execute_with_source<S: RowBatches>(
+    table: &Table,
+    query: &Query,
+    source: &S,
+    opts: ExecOptions<'_>,
+    cfg: &BatchConfig,
+) -> Result<ResultSet, ExecError> {
+    let cq = CompiledQuery::compile(table, query)?;
+    run_batch(query, &cq, source, opts, cfg)
+}
+
+/// Execute `query` against `table` through the batch engine — the default
+/// engine behind [`crate::exec::execute_with_opts`]. `selection`
+/// optionally restricts the scan to the given row ids.
+pub fn execute_batch(
+    table: &Table,
+    query: &Query,
+    selection: Option<&[u32]>,
+    opts: ExecOptions<'_>,
+    cfg: &BatchConfig,
+) -> Result<ResultSet, ExecError> {
+    match selection {
+        Some(ids) => execute_with_source(table, query, &Selection(ids), opts, cfg),
+        None => execute_with_source(table, query, &FullScan(table.num_rows()), opts, cfg),
+    }
+}
+
+fn run_batch<S: RowBatches>(
+    query: &Query,
+    cq: &CompiledQuery<'_>,
+    source: &S,
+    opts: ExecOptions<'_>,
+    cfg: &BatchConfig,
+) -> Result<ResultSet, ExecError> {
+    let ms = morsels(source.len(), cfg.morsel_rows);
+    let mode = group_mode(cq);
+    let stop = AtomicBool::new(false);
+    let progress = Progress::new(opts.progress);
+    let charge = SharedCharge::new(opts.mem);
+    let slots: Vec<Mutex<Option<Partial>>> = ms.iter().map(|_| Mutex::new(None)).collect();
+
+    let scan = scan_parallel(ms.len(), cfg.threads, &stop, |mi| {
+        let p = run_morsel(ms[mi], source, cq, &mode, &opts, &stop, &progress, &charge)?;
+        *slots[mi].lock().unwrap_or_else(|e| e.into_inner()) = Some(p);
+        Ok(())
+    });
+    if let Err(e) = scan {
+        return Err(surface_error(e, &progress));
+    }
+
+    let partials: Vec<Partial> = slots
+        .into_iter()
+        .filter_map(|s| s.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    let stats = progress.stats();
+    let n_accs = cq.inputs.len();
+    let rs = if cq.group_inputs.is_empty() {
+        let mut accs = vec![Acc::new(); n_accs];
+        for p in &partials {
+            let Partial::Flat(pa) = p else {
+                unreachable!("ungrouped execution produces flat partials")
+            };
+            for (a, b) in accs.iter_mut().zip(pa) {
+                a.merge(b);
+            }
+        }
+        materialize_flat(cq, query, &accs, stats)
+    } else {
+        let groups = combine_grouped(n_accs, partials);
+        materialize_grouped(cq, query, groups, stats)
+    };
+    if let Err(e) = charge.charge(rs.approx_bytes()) {
+        return Err(surface_error(e, &progress));
+    }
+    record_query_metrics(&rs.stats);
+    Ok(rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::schema::Schema;
+    use crate::value::ColumnType;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new([
+            ("g", ColumnType::Str),
+            ("v", ColumnType::Int),
+            ("x", ColumnType::Float),
+        ]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..n as i64 {
+            b.push_row([
+                Value::from(format!("g{}", i % 7)),
+                Value::Int(i % 100),
+                // Dyadic rationals: exact under any summation order.
+                Value::Float(i as f64 / 4.0),
+            ]);
+        }
+        b.build()
+    }
+
+    fn run(sql: &str, cfg: &BatchConfig) -> ResultSet {
+        let t = table(10_000);
+        execute_batch(&t, &parse(sql).unwrap(), None, ExecOptions::default(), cfg).unwrap()
+    }
+
+    #[test]
+    fn multi_morsel_matches_single_morsel() {
+        let queries = [
+            "select count(*) from t",
+            "select sum(v), avg(x), min(v), max(x) from t where g = 'g3'",
+            "select count(*), sum(x) from t where v in (1, 2, 3) group by g",
+            "select count(*) from t where v < 37 group by g, v",
+        ];
+        let one = BatchConfig {
+            morsel_rows: usize::MAX,
+            threads: 1,
+        };
+        for sql in queries {
+            for threads in [1, 4] {
+                let many = BatchConfig {
+                    morsel_rows: 257,
+                    threads,
+                };
+                assert_eq!(run(sql, &one), run(sql, &many), "{sql} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_source_matches_dense_source() {
+        let t = table(5_000);
+        let q = parse("select sum(v), count(*) from t where g = 'g1' group by v").unwrap();
+        let all: Vec<u32> = (0..5_000).collect();
+        let cfg = BatchConfig {
+            morsel_rows: 100,
+            threads: 2,
+        };
+        let dense = execute_batch(&t, &q, None, ExecOptions::default(), &cfg).unwrap();
+        let ids = execute_batch(&t, &q, Some(&all), ExecOptions::default(), &cfg).unwrap();
+        assert_eq!(dense, ids);
+    }
+
+    #[test]
+    fn progress_reports_full_scan_on_success() {
+        let t = table(3_000);
+        let q = parse("select count(*) from t where v < 10").unwrap();
+        let progress = ScanProgress::new();
+        let opts = ExecOptions {
+            progress: Some(&progress),
+            ..ExecOptions::default()
+        };
+        let rs = execute_batch(&t, &q, None, opts, &BatchConfig::default()).unwrap();
+        assert_eq!(progress.rows_scanned(), 3_000);
+        assert_eq!(progress.rows_matched() as usize, rs.stats.rows_matched);
+    }
+
+    #[test]
+    fn sel_bitmap_edges() {
+        for len in [0, 1, 63, 64, 65, CHUNK_ROWS - 1, CHUNK_ROWS] {
+            let sel = Sel::all(len);
+            assert_eq!(sel.count(), len, "len={len}");
+            let mut seen = Vec::new();
+            sel.for_each(|i| seen.push(i));
+            assert_eq!(seen, (0..len).collect::<Vec<_>>(), "len={len}");
+        }
+        let mut sel = Sel::all(130);
+        sel.retain(|i| i % 3 == 0);
+        assert_eq!(sel.count(), 44);
+        let mut seen = Vec::new();
+        sel.for_each(|i| seen.push(i));
+        assert!(seen.iter().all(|i| i % 3 == 0));
+    }
+}

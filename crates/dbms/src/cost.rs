@@ -7,6 +7,12 @@
 //! the classical `seq_page_cost` / `cpu_tuple_cost` / `cpu_operator_cost`
 //! constants, equality selectivity `1/n_distinct`, and per-group overheads
 //! for aggregation.
+//!
+//! [`estimate`] prices the row-at-a-time reference plan; [`estimate_batch`]
+//! prices the same query on the morsel-driven batch engine, dividing CPU
+//! work across workers and charging a fixed per-morsel overhead
+//! (scheduling, partial-accumulator setup) plus the cost of combining one
+//! partial per morsel at the end.
 
 use crate::ast::{PredOp, Query};
 use crate::table::Table;
@@ -22,6 +28,13 @@ pub struct CostParams {
     pub cpu_operator_cost: f64,
     /// Bytes per page.
     pub page_bytes: usize,
+    /// Rows per morsel assumed by [`estimate_batch`].
+    pub morsel_rows: usize,
+    /// Worker threads the batch engine may spread morsels over.
+    pub workers: usize,
+    /// Fixed cost of dispatching one morsel: the work-stealing claim plus
+    /// partial-accumulator setup, in the same units as the other knobs.
+    pub morsel_cost: f64,
 }
 
 impl Default for CostParams {
@@ -31,6 +44,9 @@ impl Default for CostParams {
             cpu_tuple_cost: 0.01,
             cpu_operator_cost: 0.0025,
             page_bytes: 8192,
+            morsel_rows: crate::morsel::MORSEL_ROWS,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            morsel_cost: 0.1,
         }
     }
 }
@@ -103,6 +119,35 @@ pub fn estimate(table: &Table, query: &Query, params: &CostParams) -> CostEstima
         total: scan + agg + group,
         est_rows,
         est_groups,
+    }
+}
+
+/// Estimate the cost of `query` on the morsel-driven batch engine.
+///
+/// Starts from the row-at-a-time estimate and reshapes it the way the
+/// batch engine reshapes the work: page reads stay serial (the scan is
+/// memory-bandwidth-bound), per-tuple CPU divides across the effective
+/// worker count (capped by the number of morsels — a one-morsel table
+/// cannot parallelize), and two batch-only terms are added: a fixed
+/// [`CostParams::morsel_cost`] per morsel dispatched, and the combine pass
+/// that folds one per-morsel partial accumulator per group into the final
+/// state.
+pub fn estimate_batch(table: &Table, query: &Query, params: &CostParams) -> CostEstimate {
+    let base = estimate(table, query, params);
+    let rows = table.num_rows() as f64;
+    let pages = (table.approx_bytes() as f64 / params.page_bytes as f64)
+        .ceil()
+        .max(1.0);
+    let n_morsels = (rows / params.morsel_rows.max(1) as f64).ceil().max(1.0);
+    let workers = (params.workers.max(1) as f64).min(n_morsels);
+    let io = pages * params.seq_page_cost;
+    let cpu = (base.total - io).max(0.0);
+    let dispatch = n_morsels * params.morsel_cost;
+    let combine = (n_morsels - 1.0) * base.est_groups * params.cpu_operator_cost;
+    CostEstimate {
+        total: io + cpu / workers + dispatch + combine,
+        est_rows: base.est_rows,
+        est_groups: base.est_groups,
     }
 }
 
@@ -187,6 +232,73 @@ mod tests {
         let t = table(10);
         let e = estimate(&t, &parse("select count(*) from t group by v").unwrap(), &p);
         assert!(e.est_groups <= 10.0);
+    }
+
+    #[test]
+    fn batch_estimate_never_beats_serial_io_but_beats_serial_cpu() {
+        // With several workers and plenty of morsels, the batch plan must
+        // be cheaper than the row-at-a-time plan (CPU parallelizes), yet
+        // never cheaper than the serial page reads it still has to do.
+        let p = CostParams {
+            morsel_rows: 1024,
+            workers: 8,
+            ..CostParams::default()
+        };
+        let t = table(100_000);
+        let q = parse("select sum(v) from t where k = 'k3' group by k").unwrap();
+        let row = estimate(&t, &q, &p);
+        let batch = estimate_batch(&t, &q, &p);
+        assert!(batch.total < row.total, "{} vs {}", batch.total, row.total);
+        let pages = (t.approx_bytes() as f64 / p.page_bytes as f64).ceil();
+        assert!(batch.total >= pages * p.seq_page_cost);
+        // Cardinalities are engine-independent.
+        assert_eq!(batch.est_rows, row.est_rows);
+        assert_eq!(batch.est_groups, row.est_groups);
+    }
+
+    #[test]
+    fn one_worker_batch_costs_serial_cpu_plus_morsel_overhead() {
+        let p = CostParams {
+            morsel_rows: 1024,
+            workers: 1,
+            ..CostParams::default()
+        };
+        let t = table(50_000);
+        let q = parse("select count(*) from t").unwrap();
+        let row = estimate(&t, &q, &p);
+        let batch = estimate_batch(&t, &q, &p);
+        let n_morsels = (50_000f64 / 1024.0).ceil();
+        assert!(batch.total > row.total, "single worker gains nothing");
+        assert!(batch.total <= row.total + n_morsels * (p.morsel_cost + p.cpu_operator_cost));
+    }
+
+    #[test]
+    fn smaller_morsels_cost_more_dispatch() {
+        // Same worker count so the comparison isolates per-morsel
+        // overhead (with more workers, finer morsels can win by engaging
+        // the whole pool — that trade-off is exactly what the model is
+        // for).
+        let t = table(100_000);
+        let q = parse("select count(*) from t").unwrap();
+        let coarse = estimate_batch(
+            &t,
+            &q,
+            &CostParams {
+                morsel_rows: 65_536,
+                workers: 1,
+                ..CostParams::default()
+            },
+        );
+        let fine = estimate_batch(
+            &t,
+            &q,
+            &CostParams {
+                morsel_rows: 256,
+                workers: 1,
+                ..CostParams::default()
+            },
+        );
+        assert!(fine.total > coarse.total);
     }
 
     #[test]

@@ -1,19 +1,26 @@
 //! Query executor: scan → filter → aggregate.
 //!
-//! Execution is a single pass over the table's columns. Predicates are
-//! compiled first: string constants are resolved to dictionary codes so the
-//! hot loop compares integers only, and a constant missing from the
-//! dictionary collapses the predicate to "always false" without touching a
-//! row. An optional row selection (used for approximate processing over
-//! samples, paper §8.2) restricts the scan.
+//! Execution compiles the query once — string constants resolve to
+//! dictionary codes, a constant missing from the dictionary collapses its
+//! predicate to "always false" without touching a row — and then runs the
+//! morsel-driven batch engine in [`crate::batch`]: chunked predicate
+//! kernels over selection bitmaps, per-morsel partial accumulators, and an
+//! optional work-stealing thread pool. An optional row selection (used for
+//! approximate processing over samples, paper §8.2) restricts the scan.
+//!
+//! A row-at-a-time reference implementation ([`execute_reference`]) is
+//! retained as the executable specification: the differential suite
+//! (`tests/batch_vs_row.rs`) holds the batch engine bit-identical to it.
 
-use crate::ast::{AggFunc, CmpOp, PredOp, Query};
-use crate::column::{Column, ColumnData};
+use crate::ast::Query;
+use crate::batch::{
+    group_state_bytes, materialize_flat, materialize_grouped, Acc, BatchConfig, CompiledQuery,
+};
 use crate::table::Table;
-use crate::value::Value;
 use muve_obs::{CancelToken, MemBudget, MemExhausted};
 use rustc_hash::FxHashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,21 +74,62 @@ impl From<MemExhausted> for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Live scan-progress counters, shared with the caller through
+/// [`ExecOptions::progress`]. Counters only ever grow (they accumulate
+/// across executions sharing one instance), and — crucially — an aborted
+/// execution leaves the work it actually did visible here, so cancelled
+/// scans report true partial work instead of losing it.
+#[derive(Debug, Default)]
+pub struct ScanProgress {
+    rows_scanned: AtomicU64,
+    rows_matched: AtomicU64,
+}
+
+impl ScanProgress {
+    /// Fresh zeroed counters.
+    pub fn new() -> ScanProgress {
+        ScanProgress::default()
+    }
+
+    /// Rows visited so far.
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Rows that satisfied all predicates so far.
+    pub fn rows_matched(&self) -> u64 {
+        self.rows_matched.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn add(&self, scanned: u64, matched: u64) {
+        self.rows_scanned.fetch_add(scanned, Ordering::Relaxed);
+        self.rows_matched.fetch_add(matched, Ordering::Relaxed);
+    }
+}
+
 /// Optional robustness hooks threaded into an execution: a cancellation
-/// token checked every [`CANCEL_STRIDE`] rows, and a memory budget charged
-/// for group-aggregation state and result materialization. The default
-/// (both `None`) is bit-identical to ungoverned execution.
+/// token polled at chunk boundaries (every [`crate::batch::CHUNK_ROWS`]
+/// rows in the batch engine, every [`CANCEL_STRIDE`] rows in the reference
+/// path), a memory budget charged for group-aggregation state and result
+/// materialization, and a progress out-param updated as the scan runs.
+/// The default (all `None`) is bit-identical to ungoverned execution.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions<'a> {
-    /// Cancellation point, checked every [`CANCEL_STRIDE`] scanned rows.
+    /// Cancellation point, polled at chunk boundaries.
     pub cancel: Option<&'a CancelToken>,
     /// Memory governor charged for execution state.
     pub mem: Option<&'a MemBudget>,
+    /// Out-param receiving scanned/matched row counts while the scan runs
+    /// (the batch engine publishes per chunk; the reference path once, on
+    /// completion or abort). An aborted scan's partial work stays visible.
+    pub progress: Option<&'a ScanProgress>,
 }
 
-/// How many rows the scan advances between cancellation-point checks.
-/// Small enough that even a full-table scan over millions of rows reacts
-/// to expiry within a few hundred microseconds; large enough that the
+/// How many rows the *reference* scan advances between cancellation-point
+/// checks (the batch engine polls at chunk boundaries instead). Small
+/// enough that even a full-table scan over millions of rows reacts to
+/// expiry within a few hundred microseconds; large enough that the
 /// `Instant::now()` per check vanishes in the noise.
 pub const CANCEL_STRIDE: usize = 1024;
 
@@ -94,12 +142,6 @@ fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), ExecError> {
         }
         _ => Ok(()),
     }
-}
-
-/// Approximate bytes one new group adds to the aggregation state: the
-/// boxed key vector, the accumulator vector, and the hash-map entry.
-fn group_state_bytes(key_len: usize, n_accs: usize) -> usize {
-    key_len * 8 + n_accs * 32 + 96
 }
 
 /// RAII accounting for the transient memory an execution holds: charges
@@ -156,6 +198,8 @@ pub struct ResultSet {
     pub stats: ExecStats,
 }
 
+use crate::value::Value;
+
 impl ResultSet {
     /// The single scalar of a one-aggregate, non-grouped query
     /// (`None` if the value is NULL).
@@ -182,321 +226,6 @@ impl ResultSet {
     }
 }
 
-/// A compiled predicate over one column.
-enum Compiled<'a> {
-    IntIn {
-        col: &'a [i64],
-        nulls: Option<&'a [bool]>,
-        values: Vec<i64>,
-    },
-    FloatIn {
-        col: &'a [f64],
-        nulls: Option<&'a [bool]>,
-        values: Vec<f64>,
-    },
-    CodeIn {
-        col: &'a [u32],
-        nulls: Option<&'a [bool]>,
-        codes: Vec<u32>,
-    },
-    IntCmp {
-        col: &'a [i64],
-        nulls: Option<&'a [bool]>,
-        op: CmpOp,
-        value: f64,
-    },
-    FloatCmp {
-        col: &'a [f64],
-        nulls: Option<&'a [bool]>,
-        op: CmpOp,
-        value: f64,
-    },
-    AlwaysFalse,
-}
-
-impl Compiled<'_> {
-    #[inline]
-    fn matches(&self, row: usize) -> bool {
-        match self {
-            Compiled::IntIn { col, nulls, values } => {
-                !is_null(nulls, row) && values.contains(&col[row])
-            }
-            Compiled::FloatIn { col, nulls, values } => {
-                !is_null(nulls, row) && values.iter().any(|v| *v == col[row])
-            }
-            Compiled::CodeIn { col, nulls, codes } => {
-                !is_null(nulls, row) && codes.contains(&col[row])
-            }
-            Compiled::IntCmp {
-                col,
-                nulls,
-                op,
-                value,
-            } => !is_null(nulls, row) && op.eval(col[row] as f64, *value),
-            Compiled::FloatCmp {
-                col,
-                nulls,
-                op,
-                value,
-            } => !is_null(nulls, row) && op.eval(col[row], *value),
-            Compiled::AlwaysFalse => false,
-        }
-    }
-}
-
-#[inline]
-fn is_null(nulls: &Option<&[bool]>, row: usize) -> bool {
-    nulls.is_some_and(|m| m[row])
-}
-
-fn null_mask(c: &Column) -> Option<&[bool]> {
-    // Column doesn't expose the mask directly; reconstruct via is_null over
-    // an index — instead we expose it through a small probe: columns without
-    // NULLs answer false for every row cheaply.
-    // To keep the hot loop tight we only take the slow path when NULLs exist.
-    if c.is_empty() || !c.is_null_any() {
-        None
-    } else {
-        Some(c.null_slice())
-    }
-}
-
-fn compile<'a>(table: &'a Table, query: &Query) -> Result<Vec<Compiled<'a>>, ExecError> {
-    let mut out = Vec::with_capacity(query.predicates.len());
-    for pred in &query.predicates {
-        let idx = table
-            .schema()
-            .index_of(&pred.column)
-            .ok_or_else(|| ExecError::UnknownColumn(pred.column.clone()))?;
-        let col = table.column(idx);
-        let nulls = null_mask(col);
-        // Comparison predicates compile directly (numeric columns only).
-        if let PredOp::Cmp(op, v) = &pred.op {
-            let value = v.as_f64().ok_or_else(|| {
-                ExecError::TypeError(format!(
-                    "comparison on column {} needs a numeric constant, got {v:?}",
-                    pred.column
-                ))
-            })?;
-            let compiled = match col.data() {
-                ColumnData::Int(xs) => Compiled::IntCmp {
-                    col: xs,
-                    nulls,
-                    op: *op,
-                    value,
-                },
-                ColumnData::Float(xs) => Compiled::FloatCmp {
-                    col: xs,
-                    nulls,
-                    op: *op,
-                    value,
-                },
-                ColumnData::Str { .. } => {
-                    return Err(ExecError::TypeError(format!(
-                        "comparison operator on string column {}",
-                        pred.column
-                    )))
-                }
-            };
-            out.push(compiled);
-            continue;
-        }
-        let consts: Vec<&Value> = match &pred.op {
-            PredOp::Eq(v) => vec![v],
-            PredOp::In(vs) => vs.iter().collect(),
-            PredOp::Cmp(..) => unreachable!("handled above"),
-        };
-        let compiled = match col.data() {
-            ColumnData::Int(xs) => {
-                let mut values = Vec::with_capacity(consts.len());
-                for v in consts {
-                    match v {
-                        Value::Int(i) => values.push(*i),
-                        Value::Float(f) if f.fract() == 0.0 => values.push(*f as i64),
-                        Value::Null => {}
-                        other => {
-                            return Err(ExecError::TypeError(format!(
-                                "cannot compare int column {} with {other:?}",
-                                pred.column
-                            )))
-                        }
-                    }
-                }
-                if values.is_empty() {
-                    Compiled::AlwaysFalse
-                } else {
-                    Compiled::IntIn {
-                        col: xs,
-                        nulls,
-                        values,
-                    }
-                }
-            }
-            ColumnData::Float(xs) => {
-                let mut values = Vec::with_capacity(consts.len());
-                for v in consts {
-                    match v.as_f64() {
-                        Some(f) => values.push(f),
-                        None if v.is_null() => {}
-                        None => {
-                            return Err(ExecError::TypeError(format!(
-                                "cannot compare float column {} with {v:?}",
-                                pred.column
-                            )))
-                        }
-                    }
-                }
-                if values.is_empty() {
-                    Compiled::AlwaysFalse
-                } else {
-                    Compiled::FloatIn {
-                        col: xs,
-                        nulls,
-                        values,
-                    }
-                }
-            }
-            ColumnData::Str { codes, dict } => {
-                let mut resolved = Vec::with_capacity(consts.len());
-                for v in consts {
-                    match v {
-                        Value::Str(s) => {
-                            if let Some(c) = dict.code_of(s) {
-                                resolved.push(c);
-                            }
-                        }
-                        Value::Null => {}
-                        other => {
-                            return Err(ExecError::TypeError(format!(
-                                "cannot compare string column {} with {other:?}",
-                                pred.column
-                            )))
-                        }
-                    }
-                }
-                if resolved.is_empty() {
-                    Compiled::AlwaysFalse
-                } else {
-                    Compiled::CodeIn {
-                        col: codes,
-                        nulls,
-                        codes: resolved,
-                    }
-                }
-            }
-        };
-        out.push(compiled);
-    }
-    Ok(out)
-}
-
-/// One aggregate accumulator.
-#[derive(Debug, Clone, Copy)]
-struct Acc {
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Acc {
-    fn new() -> Acc {
-        Acc {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
-
-    #[inline]
-    fn feed(&mut self, v: f64) {
-        self.count += 1;
-        self.sum += v;
-        if v < self.min {
-            self.min = v;
-        }
-        if v > self.max {
-            self.max = v;
-        }
-    }
-
-    fn finish(&self, func: AggFunc) -> Value {
-        match func {
-            AggFunc::Count => Value::Int(self.count as i64),
-            AggFunc::Sum if self.count > 0 => Value::Float(self.sum),
-            AggFunc::Avg if self.count > 0 => Value::Float(self.sum / self.count as f64),
-            AggFunc::Min if self.count > 0 => Value::Float(self.min),
-            AggFunc::Max if self.count > 0 => Value::Float(self.max),
-            _ => Value::Null,
-        }
-    }
-}
-
-/// Numeric input of one aggregate (or row-count for `count(*)`).
-enum AggInput<'a> {
-    Star,
-    Int {
-        col: &'a [i64],
-        nulls: Option<&'a [bool]>,
-    },
-    Float {
-        col: &'a [f64],
-        nulls: Option<&'a [bool]>,
-    },
-}
-
-impl AggInput<'_> {
-    #[inline]
-    fn value(&self, row: usize) -> Option<f64> {
-        match self {
-            AggInput::Star => Some(1.0),
-            AggInput::Int { col, nulls } => (!is_null(nulls, row)).then(|| col[row] as f64),
-            AggInput::Float { col, nulls } => (!is_null(nulls, row)).then(|| col[row]),
-        }
-    }
-}
-
-fn agg_inputs<'a>(table: &'a Table, query: &Query) -> Result<Vec<AggInput<'a>>, ExecError> {
-    query
-        .aggregates
-        .iter()
-        .map(|agg| match &agg.column {
-            None => Ok(AggInput::Star),
-            Some(name) => {
-                let idx = table
-                    .schema()
-                    .index_of(name)
-                    .ok_or_else(|| ExecError::UnknownColumn(name.clone()))?;
-                let col = table.column(idx);
-                let nulls = null_mask(col);
-                match col.data() {
-                    ColumnData::Int(xs) => Ok(AggInput::Int { col: xs, nulls }),
-                    ColumnData::Float(xs) => Ok(AggInput::Float { col: xs, nulls }),
-                    ColumnData::Str { .. } if agg.func == AggFunc::Count => {
-                        // count(col) over strings counts non-NULLs; model as Star
-                        // (string columns have no NULLs after filtering here).
-                        Ok(AggInput::Star)
-                    }
-                    ColumnData::Str { .. } => Err(ExecError::TypeError(format!(
-                        "{}({name}) over a string column",
-                        agg.func
-                    ))),
-                }
-            }
-        })
-        .collect()
-}
-
-/// Grouping key part per row (str code or int value; floats disallowed).
-enum GroupInput<'a> {
-    Int(&'a [i64]),
-    Code {
-        codes: &'a [u32],
-        dict: &'a crate::column::Dictionary,
-    },
-}
-
 /// Execute `query` against `table`. `selection` optionally restricts the
 /// scan to the given row ids (used for sampling).
 pub fn execute_with_selection(
@@ -513,41 +242,71 @@ pub fn execute_with_selection(
 /// the memory budget, aborting with [`ExecError::ResourceExhausted`] when
 /// a cap is hit. With default `opts` this is exactly
 /// [`execute_with_selection`].
+///
+/// Runs the morsel-driven batch engine with its default configuration;
+/// use [`crate::batch::execute_batch`] to control morsel size and thread
+/// count explicitly.
 pub fn execute_with_opts(
     table: &Table,
     query: &Query,
     selection: Option<&[u32]>,
     opts: ExecOptions<'_>,
 ) -> Result<ResultSet, ExecError> {
-    if !query.table.eq_ignore_ascii_case(table.name()) {
-        return Err(ExecError::UnknownTable(query.table.clone()));
+    crate::batch::execute_batch(table, query, selection, opts, &BatchConfig::default())
+}
+
+/// Row-at-a-time reference executor, retained as the differential oracle
+/// for the batch engine (`tests/batch_vs_row.rs`) and as the readable
+/// specification of execution semantics: same compiled plan, same
+/// materialization, same typed errors and metrics contracts as
+/// [`execute_with_opts`] — only the scan loop differs.
+pub fn execute_reference(
+    table: &Table,
+    query: &Query,
+    selection: Option<&[u32]>,
+    opts: ExecOptions<'_>,
+) -> Result<ResultSet, ExecError> {
+    let cq = CompiledQuery::compile(table, query)?;
+    let mut scanned = 0usize;
+    let mut matched = 0usize;
+    let result = reference_scan(
+        table,
+        query,
+        &cq,
+        selection,
+        &opts,
+        &mut scanned,
+        &mut matched,
+    );
+    // Rows scanned/matched are accumulated incrementally, so the abort
+    // path reports the work actually done instead of losing it.
+    if let Some(p) = opts.progress {
+        p.add(scanned as u64, matched as u64);
     }
-    if query.aggregates.is_empty() {
-        return Err(ExecError::TypeError(
-            "query needs at least one aggregate".into(),
-        ));
-    }
-    let preds = compile(table, query)?;
-    let inputs = agg_inputs(table, query)?;
-    // Group-by inputs.
-    let mut group_inputs: Vec<GroupInput> = Vec::with_capacity(query.group_by.len());
-    for g in &query.group_by {
-        let idx = table
-            .schema()
-            .index_of(g)
-            .ok_or_else(|| ExecError::UnknownColumn(g.clone()))?;
-        match table.column(idx).data() {
-            ColumnData::Int(xs) => group_inputs.push(GroupInput::Int(xs)),
-            ColumnData::Str { codes, dict } => group_inputs.push(GroupInput::Code { codes, dict }),
-            ColumnData::Float(_) => {
-                return Err(ExecError::TypeError(format!(
-                    "cannot group by float column {g}"
-                )))
-            }
+    match result {
+        Ok(rs) => {
+            record_query_metrics(&rs.stats);
+            Ok(rs)
+        }
+        Err(e) => {
+            record_partial_metrics(&ExecStats {
+                rows_scanned: scanned,
+                rows_matched: matched,
+            });
+            Err(e)
         }
     }
+}
 
-    let mut stats = ExecStats::default();
+fn reference_scan(
+    table: &Table,
+    query: &Query,
+    cq: &CompiledQuery<'_>,
+    selection: Option<&[u32]>,
+    opts: &ExecOptions<'_>,
+    scanned: &mut usize,
+    matched: &mut usize,
+) -> Result<ResultSet, ExecError> {
     let n = table.num_rows();
     let cancel = opts.cancel;
     // The per-row callback can fail (memory cap); the scan itself checks
@@ -560,33 +319,31 @@ pub fn execute_with_opts(
                     if i % CANCEL_STRIDE == 0 {
                         check_cancel(cancel)?;
                     }
+                    *scanned += 1;
                     f(r as usize)?;
                 }
-                stats.rows_scanned = rows.len();
             }
             None => {
                 for r in 0..n {
                     if r % CANCEL_STRIDE == 0 {
                         check_cancel(cancel)?;
                     }
+                    *scanned += 1;
                     f(r)?;
                 }
-                stats.rows_scanned = n;
             }
         }
         Ok(())
     };
 
-    let agg_names: Vec<String> = query.aggregates.iter().map(|a| a.to_string()).collect();
     let mut mem = MemCharge::new(opts.mem);
 
-    if group_inputs.is_empty() {
-        let mut accs = vec![Acc::new(); inputs.len()];
-        let mut matched = 0usize;
+    if cq.group_inputs.is_empty() {
+        let mut accs = vec![Acc::new(); cq.inputs.len()];
         scan(&mut |row| {
-            if preds.iter().all(|p| p.matches(row)) {
-                matched += 1;
-                for (acc, input) in accs.iter_mut().zip(&inputs) {
+            if cq.preds.iter().all(|p| p.matches(row)) {
+                *matched += 1;
+                for (acc, input) in accs.iter_mut().zip(&cq.inputs) {
                     if let Some(v) = input.value(row) {
                         acc.feed(v);
                     }
@@ -594,19 +351,12 @@ pub fn execute_with_opts(
             }
             Ok(())
         })?;
-        stats.rows_matched = matched;
-        let row: Vec<Value> = accs
-            .iter()
-            .zip(&query.aggregates)
-            .map(|(acc, agg)| acc.finish(agg.func))
-            .collect();
-        let rs = ResultSet {
-            columns: agg_names,
-            rows: vec![row],
-            stats,
+        let stats = ExecStats {
+            rows_scanned: *scanned,
+            rows_matched: *matched,
         };
+        let rs = materialize_flat(cq, query, &accs, stats);
         mem.charge(rs.approx_bytes())?;
-        record_query_metrics(&stats);
         return Ok(rs);
     }
 
@@ -616,18 +366,14 @@ pub fn execute_with_opts(
     // its state against the memory budget *before* it is inserted — the
     // governor caps the aggregation state itself, not just the result.
     let mut groups: FxHashMap<Vec<i64>, Vec<Acc>> = FxHashMap::default();
-    let mut matched = 0usize;
-    let mut key_buf: Vec<i64> = Vec::with_capacity(group_inputs.len());
-    let n_accs = inputs.len();
+    let mut key_buf: Vec<i64> = Vec::with_capacity(cq.group_inputs.len());
+    let n_accs = cq.inputs.len();
     scan(&mut |row| {
-        if preds.iter().all(|p| p.matches(row)) {
-            matched += 1;
+        if cq.preds.iter().all(|p| p.matches(row)) {
+            *matched += 1;
             key_buf.clear();
-            key_buf.extend(group_inputs.iter().map(|g| match g {
-                GroupInput::Int(xs) => xs[row],
-                GroupInput::Code { codes, .. } => codes[row] as i64,
-            }));
-            let accs = match groups.get_mut(&key_buf) {
+            key_buf.extend(cq.group_inputs.iter().map(|g| g.key(row)));
+            let accs = match groups.get_mut(key_buf.as_slice()) {
                 Some(accs) => accs,
                 None => {
                     mem.charge(group_state_bytes(key_buf.len(), n_accs))?;
@@ -636,7 +382,7 @@ pub fn execute_with_opts(
                         .or_insert_with(|| vec![Acc::new(); n_accs])
                 }
             };
-            for (acc, input) in accs.iter_mut().zip(&inputs) {
+            for (acc, input) in accs.iter_mut().zip(&cq.inputs) {
                 if let Some(v) = input.value(row) {
                     acc.feed(v);
                 }
@@ -644,42 +390,35 @@ pub fn execute_with_opts(
         }
         Ok(())
     })?;
-    stats.rows_matched = matched;
-    let mut keys: Vec<&Vec<i64>> = groups.keys().collect();
-    keys.sort_unstable();
-    let mut rows = Vec::with_capacity(keys.len());
-    for key in keys {
-        let accs = &groups[key];
-        let mut row: Vec<Value> = Vec::with_capacity(key.len() + accs.len());
-        for (part, g) in key.iter().zip(&group_inputs) {
-            row.push(match g {
-                GroupInput::Int(_) => Value::Int(*part),
-                GroupInput::Code { dict, .. } => Value::Str(dict.resolve(*part as u32).to_owned()),
-            });
-        }
-        for (acc, agg) in accs.iter().zip(&query.aggregates) {
-            row.push(acc.finish(agg.func));
-        }
-        rows.push(row);
-    }
-    let mut columns = query.group_by.clone();
-    columns.extend(agg_names);
-    let rs = ResultSet {
-        columns,
-        rows,
-        stats,
+    let stats = ExecStats {
+        rows_scanned: *scanned,
+        rows_matched: *matched,
     };
+    let rs = materialize_grouped(cq, query, groups, stats);
     mem.charge(rs.approx_bytes())?;
-    record_query_metrics(&stats);
     Ok(rs)
 }
 
 /// Record per-execution counters. Called on *every* successful execution
 /// — grouped or not — so `dbms.queries` counts underlying executions
 /// exactly (the single-flight tests rely on this).
-fn record_query_metrics(stats: &ExecStats) {
+pub(crate) fn record_query_metrics(stats: &ExecStats) {
     let obs = muve_obs::metrics();
     obs.counter("dbms.queries").incr();
+    obs.counter("dbms.rows_scanned")
+        .add(stats.rows_scanned as u64);
+    obs.counter("dbms.rows_matched")
+        .add(stats.rows_matched as u64);
+}
+
+/// Record abort-path counters: the scan died (cancelled or out of memory)
+/// but the rows it *did* visit still count toward `dbms.rows_scanned` /
+/// `dbms.rows_matched`, and `dbms.partial_scans` counts the aborted
+/// execution itself. `dbms.queries` stays untouched — it counts only
+/// completed executions.
+pub(crate) fn record_partial_metrics(stats: &ExecStats) {
+    let obs = muve_obs::metrics();
+    obs.counter("dbms.partial_scans").incr();
     obs.counter("dbms.rows_scanned")
         .add(stats.rows_scanned as u64);
     obs.counter("dbms.rows_matched")
@@ -694,7 +433,7 @@ pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{Aggregate, Predicate};
+    use crate::ast::{AggFunc, Aggregate, Predicate, Query};
     use crate::parser::parse;
     use crate::schema::Schema;
     use crate::value::ColumnType;
@@ -847,6 +586,27 @@ mod tests {
     }
 
     #[test]
+    fn fractional_float_on_int_column_matches_nothing() {
+        // Per SQL semantics `delay = 19.5` is false for every integer
+        // delay — not a type error (regression: this used to fail the
+        // whole query). Whole-valued floats still match.
+        let r = run("select count(*) from flights where delay = 19.5");
+        assert_eq!(r.scalar(), Some(0.0));
+        let r = run("select count(*) from flights where delay in (10.5, 20.0)");
+        assert_eq!(r.scalar(), Some(1.0));
+        let r = run("select sum(delay) from flights where delay = 0.25");
+        assert_eq!(r.scalar(), None);
+        // Genuine type mismatches stay hard errors.
+        assert!(matches!(
+            execute(
+                &flights(),
+                &parse("select count(*) from flights where delay = 'x'").unwrap()
+            ),
+            Err(ExecError::TypeError(_))
+        ));
+    }
+
+    #[test]
     fn float_eq_predicate() {
         let r = run("select count(*) from flights where dist = 200.0");
         assert_eq!(r.scalar(), Some(1.0));
@@ -906,6 +666,20 @@ mod robustness_tests {
     }
 
     #[test]
+    fn reference_path_matches_batch_engine() {
+        let t = big(10_000);
+        for sql in [
+            "select sum(v), count(*) from t where v < 50 group by v",
+            "select avg(v), min(k), max(k) from t",
+        ] {
+            let q = parse(sql).unwrap();
+            let a = execute_with_opts(&t, &q, None, ExecOptions::default()).unwrap();
+            let b = execute_reference(&t, &q, None, ExecOptions::default()).unwrap();
+            assert_eq!(a, b, "{sql}");
+        }
+    }
+
+    #[test]
     fn cancelled_token_aborts_scan() {
         let t = big(200_000);
         let q = parse("select count(*) from t group by k").unwrap();
@@ -913,7 +687,7 @@ mod robustness_tests {
         token.cancel();
         let opts = ExecOptions {
             cancel: Some(&token),
-            mem: None,
+            ..ExecOptions::default()
         };
         assert_eq!(
             execute_with_opts(&t, &q, None, opts),
@@ -938,11 +712,38 @@ mod robustness_tests {
         token.cancel();
         let opts = ExecOptions {
             cancel: Some(&token),
-            mem: None,
+            ..ExecOptions::default()
         };
         let _ = execute_with_opts(&t, &q, None, opts);
         assert_eq!(queries.get(), q0, "cancelled run must not count");
         assert_eq!(cancelled.get() - c0, 1);
+    }
+
+    #[test]
+    fn cancelled_run_still_counts_partial_scan_work() {
+        // The abort path must report the rows it actually visited (the
+        // bug: pre-batch-engine, stats were only written after a complete
+        // scan, so aborted work vanished from the counters).
+        let t = big(50_000);
+        let q = parse("select count(*) from t").unwrap();
+        let partial = muve_obs::metrics().counter("dbms.partial_scans");
+        let p0 = partial.get();
+        let token = CancelToken::never();
+        token.cancel();
+        let progress = ScanProgress::new();
+        let opts = ExecOptions {
+            cancel: Some(&token),
+            mem: None,
+            progress: Some(&progress),
+        };
+        assert_eq!(
+            execute_with_opts(&t, &q, None, opts),
+            Err(ExecError::Cancelled)
+        );
+        assert_eq!(partial.get() - p0, 1, "aborted execution counted");
+        // Pre-cancelled token: zero rows is correct — the point is that
+        // the counters are written at all on the error path.
+        assert_eq!(progress.rows_scanned(), 0);
     }
 
     #[test]
@@ -953,8 +754,8 @@ mod robustness_tests {
         let q = parse("select count(*) from t group by k").unwrap();
         let mem = MemBudget::new(10_000, None);
         let opts = ExecOptions {
-            cancel: None,
             mem: Some(&mem),
+            ..ExecOptions::default()
         };
         match execute_with_opts(&t, &q, None, opts) {
             Err(ExecError::ResourceExhausted { global: false, .. }) => {}
@@ -970,8 +771,8 @@ mod robustness_tests {
         let t = big(20_000);
         let q = parse("select count(*) from t group by k").unwrap();
         let opts = ExecOptions {
-            cancel: None,
             mem: Some(&mem),
+            ..ExecOptions::default()
         };
         let rs = execute_with_opts(&t, &q, None, opts).unwrap();
         assert_eq!(rs.rows.len(), 20_000);
@@ -988,8 +789,8 @@ mod robustness_tests {
         let q = parse("select count(*) from t group by v").unwrap();
         let mem = MemBudget::new(64 * 1024, None);
         let opts = ExecOptions {
-            cancel: None,
             mem: Some(&mem),
+            ..ExecOptions::default()
         };
         let rs = execute_with_opts(&t, &q, None, opts).unwrap();
         assert_eq!(rs.rows.len(), 100);

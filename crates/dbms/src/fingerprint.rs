@@ -15,8 +15,9 @@
 //!   and, crucially, `'jfk'` is *not* equivalent to `'JFK'` when only
 //!   `'JFK'` is interned, because dictionary lookups are exact-case;
 //! - on an int column, `5` and `5.0` are the same constant (the executor
-//!   accepts whole floats); float constants unify through their bit
-//!   pattern with `-0.0` normalized to `0.0`;
+//!   accepts whole floats) while a fractional float like `1.5` matches
+//!   nothing and collapses to always-false; float constants unify through
+//!   their bit pattern with `-0.0` normalized to `0.0`;
 //! - a conjunct that can never match (empty resolved set) makes the whole
 //!   conjunction always-false, so every such query collapses to one
 //!   canonical form;
@@ -71,6 +72,10 @@ fn member(v: &Value, data: Option<&ColumnData>) -> Option<String> {
         Some(ColumnData::Int(_)) => match v {
             Value::Int(i) => Some(format!("i{i}")),
             Value::Float(f) if f.fract() == 0.0 => Some(format!("i{}", *f as i64)),
+            // A fractional float can never equal an int value: it
+            // contributes nothing, matching the executor's always-false
+            // collapse for `intcol = 1.5`.
+            Value::Float(_) => None,
             other => Some(format!("raw:{other:?}")),
         },
         Some(ColumnData::Float(_)) => match v.as_f64() {
@@ -262,6 +267,41 @@ mod tests {
         assert_eq!(
             query_fingerprint(&a, Some(&t)),
             query_fingerprint(&b, Some(&t))
+        );
+    }
+
+    #[test]
+    fn fractional_float_on_int_column_collapses_to_false() {
+        let t = table();
+        // `delay = 1.5` and `delay = 2.5` both match nothing: same
+        // canonical always-false form — and the same form as a string
+        // literal absent from a dictionary.
+        let a = base().with_eq("delay", 1.5f64);
+        let b = base().with_eq("delay", 2.5f64);
+        let absent = base().with_eq("origin", "XXX");
+        assert_eq!(
+            query_fingerprint(&a, Some(&t)),
+            query_fingerprint(&b, Some(&t))
+        );
+        assert_eq!(
+            query_fingerprint(&a, Some(&t)),
+            query_fingerprint(&absent, Some(&t))
+        );
+        // A satisfiable query must not collide with the false class, and
+        // mixing a fractional member into an IN list just drops it.
+        let whole = base().with_eq("delay", 10.0f64);
+        assert_ne!(
+            query_fingerprint(&a, Some(&t)),
+            query_fingerprint(&whole, Some(&t))
+        );
+        let mut mixed = base();
+        mixed.predicates.push(Predicate::is_in(
+            "delay",
+            vec![Value::Float(10.5), Value::Int(10)],
+        ));
+        assert_eq!(
+            query_fingerprint(&mixed, Some(&t)),
+            query_fingerprint(&base().with_eq("delay", 10i64), Some(&t))
         );
     }
 

@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod batch;
 pub mod column;
 pub mod cost;
 pub mod csv;
 pub mod exec;
 pub mod fingerprint;
 pub mod merge;
+pub mod morsel;
 pub mod parser;
 pub mod result_cache;
 pub mod sample;
@@ -40,21 +42,26 @@ pub mod table;
 pub mod value;
 
 pub use ast::{AggFunc, Aggregate, CmpOp, PredOp, Predicate, Query};
+pub use batch::{
+    execute_batch, execute_with_source, BatchConfig, FullScan, RowBatches, Rows, Selection,
+    CHUNK_ROWS,
+};
 pub use column::{Column, ColumnData, Dictionary};
-pub use cost::{estimate, explain, CostEstimate, CostParams};
+pub use cost::{estimate, estimate_batch, explain, CostEstimate, CostParams};
 pub use csv::{
     table_from_csv_path, table_from_csv_path_with_limits, table_from_csv_str,
     table_from_csv_str_with_limits, CsvError, CsvLimits,
 };
 pub use exec::{
-    execute, execute_with_opts, execute_with_selection, ExecError, ExecOptions, ExecStats,
-    ResultSet, CANCEL_STRIDE,
+    execute, execute_reference, execute_with_opts, execute_with_selection, ExecError, ExecOptions,
+    ExecStats, ResultSet, ScanProgress, CANCEL_STRIDE,
 };
 pub use fingerprint::{canon_ident, query_fingerprint};
 pub use merge::{
     execute_merged, execute_merged_with_opts, extract_merged, merge_is_beneficial, plan_merged,
     MergeGroup, MergeMember, MergedResults,
 };
+pub use morsel::{morsels, Morsel, MORSEL_ROWS};
 pub use parser::{parse, ParseError};
 pub use result_cache::{fidelity_key, ResultCache, ResultKey, FIDELITY_EXACT};
 pub use sample::{

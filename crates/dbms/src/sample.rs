@@ -32,14 +32,24 @@ pub fn systematic_rows(n_rows: usize, fraction: f64, seed: u64) -> Vec<u32> {
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let stride = n_rows as f64 / k as f64;
-    let mut out = Vec::with_capacity(k);
+    let mut out: Vec<u32> = Vec::with_capacity(k);
     for i in 0..k {
         let lo = (i as f64) * stride;
         let hi = ((i + 1) as f64) * stride;
-        let pick = (lo + rng.gen::<f64>() * (hi - lo)) as usize;
-        out.push(pick.min(n_rows - 1) as u32);
+        let mut pick = (lo + rng.gen::<f64>() * (hi - lo)) as usize;
+        // Float rounding can push a pick onto its neighbour stratum's row.
+        // Clamping (the old behaviour) emitted *duplicate* ids there, which
+        // the sample executor double-counted, biasing scaled COUNT/SUM
+        // estimates upward. Keep ids strictly increasing instead; a pick
+        // past the last row means the tail strata were exhausted.
+        if let Some(&prev) = out.last() {
+            pick = pick.max(prev as usize + 1);
+        }
+        if pick >= n_rows {
+            break;
+        }
+        out.push(pick as u32);
     }
-    out.dedup();
     out
 }
 

@@ -143,6 +143,32 @@ proptest! {
         }
     }
 
+    /// Systematic sampling must never emit a duplicate row id: the sample
+    /// executor counts every listed row, so a duplicate double-counts it
+    /// and biases scaled COUNT/SUM estimates upward (the old stratum-edge
+    /// clamp did exactly that).
+    #[test]
+    fn systematic_rows_sorted_and_duplicate_free(
+        n_rows in 0usize..50_000,
+        fraction in 0.0f64..1.2,
+        seed in any::<u64>(),
+    ) {
+        let rows = muve_dbms::systematic_rows(n_rows, fraction, seed);
+        prop_assert!(rows.len() <= n_rows);
+        for w in rows.windows(2) {
+            prop_assert!(w[0] < w[1], "duplicate or unsorted ids: {} then {}", w[0], w[1]);
+        }
+        if let Some(&last) = rows.last() {
+            prop_assert!((last as usize) < n_rows);
+        }
+        // Sample size stays close to target: strictly-increasing repair
+        // must not silently shrink the sample.
+        let k = ((n_rows as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        if k > 0 && k < n_rows {
+            prop_assert!(rows.len() + 2 >= k, "{} of {} requested", rows.len(), k);
+        }
+    }
+
     #[test]
     fn cost_estimates_monotone_in_selectivity(rt in random_table()) {
         let table = rt.build();

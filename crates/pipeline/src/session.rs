@@ -1056,6 +1056,7 @@ impl<'a> Session<'a> {
         let opts = ExecOptions {
             cancel: Some(cancel),
             mem,
+            ..ExecOptions::default()
         };
         let mut attempts = 0usize;
         let mut rows_scanned = 0usize;
@@ -1091,7 +1092,11 @@ impl<'a> Session<'a> {
             // without the token — it exists precisely because the token
             // has already fired.
             let attempt_opts = if rescued {
-                ExecOptions { cancel: None, mem }
+                ExecOptions {
+                    cancel: None,
+                    mem,
+                    ..ExecOptions::default()
+                }
             } else {
                 opts
             };

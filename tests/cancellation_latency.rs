@@ -13,6 +13,7 @@
 use muve::data::Dataset;
 use muve::dbms::{
     execute_merged_with_opts, execute_with_opts, parse, plan_merged, ExecError, ExecOptions,
+    ScanProgress,
 };
 use muve::obs::CancelToken;
 use muve::pipeline::{Session, SessionConfig};
@@ -114,6 +115,50 @@ fn merged_scan_aborts_within_overshoot_of_cancellation() {
             elapsed <= CANCEL_AFTER + OVERSHOOT,
             "cancelled merged scan overshot: {elapsed:?}"
         ),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+/// Aborting a scan must not lose the work it already did: a mid-flight
+/// cancel still reports the rows scanned so far through the
+/// [`ScanProgress`] out-param (and the `dbms.partial_scans` counter). The
+/// old executor threw this accounting away with the aborted call frame.
+#[test]
+fn cancelled_scan_reports_partial_work() {
+    let table = big_table();
+    let query = parse("select avg(dep_delay) from flights group by dest").unwrap();
+
+    let token = CancelToken::never();
+    let progress = ScanProgress::new();
+    let opts = ExecOptions {
+        cancel: Some(&token),
+        progress: Some(&progress),
+        ..ExecOptions::default()
+    };
+    let partials_before = muve::obs::metrics().counter("dbms.partial_scans").get();
+    let (result, _) =
+        run_with_midflight_cancel(&token, || execute_with_opts(&table, &query, None, opts));
+
+    match result {
+        // Outran the canceller (release build): the full scan is visible.
+        Ok(rs) => assert_eq!(progress.rows_scanned() as usize, rs.stats.rows_scanned),
+        Err(ExecError::Cancelled) => {
+            // CANCEL_AFTER ms of debug-mode scanning covers many chunks:
+            // the abort path must surface that partial work, not zero it.
+            let scanned = progress.rows_scanned();
+            assert!(
+                scanned > 0,
+                "mid-flight cancel lost all partial-scan accounting"
+            );
+            assert!(
+                (scanned as usize) < ROWS,
+                "cancelled scan claims it finished the whole table"
+            );
+            assert!(
+                muve::obs::metrics().counter("dbms.partial_scans").get() > partials_before,
+                "aborted execution did not record a partial scan"
+            );
+        }
         Err(e) => panic!("unexpected error: {e}"),
     }
 }
