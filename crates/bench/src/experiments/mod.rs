@@ -13,6 +13,7 @@
 //! | `cache` | cold vs warm cross-request caching | [`cache`] |
 //! | `serve` | network-stack shed/latency load curves | [`serve`] |
 //! | `scan` | row-at-a-time vs morsel-driven batch scans | [`scan`] |
+//! | `shard` | replicated scatter-gather throughput & chaos | [`shard`] |
 
 pub mod ablation;
 pub mod cache;
@@ -25,6 +26,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod scan;
 pub mod serve;
+pub mod shard;
 pub mod study;
 
 pub use common::ResultTable;
@@ -32,7 +34,7 @@ pub use common::ResultTable;
 /// All experiment ids accepted by the `expt` binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "ablation", "cache", "serve", "scan",
+    "ablation", "cache", "serve", "scan", "shard",
 ];
 
 /// Run one experiment by id (fig3 is produced together with table1, and
@@ -50,6 +52,7 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<ResultTable>> {
         "cache" => Some(cache::run(quick)),
         "serve" => Some(serve::run(quick)),
         "scan" => Some(scan::run(quick)),
+        "shard" => Some(shard::run(quick)),
         _ => None,
     }
 }

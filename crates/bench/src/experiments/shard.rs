@@ -1,0 +1,148 @@
+//! **BENCH_shard**: replicated scatter-gather throughput and chaos.
+//!
+//! Scaling rows run the scan workload through a [`ShardSet`] at 1/2/4/8
+//! shards (R=2) against the unsharded single-table path — shard workers
+//! execute their sub-queries single-threaded, so the shards *are* the
+//! parallelism. The chaos row then kills one replica mid-burst and reports
+//! what the robustness machinery did about it: the burst must lose zero
+//! queries and zero shards (survivor replicas absorb the failed
+//! sub-queries via breaker-driven failover), which is the number the row
+//! exists to witness.
+
+use super::common::{dataset_table, fmt, ResultTable};
+use muve_data::Dataset;
+use muve_dbms::{execute_with_opts, parse, ExecOptions, Query};
+use muve_shard::{ShardExecOptions, ShardSet, ShardSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Scan shapes shared with `BENCH_scan`: a selective filter, a float
+/// aggregate, and dictionary-grouped aggregation.
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "filtered count",
+        "select count(*) from flights where carrier = 'AA'",
+    ),
+    (
+        "filtered avg",
+        "select avg(dep_delay) from flights where carrier = 'AA'",
+    ),
+    (
+        "grouped by carrier",
+        "select sum(arr_delay) from flights group by carrier",
+    ),
+];
+
+/// Best-of-`reps` throughput in rows per second.
+fn throughput(reps: usize, rows: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    rows as f64 / best.max(1e-12)
+}
+
+/// Run the sharded-execution experiment.
+pub fn run(quick: bool) -> Vec<ResultTable> {
+    let rows = if quick { 200_000 } else { 2_000_000 };
+    let reps = if quick { 2 } else { 5 };
+    let table = Arc::new(dataset_table(Dataset::Flights, rows, 0x5CA9));
+
+    let mut out = ResultTable::new(
+        "BENCH_shard",
+        "Replicated scatter-gather: scan throughput at 1/2/4/8 shards \
+         (R=2) vs the single-table path, plus a chaos burst that kills a \
+         replica mid-flight (shape: zero lost queries, zero missing shards)",
+        &["workload", "config", "Mrows/s", "detail"],
+    );
+
+    let queries: Vec<(&str, Query)> = QUERIES
+        .iter()
+        .map(|(label, sql)| (*label, parse(sql).expect("bench query parses")))
+        .collect();
+
+    let sets: Vec<ShardSet> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| ShardSet::build(Arc::clone(&table), ShardSpec::new(n, 2)))
+        .collect();
+
+    for (label, q) in &queries {
+        // Warm-up: first touch of freshly generated columns.
+        execute_with_opts(&table, q, None, ExecOptions::default()).expect("bench query failed");
+        let base = throughput(reps, rows, || {
+            execute_with_opts(&table, q, None, ExecOptions::default()).expect("bench query failed");
+        });
+        out.push(vec![
+            (*label).into(),
+            "unsharded".into(),
+            fmt(base / 1e6),
+            "1.00x".into(),
+        ]);
+        for set in &sets {
+            let tput = throughput(reps, rows, || {
+                let r = set
+                    .execute(q, ShardExecOptions::default())
+                    .expect("bench query failed");
+                assert!(!r.report.is_partial(), "healthy set must not degrade");
+            });
+            out.push(vec![
+                (*label).into(),
+                format!("N={} R=2", set.num_shards()),
+                fmt(tput / 1e6),
+                format!("{}x vs unsharded", fmt(tput / base)),
+            ]);
+        }
+    }
+
+    // Chaos burst: a fresh 4x2 set, one replica killed halfway through.
+    // Count what the gather layer reports; the robustness claim is the
+    // zero in the lost-queries and missing-shards columns.
+    let chaos = ShardSet::build(Arc::clone(&table), ShardSpec::new(4, 2));
+    let burst = if quick { 24 } else { 60 };
+    let mut lost = 0usize;
+    let start = Instant::now();
+    for i in 0..burst {
+        if i == burst / 2 {
+            chaos.kill_replica(0, 0);
+        }
+        let (_, q) = &queries[i % queries.len()];
+        match chaos.execute(q, ShardExecOptions::default()) {
+            Ok(r) if !r.report.is_partial() => {}
+            _ => lost += 1,
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-12);
+    let snap = chaos.stats().snapshot();
+    out.push(vec![
+        "chaos burst (kill s0r0 mid-burst)".into(),
+        "N=4 R=2".into(),
+        fmt((rows * burst) as f64 / elapsed / 1e6),
+        format!(
+            "{lost} lost, {} missing shards, {} failovers, {} trips",
+            snap.shards_missing, snap.failovers, snap.replica_trips
+        ),
+    ]);
+    vec![out]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_burst_loses_nothing() {
+        let tables = run(true);
+        let t = &tables[0];
+        assert_eq!(t.id, "BENCH_shard");
+        // Per query: unsharded + four shard counts; plus the chaos row.
+        assert_eq!(t.rows.len(), QUERIES.len() * 5 + 1);
+        let chaos = t.rows.last().unwrap();
+        assert!(chaos[0].starts_with("chaos burst"), "{chaos:?}");
+        assert!(
+            chaos[3].starts_with("0 lost, 0 missing"),
+            "chaos burst must lose nothing: {chaos:?}"
+        );
+    }
+}

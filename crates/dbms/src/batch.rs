@@ -1156,36 +1156,48 @@ pub fn execute_batch(
     }
 }
 
-fn run_batch<S: RowBatches>(
-    query: &Query,
+/// Morsel-combined aggregate state of one scan, before materialization.
+/// The owned, shippable form of a sub-execution's answer: what one shard
+/// returns from a scatter, and what [`combine_partials`] folds back into a
+/// [`ResultSet`].
+#[derive(Debug)]
+enum PartialState {
+    /// Ungrouped: one accumulator per aggregate.
+    Flat(Vec<Acc>),
+    /// Grouped: accumulators keyed by the composite group key (string
+    /// group parts as dictionary codes of the *compiling* table, so
+    /// partials from projections of one parent share a key space).
+    Grouped(FxHashMap<Vec<i64>, Vec<Acc>>),
+}
+
+/// Scan `source` and combine the per-morsel partials — in morsel order —
+/// into one [`PartialState`]. The first half of an execution; callers
+/// materialize (or ship the state to a combiner) themselves.
+fn scan_partials<S: RowBatches + ?Sized>(
     cq: &CompiledQuery<'_>,
     source: &S,
-    opts: ExecOptions<'_>,
+    opts: &ExecOptions<'_>,
     cfg: &BatchConfig,
-) -> Result<ResultSet, ExecError> {
+    progress: &Progress<'_>,
+    charge: &SharedCharge<'_>,
+) -> Result<PartialState, ExecError> {
     let ms = morsels(source.len(), cfg.morsel_rows);
     let mode = group_mode(cq);
     let stop = AtomicBool::new(false);
-    let progress = Progress::new(opts.progress);
-    let charge = SharedCharge::new(opts.mem);
     let slots: Vec<Mutex<Option<Partial>>> = ms.iter().map(|_| Mutex::new(None)).collect();
 
-    let scan = scan_parallel(ms.len(), cfg.threads, &stop, |mi| {
-        let p = run_morsel(ms[mi], source, cq, &mode, &opts, &stop, &progress, &charge)?;
+    scan_parallel(ms.len(), cfg.threads, &stop, |mi| {
+        let p = run_morsel(ms[mi], source, cq, &mode, opts, &stop, progress, charge)?;
         *slots[mi].lock().unwrap_or_else(|e| e.into_inner()) = Some(p);
-        Ok(())
-    });
-    if let Err(e) = scan {
-        return Err(surface_error(e, &progress));
-    }
+        Ok::<(), ExecError>(())
+    })?;
 
     let partials: Vec<Partial> = slots
         .into_iter()
         .filter_map(|s| s.into_inner().unwrap_or_else(|e| e.into_inner()))
         .collect();
-    let stats = progress.stats();
     let n_accs = cq.inputs.len();
-    let rs = if cq.group_inputs.is_empty() {
+    if cq.group_inputs.is_empty() {
         let mut accs = vec![Acc::new(); n_accs];
         for p in &partials {
             let Partial::Flat(pa) = p else {
@@ -1195,13 +1207,158 @@ fn run_batch<S: RowBatches>(
                 a.merge(b);
             }
         }
-        materialize_flat(cq, query, &accs, stats)
+        Ok(PartialState::Flat(accs))
     } else {
-        let groups = combine_grouped(n_accs, partials);
-        materialize_grouped(cq, query, groups, stats)
+        Ok(PartialState::Grouped(combine_grouped(n_accs, partials)))
+    }
+}
+
+fn run_batch<S: RowBatches>(
+    query: &Query,
+    cq: &CompiledQuery<'_>,
+    source: &S,
+    opts: ExecOptions<'_>,
+    cfg: &BatchConfig,
+) -> Result<ResultSet, ExecError> {
+    let progress = Progress::new(opts.progress);
+    let charge = SharedCharge::new(opts.mem);
+    let state = match scan_partials(cq, source, &opts, cfg, &progress, &charge) {
+        Ok(s) => s,
+        Err(e) => return Err(surface_error(e, &progress)),
+    };
+    let stats = progress.stats();
+    let rs = match state {
+        PartialState::Flat(accs) => materialize_flat(cq, query, &accs, stats),
+        PartialState::Grouped(groups) => materialize_grouped(cq, query, groups, stats),
     };
     if let Err(e) = charge.charge(rs.approx_bytes()) {
         return Err(surface_error(e, &progress));
+    }
+    record_query_metrics(&rs.stats);
+    Ok(rs)
+}
+
+/// Opaque partial-aggregate state of one sub-execution: everything a
+/// distributed combiner needs, none of the materialization. Produced by
+/// [`execute_partials`] on each shard, folded in shard-index order by
+/// [`combine_partials`]. COUNT/SUM/AVG/MIN/MAX all decompose through it —
+/// AVG ships as an exact `(sum, count)` pair and divides only at
+/// materialization, so a sharded AVG is the *same* division the
+/// single-table path performs.
+#[derive(Debug)]
+pub struct QueryPartials {
+    state: PartialState,
+    stats: ExecStats,
+}
+
+impl QueryPartials {
+    /// Scan statistics of the sub-execution that produced this state.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+}
+
+/// Validate `query` against `table` without executing: compile predicates,
+/// aggregate inputs, and group keys, surfacing exactly the typed errors
+/// execution would. Scatter-gather callers run this once *before* fanning
+/// out, so a deterministic query error (unknown column, type mismatch)
+/// never masquerades as a replica fault.
+pub fn validate_query(table: &Table, query: &Query) -> Result<(), ExecError> {
+    CompiledQuery::compile(table, query).map(|_| ())
+}
+
+/// Execute the scan half of `query` over `table` (optionally restricted to
+/// `selection` row ids) and return the un-materialized partial-aggregate
+/// state. Error surfacing (cancellation / governor counters, partial-work
+/// accounting) matches [`execute_batch`]; success records nothing — the
+/// gather's [`combine_partials`] records the one logical query, keeping
+/// `dbms.queries` 1:1 with the single-table path.
+pub fn execute_partials(
+    table: &Table,
+    query: &Query,
+    selection: Option<&[u32]>,
+    opts: ExecOptions<'_>,
+    cfg: &BatchConfig,
+) -> Result<QueryPartials, ExecError> {
+    let cq = CompiledQuery::compile(table, query)?;
+    let progress = Progress::new(opts.progress);
+    let charge = SharedCharge::new(opts.mem);
+    let run = match selection {
+        Some(ids) => scan_partials(&cq, &Selection(ids), &opts, cfg, &progress, &charge),
+        None => scan_partials(
+            &cq,
+            &FullScan(table.num_rows()),
+            &opts,
+            cfg,
+            &progress,
+            &charge,
+        ),
+    };
+    match run {
+        Ok(state) => Ok(QueryPartials {
+            state,
+            stats: progress.stats(),
+        }),
+        Err(e) => Err(surface_error(e, &progress)),
+    }
+}
+
+/// Fold sub-execution partials — **in the caller's order, which must be
+/// shard-index order for determinism** — into the materialized result the
+/// single-table path would have produced. `table` must be the parent the
+/// shards were projected from ([`Table::project_rows`]): group keys carry
+/// its dictionary codes. Records the query metrics for the one logical
+/// query and charges the materialized result against `opts.mem`.
+pub fn combine_partials(
+    table: &Table,
+    query: &Query,
+    parts: Vec<QueryPartials>,
+    opts: ExecOptions<'_>,
+) -> Result<ResultSet, ExecError> {
+    let cq = CompiledQuery::compile(table, query)?;
+    let n_accs = cq.inputs.len();
+    let mut stats = ExecStats::default();
+    for p in &parts {
+        stats.rows_scanned += p.stats.rows_scanned;
+        stats.rows_matched += p.stats.rows_matched;
+    }
+    let rs = if cq.group_inputs.is_empty() {
+        let mut accs = vec![Acc::new(); n_accs];
+        for p in &parts {
+            let PartialState::Flat(pa) = &p.state else {
+                return Err(ExecError::TypeError(
+                    "grouped partials combined into an ungrouped query".into(),
+                ));
+            };
+            for (a, b) in accs.iter_mut().zip(pa) {
+                a.merge(b);
+            }
+        }
+        materialize_flat(&cq, query, &accs, stats)
+    } else {
+        let mut groups: FxHashMap<Vec<i64>, Vec<Acc>> = FxHashMap::default();
+        for p in parts {
+            let PartialState::Grouped(map) = p.state else {
+                return Err(ExecError::TypeError(
+                    "ungrouped partials combined into a grouped query".into(),
+                ));
+            };
+            for (k, pa) in map {
+                let slot = groups.entry(k).or_insert_with(|| vec![Acc::new(); n_accs]);
+                for (a, b) in slot.iter_mut().zip(&pa) {
+                    a.merge(b);
+                }
+            }
+        }
+        materialize_grouped(&cq, query, groups, stats)
+    };
+    if let Some(m) = opts.mem {
+        let bytes = rs.approx_bytes();
+        m.try_charge(bytes).map_err(|e| {
+            muve_obs::metrics().counter("dbms.mem_aborts").incr();
+            ExecError::from(e)
+        })?;
+        m.release(bytes);
     }
     record_query_metrics(&rs.stats);
     Ok(rs)
@@ -1286,6 +1443,100 @@ mod tests {
         let rs = execute_batch(&t, &q, None, opts, &BatchConfig::default()).unwrap();
         assert_eq!(progress.rows_scanned(), 3_000);
         assert_eq!(progress.rows_matched() as usize, rs.stats.rows_matched);
+    }
+
+    /// Split `0..n` into `shards` hash-partitioned row-id sets (the same
+    /// shape `muve-shard` produces) for partials round-trip tests.
+    fn hash_split(n: usize, shards: usize) -> Vec<Vec<u32>> {
+        use std::hash::{Hash, Hasher};
+        let mut parts = vec![Vec::new(); shards];
+        for i in 0..n {
+            let mut h = rustc_hash::FxHasher::default();
+            (i as u64).hash(&mut h);
+            parts[(h.finish() % shards as u64) as usize].push(i as u32);
+        }
+        parts
+    }
+
+    #[test]
+    fn partials_combine_matches_direct() {
+        let t = table(10_000);
+        let cfg = BatchConfig::default();
+        let queries = [
+            "select count(*), sum(x), min(v), max(x) from t where g = 'g2'",
+            "select avg(x), count(*) from t where v in (3, 4, 5) group by g",
+            "select sum(v) from t group by g, v",
+        ];
+        for sql in queries {
+            let q = parse(sql).unwrap();
+            let direct = execute_batch(&t, &q, None, ExecOptions::default(), &cfg).unwrap();
+            for shards in [1, 2, 3, 5] {
+                let parts: Vec<QueryPartials> = hash_split(t.num_rows(), shards)
+                    .iter()
+                    .map(|rows| {
+                        let shard = t.project_rows(rows);
+                        execute_partials(&shard, &q, None, ExecOptions::default(), &cfg).unwrap()
+                    })
+                    .collect();
+                let combined = combine_partials(&t, &q, parts, ExecOptions::default()).unwrap();
+                assert_eq!(direct, combined, "{sql} shards={shards}");
+            }
+        }
+    }
+
+    /// The AVG decomposition pitfall: averaging per-shard averages is wrong
+    /// under skew and inexact regardless. Partials carry (sum, count) pairs
+    /// and divide once at materialization, so a sharded AVG over a
+    /// NULL-bearing float column is bit-identical to the unsharded one.
+    #[test]
+    fn sharded_avg_bit_identical_with_nulls() {
+        let schema = Schema::new([("g", ColumnType::Str), ("x", ColumnType::Float)]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..5_000i64 {
+            let x = if i % 11 == 0 {
+                Value::Null
+            } else {
+                // Dyadic rationals: exact under any summation order.
+                Value::Float(i as f64 / 8.0)
+            };
+            b.push_row([Value::from(format!("g{}", i % 5)), x]);
+        }
+        let t = b.build();
+        let cfg = BatchConfig::default();
+        for sql in [
+            "select avg(x) from t",
+            "select avg(x), count(*) from t group by g",
+        ] {
+            let q = parse(sql).unwrap();
+            let direct = execute_batch(&t, &q, None, ExecOptions::default(), &cfg).unwrap();
+            for shards in [2, 4, 7] {
+                let parts: Vec<QueryPartials> = hash_split(t.num_rows(), shards)
+                    .iter()
+                    .map(|rows| {
+                        let shard = t.project_rows(rows);
+                        execute_partials(&shard, &q, None, ExecOptions::default(), &cfg).unwrap()
+                    })
+                    .collect();
+                let combined = combine_partials(&t, &q, parts, ExecOptions::default()).unwrap();
+                // PartialEq on Value::Float is bitwise for non-NaN floats:
+                // this asserts bit-identity, not approximate equality.
+                assert_eq!(direct, combined, "{sql} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_query_surfaces_typed_errors() {
+        let t = table(10);
+        assert!(validate_query(&t, &parse("select sum(v) from t").unwrap()).is_ok());
+        assert!(matches!(
+            validate_query(&t, &parse("select sum(nope) from t").unwrap()),
+            Err(ExecError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            validate_query(&t, &parse("select count(*) from elsewhere").unwrap()),
+            Err(ExecError::UnknownTable(_))
+        ));
     }
 
     #[test]

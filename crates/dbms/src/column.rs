@@ -183,6 +183,32 @@ impl Column {
         }
     }
 
+    /// Project the column down to the given rows, in the given order.
+    /// String columns keep the *parent* dictionary — codes are copied
+    /// verbatim — so code-keyed group partials computed on a projection
+    /// combine with, and resolve against, the parent's dictionary exactly.
+    pub(crate) fn project(&self, rows: &[u32]) -> Column {
+        let data = match &self.data {
+            ColumnData::Int(xs) => ColumnData::Int(rows.iter().map(|&r| xs[r as usize]).collect()),
+            ColumnData::Float(xs) => {
+                ColumnData::Float(rows.iter().map(|&r| xs[r as usize]).collect())
+            }
+            ColumnData::Str { codes, dict } => ColumnData::Str {
+                codes: rows.iter().map(|&r| codes[r as usize]).collect(),
+                dict: dict.clone(),
+            },
+        };
+        let nulls = self.nulls.as_ref().and_then(|m| {
+            let mask: Vec<bool> = rows.iter().map(|&r| m[r as usize]).collect();
+            mask.iter().any(|&b| b).then_some(mask)
+        });
+        Column {
+            data,
+            nulls,
+            len: rows.len(),
+        }
+    }
+
     /// Approximate number of distinct values (exact for strings via the
     /// dictionary; sampled estimate for numerics).
     pub fn distinct_estimate(&self) -> usize {

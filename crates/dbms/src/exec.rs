@@ -44,6 +44,11 @@ pub enum ExecError {
         /// Whether the global pool (vs. the per-request cap) rejected it.
         global: bool,
     },
+    /// No execution backend could serve the query — e.g. every replica of
+    /// a shard is down and partial answers are not allowed. Distinct from
+    /// [`ExecError::Cancelled`]: the caller did not give up, the backends
+    /// did.
+    Unavailable(String),
 }
 
 impl fmt::Display for ExecError {
@@ -58,6 +63,7 @@ impl fmt::Display for ExecError {
                 "{} memory cap exhausted ({used} of {cap} bytes)",
                 if *global { "global" } else { "per-request" }
             ),
+            ExecError::Unavailable(m) => write!(f, "execution backend unavailable: {m}"),
         }
     }
 }

@@ -43,8 +43,8 @@ pub mod value;
 
 pub use ast::{AggFunc, Aggregate, CmpOp, PredOp, Predicate, Query};
 pub use batch::{
-    execute_batch, execute_with_source, BatchConfig, FullScan, RowBatches, Rows, Selection,
-    CHUNK_ROWS,
+    combine_partials, execute_batch, execute_partials, execute_with_source, validate_query,
+    BatchConfig, FullScan, QueryPartials, RowBatches, Rows, Selection, CHUNK_ROWS,
 };
 pub use column::{Column, ColumnData, Dictionary};
 pub use cost::{estimate, estimate_batch, explain, CostEstimate, CostParams};

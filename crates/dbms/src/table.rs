@@ -67,6 +67,28 @@ impl Table {
         self.fingerprint
     }
 
+    /// Build a new table holding exactly the given rows, in the given
+    /// order, under the same name and schema — the shard-partitioning
+    /// primitive. String columns keep the parent's dictionary (codes are
+    /// copied verbatim), so grouped partials computed on projections of the
+    /// same parent share a key space and combine exactly. The projection is
+    /// a real table: it stamps its own content fingerprint, so per-shard
+    /// epochs track per-shard content.
+    ///
+    /// # Panics
+    /// Panics if any row id is out of range.
+    pub fn project_rows(&self, rows: &[u32]) -> Table {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.project(rows)).collect();
+        let fingerprint = content_fingerprint(&self.name, &self.schema, rows.len(), &columns);
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            rows: rows.len(),
+            fingerprint,
+        }
+    }
+
     /// Rough in-memory size in bytes, used by the cost model to derive a
     /// page count (Postgres-style).
     pub fn approx_bytes(&self) -> usize {

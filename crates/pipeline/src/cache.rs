@@ -73,6 +73,19 @@ impl SessionCaches {
         self.plans.set_epoch(epoch);
     }
 
+    /// Stamp the caches from a shard set instead of a bare table: the
+    /// epoch becomes the combined shard epoch — a hash over every shard
+    /// table's content fingerprint plus the shard count. Reloading even a
+    /// single shard's data (or changing the partition layout) moves the
+    /// epoch, so no entry computed against the old shards is ever served.
+    pub fn set_shards(&self, shards: &muve_shard::ShardSet) {
+        let epoch = shards.epoch();
+        self.epoch.store(epoch, Ordering::Release);
+        self.candidates.set_epoch(epoch);
+        self.results.set_epoch(epoch);
+        self.plans.set_epoch(epoch);
+    }
+
     /// The current table epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
@@ -168,6 +181,28 @@ mod tests {
         caches.set_table(&b);
         assert_eq!(caches.epoch(), b.fingerprint());
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn set_shards_stamps_combined_shard_epoch() {
+        use muve_shard::{ShardSet, ShardSpec};
+        use std::sync::Arc;
+
+        let caches = SessionCaches::new(1 << 20);
+        let t = Arc::new(table(1));
+        let set = ShardSet::build(Arc::clone(&t), ShardSpec::new(2, 1));
+        caches.set_shards(&set);
+        assert_eq!(caches.epoch(), set.epoch());
+        assert_ne!(
+            caches.epoch(),
+            t.fingerprint(),
+            "shard epoch is layout-aware, not the parent fingerprint"
+        );
+        // A different layout over the same data is a different epoch.
+        let other = ShardSet::build(Arc::clone(&t), ShardSpec::new(3, 1));
+        caches.set_shards(&other);
+        assert_eq!(caches.epoch(), other.epoch());
+        assert_ne!(set.epoch(), other.epoch());
     }
 
     #[test]

@@ -38,6 +38,7 @@ use muve_dbms::{
 };
 use muve_nlq::{translate, CandidateGenerator, CandidateKey, CandidateQuery};
 use muve_obs::{CancelCause, CancelToken, MemBudget, MemPool, SessionTrace, SpanStatus, StageSpan};
+use muve_shard::{ShardExecOptions, ShardSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Once, OnceLock};
@@ -269,6 +270,10 @@ struct ExecAttempt {
     member_errors: Vec<PipelineError>,
     /// Rows scanned across every query this attempt ran.
     rows_scanned: usize,
+    /// Shard sub-results lost to degraded gathers across this attempt's
+    /// queries (always 0 on the single-table path). Any non-zero count
+    /// marks the attempt's values as scaled estimates.
+    partial_shards: usize,
 }
 
 /// How a session holds its table: borrowed for single-threaded callers,
@@ -305,6 +310,11 @@ pub struct Session<'a> {
     cancel: Option<CancelToken>,
     /// Process-wide memory pool charged alongside the per-request cap.
     mem_pool: Option<Arc<MemPool>>,
+    /// Replicated shard backend; when attached, every query this session
+    /// executes goes through scatter-gather instead of the single-table
+    /// path (bit-identical on full gathers, degrading to typed scaled
+    /// estimates when shards are lost).
+    shards: Option<Arc<ShardSet>>,
 }
 
 impl<'a> Session<'a> {
@@ -318,6 +328,7 @@ impl<'a> Session<'a> {
             caches: None,
             cancel: None,
             mem_pool: None,
+            shards: None,
         }
     }
 
@@ -333,6 +344,7 @@ impl<'a> Session<'a> {
             caches: None,
             cancel: None,
             mem_pool: None,
+            shards: None,
         }
     }
 
@@ -364,6 +376,16 @@ impl<'a> Session<'a> {
     /// [`mem_cap_bytes`](SessionConfig::mem_cap_bytes) cap.
     pub fn with_mem_pool(mut self, pool: Arc<MemPool>) -> Session<'a> {
         self.mem_pool = Some(pool);
+        self
+    }
+
+    /// Route execution through a replicated shard set instead of the
+    /// single-table path. The set must have been built over this session's
+    /// table. Full gathers are bit-identical to unsharded execution; lost
+    /// shards degrade the run to coverage-scaled estimates (flagged
+    /// `approximate`, with a degradation event) rather than failing it.
+    pub fn with_shards(mut self, shards: Arc<ShardSet>) -> Session<'a> {
+        self.shards = Some(shards);
         self
     }
 
@@ -1109,6 +1131,7 @@ impl<'a> Session<'a> {
             labels.push(label.clone());
             match attempt {
                 Ok(a) => {
+                    let partial_shards = a.partial_shards;
                     let produced = a.values.iter().any(|(_, v)| v.is_some());
                     let was_cancelled = a
                         .member_errors
@@ -1134,7 +1157,7 @@ impl<'a> Session<'a> {
                         for (idx, v) in a.values {
                             results[idx] = v;
                         }
-                        approximate = fraction.is_some() && produced_now;
+                        approximate = (fraction.is_some() || partial_shards > 0) && produced_now;
                         any_success = any_success || produced_now;
                         if any_success || rescued || cancel.cause() != Some(CancelCause::Deadline) {
                             break;
@@ -1192,6 +1215,21 @@ impl<'a> Session<'a> {
                         rung,
                         detail: format!("executed ({label})"),
                     });
+                    if partial_shards > 0 {
+                        // Lost shards: the values on screen are coverage-
+                        // scaled estimates even on the "exact" fidelity.
+                        approximate = true;
+                        events.push(DegradationEvent {
+                            at: budget.elapsed(),
+                            stage: Stage::Execute,
+                            rung,
+                            detail: format!(
+                                "partial shard gather ({partial_shards} sub-result{} missing); \
+                                 values are scaled estimates",
+                                if partial_shards == 1 { "" } else { "s" }
+                            ),
+                        });
+                    }
                     if fraction.is_none() {
                         break;
                     }
@@ -1240,6 +1278,73 @@ impl<'a> Session<'a> {
         approximate
     }
 
+    /// Execute one query exactly through whichever backend is attached:
+    /// the shard set (scatter-gather with failover/hedging, degrading to
+    /// a coverage-scaled estimate on lost shards) or the single table.
+    /// Returns the result plus the number of shards missing from it (0 on
+    /// the single-table path and on full gathers).
+    fn run_exact(
+        &self,
+        query: &Query,
+        opts: ExecOptions<'_>,
+        budget: Option<Duration>,
+    ) -> Result<(ResultSet, usize), ExecError> {
+        match &self.shards {
+            Some(set) => {
+                let sr = set.execute(
+                    query,
+                    ShardExecOptions {
+                        cancel: opts.cancel,
+                        mem: opts.mem,
+                        budget,
+                        allow_partial: true,
+                    },
+                )?;
+                let missing = sr.report.missing();
+                Ok((sr.result, missing))
+            }
+            None => execute_with_opts(self.table.get(), query, None, opts).map(|rs| (rs, 0)),
+        }
+    }
+
+    /// Sampled sibling of [`run_exact`](Self::run_exact): the same
+    /// systematic sample either way (identical row ids, identical realized
+    /// fraction, identical scaling), routed per shard when a set is
+    /// attached.
+    fn run_sampled(
+        &self,
+        query: &Query,
+        fraction: f64,
+        opts: ExecOptions<'_>,
+        budget: Option<Duration>,
+    ) -> Result<(ResultSet, usize), ExecError> {
+        match &self.shards {
+            Some(set) => {
+                let (sr, _realized) = set.execute_sampled(
+                    query,
+                    fraction,
+                    self.config.seed,
+                    ShardExecOptions {
+                        cancel: opts.cancel,
+                        mem: opts.mem,
+                        budget,
+                        allow_partial: true,
+                    },
+                )?;
+                let missing = sr.report.missing();
+                Ok((sr.result, missing))
+            }
+            None => execute_approximate_with_opts(
+                self.table.get(),
+                query,
+                fraction,
+                self.config.seed,
+                opts,
+            )
+            .map(|(rs, _realized)| (rs, 0)),
+        }
+    }
+
     /// One execution attempt at a fixed fidelity: per merge group, the
     /// result cache and single-flight table first (when caches are
     /// attached), then merged execution with per-group fallback to
@@ -1257,6 +1362,7 @@ impl<'a> Session<'a> {
             values: Vec::new(),
             member_errors: Vec::new(),
             rows_scanned: 0,
+            partial_shards: 0,
         };
         for g in plan_merged(&queries) {
             if !self.execute_group_cached(&g, &queries, shown, fraction, budget, opts, &mut out) {
@@ -1317,29 +1423,38 @@ impl<'a> Session<'a> {
         {
             Join::Leader(lead) => {
                 let t0 = budget.elapsed();
-                let run: Result<ResultSet, (ExecError, &str)> = match fraction {
-                    None => {
-                        execute_with_opts(table, &g.merged, None, opts).map_err(|e| (e, "merged"))
-                    }
-                    Some(f) => {
-                        execute_approximate_with_opts(table, &g.merged, f, self.config.seed, opts)
-                            .map(|(rs, _realized)| rs)
-                            .map_err(|e| (e, "sample"))
-                    }
+                let run: Result<(ResultSet, usize), (ExecError, &str)> = match fraction {
+                    None => self
+                        .run_exact(&g.merged, opts, Some(budget.remaining()))
+                        .map_err(|e| (e, "merged")),
+                    Some(f) => self
+                        .run_sampled(&g.merged, f, opts, Some(budget.remaining()))
+                        .map_err(|e| (e, "sample")),
                 };
                 match run {
-                    Ok(rs) => {
+                    Ok((rs, missing)) => {
                         let rs = Arc::new(rs);
                         let cost = budget.elapsed().saturating_sub(t0).as_micros() as u64;
-                        // Insert before publishing the flight, so a request
-                        // arriving after the flight resolves finds the
-                        // entry in the cache.
-                        caches.results().insert(key, Arc::clone(&rs), cost);
+                        if missing == 0 {
+                            // Insert before publishing the flight, so a
+                            // request arriving after the flight resolves
+                            // finds the entry in the cache.
+                            caches.results().insert(key, Arc::clone(&rs), cost);
+                        }
                         out.rows_scanned += rs.stats.rows_scanned;
+                        out.partial_shards += missing;
                         for (local, v) in extract_merged(&rs, g) {
                             out.values.push((shown[local], v));
                         }
-                        lead.finish(Some(rs));
+                        if missing == 0 {
+                            lead.finish(Some(rs));
+                        } else {
+                            // A degraded gather is this request's answer,
+                            // not everyone's: never cache it, and publish
+                            // the flight as failed so waiters execute for
+                            // themselves (their own gather may be whole).
+                            drop(lead);
+                        }
                     }
                     Err((e, context)) => {
                         // Dropping the leader publishes the failure so
@@ -1391,11 +1506,23 @@ impl<'a> Session<'a> {
         opts: ExecOptions<'_>,
         out: &mut ExecAttempt,
     ) {
+        // Sharded sessions run the merged query through scatter-gather and
+        // extract members from the combined result; unsharded sessions keep
+        // the merged executor. Same values either way — the merged executor
+        // is itself execute-then-extract over the same merged query.
         match fraction {
-            None => match execute_merged_with_opts(self.table.get(), g, opts) {
-                Ok(r) => {
-                    out.rows_scanned += r.stats.rows_scanned;
-                    for (local, v) in r.results {
+            None => match match &self.shards {
+                Some(_) => self.run_exact(&g.merged, opts, None).map(|(rs, missing)| {
+                    out.partial_shards += missing;
+                    let stats = rs.stats;
+                    (extract_merged(&rs, g), stats)
+                }),
+                None => execute_merged_with_opts(self.table.get(), g, opts)
+                    .map(|r| (r.results, r.stats)),
+            } {
+                Ok((vals, stats)) => {
+                    out.rows_scanned += stats.rows_scanned;
+                    for (local, v) in vals {
                         out.values.push((shown[local], v));
                     }
                 }
@@ -1411,25 +1538,18 @@ impl<'a> Session<'a> {
                     }
                 }
             },
-            Some(f) => {
-                match execute_approximate_with_opts(
-                    self.table.get(),
-                    &g.merged,
-                    f,
-                    self.config.seed,
-                    opts,
-                ) {
-                    Ok((rs, _realized)) => {
-                        out.rows_scanned += rs.stats.rows_scanned;
-                        for (local, v) in extract_merged(&rs, g) {
-                            out.values.push((shown[local], v));
-                        }
-                    }
-                    Err(e) => {
-                        out.member_errors.push(exec_error(e, "sample"));
+            Some(f) => match self.run_sampled(&g.merged, f, opts, None) {
+                Ok((rs, missing)) => {
+                    out.rows_scanned += rs.stats.rows_scanned;
+                    out.partial_shards += missing;
+                    for (local, v) in extract_merged(&rs, g) {
+                        out.values.push((shown[local], v));
                     }
                 }
-            }
+                Err(e) => {
+                    out.member_errors.push(exec_error(e, "sample"));
+                }
+            },
         }
     }
 
@@ -1443,9 +1563,10 @@ impl<'a> Session<'a> {
         out: &mut ExecAttempt,
     ) {
         for m in &g.members {
-            match execute_with_opts(self.table.get(), &queries[m.index], None, opts) {
-                Ok(rs) => {
+            match self.run_exact(&queries[m.index], opts, None) {
+                Ok((rs, missing)) => {
                     out.rows_scanned += rs.stats.rows_scanned;
+                    out.partial_shards += missing;
                     out.values.push((shown[m.index], rs.scalar()));
                 }
                 Err(e) => {

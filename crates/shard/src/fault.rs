@@ -1,0 +1,273 @@
+//! Seeded fault injection at replica granularity, modeled on
+//! `muve-pipeline`'s stage injector but addressed by (shard, replica)
+//! coordinates instead of pipeline stages.
+//!
+//! Spec grammar — comma-separated clauses:
+//!
+//! ```text
+//! <shard>.<replica>:<kind>[@p=<0..=1>]
+//! ```
+//!
+//! where `<shard>` / `<replica>` are indexes or `*`, and `<kind>` is one
+//! of `error` (typed sub-query failure), `panic` (a real panic inside the
+//! worker, contained by its catch_unwind), `stall` (hold the sub-query
+//! until its token fires or the stall cap elapses, then fail), `down`
+//! (replica refuses work — the "killed replica" of the chaos suites), or
+//! `latency=MS` (sleep, then execute normally). Without `@p=`, a clause
+//! fires on every matching sub-query (`p=1`); with it, each sub-query
+//! draws from a seeded RNG, so chaos runs replay exactly.
+//!
+//! Examples: `*.0:down` (first replica of every shard is dead),
+//! `2.1:panic@p=0.5` (replica 1 of shard 2 panics on half its work),
+//! `*.*:latency=5@p=0.1` (10% of all sub-queries eat 5 ms).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What an armed fault does to a matching sub-query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Reply with a typed injected failure.
+    Error,
+    /// Panic inside the worker (contained, surfaced as a typed failure).
+    Panic,
+    /// Hold the sub-query until cancellation or the stall cap, then fail.
+    Stall,
+    /// The replica refuses work entirely.
+    Down,
+    /// Sleep this long, then execute normally.
+    Latency(Duration),
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    shard: Option<usize>,
+    replica: Option<usize>,
+    kind: FaultKind,
+    probability: f64,
+}
+
+/// A malformed fault spec, with the offending clause and a usage hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFaultSpecError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl ShardFaultSpecError {
+    fn new(msg: impl Into<String>) -> ShardFaultSpecError {
+        ShardFaultSpecError {
+            message: msg.into(),
+        }
+    }
+
+    /// One-line grammar reminder for CLI error paths.
+    pub fn usage_hint() -> &'static str {
+        "expected <shard|*>.<replica|*>:<error|panic|stall|down|latency=MS>[@p=<0..=1>], comma-separated"
+    }
+}
+
+impl fmt::Display for ShardFaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad shard fault spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShardFaultSpecError {}
+
+/// Seeded replica-level fault injector.
+#[derive(Debug)]
+pub struct ShardFaultInjector {
+    plans: Vec<Plan>,
+    seed: u64,
+    rng: Mutex<StdRng>,
+}
+
+impl Clone for ShardFaultInjector {
+    /// Cloning restarts the seeded draw sequence, so a cloned injector
+    /// replays the same fault schedule.
+    fn clone(&self) -> ShardFaultInjector {
+        ShardFaultInjector {
+            plans: self.plans.clone(),
+            seed: self.seed,
+            rng: Mutex::new(StdRng::seed_from_u64(self.seed)),
+        }
+    }
+}
+
+impl Default for ShardFaultInjector {
+    fn default() -> ShardFaultInjector {
+        ShardFaultInjector::none()
+    }
+}
+
+impl ShardFaultInjector {
+    /// No faults.
+    pub fn none() -> ShardFaultInjector {
+        ShardFaultInjector {
+            plans: Vec::new(),
+            seed: 0,
+            rng: Mutex::new(StdRng::seed_from_u64(0)),
+        }
+    }
+
+    /// Whether any fault is armed.
+    pub fn is_none(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Parse a spec (see module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<ShardFaultInjector, ShardFaultSpecError> {
+        let mut plans = Vec::new();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            plans.push(parse_clause(clause)?);
+        }
+        Ok(ShardFaultInjector {
+            plans,
+            seed: 0,
+            rng: Mutex::new(StdRng::seed_from_u64(0)),
+        })
+    }
+
+    /// Re-seed the probability draws (deterministic chaos replay).
+    pub fn with_seed(mut self, seed: u64) -> ShardFaultInjector {
+        self.seed = seed;
+        self.rng = Mutex::new(StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// The fault (if any) that fires for this sub-query. First matching
+    /// armed clause wins; probabilistic clauses draw from the seeded RNG.
+    pub fn action(&self, shard: usize, replica: usize) -> Option<FaultKind> {
+        for p in &self.plans {
+            if p.shard.is_some_and(|s| s != shard) || p.replica.is_some_and(|r| r != replica) {
+                continue;
+            }
+            if p.probability >= 1.0 {
+                return Some(p.kind);
+            }
+            let draw: f64 = self.rng.lock().unwrap_or_else(|e| e.into_inner()).gen();
+            if draw < p.probability {
+                return Some(p.kind);
+            }
+        }
+        None
+    }
+}
+
+fn parse_clause(clause: &str) -> Result<Plan, ShardFaultSpecError> {
+    let (body, probability) = match clause.split_once("@p=") {
+        Some((body, p)) => {
+            let p: f64 = p
+                .parse()
+                .map_err(|_| ShardFaultSpecError::new(format!("bad probability in {clause:?}")))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ShardFaultSpecError::new(format!(
+                    "probability out of [0, 1] in {clause:?}"
+                )));
+            }
+            (body, p)
+        }
+        None => (clause, 1.0),
+    };
+    let (target, kind) = body
+        .split_once(':')
+        .ok_or_else(|| ShardFaultSpecError::new(format!("missing ':' in {clause:?}")))?;
+    let (shard, replica) = target
+        .split_once('.')
+        .ok_or_else(|| ShardFaultSpecError::new(format!("missing '.' in target {target:?}")))?;
+    let shard = parse_index(shard, clause)?;
+    let replica = parse_index(replica, clause)?;
+    let kind = match kind {
+        "error" => FaultKind::Error,
+        "panic" => FaultKind::Panic,
+        "stall" => FaultKind::Stall,
+        "down" => FaultKind::Down,
+        other => match other.strip_prefix("latency=") {
+            Some(ms) => {
+                let ms: u64 = ms.parse().map_err(|_| {
+                    ShardFaultSpecError::new(format!("bad latency millis in {clause:?}"))
+                })?;
+                FaultKind::Latency(Duration::from_millis(ms))
+            }
+            None => {
+                return Err(ShardFaultSpecError::new(format!(
+                    "unknown fault kind {other:?} in {clause:?}"
+                )))
+            }
+        },
+    };
+    Ok(Plan {
+        shard,
+        replica,
+        kind,
+        probability,
+    })
+}
+
+fn parse_index(s: &str, clause: &str) -> Result<Option<usize>, ShardFaultSpecError> {
+    if s == "*" {
+        return Ok(None);
+    }
+    s.parse::<usize>()
+        .map(Some)
+        .map_err(|_| ShardFaultSpecError::new(format!("bad index {s:?} in {clause:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_wildcards_kinds_and_probability() {
+        let inj =
+            ShardFaultInjector::parse("*.0:down, 2.1:panic@p=0.5, *.*:latency=5@p=0.25").unwrap();
+        assert!(!inj.is_none());
+        // `*.0:down` fires deterministically for replica 0 of any shard.
+        assert_eq!(inj.action(7, 0), Some(FaultKind::Down));
+        // Replica 1 of shard 0 only matches the probabilistic clauses.
+        let mut fired = 0;
+        for _ in 0..200 {
+            if inj.action(0, 1).is_some() {
+                fired += 1;
+            }
+        }
+        assert!(fired > 0 && fired < 200, "{fired}");
+    }
+
+    #[test]
+    fn seeded_draws_replay() {
+        let spec = "*.*:error@p=0.5";
+        let a = ShardFaultInjector::parse(spec).unwrap().with_seed(42);
+        let b = ShardFaultInjector::parse(spec).unwrap().with_seed(42);
+        let da: Vec<bool> = (0..64).map(|_| a.action(0, 0).is_some()).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.action(0, 0).is_some()).collect();
+        assert_eq!(da, db);
+        let c = a.clone();
+        let dc: Vec<bool> = (0..64).map(|_| c.action(0, 0).is_some()).collect();
+        assert_eq!(da, dc, "clone restarts the seeded sequence");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "nonsense",
+            "0:error",
+            "0.0:flaky",
+            "0.0:latency=abc",
+            "0.0:error@p=2",
+            "x.0:error",
+        ] {
+            assert!(ShardFaultInjector::parse(bad).is_err(), "{bad}");
+        }
+        assert!(ShardFaultInjector::parse("").unwrap().is_none());
+        assert!(!ShardFaultSpecError::usage_hint().is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-replica health state and the hedge-delay tracker.
+//!
+//! The replica state machine is the serve-layer circuit breaker
+//! (`muve-serve::breaker`) re-applied to replicas: consecutive failures
+//! trip a replica from *healthy* to *suspect*; after a cooldown one
+//! probe sub-query is allowed through (half-open, single-flight); a
+//! successful probe — or any success that lands while suspect — recovers
+//! the replica, a failure re-arms the cooldown. Routing prefers healthy
+//! replicas and load-balances across them; a suspect replica only sees
+//! traffic as its probe, or when nothing healthier is left.
+//!
+//! State is *recorded by the replica worker itself* right after each
+//! sub-query, before the reply is sent. That keeps the bookkeeping exact
+//! even for sub-queries the gather abandoned (hedge losers, stragglers):
+//! the worker still finishes them and still records the outcome, so trips
+//! and recoveries reconcile with reply counts under any interleaving.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs of the replica breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Consecutive failures that trip a replica to suspect.
+    pub trip_after: u32,
+    /// How long a suspect replica rests before a probe is allowed.
+    pub probe_cooldown: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            trip_after: 3,
+            probe_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// What a recorded outcome did to the replica's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthTransition {
+    /// No state change (success while healthy, or a non-tripping failure).
+    None,
+    /// The failure was the `trip_after`-th in a row: healthy → suspect.
+    Tripped,
+    /// A success landed while suspect: suspect → healthy.
+    Recovered,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Healthy { fails: u32 },
+    Suspect { since: Instant, probing: bool },
+}
+
+/// Breaker-style health state of one replica.
+#[derive(Debug)]
+pub struct ReplicaHealth {
+    state: Mutex<State>,
+    cfg: HealthConfig,
+}
+
+impl ReplicaHealth {
+    /// A fresh, healthy replica.
+    pub fn new(cfg: HealthConfig) -> ReplicaHealth {
+        ReplicaHealth {
+            state: Mutex::new(State::Healthy { fails: 0 }),
+            cfg,
+        }
+    }
+
+    /// Whether the replica is currently healthy (routable without a probe).
+    pub fn is_healthy(&self) -> bool {
+        matches!(*self.lock(), State::Healthy { .. })
+    }
+
+    /// Whether the replica is currently suspect.
+    pub fn is_suspect(&self) -> bool {
+        !self.is_healthy()
+    }
+
+    /// Try to claim the suspect replica's single half-open probe slot:
+    /// succeeds iff the replica is suspect, its cooldown has elapsed, and
+    /// no other probe is in flight. The claim is released by whatever
+    /// outcome the probe [`record`](Self::record)s.
+    pub fn try_begin_probe(&self, now: Instant) -> bool {
+        let mut st = self.lock();
+        match *st {
+            State::Suspect {
+                since,
+                probing: false,
+            } if now >= since + self.cfg.probe_cooldown => {
+                *st = State::Suspect {
+                    since,
+                    probing: true,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record a sub-query outcome against this replica.
+    pub fn record(&self, ok: bool) -> HealthTransition {
+        let mut st = self.lock();
+        match (*st, ok) {
+            (State::Healthy { .. }, true) => {
+                *st = State::Healthy { fails: 0 };
+                HealthTransition::None
+            }
+            (State::Healthy { fails }, false) => {
+                let fails = fails + 1;
+                if fails >= self.cfg.trip_after {
+                    *st = State::Suspect {
+                        since: Instant::now(),
+                        probing: false,
+                    };
+                    HealthTransition::Tripped
+                } else {
+                    *st = State::Healthy { fails };
+                    HealthTransition::None
+                }
+            }
+            (State::Suspect { .. }, true) => {
+                *st = State::Healthy { fails: 0 };
+                HealthTransition::Recovered
+            }
+            (State::Suspect { .. }, false) => {
+                // Re-arm the cooldown; a failed probe releases its slot.
+                *st = State::Suspect {
+                    since: Instant::now(),
+                    probing: false,
+                };
+                HealthTransition::None
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Knobs of the hedging policy.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgeConfig {
+    /// Hedge delay before enough latency samples exist.
+    pub default_delay: Duration,
+    /// Lower clamp on the derived delay.
+    pub min_delay: Duration,
+    /// Upper clamp on the derived delay.
+    pub max_delay: Duration,
+    /// Samples required before the p99 estimate is trusted.
+    pub min_samples: usize,
+    /// Ring-buffer capacity of retained latency samples.
+    pub window: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> HedgeConfig {
+        HedgeConfig {
+            default_delay: Duration::from_millis(25),
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(250),
+            min_samples: 16,
+            window: 256,
+        }
+    }
+}
+
+/// Rolling p99 of successful sub-query latencies, driving the hedge delay:
+/// a sub-query still unanswered after [`delay`](Self::delay) is presumed a
+/// straggler and re-issued to another replica. The delay is the observed
+/// p99 (clamped), so under healthy operation ~1% of sub-queries hedge —
+/// the classic tail-at-scale tradeoff of a little extra load for a lot
+/// less tail latency.
+#[derive(Debug)]
+pub struct HedgeTracker {
+    cfg: HedgeConfig,
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    lats: Vec<u64>,
+    next: usize,
+}
+
+impl HedgeTracker {
+    /// An empty tracker.
+    pub fn new(cfg: HedgeConfig) -> HedgeTracker {
+        HedgeTracker {
+            cfg,
+            ring: Mutex::new(Ring {
+                lats: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Record one successful sub-query latency.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut r = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if r.lats.len() < self.cfg.window {
+            r.lats.push(us);
+        } else {
+            let i = r.next;
+            r.lats[i] = us;
+        }
+        r.next = (r.next + 1) % self.cfg.window;
+    }
+
+    /// The current hedge delay: clamped p99 of the sample window, or the
+    /// configured default while samples are scarce.
+    pub fn delay(&self) -> Duration {
+        let r = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if r.lats.len() < self.cfg.min_samples {
+            return self.cfg.default_delay;
+        }
+        let mut sorted = r.lats.clone();
+        drop(r);
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * 0.99) as usize;
+        Duration::from_micros(sorted[idx]).clamp(self.cfg.min_delay, self.cfg.max_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_consecutive_failures_and_probes_back() {
+        let cfg = HealthConfig {
+            trip_after: 3,
+            probe_cooldown: Duration::from_millis(0),
+        };
+        let h = ReplicaHealth::new(cfg);
+        assert!(h.is_healthy());
+        assert_eq!(h.record(false), HealthTransition::None);
+        assert_eq!(h.record(true), HealthTransition::None);
+        // Success resets the streak: three more failures needed.
+        assert_eq!(h.record(false), HealthTransition::None);
+        assert_eq!(h.record(false), HealthTransition::None);
+        assert_eq!(h.record(false), HealthTransition::Tripped);
+        assert!(h.is_suspect());
+        // Cooldown of zero: probe slot opens immediately, single-flight.
+        let now = Instant::now();
+        assert!(h.try_begin_probe(now));
+        assert!(!h.try_begin_probe(now), "probe slot is single-flight");
+        assert_eq!(h.record(true), HealthTransition::Recovered);
+        assert!(h.is_healthy());
+    }
+
+    #[test]
+    fn failed_probe_rearms_cooldown() {
+        let cfg = HealthConfig {
+            trip_after: 1,
+            probe_cooldown: Duration::from_secs(60),
+        };
+        let h = ReplicaHealth::new(cfg);
+        assert_eq!(h.record(false), HealthTransition::Tripped);
+        // Cooldown not elapsed: no probe.
+        assert!(!h.try_begin_probe(Instant::now()));
+        // Far future: probe allowed, fails, slot released but cooldown
+        // re-armed from the failure.
+        let later = Instant::now() + Duration::from_secs(120);
+        assert!(h.try_begin_probe(later));
+        assert_eq!(h.record(false), HealthTransition::None);
+        assert!(h.is_suspect());
+        assert!(!h.try_begin_probe(Instant::now() + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn hedge_delay_defaults_then_tracks_p99() {
+        let t = HedgeTracker::new(HedgeConfig::default());
+        assert_eq!(t.delay(), Duration::from_millis(25));
+        for _ in 0..99 {
+            t.record(Duration::from_millis(2));
+        }
+        t.record(Duration::from_millis(100));
+        let d = t.delay();
+        assert!(
+            d >= Duration::from_millis(2) && d <= Duration::from_millis(250),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn hedge_window_wraps() {
+        let t = HedgeTracker::new(HedgeConfig {
+            window: 8,
+            min_samples: 4,
+            ..HedgeConfig::default()
+        });
+        for i in 0..100u64 {
+            t.record(Duration::from_micros(i));
+        }
+        // Window holds the last 8 samples (92..=99): p99 is in range.
+        let d = t.delay();
+        assert!(d >= Duration::from_millis(1), "clamped to min: {d:?}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Fault-tolerant sharded execution for the MUVE engine (ROADMAP item:
+//! robust serving of interactive aggregate queries).
+//!
+//! `muve-shard` hash-partitions a [`muve_dbms::Table`] into `N` shard
+//! tables, runs `R` replica workers per shard, and executes aggregate
+//! queries by scatter-gather: each shard computes un-materialized partial
+//! aggregates ([`muve_dbms::execute_partials`]) and the gather combines
+//! them in shard-index order ([`muve_dbms::combine_partials`]) — the same
+//! morsel-order merge the single-table batch engine uses, so a full
+//! gather is **bit-identical** to unsharded execution, float sums
+//! included.
+//!
+//! The point of the crate is what happens when replicas misbehave:
+//!
+//! - **Replica health** ([`ReplicaHealth`]) — a per-replica circuit
+//!   breaker: consecutive failures trip it to *suspect*, a cooldown-gated
+//!   half-open probe recovers it. Routing load-balances reads across
+//!   healthy replicas.
+//! - **Hedging** ([`HedgeTracker`]) — sub-queries unanswered after the
+//!   rolling-p99 delay are re-issued to another replica; first answer
+//!   wins, the loser is cancelled but still accounted.
+//! - **Failover** — typed sub-query failures re-dispatch to untried
+//!   replicas.
+//! - **Partial-result degradation** ([`ShardOutcome`], [`GatherReport`])
+//!   — when a shard is lost entirely, the answer degrades to a typed,
+//!   coverage-scaled estimate instead of an error (callers may opt out
+//!   via [`ShardExecOptions::allow_partial`]).
+//! - **Deterministic chaos** ([`ShardFaultInjector`]) — seeded
+//!   replica-level fault injection (`error` / `panic` / `stall` / `down`
+//!   / `latency`) so the failover machinery is testable and replayable.
+//!
+//! Every dispatch/reply/outcome lands in flow-conserving counters
+//! ([`ShardStats`]) mirrored into the `shard.*` namespace of the
+//! process-wide [`muve_obs`] metrics registry.
+
+#![warn(missing_docs)]
+
+mod exec;
+mod fault;
+mod health;
+mod set;
+mod stats;
+
+pub use exec::{
+    local_selection, GatherReport, MissingCause, ShardExecOptions, ShardOutcome, ShardedResult,
+};
+pub use fault::{FaultKind, ShardFaultInjector, ShardFaultSpecError};
+pub use health::{HealthConfig, HealthTransition, HedgeConfig, HedgeTracker, ReplicaHealth};
+pub use set::{partition_rows, ShardSet, ShardSpec};
+pub use stats::{ShardStats, ShardStatsSnapshot};

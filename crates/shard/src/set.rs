@@ -1,0 +1,379 @@
+//! Hash partitioning and the replicated shard set.
+//!
+//! A [`ShardSet`] splits one parent [`Table`] into `N` hash-partitioned
+//! shard tables ([`Table::project_rows`] keeps the parent's dictionary
+//! codes, so grouped partials combine exactly) and spawns `R` replica
+//! worker threads per shard. Replicas of a shard share the same immutable
+//! `Arc<Table>` — in-process replication buys execution-level redundancy
+//! (a panicking, stalled, or killed worker), not storage redundancy — and
+//! each worker owns its own job queue, health state, and fault hooks, so
+//! one replica's demise never takes its siblings down.
+
+use crate::exec::{worker_main, Job};
+use crate::fault::ShardFaultInjector;
+use crate::health::{HedgeTracker, ReplicaHealth};
+use crate::stats::ShardStats;
+use crate::{HealthConfig, HedgeConfig};
+use muve_dbms::Table;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shape and tuning of a shard set.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpec {
+    /// Number of hash partitions (N ≥ 1).
+    pub shards: usize,
+    /// Replicas per shard (R ≥ 1).
+    pub replicas: usize,
+    /// Batch-engine threads per sub-query. Defaults to 1: with N workers
+    /// scanning in parallel, the shards *are* the parallelism, and
+    /// single-threaded sub-queries avoid N×R-fold pool oversubscription.
+    pub worker_threads: usize,
+    /// Replica breaker knobs.
+    pub health: HealthConfig,
+    /// Hedging knobs.
+    pub hedge: HedgeConfig,
+}
+
+impl ShardSpec {
+    /// A spec with `shards`×`replicas` topology and default tuning.
+    pub fn new(shards: usize, replicas: usize) -> ShardSpec {
+        ShardSpec {
+            shards: shards.max(1),
+            replicas: replicas.max(1),
+            ..ShardSpec::default()
+        }
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> ShardSpec {
+        ShardSpec {
+            shards: 4,
+            replicas: 2,
+            worker_threads: 1,
+            health: HealthConfig::default(),
+            hedge: HedgeConfig::default(),
+        }
+    }
+}
+
+/// Deterministically hash-partition row ids `0..n_rows` into `shards`
+/// buckets. Each bucket is sorted ascending (the construction visits rows
+/// in order), which the sampled scatter path relies on for its
+/// merge-intersection with systematic row ids.
+pub fn partition_rows(n_rows: usize, shards: usize) -> Vec<Vec<u32>> {
+    let shards = shards.max(1);
+    let mut parts: Vec<Vec<u32>> = vec![Vec::with_capacity(n_rows / shards + 1); shards];
+    for i in 0..n_rows {
+        let mut h = rustc_hash::FxHasher::default();
+        (i as u64).hash(&mut h);
+        parts[(h.finish() % shards as u64) as usize].push(i as u32);
+    }
+    parts
+}
+
+/// One shard's data: the projected table and the sorted global row ids it
+/// holds.
+#[derive(Debug)]
+pub(crate) struct ShardData {
+    pub(crate) table: Arc<Table>,
+    pub(crate) rows: Arc<Vec<u32>>,
+}
+
+/// One replica's handle: its job queue, liveness flag, health state, and
+/// worker thread.
+#[derive(Debug)]
+pub(crate) struct ReplicaHandle {
+    pub(crate) tx: Option<mpsc::Sender<Job>>,
+    pub(crate) dead: Arc<AtomicBool>,
+    pub(crate) health: Arc<ReplicaHealth>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A replicated, hash-partitioned execution backend over one parent table.
+#[derive(Debug)]
+pub struct ShardSet {
+    pub(crate) spec: ShardSpec,
+    pub(crate) parent: Arc<Table>,
+    pub(crate) shards: Vec<ShardData>,
+    pub(crate) replicas: Vec<Vec<ReplicaHandle>>,
+    pub(crate) stats: Arc<ShardStats>,
+    pub(crate) hedge: Arc<HedgeTracker>,
+    /// Per-shard rotation counters for read load-balancing.
+    pub(crate) rr: Vec<AtomicUsize>,
+    epoch: u64,
+}
+
+impl ShardSet {
+    /// Partition `parent` and spawn the replica workers, fault-free.
+    pub fn build(parent: Arc<Table>, spec: ShardSpec) -> ShardSet {
+        ShardSet::build_with_faults(parent, spec, ShardFaultInjector::none())
+    }
+
+    /// [`build`](Self::build) with replica-level fault injection armed.
+    pub fn build_with_faults(
+        parent: Arc<Table>,
+        spec: ShardSpec,
+        injector: ShardFaultInjector,
+    ) -> ShardSet {
+        let spec = ShardSpec {
+            shards: spec.shards.max(1),
+            replicas: spec.replicas.max(1),
+            worker_threads: spec.worker_threads.max(1),
+            ..spec
+        };
+        let injector = Arc::new(injector);
+        let stats = Arc::new(ShardStats::new());
+        let hedge = Arc::new(HedgeTracker::new(spec.hedge));
+        let shards: Vec<ShardData> = partition_rows(parent.num_rows(), spec.shards)
+            .into_iter()
+            .map(|rows| ShardData {
+                table: Arc::new(parent.project_rows(&rows)),
+                rows: Arc::new(rows),
+            })
+            .collect();
+        let epoch = shard_epoch(shards.iter().map(|s| s.table.fingerprint()));
+        let mut replicas = Vec::with_capacity(spec.shards);
+        for (s, shard) in shards.iter().enumerate() {
+            let mut row = Vec::with_capacity(spec.replicas);
+            for r in 0..spec.replicas {
+                let (tx, rx) = mpsc::channel::<Job>();
+                let dead = Arc::new(AtomicBool::new(false));
+                let health = Arc::new(ReplicaHealth::new(spec.health));
+                let ctx = (
+                    Arc::clone(&shard.table),
+                    Arc::clone(&dead),
+                    Arc::clone(&health),
+                    Arc::clone(&stats),
+                    Arc::clone(&hedge),
+                    Arc::clone(&injector),
+                );
+                let threads = spec.worker_threads;
+                let join = std::thread::Builder::new()
+                    .name(format!("muve-shard-s{s}r{r}"))
+                    .spawn(move || {
+                        let (table, dead, health, stats, hedge, injector) = ctx;
+                        worker_main(
+                            s, r, table, dead, health, stats, hedge, injector, threads, rx,
+                        );
+                    })
+                    .expect("spawn shard worker");
+                row.push(ReplicaHandle {
+                    tx: Some(tx),
+                    dead,
+                    health,
+                    join: Some(join),
+                });
+            }
+            replicas.push(row);
+        }
+        let rr = (0..spec.shards).map(|_| AtomicUsize::new(0)).collect();
+        ShardSet {
+            spec,
+            parent,
+            shards,
+            replicas,
+            stats,
+            hedge,
+            rr,
+            epoch,
+        }
+    }
+
+    /// The topology and tuning this set was built with.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// The parent table the shards were projected from.
+    pub fn parent(&self) -> &Arc<Table> {
+        &self.parent
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.spec.shards
+    }
+
+    /// Replicas per shard.
+    pub fn num_replicas(&self) -> usize {
+        self.spec.replicas
+    }
+
+    /// The combined shard epoch: a hash over every shard table's content
+    /// fingerprint (plus the shard count). Caches key on this instead of
+    /// the parent fingerprint when a shard set is attached, so reloading
+    /// even a single shard's data moves the epoch and invalidates.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Shard `s`'s projected table.
+    pub fn shard_table(&self, s: usize) -> &Arc<Table> {
+        &self.shards[s].table
+    }
+
+    /// Shard `s`'s sorted global row ids.
+    pub fn shard_rows(&self, s: usize) -> &Arc<Vec<u32>> {
+        &self.shards[s].rows
+    }
+
+    /// Flow-conserving execution counters.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// The current hedge delay (for status displays).
+    pub fn hedge_delay(&self) -> Duration {
+        self.hedge.delay()
+    }
+
+    /// Kill a replica: it stays scheduled but refuses every sub-query, the
+    /// way the chaos suites take a replica out mid-burst. Routing notices
+    /// through the ordinary breaker path (failures → trip → probes).
+    pub fn kill_replica(&self, shard: usize, replica: usize) {
+        self.replicas[shard][replica]
+            .dead
+            .store(true, Ordering::SeqCst);
+    }
+
+    /// Bring a killed replica back; the next probe recovers it.
+    pub fn revive_replica(&self, shard: usize, replica: usize) {
+        self.replicas[shard][replica]
+            .dead
+            .store(false, Ordering::SeqCst);
+    }
+
+    /// Whether replica `r` of shard `s` is currently healthy.
+    pub fn replica_healthy(&self, shard: usize, replica: usize) -> bool {
+        self.replicas[shard][replica].health.is_healthy()
+    }
+
+    /// Replicas currently in the suspect state, across all shards.
+    pub fn suspect_replicas(&self) -> usize {
+        self.replicas
+            .iter()
+            .flatten()
+            .filter(|h| h.health.is_suspect())
+            .count()
+    }
+
+    /// Wait (by polling) until every dispatched sub-query has been
+    /// accounted for by a worker — the precondition for exact
+    /// flow-conservation checks. Returns `false` on timeout.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let s = self.stats.snapshot();
+            if s.accounted() == s.dispatched {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for ShardSet {
+    fn drop(&mut self) {
+        // Disconnect every queue first, then join: workers exit when their
+        // receiver drains, and no new work can arrive mid-teardown.
+        for row in &mut self.replicas {
+            for h in row.iter_mut() {
+                h.tx = None;
+            }
+        }
+        for row in &mut self.replicas {
+            for h in row.iter_mut() {
+                if let Some(j) = h.join.take() {
+                    let _ = j.join();
+                }
+            }
+        }
+    }
+}
+
+/// Combine per-shard fingerprints into one epoch value.
+fn shard_epoch(fingerprints: impl Iterator<Item = u64>) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    let mut n = 0usize;
+    for f in fingerprints {
+        h.write_u64(f);
+        n += 1;
+    }
+    h.write_usize(n);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muve_dbms::{ColumnType, Schema, Value};
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new([("g", ColumnType::Str), ("v", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..n as i64 {
+            b.push_row([Value::from(format!("g{}", i % 3)), Value::Int(i)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partition_covers_every_row_exactly_once() {
+        for shards in [1, 2, 3, 8] {
+            let parts = partition_rows(1000, shards);
+            assert_eq!(parts.len(), shards);
+            let mut all: Vec<u32> = parts.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..1000).collect::<Vec<u32>>(), "shards={shards}");
+            for p in &parts {
+                assert!(p.windows(2).all(|w| w[0] < w[1]), "buckets sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        assert_eq!(partition_rows(5000, 4), partition_rows(5000, 4));
+    }
+
+    #[test]
+    fn epoch_tracks_single_shard_content() {
+        let t = Arc::new(table(500));
+        let a = ShardSet::build(Arc::clone(&t), ShardSpec::new(4, 1));
+        let b = ShardSet::build(Arc::clone(&t), ShardSpec::new(4, 1));
+        assert_eq!(a.epoch(), b.epoch(), "same data, same layout, same epoch");
+        let c = ShardSet::build(Arc::clone(&t), ShardSpec::new(2, 1));
+        assert_ne!(a.epoch(), c.epoch(), "different layout moves the epoch");
+        let d = ShardSet::build(Arc::new(table(501)), ShardSpec::new(4, 1));
+        assert_ne!(a.epoch(), d.epoch(), "different data moves the epoch");
+        assert_ne!(
+            a.epoch(),
+            t.fingerprint(),
+            "shard epoch is not the parent fingerprint"
+        );
+    }
+
+    #[test]
+    fn shards_preserve_parent_dictionary_codes() {
+        let t = Arc::new(table(300));
+        let set = ShardSet::build(Arc::clone(&t), ShardSpec::new(3, 1));
+        let parent_dict = t.column_by_name("g").unwrap().dictionary().unwrap();
+        for s in 0..set.num_shards() {
+            let shard = set.shard_table(s);
+            let dict = shard.column_by_name("g").unwrap().dictionary().unwrap();
+            assert_eq!(dict.entries(), parent_dict.entries());
+            // Spot-check: shard row values equal parent rows at the mapped ids.
+            for (local, &global) in set.shard_rows(s).iter().enumerate().take(10) {
+                assert_eq!(shard.row(local), t.row(global as usize));
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Flow-conserving counters for the scatter-gather executor.
+//!
+//! Every sub-query dispatched to a replica is eventually accounted for in
+//! exactly one of `replies_ok` / `replies_err` / `rejects` — workers count
+//! a reply *before* sending it, so even replies the gather abandoned (a
+//! hedge loser, a straggler past the deadline) land in the books. The
+//! failover test (`tests/shard_failover.rs`) asserts the resulting
+//! identities:
+//!
+//! - `dispatched == replies_ok + replies_err + rejects` (after quiesce)
+//! - `dispatched == gathers * shards + hedges_fired + failovers`
+//! - `gathers * shards == shards_served + shards_missing`
+//! - `hedges_won <= hedges_fired`
+//! - `replica_trips == replica_recoveries + currently-suspect replicas`
+//!
+//! Each counter is mirrored into the process-wide [`muve_obs`] registry
+//! under a `shard.*` name, so `\stats` and serving dashboards see them
+//! alongside the dbms and pipeline counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters of one [`crate::ShardSet`]'s lifetime.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    gathers: AtomicU64,
+    dispatched: AtomicU64,
+    replies_ok: AtomicU64,
+    replies_err: AtomicU64,
+    rejects: AtomicU64,
+    hedges_fired: AtomicU64,
+    hedges_won: AtomicU64,
+    failovers: AtomicU64,
+    replica_probes: AtomicU64,
+    replica_trips: AtomicU64,
+    replica_recoveries: AtomicU64,
+    shards_served: AtomicU64,
+    shards_missing: AtomicU64,
+    partial_gathers: AtomicU64,
+}
+
+impl ShardStats {
+    pub(crate) fn new() -> ShardStats {
+        ShardStats::default()
+    }
+
+    pub(crate) fn scatter(&self, fanout: usize) {
+        self.gathers.fetch_add(1, Ordering::Relaxed);
+        let m = muve_obs::metrics();
+        m.counter("shard.scatters").incr();
+        m.histogram("shard.fanout").record(fanout as u64);
+    }
+
+    pub(crate) fn dispatch(&self) {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.subqueries").incr();
+    }
+
+    pub(crate) fn reject(&self) {
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.rejects").incr();
+    }
+
+    pub(crate) fn reply(&self, ok: bool, latency: Duration) {
+        let m = muve_obs::metrics();
+        if ok {
+            self.replies_ok.fetch_add(1, Ordering::Relaxed);
+            m.counter("shard.replies_ok").incr();
+        } else {
+            self.replies_err.fetch_add(1, Ordering::Relaxed);
+            m.counter("shard.replies_err").incr();
+        }
+        m.histogram("shard.subquery_us").record_duration(latency);
+    }
+
+    pub(crate) fn hedge_fired(&self) {
+        self.hedges_fired.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.hedges_fired").incr();
+    }
+
+    pub(crate) fn hedge_won(&self) {
+        self.hedges_won.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.hedges_won").incr();
+    }
+
+    pub(crate) fn failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.failovers").incr();
+    }
+
+    pub(crate) fn probe(&self) {
+        self.replica_probes.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.replica_probes").incr();
+    }
+
+    pub(crate) fn trip(&self) {
+        self.replica_trips.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.replica_trips").incr();
+    }
+
+    pub(crate) fn recovery(&self) {
+        self.replica_recoveries.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics()
+            .counter("shard.replica_recoveries")
+            .incr();
+    }
+
+    pub(crate) fn gather_done(&self, served: usize, missing: usize, elapsed: Duration) {
+        let m = muve_obs::metrics();
+        self.shards_served
+            .fetch_add(served as u64, Ordering::Relaxed);
+        self.shards_missing
+            .fetch_add(missing as u64, Ordering::Relaxed);
+        m.counter("shard.served_shards").add(served as u64);
+        m.counter("shard.missing_shards").add(missing as u64);
+        if missing > 0 && served > 0 {
+            self.partial_gathers.fetch_add(1, Ordering::Relaxed);
+            m.counter("shard.partial_gathers").incr();
+        }
+        m.histogram("shard.gather_us").record_duration(elapsed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            gathers: self.gathers.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            replies_ok: self.replies_ok.load(Ordering::Relaxed),
+            replies_err: self.replies_err.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            hedges_fired: self.hedges_fired.load(Ordering::Relaxed),
+            hedges_won: self.hedges_won.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            replica_probes: self.replica_probes.load(Ordering::Relaxed),
+            replica_trips: self.replica_trips.load(Ordering::Relaxed),
+            replica_recoveries: self.replica_recoveries.load(Ordering::Relaxed),
+            shards_served: self.shards_served.load(Ordering::Relaxed),
+            shards_missing: self.shards_missing.load(Ordering::Relaxed),
+            partial_gathers: self.partial_gathers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ShardStats`], with the flow-conservation
+/// arithmetic spelled out as methods.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStatsSnapshot {
+    /// Scatter-gathers started.
+    pub gathers: u64,
+    /// Sub-queries handed to replica workers (primaries + hedges +
+    /// failovers).
+    pub dispatched: u64,
+    /// Sub-queries a worker answered successfully (counted even when the
+    /// gather had already moved on).
+    pub replies_ok: u64,
+    /// Sub-queries a worker answered with a typed failure.
+    pub replies_err: u64,
+    /// Dispatches that never reached a worker (its channel was gone).
+    pub rejects: u64,
+    /// Hedge sub-queries issued after the hedge delay elapsed.
+    pub hedges_fired: u64,
+    /// Gathers where the *hedge* copy answered first.
+    pub hedges_won: u64,
+    /// Re-dispatches to another replica after a typed failure.
+    pub failovers: u64,
+    /// Sub-queries routed to a suspect replica as its half-open probe.
+    pub replica_probes: u64,
+    /// Healthy→suspect transitions (consecutive-failure trips).
+    pub replica_trips: u64,
+    /// Suspect→healthy transitions (successful probes).
+    pub replica_recoveries: u64,
+    /// Shards that contributed partials to a gather.
+    pub shards_served: u64,
+    /// Shards a gather gave up on (all replicas down, deadline, cancel).
+    pub shards_missing: u64,
+    /// Gathers that completed with some — but not all — shards served.
+    pub partial_gathers: u64,
+}
+
+impl ShardStatsSnapshot {
+    /// Sub-queries accounted for by a worker (or a reject): when the set
+    /// is quiescent this equals [`dispatched`](Self::dispatched).
+    pub fn accounted(&self) -> u64 {
+        self.replies_ok + self.replies_err + self.rejects
+    }
+}

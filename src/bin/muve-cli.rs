@@ -25,6 +25,8 @@
 //! \svg <path>                                save the last multiplot
 //! \serve [workers] [queue]                   route questions through a worker pool
 //! \drain                                     gracefully drain the worker pool
+//! \shard [N [R] | kill S R | revive S R | off]  replicated sharded execution
+
 //! \cache [clear | <mb>]                      cache stats, clear, or resize (0 off)
 //! \stats                                     print process-wide metrics
 //! \trace <path|off>                          append per-query JSON traces
@@ -55,6 +57,7 @@ use muve::pipeline::{
     FaultInjector, Session, SessionCaches, SessionConfig, SessionOutcome, Visualization,
 };
 use muve::serve::{Request, ServeOutcome, Server, ServerConfig};
+use muve::shard::{ShardSet, ShardSpec};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
@@ -75,6 +78,7 @@ struct Shell {
     serve_cfg: ServerConfig,
     server: Option<Server>,
     caches: Option<Arc<SessionCaches>>,
+    shards: Option<Arc<ShardSet>>,
 }
 
 /// Default cross-request cache budget (`--cache-mb`).
@@ -100,7 +104,77 @@ impl Shell {
             serve_cfg: ServerConfig::default(),
             server: None,
             caches: Some(caches),
+            shards: None,
         }
+    }
+
+    /// Stamp the cache epoch from whichever backend is live: the shard
+    /// set's combined epoch when sharding is on, the table fingerprint
+    /// otherwise.
+    fn stamp_caches(&self) {
+        if let Some(caches) = &self.caches {
+            match &self.shards {
+                Some(set) => caches.set_shards(set),
+                None => caches.set_table(&self.table),
+            }
+        }
+    }
+
+    fn rebuild_shards(&mut self, shards: usize, replicas: usize) {
+        let set = Arc::new(ShardSet::build(
+            Arc::clone(&self.table),
+            ShardSpec::new(shards, replicas),
+        ));
+        println!(
+            "sharded execution: {} shards x {} replicas, hedge delay {:.1} ms",
+            set.num_shards(),
+            set.num_replicas(),
+            set.hedge_delay().as_secs_f64() * 1000.0
+        );
+        self.shards = Some(set);
+        self.stamp_caches();
+    }
+
+    fn shard_status(&self) {
+        let Some(set) = &self.shards else {
+            println!("sharded execution off; \\shard <N> [R] to enable");
+            return;
+        };
+        println!(
+            "{} shards x {} replicas over {:?} ({} rows), hedge delay {:.1} ms",
+            set.num_shards(),
+            set.num_replicas(),
+            self.table.name(),
+            self.table.num_rows(),
+            set.hedge_delay().as_secs_f64() * 1000.0
+        );
+        for s in 0..set.num_shards() {
+            let health: String = (0..set.num_replicas())
+                .map(|r| if set.replica_healthy(s, r) { 'H' } else { 's' })
+                .collect();
+            println!(
+                "  shard {s}: {:>8} rows, replicas [{health}] (H healthy, s suspect)",
+                set.shard_rows(s).len()
+            );
+        }
+        let st = set.stats().snapshot();
+        println!(
+            "  gathers {} ({} partial), sub-queries {} (ok {}, err {}), \
+             hedges {}/{} won, failovers {}, trips {}, recoveries {}, \
+             shards served {}, missing {}",
+            st.gathers,
+            st.partial_gathers,
+            st.dispatched,
+            st.replies_ok,
+            st.replies_err,
+            st.hedges_won,
+            st.hedges_fired,
+            st.failovers,
+            st.replica_trips,
+            st.replica_recoveries,
+            st.shards_served,
+            st.shards_missing
+        );
     }
 
     fn set_cache_budget(&mut self, mb: usize) {
@@ -108,9 +182,8 @@ impl Shell {
             self.caches = None;
             println!("cache disabled");
         } else {
-            let caches = Arc::new(SessionCaches::new(mb << 20));
-            caches.set_table(&self.table);
-            self.caches = Some(caches);
+            self.caches = Some(Arc::new(SessionCaches::new(mb << 20)));
+            self.stamp_caches();
             println!("cache budget: {mb} MB");
         }
         // A live worker pool holds the old bundle; rebuild it.
@@ -127,10 +200,15 @@ impl Shell {
             table.schema().len()
         );
         self.table = Arc::new(table);
-        // Bump the cache epoch: entries computed against the old table are
-        // now stale and will be lazily dropped on lookup.
-        if let Some(caches) = &self.caches {
-            caches.set_table(&self.table);
+        // An active shard set partitions the old table; rebuild it over the
+        // new one with the same topology. Either way the cache epoch moves
+        // (combined shard epoch or table fingerprint), so entries computed
+        // against the old data are lazily dropped on lookup.
+        if let Some(set) = &self.shards {
+            let (n, r) = (set.num_shards(), set.num_replicas());
+            self.rebuild_shards(n, r);
+        } else {
+            self.stamp_caches();
         }
         // A live worker pool serves the old table; rebuild it over the new
         // one (draining first so in-flight questions finish cleanly).
@@ -234,6 +312,9 @@ impl Shell {
         let mut session = Session::new(&self.table, config).with_injector(self.injector.clone());
         if let Some(caches) = &self.caches {
             session = session.with_caches(Arc::clone(caches));
+        }
+        if let Some(set) = &self.shards {
+            session = session.with_shards(Arc::clone(set));
         }
         let outcome = session.run(&text);
         self.report_outcome(outcome);
@@ -449,6 +530,58 @@ impl Shell {
                 }
             },
             Some("\\drain") => self.drain_serve(),
+            Some("\\shard") => match parts.get(1).copied() {
+                None => self.shard_status(),
+                Some("off") | Some("0") => {
+                    self.shards = None;
+                    self.stamp_caches();
+                    println!("sharded execution off");
+                }
+                Some(verb @ ("kill" | "revive")) => {
+                    let (s, r) = (
+                        parts.get(2).and_then(|v| v.parse::<usize>().ok()),
+                        parts.get(3).and_then(|v| v.parse::<usize>().ok()),
+                    );
+                    match (&self.shards, s, r) {
+                        (Some(set), Some(s), Some(r))
+                            if s < set.num_shards() && r < set.num_replicas() =>
+                        {
+                            if verb == "kill" {
+                                set.kill_replica(s, r);
+                                println!(
+                                    "killed replica {r} of shard {s}; the breaker will \
+                                     trip it and survivors take over"
+                                );
+                            } else {
+                                set.revive_replica(s, r);
+                                println!(
+                                    "revived replica {r} of shard {s}; the next probe \
+                                     recovers it"
+                                );
+                            }
+                        }
+                        (None, _, _) => println!("sharded execution off; \\shard <N> [R] first"),
+                        _ => println!("usage: \\shard {verb} <shard> <replica>"),
+                    }
+                }
+                Some(arg) => match arg.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        let r = parts
+                            .get(2)
+                            .and_then(|v| v.parse::<usize>().ok())
+                            .unwrap_or(2)
+                            .max(1);
+                        self.rebuild_shards(n, r);
+                        if self.server.is_some() {
+                            println!(
+                                "(note: the serve worker pool executes unsharded; \
+                                 sharding applies to direct questions)"
+                            );
+                        }
+                    }
+                    _ => println!("usage: \\shard [N [R] | kill S R | revive S R | off]"),
+                },
+            },
             Some("\\stats") => {
                 print!("{}", muve::obs::metrics().snapshot());
                 if let Some(server) = &self.server {
@@ -495,7 +628,8 @@ fn print_help() {
          commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
          \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>, \\memcap <mb|off>,\n\
          \\inject <spec|off>, \\svg <path>, \\serve [workers] [queue] | off, \\drain,\n\
-         \\cache [clear | <mb>], \\stats, \\trace <path|off>, \\schema, \\quit"
+         \\shard [N [R] | kill S R | revive S R | off], \\cache [clear | <mb>],\n\
+         \\stats, \\trace <path|off>, \\schema, \\quit"
     );
 }
 

@@ -9,5 +9,6 @@ pub use muve_obs as obs;
 pub use muve_phonetics as phonetics;
 pub use muve_pipeline as pipeline;
 pub use muve_serve as serve;
+pub use muve_shard as shard;
 pub use muve_sim as sim;
 pub use muve_solver as solver;
