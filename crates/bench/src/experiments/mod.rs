@@ -14,6 +14,7 @@
 //! | `serve` | network-stack shed/latency load curves | [`serve`] |
 //! | `scan` | row-at-a-time vs morsel-driven batch scans | [`scan`] |
 //! | `shard` | replicated scatter-gather throughput & chaos | [`shard`] |
+//! | `index` | secondary-index probes vs scans across selectivities | [`index`] |
 
 pub mod ablation;
 pub mod cache;
@@ -24,6 +25,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod index;
 pub mod scan;
 pub mod serve;
 pub mod shard;
@@ -34,7 +36,7 @@ pub use common::ResultTable;
 /// All experiment ids accepted by the `expt` binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "ablation", "cache", "serve", "scan", "shard",
+    "ablation", "cache", "serve", "scan", "shard", "index",
 ];
 
 /// Run one experiment by id (fig3 is produced together with table1, and
@@ -53,6 +55,7 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<ResultTable>> {
         "serve" => Some(serve::run(quick)),
         "scan" => Some(scan::run(quick)),
         "shard" => Some(shard::run(quick)),
+        "index" => Some(index::run(quick)),
         _ => None,
     }
 }

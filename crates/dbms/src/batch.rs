@@ -1140,9 +1140,26 @@ pub fn execute_with_source<S: RowBatches>(
     run_batch(query, &cq, source, opts, cfg)
 }
 
+/// Reject selections containing row ids beyond the table. The scan
+/// kernels index column slices by `ids[lane] as usize` without bounds
+/// checks (the hot loops trust their source), so ids arriving from
+/// external sources — samples, index probes, network callers — are
+/// validated once at the entry points instead. Reports the *first*
+/// out-of-range id in slice order, so every engine surfaces the same
+/// typed error for the same input.
+pub(crate) fn validate_selection(table: &Table, ids: &[u32]) -> Result<(), ExecError> {
+    let rows = table.num_rows();
+    match ids.iter().find(|&&id| id as usize >= rows) {
+        Some(&id) => Err(ExecError::SelectionOutOfBounds { id, rows }),
+        None => Ok(()),
+    }
+}
+
 /// Execute `query` against `table` through the batch engine — the default
 /// engine behind [`crate::exec::execute_with_opts`]. `selection`
-/// optionally restricts the scan to the given row ids.
+/// optionally restricts the scan to the given row ids; ids past the end
+/// of the table are rejected with [`ExecError::SelectionOutOfBounds`]
+/// (after query compilation, so query-shape errors keep priority).
 pub fn execute_batch(
     table: &Table,
     query: &Query,
@@ -1151,7 +1168,11 @@ pub fn execute_batch(
     cfg: &BatchConfig,
 ) -> Result<ResultSet, ExecError> {
     match selection {
-        Some(ids) => execute_with_source(table, query, &Selection(ids), opts, cfg),
+        Some(ids) => {
+            let cq = CompiledQuery::compile(table, query)?;
+            validate_selection(table, ids)?;
+            run_batch(query, &cq, &Selection(ids), opts, cfg)
+        }
         None => execute_with_source(table, query, &FullScan(table.num_rows()), opts, cfg),
     }
 }
@@ -1281,6 +1302,9 @@ pub fn execute_partials(
     cfg: &BatchConfig,
 ) -> Result<QueryPartials, ExecError> {
     let cq = CompiledQuery::compile(table, query)?;
+    if let Some(ids) = selection {
+        validate_selection(table, ids)?;
+    }
     let progress = Progress::new(opts.progress);
     let charge = SharedCharge::new(opts.mem);
     let run = match selection {

@@ -12,10 +12,15 @@
 //! prices the same query on the morsel-driven batch engine, dividing CPU
 //! work across workers and charging a fixed per-morsel overhead
 //! (scheduling, partial-accumulator setup) plus the cost of combining one
-//! partial per morsel at the end.
+//! partial per morsel at the end. [`estimate_index`] prices the inverted
+//! -index path of [`crate::index`] — posting-list probe + intersection
+//! plus a residual re-evaluation over the candidate rows — and
+//! [`choose_access_path`] turns the comparison into the planner's
+//! index-vs-scan decision.
 
 use crate::ast::{PredOp, Query};
 use crate::table::Table;
+use crate::value::Value;
 
 /// Cost model constants (defaults match Postgres).
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +40,12 @@ pub struct CostParams {
     /// Fixed cost of dispatching one morsel: the work-stealing claim plus
     /// partial-accumulator setup, in the same units as the other knobs.
     pub morsel_cost: f64,
+    /// CPU cost of materializing one candidate row from a posting list:
+    /// the gather through `Rows::Ids` is random-access, so this is priced
+    /// well above `cpu_tuple_cost` (cf. Postgres' random-vs-seq page
+    /// ratio). Deliberately pessimistic so the index path only wins on
+    /// genuinely selective predicates.
+    pub index_tuple_cost: f64,
 }
 
 impl Default for CostParams {
@@ -47,6 +58,7 @@ impl Default for CostParams {
             morsel_rows: crate::morsel::MORSEL_ROWS,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             morsel_cost: 0.1,
+            index_tuple_cost: 0.5,
         }
     }
 }
@@ -143,12 +155,170 @@ pub fn estimate_batch(table: &Table, query: &Query, params: &CostParams) -> Cost
     let io = pages * params.seq_page_cost;
     let cpu = (base.total - io).max(0.0);
     let dispatch = n_morsels * params.morsel_cost;
-    let combine = (n_morsels - 1.0) * base.est_groups * params.cpu_operator_cost;
+    // Combining per-morsel partials only costs something when there is
+    // accumulator state to merge: grouped queries fold one partial hash
+    // table per morsel. An ungrouped query's partial is a handful of
+    // scalars merged inside the dispatch overhead already charged above —
+    // charging `est_groups` (=1) per morsel again double-counted it.
+    let combine = if query.group_by.is_empty() {
+        0.0
+    } else {
+        (n_morsels - 1.0) * base.est_groups * params.cpu_operator_cost
+    };
     CostEstimate {
         total: io + cpu / workers + dispatch + combine,
         est_rows: base.est_rows,
         est_groups: base.est_groups,
     }
+}
+
+/// The planner's access-path decision for one query (or one merge-group).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPath {
+    /// Full-table morsel-driven scan through the batch engine.
+    BatchScan,
+    /// Inverted-index probe producing candidate row-ids that feed the
+    /// batch engine as a `Rows::Ids` selection.
+    IndexScan {
+        /// Estimated fraction of rows surviving the indexable predicates.
+        selectivity: f64,
+    },
+}
+
+/// Per-predicate classification shared by the planner and the cost model.
+///
+/// A predicate is *indexable* when it is `Eq` or `IN` over string literals
+/// on a dictionary-coded column: the inverted index of [`crate::index`]
+/// maps dictionary codes to posting lists, so its selectivity is exact —
+/// `resolved_codes / dict_len` — not an estimate. Returns the combined
+/// selectivity, the number of indexable predicates, and the number of
+/// literal→code lookups the probe will perform; `None` when no predicate
+/// is indexable.
+fn classify_indexable(table: &Table, query: &Query) -> Option<(f64, usize, usize)> {
+    let mut sel = 1.0f64;
+    let mut n_indexable = 0usize;
+    let mut n_lookups = 0usize;
+    for pred in &query.predicates {
+        let Some(dict) = table
+            .column_by_name(&pred.column)
+            .and_then(|c| c.dictionary())
+        else {
+            continue;
+        };
+        let denom = dict.len().max(1) as f64;
+        match &pred.op {
+            PredOp::Eq(Value::Str(s)) => {
+                let resolved = if dict.code_of(s).is_some() { 1.0 } else { 0.0 };
+                sel *= resolved / denom;
+                n_indexable += 1;
+                n_lookups += 1;
+            }
+            PredOp::In(vs) if vs.iter().all(|v| matches!(v, Value::Str(_))) => {
+                let resolved = vs
+                    .iter()
+                    .filter(|v| matches!(v, Value::Str(s) if dict.code_of(s).is_some()))
+                    .count() as f64;
+                sel *= (resolved / denom).min(1.0);
+                n_indexable += 1;
+                n_lookups += vs.len();
+            }
+            _ => {}
+        }
+    }
+    if n_indexable == 0 {
+        None
+    } else {
+        Some((sel, n_indexable, n_lookups))
+    }
+}
+
+/// Exact combined selectivity of the indexable predicates of `query`, or
+/// `None` when no predicate can use an inverted index.
+///
+/// Unlike [`estimate`]'s `1/n_distinct` heuristic this resolves each
+/// string literal against the column dictionary, so an unmatched literal
+/// contributes selectivity 0 — the index path answers it without touching
+/// a single row. Projected shard tables share the parent's dictionaries,
+/// so parent and shards compute the same value.
+pub fn indexed_selectivity(table: &Table, query: &Query) -> Option<f64> {
+    classify_indexable(table, query).map(|(sel, _, _)| sel)
+}
+
+/// Pick the access path for `query` over `table`.
+///
+/// The rule compares per-row work only: the index path touches
+/// `sel × rows` candidates at `index_tuple_cost + cpu_tuple_cost +
+/// P·cpu_operator_cost` each (random gather plus full residual
+/// re-evaluation), the scan touches every row at `cpu_tuple_cost +
+/// P·cpu_operator_cost`. Worker count is deliberately excluded — both
+/// paths parallelize through the same morsel engine, so parallelism
+/// cancels — which keeps the decision identical across machines and
+/// between a parent table and its shard projections (required for
+/// bit-identical sharded execution).
+pub fn choose_access_path(table: &Table, query: &Query, params: &CostParams) -> AccessPath {
+    let Some(sel) = indexed_selectivity(table, query) else {
+        return AccessPath::BatchScan;
+    };
+    let p = query.predicates.len() as f64;
+    let per_row_scan = params.cpu_tuple_cost + p * params.cpu_operator_cost;
+    let per_row_index = params.index_tuple_cost + per_row_scan;
+    if sel * per_row_index < per_row_scan {
+        AccessPath::IndexScan { selectivity: sel }
+    } else {
+        AccessPath::BatchScan
+    }
+}
+
+/// Estimate the cost of answering `query` through the inverted-index path:
+/// literal→code probes, posting-list intersection, a random gather of the
+/// candidate rows with full residual predicate re-evaluation, then the
+/// same aggregation/grouping terms as [`estimate`] and the batch engine's
+/// dispatch/combine overheads over the (much smaller) candidate set.
+///
+/// Returns `None` when no predicate is indexable ([`indexed_selectivity`]
+/// is `None`): the query has no index path to price.
+pub fn estimate_index(table: &Table, query: &Query, params: &CostParams) -> Option<CostEstimate> {
+    let (sel, n_indexable, n_lookups) = classify_indexable(table, query)?;
+    let base = estimate(table, query, params);
+    let rows = table.num_rows() as f64;
+    let pages = (table.approx_bytes() as f64 / params.page_bytes as f64)
+        .ceil()
+        .max(1.0);
+    let p = query.predicates.len() as f64;
+    let candidates = rows * sel;
+    // Probe: one dictionary lookup per literal plus posting-list merges;
+    // intersecting k lists costs one comparison per surviving candidate
+    // per extra list (the galloping intersection is bounded by the
+    // smaller list).
+    let probe = n_lookups as f64 * params.cpu_operator_cost;
+    let intersect = (n_indexable.saturating_sub(1)) as f64 * candidates * params.cpu_operator_cost;
+    // Candidate fetch + residual: every candidate row is gathered at
+    // random (index_tuple_cost) and re-checked against the *full*
+    // predicate set, which is what the Selection execution actually does.
+    let fetch = candidates * (params.index_tuple_cost + params.cpu_tuple_cost)
+        + candidates * p * params.cpu_operator_cost;
+    // Aggregation and grouping are downstream of the filter and identical
+    // to the sequential plan: recover them from `base` by subtracting its
+    // scan term.
+    let scan = pages * params.seq_page_cost
+        + rows * params.cpu_tuple_cost
+        + rows * p * params.cpu_operator_cost;
+    let downstream = (base.total - scan).max(0.0);
+    // The candidate set still flows through the morsel engine.
+    let n_morsels = (candidates / params.morsel_rows.max(1) as f64)
+        .ceil()
+        .max(1.0);
+    let dispatch = n_morsels * params.morsel_cost;
+    let combine = if query.group_by.is_empty() {
+        0.0
+    } else {
+        (n_morsels - 1.0) * base.est_groups * params.cpu_operator_cost
+    };
+    Some(CostEstimate {
+        total: probe + intersect + fetch + downstream + dispatch + combine,
+        est_rows: base.est_rows,
+        est_groups: base.est_groups,
+    })
 }
 
 #[cfg(test)]
@@ -299,6 +469,140 @@ mod tests {
             },
         );
         assert!(fine.total > coarse.total);
+    }
+
+    #[test]
+    fn ungrouped_batch_pays_no_combine_term() {
+        // Satellite bugfix pin: a query with no GROUP BY has no per-morsel
+        // accumulator state to merge, so with one worker the batch plan
+        // must cost exactly the serial plan plus dispatch overhead — no
+        // `(n_morsels - 1) * est_groups * cpu_operator_cost` combine term.
+        let p = CostParams {
+            morsel_rows: 1024,
+            workers: 1,
+            ..CostParams::default()
+        };
+        let t = table(50_000);
+        let q = parse("select count(*) from t").unwrap();
+        let row = estimate(&t, &q, &p);
+        let batch = estimate_batch(&t, &q, &p);
+        let n_morsels = (50_000f64 / 1024.0).ceil();
+        let expect = row.total + n_morsels * p.morsel_cost;
+        assert!(
+            (batch.total - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            batch.total
+        );
+        // A grouped query over the same table still pays the combine term.
+        let qg = parse("select count(*) from t group by k").unwrap();
+        let rowg = estimate(&t, &qg, &p);
+        let batchg = estimate_batch(&t, &qg, &p);
+        assert!(batchg.total > rowg.total + n_morsels * p.morsel_cost);
+    }
+
+    /// Table whose string column has `distinct` dictionary entries.
+    fn wide_table(n: usize, distinct: usize) -> Table {
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..n {
+            b.push_row([
+                Value::from(format!("k{}", i % distinct)),
+                Value::from(i as i64),
+            ]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn planner_prefers_index_only_when_selective() {
+        let p = CostParams::default();
+        let selective = wide_table(10_000, 200);
+        let q = parse("select count(*) from t where k = 'k3'").unwrap();
+        // 1/200 = 0.005 is far below the ~0.024 break-even.
+        match choose_access_path(&selective, &q, &p) {
+            AccessPath::IndexScan { selectivity } => {
+                assert!((selectivity - 1.0 / 200.0).abs() < 1e-12)
+            }
+            other => panic!("expected index path, got {other:?}"),
+        }
+        // 1/20 = 0.05 is above it: the random gather would cost more than
+        // the scan saves.
+        let coarse = wide_table(10_000, 20);
+        assert_eq!(choose_access_path(&coarse, &q, &p), AccessPath::BatchScan);
+    }
+
+    #[test]
+    fn unresolved_literal_is_exactly_free() {
+        // A literal absent from the dictionary matches nothing; the index
+        // knows that without touching a row, so selectivity is exactly 0.
+        let p = CostParams::default();
+        let t = wide_table(1000, 20);
+        let q = parse("select count(*) from t where k = 'nope'").unwrap();
+        assert_eq!(indexed_selectivity(&t, &q), Some(0.0));
+        assert_eq!(
+            choose_access_path(&t, &q, &p),
+            AccessPath::IndexScan { selectivity: 0.0 }
+        );
+    }
+
+    #[test]
+    fn non_string_predicates_have_no_index_path() {
+        let p = CostParams::default();
+        let t = wide_table(1000, 20);
+        let q = parse("select count(*) from t where v > 10").unwrap();
+        assert_eq!(indexed_selectivity(&t, &q), None);
+        assert_eq!(choose_access_path(&t, &q, &p), AccessPath::BatchScan);
+        assert!(estimate_index(&t, &q, &p).is_none());
+    }
+
+    #[test]
+    fn shard_projection_plans_like_parent() {
+        // The access-path decision must be identical for a parent table
+        // and any projection of it (shards keep the parent dictionary),
+        // regardless of row count — otherwise sharded execution could mix
+        // paths and lose bit-identity of ExecStats.
+        let p = CostParams::default();
+        let parent = wide_table(8_000, 200);
+        let rows: Vec<u32> = (0..8_000u32).filter(|r| r % 3 == 0).collect();
+        let shard = parent.project_rows(&rows);
+        for sql in [
+            "select count(*) from t where k = 'k7'",
+            "select sum(v) from t where k in ('k1','k2') group by k",
+            "select count(*) from t where v > 3",
+        ] {
+            let q = parse(sql).unwrap();
+            assert_eq!(
+                choose_access_path(&parent, &q, &p),
+                choose_access_path(&shard, &q, &p),
+                "{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_estimate_beats_batch_only_when_selective() {
+        // Pin the worker count: estimate_batch divides CPU across cores,
+        // so the comparison must not float with the build machine.
+        let p = CostParams {
+            workers: 4,
+            ..CostParams::default()
+        };
+        let t = wide_table(200_000, 200);
+        let selective = parse("select sum(v) from t where k = 'k3'").unwrap();
+        let idx = estimate_index(&t, &selective, &p).unwrap();
+        let scan = estimate_batch(&t, &selective, &p);
+        assert!(idx.total < scan.total, "{} vs {}", idx.total, scan.total);
+        assert_eq!(idx.est_rows, scan.est_rows);
+        // A near-full-table IN list should price the other way.
+        let members: Vec<String> = (0..150).map(|i| format!("'k{i}'")).collect();
+        let broad = parse(&format!(
+            "select sum(v) from t where k in ({})",
+            members.join(",")
+        ))
+        .unwrap();
+        let idx = estimate_index(&t, &broad, &p).unwrap();
+        let scan = estimate_batch(&t, &broad, &p);
+        assert!(idx.total > scan.total, "{} vs {}", idx.total, scan.total);
     }
 
     #[test]

@@ -49,6 +49,16 @@ pub enum ExecError {
     /// [`ExecError::Cancelled`]: the caller did not give up, the backends
     /// did.
     Unavailable(String),
+    /// A row selection referenced a row id past the end of the table.
+    /// The scan kernels trust their selection (no per-lane bounds
+    /// checks), so ids from external sources are validated at the entry
+    /// points and rejected with this error instead of panicking.
+    SelectionOutOfBounds {
+        /// The first out-of-range id, in selection order.
+        id: u32,
+        /// Number of rows in the table.
+        rows: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -64,6 +74,9 @@ impl fmt::Display for ExecError {
                 if *global { "global" } else { "per-request" }
             ),
             ExecError::Unavailable(m) => write!(f, "execution backend unavailable: {m}"),
+            ExecError::SelectionOutOfBounds { id, rows } => {
+                write!(f, "selection row id {id} out of bounds for {rows} rows")
+            }
         }
     }
 }
@@ -140,7 +153,7 @@ pub struct ExecOptions<'a> {
 pub const CANCEL_STRIDE: usize = 1024;
 
 #[inline]
-fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), ExecError> {
+pub(crate) fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), ExecError> {
     match cancel {
         Some(t) if t.should_stop() => {
             muve_obs::metrics().counter("dbms.cancelled").incr();
@@ -252,12 +265,32 @@ pub fn execute_with_selection(
 /// Runs the morsel-driven batch engine with its default configuration;
 /// use [`crate::batch::execute_batch`] to control morsel size and thread
 /// count explicitly.
+///
+/// Full scans additionally consult the access-path planner
+/// ([`crate::cost::choose_access_path`]): when the query carries a
+/// sufficiently selective equality/`IN` predicate over a dictionary
+/// column, candidate rows come from the inverted indexes of
+/// [`crate::index`] and flow through the same batch engine as a row-id
+/// selection. The planner's fallback contract guarantees results and
+/// typed errors are identical either way — only `rows_scanned` shrinks
+/// to the candidate count.
 pub fn execute_with_opts(
     table: &Table,
     query: &Query,
     selection: Option<&[u32]>,
     opts: ExecOptions<'_>,
 ) -> Result<ResultSet, ExecError> {
+    if selection.is_none() {
+        if let Some(ids) = crate::index::index_candidates(table, query, &opts)? {
+            return crate::batch::execute_batch(
+                table,
+                query,
+                Some(&ids),
+                opts,
+                &BatchConfig::default(),
+            );
+        }
+    }
     crate::batch::execute_batch(table, query, selection, opts, &BatchConfig::default())
 }
 
@@ -273,6 +306,9 @@ pub fn execute_reference(
     opts: ExecOptions<'_>,
 ) -> Result<ResultSet, ExecError> {
     let cq = CompiledQuery::compile(table, query)?;
+    if let Some(ids) = selection {
+        crate::batch::validate_selection(table, ids)?;
+    }
     let mut scanned = 0usize;
     let mut matched = 0usize;
     let result = reference_scan(

@@ -32,6 +32,7 @@ pub mod cost;
 pub mod csv;
 pub mod exec;
 pub mod fingerprint;
+pub mod index;
 pub mod merge;
 pub mod morsel;
 pub mod parser;
@@ -47,7 +48,10 @@ pub use batch::{
     BatchConfig, FullScan, QueryPartials, RowBatches, Rows, Selection, CHUNK_ROWS,
 };
 pub use column::{Column, ColumnData, Dictionary};
-pub use cost::{estimate, estimate_batch, explain, CostEstimate, CostParams};
+pub use cost::{
+    choose_access_path, estimate, estimate_batch, estimate_index, explain, indexed_selectivity,
+    AccessPath, CostEstimate, CostParams,
+};
 pub use csv::{
     table_from_csv_path, table_from_csv_path_with_limits, table_from_csv_str,
     table_from_csv_str_with_limits, CsvError, CsvLimits,
@@ -57,9 +61,13 @@ pub use exec::{
     ExecStats, ResultSet, ScanProgress, CANCEL_STRIDE,
 };
 pub use fingerprint::{canon_ident, query_fingerprint};
+pub use index::{
+    build_indexes, index_candidates, index_registry, probe_candidates, ColumnIndex, IndexRegistry,
+    IndexStatus, Postings,
+};
 pub use merge::{
-    execute_merged, execute_merged_with_opts, extract_merged, merge_is_beneficial, plan_merged,
-    MergeGroup, MergeMember, MergedResults,
+    execute_merged, execute_merged_with_opts, extract_merged, merge_is_beneficial,
+    plan_group_paths, plan_merged, MergeGroup, MergeMember, MergedResults,
 };
 pub use morsel::{morsels, Morsel, MORSEL_ROWS};
 pub use parser::{parse, ParseError};

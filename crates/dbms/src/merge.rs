@@ -10,7 +10,7 @@
 //! Postgres optimizer.
 
 use crate::ast::{Aggregate, PredOp, Predicate, Query};
-use crate::cost::{estimate, CostParams};
+use crate::cost::{choose_access_path, estimate, AccessPath, CostParams};
 use crate::exec::{execute, execute_with_opts, ExecError, ExecOptions, ExecStats, ResultSet};
 use crate::fingerprint::canon_ident;
 use crate::table::Table;
@@ -333,6 +333,27 @@ pub fn extract_merged(rs: &ResultSet, group: &MergeGroup) -> Vec<(usize, Option<
     results
 }
 
+/// The planner's access-path choice for each merge group, in group order.
+///
+/// Merging rewrites many per-candidate scans into few grouped queries;
+/// *this* decides, per rewritten query, whether that one scan should even
+/// touch the whole table: a group whose `IN` list resolves to a sliver of
+/// the dictionary takes the inverted-index path, a broad group scans.
+/// Execution ([`execute_merged_with_opts`] →
+/// [`crate::exec::execute_with_opts`]) makes the identical decision
+/// internally; this function is the reporting surface for EXPLAIN-style
+/// output (the CLI shows it next to `\index status`).
+pub fn plan_group_paths(
+    table: &Table,
+    groups: &[MergeGroup],
+    params: &CostParams,
+) -> Vec<AccessPath> {
+    groups
+        .iter()
+        .map(|g| choose_access_path(table, &g.merged, params))
+        .collect()
+}
+
 /// Decide via the cost model whether executing `group` merged is cheaper
 /// than executing its members separately.
 pub fn merge_is_beneficial(
@@ -520,6 +541,37 @@ mod tests {
         ];
         let groups = plan_merged(&queries);
         assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn per_group_paths_follow_selectivity() {
+        // 200 distinct keys: the merged IN(2)/200 group is selective
+        // enough for the index path; the unindexable range group scans.
+        let schema = Schema::new([("k", ColumnType::Str), ("v", ColumnType::Int)]);
+        let mut b = Table::builder("t", schema);
+        for i in 0..4000i64 {
+            b.push_row([Value::from(format!("k{}", i % 200)), Value::Int(i)]);
+        }
+        let t = b.build();
+        let queries = vec![
+            q("select sum(v) from t where k = 'k1'"),
+            q("select sum(v) from t where k = 'k2'"),
+            q("select count(*) from t where v > 3"),
+        ];
+        let groups = plan_merged(&queries);
+        assert_eq!(groups.len(), 2);
+        let paths = plan_group_paths(&t, &groups, &CostParams::default());
+        let merged_pos = groups
+            .iter()
+            .position(|g| g.members.len() == 2)
+            .expect("the two equality queries merge");
+        match paths[merged_pos] {
+            AccessPath::IndexScan { selectivity } => {
+                assert!((selectivity - 2.0 / 200.0).abs() < 1e-12)
+            }
+            other => panic!("merged group should take the index: {other:?}"),
+        }
+        assert_eq!(paths[1 - merged_pos], AccessPath::BatchScan);
     }
 
     #[test]

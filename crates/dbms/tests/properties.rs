@@ -380,3 +380,89 @@ mod sql_roundtrip {
         }
     }
 }
+
+mod selection_props {
+    use super::*;
+    use muve_dbms::{
+        combine_partials, execute_batch, execute_partials, execute_reference, execute_with_opts,
+        BatchConfig, ExecError, ExecOptions,
+    };
+
+    /// Adversarial row-id selections: mostly valid ids with occasional
+    /// out-of-range ones (including `u32::MAX`) spliced in anywhere.
+    fn ids(n_rows: usize) -> impl Strategy<Value = Vec<u32>> {
+        let n = n_rows as u32;
+        // Mostly-valid ids; the vendored prop_oneof is unweighted, so the
+        // valid range is repeated to keep all-valid selections common.
+        prop::collection::vec(
+            prop_oneof![
+                0..n.max(1),
+                0..n.max(1),
+                0..n.max(1),
+                n..n.saturating_add(50).max(1),
+                Just(u32::MAX),
+            ],
+            0..40,
+        )
+    }
+
+    /// The first id at or past `rows`, in slice order — the one every
+    /// entry point must report.
+    fn first_bad(ids: &[u32], rows: usize) -> Option<u32> {
+        ids.iter().copied().find(|&id| id as usize >= rows)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Property: every execution entry point taking a `Rows::Ids`
+        /// selection either (a) rejects an out-of-range id with the same
+        /// typed `SelectionOutOfBounds` error naming the first offender,
+        /// or (b) agrees bit-for-bit with the reference executor. No
+        /// entry point may panic or silently skip bad ids.
+        #[test]
+        fn adversarial_selections_fail_closed(rt in random_table(), sel in (1usize..60).prop_flat_map(ids)) {
+            let table = rt.build();
+            let rows = table.num_rows();
+            let q = muve_dbms::parse("select count(*), sum(v) from t where k = 'k1' group by g").unwrap();
+
+            let reference = execute_reference(&table, &q, Some(&sel), ExecOptions::default());
+            let batch = execute_batch(
+                &table, &q, Some(&sel), ExecOptions::default(), &BatchConfig::default(),
+            );
+            let routed = execute_with_opts(&table, &q, Some(&sel), ExecOptions::default());
+            let partials = execute_partials(
+                &table, &q, Some(&sel), ExecOptions::default(), &BatchConfig::default(),
+            ).and_then(|p| combine_partials(&table, &q, vec![p], ExecOptions::default()));
+
+            match first_bad(&sel, rows) {
+                Some(bad) => {
+                    for (label, got) in [
+                        ("reference", &reference),
+                        ("batch", &batch),
+                        ("routed", &routed),
+                        ("partials", &partials),
+                    ] {
+                        match got {
+                            Err(ExecError::SelectionOutOfBounds { id, rows: r }) => {
+                                prop_assert_eq!(*id, bad, "{}: wrong offender", label);
+                                prop_assert_eq!(*r, rows, "{}: wrong row count", label);
+                            }
+                            other => prop_assert!(false, "{}: expected SelectionOutOfBounds, got {:?}", label, other),
+                        }
+                    }
+                }
+                None => {
+                    let want = reference.unwrap();
+                    let batch = batch.unwrap();
+                    prop_assert_eq!(&want.columns, &batch.columns);
+                    prop_assert_eq!(&want.rows, &batch.rows);
+                    let routed = routed.unwrap();
+                    prop_assert_eq!(&want.rows, &routed.rows);
+                    let combined = partials.unwrap();
+                    prop_assert_eq!(&want.rows, &combined.rows);
+                }
+            }
+        }
+    }
+}

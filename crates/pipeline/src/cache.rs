@@ -16,14 +16,18 @@
 //!
 //! All three layers share one table epoch ([`Table::fingerprint`]):
 //! [`SessionCaches::set_table`] bumps it, lazily dropping every entry
-//! computed against the old data.
+//! computed against the old data. The dbms-level inverted-index registry
+//! rides the same epoch machinery: each bundle remembers the table
+//! fingerprints it stamped and eagerly drops their indexes
+//! ([`muve_dbms::IndexRegistry::drop_tables`]) when a reload replaces
+//! them — the `index.stale_drops` counter records each such drop.
 
 use muve_cache::{CacheStats, SingleFlight};
 use muve_core::PlanCache;
 use muve_dbms::{ResultCache, ResultSet, Table};
 use muve_nlq::CandidateCache;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Single-flight key: `(table epoch, query fingerprint, fidelity key)`.
 /// The epoch is part of the key because the flight table has no epoch
@@ -44,6 +48,12 @@ pub struct SessionCaches {
     plans: PlanCache,
     flights: SingleFlight<FlightKey, Arc<ResultSet>>,
     epoch: AtomicU64,
+    /// Table fingerprints this bundle last stamped — on restamp, any
+    /// fingerprint no longer current has its inverted indexes dropped
+    /// from the process-wide registry. Only fingerprints *this* bundle
+    /// stamped are ever dropped, so parallel bundles (tests, multiple
+    /// shells) never thrash each other's indexes.
+    index_fps: Mutex<Vec<u64>>,
 }
 
 impl SessionCaches {
@@ -60,17 +70,39 @@ impl SessionCaches {
             plans: PlanCache::new(plans),
             flights: SingleFlight::new(),
             epoch: AtomicU64::new(0),
+            index_fps: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Stamp `epoch` into every layer and reconcile the index registry:
+    /// fingerprints this bundle stamped last time that are absent from
+    /// `fps` have their inverted indexes dropped eagerly (the registry is
+    /// process-wide and cannot see table reloads on its own).
+    fn restamp(&self, epoch: u64, fps: Vec<u64>) {
+        self.epoch.store(epoch, Ordering::Release);
+        self.candidates.set_epoch(epoch);
+        self.results.set_epoch(epoch);
+        self.plans.set_epoch(epoch);
+        let mut stamped = self.index_fps.lock().unwrap();
+        let stale: Vec<u64> = stamped
+            .iter()
+            .copied()
+            .filter(|fp| !fps.contains(fp))
+            .collect();
+        *stamped = fps;
+        drop(stamped);
+        if !stale.is_empty() {
+            muve_dbms::index_registry().drop_tables(&stale);
         }
     }
 
     /// Stamp the current table: every layer's epoch becomes the table's
     /// content fingerprint, lazily invalidating entries from other epochs.
+    /// Inverted indexes built for the previously stamped table are dropped
+    /// from the [`muve_dbms::IndexRegistry`].
     pub fn set_table(&self, table: &Table) {
-        let epoch = table.fingerprint();
-        self.epoch.store(epoch, Ordering::Release);
-        self.candidates.set_epoch(epoch);
-        self.results.set_epoch(epoch);
-        self.plans.set_epoch(epoch);
+        let fp = table.fingerprint();
+        self.restamp(fp, vec![fp]);
     }
 
     /// Stamp the caches from a shard set instead of a bare table: the
@@ -78,12 +110,15 @@ impl SessionCaches {
     /// table's content fingerprint plus the shard count. Reloading even a
     /// single shard's data (or changing the partition layout) moves the
     /// epoch, so no entry computed against the old shards is ever served.
+    /// Indexes for previously stamped tables (parent or per-shard) that
+    /// are not part of the new set are dropped from the registry.
     pub fn set_shards(&self, shards: &muve_shard::ShardSet) {
-        let epoch = shards.epoch();
-        self.epoch.store(epoch, Ordering::Release);
-        self.candidates.set_epoch(epoch);
-        self.results.set_epoch(epoch);
-        self.plans.set_epoch(epoch);
+        let mut fps = Vec::with_capacity(shards.num_shards() + 1);
+        fps.push(shards.parent().fingerprint());
+        for s in 0..shards.num_shards() {
+            fps.push(shards.shard_table(s).fingerprint());
+        }
+        self.restamp(shards.epoch(), fps);
     }
 
     /// The current table epoch.
@@ -203,6 +238,63 @@ mod tests {
         caches.set_shards(&other);
         assert_eq!(caches.epoch(), other.epoch());
         assert_ne!(set.epoch(), other.epoch());
+    }
+
+    #[test]
+    fn set_table_drops_stale_indexes() {
+        use muve_dbms::{index_registry, ExecOptions};
+
+        let caches = SessionCaches::new(1 << 20);
+        let a = table(10);
+        let b = table(11);
+        caches.set_table(&a);
+        index_registry()
+            .get_or_build(&a, "k", &ExecOptions::default())
+            .unwrap();
+        assert!(index_registry().has_table(a.fingerprint()));
+
+        let drops_before = muve_obs::metrics().counter("index.stale_drops").get();
+        caches.set_table(&b);
+        assert!(
+            !index_registry().has_table(a.fingerprint()),
+            "reload must evict the old table's indexes"
+        );
+        assert!(
+            muve_obs::metrics().counter("index.stale_drops").get() > drops_before,
+            "stale drop must be observable"
+        );
+        // Re-stamping the same table is a no-op: nothing new to drop.
+        index_registry()
+            .get_or_build(&b, "k", &ExecOptions::default())
+            .unwrap();
+        caches.set_table(&b);
+        assert!(index_registry().has_table(b.fingerprint()));
+        index_registry().drop_tables(&[b.fingerprint()]);
+    }
+
+    #[test]
+    fn set_shards_tracks_parent_and_shard_indexes() {
+        use muve_dbms::{index_registry, ExecOptions};
+        use muve_shard::{ShardSet, ShardSpec};
+        use std::sync::Arc;
+
+        let caches = SessionCaches::new(1 << 20);
+        let t = Arc::new(table(20));
+        let set = ShardSet::build(Arc::clone(&t), ShardSpec::new(2, 1));
+        caches.set_shards(&set);
+        let shard_fp = set.shard_table(0).fingerprint();
+        index_registry()
+            .get_or_build(set.shard_table(0), "k", &ExecOptions::default())
+            .unwrap();
+        assert!(index_registry().has_table(shard_fp));
+
+        // Replacing the shard set with a plain table drops shard indexes.
+        let replacement = table(21);
+        caches.set_table(&replacement);
+        assert!(
+            !index_registry().has_table(shard_fp),
+            "shard reload must evict per-shard indexes"
+        );
     }
 
     #[test]

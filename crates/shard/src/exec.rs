@@ -298,6 +298,16 @@ fn run_job(
     // sub-query), but without muzzling the printer: an un-injected panic
     // is a bug and should be loud.
     match panic::catch_unwind(AssertUnwindSafe(|| {
+        // Full shard scans consult the access-path planner, building
+        // per-shard local indexes from the projected table on first use.
+        // Shards keep the parent's dictionaries, so every replica of
+        // every shard makes the *same* index-vs-scan decision as the
+        // single-table path — sharded answers stay bit-identical.
+        if sel.is_none() {
+            if let Some(ids) = muve_dbms::index_candidates(table, &job.query, &opts)? {
+                return execute_partials(table, &job.query, Some(&ids), opts, cfg);
+            }
+        }
         execute_partials(table, &job.query, sel, opts, cfg)
     })) {
         Ok(r) => r,
@@ -683,6 +693,23 @@ impl ShardSet {
                     token.cancel();
                 }
                 *unresolved -= 1;
+            }
+            Err(ExecError::Cancelled) => {
+                // The copy was stopped by its own dispatch token — the
+                // gather's deadline or the caller's cancel — not by a
+                // replica fault. Burning a failover on it (or declaring
+                // the shard all-replicas-down) would misreport a blown
+                // budget as unavailability.
+                if gs.inflight.is_empty() {
+                    let cause = if deadline.is_some_and(|d| Instant::now() >= d) {
+                        MissingCause::DeadlineExpired
+                    } else {
+                        MissingCause::Cancelled
+                    };
+                    gs.outcome = Some(ShardOutcome::Missing { cause });
+                    *unresolved -= 1;
+                }
+                // else: another copy (the hedge) is still out — wait.
             }
             Err(_) => {
                 if self.dispatch(

@@ -27,6 +27,7 @@
 //! \drain                                     gracefully drain the worker pool
 //! \shard [N [R] | kill S R | revive S R | off]  replicated sharded execution
 
+//! \index [status | build | on | off]         secondary-index registry
 //! \cache [clear | <mb>]                      cache stats, clear, or resize (0 off)
 //! \stats                                     print process-wide metrics
 //! \trace <path|off>                          append per-query JSON traces
@@ -175,6 +176,93 @@ impl Shell {
             st.shards_served,
             st.shards_missing
         );
+    }
+
+    fn index_status(&self) {
+        use muve::dbms::CostParams;
+
+        let reg = muve::dbms::index_registry();
+        println!(
+            "secondary indexes {}: {:.1} MB held of a {:.0} MB cap",
+            if reg.enabled() { "on" } else { "off" },
+            reg.total_bytes() as f64 / (1 << 20) as f64,
+            reg.cap_bytes() as f64 / (1 << 20) as f64,
+        );
+        let snap = muve::obs::metrics().snapshot();
+        println!(
+            "  builds {}, hits {}, residual rows {}, intersections {}, \
+             stale drops {}, evictions {}, mem fallbacks {}",
+            snap.counter("index.builds"),
+            snap.counter("index.hits"),
+            snap.counter("index.residual_rows"),
+            snap.counter("index.intersections"),
+            snap.counter("index.stale_drops"),
+            snap.counter("index.evictions"),
+            snap.counter("index.mem_fallbacks"),
+        );
+        for st in reg.status() {
+            println!("  table {:?} ({} rows):", st.table, st.rows);
+            for (col, bytes) in &st.columns {
+                println!("    {col:<24} {:>9} bytes", bytes);
+            }
+        }
+        // Per-column planner preview: would a single equality lookup take
+        // the index path? (sel = 1/distinct vs the P=1 cost threshold.)
+        let p = CostParams::default();
+        let threshold = (p.cpu_tuple_cost + p.cpu_operator_cost)
+            / (p.index_tuple_cost + p.cpu_tuple_cost + p.cpu_operator_cost);
+        println!(
+            "  planner preview for {:?} (index iff selectivity < {:.2}%):",
+            self.table.name(),
+            threshold * 100.0
+        );
+        for (i, def) in self.table.schema().columns().iter().enumerate() {
+            if def.ty != ColumnType::Str {
+                continue;
+            }
+            let distinct = self.table.column(i).distinct_estimate().max(1);
+            let sel = 1.0 / distinct as f64;
+            println!(
+                "    {:<24} {:>6} distinct, eq lookup ~{:.3}% -> {}",
+                def.name,
+                distinct,
+                sel * 100.0,
+                if sel < threshold { "index" } else { "scan" }
+            );
+        }
+    }
+
+    fn index_build(&self) {
+        use muve::dbms::{build_indexes, ExecOptions};
+
+        let reg = muve::dbms::index_registry();
+        if !reg.enabled() {
+            println!("secondary indexes are off; \\index on first");
+            return;
+        }
+        let tables: Vec<&Table> = match &self.shards {
+            Some(set) => (0..set.num_shards())
+                .map(|s| set.shard_table(s).as_ref())
+                .collect(),
+            None => vec![self.table.as_ref()],
+        };
+        for t in tables {
+            match build_indexes(t, &ExecOptions::default()) {
+                Ok(built) if built.is_empty() => {
+                    println!("table {:?}: no string columns to index", t.name());
+                }
+                Ok(built) => {
+                    let total: usize = built.iter().map(|(_, b)| *b).sum();
+                    println!(
+                        "table {:?}: built {} column indexes, {:.1} MB",
+                        t.name(),
+                        built.len(),
+                        total as f64 / (1 << 20) as f64
+                    );
+                }
+                Err(e) => println!("table {:?}: {e}", t.name()),
+            }
+        }
     }
 
     fn set_cache_budget(&mut self, mb: usize) {
@@ -582,6 +670,21 @@ impl Shell {
                     _ => println!("usage: \\shard [N [R] | kill S R | revive S R | off]"),
                 },
             },
+            Some("\\index") => match parts.get(1).copied() {
+                None | Some("status") => self.index_status(),
+                Some("build") => self.index_build(),
+                Some("on") => {
+                    muve::dbms::index_registry().set_enabled(true);
+                    println!("secondary indexes on (built lazily when the planner picks them)");
+                }
+                Some("off") => {
+                    let reg = muve::dbms::index_registry();
+                    reg.set_enabled(false);
+                    reg.clear();
+                    println!("secondary indexes off; all built indexes dropped");
+                }
+                _ => println!("usage: \\index [status | build | on | off]"),
+            },
             Some("\\stats") => {
                 print!("{}", muve::obs::metrics().snapshot());
                 if let Some(server) = &self.server {
@@ -628,7 +731,8 @@ fn print_help() {
          commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
          \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>, \\memcap <mb|off>,\n\
          \\inject <spec|off>, \\svg <path>, \\serve [workers] [queue] | off, \\drain,\n\
-         \\shard [N [R] | kill S R | revive S R | off], \\cache [clear | <mb>],\n\
+         \\shard [N [R] | kill S R | revive S R | off], \\index [status|build|on|off],\n\
+         \\cache [clear | <mb>],\n\
          \\stats, \\trace <path|off>, \\schema, \\quit"
     );
 }

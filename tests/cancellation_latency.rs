@@ -12,8 +12,8 @@
 
 use muve::data::Dataset;
 use muve::dbms::{
-    execute_merged_with_opts, execute_with_opts, parse, plan_merged, ExecError, ExecOptions,
-    ScanProgress,
+    execute_merged_with_opts, execute_with_opts, index_registry, parse, plan_merged,
+    probe_candidates, ExecError, ExecOptions, ScanProgress,
 };
 use muve::obs::CancelToken;
 use muve::pipeline::{Session, SessionConfig};
@@ -180,6 +180,51 @@ fn already_expired_budget_aborts_in_one_stride() {
         elapsed <= OVERSHOOT,
         "expired-budget scan should abort within one stride: {elapsed:?}"
     );
+}
+
+/// Index builds poll the token every `CANCEL_STRIDE` rows during both the
+/// counting and fill passes, and an aborted build must store **nothing**:
+/// the registry either holds a complete index or none at all, so a later
+/// probe rebuilds from scratch and answers correctly.
+#[test]
+fn mid_build_cancellation_leaves_no_partial_index() {
+    let table = big_table();
+    let query = parse("select count(*) from flights where origin = 'MSP'").unwrap();
+    index_registry().drop_tables(&[table.fingerprint()]);
+
+    let token = CancelToken::never();
+    let opts = ExecOptions {
+        cancel: Some(&token),
+        ..ExecOptions::default()
+    };
+    let (result, elapsed) =
+        run_with_midflight_cancel(&token, || probe_candidates(&table, &query, &opts));
+    match result {
+        // Outran the canceller (release build): the probe completed whole.
+        Ok(Some(_)) => assert!(
+            elapsed < CANCEL_AFTER + OVERSHOOT,
+            "probe claims success but ran {elapsed:?}, past the cancellation point"
+        ),
+        Err(ExecError::Cancelled) => {
+            assert!(
+                elapsed <= CANCEL_AFTER + OVERSHOOT,
+                "cancelled index build overshot: {elapsed:?}"
+            );
+            assert!(
+                !index_registry().has_table(table.fingerprint()),
+                "aborted build left a partial index in the registry"
+            );
+        }
+        other => panic!("unexpected probe outcome: {other:?}"),
+    }
+
+    // A fresh, uncancelled probe rebuilds and agrees with the scan.
+    let ids = probe_candidates(&table, &query, &ExecOptions::default())
+        .expect("rebuild failed")
+        .expect("origin predicate is indexable");
+    let want = execute_with_opts(&table, &query, None, ExecOptions::default()).unwrap();
+    assert_eq!(Some(ids.len() as f64), want.scalar(), "rebuilt index wrong");
+    index_registry().drop_tables(&[table.fingerprint()]);
 }
 
 /// The session-level guarantee behind DESIGN.md §12: with the token
