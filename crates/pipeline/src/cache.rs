@@ -284,7 +284,7 @@ mod tests {
         caches.set_shards(&set);
         let shard_fp = set.shard_table(0).fingerprint();
         index_registry()
-            .get_or_build(set.shard_table(0), "k", &ExecOptions::default())
+            .get_or_build(&set.shard_table(0), "k", &ExecOptions::default())
             .unwrap();
         assert!(index_registry().has_table(shard_fp));
 

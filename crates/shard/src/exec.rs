@@ -27,7 +27,7 @@
 
 use crate::fault::{FaultKind, ShardFaultInjector};
 use crate::health::{HealthTransition, HedgeTracker, ReplicaHealth};
-use crate::set::ShardSet;
+use crate::set::{ReplicaCore, ShardSet, Topology};
 use crate::stats::ShardStats;
 use muve_dbms::Table;
 use muve_dbms::{
@@ -53,6 +53,9 @@ const POLL: Duration = Duration::from_millis(10);
 pub enum MissingCause {
     /// Every replica was tried and none answered successfully.
     AllReplicasDown,
+    /// Every remaining replica shed the dispatch because its bounded
+    /// queue was full — the shard was overloaded, not down.
+    Overloaded,
     /// The gather's deadline budget expired first.
     DeadlineExpired,
     /// The caller's cancel token fired mid-gather.
@@ -177,23 +180,24 @@ pub fn local_selection(shard_rows: &[u32], ids: &[u32]) -> Vec<u32> {
     out
 }
 
-/// One sub-query handed to a replica worker.
+/// One sub-query handed to a replica worker (fields are crate-visible so
+/// the healer can hand-build its warm-up probe).
 #[derive(Debug)]
 pub(crate) struct Job {
-    query: Arc<Query>,
-    selection: Option<Arc<Vec<u32>>>,
-    cancel: CancelToken,
-    hedge: bool,
-    reply_tx: mpsc::Sender<Reply>,
+    pub(crate) query: Arc<Query>,
+    pub(crate) selection: Option<Arc<Vec<u32>>>,
+    pub(crate) cancel: CancelToken,
+    pub(crate) hedge: bool,
+    pub(crate) reply_tx: mpsc::Sender<Reply>,
 }
 
 /// A worker's answer.
 #[derive(Debug)]
-struct Reply {
-    shard: usize,
-    replica: usize,
-    hedge: bool,
-    result: Result<QueryPartials, ExecError>,
+pub(crate) struct Reply {
+    pub(crate) shard: usize,
+    pub(crate) replica: usize,
+    pub(crate) hedge: bool,
+    pub(crate) result: Result<QueryPartials, ExecError>,
 }
 
 /// Replica worker loop: drain jobs until the set drops the queue. The
@@ -262,6 +266,15 @@ fn run_job(
             return Err(ExecError::Unavailable(format!(
                 "injected: replica {shard}.{replica} down"
             )))
+        }
+        Some(FaultKind::DownUntilHealed) => {
+            // The replica takes itself out for good: the dead flag makes
+            // every subsequent sub-query fail fast, and the healer (if
+            // running) notices the flag and re-replicates the position.
+            dead.store(true, Ordering::SeqCst);
+            return Err(ExecError::Unavailable(format!(
+                "injected: replica {shard}.{replica} down until healed"
+            )));
         }
         Some(FaultKind::Error) => {
             return Err(ExecError::Unavailable(format!(
@@ -387,6 +400,10 @@ impl ShardSet {
     /// answers, degrading to a typed scaled estimate when some don't (and
     /// `allow_partial` permits). A full gather is bit-identical to
     /// [`muve_dbms::execute_with_opts`] against the parent table.
+    ///
+    /// The gather snapshots the topology once at entry (the epoch fence):
+    /// a concurrent [`resize`](ShardSet::resize) or healer core-swap
+    /// never hands a running query a half-switched layout.
     pub fn execute(
         &self,
         query: &Query,
@@ -395,8 +412,9 @@ impl ShardSet {
         // Deterministic query errors (unknown column, type mismatch) are
         // the caller's bug, not a replica fault: surface them before any
         // dispatch so they never trip breakers or burn failovers.
-        validate_query(&self.parent, query)?;
-        let (partials, report) = self.scatter_gather(query, None, &opts);
+        validate_query(&self.inner.parent, query)?;
+        let topo = self.inner.topology();
+        let (partials, report) = self.scatter_gather(&topo, query, None, &opts);
         let scale = report.coverage();
         self.finish(query, partials, report, &opts, scale)
     }
@@ -414,13 +432,14 @@ impl ShardSet {
         seed: u64,
         opts: ShardExecOptions<'_>,
     ) -> Result<(ShardedResult, f64), ExecError> {
-        validate_query(&self.parent, query)?;
-        let n = self.parent.num_rows();
+        validate_query(&self.inner.parent, query)?;
+        let topo = self.inner.topology();
+        let n = self.inner.parent.num_rows();
         let ids = systematic_rows(n, fraction, seed);
-        let selections: Vec<Arc<Vec<u32>>> = (0..self.num_shards())
-            .map(|s| Arc::new(local_selection(self.shard_rows(s), &ids)))
+        let selections: Vec<Arc<Vec<u32>>> = (0..topo.num_shards())
+            .map(|s| Arc::new(local_selection(&topo.shards[s].rows, &ids)))
             .collect();
-        let (partials, report) = self.scatter_gather(query, Some(selections), &opts);
+        let (partials, report) = self.scatter_gather(&topo, query, Some(selections), &opts);
         let realized = if n == 0 {
             1.0
         } else {
@@ -431,30 +450,32 @@ impl ShardSet {
         Ok((sr, realized))
     }
 
-    /// Scatter one sub-query per shard, ride hedges/failovers, and return
-    /// whatever partials arrived plus the per-shard outcome ledger. Never
-    /// fails: lost shards become typed [`ShardOutcome::Missing`] entries.
+    /// Scatter one sub-query per shard of `topo`, ride hedges/failovers,
+    /// and return whatever partials arrived plus the per-shard outcome
+    /// ledger. Never fails: lost shards become typed
+    /// [`ShardOutcome::Missing`] entries.
     fn scatter_gather(
         &self,
+        topo: &Topology,
         query: &Query,
         selections: Option<Vec<Arc<Vec<u32>>>>,
         opts: &ShardExecOptions<'_>,
     ) -> (Vec<Option<QueryPartials>>, GatherReport) {
-        let n_shards = self.num_shards();
+        let n_shards = topo.num_shards();
         let started = Instant::now();
         let deadline = opts.budget.map(|b| started + b);
         let query = Arc::new(query.clone());
         let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
-        self.stats.scatter(n_shards);
+        self.inner.stats.scatter(n_shards);
 
-        let hedge_delay = self.hedge.delay();
-        let can_hedge = self.num_replicas() > 1;
+        let hedge_delay = self.inner.hedge.delay();
+        let can_hedge = topo.num_replicas() > 1;
         let mut gss: Vec<GatherShard> = (0..n_shards)
             .map(|_| GatherShard {
                 partials: None,
                 outcome: None,
                 inflight: Vec::new(),
-                tried: vec![false; self.num_replicas()],
+                tried: vec![false; topo.num_replicas()],
                 hedge_at: None,
                 hedged: false,
             })
@@ -464,7 +485,8 @@ impl ShardSet {
         for s in 0..n_shards {
             let sel = selections.as_ref().map(|v| &v[s]);
             let gs = &mut gss[s];
-            if self.dispatch(
+            match self.dispatch(
+                topo,
                 s,
                 gs,
                 &query,
@@ -473,15 +495,16 @@ impl ShardSet {
                 deadline,
                 DispatchKind::Primary,
             ) {
-                if can_hedge {
-                    gs.hedge_at = Some(Instant::now() + hedge_delay);
+                Ok(()) => {
+                    if can_hedge {
+                        gs.hedge_at = Some(Instant::now() + hedge_delay);
+                    }
                 }
-            } else {
-                // Every replica's queue is gone — nothing to wait for.
-                gs.outcome = Some(ShardOutcome::Missing {
-                    cause: MissingCause::AllReplicasDown,
-                });
-                unresolved -= 1;
+                Err(cause) => {
+                    // No replica could take it — nothing to wait for.
+                    gs.outcome = Some(ShardOutcome::Missing { cause });
+                    unresolved -= 1;
+                }
             }
         }
 
@@ -501,7 +524,16 @@ impl ShardSet {
                 let gs = &mut gss[s];
                 if gs.outcome.is_none() && !gs.hedged && gs.hedge_at.is_some_and(|t| now >= t) {
                     gs.hedged = true;
-                    self.dispatch(s, gs, &query, sel, &reply_tx, deadline, DispatchKind::Hedge);
+                    let _ = self.dispatch(
+                        topo,
+                        s,
+                        gs,
+                        &query,
+                        sel,
+                        &reply_tx,
+                        deadline,
+                        DispatchKind::Hedge,
+                    );
                 }
             }
             // Wait for a reply, but wake in time for the deadline or the
@@ -519,6 +551,7 @@ impl ShardSet {
                 Ok(reply) => {
                     let sel = selections.as_ref().map(|v| &v[reply.shard]);
                     self.absorb_reply(
+                        topo,
                         reply,
                         &mut gss,
                         &mut unresolved,
@@ -546,13 +579,13 @@ impl ShardSet {
         let weights: Vec<u64> = match &selections {
             Some(sel) => sel.iter().map(|s| s.len() as u64).collect(),
             None => (0..n_shards)
-                .map(|s| self.shard_rows(s).len() as u64)
+                .map(|s| topo.shards[s].rows.len() as u64)
                 .collect(),
         };
         let rows_total = match &selections {
             // Sampled gathers report coverage against the parent row count
             // so `coverage()` is the realized sample fraction.
-            Some(_) => self.parent.num_rows() as u64,
+            Some(_) => self.inner.parent.num_rows() as u64,
             None => weights.iter().sum(),
         };
         let mut rows_served = 0u64;
@@ -570,7 +603,8 @@ impl ShardSet {
             outcomes.push(outcome);
             partials.push(gs.partials.take());
         }
-        self.stats
+        self.inner
+            .stats
             .gather_done(served, n_shards - served, started.elapsed());
         (
             partials,
@@ -583,11 +617,13 @@ impl ShardSet {
     }
 
     /// Dispatch one copy of the shard's sub-query to the best untried
-    /// replica, retrying through rejects. Returns `false` when no replica
-    /// could accept it.
+    /// replica, retrying through rejects and sheds. Returns the typed
+    /// cause when no replica could accept it: `Overloaded` when at least
+    /// one bounded queue was full, `AllReplicasDown` otherwise.
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
+        topo: &Topology,
         s: usize,
         gs: &mut GatherShard,
         query: &Arc<Query>,
@@ -595,20 +631,26 @@ impl ShardSet {
         reply_tx: &mpsc::Sender<Reply>,
         deadline: Option<Instant>,
         kind: DispatchKind,
-    ) -> bool {
+    ) -> Result<(), MissingCause> {
         let mut attempt = 0usize;
+        let mut shed_any = false;
         loop {
-            let Some(r) = self.pick_replica(s, &gs.tried) else {
-                return false;
+            let Some((r, core)) = self.pick_replica(topo, s, &gs.tried) else {
+                return Err(if shed_any {
+                    MissingCause::Overloaded
+                } else {
+                    MissingCause::AllReplicasDown
+                });
             };
             gs.tried[r] = true;
             // Ledger: the first primary attempt is the shard's one
             // scatter dispatch; every other dispatch is a hedge or a
-            // failover, so `dispatched == gathers·shards + hedges + failovers`.
+            // failover (heal probes carry their own term), so
+            // `dispatched == gathers·shards + hedges + failovers + heal_probes`.
             match kind {
                 DispatchKind::Primary if attempt == 0 => {}
-                DispatchKind::Hedge => self.stats.hedge_fired(),
-                _ => self.stats.failover(),
+                DispatchKind::Hedge => self.inner.stats.hedge_fired(),
+                _ => self.inner.stats.failover(),
             }
             attempt += 1;
             let token = deadline
@@ -621,45 +663,73 @@ impl ShardSet {
                 hedge: kind == DispatchKind::Hedge,
                 reply_tx: reply_tx.clone(),
             };
-            self.stats.dispatch();
-            let sent = match &self.replicas[s][r].tx {
-                Some(tx) => tx.send(job).is_ok(),
-                None => false,
-            };
-            if sent {
-                gs.inflight.push((r, token));
-                return true;
+            self.inner.stats.dispatch();
+            match core.tx.try_send(job) {
+                Ok(()) => {
+                    gs.inflight.push((r, token));
+                    return Ok(());
+                }
+                Err(mpsc::TrySendError::Full(_)) => {
+                    // Typed per-replica overload: the bounded queue shed
+                    // the dispatch. Feed the breaker's suspect logic —
+                    // enough consecutive sheds trip the replica exactly
+                    // like failed sub-queries would — and try the next
+                    // replica.
+                    shed_any = true;
+                    self.inner.stats.queue_shed();
+                    self.inner.stats.reject();
+                    match core.health.record(false) {
+                        HealthTransition::Tripped => self.inner.stats.trip(),
+                        HealthTransition::Recovered => self.inner.stats.recovery(),
+                        HealthTransition::None => {}
+                    }
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    // The worker retired (topology teardown mid-gather).
+                    self.inner.stats.reject();
+                }
             }
-            self.stats.reject();
         }
     }
 
     /// Route one sub-query: a probe-eligible suspect first (half-open
     /// recovery), then healthy replicas in rotation (read load-balancing),
-    /// then any untried suspect as a last resort.
-    fn pick_replica(&self, s: usize, tried: &[bool]) -> Option<usize> {
-        let row = &self.replicas[s];
+    /// then any untried suspect as a last resort. Returns the slot's
+    /// current core alongside the index so the caller sends to the same
+    /// core it inspected even across a concurrent heal swap.
+    fn pick_replica(
+        &self,
+        topo: &Topology,
+        s: usize,
+        tried: &[bool],
+    ) -> Option<(usize, Arc<ReplicaCore>)> {
+        let cores: Vec<Arc<ReplicaCore>> =
+            topo.replicas[s].iter().map(|slot| slot.core()).collect();
         let now = Instant::now();
-        for (r, h) in row.iter().enumerate() {
-            if !tried[r] && h.health.try_begin_probe(now) {
-                self.stats.probe();
-                return Some(r);
+        for (r, core) in cores.iter().enumerate() {
+            if !tried[r] && core.health.try_begin_probe(now) {
+                self.inner.stats.probe();
+                return Some((r, Arc::clone(core)));
             }
         }
-        let start = self.rr[s].fetch_add(1, Ordering::Relaxed);
-        for k in 0..row.len() {
-            let r = (start + k) % row.len();
-            if !tried[r] && row[r].health.is_healthy() {
-                return Some(r);
+        let start = topo.rr[s].fetch_add(1, Ordering::Relaxed);
+        for k in 0..cores.len() {
+            let r = (start + k) % cores.len();
+            if !tried[r] && cores[r].health.is_healthy() {
+                return Some((r, Arc::clone(&cores[r])));
             }
         }
-        tried.iter().position(|&t| !t)
+        tried
+            .iter()
+            .position(|&t| !t)
+            .map(|r| (r, Arc::clone(&cores[r])))
     }
 
     /// Fold one worker reply into the gather.
     #[allow(clippy::too_many_arguments)]
     fn absorb_reply(
         &self,
+        topo: &Topology,
         reply: Reply,
         gss: &mut [GatherShard],
         unresolved: &mut usize,
@@ -686,7 +756,7 @@ impl ShardSet {
                     hedged: reply.hedge,
                 });
                 if reply.hedge {
-                    self.stats.hedge_won();
+                    self.inner.stats.hedge_won();
                 }
                 // First answer wins: release the losing copies.
                 for (_, token) in &gs.inflight {
@@ -712,7 +782,8 @@ impl ShardSet {
                 // else: another copy (the hedge) is still out — wait.
             }
             Err(_) => {
-                if self.dispatch(
+                match self.dispatch(
+                    topo,
                     s,
                     gs,
                     query,
@@ -721,15 +792,15 @@ impl ShardSet {
                     deadline,
                     DispatchKind::Failover,
                 ) {
-                    return; // failover copy in flight
+                    Ok(()) => (), // failover copy in flight
+                    Err(cause) => {
+                        if gs.inflight.is_empty() {
+                            gs.outcome = Some(ShardOutcome::Missing { cause });
+                            *unresolved -= 1;
+                        }
+                        // else: another copy (the hedge) is still out — wait.
+                    }
                 }
-                if gs.inflight.is_empty() {
-                    gs.outcome = Some(ShardOutcome::Missing {
-                        cause: MissingCause::AllReplicasDown,
-                    });
-                    *unresolved -= 1;
-                }
-                // else: another copy (the hedge) is still out — wait.
             }
         }
     }
@@ -753,7 +824,7 @@ impl ShardSet {
             mem: opts.mem,
             progress: None,
         };
-        let combined = combine_partials(&self.parent, query, served, exec_opts)?;
+        let combined = combine_partials(&self.inner.parent, query, served, exec_opts)?;
         let result = scale_result(combined, query, scale);
         Ok(ShardedResult { result, report })
     }
@@ -787,7 +858,7 @@ fn gather_error(report: &GatherReport) -> ExecError {
         ExecError::Cancelled
     } else {
         ExecError::Unavailable(format!(
-            "{} of {} shards lost (all replicas down)",
+            "{} of {} shards lost (replicas down or overloaded)",
             report.missing(),
             report.outcomes.len()
         ))

@@ -49,8 +49,18 @@ pub enum HealthTransition {
 
 #[derive(Debug, Clone, Copy)]
 enum State {
-    Healthy { fails: u32 },
-    Suspect { since: Instant, probing: bool },
+    Healthy {
+        fails: u32,
+    },
+    Suspect {
+        /// When the cooldown was last armed (re-set by every failure).
+        since: Instant,
+        /// When the replica first tripped — *not* re-armed by failed
+        /// probes, so the healer can see how long a replica has been
+        /// continuously suspect even while probes keep failing.
+        first: Instant,
+        probing: bool,
+    },
 }
 
 /// Breaker-style health state of one replica.
@@ -79,6 +89,18 @@ impl ReplicaHealth {
         !self.is_healthy()
     }
 
+    /// When the replica first tripped to suspect, if it still is. Unlike
+    /// the probe cooldown this is **not** re-armed by failed probes: it
+    /// answers "how long has this replica been continuously unhealthy",
+    /// which is what the healer's give-up-and-re-replicate threshold
+    /// needs.
+    pub fn suspect_since(&self) -> Option<Instant> {
+        match *self.lock() {
+            State::Healthy { .. } => None,
+            State::Suspect { first, .. } => Some(first),
+        }
+    }
+
     /// Try to claim the suspect replica's single half-open probe slot:
     /// succeeds iff the replica is suspect, its cooldown has elapsed, and
     /// no other probe is in flight. The claim is released by whatever
@@ -88,10 +110,12 @@ impl ReplicaHealth {
         match *st {
             State::Suspect {
                 since,
+                first,
                 probing: false,
             } if now >= since + self.cfg.probe_cooldown => {
                 *st = State::Suspect {
                     since,
+                    first,
                     probing: true,
                 };
                 true
@@ -111,8 +135,10 @@ impl ReplicaHealth {
             (State::Healthy { fails }, false) => {
                 let fails = fails + 1;
                 if fails >= self.cfg.trip_after {
+                    let now = Instant::now();
                     *st = State::Suspect {
-                        since: Instant::now(),
+                        since: now,
+                        first: now,
                         probing: false,
                     };
                     HealthTransition::Tripped
@@ -125,10 +151,12 @@ impl ReplicaHealth {
                 *st = State::Healthy { fails: 0 };
                 HealthTransition::Recovered
             }
-            (State::Suspect { .. }, false) => {
+            (State::Suspect { first, .. }, false) => {
                 // Re-arm the cooldown; a failed probe releases its slot.
+                // The first-trip time is preserved for the healer.
                 *st = State::Suspect {
                     since: Instant::now(),
+                    first,
                     probing: false,
                 };
                 HealthTransition::None
@@ -270,6 +298,26 @@ mod tests {
         assert_eq!(h.record(false), HealthTransition::None);
         assert!(h.is_suspect());
         assert!(!h.try_begin_probe(Instant::now() + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn suspect_since_survives_failed_probes() {
+        let cfg = HealthConfig {
+            trip_after: 1,
+            probe_cooldown: Duration::from_millis(0),
+        };
+        let h = ReplicaHealth::new(cfg);
+        assert_eq!(h.suspect_since(), None);
+        assert_eq!(h.record(false), HealthTransition::Tripped);
+        let first = h.suspect_since().expect("tripped replica has a since");
+        // Failed probes re-arm the cooldown but not the first-trip time.
+        assert!(h.try_begin_probe(Instant::now()));
+        assert_eq!(h.record(false), HealthTransition::None);
+        assert_eq!(h.suspect_since(), Some(first));
+        // Recovery clears it.
+        assert!(h.try_begin_probe(Instant::now()));
+        assert_eq!(h.record(true), HealthTransition::Recovered);
+        assert_eq!(h.suspect_since(), None);
     }
 
     #[test]

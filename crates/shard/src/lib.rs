@@ -27,7 +27,21 @@
 //!   via [`ShardExecOptions::allow_partial`]).
 //! - **Deterministic chaos** ([`ShardFaultInjector`]) — seeded
 //!   replica-level fault injection (`error` / `panic` / `stall` / `down`
-//!   / `latency`) so the failover machinery is testable and replayable.
+//!   / `down_until_healed` / `latency`) so the failover machinery is
+//!   testable and replayable.
+//! - **Self-healing** ([`HealConfig`]) — a background healer watches the
+//!   per-replica breaker state, clones the shard table for a dead
+//!   replica, warms a fresh worker behind a probe query, and only then
+//!   re-admits it to routing. No manual `revive` needed.
+//! - **Live resharding** ([`ShardSet::resize`]) — a new topology is
+//!   built beside the old one and swapped in atomically; in-flight
+//!   gathers are epoch-fenced to the topology they started on, so every
+//!   query sees exactly one consistent layout and results stay
+//!   bit-identical before, during, and after a resize.
+//! - **Chaos orchestration** ([`ChaosScript`], [`ChaosOrchestrator`]) —
+//!   seeded scripts of timed kill/revive/slow/partition/resize events
+//!   driven by a logical step counter, so healing chaos suites replay
+//!   identically in CI.
 //!
 //! Every dispatch/reply/outcome lands in flow-conserving counters
 //! ([`ShardStats`]) mirrored into the `shard.*` namespace of the
@@ -35,16 +49,20 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod exec;
 mod fault;
+mod heal;
 mod health;
 mod set;
 mod stats;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosOrchestrator, ChaosScript, ChaosScriptError};
 pub use exec::{
     local_selection, GatherReport, MissingCause, ShardExecOptions, ShardOutcome, ShardedResult,
 };
 pub use fault::{FaultKind, ShardFaultInjector, ShardFaultSpecError};
+pub use heal::HealConfig;
 pub use health::{HealthConfig, HealthTransition, HedgeConfig, HedgeTracker, ReplicaHealth};
 pub use set::{partition_rows, ShardSet, ShardSpec};
 pub use stats::{ShardStats, ShardStatsSnapshot};

@@ -8,10 +8,16 @@
 //! identities:
 //!
 //! - `dispatched == replies_ok + replies_err + rejects` (after quiesce)
-//! - `dispatched == gathers * shards + hedges_fired + failovers`
+//! - `dispatched == gathers * shards + hedges_fired + failovers + heal_probes`
 //! - `gathers * shards == shards_served + shards_missing`
 //! - `hedges_won <= hedges_fired`
 //! - `replica_trips == replica_recoveries + currently-suspect replicas`
+//! - `replica_queue_shed <= rejects` (a full queue is one kind of reject)
+//! - `heals_started == heals_completed + heals_failed + heals in flight`
+//!
+//! The gather-count term uses the shard count of each gather's own
+//! topology snapshot, so the taxonomy holds across live resizes (tests
+//! that resize track `Σ gathers·shards(topology)` themselves).
 //!
 //! Each counter is mirrored into the process-wide [`muve_obs`] registry
 //! under a `shard.*` name, so `\stats` and serving dashboards see them
@@ -37,6 +43,12 @@ pub struct ShardStats {
     shards_served: AtomicU64,
     shards_missing: AtomicU64,
     partial_gathers: AtomicU64,
+    replica_queue_shed: AtomicU64,
+    heals_started: AtomicU64,
+    heals_completed: AtomicU64,
+    heals_failed: AtomicU64,
+    heal_probes: AtomicU64,
+    resizes: AtomicU64,
 }
 
 impl ShardStats {
@@ -59,6 +71,16 @@ impl ShardStats {
     pub(crate) fn reject(&self) {
         self.rejects.fetch_add(1, Ordering::Relaxed);
         muve_obs::metrics().counter("shard.rejects").incr();
+    }
+
+    /// A dispatch shed because the replica's bounded queue was full.
+    /// Always paired with a [`reject`](Self::reject): a shed *is* a
+    /// reject, typed.
+    pub(crate) fn queue_shed(&self) {
+        self.replica_queue_shed.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics()
+            .counter("shard.replica_queue_shed")
+            .incr();
     }
 
     pub(crate) fn reply(&self, ok: bool, latency: Duration) {
@@ -120,6 +142,36 @@ impl ShardStats {
         m.histogram("shard.gather_us").record_duration(elapsed);
     }
 
+    pub(crate) fn heal_started(&self) {
+        self.heals_started.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.heals_started").incr();
+    }
+
+    pub(crate) fn heal_completed(&self, elapsed: Duration) {
+        self.heals_completed.fetch_add(1, Ordering::Relaxed);
+        let m = muve_obs::metrics();
+        m.counter("shard.heals_completed").incr();
+        m.histogram("shard.heal_us").record_duration(elapsed);
+    }
+
+    pub(crate) fn heal_failed(&self) {
+        self.heals_failed.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.heals_failed").incr();
+    }
+
+    /// A warm-up sub-query the healer dispatched to a replacement worker
+    /// (counted under `dispatched` too, so the attempt taxonomy stays an
+    /// exact identity).
+    pub(crate) fn heal_probe(&self) {
+        self.heal_probes.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.heal_probes").incr();
+    }
+
+    pub(crate) fn resized(&self) {
+        self.resizes.fetch_add(1, Ordering::Relaxed);
+        muve_obs::metrics().counter("shard.resizes").incr();
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> ShardStatsSnapshot {
         ShardStatsSnapshot {
@@ -137,6 +189,12 @@ impl ShardStats {
             shards_served: self.shards_served.load(Ordering::Relaxed),
             shards_missing: self.shards_missing.load(Ordering::Relaxed),
             partial_gathers: self.partial_gathers.load(Ordering::Relaxed),
+            replica_queue_shed: self.replica_queue_shed.load(Ordering::Relaxed),
+            heals_started: self.heals_started.load(Ordering::Relaxed),
+            heals_completed: self.heals_completed.load(Ordering::Relaxed),
+            heals_failed: self.heals_failed.load(Ordering::Relaxed),
+            heal_probes: self.heal_probes.load(Ordering::Relaxed),
+            resizes: self.resizes.load(Ordering::Relaxed),
         }
     }
 }
@@ -175,6 +233,22 @@ pub struct ShardStatsSnapshot {
     pub shards_missing: u64,
     /// Gathers that completed with some — but not all — shards served.
     pub partial_gathers: u64,
+    /// Dispatches shed because the target replica's bounded queue was
+    /// full (a typed subset of [`rejects`](Self::rejects)).
+    pub replica_queue_shed: u64,
+    /// Heal attempts the healer started (dead or persistently-suspect
+    /// replica detected).
+    pub heals_started: u64,
+    /// Heals that re-admitted a warmed replacement replica to routing.
+    pub heals_completed: u64,
+    /// Heals abandoned (probe failed or a resize retired the topology
+    /// mid-heal).
+    pub heals_failed: u64,
+    /// Warm-up sub-queries dispatched to replacement workers (also
+    /// counted in [`dispatched`](Self::dispatched)).
+    pub heal_probes: u64,
+    /// Live topology resizes.
+    pub resizes: u64,
 }
 
 impl ShardStatsSnapshot {
@@ -182,5 +256,11 @@ impl ShardStatsSnapshot {
     /// is quiescent this equals [`dispatched`](Self::dispatched).
     pub fn accounted(&self) -> u64 {
         self.replies_ok + self.replies_err + self.rejects
+    }
+
+    /// Heals started but not yet completed or failed.
+    pub fn heals_in_flight(&self) -> u64 {
+        self.heals_started
+            .saturating_sub(self.heals_completed + self.heals_failed)
     }
 }

@@ -25,7 +25,8 @@
 //! \svg <path>                                save the last multiplot
 //! \serve [workers] [queue]                   route questions through a worker pool
 //! \drain                                     gracefully drain the worker pool
-//! \shard [N [R] | kill S R | revive S R | off]  replicated sharded execution
+//! \shard [N [R] | resize N [R] | kill S R | revive S R | off]
+//!                                            self-healing sharded execution
 
 //! \index [status | build | on | off]         secondary-index registry
 //! \cache [clear | <mb>]                      cache stats, clear, or resize (0 off)
@@ -58,7 +59,7 @@ use muve::pipeline::{
     FaultInjector, Session, SessionCaches, SessionConfig, SessionOutcome, Visualization,
 };
 use muve::serve::{Request, ServeOutcome, Server, ServerConfig};
-use muve::shard::{ShardSet, ShardSpec};
+use muve::shard::{HealConfig, ShardSet, ShardSpec};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
@@ -122,12 +123,15 @@ impl Shell {
     }
 
     fn rebuild_shards(&mut self, shards: usize, replicas: usize) {
-        let set = Arc::new(ShardSet::build(
-            Arc::clone(&self.table),
-            ShardSpec::new(shards, replicas),
-        ));
+        // The shell runs with the healer on: a killed replica is detected,
+        // re-cloned, warmed and re-admitted without a manual `revive`.
+        let spec = ShardSpec {
+            heal: HealConfig::enabled(),
+            ..ShardSpec::new(shards, replicas)
+        };
+        let set = Arc::new(ShardSet::build(Arc::clone(&self.table), spec));
         println!(
-            "sharded execution: {} shards x {} replicas, hedge delay {:.1} ms",
+            "sharded execution: {} shards x {} replicas, hedge delay {:.1} ms, healer on",
             set.num_shards(),
             set.num_replicas(),
             set.hedge_delay().as_secs_f64() * 1000.0
@@ -136,18 +140,31 @@ impl Shell {
         self.stamp_caches();
     }
 
+    fn resize_shards(&self, set: &ShardSet, shards: usize, replicas: usize) {
+        let epoch = set.resize(shards, replicas);
+        self.stamp_caches();
+        println!(
+            "resized live to {} shards x {} replicas (epoch {:#x}); in-flight \
+             queries finish on the topology they started on",
+            set.num_shards(),
+            set.num_replicas(),
+            epoch
+        );
+    }
+
     fn shard_status(&self) {
         let Some(set) = &self.shards else {
             println!("sharded execution off; \\shard <N> [R] to enable");
             return;
         };
         println!(
-            "{} shards x {} replicas over {:?} ({} rows), hedge delay {:.1} ms",
+            "{} shards x {} replicas over {:?} ({} rows), hedge delay {:.1} ms, healer {}",
             set.num_shards(),
             set.num_replicas(),
             self.table.name(),
             self.table.num_rows(),
-            set.hedge_delay().as_secs_f64() * 1000.0
+            set.hedge_delay().as_secs_f64() * 1000.0,
+            if set.healer_enabled() { "on" } else { "off" }
         );
         for s in 0..set.num_shards() {
             let health: String = (0..set.num_replicas())
@@ -175,6 +192,16 @@ impl Shell {
             st.replica_recoveries,
             st.shards_served,
             st.shards_missing
+        );
+        println!(
+            "  heals {} started / {} completed / {} failed ({} in flight), \
+             queue sheds {}, resizes {}",
+            st.heals_started,
+            st.heals_completed,
+            st.heals_failed,
+            st.heals_in_flight(),
+            st.replica_queue_shed,
+            st.resizes
         );
     }
 
@@ -240,13 +267,11 @@ impl Shell {
             println!("secondary indexes are off; \\index on first");
             return;
         }
-        let tables: Vec<&Table> = match &self.shards {
-            Some(set) => (0..set.num_shards())
-                .map(|s| set.shard_table(s).as_ref())
-                .collect(),
-            None => vec![self.table.as_ref()],
+        let tables: Vec<Arc<Table>> = match &self.shards {
+            Some(set) => (0..set.num_shards()).map(|s| set.shard_table(s)).collect(),
+            None => vec![Arc::clone(&self.table)],
         };
-        for t in tables {
+        for t in &tables {
             match build_indexes(t, &ExecOptions::default()) {
                 Ok(built) if built.is_empty() => {
                     println!("table {:?}: no string columns to index", t.name());
@@ -312,11 +337,16 @@ impl Shell {
         }
         self.serve_cfg.caches = self.caches.clone();
         self.serve_cfg.mem_cap_mb = self.mem_cap_mb;
+        self.serve_cfg.shards = self.shards.clone();
         self.server = Some(Server::new(Arc::clone(&self.table), self.serve_cfg.clone()));
         println!(
-            "serving: {} workers, queue depth {}{}{}",
+            "serving: {} workers, queue depth {}{}{}{}",
             self.serve_cfg.workers,
             self.serve_cfg.queue_depth,
+            match &self.serve_cfg.shards {
+                Some(set) => format!(", sharded {}x{}", set.num_shards(), set.num_replicas()),
+                None => String::new(),
+            },
             if self.mem_cap_mb > 0 {
                 format!(", {} MB/worker mem cap", self.mem_cap_mb)
             } else {
@@ -619,7 +649,7 @@ impl Shell {
             },
             Some("\\drain") => self.drain_serve(),
             Some("\\shard") => match parts.get(1).copied() {
-                None => self.shard_status(),
+                None | Some("status") => self.shard_status(),
                 Some("off") | Some("0") => {
                     self.shards = None;
                     self.stamp_caches();
@@ -636,10 +666,18 @@ impl Shell {
                         {
                             if verb == "kill" {
                                 set.kill_replica(s, r);
-                                println!(
-                                    "killed replica {r} of shard {s}; the breaker will \
-                                     trip it and survivors take over"
-                                );
+                                if set.healer_enabled() {
+                                    println!(
+                                        "killed replica {r} of shard {s}; survivors take \
+                                         over and the healer re-replicates it (watch \
+                                         \\shard for heals completed)"
+                                    );
+                                } else {
+                                    println!(
+                                        "killed replica {r} of shard {s}; the breaker will \
+                                         trip it and survivors take over"
+                                    );
+                                }
                             } else {
                                 set.revive_replica(s, r);
                                 println!(
@@ -652,6 +690,21 @@ impl Shell {
                         _ => println!("usage: \\shard {verb} <shard> <replica>"),
                     }
                 }
+                Some("resize") => {
+                    let n = parts.get(2).and_then(|v| v.parse::<usize>().ok());
+                    match (&self.shards, n) {
+                        (Some(set), Some(n)) if n >= 1 => {
+                            let r = parts
+                                .get(3)
+                                .and_then(|v| v.parse::<usize>().ok())
+                                .unwrap_or(set.num_replicas())
+                                .max(1);
+                            self.resize_shards(set, n, r);
+                        }
+                        (None, _) => println!("sharded execution off; \\shard <N> [R] first"),
+                        _ => println!("usage: \\shard resize <N> [R]"),
+                    }
+                }
                 Some(arg) => match arg.parse::<usize>() {
                     Ok(n) if n >= 1 => {
                         let r = parts
@@ -662,12 +715,14 @@ impl Shell {
                         self.rebuild_shards(n, r);
                         if self.server.is_some() {
                             println!(
-                                "(note: the serve worker pool executes unsharded; \
-                                 sharding applies to direct questions)"
+                                "(note: restart \\serve so the worker pool picks up \
+                                 the new shard set; \\shard resize applies live)"
                             );
                         }
                     }
-                    _ => println!("usage: \\shard [N [R] | kill S R | revive S R | off]"),
+                    _ => println!(
+                        "usage: \\shard [N [R] | resize N [R] | kill S R | revive S R | off]"
+                    ),
                 },
             },
             Some("\\index") => match parts.get(1).copied() {
@@ -731,7 +786,8 @@ fn print_help() {
          commands: \\dataset <name> [rows], \\csv <path> [name], \\screen <preset> [rows],\n\
          \\planner <greedy|ilp>, \\k <n>, \\noise <rate>, \\deadline <ms>, \\memcap <mb|off>,\n\
          \\inject <spec|off>, \\svg <path>, \\serve [workers] [queue] | off, \\drain,\n\
-         \\shard [N [R] | kill S R | revive S R | off], \\index [status|build|on|off],\n\
+         \\shard [N [R] | resize N [R] | kill S R | revive S R | off],\n\
+         \\index [status|build|on|off],\n\
          \\cache [clear | <mb>],\n\
          \\stats, \\trace <path|off>, \\schema, \\quit"
     );
